@@ -1,0 +1,96 @@
+// E10 (extension) — §1.4 / §4.3.2 ablation: what LSA sorts by and what
+// classify-and-select groups by.
+//
+// The paper takes Albagli-Kim et al.'s LSA, changes the consideration
+// order from value to *density*, and classifies by *length* to get the
+// O(log_{k+1} P) price; §1.4 notes the same machinery classified by value
+// or density yields O(log ρ) and O(log σ).  This bench builds workloads
+// where each axis (P, ρ, σ) is the small one and shows the matching
+// classifier winning — the "who wins where" ablation behind the paper's
+// choice to target P.
+#include "bench_common.hpp"
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/lsa/lsa.hpp"
+#include "pobp/schedule/metrics.hpp"
+#include "pobp/schedule/validate.hpp"
+#include "pobp/util/rng.hpp"
+#include "pobp/util/stats.hpp"
+
+namespace pobp {
+namespace {
+
+struct Workload {
+  const char* name;
+  JobGenConfig config;
+};
+
+void run(std::size_t k) {
+  // Three workloads, each shrinking a different ratio:
+  Workload workloads[3];
+  workloads[0].name = "small P (uniform-ish lengths, wild values)";
+  workloads[0].config.min_length = 32;
+  workloads[0].config.max_length = 64;
+  workloads[0].config.value_mode = JobGenConfig::ValueMode::kUniform;
+
+  workloads[1].name = "small rho (unit-ish values, wild lengths)";
+  workloads[1].config.min_length = 1;
+  workloads[1].config.max_length = 1 << 12;
+  workloads[1].config.value_mode = JobGenConfig::ValueMode::kUniform;
+
+  workloads[2].name = "small sigma (value ~ length, wild lengths)";
+  workloads[2].config.min_length = 1;
+  workloads[2].config.max_length = 1 << 12;
+  workloads[2].config.value_mode = JobGenConfig::ValueMode::kProportional;
+
+  for (Workload& w : workloads) {
+    w.config.n = 1200;
+    w.config.min_laxity = static_cast<double>(k + 1);
+    w.config.max_laxity = static_cast<double>(2 * (k + 1));
+    w.config.horizon = 64LL * w.config.max_length *
+                       static_cast<Time>(k + 1);  // congested
+  }
+
+  Table table("classify-and-select ablation, k=" + std::to_string(k) +
+                  " (values = fraction of total value captured; 8 seeds)",
+              {"workload", "P", "rho", "sigma", "by-length", "by-value",
+               "by-density", "lsa(value order)"});
+
+  for (const Workload& w : workloads) {
+    RunningStats by_len, by_val, by_den, val_order;
+    InstanceMetrics metrics;
+    for (std::size_t seed = 0; seed < 8; ++seed) {
+      Rng rng(0xAB1A + seed);
+      const JobSet jobs = random_jobs(w.config, rng);
+      metrics = compute_metrics(jobs);
+      const Value total = jobs.total_value();
+      const auto frac = [&](const LsaResult& r) {
+        POBP_ASSERT(validate_machine(jobs, r.schedule, k).ok);
+        return r.schedule.total_value(jobs) / total;
+      };
+      by_len.add(frac(lsa_cs(jobs, all_ids(jobs), k, ClassifyBy::kLength)));
+      by_val.add(frac(lsa_cs(jobs, all_ids(jobs), k, ClassifyBy::kValue)));
+      by_den.add(frac(lsa_cs(jobs, all_ids(jobs), k, ClassifyBy::kDensity)));
+      val_order.add(frac(lsa_cs(jobs, all_ids(jobs), k, ClassifyBy::kLength,
+                                LsaOrder::kValue)));
+    }
+    table.add_row({w.name, Table::fmt(metrics.P, 0),
+                   Table::fmt(metrics.rho, 1), Table::fmt(metrics.sigma, 1),
+                   Table::fmt(by_len.mean(), 3), Table::fmt(by_val.mean(), 3),
+                   Table::fmt(by_den.mean(), 3),
+                   Table::fmt(val_order.mean(), 3)});
+  }
+  bench::emit(table);
+}
+
+}  // namespace
+}  // namespace pobp
+
+int main() {
+  pobp::bench::banner(
+      "E10", "§1.4 + §4.3.2 (classify-and-select ablation)",
+      "each classifier wins on the workload whose ratio it bounds "
+      "(length↔P, value↔ρ, density↔σ); density ordering beats the "
+      "original value ordering of [1]");
+  for (const std::size_t k : {1, 2}) pobp::run(k);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Shared helpers for the experiment harnesses in bench/.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "pobp/util/table.hpp"
+
+namespace pobp::bench {
+
+/// Prints the experiment banner: id, the paper artifact it regenerates, and
+/// the claim being exercised — so bench output is self-describing when
+/// captured into EXPERIMENTS.md.
+inline void banner(const std::string& id, const std::string& artifact,
+                   const std::string& claim) {
+  std::cout << "\n=== " << id << " — " << artifact << " ===\n"
+            << "claim: " << claim << "\n\n";
+}
+
+inline void emit(const Table& table) {
+  table.print(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace pobp::bench

@@ -1,0 +1,61 @@
+// E1 — Fig. 3 / Appendix A / Theorem 3.20: the k-BAS loss-factor lower
+// bound.  Instantiates the Appendix-A tree with K = 2k for growing depth L
+// and reports the exact optimal k-BAS value (TM) against the total value.
+// The paper's claim: the ratio grows as Θ(log_{k+1} n) — every extra level
+// adds a constant to the ratio while OPT stays below K/(K−k).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "pobp/bas/contraction.hpp"
+#include "pobp/bas/tm.hpp"
+#include "pobp/gen/lower_bounds.hpp"
+#include "pobp/schedule/metrics.hpp"
+
+namespace pobp {
+namespace {
+
+void run_for_k(std::size_t k) {
+  const std::int64_t K = 2 * static_cast<std::int64_t>(k);
+  Table table("Appendix-A tree, k=" + std::to_string(k) +
+                  ", K=2k=" + std::to_string(K),
+              {"L", "n", "total(=OPT_inf)", "opt k-BAS (TM)", "ratio",
+               "log_{k+1} n", "ratio/log", "OPT cap K/(K-k)"});
+
+  for (std::size_t L = 1;; ++L) {
+    // Stop when the tree would exceed ~2M nodes or overflow values.
+    if (!pow_fits_int64(K, static_cast<int>(L) + 1)) break;
+    const std::int64_t nodes =
+        (checked_pow(K, static_cast<int>(L) + 1) - 1) / (K - 1);
+    if (nodes > 2'000'000) break;
+
+    const BasLowerBoundTree lb = bas_lower_bound_tree(k, K, L);
+    const TmResult tm = tm_optimal_bas(lb.forest, k);
+    const double total = static_cast<double>(lb.total_value);
+    const double ratio = total / tm.value;
+    const double log_n = log_k1(k, static_cast<double>(lb.forest.size()));
+    const double cap =
+        static_cast<double>(K) / static_cast<double>(K - (std::int64_t)k);
+
+    table.add_row({Table::fmt(static_cast<std::int64_t>(L)),
+                   Table::fmt(static_cast<std::uint64_t>(lb.forest.size())),
+                   Table::fmt(total, 0), Table::fmt(tm.value, 1),
+                   Table::fmt(ratio, 3), Table::fmt(log_n, 3),
+                   Table::fmt(ratio / log_n, 3),
+                   Table::fmt(cap * std::pow(static_cast<double>(K),
+                                             static_cast<double>(L)),
+                              1)});
+  }
+  bench::emit(table);
+}
+
+}  // namespace
+}  // namespace pobp
+
+int main() {
+  pobp::bench::banner(
+      "E1", "Fig. 3 + Appendix A (Theorem 3.20)",
+      "the optimal k-BAS of the K=2k tree loses Ω(log_{k+1} n): the ratio "
+      "column grows ~linearly in L while ratio/log stays ~constant");
+  for (const std::size_t k : {1, 2, 3, 7}) pobp::run_for_k(k);
+  return 0;
+}

@@ -1,0 +1,168 @@
+// E9 — runtime claims (google-benchmark).
+//
+// The paper states TM and LevelledContraction run in O(|V|) (§3.2/§3.3);
+// EDF and LSA are sort/heap dominated.  Each benchmark sweeps the input
+// size so the per-element time (reported via SetComplexityN) exposes the
+// growth rate.
+#include <benchmark/benchmark.h>
+
+#include "pobp/bas/contraction.hpp"
+#include "pobp/bas/tm.hpp"
+#include "pobp/core/pobp.hpp"
+#include "pobp/gen/forest_gen.hpp"
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/gen/schedule_gen.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+Forest make_forest(std::size_t n) {
+  Rng rng(42);
+  ForestGenConfig config;
+  config.nodes = n;
+  config.max_degree = 8;
+  return random_forest(config, rng);
+}
+
+LaminarInstance make_laminar(std::size_t n) {
+  Rng rng(43);
+  LaminarGenConfig config;
+  config.target_jobs = n;
+  return random_laminar_instance(config, rng);
+}
+
+JobSet make_lax_jobs(std::size_t n) {
+  Rng rng(44);
+  JobGenConfig config;
+  config.n = n;
+  config.min_length = 1;
+  config.max_length = 1024;
+  config.min_laxity = 2.0;
+  config.max_laxity = 8.0;
+  config.horizon = static_cast<Time>(64) * static_cast<Time>(n);
+  return random_jobs(config, rng);
+}
+
+void BM_TmOptimalBas(benchmark::State& state) {
+  const Forest f = make_forest(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tm_optimal_bas(f, 2));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TmOptimalBas)->Range(1 << 10, 1 << 20)->Complexity(benchmark::oN);
+
+void BM_LevelledContraction(benchmark::State& state) {
+  const Forest f = make_forest(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(levelled_contraction(f, 2));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LevelledContraction)
+    ->Range(1 << 10, 1 << 20)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_EdfSimulator(benchmark::State& state) {
+  const LaminarInstance inst =
+      make_laminar(static_cast<std::size_t>(state.range(0)));
+  const std::vector<JobId> ids = all_ids(inst.jobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edf_schedule(inst.jobs, ids));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EdfSimulator)
+    ->Range(1 << 10, 1 << 17)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_Laminarize(benchmark::State& state) {
+  const LaminarInstance inst =
+      make_laminar(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(laminarize(inst.jobs, inst.schedule));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Laminarize)->Range(1 << 10, 1 << 16)->Complexity(benchmark::oNLogN);
+
+void BM_ScheduleForestBuild(benchmark::State& state) {
+  const LaminarInstance inst =
+      make_laminar(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_schedule_forest(inst.jobs, inst.schedule));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScheduleForestBuild)
+    ->Range(1 << 10, 1 << 17)
+    ->Complexity(benchmark::oN);
+
+void BM_FullReduction(benchmark::State& state) {
+  const LaminarInstance inst =
+      make_laminar(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reduce_to_k_preemptive(inst.jobs, inst.schedule, 2));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullReduction)
+    ->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_LsaCs(benchmark::State& state) {
+  const JobSet jobs = make_lax_jobs(static_cast<std::size_t>(state.range(0)));
+  const std::vector<JobId> ids = all_ids(jobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsa_cs(jobs, ids, 2));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LsaCs)->Range(1 << 8, 1 << 14)->Complexity();
+
+void BM_Validator(benchmark::State& state) {
+  const LaminarInstance inst =
+      make_laminar(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate_machine(inst.jobs, inst.schedule));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Validator)->Range(1 << 10, 1 << 17)->Complexity(benchmark::oNLogN);
+
+void BM_OptInfinityBB(benchmark::State& state) {
+  Rng rng(45);
+  JobGenConfig config;
+  config.n = static_cast<std::size_t>(state.range(0));
+  config.max_length = 64;
+  config.max_laxity = 3.0;
+  config.horizon = 40 * 64;
+  const JobSet jobs = random_jobs(config, rng);
+  const std::vector<JobId> ids = all_ids(jobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt_infinity(jobs, ids));
+  }
+}
+BENCHMARK(BM_OptInfinityBB)->DenseRange(10, 22, 4);
+
+
+void BM_MigrativeFeasibility(benchmark::State& state) {
+  Rng rng(46);
+  JobGenConfig config;
+  config.n = static_cast<std::size_t>(state.range(0));
+  config.max_length = 256;
+  config.max_laxity = 4.0;
+  config.horizon = 64 * static_cast<Time>(state.range(0));
+  const JobSet jobs = random_jobs(config, rng);
+  const std::vector<JobId> ids = all_ids(jobs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(migrative_feasible(jobs, ids, 4));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MigrativeFeasibility)->Range(1 << 4, 1 << 9)->Complexity();
+
+}  // namespace
+}  // namespace pobp

@@ -1,0 +1,90 @@
+// E2/E3 — Theorem 3.9 + Lemma 3.18: the k-BAS upper bound on arbitrary
+// forests.  Sweeps random forests (several shapes and value distributions,
+// up to 10^6 nodes) and reports, per (n, k):
+//   * the worst observed loss factor total/TM vs. the log_{k+1} n bound,
+//   * the worst observed LevelledContraction iteration count vs. the same
+//     bound (Lemma 3.18),
+//   * how much the optimal DP beats the contraction heuristic (ablation).
+// Seeds fan out over the thread pool.
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "bench_common.hpp"
+#include "pobp/bas/contraction.hpp"
+#include "pobp/bas/tm.hpp"
+#include "pobp/gen/forest_gen.hpp"
+#include "pobp/schedule/metrics.hpp"
+#include "pobp/util/parallel.hpp"
+#include "pobp/util/rng.hpp"
+#include "pobp/util/stats.hpp"
+
+namespace pobp {
+namespace {
+
+struct SweepResult {
+  double worst_loss = 0;
+  double worst_iters = 0;
+  double mean_tm_vs_lc = 0;
+};
+
+SweepResult sweep(std::size_t n, std::size_t k, std::size_t seeds) {
+  std::mutex mu;
+  SweepResult out;
+  RunningStats tm_vs_lc;
+
+  parallel_for(0, seeds, [&](std::size_t seed) {
+    Rng rng(0xBA5E + seed);
+    ForestGenConfig config;
+    config.nodes = n;
+    config.max_degree = 2 + seed % 9;
+    config.value_dist =
+        seed % 3 == 0   ? ForestGenConfig::ValueDist::kUniform
+        : seed % 3 == 1 ? ForestGenConfig::ValueDist::kHeavyTail
+                        : ForestGenConfig::ValueDist::kDepthDecay;
+    const Forest f = random_forest(config, rng);
+
+    const TmResult tm = tm_optimal_bas(f, k);
+    const ContractionResult lc = levelled_contraction(f, k);
+    const double loss = f.total_value() / tm.value;
+    const double iters = static_cast<double>(lc.iterations());
+    const double gain = tm.value / lc.value;
+
+    std::lock_guard lock(mu);
+    out.worst_loss = std::max(out.worst_loss, loss);
+    out.worst_iters = std::max(out.worst_iters, iters);
+    tm_vs_lc.add(gain);
+  });
+  out.mean_tm_vs_lc = tm_vs_lc.mean();
+  return out;
+}
+
+}  // namespace
+}  // namespace pobp
+
+int main() {
+  using namespace pobp;
+  bench::banner(
+      "E2/E3", "Theorem 3.9 + Lemma 3.18 (upper bounds on random forests)",
+      "worst loss factor ≤ log_{k+1} n and contraction iterations ≤ "
+      "log_{k+1} n, across shapes and value distributions");
+
+  for (const std::size_t k : {1, 2, 7}) {
+    Table table("random forests, k=" + std::to_string(k) + " (16 seeds each)",
+                {"n", "worst loss (TM)", "worst LC iters", "log_{k+1} n",
+                 "bound ok", "mean TM/LC gain"});
+    for (const std::size_t n :
+         {std::size_t{100}, std::size_t{1000}, std::size_t{10'000},
+          std::size_t{100'000}, std::size_t{1'000'000}}) {
+      const SweepResult r = sweep(n, k, 16);
+      const double bound = log_k1(k, static_cast<double>(n));
+      const bool ok = r.worst_loss <= bound && r.worst_iters <= bound + 1;
+      table.add_row({Table::fmt(static_cast<std::uint64_t>(n)),
+                     Table::fmt(r.worst_loss, 3), Table::fmt(r.worst_iters, 0),
+                     Table::fmt(bound, 3), ok ? "yes" : "NO",
+                     Table::fmt(r.mean_tm_vs_lc, 3)});
+    }
+    bench::emit(table);
+  }
+  return 0;
+}

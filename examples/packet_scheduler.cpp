@@ -1,0 +1,91 @@
+// Packet/flow scheduling on a bottleneck link.
+//
+// The intro's real-world motivation for bounding preemption: every preempt
+// of a flow transmission costs a context switch (buffer swap, DMA
+// re-arm), so a link scheduler wants deadline-constrained flows with a
+// *hard cap* on per-flow preemptions.  This example builds a bursty flow
+// workload, sweeps k = 0..∞, and shows the value/preemption trade-off the
+// paper quantifies: value climbs like the bounds predict and saturates
+// once k exceeds the workload's natural nesting depth.
+//
+//   ./build/examples/packet_scheduler [n] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "pobp/core/pobp.hpp"
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace {
+
+// Bursty mix: many short urgent control packets + long bulk transfers.
+pobp::JobSet make_flows(std::size_t n, std::uint64_t seed) {
+  pobp::Rng rng(seed);
+  pobp::JobSet flows;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool bulk = rng.bernoulli(0.3);
+    pobp::Job f;
+    f.length = bulk ? rng.uniform_int(200, 2000) : rng.uniform_int(2, 30);
+    const double laxity = bulk ? rng.uniform_real(2.0, 6.0)
+                               : rng.uniform_real(1.0, 2.5);
+    const pobp::Duration window = static_cast<pobp::Duration>(
+        laxity * static_cast<double>(f.length)) + 1;
+    f.release = rng.uniform_int(0, 20'000 - window);
+    f.deadline = f.release + window;
+    // Value: control packets are precious per byte, bulk pays by volume.
+    f.value = bulk ? static_cast<double>(f.length) *
+                         rng.uniform_real(0.5, 1.5)
+                   : rng.uniform_real(50.0, 200.0);
+    flows.add(f);
+  }
+  return flows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pobp;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  const JobSet flows = make_flows(n, seed);
+  const InstanceMetrics metrics = compute_metrics(flows);
+  std::printf("workload: %s\n\n", metrics.to_string().c_str());
+
+  // Unbounded-preemption reference (greedy density + EDF).
+  const MachineSchedule reference = greedy_infinity(flows, all_ids(flows));
+  const Value ref_value = reference.total_value(flows);
+  std::printf("unbounded reference: %zu flows, value %.0f, "
+              "max preemptions %zu\n\n",
+              reference.job_count(), ref_value, reference.max_preemptions());
+
+  std::printf("%4s %10s %10s %8s %12s %14s\n", "k", "flows", "value",
+              "price", "max preempt", "log_{k+1} P");
+  for (const std::size_t k : {0u, 1u, 2u, 3u, 5u, 8u}) {
+    Value value = 0;
+    std::size_t count = 0;
+    std::size_t preempts = 0;
+    if (k == 0) {
+      const NonPreemptiveResult r = schedule_nonpreemptive(flows, all_ids(flows));
+      value = r.value;
+      count = r.schedule.job_count();
+    } else {
+      const CombinedResult r = k_preemption_combined(flows, reference, {.k = k});
+      value = r.value;
+      count = r.schedule.job_count();
+      preempts = r.schedule.max_preemptions();
+      const ValidationResult check = validate_machine(flows, r.schedule, k);
+      if (!check) {
+        std::printf("validator failed: %s\n", check.error.c_str());
+        return 1;
+      }
+    }
+    const double logp = k >= 1 ? log_k1(k, metrics.P) : log_base(2.0, metrics.P);
+    std::printf("%4zu %10zu %10.0f %8.3f %12zu %14.2f\n", k, count, value,
+                ref_value / value, preempts, logp);
+  }
+  std::printf("\nreading: the price column should track (a small fraction "
+              "of) the log_{k+1} P column, and collapse toward 1 as k "
+              "grows — the paper's Theorem 4.5 in action.\n");
+  return 0;
+}

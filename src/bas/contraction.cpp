@@ -1,0 +1,83 @@
+#include "pobp/bas/contraction.hpp"
+
+#include <algorithm>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+ContractionResult levelled_contraction(const Forest& forest, std::size_t k) {
+  POBP_ASSERT_MSG(k >= 1, "LevelledContraction requires k >= 1 (paper §3)");
+  const std::size_t n = forest.size();
+  ContractionResult result;
+  result.selection.keep.assign(n, 0);
+  if (n == 0) return result;
+
+  // The alive set is upward-closed at all times (whole subtrees are removed),
+  // so an alive node's ancestors are alive too.
+  std::vector<char> alive(n, 1);
+  std::vector<NodeId> alive_nodes(n);
+  for (NodeId v = 0; v < n; ++v) alive_nodes[v] = v;
+
+  std::vector<char> contractible(n, 0);
+  std::vector<NodeId> dfs_stack;
+
+  while (!alive_nodes.empty()) {
+    // --- MaxContract: mark contractibility bottom-up (Def. 3.10). ---
+    // alive_nodes is sorted ascending by id = parents-first, so a reverse
+    // scan visits children before parents.
+    for (auto it = alive_nodes.rbegin(); it != alive_nodes.rend(); ++it) {
+      const NodeId u = *it;
+      std::size_t alive_children = 0;
+      bool all_contractible = true;
+      for (const NodeId c : forest.children(u)) {
+        if (!alive[c]) continue;
+        ++alive_children;
+        all_contractible = all_contractible && contractible[c];
+      }
+      contractible[u] = alive_children <= k && all_contractible;
+    }
+
+    // --- Take aside the leaves after contraction: the maximal contractible
+    // nodes, i.e. contractible nodes without a contractible parent. ---
+    ContractionLevel level;
+    for (const NodeId u : alive_nodes) {
+      if (!contractible[u]) continue;
+      const NodeId p = forest.parent(u);
+      if (p != kNoNode && contractible[p]) continue;  // not maximal
+      level.roots.push_back(u);
+      // Remove u's entire (alive) subtree; up-closedness of `alive` means
+      // that is exactly all descendants of u that are still alive.
+      dfs_stack.assign(1, u);
+      while (!dfs_stack.empty()) {
+        const NodeId v = dfs_stack.back();
+        dfs_stack.pop_back();
+        POBP_DASSERT(alive[v]);
+        alive[v] = 0;
+        level.members.push_back(v);
+        level.value += forest.value(v);
+        for (const NodeId c : forest.children(v)) {
+          if (alive[c]) dfs_stack.push_back(c);
+        }
+      }
+    }
+    POBP_ASSERT_MSG(!level.roots.empty(),
+                    "every iteration removes at least the current leaves");
+    result.levels.push_back(std::move(level));
+
+    // Compact the alive list for the next iteration.
+    std::erase_if(alive_nodes, [&](NodeId v) { return !alive[v]; });
+  }
+
+  // Return argmax over levels (line 19 of Alg. 1).
+  const auto best = std::max_element(
+      result.levels.begin(), result.levels.end(),
+      [](const ContractionLevel& a, const ContractionLevel& b) {
+        return a.value < b.value;
+      });
+  result.value = best->value;
+  for (const NodeId v : best->members) result.selection.keep[v] = 1;
+  return result;
+}
+
+}  // namespace pobp

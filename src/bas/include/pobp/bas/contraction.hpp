@@ -1,0 +1,44 @@
+// Algorithm 1 (§3.3): MaxContract and LevelledContraction.
+//
+// LevelledContraction repeatedly performs a maximal k-contraction, takes the
+// resulting leaf set aside as one candidate k-BAS "level", removes it, and
+// finally returns the best level.  Its loss factor is ≤ log_{k+1} n
+// (Lemmas 3.17–3.18), which is how the paper bounds the loss factor of the
+// optimal DP.  The instrumented result exposes the per-level structure so
+// the benches can verify Lemma 3.18 (≤ log_{k+1} n iterations) and
+// Lemma 4.6 (the window-based iteration bound for strict jobs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pobp/forest/bas.hpp"
+#include "pobp/forest/forest.hpp"
+
+namespace pobp {
+
+/// One iteration's take-aside set S_i.
+struct ContractionLevel {
+  /// Maximal contractible nodes at this iteration (the "leaves after
+  /// MaxContract"); the corresponding k-BAS piece is each root's still-alive
+  /// subtree.
+  std::vector<NodeId> roots;
+  /// Every node removed this iteration (union of the roots' subtrees).
+  std::vector<NodeId> members;
+  /// Σ val over `members` (= Σ of contracted leaf values).
+  Value value = 0;
+};
+
+struct ContractionResult {
+  SubForest selection;                    ///< best level, as a k-BAS mask
+  Value value = 0;                        ///< val(selection)
+  std::vector<ContractionLevel> levels;   ///< all iterations, in order
+  std::size_t iterations() const { return levels.size(); }
+};
+
+/// Runs LevelledContraction on the whole forest.  O(|V|) total: each node is
+/// examined a constant number of times per iteration it survives, and every
+/// iteration removes at least the current leaves.
+ContractionResult levelled_contraction(const Forest& forest, std::size_t k);
+
+}  // namespace pobp

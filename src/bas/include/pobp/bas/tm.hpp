@@ -1,0 +1,41 @@
+// Procedure TM (§3.2): the optimal dynamic program for max-value k-BAS.
+//
+// Bottom-up it computes, for every node u,
+//   t(u) = val(u) + Σ_{v ∈ C_k(u)} t(v)      (u retained; C_k = top-k by t)
+//   m(u) = Σ_{v ∈ C(u)} max(t(v), m(v))      (u pruned-up)
+// and top-down it materializes the decisions (Obs. 3.8): a retained node
+// keeps its top-k children and prunes-down the rest; a pruned-up node lets
+// each child independently choose retained vs pruned-up.
+//
+// Runs in O(|V|) time up to the top-k selection (O(deg log deg) per node via
+// nth_element — linear overall in practice) and is exact (Theorem: it
+// implements equation 3.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pobp/forest/bas.hpp"
+#include "pobp/forest/forest.hpp"
+
+namespace pobp {
+
+/// Result of the TM dynamic program.
+struct TmResult {
+  SubForest selection;     ///< the optimal k-BAS
+  Value value = 0;         ///< val(selection) = Σ_roots max(t, m)
+  std::vector<Value> t;    ///< t(u) per node (aggregate value if retained)
+  std::vector<Value> m;    ///< m(u) per node (aggregate value if pruned-up)
+};
+
+/// Computes the optimal (max-value) k-BAS of `forest` for degree bound k.
+TmResult tm_optimal_bas(const Forest& forest, std::size_t k);
+
+/// Per-node degree budgets k(v) — the DP is unchanged except that C_k(u)
+/// becomes C_{k(u)}(u).  Useful for hierarchy-selection applications where
+/// different nodes tolerate different fan-outs.
+TmResult tm_optimal_bas(const Forest& forest,
+                        std::span<const std::size_t> degree_bounds);
+
+}  // namespace pobp

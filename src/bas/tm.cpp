@@ -1,0 +1,108 @@
+#include "pobp/bas/tm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+namespace {
+
+/// The ids of the (up to) k children of u with the highest t values.
+/// Deterministic: ties broken toward smaller node id.
+std::vector<NodeId> top_k_children(const Forest& forest,
+                                   const std::vector<Value>& t, NodeId u,
+                                   std::size_t k) {
+  std::vector<NodeId> kids(forest.children(u).begin(),
+                           forest.children(u).end());
+  if (kids.size() <= k) return kids;
+  std::nth_element(kids.begin(), kids.begin() + static_cast<std::ptrdiff_t>(k),
+                   kids.end(), [&](NodeId a, NodeId b) {
+                     if (t[a] != t[b]) return t[a] > t[b];
+                     return a < b;
+                   });
+  kids.resize(k);
+  return kids;
+}
+
+}  // namespace
+
+namespace {
+
+template <typename BoundFn>
+TmResult tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of) {
+  const std::size_t n = forest.size();
+  TmResult result;
+  result.t.assign(n, 0);
+  result.m.assign(n, 0);
+  result.selection.keep.assign(n, 0);
+
+  // Bottom-up pass (ids are parents-first, so descending id order works).
+  for (std::size_t i = n; i-- > 0;) {
+    const NodeId u = static_cast<NodeId>(i);
+    Value t_u = forest.value(u);
+    for (const NodeId c : top_k_children(forest, result.t, u, k_of(u))) {
+      t_u += result.t[c];
+    }
+    Value m_u = 0;
+    for (const NodeId c : forest.children(u)) {
+      m_u += std::max(result.t[c], result.m[c]);
+    }
+    result.t[u] = t_u;
+    result.m[u] = m_u;
+  }
+
+  // Top-down decision pass.  State per node: RETAIN, PRUNE_UP or discard
+  // (pruned-down nodes are simply never visited).
+  enum class Decision : char { kRetain, kPruneUp };
+  std::vector<std::pair<NodeId, Decision>> stack;
+  auto choose = [&](NodeId v) {
+    stack.emplace_back(v, result.t[v] >= result.m[v] ? Decision::kRetain
+                                                     : Decision::kPruneUp);
+  };
+  for (const NodeId r : forest.roots()) choose(r);
+
+  while (!stack.empty()) {
+    const auto [u, decision] = stack.back();
+    stack.pop_back();
+    if (decision == Decision::kRetain) {
+      result.selection.keep[u] = 1;
+      // Top-k children stay retained; the rest are pruned-down (discarded
+      // with all their descendants) — Obs. 3.8(a): a retained node cannot
+      // have pruned-up descendants.
+      for (const NodeId c :
+           top_k_children(forest, result.t, u, k_of(u))) {
+        stack.emplace_back(c, Decision::kRetain);
+      }
+    } else {
+      for (const NodeId c : forest.children(u)) choose(c);
+    }
+  }
+
+  Value total = 0;
+  for (const NodeId r : forest.roots()) {
+    total += std::max(result.t[r], result.m[r]);
+  }
+  result.value = total;
+
+  // Different summation order than the DP, so compare with a tolerance.
+  POBP_DASSERT(std::abs(result.selection.value(forest) - result.value) <=
+               1e-9 * (1.0 + std::abs(result.value)));
+  return result;
+}
+
+}  // namespace
+
+TmResult tm_optimal_bas(const Forest& forest, std::size_t k) {
+  return tm_optimal_bas_impl(forest, [k](NodeId) { return k; });
+}
+
+TmResult tm_optimal_bas(const Forest& forest,
+                        std::span<const std::size_t> degree_bounds) {
+  POBP_ASSERT(degree_bounds.size() == forest.size());
+  return tm_optimal_bas_impl(forest,
+                             [&](NodeId v) { return degree_bounds[v]; });
+}
+
+}  // namespace pobp

@@ -1,0 +1,119 @@
+#include <algorithm>
+#include <vector>
+
+#include "pobp/core/pobp.hpp"
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+namespace {
+
+/// Seed ∞-preemptive schedule across machines: exact B&B applied
+/// iteratively to the residual set, or the density-greedy heuristic.
+Schedule seed_unbounded(const JobSet& jobs, const ScheduleOptions& options) {
+  const std::vector<JobId> ids = all_ids(jobs);
+  if (options.seed == ScheduleOptions::Seed::kGreedyDensity) {
+    return greedy_infinity_multi(jobs, ids, options.machine_count);
+  }
+  Schedule out(options.machine_count);
+  std::vector<JobId> remaining = ids;
+  for (std::size_t m = 0; m < options.machine_count && !remaining.empty();
+       ++m) {
+    const SubsetSolution sol = opt_infinity(jobs, remaining);
+    if (!sol.members.empty()) {
+      auto schedule = edf_schedule(jobs, sol.members);
+      POBP_ASSERT_MSG(schedule.has_value(),
+                      "B&B returned an infeasible subset");
+      out.machine(m) = std::move(*schedule);
+    }
+    std::erase_if(remaining,
+                  [&](JobId id) { return out.machine(m).contains(id); });
+  }
+  return out;
+}
+
+}  // namespace
+
+CombinedMultiResult k_preemption_combined_multi(
+    const JobSet& jobs, const Schedule& unbounded,
+    const CombinedOptions& options) {
+  CombinedMultiResult result;
+  const std::size_t machines = unbounded.machine_count();
+  const Rational threshold(static_cast<std::int64_t>(options.k) + 1);
+
+  // Strict branch: reduce each machine's restriction separately.
+  Schedule strict_schedule(machines);
+  std::vector<JobId> lax_ids;
+  for (std::size_t m = 0; m < machines; ++m) {
+    std::vector<JobId> strict_ids;
+    for (const JobId id : unbounded.machine(m).scheduled_jobs()) {
+      (jobs[id].laxity() >= threshold ? lax_ids : strict_ids).push_back(id);
+    }
+    if (strict_ids.empty()) continue;
+    const MachineSchedule restricted =
+        restrict_schedule(unbounded.machine(m), strict_ids);
+    const MachineSchedule laminar = laminarize(jobs, restricted);
+    const ScheduleForest sf = build_schedule_forest(jobs, laminar);
+    const SubForest sel =
+        options.use_tm ? tm_optimal_bas(sf.forest, options.k).selection
+                       : levelled_contraction(sf.forest, options.k).selection;
+    strict_schedule.machine(m) = rebuild_schedule(jobs, sf, sel);
+  }
+  result.strict_value = strict_schedule.total_value(jobs);
+
+  // Lax branch: iterative multi-machine LSA_CS on all lax jobs.
+  Schedule lax_schedule =
+      lsa_cs_multi(jobs, lax_ids, options.k, machines);
+  result.lax_value = lax_schedule.total_value(jobs);
+
+  // Full-reduction branch (Theorem 4.2, per machine).
+  Schedule full_schedule(machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    full_schedule.machine(m) =
+        reduce_to_k_preemptive(jobs, unbounded.machine(m), options.k).bounded;
+  }
+  const Value full_value = full_schedule.total_value(jobs);
+
+  if (full_value >= result.strict_value && full_value >= result.lax_value) {
+    result.schedule = std::move(full_schedule);
+    result.value = full_value;
+  } else if (result.strict_value >= result.lax_value) {
+    result.schedule = std::move(strict_schedule);
+    result.value = result.strict_value;
+  } else {
+    result.schedule = std::move(lax_schedule);
+    result.value = result.lax_value;
+  }
+  return result;
+}
+
+ScheduleResult schedule_bounded(const JobSet& jobs,
+                                const ScheduleOptions& options) {
+  POBP_ASSERT(options.machine_count >= 1);
+  ScheduleResult result;
+  result.schedule = Schedule(options.machine_count);
+  if (jobs.empty()) return result;
+
+  const Schedule seed = seed_unbounded(jobs, options);
+  result.unbounded_value = seed.total_value(jobs);
+
+  if (options.k == 0) {
+    // §5: iterative per-machine non-preemptive scheduling of the residual.
+    std::vector<JobId> remaining = all_ids(jobs);
+    for (std::size_t m = 0;
+         m < options.machine_count && !remaining.empty(); ++m) {
+      NonPreemptiveResult r = schedule_nonpreemptive(jobs, remaining);
+      result.schedule.machine(m) = std::move(r.schedule);
+      std::erase_if(remaining, [&](JobId id) {
+        return result.schedule.machine(m).contains(id);
+      });
+    }
+  } else {
+    CombinedOptions combined{options.k, options.use_tm};
+    result.schedule =
+        k_preemption_combined_multi(jobs, seed, combined).schedule;
+  }
+  result.value = result.schedule.total_value(jobs);
+  return result;
+}
+
+}  // namespace pobp

@@ -1,0 +1,116 @@
+#include "pobp/core/combined.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "pobp/bas/contraction.hpp"
+#include "pobp/bas/tm.hpp"
+#include "pobp/lsa/lsa.hpp"
+#include "pobp/reduction/rebuild.hpp"
+#include "pobp/schedule/laminar.hpp"
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+MachineSchedule restrict_schedule(const MachineSchedule& ms,
+                                  std::span<const JobId> keep) {
+  std::unordered_set<JobId> wanted(keep.begin(), keep.end());
+  MachineSchedule out;
+  for (const Assignment& a : ms.assignments()) {
+    if (wanted.count(a.job)) out.add(a);
+  }
+  return out;
+}
+
+CombinedResult k_preemption_combined(const JobSet& jobs,
+                                     const MachineSchedule& unbounded,
+                                     const CombinedOptions& options) {
+  const std::size_t k = options.k;
+  POBP_ASSERT_MSG(k >= 1, "use schedule_nonpreemptive for k = 0");
+
+  CombinedResult result;
+  if (unbounded.empty()) return result;
+
+  // Line 1–2 of Alg. 3: split the *scheduled* jobs by relative laxity.
+  // Lax ⟺ λ_j ≥ k+1 (the LSA analysis needs the window ≥ (k+1)·p_j).
+  const Rational threshold(static_cast<std::int64_t>(k) + 1);
+  std::vector<JobId> strict_ids;
+  std::vector<JobId> lax_ids;
+  for (const JobId id : unbounded.scheduled_jobs()) {
+    (jobs[id].laxity() >= threshold ? lax_ids : strict_ids).push_back(id);
+  }
+  result.strict_jobs = strict_ids.size();
+  result.lax_jobs = lax_ids.size();
+
+  // Strict branch: §4.1 reduction on the restriction of the schedule.
+  MachineSchedule strict_schedule;
+  if (!strict_ids.empty()) {
+    const MachineSchedule restricted = restrict_schedule(unbounded, strict_ids);
+    const MachineSchedule laminar = laminarize(jobs, restricted);
+    const ScheduleForest sf = build_schedule_forest(jobs, laminar);
+    const SubForest sel = options.use_tm
+                              ? tm_optimal_bas(sf.forest, k).selection
+                              : levelled_contraction(sf.forest, k).selection;
+    strict_schedule = rebuild_schedule(jobs, sf, sel);
+  }
+  result.strict_value = strict_schedule.total_value(jobs);
+
+  // Lax branch: LSA_CS on a fresh machine.
+  LsaResult lax = lsa_cs(jobs, lax_ids, k);
+  result.lax_value = lax.schedule.total_value(jobs);
+
+  // Third branch (§4.2): reduce the whole schedule — this is the branch
+  // Theorem 4.2's log_{k+1} n bound is proved about.
+  auto pruner = [&](const Forest& forest) {
+    return options.use_tm ? tm_optimal_bas(forest, k).selection
+                          : levelled_contraction(forest, k).selection;
+  };
+  const MachineSchedule laminar_all = laminarize(jobs, unbounded);
+  const ScheduleForest sf_all = build_schedule_forest(jobs, laminar_all);
+  MachineSchedule full_schedule =
+      rebuild_schedule(jobs, sf_all, pruner(sf_all.forest));
+  result.full_reduction_value = full_schedule.total_value(jobs);
+
+  // Line 5 of Alg. 3 (extended): keep the best branch.
+  if (result.full_reduction_value >= result.strict_value &&
+      result.full_reduction_value >= result.lax_value) {
+    result.schedule = std::move(full_schedule);
+    result.value = result.full_reduction_value;
+  } else if (result.strict_value >= result.lax_value) {
+    result.schedule = std::move(strict_schedule);
+    result.value = result.strict_value;
+  } else {
+    result.schedule = std::move(lax.schedule);
+    result.value = result.lax_value;
+  }
+  return result;
+}
+
+NonPreemptiveResult schedule_nonpreemptive(const JobSet& jobs,
+                                           std::span<const JobId> candidates) {
+  NonPreemptiveResult result;
+  if (candidates.empty()) return result;
+
+  // Branch (a): LSA_CS with k = 0 (en-bloc placement, length classes of
+  // ratio ≤ 2 — §5's adjustment of Alg. 2).
+  LsaResult cs = lsa_cs(jobs, candidates, /*k=*/0);
+  const Value cs_value = cs.schedule.total_value(jobs);
+
+  // Branch (b): the single most valuable job — a feasible non-preemptive
+  // schedule on its own, and the witness of the price ≤ n upper bound.
+  const JobId best_single = *std::max_element(
+      candidates.begin(), candidates.end(),
+      [&](JobId a, JobId b) { return jobs[a].value < jobs[b].value; });
+
+  if (cs_value >= jobs[best_single].value) {
+    result.schedule = std::move(cs.schedule);
+    result.value = cs_value;
+  } else {
+    const Job& j = jobs[best_single];
+    result.schedule.add_block(best_single, j.release, j.length);
+    result.value = j.value;
+  }
+  return result;
+}
+
+}  // namespace pobp

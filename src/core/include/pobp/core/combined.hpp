@@ -1,0 +1,67 @@
+// Algorithm 3 (§4.3.3): k-PreemptionCombined.
+//
+// Input: a job set J together with a feasible ∞-preemptive schedule of
+// (a subset of) J.  The jobs are split by relative laxity:
+//   * strict jobs (λ_j < k+1) go through the §4.1 reduction — laminarize,
+//     build the schedule forest, prune to an optimal k-BAS, rebuild —
+//     losing at most a log_{k+1} P factor (Lemma 4.6);
+//   * lax jobs (λ_j ≥ k+1) go through LSA_CS, losing at most 6·log_{k+1} P
+//     (Lemma 4.10).
+// The better of the two is returned, which costs at most another factor 2
+// and gives PoBP_k = O(log_{k+1} P) overall (Theorem 4.5); by Theorem 4.2
+// the same pipeline is also within log_{k+1} n of the input's value.
+#pragma once
+
+#include <cstddef>
+
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp {
+
+struct CombinedOptions {
+  std::size_t k = 1;  ///< preemption bound
+
+  /// Prune the schedule forest with the optimal TM dynamic program (default)
+  /// or with LevelledContraction (the algorithm the paper's upper-bound
+  /// proof analyses) — exposed so the benches can compare both.
+  bool use_tm = true;
+};
+
+struct CombinedResult {
+  MachineSchedule schedule;   ///< feasible k-preemptive schedule
+  Value value = 0;            ///< val(schedule)
+  Value strict_value = 0;     ///< value achieved by the strict-jobs reduction
+  Value lax_value = 0;        ///< value achieved by the LSA_CS branch
+  /// Value achieved by reducing the *whole* schedule (§4.2).  Not part of
+  /// the paper's Alg. 3, but it is what Theorem 4.2's log_{k+1} n bound is
+  /// proved about, so we run it as a third branch: the combined result then
+  /// provably satisfies both the n-bound and the P-bound.
+  Value full_reduction_value = 0;
+  std::size_t strict_jobs = 0;
+  std::size_t lax_jobs = 0;
+};
+
+/// Runs Algorithm 3 on one machine.  `unbounded` must validate against
+/// `jobs` with unlimited preemptions.  Requires k >= 1 (see
+/// schedule_nonpreemptive for k = 0).
+CombinedResult k_preemption_combined(const JobSet& jobs,
+                                     const MachineSchedule& unbounded,
+                                     const CombinedOptions& options);
+
+/// The §5 algorithm for k = 0: the better of (a) LSA_CS with en-bloc
+/// placement and factor-2 length classes and (b) the single job of maximum
+/// value (which is what makes the price ≤ n tight).  Achieves
+/// OPT∞ / O(min{n, log P}).
+struct NonPreemptiveResult {
+  MachineSchedule schedule;
+  Value value = 0;
+};
+NonPreemptiveResult schedule_nonpreemptive(const JobSet& jobs,
+                                           std::span<const JobId> candidates);
+
+/// Restriction of a machine schedule to the jobs in `keep` (a feasible
+/// schedule stays feasible under restriction).
+MachineSchedule restrict_schedule(const MachineSchedule& ms,
+                                  std::span<const JobId> keep);
+
+}  // namespace pobp

@@ -1,0 +1,89 @@
+// pobp — The Price of Bounded Preemption (Alon, Azar, Berlin; SPAA'18).
+//
+// Umbrella header: include this to get the whole public API.
+//
+// Quick start (see examples/quickstart.cpp):
+//
+//   pobp::JobSet jobs;
+//   jobs.add({.release = 0, .deadline = 10, .length = 4, .value = 5.0});
+//   ...
+//   auto result = pobp::schedule_bounded(jobs, {.k = 1});
+//   // result.schedule is a feasible schedule where no job is preempted
+//   // more than once, within O(log_{k+1} min{n, P}) of the unbounded
+//   // optimum's value.
+#pragma once
+
+#include "pobp/bas/contraction.hpp"
+#include "pobp/bas/tm.hpp"
+#include "pobp/core/combined.hpp"
+#include "pobp/flow/maxflow.hpp"
+#include "pobp/flow/migrative.hpp"
+#include "pobp/forest/bas.hpp"
+#include "pobp/forest/forest.hpp"
+#include "pobp/io/csv.hpp"
+#include "pobp/io/forest_csv.hpp"
+#include "pobp/lsa/lsa.hpp"
+#include "pobp/reduction/rebuild.hpp"
+#include "pobp/reduction/schedule_forest.hpp"
+#include "pobp/schedule/edf.hpp"
+#include "pobp/schedule/gantt.hpp"
+#include "pobp/schedule/interval_condition.hpp"
+#include "pobp/schedule/interval_cover.hpp"
+#include "pobp/schedule/job.hpp"
+#include "pobp/schedule/laminar.hpp"
+#include "pobp/schedule/metrics.hpp"
+#include "pobp/schedule/report.hpp"
+#include "pobp/schedule/schedule.hpp"
+#include "pobp/schedule/segment.hpp"
+#include "pobp/schedule/timeline.hpp"
+#include "pobp/schedule/validate.hpp"
+#include "pobp/solvers/solvers.hpp"
+
+namespace pobp {
+
+/// Options for the one-call entry point.
+struct ScheduleOptions {
+  std::size_t k = 1;             ///< preemption bound (0 = non-preemptive)
+  std::size_t machine_count = 1; ///< non-migrative identical machines
+
+  /// How the reference ∞-preemptive schedule is obtained before bounding:
+  enum class Seed {
+    kGreedyDensity,  ///< density-greedy + EDF check — fast, any n (default)
+    kExact,          ///< branch-and-bound OPT∞ — exponential, n ≲ 26
+  };
+  Seed seed = Seed::kGreedyDensity;
+
+  bool use_tm = true;  ///< see CombinedOptions::use_tm
+};
+
+struct ScheduleResult {
+  Schedule schedule;          ///< feasible k-preemptive schedule
+  Value value = 0;            ///< val(schedule)
+  Value unbounded_value = 0;  ///< value of the seed ∞-preemptive schedule
+  /// unbounded_value / value (1 when both are 0) — the empirically paid
+  /// price; the paper guarantees O(log_{k+1} min{n, P}).
+  double price() const {
+    return value > 0 ? unbounded_value / value : 1.0;
+  }
+};
+
+/// One-call pipeline: build an ∞-preemptive reference schedule, then bound
+/// its preemptions with Algorithm 3 (k ≥ 1) or the §5 non-preemptive
+/// algorithm (k = 0), per machine.
+ScheduleResult schedule_bounded(const JobSet& jobs,
+                                const ScheduleOptions& options = {});
+
+/// Multi-machine Algorithm 3: the strict branch reduces each machine of the
+/// given ∞-preemptive schedule separately (§4.1 remark); the lax branch
+/// runs the iterative multi-machine LSA_CS (§4.3.4).  Better branch wins.
+struct CombinedMultiResult {
+  Schedule schedule;
+  Value value = 0;
+  Value strict_value = 0;
+  Value lax_value = 0;
+};
+CombinedMultiResult k_preemption_combined_multi(const JobSet& jobs,
+                                                const Schedule& unbounded,
+                                                const CombinedOptions& options);
+
+}  // namespace pobp

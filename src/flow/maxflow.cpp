@@ -1,0 +1,75 @@
+#include "pobp/flow/maxflow.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+MaxFlow::MaxFlow(std::size_t nodes) : graph_(nodes) {}
+
+std::size_t MaxFlow::add_edge(std::size_t u, std::size_t v,
+                              Capacity capacity) {
+  POBP_ASSERT(u < graph_.size() && v < graph_.size());
+  POBP_ASSERT(capacity >= 0);
+  const std::size_t id = edge_ref_.size();
+  graph_[u].push_back({v, graph_[v].size(), capacity});
+  graph_[v].push_back({u, graph_[u].size() - 1, 0});
+  edge_ref_.emplace_back(u, graph_[u].size() - 1);
+  initial_capacity_.push_back(capacity);
+  return id;
+}
+
+bool MaxFlow::bfs(std::size_t s, std::size_t t) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::size_t> queue;
+  level_[s] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[v]) {
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+MaxFlow::Capacity MaxFlow::dfs(std::size_t v, std::size_t t, Capacity limit) {
+  if (v == t) return limit;
+  for (std::size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
+    Edge& e = graph_[v][i];
+    if (e.capacity <= 0 || level_[v] + 1 != level_[e.to]) continue;
+    const Capacity pushed = dfs(e.to, t, std::min(limit, e.capacity));
+    if (pushed > 0) {
+      e.capacity -= pushed;
+      graph_[e.to][e.rev].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+MaxFlow::Capacity MaxFlow::solve(std::size_t s, std::size_t t) {
+  POBP_ASSERT(s != t);
+  Capacity total = 0;
+  while (bfs(s, t)) {
+    iter_.assign(graph_.size(), 0);
+    while (const Capacity pushed =
+               dfs(s, t, std::numeric_limits<Capacity>::max())) {
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+MaxFlow::Capacity MaxFlow::flow_on(std::size_t id) const {
+  const auto [u, i] = edge_ref_.at(id);
+  return initial_capacity_[id] - graph_[u][i].capacity;
+}
+
+}  // namespace pobp

@@ -1,0 +1,110 @@
+#include "pobp/flow/migrative.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "pobp/flow/maxflow.hpp"
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+bool migrative_feasible(const JobSet& jobs, std::span<const JobId> subset,
+                        std::size_t machines) {
+  POBP_ASSERT(machines >= 1);
+  if (subset.empty()) return true;
+
+  // Elementary intervals between consecutive event times.
+  std::vector<Time> events;
+  events.reserve(subset.size() * 2);
+  Duration demand = 0;
+  for (const JobId id : subset) {
+    events.push_back(jobs[id].release);
+    events.push_back(jobs[id].deadline);
+    demand += jobs[id].length;
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  const std::size_t intervals = events.size() - 1;
+
+  // Nodes: 0 = source, 1..n = jobs, n+1..n+intervals = intervals, last = sink.
+  const std::size_t n = subset.size();
+  const std::size_t sink = 1 + n + intervals;
+  MaxFlow network(sink + 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Job& job = jobs[subset[j]];
+    network.add_edge(0, 1 + j, job.length);
+    for (std::size_t i = 0; i < intervals; ++i) {
+      const Time begin = events[i];
+      const Time end = events[i + 1];
+      if (job.release <= begin && end <= job.deadline) {
+        network.add_edge(1 + j, 1 + n + i,
+                         std::min<Duration>(job.length, end - begin));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < intervals; ++i) {
+    const Duration len = events[i + 1] - events[i];
+    network.add_edge(1 + n + i, sink,
+                     static_cast<MaxFlow::Capacity>(machines) * len);
+  }
+  return network.solve(0, sink) == demand;
+}
+
+namespace {
+
+struct Searcher {
+  const JobSet* jobs;
+  std::span<const JobId> order;
+  const std::vector<Value>* suffix;
+  std::size_t machines;
+  std::vector<JobId> current;
+  Value current_value = 0;
+  std::vector<JobId> best;
+  Value best_value = 0;
+
+  void dfs(std::size_t i) {
+    if (current_value + (*suffix)[i] <= best_value) return;
+    if (i == order.size()) {
+      best = current;
+      best_value = current_value;
+      return;
+    }
+    const JobId id = order[i];
+    current.push_back(id);
+    // Monotone feasibility: an infeasible include prunes all supersets.
+    if (migrative_feasible(*jobs, current, machines)) {
+      current_value += (*jobs)[id].value;
+      dfs(i + 1);
+      current_value -= (*jobs)[id].value;
+    }
+    current.pop_back();
+    dfs(i + 1);
+  }
+};
+
+}  // namespace
+
+SubsetSolution opt_infinity_migrative(const JobSet& jobs,
+                                      std::span<const JobId> candidates,
+                                      std::size_t machines) {
+  SubsetSolution solution;
+  if (candidates.empty()) return solution;
+
+  std::vector<JobId> order(candidates.begin(), candidates.end());
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    if (jobs[a].value != jobs[b].value) return jobs[a].value > jobs[b].value;
+    return a < b;
+  });
+  std::vector<Value> suffix(order.size() + 1, 0);
+  for (std::size_t i = order.size(); i-- > 0;) {
+    suffix[i] = suffix[i + 1] + jobs[order[i]].value;
+  }
+
+  Searcher searcher{&jobs, order, &suffix, machines, {}, 0, {}, 0};
+  searcher.dfs(0);
+  solution.members = std::move(searcher.best);
+  solution.value = searcher.best_value;
+  return solution;
+}
+
+}  // namespace pobp

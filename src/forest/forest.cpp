@@ -1,0 +1,23 @@
+#include "pobp/forest/forest.hpp"
+
+namespace pobp {
+
+std::vector<NodeId> Forest::subtree(NodeId v) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{v};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    out.push_back(u);
+    for (const NodeId c : children_[u]) stack.push_back(c);
+  }
+  return out;
+}
+
+Value Forest::subtree_value(NodeId v) const {
+  Value sum = 0;
+  for (const NodeId u : subtree(v)) sum += values_[u];
+  return sum;
+}
+
+}  // namespace pobp

@@ -1,0 +1,110 @@
+// Arena-based rooted forest with node values (Section 3 of the paper).
+//
+// Nodes are identified by dense indices into a single arena, children are
+// stored as index vectors, and traversals are iterative — the Appendix-A
+// lower-bound trees instantiated by the benchmarks reach millions of nodes,
+// so no recursion and no per-node allocation beyond the child vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pobp/schedule/time.hpp"
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = UINT32_MAX;
+
+class Forest {
+ public:
+  Forest() = default;
+
+  /// Adds a node with the given value under `parent` (kNoNode = new root).
+  /// The parent must already exist; ids are assigned in insertion order, so
+  /// parents always have smaller ids than their children.
+  NodeId add(Value value, NodeId parent = kNoNode) {
+    const NodeId id = static_cast<NodeId>(values_.size());
+    values_.push_back(value);
+    parents_.push_back(parent);
+    children_.emplace_back();
+    if (parent == kNoNode) {
+      roots_.push_back(id);
+    } else {
+      POBP_ASSERT_MSG(parent < id, "parent must be added before child");
+      children_[parent].push_back(id);
+    }
+    return id;
+  }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  Value value(NodeId v) const { return values_[v]; }
+  void set_value(NodeId v, Value val) { values_[v] = val; }
+  NodeId parent(NodeId v) const { return parents_[v]; }
+  std::span<const NodeId> children(NodeId v) const { return children_[v]; }
+  std::span<const NodeId> roots() const { return roots_; }
+
+  /// Degree of v = number of children (Def. in §3.1).
+  std::size_t degree(NodeId v) const { return children_[v].size(); }
+  bool is_leaf(NodeId v) const { return children_[v].empty(); }
+  bool is_root(NodeId v) const { return parents_[v] == kNoNode; }
+
+  /// True iff `ancestor` is a proper ancestor of `v`.
+  bool is_ancestor(NodeId ancestor, NodeId v) const {
+    for (NodeId u = parents_[v]; u != kNoNode; u = parents_[u]) {
+      if (u == ancestor) return true;
+    }
+    return false;
+  }
+
+  /// Depth of v (roots have depth 0).
+  std::size_t depth(NodeId v) const {
+    std::size_t d = 0;
+    for (NodeId u = parents_[v]; u != kNoNode; u = parents_[u]) ++d;
+    return d;
+  }
+
+  /// Σ val over all nodes.
+  Value total_value() const {
+    Value sum = 0;
+    for (const Value v : values_) sum += v;
+    return sum;
+  }
+
+  /// Nodes in an order where every child precedes its parent.  Because ids
+  /// are assigned parents-first, this is simply descending id order.
+  std::vector<NodeId> post_order() const {
+    std::vector<NodeId> order(size());
+    for (std::size_t i = 0; i < size(); ++i) {
+      order[i] = static_cast<NodeId>(size() - 1 - i);
+    }
+    return order;
+  }
+
+  /// Nodes of the subtree rooted at v (iterative DFS).
+  std::vector<NodeId> subtree(NodeId v) const;
+
+  /// Σ val over the subtree rooted at v.
+  Value subtree_value(NodeId v) const;
+
+  /// Number of leaves.
+  std::size_t leaf_count() const {
+    std::size_t count = 0;
+    for (NodeId v = 0; v < size(); ++v) {
+      if (is_leaf(v)) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<Value> values_;
+  std::vector<NodeId> parents_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<NodeId> roots_;
+};
+
+}  // namespace pobp

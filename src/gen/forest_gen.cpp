@@ -1,0 +1,60 @@
+#include "pobp/gen/forest_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+namespace {
+
+Value draw_value(ForestGenConfig::ValueDist dist, std::size_t depth,
+                 Rng& rng) {
+  switch (dist) {
+    case ForestGenConfig::ValueDist::kUniform:
+      return static_cast<Value>(rng.uniform_int(1, 100));
+    case ForestGenConfig::ValueDist::kHeavyTail: {
+      const double u = std::max(rng.uniform01(), 1e-6);
+      return std::min(std::floor(1.0 / u), 1e6);
+    }
+    case ForestGenConfig::ValueDist::kDepthDecay: {
+      const double base = static_cast<double>(rng.uniform_int(1, 100));
+      return std::max(1.0, base * std::pow(2.0, -static_cast<double>(depth)));
+    }
+  }
+  POBP_ASSERT(false);
+  return 1;
+}
+
+}  // namespace
+
+Forest random_forest(const ForestGenConfig& config, Rng& rng) {
+  POBP_ASSERT(config.nodes >= 1);
+  POBP_ASSERT(config.max_degree >= 1);
+  Forest forest;
+  std::vector<NodeId> open;  // nodes with spare child capacity
+  std::vector<std::size_t> depth;
+
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    NodeId parent = kNoNode;
+    std::size_t node_depth = 0;
+    if (i > 0 && !open.empty() && !rng.bernoulli(config.root_probability)) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(open.size()) - 1));
+      parent = open[pick];
+      node_depth = depth[parent] + 1;
+      if (forest.degree(parent) + 1 >= config.max_degree) {
+        // Parent is now full: swap-remove from the open list.
+        open[pick] = open.back();
+        open.pop_back();
+      }
+    }
+    const NodeId id =
+        forest.add(draw_value(config.value_dist, node_depth, rng), parent);
+    depth.push_back(node_depth);
+    open.push_back(id);
+  }
+  return forest;
+}
+
+}  // namespace pobp

@@ -1,0 +1,33 @@
+// Random forests for the k-BAS experiments (E2/E3 in DESIGN.md).
+#pragma once
+
+#include <cstddef>
+
+#include "pobp/forest/forest.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+
+struct ForestGenConfig {
+  std::size_t nodes = 1000;
+
+  /// Maximum children per node; attachment is uniform over nodes that still
+  /// have capacity, which yields bushy random recursive trees.
+  std::size_t max_degree = 8;
+
+  /// Probability that a new node starts a fresh root instead of attaching.
+  double root_probability = 0.01;
+
+  enum class ValueDist {
+    kUniform,     ///< val ~ U{1..100}
+    kHeavyTail,   ///< val ~ ⌊1/U(0,1)⌋ capped at 10^6 (a few huge nodes)
+    kDepthDecay,  ///< val ~ U{1..100} · 2^{-depth} (top-heavy, adversarial
+                  ///< for contraction which harvests bottom levels first)
+  };
+  ValueDist value_dist = ValueDist::kUniform;
+};
+
+/// Generates a random forest; deterministic given (config, rng state).
+Forest random_forest(const ForestGenConfig& config, Rng& rng);
+
+}  // namespace pobp

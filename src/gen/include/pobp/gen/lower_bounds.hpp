@@ -1,0 +1,87 @@
+// The paper's lower-bound constructions, integer-exact.
+//
+//  * Fig. 2  — the k = 0 geometric chain: n unit-value jobs with lengths
+//              2^i whose windows all force any non-preemptive placement to
+//              cover a common unit slot, while one preemption per job packs
+//              all of them.  Price: min{n, log P} (§5).
+//  * Fig. 3 / Appendix A — the k-BAS loss-factor lower bound: a complete
+//              K-ary tree with L+1 levels where level i holds K^i nodes of
+//              value K^{L−i} (the paper's K^{−i} scaled by K^L so every
+//              value is an integer).  With K = 2k the optimal k-BAS loses
+//              Ω(log_{k+1} n) (Theorem 3.20); Lemma A.2 gives the exact
+//              t/m values, which the tests assert verbatim.
+//  * Fig. 4 / Appendix B — the scheduling lower bound: L+1 levels of jobs,
+//              level l holding K^l jobs of length P·(3K²)^{−l} and laxity
+//              1 + 1/(3K−1), nested so that a single preemption of a parent
+//              accommodates at most one child (Lemma B.1).  All quantities
+//              are scaled by the base unit u = 3K−1 so that every release,
+//              deadline and p(l)/K offset is an integer.  OPT∞ takes
+//              everything (EDF witnesses this in the tests); OPT_k is
+//              < K/(K−k) per unit level value (Lemma B.2), giving
+//              PoBP = Ω(log_{k+1} P) = Ω(log_{k+1} n) with K = 2k.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pobp/forest/forest.hpp"
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp {
+
+// ---------------------------------------------------------------- Fig. 2 --
+
+struct K0GeometricInstance {
+  JobSet jobs;                ///< job i has p = 2^i, val = 1
+  MachineSchedule witness;    ///< feasible schedule of ALL jobs, ≤1 preemption each
+  double log2_P = 0;          ///< = n − 1
+};
+
+/// Builds the Fig. 2 chain with `n` jobs (n ≤ 62 to stay in int64).
+K0GeometricInstance k0_geometric_instance(std::size_t n);
+
+// --------------------------------------------------- Fig. 3 / Appendix A --
+
+struct BasLowerBoundTree {
+  Forest forest;        ///< complete K-ary tree, L+1 levels, values K^{L−i}
+  std::size_t k = 1;    ///< intended degree bound
+  std::int64_t K = 2;   ///< branching factor (paper: any K > k; Thm 3.20 uses 2k)
+  std::size_t L = 1;    ///< lowest level index (levels 0..L)
+
+  std::int64_t total_value = 0;        ///< (L+1)·K^L  (Obs. A.1, scaled)
+  std::vector<std::int64_t> expected_t;  ///< Lemma A.2 t per level, scaled
+  std::vector<std::int64_t> expected_m;  ///< Lemma A.2 m per level, scaled
+  std::int64_t opt_bas_value = 0;      ///< t(root) = expected_t[0]
+};
+
+/// Builds the Appendix-A tree.  Node ids are level by level, so level(i)
+/// spans ids [(K^i−1)/(K−1), (K^{i+1}−1)/(K−1)).
+BasLowerBoundTree bas_lower_bound_tree(std::size_t k, std::int64_t K,
+                                       std::size_t L);
+
+// --------------------------------------------------- Fig. 4 / Appendix B --
+
+struct PobpLowerBoundInstance {
+  JobSet jobs;          ///< level l: K^l jobs, value K^{L−l} (scaled)
+  std::size_t k = 1;
+  std::int64_t K = 2;
+  std::size_t L = 1;
+  std::int64_t unit = 1;        ///< base time unit u = 3K−1
+
+  Value total_value = 0;        ///< = OPT∞ (all jobs feasible together)
+  double opt_k_upper = 0;       ///< Lemma B.2: OPT_k < K/(K−k) · K^L (scaled)
+  double P = 0;                 ///< length ratio = (3K²)^L
+};
+
+/// Builds the Appendix-B instance.  Aborts (checked arithmetic) if the
+/// chosen (K, L) would overflow int64 ticks; use pobp_lower_bound_max_L to
+/// pick L.
+PobpLowerBoundInstance pobp_lower_bound_instance(std::size_t k, std::int64_t K,
+                                                 std::size_t L);
+
+/// Largest L such that the Appendix-B instance for (K, L) fits in int64
+/// ticks and its job count stays below `max_jobs`.
+std::size_t pobp_lower_bound_max_L(std::int64_t K, std::size_t max_jobs);
+
+}  // namespace pobp

@@ -1,0 +1,42 @@
+// Random job-set generators (the workloads behind E6/E7 in DESIGN.md).
+#pragma once
+
+#include <cstddef>
+
+#include "pobp/schedule/job.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+
+struct JobGenConfig {
+  std::size_t n = 20;
+
+  /// Lengths are log-uniform in [min_length, max_length] — the natural way
+  /// to sweep the paper's P = p_max / p_min axis.
+  Duration min_length = 1;
+  Duration max_length = 1 << 10;
+
+  /// Relative laxity λ ~ U[min_laxity, max_laxity]; the window is
+  /// ⌈λ·p⌉.  Set min_laxity ≥ k+1 to generate the "lax" population of
+  /// §4.3.2, or max_laxity < k+1 for the "strict" one.
+  double min_laxity = 1.0;
+  double max_laxity = 8.0;
+
+  /// Releases are uniform in [0, horizon − window].
+  Time horizon = 1 << 16;
+
+  enum class ValueMode {
+    kUniform,       ///< val ~ U{1..100} — value uncorrelated with length
+    kProportional,  ///< val = p · U{1..4} — near-uniform density
+    kRandomDensity, ///< val = p · 2^{U(-4,4)} — wide density spread
+  };
+  ValueMode value_mode = ValueMode::kUniform;
+};
+
+JobSet random_jobs(const JobGenConfig& config, Rng& rng);
+
+/// `copies` disjoint copies of an instance (the paper's "multiplying the
+/// setting along a third axis" for multi-machine lower bounds).
+JobSet replicate(const JobSet& jobs, std::size_t copies);
+
+}  // namespace pobp

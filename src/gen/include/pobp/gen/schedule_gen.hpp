@@ -1,0 +1,52 @@
+// Random feasible ∞-preemptive schedules (the workload for E5).
+//
+// The generator builds a random *laminar* schedule directly — recursively
+// nesting child jobs between segments of their parent — and derives each
+// job's ⟨r, d, p, val⟩ from its layout.  Every generated job is scheduled,
+// so OPT∞ equals the total value *by construction*, which is exactly the
+// reference the §4.2 reduction experiments need at sizes where exact
+// solvers are hopeless.
+#pragma once
+
+#include <cstddef>
+
+#include "pobp/schedule/schedule.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+
+struct LaminarGenConfig {
+  /// Approximate number of jobs (the recursion stops adding children once
+  /// the budget is spent; the result can be slightly smaller).
+  std::size_t target_jobs = 200;
+
+  /// Maximum forest degree (children of one job).
+  std::size_t max_children = 4;
+
+  /// Maximum nesting depth.
+  std::size_t max_depth = 12;
+
+  /// Probability that an eligible job receives children at all.
+  double branch_probability = 0.9;
+
+  /// Window slack: each job's window is its span extended by
+  /// U[0, slack_factor]·span on both sides (0 = tight windows, λ = span/p).
+  double slack_factor = 0.0;
+
+  enum class ValueDist {
+    kUniform,     ///< val ~ U{1..100}
+    kDepthDecay,  ///< top-heavy: outer jobs worth more
+    kDepthGrow,   ///< bottom-heavy: inner jobs worth more
+  };
+  ValueDist value_dist = ValueDist::kUniform;
+};
+
+struct LaminarInstance {
+  JobSet jobs;
+  MachineSchedule schedule;  ///< feasible, laminar, all jobs scheduled
+};
+
+LaminarInstance random_laminar_instance(const LaminarGenConfig& config,
+                                        Rng& rng);
+
+}  // namespace pobp

@@ -1,0 +1,187 @@
+#include "pobp/gen/lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "pobp/util/assert.hpp"
+#include "pobp/util/checked.hpp"
+
+namespace pobp {
+
+// ---------------------------------------------------------------- Fig. 2 --
+
+K0GeometricInstance k0_geometric_instance(std::size_t n) {
+  POBP_ASSERT(n >= 1 && n <= 62);
+  K0GeometricInstance out;
+  out.log2_P = static_cast<double>(n - 1);
+
+  // Unshifted layout: job i has p = 2^i, window [−(2^i−1), 2^i]; any
+  // non-preemptive placement must cover [0, 1), so at most one job fits,
+  // while the two-segment witness below packs all of them.  Shift by
+  // 2^{n−1}−1 to keep times non-negative.
+  const Time shift = (Time{1} << (n - 1)) - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Duration p = Duration{1} << i;
+    Job job;
+    job.release = shift - (p - 1);
+    job.deadline = shift + p;
+    job.length = p;
+    job.value = 1.0;
+    const JobId id = out.jobs.add(job);
+
+    Assignment a;
+    a.job = id;
+    if (i == 0) {
+      a.segments = {{shift, shift + 1}};
+    } else {
+      const Duration half = p / 2;
+      // Left of all shorter jobs, and right of them: one preemption.
+      a.segments = {{shift - (p - 1), shift - (half - 1)},
+                    {shift + half, shift + p}};
+    }
+    out.witness.add(std::move(a));
+  }
+  return out;
+}
+
+// --------------------------------------------------- Fig. 3 / Appendix A --
+
+BasLowerBoundTree bas_lower_bound_tree(std::size_t k, std::int64_t K,
+                                       std::size_t L) {
+  POBP_ASSERT(k >= 1);
+  POBP_ASSERT_MSG(K > static_cast<std::int64_t>(k), "the construction needs K > k");
+  BasLowerBoundTree out;
+  out.k = k;
+  out.K = K;
+  out.L = L;
+
+  // Level i holds K^i nodes of value K^{L−i} (paper's K^{−i} × K^L).
+  std::vector<std::int64_t> level_value(L + 1);
+  for (std::size_t i = 0; i <= L; ++i) {
+    level_value[i] = checked_pow(K, static_cast<int>(L - i));
+  }
+  out.total_value = checked_mul(static_cast<std::int64_t>(L + 1),
+                                checked_pow(K, static_cast<int>(L)));
+
+  // Build level by level; node ids end up level-contiguous.
+  std::vector<NodeId> frontier;
+  frontier.push_back(
+      out.forest.add(static_cast<Value>(level_value[0]), kNoNode));
+  for (std::size_t i = 1; i <= L; ++i) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(K));
+    for (const NodeId parent : frontier) {
+      for (std::int64_t c = 0; c < K; ++c) {
+        next.push_back(
+            out.forest.add(static_cast<Value>(level_value[i]), parent));
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Lemma A.2 (scaled by K^L):
+  //   t(level i) = Σ_{j=0}^{L−i}   k^j · K^{L−i−j}
+  //   m(level i) = Σ_{j=0}^{L−i−1} k^j · K^{L−i−j}
+  out.expected_t.resize(L + 1);
+  out.expected_m.resize(L + 1);
+  for (std::size_t i = 0; i <= L; ++i) {
+    std::int64_t t = 0;
+    std::int64_t m = 0;
+    for (std::size_t j = 0; j + i <= L; ++j) {
+      const std::int64_t term =
+          checked_mul(checked_pow(static_cast<std::int64_t>(k),
+                                  static_cast<int>(j)),
+                      checked_pow(K, static_cast<int>(L - i - j)));
+      t = checked_add(t, term);
+      if (j + i < L) m = checked_add(m, term);
+    }
+    out.expected_t[i] = t;
+    out.expected_m[i] = m;
+  }
+  out.opt_bas_value = out.expected_t[0];  // t(root) > m(root), Lemma A.2
+  return out;
+}
+
+// --------------------------------------------------- Fig. 4 / Appendix B --
+
+PobpLowerBoundInstance pobp_lower_bound_instance(std::size_t k, std::int64_t K,
+                                                 std::size_t L) {
+  POBP_ASSERT(k >= 1);
+  POBP_ASSERT_MSG(K > static_cast<std::int64_t>(k), "the construction needs K > k");
+  PobpLowerBoundInstance out;
+  out.k = k;
+  out.K = K;
+  out.L = L;
+
+  const std::int64_t geo = checked_mul(3, checked_mul(K, K));  // 3K²
+  const std::int64_t unit = checked_sub(checked_mul(3, K), 1);  // u = 3K−1
+  out.unit = unit;
+  out.P = static_cast<double>(checked_pow(geo, static_cast<int>(L)));
+
+  // p(l) = (3K²)^{L−l} · u;   window w(l) = p(l) + p(l)/(3K−1)
+  //                                       = p(l) + (3K²)^{L−l}.
+  std::vector<std::int64_t> p(L + 1), w(L + 1), value(L + 1);
+  for (std::size_t l = 0; l <= L; ++l) {
+    const std::int64_t pure = checked_pow(geo, static_cast<int>(L - l));
+    p[l] = checked_mul(pure, unit);
+    w[l] = checked_add(p[l], pure);
+    value[l] = checked_pow(K, static_cast<int>(L - l));
+  }
+
+  // Releases via the Appendix-B recursion, level by level.
+  // r(l+1, m') = r(l, m) + (m' − mK + 1)·p(l)/K − p(l+1),  m' ∈ [mK, (m+1)K).
+  std::vector<std::vector<std::int64_t>> releases(L + 1);
+  releases[0] = {0};
+  for (std::size_t l = 0; l < L; ++l) {
+    const std::int64_t step = exact_div(p[l], K);
+    const std::size_t count = releases[l].size();
+    releases[l + 1].resize(count * static_cast<std::size_t>(K));
+    for (std::size_t m = 0; m < count; ++m) {
+      for (std::int64_t j = 0; j < K; ++j) {
+        releases[l + 1][m * static_cast<std::size_t>(K) +
+                        static_cast<std::size_t>(j)] =
+            checked_sub(checked_add(releases[l][m],
+                                    checked_mul(j + 1, step)),
+                        p[l + 1]);
+      }
+    }
+  }
+
+  for (std::size_t l = 0; l <= L; ++l) {
+    for (const std::int64_t r : releases[l]) {
+      POBP_ASSERT_MSG(r >= 0, "Appendix-B releases must be non-negative");
+      out.jobs.add(Job{r, checked_add(r, w[l]), p[l],
+                       static_cast<Value>(value[l])});
+    }
+  }
+  out.total_value = out.jobs.total_value();
+  out.opt_k_upper = static_cast<double>(checked_pow(K, static_cast<int>(L))) *
+                    static_cast<double>(K) /
+                    static_cast<double>(K - static_cast<std::int64_t>(k));
+  return out;
+}
+
+std::size_t pobp_lower_bound_max_L(std::int64_t K, std::size_t max_jobs) {
+  const std::int64_t geo = 3 * K * K;
+  const std::int64_t unit = 3 * K - 1;
+  std::size_t L = 0;
+  std::size_t jobs = 1;  // level 0
+  for (;;) {
+    const std::size_t next_L = L + 1;
+    // Time guard: p(0) = geo^L · u with ×8 headroom for release arithmetic.
+    if (!pow_fits_int64(geo, static_cast<int>(next_L) + 1)) break;
+    std::int64_t p0 = 1;
+    for (std::size_t i = 0; i < next_L; ++i) p0 *= geo;
+    if (p0 > INT64_MAX / (unit * 8)) break;
+    // Size guard: n = Σ K^l.
+    std::size_t next_jobs = jobs;
+    std::int64_t level_count = 1;
+    for (std::size_t i = 0; i < next_L; ++i) level_count *= K;
+    next_jobs += static_cast<std::size_t>(level_count);
+    if (next_jobs > max_jobs) break;
+    L = next_L;
+    jobs = next_jobs;
+  }
+  return L;
+}
+
+}  // namespace pobp

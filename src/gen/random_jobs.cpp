@@ -1,0 +1,62 @@
+#include "pobp/gen/random_jobs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+JobSet random_jobs(const JobGenConfig& config, Rng& rng) {
+  POBP_ASSERT(config.min_length >= 1);
+  POBP_ASSERT(config.max_length >= config.min_length);
+  POBP_ASSERT(config.min_laxity >= 1.0);
+  POBP_ASSERT(config.max_laxity >= config.min_laxity);
+
+  JobSet jobs;
+  const double log_min = std::log(static_cast<double>(config.min_length));
+  const double log_max = std::log(static_cast<double>(config.max_length));
+
+  for (std::size_t i = 0; i < config.n; ++i) {
+    Job job;
+    job.length = std::clamp<Duration>(
+        static_cast<Duration>(
+            std::llround(std::exp(rng.uniform_real(log_min, log_max)))),
+        config.min_length, config.max_length);
+
+    const double laxity = rng.uniform_real(config.min_laxity, config.max_laxity);
+    const Duration window = std::max<Duration>(
+        job.length,
+        static_cast<Duration>(std::ceil(laxity * static_cast<double>(job.length))));
+    POBP_ASSERT_MSG(window <= config.horizon,
+                    "horizon too small for the laxity/length ranges");
+    job.release = rng.uniform_int(0, config.horizon - window);
+    job.deadline = job.release + window;
+
+    switch (config.value_mode) {
+      case JobGenConfig::ValueMode::kUniform:
+        job.value = static_cast<Value>(rng.uniform_int(1, 100));
+        break;
+      case JobGenConfig::ValueMode::kProportional:
+        job.value = static_cast<Value>(job.length) *
+                    static_cast<Value>(rng.uniform_int(1, 4));
+        break;
+      case JobGenConfig::ValueMode::kRandomDensity:
+        job.value = static_cast<Value>(job.length) *
+                    std::exp2(rng.uniform_real(-4.0, 4.0));
+        break;
+    }
+    jobs.add(job);
+  }
+  return jobs;
+}
+
+JobSet replicate(const JobSet& jobs, std::size_t copies) {
+  JobSet out;
+  for (std::size_t c = 0; c < copies; ++c) {
+    for (const Job& j : jobs) out.add(j);
+  }
+  return out;
+}
+
+}  // namespace pobp

@@ -1,0 +1,162 @@
+#include "pobp/gen/schedule_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+namespace {
+
+struct RawJob {
+  Time release;
+  Time deadline;
+  Duration length;
+  Value value;
+  std::vector<Segment> segments;
+};
+
+class Generator {
+ public:
+  Generator(const LaminarGenConfig& config, Rng& rng)
+      : config_(config),
+        rng_(rng),
+        budget_(static_cast<std::int64_t>(config.target_jobs)) {}
+
+  LaminarInstance run() {
+    POBP_ASSERT(config_.target_jobs >= 1);
+    POBP_ASSERT(config_.max_children >= 1);
+    Time cursor = 0;
+    while (budget_ > 0) {
+      cursor += rng_.uniform_int(0, 8);  // idle gap between root spans
+      const Duration span =
+          rng_.uniform_int(1, static_cast<Duration>(3 * budget_));
+      make_job(cursor, cursor + span, 0);
+      cursor += span;
+    }
+    return finalize();
+  }
+
+ private:
+  /// Creates one job whose subtree fully occupies [b, e); returns nothing —
+  /// the job and its descendants are appended to raw_.
+  void make_job(Time b, Time e, std::size_t depth) {
+    POBP_ASSERT(b < e);
+    // The budget may go (slightly) negative: once a subtree overdraws it,
+    // sibling regions still have to be filled — they just become leaves.
+    --budget_;
+    const Duration span = e - b;
+
+    // How many children?  Each child needs its own ≥1-tick region plus a
+    // surrounding ≥1-tick piece of our own work, so span must cover 2c+1.
+    std::size_t c = 0;
+    if (depth + 1 < config_.max_depth && budget_ > 0 && span >= 3 &&
+        rng_.bernoulli(config_.branch_probability)) {
+      const std::size_t cap =
+          std::min({config_.max_children,
+                    static_cast<std::size_t>((span - 1) / 2),
+                    static_cast<std::size_t>(budget_)});
+      if (cap >= 1) {
+        c = static_cast<std::size_t>(
+            rng_.uniform_int(1, static_cast<std::int64_t>(cap)));
+      }
+    }
+
+    // Partition [b, e) into 2c+1 non-empty pieces: own, child, own, child,
+    // ..., own.  Draw 2c distinct interior cut points.
+    std::vector<Time> cuts;
+    cuts.reserve(2 * c + 2);
+    cuts.push_back(b);
+    if (c > 0) {
+      // Sample 2c distinct offsets in (b, e) via a partial Fisher–Yates on
+      // the fly (span can be large, so sample-and-retry on collisions).
+      std::vector<Time> interior;
+      while (interior.size() < 2 * c) {
+        const Time cut = rng_.uniform_int(b + 1, e - 1);
+        if (std::find(interior.begin(), interior.end(), cut) ==
+            interior.end()) {
+          interior.push_back(cut);
+        }
+      }
+      std::sort(interior.begin(), interior.end());
+      cuts.insert(cuts.end(), interior.begin(), interior.end());
+    }
+    cuts.push_back(e);
+
+    RawJob job;
+    job.value = draw_value(depth);
+    for (std::size_t piece = 0; piece + 1 < cuts.size(); ++piece) {
+      if (piece % 2 == 0) {
+        job.segments.push_back({cuts[piece], cuts[piece + 1]});
+      }
+    }
+    job.length = total_length(job.segments);
+
+    // Window: the span, optionally extended by slack on both sides.
+    Time r = b;
+    Time d = e;
+    if (config_.slack_factor > 0) {
+      const double span_d = static_cast<double>(span);
+      r -= static_cast<Time>(std::floor(
+          rng_.uniform_real(0, config_.slack_factor) * span_d));
+      d += static_cast<Time>(std::floor(
+          rng_.uniform_real(0, config_.slack_factor) * span_d));
+    }
+    job.release = r;
+    job.deadline = d;
+    raw_.push_back(std::move(job));
+
+    // Children fill the odd pieces; each child's subtree fully occupies its
+    // region, preserving span-compactness.
+    for (std::size_t piece = 1; piece + 1 < cuts.size(); piece += 2) {
+      make_job(cuts[piece], cuts[piece + 1], depth + 1);
+    }
+  }
+
+  Value draw_value(std::size_t depth) {
+    const double base = static_cast<double>(rng_.uniform_int(1, 100));
+    switch (config_.value_dist) {
+      case LaminarGenConfig::ValueDist::kUniform:
+        return base;
+      case LaminarGenConfig::ValueDist::kDepthDecay:
+        return std::max(1.0, base * std::pow(2.0, -static_cast<double>(depth)));
+      case LaminarGenConfig::ValueDist::kDepthGrow:
+        return base * std::pow(2.0, static_cast<double>(depth));
+    }
+    POBP_ASSERT(false);
+    return 1;
+  }
+
+  LaminarInstance finalize() {
+    // Slack may have pushed releases negative; shift the whole instance.
+    Time min_release = 0;
+    for (const RawJob& j : raw_) min_release = std::min(min_release, j.release);
+    const Time shift = -min_release;
+
+    LaminarInstance out;
+    for (RawJob& j : raw_) {
+      Assignment a;
+      a.job = out.jobs.add(Job{j.release + shift, j.deadline + shift,
+                               j.length, j.value});
+      for (Segment& s : j.segments) {
+        a.segments.push_back({s.begin + shift, s.end + shift});
+      }
+      out.schedule.add(std::move(a));
+    }
+    return out;
+  }
+
+  const LaminarGenConfig& config_;
+  Rng& rng_;
+  std::int64_t budget_;
+  std::vector<RawJob> raw_;
+};
+
+}  // namespace
+
+LaminarInstance random_laminar_instance(const LaminarGenConfig& config,
+                                        Rng& rng) {
+  return Generator(config, rng).run();
+}
+
+}  // namespace pobp

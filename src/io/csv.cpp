@@ -1,0 +1,198 @@
+#include "pobp/io/csv.hpp"
+
+#include <charconv>
+#include <map>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp::io {
+namespace {
+
+/// Splits one CSV line on commas (no quoting — the formats are numeric).
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+std::int64_t parse_int(const std::string& cell, std::size_t line) {
+  std::int64_t value = 0;
+  const char* first = cell.data();
+  const char* last = cell.data() + cell.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) {
+    throw ParseError(line, "expected integer, got '" + cell + "'");
+  }
+  return value;
+}
+
+double parse_double(const std::string& cell, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(cell, &used);
+    if (used != cell.size()) throw std::invalid_argument(cell);
+    return value;
+  } catch (const std::exception&) {
+    throw ParseError(line, "expected number, got '" + cell + "'");
+  }
+}
+
+/// Iterates data lines (skipping comments/blank), checking the header.
+template <typename RowFn>
+void for_each_row(const std::string& text, const std::string& header,
+                  std::size_t expected_cells, RowFn&& fn) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_seen) {
+      if (line != header) {
+        throw ParseError(line_no, "expected header '" + header + "'");
+      }
+      header_seen = true;
+      continue;
+    }
+    const auto cells = split(line);
+    if (cells.size() != expected_cells) {
+      throw ParseError(line_no, "expected " + std::to_string(expected_cells) +
+                                    " cells, got " +
+                                    std::to_string(cells.size()));
+    }
+    fn(cells, line_no);
+  }
+  if (!header_seen) throw ParseError(line_no, "missing header row");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << text;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace
+
+std::string jobs_to_csv(const JobSet& jobs) {
+  std::ostringstream os;
+  os << "# pobp jobs v1\n";
+  os << "release,deadline,length,value\n";
+  os.precision(17);
+  for (const Job& j : jobs) {
+    os << j.release << ',' << j.deadline << ',' << j.length << ',' << j.value
+       << '\n';
+  }
+  return os.str();
+}
+
+JobSet jobs_from_csv(const std::string& text) {
+  JobSet jobs;
+  for_each_row(text, "release,deadline,length,value", 4,
+               [&](const std::vector<std::string>& cells, std::size_t line) {
+                 Job job;
+                 job.release = parse_int(cells[0], line);
+                 job.deadline = parse_int(cells[1], line);
+                 job.length = parse_int(cells[2], line);
+                 job.value = parse_double(cells[3], line);
+                 if (!job.well_formed()) {
+                   throw ParseError(line, "malformed job (need p ≥ 1, "
+                                          "val > 0, window ≥ p)");
+                 }
+                 jobs.add(job);
+               });
+  return jobs;
+}
+
+std::string schedule_to_csv(const Schedule& schedule) {
+  std::ostringstream os;
+  os << "# pobp schedule v1\n";
+  os << "machine,job,begin,end\n";
+  for (std::size_t m = 0; m < schedule.machine_count(); ++m) {
+    for (const Assignment& a : schedule.machine(m).assignments()) {
+      for (const Segment& s : a.segments) {
+        os << m << ',' << a.job << ',' << s.begin << ',' << s.end << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+Schedule schedule_from_csv(const std::string& text) {
+  struct Row {
+    std::size_t machine;
+    JobId job;
+    Segment segment;
+  };
+  std::vector<Row> rows;
+  std::size_t machines = 1;
+  for_each_row(text, "machine,job,begin,end", 4,
+               [&](const std::vector<std::string>& cells, std::size_t line) {
+                 Row row;
+                 const std::int64_t m = parse_int(cells[0], line);
+                 const std::int64_t j = parse_int(cells[1], line);
+                 if (m < 0 || j < 0) {
+                   throw ParseError(line, "negative machine or job id");
+                 }
+                 row.machine = static_cast<std::size_t>(m);
+                 row.job = static_cast<JobId>(j);
+                 row.segment.begin = parse_int(cells[2], line);
+                 row.segment.end = parse_int(cells[3], line);
+                 if (row.segment.empty()) {
+                   throw ParseError(line, "empty segment");
+                 }
+                 machines = std::max(machines, row.machine + 1);
+                 rows.push_back(row);
+               });
+
+  // Group rows per (machine, job); MachineSchedule::add normalizes order.
+  Schedule schedule(machines);
+  std::map<std::pair<std::size_t, JobId>, std::vector<Segment>> grouped;
+  for (const Row& row : rows) {
+    grouped[{row.machine, row.job}].push_back(row.segment);
+  }
+  for (auto& [key, segments] : grouped) {
+    schedule.machine(key.first).add(Assignment{key.second,
+                                               std::move(segments)});
+  }
+  return schedule;
+}
+
+void save_jobs(const std::string& path, const JobSet& jobs) {
+  write_file(path, jobs_to_csv(jobs));
+}
+
+JobSet load_jobs(const std::string& path) {
+  return jobs_from_csv(read_file(path));
+}
+
+void save_schedule(const std::string& path, const Schedule& schedule) {
+  write_file(path, schedule_to_csv(schedule));
+}
+
+Schedule load_schedule(const std::string& path) {
+  return schedule_from_csv(read_file(path));
+}
+
+}  // namespace pobp::io

@@ -1,0 +1,89 @@
+#include "pobp/io/forest_csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace pobp::io {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << text;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace
+
+std::string forest_to_csv(const Forest& forest) {
+  std::ostringstream os;
+  os << "# pobp forest v1\n";
+  os << "parent,value\n";
+  os.precision(17);
+  for (NodeId v = 0; v < forest.size(); ++v) {
+    const NodeId p = forest.parent(v);
+    os << (p == kNoNode ? -1 : static_cast<std::int64_t>(p)) << ','
+       << forest.value(v) << '\n';
+  }
+  return os.str();
+}
+
+Forest forest_from_csv(const std::string& text) {
+  Forest forest;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_seen) {
+      if (line != "parent,value") {
+        throw ParseError(line_no, "expected header 'parent,value'");
+      }
+      header_seen = true;
+      continue;
+    }
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw ParseError(line_no, "expected 'parent,value'");
+    }
+    std::int64_t parent = 0;
+    double value = 0;
+    try {
+      parent = std::stoll(line.substr(0, comma));
+      value = std::stod(line.substr(comma + 1));
+    } catch (const std::exception&) {
+      throw ParseError(line_no, "bad number in '" + line + "'");
+    }
+    if (value <= 0) throw ParseError(line_no, "node value must be positive");
+    if (parent < -1 ||
+        (parent >= 0 &&
+         static_cast<std::size_t>(parent) >= forest.size())) {
+      throw ParseError(line_no, "parent must precede child (or be -1)");
+    }
+    forest.add(value,
+               parent < 0 ? kNoNode : static_cast<NodeId>(parent));
+  }
+  if (!header_seen) throw ParseError(line_no, "missing header row");
+  return forest;
+}
+
+void save_forest(const std::string& path, const Forest& forest) {
+  write_file(path, forest_to_csv(forest));
+}
+
+Forest load_forest(const std::string& path) {
+  return forest_from_csv(read_file(path));
+}
+
+}  // namespace pobp::io

@@ -1,0 +1,52 @@
+// CSV (de)serialization of instances and schedules.
+//
+// Plain, dependency-free formats so workloads and results can round-trip
+// through files, the CLI, spreadsheets and other tools:
+//
+//   jobs.csv                     schedule.csv
+//   release,deadline,length,value    machine,job,begin,end
+//   0,10,4,5.0                       0,2,0,5
+//   ...                              ...
+//
+// Lines starting with '#' are comments; the header row is required.
+// Parsing failures throw ParseError with a 1-based line number.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp::io {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+// --- string forms ---------------------------------------------------------
+
+std::string jobs_to_csv(const JobSet& jobs);
+JobSet jobs_from_csv(const std::string& text);
+
+std::string schedule_to_csv(const Schedule& schedule);
+/// `machine_count` of the result is 1 + the largest machine index present
+/// (at least 1).
+Schedule schedule_from_csv(const std::string& text);
+
+// --- file forms ------------------------------------------------------------
+
+void save_jobs(const std::string& path, const JobSet& jobs);
+JobSet load_jobs(const std::string& path);  // throws on IO/parse failure
+
+void save_schedule(const std::string& path, const Schedule& schedule);
+Schedule load_schedule(const std::string& path);
+
+}  // namespace pobp::io

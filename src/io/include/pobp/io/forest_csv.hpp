@@ -1,0 +1,26 @@
+// CSV (de)serialization of value forests (the k-BAS input type).
+//
+//   forest.csv
+//   parent,value
+//   -1,10        <- node 0: a root
+//   0,4          <- node 1: child of node 0
+//   0,7          <- node 2
+//
+// Node ids are implicit row indices; every parent must appear before its
+// children (the arena's natural order).  '#' comments allowed.
+#pragma once
+
+#include <string>
+
+#include "pobp/forest/forest.hpp"
+#include "pobp/io/csv.hpp"
+
+namespace pobp::io {
+
+std::string forest_to_csv(const Forest& forest);
+Forest forest_from_csv(const std::string& text);
+
+void save_forest(const std::string& path, const Forest& forest);
+Forest load_forest(const std::string& path);
+
+}  // namespace pobp::io

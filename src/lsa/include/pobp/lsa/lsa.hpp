@@ -1,0 +1,77 @@
+// The Leftmost Schedule Algorithm and its classify-and-select wrapper
+// (Algorithm 2, §4.3.2), plus the k = 0 variant (§5) and the iterative
+// multi-machine extension (§4.3.4).
+//
+// LSA processes jobs in descending density order.  For each job it keeps a
+// working set S of at most k+1 idle segments inside [r_j, d_j): starting
+// from the k+1 leftmost, while the job does not fit it swaps the shortest
+// member of S for the next idle segment to the right; the job is scheduled
+// leftmost into S when it fits and discarded when the window's idle
+// segments are exhausted.  A job scheduled into ≤ k+1 segments is preempted
+// ≤ k times.
+//
+// LSA alone guarantees a constant fraction only when the instance's length
+// ratio is bounded; LSA_CS therefore classifies jobs into length classes
+// with ratio ≤ k+1 (≤ 2 when k = 0), runs LSA per class on an empty
+// machine, and returns the best class — losing the log_{k+1} P
+// (resp. log₂ P) classification factor.  On lax jobs (λ_j ≥ k+1) this
+// yields val ≥ OPT∞ / (6·log_{k+1} P)   (Lemma 4.10); for k = 0 it yields
+// val ≥ OPT∞ / (3·log₂ P)               (§5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp {
+
+struct LsaResult {
+  MachineSchedule schedule;
+  std::vector<JobId> scheduled;  ///< J_in, in the order LSA accepted them
+  std::vector<JobId> rejected;   ///< J_out
+};
+
+/// Greedy consideration order inside LSA.  The paper runs LSA "with the
+/// difference that the jobs are sorted by their density rather than by
+/// value" (§4.3.2) — kValue is the original Albagli-Kim et al. [1] order,
+/// kept for the ablation benches.
+enum class LsaOrder {
+  kDensity,  ///< descending val(j)/p_j — the paper's choice
+  kValue,    ///< descending val(j) — Albagli-Kim's original
+};
+
+/// Plain LSA over `candidates` on one (initially empty) machine.
+/// k is the preemption bound (k = 0 means en-bloc / non-preemptive).
+LsaResult lsa(const JobSet& jobs, std::span<const JobId> candidates,
+              std::size_t k, LsaOrder order = LsaOrder::kDensity);
+
+/// What classify-and-select groups by.  The paper's Alg. 2 classifies by
+/// length (ratio ≤ k+1 per class ⇒ price O(log_{k+1} P)); §1.4 notes that
+/// classifying the same machinery by value or density extends
+/// Albagli-Kim's O(1) results to O(log ρ) and O(log σ) respectively
+/// (ratio-2 classes: near-unit value / density within each class).
+enum class ClassifyBy {
+  kLength,   ///< base max(k+1, 2) length classes — Alg. 2 / §5
+  kValue,    ///< factor-2 value classes — price O(log ρ)
+  kDensity,  ///< factor-2 density classes — price O(log σ)
+};
+
+/// Classify-and-select wrapper: partition `candidates` into ratio-bounded
+/// classes, run LSA per class on an empty machine, return the best class.
+LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
+                 std::size_t k, ClassifyBy by = ClassifyBy::kLength,
+                 LsaOrder order = LsaOrder::kDensity);
+
+/// Iterative multi-machine extension: machine i runs LSA_CS on the jobs the
+/// first i−1 machines rejected (the residual technique of [2], which costs
+/// at most +1 in the price).
+Schedule lsa_cs_multi(const JobSet& jobs, std::span<const JobId> candidates,
+                      std::size_t k, std::size_t machine_count);
+
+/// The length-class index of a job for class base `base` (≥ 2): the unique
+/// c ≥ 0 with base^c ≤ p_j < base^(c+1).
+std::size_t length_class(Duration length, std::size_t base);
+
+}  // namespace pobp

@@ -1,0 +1,179 @@
+#include "pobp/lsa/lsa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "pobp/schedule/timeline.hpp"
+#include "pobp/util/assert.hpp"
+#include "pobp/util/checked.hpp"
+
+namespace pobp {
+namespace {
+
+/// Candidates in the configured greedy order (ties by id, deterministic).
+std::vector<JobId> consideration_order(const JobSet& jobs,
+                                       std::span<const JobId> candidates,
+                                       LsaOrder order) {
+  std::vector<JobId> out(candidates.begin(), candidates.end());
+  if (order == LsaOrder::kDensity) {
+    std::sort(out.begin(), out.end(), [&](JobId a, JobId b) {
+      // Compare val_a/p_a vs val_b/p_b exactly via cross-multiplication.
+      const double lhs = jobs[a].value * static_cast<double>(jobs[b].length);
+      const double rhs = jobs[b].value * static_cast<double>(jobs[a].length);
+      if (lhs != rhs) return lhs > rhs;
+      return a < b;
+    });
+  } else {
+    std::sort(out.begin(), out.end(), [&](JobId a, JobId b) {
+      if (jobs[a].value != jobs[b].value) return jobs[a].value > jobs[b].value;
+      return a < b;
+    });
+  }
+  return out;
+}
+
+/// Factor-2 class index of a positive double (value / density classes).
+std::size_t ratio2_class(double x) {
+  POBP_ASSERT(x > 0);
+  return static_cast<std::size_t>(
+      std::max(0, std::ilogb(x) - std::ilogb(1e-30)));
+}
+
+/// Tries to place job `id` with at most k+1 segments; returns true and
+/// occupies the timeline on success.
+bool try_place(const JobSet& jobs, JobId id, std::size_t k,
+               IdleTimeline& timeline, MachineSchedule& schedule) {
+  const Job& job = jobs[id];
+  const Segment window{job.release, job.deadline};
+  const std::size_t cap = k + 1;
+
+  // Working set S: the current candidate idle segments, kept in time order.
+  std::vector<Segment> working;
+  Duration sum = 0;
+  Time cursor = window.begin;
+  bool exhausted = false;
+
+  auto fetch_next = [&]() -> bool {
+    const auto gap = timeline.next_idle(cursor, window);
+    if (!gap) {
+      exhausted = true;
+      return false;
+    }
+    working.push_back(*gap);
+    sum += gap->length();
+    cursor = gap->end;
+    return true;
+  };
+
+  // Start with the leftmost ≤ k+1 idle segments (line 12 of Alg. 2).
+  while (working.size() < cap && fetch_next()) {
+  }
+
+  for (;;) {
+    if (sum >= job.length) {
+      // Schedule leftmost: fill the members of S in time order.
+      Duration todo = job.length;
+      std::vector<Segment> placed;
+      for (const Segment& slot : working) {
+        if (todo == 0) break;
+        const Duration take = std::min(todo, slot.length());
+        placed.push_back({slot.begin, slot.begin + take});
+        todo -= take;
+      }
+      POBP_DASSERT(todo == 0);
+      for (const Segment& s : placed) timeline.occupy(s);
+      schedule.add(Assignment{id, std::move(placed)});
+      return true;
+    }
+    if (exhausted || working.empty()) return false;
+    // Remove the shortest member of S and replace it with the next idle
+    // segment to the right (line 18).
+    const auto shortest = std::min_element(
+        working.begin(), working.end(), [](const Segment& a, const Segment& b) {
+          if (a.length() != b.length()) return a.length() < b.length();
+          return a.begin < b.begin;
+        });
+    sum -= shortest->length();
+    working.erase(shortest);
+    fetch_next();
+    if (exhausted && sum < job.length) return false;
+  }
+}
+
+}  // namespace
+
+std::size_t length_class(Duration length, std::size_t base) {
+  POBP_ASSERT(base >= 2 && length >= 1);
+  return static_cast<std::size_t>(
+      floor_log(static_cast<std::int64_t>(base), length));
+}
+
+LsaResult lsa(const JobSet& jobs, std::span<const JobId> candidates,
+              std::size_t k, LsaOrder order) {
+  LsaResult result;
+  IdleTimeline timeline;
+  for (const JobId id : consideration_order(jobs, candidates, order)) {
+    if (try_place(jobs, id, k, timeline, result.schedule)) {
+      result.scheduled.push_back(id);
+    } else {
+      result.rejected.push_back(id);
+    }
+  }
+  return result;
+}
+
+LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
+                 std::size_t k, ClassifyBy by, LsaOrder order) {
+  if (candidates.empty()) return {};
+  const std::size_t base = std::max<std::size_t>(k + 1, 2);
+
+  std::map<std::size_t, std::vector<JobId>> classes;
+  for (const JobId id : candidates) {
+    std::size_t cls = 0;
+    switch (by) {
+      case ClassifyBy::kLength:
+        cls = length_class(jobs[id].length, base);
+        break;
+      case ClassifyBy::kValue:
+        cls = ratio2_class(jobs[id].value);
+        break;
+      case ClassifyBy::kDensity:
+        cls = ratio2_class(jobs[id].density());
+        break;
+    }
+    classes[cls].push_back(id);
+  }
+
+  LsaResult best;
+  Value best_value = -1;
+  for (const auto& [cls, members] : classes) {
+    LsaResult r = lsa(jobs, members, k, order);
+    const Value v = r.schedule.total_value(jobs);
+    if (v > best_value) {
+      best_value = v;
+      best = std::move(r);
+    }
+  }
+  // J_out of the winner = everything not scheduled by the winning class.
+  best.rejected.clear();
+  for (const JobId id : candidates) {
+    if (!best.schedule.contains(id)) best.rejected.push_back(id);
+  }
+  return best;
+}
+
+Schedule lsa_cs_multi(const JobSet& jobs, std::span<const JobId> candidates,
+                      std::size_t k, std::size_t machine_count) {
+  POBP_ASSERT(machine_count >= 1);
+  Schedule out(machine_count);
+  std::vector<JobId> remaining(candidates.begin(), candidates.end());
+  for (std::size_t m = 0; m < machine_count && !remaining.empty(); ++m) {
+    LsaResult r = lsa_cs(jobs, remaining, k);
+    out.machine(m) = std::move(r.schedule);
+    remaining = std::move(r.rejected);
+  }
+  return out;
+}
+
+}  // namespace pobp

@@ -1,0 +1,40 @@
+// Schedule Forest construction (§4.1).
+//
+// Given a *laminar* single-machine schedule, the "preempts" relation — v is
+// a child of u iff v's segments lie between two segments of u, with u
+// innermost — forms a forest.  We build it with one sweep over the segment
+// timeline, maintaining the stack of currently-open jobs: a job's parent is
+// whatever is on top of the stack when its first segment starts.
+//
+// The reduction additionally assumes the schedule is *non-idling inside
+// every job's span* (the machine is busy from a job's first segment to its
+// last): that is what makes "the slots vacated by a pruned-down subtree"
+// contiguous, which the left-merge of rebuild.hpp relies on.  EDF output —
+// which is what laminarize() produces — always satisfies this, because EDF
+// never idles while a job is pending.  build_schedule_forest aborts if
+// either precondition is violated.
+#pragma once
+
+#include <vector>
+
+#include "pobp/forest/forest.hpp"
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp {
+
+/// The forest plus the node ↔ job correspondence and per-node layout data
+/// the rebuild step needs.
+struct ScheduleForest {
+  Forest forest;                      ///< node values = job values
+  std::vector<JobId> node_job;        ///< forest node -> job id
+  std::vector<std::vector<Segment>> node_segments;  ///< original G_j per node
+  std::vector<Segment> node_span;     ///< [first begin, last end] of subtree
+
+  std::size_t size() const { return forest.size(); }
+};
+
+/// Builds the schedule forest of a laminar, span-compact machine schedule.
+ScheduleForest build_schedule_forest(const JobSet& jobs,
+                                     const MachineSchedule& ms);
+
+}  // namespace pobp

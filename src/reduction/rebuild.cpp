@@ -1,0 +1,61 @@
+#include "pobp/reduction/rebuild.hpp"
+
+#include <algorithm>
+
+#include "pobp/bas/tm.hpp"
+#include "pobp/schedule/laminar.hpp"
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
+                                 const SubForest& sel) {
+  POBP_ASSERT(sel.keep.size() == sf.size());
+  MachineSchedule out;
+
+  for (NodeId u = 0; u < sf.size(); ++u) {
+    if (!sel.kept(u)) continue;
+    const JobId job = sf.node_job[u];
+
+    // Slots available to j: its own segments plus the spans vacated by
+    // pruned-down child subtrees.  (In a valid k-BAS a non-kept child of a
+    // kept node is pruned-down with its whole subtree — Obs. 3.8a — and the
+    // non-idling precondition makes its span fully vacated.)
+    std::vector<Segment> available = sf.node_segments[u];
+    for (const NodeId c : sf.forest.children(u)) {
+      if (!sel.kept(c)) available.push_back(sf.node_span[c]);
+    }
+    available = normalized(std::move(available));
+
+    // Left-merge: fill p_j units left-aligned.
+    Duration todo = jobs[job].length;
+    std::vector<Segment> placed;
+    for (const Segment& slot : available) {
+      if (todo == 0) break;
+      const Duration take = std::min(todo, slot.length());
+      placed.push_back({slot.begin, slot.begin + take});
+      todo -= take;
+    }
+    POBP_ASSERT_MSG(todo == 0,
+                    "available slots shorter than p_j — input schedule was "
+                    "not feasible/span-compact");
+    out.add(Assignment{job, std::move(placed)});
+  }
+  return out;
+}
+
+ReductionResult reduce_to_k_preemptive(const JobSet& jobs,
+                                       const MachineSchedule& unbounded,
+                                       std::size_t k) {
+  ReductionResult result;
+  if (unbounded.empty()) return result;
+  const MachineSchedule laminar = laminarize(jobs, unbounded);
+  const ScheduleForest sf = build_schedule_forest(jobs, laminar);
+  const TmResult bas = tm_optimal_bas(sf.forest, k);
+  result.bounded = rebuild_schedule(jobs, sf, bas.selection);
+  result.value = result.bounded.total_value(jobs);
+  result.forest_size = sf.size();
+  return result;
+}
+
+}  // namespace pobp

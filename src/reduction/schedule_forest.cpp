@@ -1,0 +1,77 @@
+#include "pobp/reduction/schedule_forest.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+ScheduleForest build_schedule_forest(const JobSet& jobs,
+                                     const MachineSchedule& ms) {
+  ScheduleForest out;
+  const auto timeline = ms.timeline();
+
+  std::unordered_map<JobId, std::size_t> remaining;
+  for (const auto& ts : timeline) ++remaining[ts.job];
+
+  std::unordered_map<JobId, NodeId> node_of;
+  std::vector<NodeId> stack;  // open nodes, outermost first
+
+  Time prev_end = kNoTime;
+  for (const auto& ts : timeline) {
+    // Close finished jobs.
+    while (!stack.empty() && remaining[out.node_job[stack.back()]] == 0) {
+      stack.pop_back();
+    }
+    // Non-idling-inside-spans precondition: if some job is still open, the
+    // machine must not have been idle since the previous segment.
+    if (!stack.empty() && prev_end != kNoTime) {
+      POBP_ASSERT_MSG(ts.segment.begin == prev_end,
+                      "schedule idles inside an open job's span; laminarize() "
+                      "(EDF) input required");
+    }
+
+    auto it = node_of.find(ts.job);
+    if (it == node_of.end()) {
+      // First segment of this job: its parent is the innermost open job.
+      const NodeId parent = stack.empty() ? kNoNode : stack.back();
+      const NodeId node = out.forest.add(jobs[ts.job].value, parent);
+      POBP_ASSERT(node == out.node_job.size());
+      out.node_job.push_back(ts.job);
+      node_of.emplace(ts.job, node);
+      stack.push_back(node);
+    } else {
+      // A resumed job must be the innermost open one — laminarity.
+      POBP_ASSERT_MSG(!stack.empty() && stack.back() == it->second,
+                      "schedule is not laminar; run laminarize() first");
+    }
+    --remaining[ts.job];
+    prev_end = ts.segment.end;
+  }
+
+  // Per-node segment lists and subtree spans.
+  const std::size_t n = out.size();
+  out.node_segments.resize(n);
+  out.node_span.assign(n, Segment{0, 0});
+  for (NodeId v = 0; v < n; ++v) {
+    out.node_segments[v] = ms.find(out.node_job[v])->segments;
+    out.node_span[v] = {out.node_segments[v].front().begin,
+                        out.node_segments[v].back().end};
+  }
+  // Children precede nothing: ids are parents-first, so a reverse scan
+  // accumulates subtree spans bottom-up.
+  for (std::size_t i = n; i-- > 0;) {
+    const NodeId v = static_cast<NodeId>(i);
+    const NodeId p = out.forest.parent(v);
+    if (p != kNoNode) {
+      out.node_span[p].begin =
+          std::min(out.node_span[p].begin, out.node_span[v].begin);
+      out.node_span[p].end =
+          std::max(out.node_span[p].end, out.node_span[v].end);
+    }
+  }
+  return out;
+}
+
+}  // namespace pobp

@@ -1,0 +1,93 @@
+#include "pobp/schedule/edf.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+namespace {
+
+struct Pending {
+  Time deadline;
+  JobId id;
+
+  // Earliest deadline wins; job id breaks ties (a strict total order, which
+  // is what makes the output laminar).
+  friend bool operator>(const Pending& a, const Pending& b) {
+    if (a.deadline != b.deadline) return a.deadline > b.deadline;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace
+
+std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
+                                            std::span<const JobId> subset) {
+  std::vector<JobId> by_release(subset.begin(), subset.end());
+  std::sort(by_release.begin(), by_release.end(), [&](JobId a, JobId b) {
+    if (jobs[a].release != jobs[b].release) {
+      return jobs[a].release < jobs[b].release;
+    }
+    return a < b;
+  });
+
+  std::vector<Duration> remaining(jobs.size(), 0);
+  std::vector<std::vector<Segment>> segments(jobs.size());
+  for (const JobId id : by_release) {
+    POBP_ASSERT_MSG(remaining[id] == 0, "duplicate job id in EDF subset");
+    remaining[id] = jobs[id].length;
+  }
+
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> ready;
+  std::size_t next_release = 0;
+  Time now = 0;
+  if (!by_release.empty()) now = jobs[by_release.front()].release;
+
+  auto run_job = [&](JobId id, Time from, Time to) {
+    POBP_DASSERT(from < to);
+    auto& segs = segments[id];
+    if (!segs.empty() && segs.back().end == from) {
+      segs.back().end = to;  // extend: no real preemption happened
+    } else {
+      segs.push_back({from, to});
+    }
+    remaining[id] -= to - from;
+  };
+
+  while (next_release < by_release.size() || !ready.empty()) {
+    // Admit everything released by `now`.
+    while (next_release < by_release.size() &&
+           jobs[by_release[next_release]].release <= now) {
+      const JobId id = by_release[next_release++];
+      ready.push({jobs[id].deadline, id});
+    }
+    if (ready.empty()) {
+      now = jobs[by_release[next_release]].release;
+      continue;
+    }
+    const Pending top = ready.top();
+    // Run the earliest-deadline job until it completes or the next release.
+    Time until = now + remaining[top.id];
+    if (next_release < by_release.size()) {
+      until = std::min(until, jobs[by_release[next_release]].release);
+    }
+    run_job(top.id, now, until);
+    now = until;
+    if (remaining[top.id] == 0) {
+      if (now > jobs[top.id].deadline) return std::nullopt;
+      ready.pop();
+    } else if (now > jobs[top.id].deadline) {
+      return std::nullopt;  // already late; bail out early
+    }
+  }
+
+  MachineSchedule out;
+  for (const JobId id : by_release) {
+    out.add(Assignment{id, std::move(segments[id])});
+  }
+  return out;
+}
+
+}  // namespace pobp

@@ -1,0 +1,144 @@
+#include "pobp/schedule/gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+namespace {
+
+char label_for(std::size_t index) {
+  static constexpr char kLabels[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  constexpr std::size_t kCount = sizeof(kLabels) - 1;
+  return index < kCount ? kLabels[index] : '#';
+}
+
+struct Frame {
+  Time begin = 0;
+  Time end = 0;
+  Duration scale = 1;  // ticks per column
+  std::size_t columns = 0;
+};
+
+Frame compute_frame(const Schedule& schedule, std::size_t max_width) {
+  Frame frame;
+  frame.begin = kNoTime;
+  for (const MachineSchedule& ms : schedule.machines()) {
+    for (const auto& ts : ms.timeline()) {
+      if (frame.begin == kNoTime) frame.begin = ts.segment.begin;
+      frame.begin = std::min(frame.begin, ts.segment.begin);
+      frame.end = std::max(frame.end, ts.segment.end);
+    }
+  }
+  if (frame.begin == kNoTime) {  // empty schedule
+    frame.begin = 0;
+    frame.end = 0;
+    return frame;
+  }
+  const Duration span = frame.end - frame.begin;
+  // Smallest 1-2-5 scale that fits max_width columns.
+  Duration scale = 1;
+  for (;;) {
+    for (const Duration s : {scale, 2 * scale, 5 * scale}) {
+      if ((span + s - 1) / s <= static_cast<Duration>(max_width)) {
+        frame.scale = s;
+        frame.columns = static_cast<std::size_t>((span + s - 1) / s);
+        return frame;
+      }
+    }
+    scale *= 10;
+  }
+}
+
+/// Majority owner of a column (or '.' if mostly idle).
+char column_char(const MachineSchedule& ms, const Frame& frame,
+                 const std::map<JobId, char>& labels, std::size_t col) {
+  const Time lo = frame.begin + static_cast<Duration>(col) * frame.scale;
+  const Time hi = std::min(frame.end, lo + frame.scale);
+  Duration best_overlap = 0;
+  char best = '.';
+  for (const Assignment& a : ms.assignments()) {
+    Duration overlap = 0;
+    for (const Segment& s : a.segments) {
+      overlap += std::max<Duration>(
+          0, std::min(s.end, hi) - std::max(s.begin, lo));
+    }
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best = labels.at(a.job);
+    }
+  }
+  // Require strictly more busy-than-idle to print a label at coarse scales.
+  return best_overlap * 2 > (hi - lo) ? best
+         : best_overlap > 0           ? best
+                                      : '.';
+}
+
+std::string axis_line(const Frame& frame) {
+  // time    0----+----1----+----2  (major mark every 10 columns)
+  std::ostringstream os;
+  os << "time  ";
+  for (std::size_t c = 0; c < frame.columns; ++c) {
+    if (c % 10 == 0) {
+      os << (c / 10) % 10;
+    } else if (c % 5 == 0) {
+      os << '+';
+    } else {
+      os << '-';
+    }
+  }
+  os << "  (1 col = " << frame.scale << " tick" << (frame.scale > 1 ? "s" : "")
+     << ", origin " << frame.begin << ")";
+  return os.str();
+}
+
+std::map<JobId, char> assign_labels(const Schedule& schedule) {
+  std::map<JobId, char> labels;
+  std::vector<JobId> ids = schedule.scheduled_jobs();
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    labels.emplace(ids[i], label_for(i));
+  }
+  return labels;
+}
+
+void append_legend(std::ostringstream& os, const JobSet& jobs,
+                   const std::map<JobId, char>& labels) {
+  os << "legend:\n";
+  for (const auto& [id, label] : labels) {
+    const Job& j = jobs[id];
+    os << "  " << label << " = job#" << id << " ⟨r=" << j.release
+       << " d=" << j.deadline << " p=" << j.length << " val=" << j.value
+       << "⟩\n";
+  }
+}
+
+}  // namespace
+
+std::string render_gantt(const JobSet& jobs, const Schedule& schedule,
+                         const GanttOptions& options) {
+  const Frame frame = compute_frame(schedule, options.max_width);
+  const auto labels = assign_labels(schedule);
+
+  std::ostringstream os;
+  os << axis_line(frame) << '\n';
+  for (std::size_t m = 0; m < schedule.machine_count(); ++m) {
+    os << 'M' << m % 10 << "    ";
+    for (std::size_t c = 0; c < frame.columns; ++c) {
+      os << column_char(schedule.machine(m), frame, labels, c);
+    }
+    os << '\n';
+  }
+  if (options.legend && !labels.empty()) append_legend(os, jobs, labels);
+  return os.str();
+}
+
+std::string render_gantt(const JobSet& jobs, const MachineSchedule& ms,
+                         const GanttOptions& options) {
+  return render_gantt(jobs, Schedule(ms), options);
+}
+
+}  // namespace pobp

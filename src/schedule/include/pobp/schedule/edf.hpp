@@ -1,0 +1,25 @@
+// Preemptive Earliest-Deadline-First simulation on a single machine.
+//
+// EDF is the witness algorithm for the interval feasibility condition: a
+// subset is ∞-preemptive-feasible iff EDF completes every job by its
+// deadline.  With a strict total tie order (deadline, then job id) the
+// schedule EDF produces is *laminar* — no two jobs interleave as
+// a₁ ≺ b₁ ≺ a₂ ≺ b₂ — which is exactly the normal form the paper's
+// reduction (§4.1, Fig. 1) requires.  See laminar.hpp.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp {
+
+/// Simulates preemptive EDF of `subset` on one machine.
+///
+/// Returns the resulting schedule if every job completes by its deadline,
+/// std::nullopt otherwise.  O(n log n): events are releases and completions.
+std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
+                                            std::span<const JobId> subset);
+
+}  // namespace pobp

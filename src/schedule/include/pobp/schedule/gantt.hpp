@@ -1,0 +1,35 @@
+// ASCII Gantt rendering of schedules — used by the examples and the CLI to
+// make results inspectable at a glance.
+//
+//   time    0----+----1----+----2----+
+//   M0      AAABBBAAA..CC.DDDD
+//
+// One lane per machine; each column is `ticks_per_column` ticks of machine
+// time, labelled with the job occupying (the majority of) that column, '.'
+// when idle.  Labels cycle A–Z, a–z, 0–9, then '#'.
+#pragma once
+
+#include <string>
+
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp {
+
+struct GanttOptions {
+  /// Target rendering width in columns; the tick-per-column scale is
+  /// chosen as the smallest power of ten (1, 2, 5 progression) that fits.
+  std::size_t max_width = 100;
+
+  /// Include the per-job legend (label → job id, window, value).
+  bool legend = true;
+};
+
+/// Renders a single machine lane.
+std::string render_gantt(const JobSet& jobs, const MachineSchedule& ms,
+                         const GanttOptions& options = {});
+
+/// Renders all machines of a schedule, one lane each, sharing the time axis.
+std::string render_gantt(const JobSet& jobs, const Schedule& schedule,
+                         const GanttOptions& options = {});
+
+}  // namespace pobp

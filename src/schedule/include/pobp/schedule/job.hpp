@@ -1,0 +1,105 @@
+// Job model (Section 2.1 of the paper).
+//
+// Each job j carries ⟨release r_j, deadline d_j, length p_j⟩ and a value
+// val(j) > 0.  A JobSet is an immutable-by-convention vector of jobs with
+// instance-level metric helpers (n, P, ρ, σ, λ_max) used throughout §4.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pobp/schedule/time.hpp"
+#include "pobp/util/assert.hpp"
+#include "pobp/util/rational.hpp"
+
+namespace pobp {
+
+using JobId = std::uint32_t;
+
+struct Job {
+  Time release = 0;
+  Time deadline = 0;
+  Duration length = 0;
+  Value value = 1.0;
+
+  /// Window w(j) = d_j − r_j (§4.3.1).
+  constexpr Duration window() const { return deadline - release; }
+
+  /// Relative laxity λ_j = (d_j − r_j) / p_j (Def. 4.4), exact.
+  Rational laxity() const { return Rational(window(), length); }
+
+  /// Density σ_j = val(j) / p_j (§4.3.2).
+  double density() const {
+    return value / static_cast<double>(length);
+  }
+
+  /// A job is well-formed iff it can be feasibly scheduled alone.
+  constexpr bool well_formed() const {
+    return length >= 1 && value > 0 && window() >= length;
+  }
+};
+
+/// A problem instance: the set J.
+class JobSet {
+ public:
+  JobSet() = default;
+  explicit JobSet(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
+    for (const Job& j : jobs_) {
+      POBP_ASSERT_MSG(j.well_formed(), "malformed job in JobSet");
+    }
+  }
+
+  /// Append a job; returns its id.
+  JobId add(const Job& job) {
+    POBP_ASSERT_MSG(job.well_formed(), "malformed job");
+    jobs_.push_back(job);
+    return static_cast<JobId>(jobs_.size() - 1);
+  }
+
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+  const Job& operator[](JobId id) const {
+    POBP_DASSERT(id < jobs_.size());
+    return jobs_[id];
+  }
+  std::span<const Job> jobs() const { return jobs_; }
+
+  auto begin() const { return jobs_.begin(); }
+  auto end() const { return jobs_.end(); }
+
+  /// Σ val(j) over the whole set.
+  Value total_value() const;
+
+  /// Σ val(j) over a subset given by ids.
+  Value value_of(std::span<const JobId> ids) const;
+
+  /// Σ p_j over the whole set.
+  Duration total_length() const;
+
+  Duration min_length() const;
+  Duration max_length() const;
+
+  /// P = max_j p_j / min_j p_j, as an exact rational (Def. in §1.3).
+  Rational length_ratio_P() const {
+    return Rational(max_length(), min_length());
+  }
+
+  /// λ_max = max_j λ_j (Def. 4.4).
+  Rational max_laxity() const;
+
+  /// Latest deadline — the scheduling horizon.
+  Time horizon() const;
+
+  /// Earliest release.
+  Time earliest_release() const;
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+/// All job ids [0, n).
+std::vector<JobId> all_ids(const JobSet& jobs);
+
+}  // namespace pobp

@@ -1,0 +1,32 @@
+// Laminar normal form of a single-machine schedule (§4.1, Fig. 1).
+//
+// Two jobs A, B *interleave* when segments appear as a₁ ≺ b₁ ≺ a₂ ≺ b₂.
+// The paper observes any feasible schedule can be rearranged, with no loss
+// of value, so that the "preempts" relation is laminar: a segment of B lies
+// between two segments of A iff no segment of A lies between two segments
+// of B.  Laminar schedules are exactly the ones whose preemption structure
+// forms a forest (the Schedule Forest of §4.1).
+//
+// Implementation note: instead of performing Fig. 1's pairwise segment
+// rearrangements, we re-run preemptive EDF on the scheduled job set.  The
+// set is feasible (the input schedule witnesses it), EDF completes it, and
+// EDF with a strict tie order never produces an interleaving: if A runs at
+// a₁ and B at b₁ while A is pending, then B precedes A in EDF order; if A
+// then runs at a₂ while B is pending (b₂ later), A precedes B — a
+// contradiction.  Same jobs, same value, laminar output.
+#pragma once
+
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp {
+
+/// True iff no two jobs of `ms` interleave (a₁ ≺ b₁ ≺ a₂ ≺ b₂).
+/// O(S) over the segment timeline using a nesting stack.
+bool is_laminar(const MachineSchedule& ms);
+
+/// Rearranges `ms` into an equivalent laminar schedule of the same job set
+/// (same value, still feasible).  Precondition: `ms` validates against
+/// `jobs` with unbounded k.
+MachineSchedule laminarize(const JobSet& jobs, const MachineSchedule& ms);
+
+}  // namespace pobp

@@ -1,0 +1,33 @@
+// Instance metrics and the logarithms the paper's bounds are stated in.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "pobp/schedule/job.hpp"
+
+namespace pobp {
+
+/// log_{k+1}(x) for k >= 1, x >= 1 — the unit every bound in the paper is
+/// measured in.  Returns at least 1 so it can be used as a divisor in
+/// ratio-vs-bound columns (the paper's bounds are Θ(·), constants absorbed).
+double log_base(double base, double x);
+
+/// log_{k+1}(x), the paper's canonical bound shape (requires k >= 1).
+double log_k1(std::size_t k, double x);
+
+/// Summary of an instance: the quantities the paper's bounds range over.
+struct InstanceMetrics {
+  std::size_t n = 0;        ///< number of jobs
+  double P = 1.0;           ///< max length / min length
+  double rho = 1.0;         ///< max value / min value
+  double sigma = 1.0;       ///< max density / min density
+  double lambda_max = 1.0;  ///< maximal relative laxity
+  double total_value = 0.0;
+
+  std::string to_string() const;
+};
+
+InstanceMetrics compute_metrics(const JobSet& jobs);
+
+}  // namespace pobp

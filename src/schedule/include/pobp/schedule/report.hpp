@@ -1,0 +1,33 @@
+// Schedule quality report: the numbers an operator looks at after solving.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp {
+
+struct ScheduleReport {
+  std::size_t machines = 0;
+  std::size_t scheduled_jobs = 0;
+  std::size_t total_jobs = 0;
+  Value value = 0;
+  Value total_value = 0;
+
+  Duration busy_time = 0;         ///< summed over machines
+  Duration makespan_window = 0;   ///< last end − first begin, over machines
+  double utilization = 0;         ///< busy / (machines · makespan window)
+
+  std::size_t max_preemptions = 0;
+  std::size_t total_preemptions = 0;
+  /// histogram[s] = number of jobs scheduled in exactly s+1 segments.
+  std::vector<std::size_t> segment_histogram;
+
+  std::string to_string() const;
+};
+
+ScheduleReport make_report(const JobSet& jobs, const Schedule& schedule);
+
+}  // namespace pobp

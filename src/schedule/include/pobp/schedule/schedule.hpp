@@ -1,0 +1,107 @@
+// Schedule representation (Def. 2.1).
+//
+// A MachineSchedule is a set of per-job segment lists on one machine; a
+// Schedule is one MachineSchedule per machine (the multi-machine,
+// non-migrative setting — a job appears on at most one machine).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pobp/schedule/job.hpp"
+#include "pobp/schedule/segment.hpp"
+
+namespace pobp {
+
+/// One job's placement on a machine: G_j, sorted by time.
+struct Assignment {
+  JobId job = 0;
+  std::vector<Segment> segments;
+
+  /// Number of preemptions = |G_j| − 1.
+  std::size_t preemptions() const {
+    return segments.empty() ? 0 : segments.size() - 1;
+  }
+};
+
+/// A feasible (or candidate) schedule of a job subset on a single machine.
+class MachineSchedule {
+ public:
+  MachineSchedule() = default;
+
+  /// Adds a job's full segment list.  The job must not already be present.
+  void add(Assignment assignment);
+
+  /// Convenience: single contiguous (non-preemptive) placement.
+  void add_block(JobId job, Time begin, Duration length) {
+    add(Assignment{job, {Segment{begin, begin + length}}});
+  }
+
+  std::size_t job_count() const { return assignments_.size(); }
+  bool empty() const { return assignments_.empty(); }
+  const std::vector<Assignment>& assignments() const { return assignments_; }
+
+  /// Looks up a job's assignment (nullptr if the job is not scheduled).
+  /// O(1) via the id index.
+  const Assignment* find(JobId job) const;
+  bool contains(JobId job) const { return index_.count(job) != 0; }
+
+  /// Ids of all scheduled jobs.
+  std::vector<JobId> scheduled_jobs() const;
+
+  /// Σ val(j) over scheduled jobs.
+  Value total_value(const JobSet& jobs) const;
+
+  /// Max preemption count over scheduled jobs (0 when empty).
+  std::size_t max_preemptions() const;
+
+  /// Total scheduled machine time.
+  Duration busy_time() const;
+
+  /// All segments of all jobs, each tagged by owner, sorted by begin time.
+  struct TaggedSegment {
+    Segment segment;
+    JobId job;
+  };
+  std::vector<TaggedSegment> timeline() const;
+
+  /// Human-readable dump (for examples and failure diagnostics).
+  std::string to_string(const JobSet& jobs) const;
+
+ private:
+  std::vector<Assignment> assignments_;
+  std::unordered_map<JobId, std::size_t> index_;  // job id -> position
+};
+
+/// Multi-machine non-migrative schedule.
+class Schedule {
+ public:
+  Schedule() : machines_(1) {}
+  explicit Schedule(std::size_t machine_count) : machines_(machine_count) {
+    POBP_ASSERT(machine_count >= 1);
+  }
+  explicit Schedule(MachineSchedule single) : machines_{std::move(single)} {}
+
+  std::size_t machine_count() const { return machines_.size(); }
+  MachineSchedule& machine(std::size_t m) { return machines_.at(m); }
+  const MachineSchedule& machine(std::size_t m) const {
+    return machines_.at(m);
+  }
+  const std::vector<MachineSchedule>& machines() const { return machines_; }
+
+  /// Machine hosting `job`, if any.
+  std::optional<std::size_t> machine_of(JobId job) const;
+
+  Value total_value(const JobSet& jobs) const;
+  std::size_t job_count() const;
+  std::size_t max_preemptions() const;
+  std::vector<JobId> scheduled_jobs() const;
+
+ private:
+  std::vector<MachineSchedule> machines_;
+};
+
+}  // namespace pobp

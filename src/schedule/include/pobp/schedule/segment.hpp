@@ -1,0 +1,65 @@
+// Execution segments.
+//
+// A segment is a half-open interval [begin, end) of machine time.  The paper
+// (Def. 2.1) states segments as closed intervals with pairwise-disjoint
+// interiors; half-open intervals model the same schedules while making
+// adjacency ("merged to the left", Lemma 4.1) exact: [a,b) ∪ [b,c) = [a,c).
+#pragma once
+
+#include <vector>
+
+#include "pobp/schedule/time.hpp"
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+struct Segment {
+  Time begin = 0;
+  Time end = 0;
+
+  constexpr Duration length() const { return end - begin; }
+  constexpr bool empty() const { return begin >= end; }
+
+  /// True iff the half-open intervals share at least one point.
+  constexpr bool overlaps(const Segment& o) const {
+    return begin < o.end && o.begin < end;
+  }
+
+  /// True iff `o` is entirely inside this segment.
+  constexpr bool contains(const Segment& o) const {
+    return begin <= o.begin && o.end <= end;
+  }
+
+  constexpr bool contains(Time t) const { return begin <= t && t < end; }
+
+  friend constexpr bool operator==(const Segment&, const Segment&) = default;
+
+  /// The paper's precedence relation g1 ≺ g2 (g1 ends before g2 starts).
+  /// Disjoint segments are totally ordered by it.
+  friend constexpr bool precedes(const Segment& a, const Segment& b) {
+    return a.end <= b.begin;
+  }
+};
+
+/// Total length of a segment list.
+inline Duration total_length(const std::vector<Segment>& segs) {
+  Duration sum = 0;
+  for (const Segment& s : segs) sum += s.length();
+  return sum;
+}
+
+/// True iff the segments are sorted by begin, non-empty and pairwise
+/// disjoint (adjacency allowed).
+inline bool is_sorted_disjoint(const std::vector<Segment>& segs) {
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (segs[i].empty()) return false;
+    if (i > 0 && segs[i - 1].end > segs[i].begin) return false;
+  }
+  return true;
+}
+
+/// Sorts by begin time and merges touching/overlapping segments.
+/// Precondition for exact semantics downstream: inputs pairwise disjoint.
+std::vector<Segment> normalized(std::vector<Segment> segs);
+
+}  // namespace pobp

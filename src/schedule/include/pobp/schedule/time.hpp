@@ -1,0 +1,24 @@
+// Time model.
+//
+// All times are integer ticks (int64).  The paper's constructions are stated
+// with rational lengths/laxities; the generators in src/gen scale the base
+// unit so that every release, deadline and segment endpoint is integer-exact.
+// Feasibility decisions therefore never touch floating point.
+#pragma once
+
+#include <cstdint>
+
+namespace pobp {
+
+using Time = std::int64_t;
+using Duration = std::int64_t;
+
+/// Sentinel for "no time" / "unset".
+inline constexpr Time kNoTime = INT64_MIN;
+
+/// Job values.  Values participate only in sums and comparisons (never in
+/// feasibility), and all paper constructions use integer values, which are
+/// exact in a double well past anything we instantiate.
+using Value = double;
+
+}  // namespace pobp

@@ -1,0 +1,53 @@
+// Busy/idle timeline of one machine.
+//
+// The Leftmost Schedule Algorithm (Alg. 2) repeatedly asks for the leftmost
+// idle segments inside a job's window [r_j, d_j) and then occupies parts of
+// them.  IdleTimeline maintains the set of *maximal* busy runs in an ordered
+// map, so both queries and updates are logarithmic in the number of runs.
+// Maximal runs are also what Lemma 4.11 ("every busy segment is at least as
+// long as the shortest job") is stated about.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "pobp/schedule/segment.hpp"
+
+namespace pobp {
+
+class IdleTimeline {
+ public:
+  /// The whole line starts idle.
+  IdleTimeline() = default;
+
+  /// Marks `s` busy.  Aborts if any part of `s` is already busy.
+  /// Touching runs are coalesced, so busy runs stay maximal.
+  void occupy(Segment s);
+
+  /// True iff every point of `s` is idle.
+  bool is_idle(Segment s) const;
+
+  /// First idle segment starting at or after `from`, clipped to `window`;
+  /// std::nullopt once `window` is exhausted.
+  std::optional<Segment> next_idle(Time from, Segment window) const;
+
+  /// All idle segments inside `window`, left to right.
+  std::vector<Segment> idle_in(Segment window) const;
+
+  /// All maximal busy runs intersecting `window`, clipped to it.
+  std::vector<Segment> busy_in(Segment window) const;
+
+  /// Total idle / busy time inside `window`.
+  Duration idle_time(Segment window) const;
+  Duration busy_time(Segment window) const;
+
+  /// Number of maximal busy runs overall.
+  std::size_t run_count() const { return busy_.size(); }
+
+ private:
+  // begin -> end of each maximal busy run; keys are run begins.
+  std::map<Time, Time> busy_;
+};
+
+}  // namespace pobp

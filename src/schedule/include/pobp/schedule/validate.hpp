@@ -1,0 +1,46 @@
+// Feasibility validation (Def. 2.1 a–c, plus the multi-machine extension).
+//
+// The validator is the single source of truth for "is this a feasible
+// k-preemptive schedule"; every algorithm's output in tests and benches is
+// pushed through it.  On failure it reports a human-readable reason.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp {
+
+/// Preemption bound meaning "unbounded" (k = ∞).
+inline constexpr std::size_t kUnboundedPreemptions =
+    std::numeric_limits<std::size_t>::max();
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;  // empty when ok
+
+  explicit operator bool() const { return ok; }
+
+  static ValidationResult failure(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+/// Checks that `ms` is a feasible k-preemptive schedule of a subset of
+/// `jobs` on one machine:
+///   * every segment lies in [r_j, d_j) and has positive length,
+///   * each job's segments are pairwise disjoint and sum to exactly p_j,
+///   * segments of different jobs do not overlap,
+///   * no job has more than k preemptions (k+1 segments).
+ValidationResult validate_machine(const JobSet& jobs,
+                                  const MachineSchedule& ms,
+                                  std::size_t k = kUnboundedPreemptions);
+
+/// Multi-machine version: each machine feasible, and no job appears on two
+/// machines (non-migrative setting).
+ValidationResult validate(const JobSet& jobs, const Schedule& schedule,
+                          std::size_t k = kUnboundedPreemptions);
+
+}  // namespace pobp

@@ -1,0 +1,65 @@
+#include "pobp/schedule/interval_condition.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pobp {
+namespace {
+
+struct Item {
+  Time release;
+  Time deadline;
+  Duration length;
+};
+
+/// Core check over explicit items.  For every release value r, scan items
+/// with r_j >= r in deadline order and verify the running demand fits.
+bool feasible(std::vector<Item> items) {
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.deadline < b.deadline;
+  });
+  std::vector<Time> releases;
+  releases.reserve(items.size());
+  for (const Item& it : items) releases.push_back(it.release);
+  std::sort(releases.begin(), releases.end());
+  releases.erase(std::unique(releases.begin(), releases.end()),
+                 releases.end());
+
+  for (const Time r : releases) {
+    Duration demand = 0;
+    for (const Item& it : items) {  // deadline order
+      if (it.release < r) continue;
+      demand += it.length;
+      if (demand > it.deadline - r) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool preemptive_feasible(const JobSet& jobs, std::span<const JobId> subset) {
+  std::vector<Item> items;
+  items.reserve(subset.size());
+  for (const JobId id : subset) {
+    const Job& j = jobs[id];
+    items.push_back({j.release, j.deadline, j.length});
+  }
+  return feasible(std::move(items));
+}
+
+bool FeasibilityOracle::try_add(JobId id) {
+  members_.push_back(id);
+  // A full re-check is O(n²); for the B&B depths we use (n ≤ ~26) the
+  // simplicity is worth more than an incremental data structure.
+  if (preemptive_feasible(*jobs_, members_)) return true;
+  members_.pop_back();
+  return false;
+}
+
+void FeasibilityOracle::pop() {
+  POBP_ASSERT(!members_.empty());
+  members_.pop_back();
+}
+
+}  // namespace pobp

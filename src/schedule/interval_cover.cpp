@@ -1,0 +1,68 @@
+#include "pobp/schedule/interval_cover.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+IntervalCover greedy_interval_cover(std::span<const Segment> intervals) {
+  IntervalCover cover;
+
+  // Indices of non-empty intervals, by (begin asc, end desc) so the first
+  // interval of each component is the leftmost-starting, longest one.
+  std::vector<std::size_t> order;
+  order.reserve(intervals.size());
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (!intervals[i].empty()) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (intervals[a].begin != intervals[b].begin) {
+      return intervals[a].begin < intervals[b].begin;
+    }
+    return intervals[a].end > intervals[b].end;
+  });
+
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // Start a component with I0 (Lemma 4.7).
+    cover.chosen.push_back(order[i]);
+    Time covered = intervals[order[i]].end;
+    std::size_t j = i + 1;
+    for (;;) {
+      // Among intervals intersecting the current cover, find the one whose
+      // right endpoint is rightmost.  Scanned candidates that don't win
+      // are dominated forever (their ends ≤ covered), so the sweep is
+      // linear.
+      Time best_end = covered;
+      std::size_t best = SIZE_MAX;
+      while (j < order.size() && intervals[order[j]].begin <= covered) {
+        if (intervals[order[j]].end > best_end) {
+          best_end = intervals[order[j]].end;
+          best = order[j];
+        }
+        ++j;
+      }
+      if (best == SIZE_MAX) break;  // component fully covered
+      cover.chosen.push_back(best);
+      covered = best_end;
+    }
+    i = j;  // first interval strictly beyond the component
+  }
+
+  // Corollary 4.8: the parity split (chosen is already in left-endpoint
+  // order — a later pick starting no later is a contradiction with the
+  // greedy choice).
+  for (std::size_t c = 0; c < cover.chosen.size(); ++c) {
+    (c % 2 == 0 ? cover.even : cover.odd).push_back(cover.chosen[c]);
+  }
+  return cover;
+}
+
+Duration union_length(std::span<const Segment> intervals) {
+  std::vector<Segment> copy(intervals.begin(), intervals.end());
+  return total_length(normalized(std::move(copy)));
+}
+
+}  // namespace pobp

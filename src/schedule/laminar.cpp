@@ -1,0 +1,48 @@
+#include "pobp/schedule/laminar.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "pobp/schedule/edf.hpp"
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+bool is_laminar(const MachineSchedule& ms) {
+  const auto timeline = ms.timeline();
+
+  // Remaining-segment counter per job: a job is "open" while more of its
+  // segments are still ahead of the sweep.
+  std::unordered_map<JobId, std::size_t> remaining;
+  for (const auto& ts : timeline) ++remaining[ts.job];
+
+  // Sweep the timeline keeping a stack of open jobs, outermost first.
+  // Invariant: finished jobs are popped as soon as they reach the top, so
+  // every non-top stack entry is open.  A segment whose job sits below the
+  // top therefore proves that some job above it still has a future segment
+  // — exactly the pattern a₁ ≺ b₁ ≺ a₂ ≺ b₂.
+  std::vector<JobId> stack;
+  for (const auto& ts : timeline) {
+    while (!stack.empty() && remaining[stack.back()] == 0) stack.pop_back();
+    if (stack.empty() || stack.back() != ts.job) {
+      if (std::find(stack.begin(), stack.end(), ts.job) != stack.end()) {
+        return false;  // resumed under an open job: interleaving
+      }
+      stack.push_back(ts.job);
+    }
+    --remaining[ts.job];
+  }
+  return true;
+}
+
+MachineSchedule laminarize(const JobSet& jobs, const MachineSchedule& ms) {
+  const std::vector<JobId> ids = ms.scheduled_jobs();
+  std::optional<MachineSchedule> out = edf_schedule(jobs, ids);
+  POBP_ASSERT_MSG(out.has_value(),
+                  "laminarize: input schedule's job set must be feasible");
+  POBP_ASSERT(is_laminar(*out));
+  return std::move(*out);
+}
+
+}  // namespace pobp

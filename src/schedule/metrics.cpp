@@ -1,0 +1,48 @@
+#include "pobp/schedule/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+double log_base(double base, double x) {
+  POBP_ASSERT(base > 1.0 && x >= 1.0);
+  return std::max(1.0, std::log(x) / std::log(base));
+}
+
+double log_k1(std::size_t k, double x) {
+  POBP_ASSERT_MSG(k >= 1, "log_{k+1} is defined for k >= 1 (see §5 for k=0)");
+  return log_base(static_cast<double>(k + 1), x);
+}
+
+InstanceMetrics compute_metrics(const JobSet& jobs) {
+  InstanceMetrics m;
+  m.n = jobs.size();
+  if (jobs.empty()) return m;
+  double min_val = jobs[0].value, max_val = jobs[0].value;
+  double min_den = jobs[0].density(), max_den = jobs[0].density();
+  for (const Job& j : jobs) {
+    min_val = std::min(min_val, j.value);
+    max_val = std::max(max_val, j.value);
+    min_den = std::min(min_den, j.density());
+    max_den = std::max(max_den, j.density());
+  }
+  m.P = jobs.length_ratio_P().to_double();
+  m.rho = max_val / min_val;
+  m.sigma = max_den / min_den;
+  m.lambda_max = jobs.max_laxity().to_double();
+  m.total_value = jobs.total_value();
+  return m;
+}
+
+std::string InstanceMetrics::to_string() const {
+  std::ostringstream os;
+  os << "n=" << n << " P=" << P << " rho=" << rho << " sigma=" << sigma
+     << " lambda_max=" << lambda_max << " total_value=" << total_value;
+  return os.str();
+}
+
+}  // namespace pobp

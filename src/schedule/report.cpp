@@ -1,0 +1,63 @@
+#include "pobp/schedule/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pobp {
+
+ScheduleReport make_report(const JobSet& jobs, const Schedule& schedule) {
+  ScheduleReport r;
+  r.machines = schedule.machine_count();
+  r.total_jobs = jobs.size();
+  r.total_value = jobs.total_value();
+  r.scheduled_jobs = schedule.job_count();
+  r.value = schedule.total_value(jobs);
+
+  Time first = kNoTime;
+  Time last = kNoTime;
+  for (const MachineSchedule& ms : schedule.machines()) {
+    r.busy_time += ms.busy_time();
+    for (const Assignment& a : ms.assignments()) {
+      const std::size_t segments = a.segments.size();
+      if (r.segment_histogram.size() < segments) {
+        r.segment_histogram.resize(segments, 0);
+      }
+      ++r.segment_histogram[segments - 1];
+      r.total_preemptions += a.preemptions();
+      r.max_preemptions = std::max(r.max_preemptions, a.preemptions());
+      if (first == kNoTime) first = a.segments.front().begin;
+      first = std::min(first, a.segments.front().begin);
+      last = std::max(last, a.segments.back().end);
+    }
+  }
+  if (first != kNoTime) {
+    r.makespan_window = last - first;
+    r.utilization =
+        static_cast<double>(r.busy_time) /
+        (static_cast<double>(r.machines) *
+         static_cast<double>(std::max<Duration>(1, r.makespan_window)));
+  }
+  return r;
+}
+
+std::string ScheduleReport::to_string() const {
+  std::ostringstream os;
+  os << "machines:        " << machines << '\n'
+     << "jobs scheduled:  " << scheduled_jobs << " / " << total_jobs << '\n'
+     << "value:           " << value << " / " << total_value << " ("
+     << (total_value > 0 ? 100.0 * value / total_value : 0.0) << "%)\n"
+     << "busy time:       " << busy_time << " ticks over a "
+     << makespan_window << "-tick window (utilization "
+     << 100.0 * utilization << "%)\n"
+     << "preemptions:     max " << max_preemptions << ", total "
+     << total_preemptions << '\n'
+     << "segments/job:    ";
+  for (std::size_t s = 0; s < segment_histogram.size(); ++s) {
+    if (segment_histogram[s] == 0) continue;
+    os << segment_histogram[s] << "×" << (s + 1) << "seg ";
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace pobp

@@ -1,0 +1,183 @@
+#include "pobp/schedule/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pobp {
+
+std::vector<Segment> normalized(std::vector<Segment> segs) {
+  std::sort(segs.begin(), segs.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+            });
+  std::vector<Segment> out;
+  out.reserve(segs.size());
+  for (const Segment& s : segs) {
+    if (s.empty()) continue;
+    if (!out.empty() && out.back().end >= s.begin) {
+      out.back().end = std::max(out.back().end, s.end);
+    } else {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+void MachineSchedule::add(Assignment assignment) {
+  POBP_ASSERT_MSG(!contains(assignment.job), "job already scheduled");
+  POBP_ASSERT_MSG(!assignment.segments.empty(), "empty assignment");
+  assignment.segments = normalized(std::move(assignment.segments));
+  index_.emplace(assignment.job, assignments_.size());
+  assignments_.push_back(std::move(assignment));
+}
+
+const Assignment* MachineSchedule::find(JobId job) const {
+  const auto it = index_.find(job);
+  return it == index_.end() ? nullptr : &assignments_[it->second];
+}
+
+std::vector<JobId> MachineSchedule::scheduled_jobs() const {
+  std::vector<JobId> ids;
+  ids.reserve(assignments_.size());
+  for (const Assignment& a : assignments_) ids.push_back(a.job);
+  return ids;
+}
+
+Value MachineSchedule::total_value(const JobSet& jobs) const {
+  Value sum = 0;
+  for (const Assignment& a : assignments_) sum += jobs[a.job].value;
+  return sum;
+}
+
+std::size_t MachineSchedule::max_preemptions() const {
+  std::size_t worst = 0;
+  for (const Assignment& a : assignments_) {
+    worst = std::max(worst, a.preemptions());
+  }
+  return worst;
+}
+
+Duration MachineSchedule::busy_time() const {
+  Duration sum = 0;
+  for (const Assignment& a : assignments_) sum += total_length(a.segments);
+  return sum;
+}
+
+std::vector<MachineSchedule::TaggedSegment> MachineSchedule::timeline() const {
+  std::vector<TaggedSegment> out;
+  for (const Assignment& a : assignments_) {
+    for (const Segment& s : a.segments) out.push_back({s, a.job});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TaggedSegment& a, const TaggedSegment& b) {
+              return a.segment.begin < b.segment.begin;
+            });
+  return out;
+}
+
+std::string MachineSchedule::to_string(const JobSet& jobs) const {
+  std::ostringstream os;
+  for (const TaggedSegment& ts : timeline()) {
+    os << "  [" << ts.segment.begin << ", " << ts.segment.end << ") job#"
+       << ts.job << " (val=" << jobs[ts.job].value << ")\n";
+  }
+  return os.str();
+}
+
+std::optional<std::size_t> Schedule::machine_of(JobId job) const {
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    if (machines_[m].contains(job)) return m;
+  }
+  return std::nullopt;
+}
+
+Value Schedule::total_value(const JobSet& jobs) const {
+  Value sum = 0;
+  for (const MachineSchedule& m : machines_) sum += m.total_value(jobs);
+  return sum;
+}
+
+std::size_t Schedule::job_count() const {
+  std::size_t count = 0;
+  for (const MachineSchedule& m : machines_) count += m.job_count();
+  return count;
+}
+
+std::size_t Schedule::max_preemptions() const {
+  std::size_t worst = 0;
+  for (const MachineSchedule& m : machines_) {
+    worst = std::max(worst, m.max_preemptions());
+  }
+  return worst;
+}
+
+std::vector<JobId> Schedule::scheduled_jobs() const {
+  std::vector<JobId> ids;
+  for (const MachineSchedule& m : machines_) {
+    auto sub = m.scheduled_jobs();
+    ids.insert(ids.end(), sub.begin(), sub.end());
+  }
+  return ids;
+}
+
+Value JobSet::total_value() const {
+  Value sum = 0;
+  for (const Job& j : jobs_) sum += j.value;
+  return sum;
+}
+
+Value JobSet::value_of(std::span<const JobId> ids) const {
+  Value sum = 0;
+  for (const JobId id : ids) sum += (*this)[id].value;
+  return sum;
+}
+
+Duration JobSet::total_length() const {
+  Duration sum = 0;
+  for (const Job& j : jobs_) sum += j.length;
+  return sum;
+}
+
+Duration JobSet::min_length() const {
+  POBP_ASSERT(!jobs_.empty());
+  Duration best = jobs_.front().length;
+  for (const Job& j : jobs_) best = std::min(best, j.length);
+  return best;
+}
+
+Duration JobSet::max_length() const {
+  POBP_ASSERT(!jobs_.empty());
+  Duration best = jobs_.front().length;
+  for (const Job& j : jobs_) best = std::max(best, j.length);
+  return best;
+}
+
+Rational JobSet::max_laxity() const {
+  POBP_ASSERT(!jobs_.empty());
+  Rational best = jobs_.front().laxity();
+  for (const Job& j : jobs_) best = std::max(best, j.laxity());
+  return best;
+}
+
+Time JobSet::horizon() const {
+  Time latest = 0;
+  for (const Job& j : jobs_) latest = std::max(latest, j.deadline);
+  return latest;
+}
+
+Time JobSet::earliest_release() const {
+  POBP_ASSERT(!jobs_.empty());
+  Time earliest = jobs_.front().release;
+  for (const Job& j : jobs_) earliest = std::min(earliest, j.release);
+  return earliest;
+}
+
+std::vector<JobId> all_ids(const JobSet& jobs) {
+  std::vector<JobId> ids(jobs.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<JobId>(i);
+  }
+  return ids;
+}
+
+}  // namespace pobp

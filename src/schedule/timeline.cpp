@@ -1,0 +1,94 @@
+#include "pobp/schedule/timeline.hpp"
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+void IdleTimeline::occupy(Segment s) {
+  POBP_ASSERT(!s.empty());
+  POBP_ASSERT_MSG(is_idle(s), "occupy() of a non-idle segment");
+  Time begin = s.begin;
+  Time end = s.end;
+  // Coalesce with a run ending exactly at s.begin.
+  auto it = busy_.lower_bound(begin);
+  if (it != busy_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second == begin) {
+      begin = prev->first;
+      busy_.erase(prev);
+    }
+  }
+  // Coalesce with a run starting exactly at s.end.
+  it = busy_.find(end);
+  if (it != busy_.end()) {
+    end = it->second;
+    busy_.erase(it);
+  }
+  busy_.emplace(begin, end);
+}
+
+bool IdleTimeline::is_idle(Segment s) const {
+  if (s.empty()) return true;
+  auto it = busy_.upper_bound(s.begin);  // first run beginning after s.begin
+  if (it != busy_.end() && it->first < s.end) return false;
+  if (it != busy_.begin()) {
+    auto prev = std::prev(it);  // run beginning at or before s.begin
+    if (prev->second > s.begin) return false;
+  }
+  return true;
+}
+
+std::optional<Segment> IdleTimeline::next_idle(Time from, Segment window) const {
+  Time cursor = std::max(from, window.begin);
+  while (cursor < window.end) {
+    auto it = busy_.upper_bound(cursor);
+    // Run covering `cursor`, if any.
+    if (it != busy_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > cursor) {
+        cursor = prev->second;  // skip past the covering run
+        continue;
+      }
+    }
+    // `cursor` is idle; idle gap extends to the next run begin (or window end).
+    const Time gap_end =
+        it == busy_.end() ? window.end : std::min(it->first, window.end);
+    if (cursor >= gap_end) return std::nullopt;
+    return Segment{cursor, gap_end};
+  }
+  return std::nullopt;
+}
+
+std::vector<Segment> IdleTimeline::idle_in(Segment window) const {
+  std::vector<Segment> out;
+  Time cursor = window.begin;
+  while (auto gap = next_idle(cursor, window)) {
+    out.push_back(*gap);
+    cursor = gap->end;
+  }
+  return out;
+}
+
+std::vector<Segment> IdleTimeline::busy_in(Segment window) const {
+  std::vector<Segment> out;
+  auto it = busy_.upper_bound(window.begin);
+  if (it != busy_.begin()) --it;
+  for (; it != busy_.end() && it->first < window.end; ++it) {
+    const Segment clipped{std::max(it->first, window.begin),
+                          std::min(it->second, window.end)};
+    if (!clipped.empty()) out.push_back(clipped);
+  }
+  return out;
+}
+
+Duration IdleTimeline::idle_time(Segment window) const {
+  return window.length() - busy_time(window);
+}
+
+Duration IdleTimeline::busy_time(Segment window) const {
+  Duration sum = 0;
+  for (const Segment& s : busy_in(window)) sum += s.length();
+  return sum;
+}
+
+}  // namespace pobp

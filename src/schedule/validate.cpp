@@ -1,0 +1,92 @@
+#include "pobp/schedule/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace pobp {
+namespace {
+
+std::string describe(JobId id, const Job& j) {
+  std::ostringstream os;
+  os << "job#" << id << " ⟨r=" << j.release << ", d=" << j.deadline
+     << ", p=" << j.length << ", val=" << j.value << "⟩";
+  return os.str();
+}
+
+}  // namespace
+
+ValidationResult validate_machine(const JobSet& jobs,
+                                  const MachineSchedule& ms, std::size_t k) {
+  for (const Assignment& a : ms.assignments()) {
+    if (a.job >= jobs.size()) {
+      return ValidationResult::failure("assignment references unknown job id");
+    }
+    const Job& job = jobs[a.job];
+    if (a.segments.empty()) {
+      return ValidationResult::failure(describe(a.job, job) +
+                                       ": empty segment list");
+    }
+    if (!is_sorted_disjoint(a.segments)) {
+      return ValidationResult::failure(
+          describe(a.job, job) + ": segments not sorted/disjoint/non-empty");
+    }
+    for (const Segment& s : a.segments) {
+      if (s.begin < job.release || s.end > job.deadline) {
+        std::ostringstream os;
+        os << describe(a.job, job) << ": segment [" << s.begin << ", " << s.end
+           << ") outside the job window";
+        return ValidationResult::failure(os.str());
+      }
+    }
+    if (total_length(a.segments) != job.length) {
+      std::ostringstream os;
+      os << describe(a.job, job) << ": scheduled "
+         << total_length(a.segments) << " units, expected " << job.length;
+      return ValidationResult::failure(os.str());
+    }
+    if (k != kUnboundedPreemptions && a.preemptions() > k) {
+      std::ostringstream os;
+      os << describe(a.job, job) << ": " << a.preemptions()
+         << " preemptions exceed the bound k=" << k;
+      return ValidationResult::failure(os.str());
+    }
+  }
+
+  // Machine exclusivity: at most one job executing at any moment.
+  const auto timeline = ms.timeline();
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    if (timeline[i - 1].segment.end > timeline[i].segment.begin) {
+      std::ostringstream os;
+      os << "machine conflict: job#" << timeline[i - 1].job << " ["
+         << timeline[i - 1].segment.begin << ", "
+         << timeline[i - 1].segment.end << ") overlaps job#"
+         << timeline[i].job << " [" << timeline[i].segment.begin << ", "
+         << timeline[i].segment.end << ")";
+      return ValidationResult::failure(os.str());
+    }
+  }
+  return {};
+}
+
+ValidationResult validate(const JobSet& jobs, const Schedule& schedule,
+                          std::size_t k) {
+  std::unordered_set<JobId> seen;
+  for (std::size_t m = 0; m < schedule.machine_count(); ++m) {
+    ValidationResult r = validate_machine(jobs, schedule.machine(m), k);
+    if (!r) {
+      r.error = "machine " + std::to_string(m) + ": " + r.error;
+      return r;
+    }
+    for (const Assignment& a : schedule.machine(m).assignments()) {
+      if (!seen.insert(a.job).second) {
+        return ValidationResult::failure(
+            "job#" + std::to_string(a.job) +
+            " scheduled on more than one machine (migration forbidden)");
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace pobp

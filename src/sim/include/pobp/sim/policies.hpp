@@ -1,0 +1,56 @@
+// Reference online policies for the simulator.
+//
+//  * EdfPolicy            — preemptive EDF, unlimited preemptions: the
+//                           online analogue of the paper's k = ∞ baseline.
+//  * NonPreemptivePolicy  — EDF admission but never preempts: k = 0.
+//  * BudgetEdfPolicy(k)   — EDF that respects the paper's budget: a job is
+//                           never driven past k preemptions (its completed
+//                           jobs always validate with bound k), and a
+//                           running job whose budget is exhausted becomes
+//                           non-preemptible rather than being sacrificed.
+//  * DensityBudgetPolicy(k, ratio) — budgeted, but preempts only when the
+//                           newcomer's value density beats the running
+//                           job's by `ratio`; an admission-control flavour.
+#pragma once
+
+#include <cstddef>
+
+#include "pobp/sim/sim.hpp"
+
+namespace pobp::sim {
+
+class EdfPolicy final : public Policy {
+ public:
+  JobId select(const SimView& view) override;
+  const char* name() const override { return "edf"; }
+};
+
+class NonPreemptivePolicy final : public Policy {
+ public:
+  JobId select(const SimView& view) override;
+  const char* name() const override { return "nonpreemptive"; }
+};
+
+class BudgetEdfPolicy final : public Policy {
+ public:
+  explicit BudgetEdfPolicy(std::size_t k) : k_(k) {}
+  JobId select(const SimView& view) override;
+  const char* name() const override { return "budget-edf"; }
+  std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+};
+
+class DensityBudgetPolicy final : public Policy {
+ public:
+  DensityBudgetPolicy(std::size_t k, double ratio) : k_(k), ratio_(ratio) {}
+  JobId select(const SimView& view) override;
+  const char* name() const override { return "density-budget"; }
+
+ private:
+  std::size_t k_;
+  double ratio_;
+};
+
+}  // namespace pobp::sim

@@ -1,0 +1,81 @@
+// Online single-machine scheduling simulator with context-switch costs.
+//
+// The paper's motivation (§1.2) is that "in a real-world setting,
+// preemption comes with a certain price tag (e.g., the sequence of
+// operations required for a context switch)".  This simulator makes that
+// price executable: jobs arrive at their release times, a pluggable policy
+// decides what runs, and every segment *dispatch* burns `dispatch_cost`
+// ticks of machine time before useful work proceeds.  Completed-on-time
+// jobs score their value; preempted-and-never-finished work is wasted.
+//
+// The simulator is event-driven and exact on integer ticks.  Its output is
+// a standard MachineSchedule over the *completed* jobs (useful-work
+// segments only), so the Def. 2.1 validator applies verbatim — including
+// the preemption bound for budgeted policies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp::sim {
+
+inline constexpr JobId kNoJob = UINT32_MAX;
+
+/// What a policy is allowed to see when making a decision.
+struct ReadyJob {
+  JobId id = kNoJob;
+  Duration remaining = 0;
+  Time deadline = 0;
+  Value value = 0;
+  std::size_t segments_used = 0;  ///< segments started so far (0 = fresh)
+
+  double density(const JobSet& jobs) const {
+    return value / static_cast<double>(jobs[id].length);
+  }
+};
+
+struct SimView {
+  Time now = 0;
+  JobId running = kNoJob;            ///< job currently on the machine
+  std::vector<ReadyJob> ready;       ///< released, unfinished, still able to
+                                     ///< finish by their deadline
+  const JobSet* jobs = nullptr;
+};
+
+/// Scheduling policy: called at every event (release / completion / after a
+/// drop); returns the job to occupy the machine from `view.now` on, or
+/// kNoJob to idle until the next event.  Returning `view.running` continues
+/// the current segment with no dispatch cost.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual JobId select(const SimView& view) = 0;
+  virtual const char* name() const = 0;
+};
+
+struct SimConfig {
+  /// Machine ticks consumed at the start of every segment (the context
+  /// switch).  The dispatch is non-preemptible.
+  Duration dispatch_cost = 0;
+};
+
+struct SimResult {
+  MachineSchedule schedule;        ///< completed jobs, useful work only
+  Value value = 0;                 ///< Σ val over completed jobs
+  std::size_t completed = 0;
+  std::size_t dropped = 0;         ///< released but never finished
+  Duration useful_time = 0;        ///< ticks of work on completed jobs
+  Duration wasted_time = 0;        ///< work on jobs that were later dropped
+  Duration overhead_time = 0;      ///< ticks burned in dispatches
+  std::size_t dispatches = 0;      ///< segments started (incl. wasted ones)
+  std::size_t max_preemptions = 0; ///< over completed jobs
+};
+
+/// Runs the policy over the whole job set.  Deterministic.
+SimResult simulate(const JobSet& jobs, Policy& policy,
+                   const SimConfig& config = {});
+
+}  // namespace pobp::sim

@@ -1,0 +1,90 @@
+#include "pobp/sim/policies.hpp"
+
+#include <algorithm>
+
+namespace pobp::sim {
+namespace {
+
+const ReadyJob* find(const SimView& view, JobId id) {
+  for (const ReadyJob& r : view.ready) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+/// Earliest deadline (ties by id) over jobs passing `allowed`.
+template <typename Predicate>
+JobId edf_pick(const SimView& view, Predicate&& allowed) {
+  JobId best = kNoJob;
+  Time best_deadline = 0;
+  for (const ReadyJob& r : view.ready) {
+    if (!allowed(r)) continue;
+    if (best == kNoJob || r.deadline < best_deadline ||
+        (r.deadline == best_deadline && r.id < best)) {
+      best = r.id;
+      best_deadline = r.deadline;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+JobId EdfPolicy::select(const SimView& view) {
+  return edf_pick(view, [](const ReadyJob&) { return true; });
+}
+
+JobId NonPreemptivePolicy::select(const SimView& view) {
+  // Never leave a loaded job; among fresh jobs, admit only those that have
+  // not run yet (a preempted job would need a second segment).
+  if (find(view, view.running) != nullptr) return view.running;
+  return edf_pick(view,
+                  [](const ReadyJob& r) { return r.segments_used == 0; });
+}
+
+JobId BudgetEdfPolicy::select(const SimView& view) {
+  // A job with s segments can be resumed iff s < k+1; continuing the
+  // running job never opens a segment.
+  const auto resumable = [&](const ReadyJob& r) {
+    return r.id == view.running || r.segments_used < k_ + 1;
+  };
+  const JobId pick = edf_pick(view, resumable);
+  if (pick == view.running || view.running == kNoJob) return pick;
+
+  // Preempting the running job parks it with s segments; if s = k+1 it
+  // could never resume, so the running job finishes non-preemptibly.
+  const ReadyJob* running = find(view, view.running);
+  if (running != nullptr && running->segments_used >= k_ + 1) {
+    return view.running;
+  }
+  return pick;
+}
+
+JobId DensityBudgetPolicy::select(const SimView& view) {
+  const auto resumable = [&](const ReadyJob& r) {
+    return r.id == view.running || r.segments_used < k_ + 1;
+  };
+  const ReadyJob* running = find(view, view.running);
+  if (running == nullptr) return edf_pick(view, resumable);
+
+  // Stay with the running job unless a resumable challenger has `ratio_`×
+  // its density (and the running job could still be resumed afterwards).
+  JobId challenger = kNoJob;
+  double best_density = 0;
+  for (const ReadyJob& r : view.ready) {
+    if (r.id == view.running || !resumable(r)) continue;
+    const double d = r.density(*view.jobs);
+    if (challenger == kNoJob || d > best_density ||
+        (d == best_density && r.id < challenger)) {
+      challenger = r.id;
+      best_density = d;
+    }
+  }
+  if (challenger != kNoJob && running->segments_used < k_ + 1 &&
+      best_density >= ratio_ * running->density(*view.jobs)) {
+    return challenger;
+  }
+  return view.running;
+}
+
+}  // namespace pobp::sim

@@ -1,0 +1,142 @@
+#include "pobp/sim/sim.hpp"
+
+#include <algorithm>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp::sim {
+namespace {
+
+struct JobState {
+  Duration remaining = 0;
+  std::size_t segments_used = 0;
+  std::vector<Segment> chunks;  // useful-work intervals, in time order
+};
+
+}  // namespace
+
+SimResult simulate(const JobSet& jobs, Policy& policy,
+                   const SimConfig& config) {
+  SimResult result;
+  if (jobs.empty()) return result;
+  POBP_ASSERT(config.dispatch_cost >= 0);
+
+  std::vector<JobId> by_release = all_ids(jobs);
+  std::sort(by_release.begin(), by_release.end(), [&](JobId a, JobId b) {
+    if (jobs[a].release != jobs[b].release) {
+      return jobs[a].release < jobs[b].release;
+    }
+    return a < b;
+  });
+
+  std::vector<JobState> state(jobs.size());
+  for (JobId id = 0; id < jobs.size(); ++id) {
+    state[id].remaining = jobs[id].length;
+  }
+
+  std::size_t next_release = 0;
+  Time now = jobs[by_release.front()].release;
+  JobId running = kNoJob;
+
+  auto build_view = [&](SimView& view) {
+    view.now = now;
+    view.running = running;
+    view.jobs = &jobs;
+    view.ready.clear();
+    for (std::size_t i = 0; i < next_release; ++i) {
+      const JobId id = by_release[i];
+      const JobState& js = state[id];
+      if (js.remaining == 0) continue;
+      // Only jobs that could still finish if run non-stop from now (paying
+      // the dispatch unless they are already loaded).
+      const Duration dispatch = id == running ? 0 : config.dispatch_cost;
+      if (now + dispatch + js.remaining > jobs[id].deadline) continue;
+      view.ready.push_back(
+          {id, js.remaining, jobs[id].deadline, jobs[id].value,
+           js.segments_used});
+    }
+  };
+
+  SimView view;
+  while (true) {
+    // Admit releases up to `now`.
+    while (next_release < by_release.size() &&
+           jobs[by_release[next_release]].release <= now) {
+      ++next_release;
+    }
+    build_view(view);
+
+    JobId pick = kNoJob;
+    if (!view.ready.empty()) {
+      pick = policy.select(view);
+      if (pick != kNoJob) {
+        const bool in_ready =
+            std::any_of(view.ready.begin(), view.ready.end(),
+                        [&](const ReadyJob& r) { return r.id == pick; });
+        POBP_ASSERT_MSG(in_ready, "policy selected a job that is not ready");
+      }
+    }
+
+    if (pick == kNoJob) {
+      running = kNoJob;
+      if (next_release >= by_release.size()) break;  // nothing left, ever
+      now = jobs[by_release[next_release]].release;
+      continue;
+    }
+
+    if (pick != running) {
+      // Context switch: burn the dispatch, non-preemptibly.
+      now += config.dispatch_cost;
+      result.overhead_time += config.dispatch_cost;
+      ++result.dispatches;
+      ++state[pick].segments_used;
+      running = pick;
+    }
+
+    // Run until completion or the next release, whichever is first.
+    JobState& js = state[running];
+    Time until = now + js.remaining;
+    if (next_release < by_release.size()) {
+      until = std::min(until, jobs[by_release[next_release]].release);
+    }
+    if (until > now) {
+      auto& chunks = js.chunks;
+      if (!chunks.empty() && chunks.back().end == now) {
+        chunks.back().end = until;
+      } else {
+        chunks.push_back({now, until});
+      }
+      js.remaining -= until - now;
+      now = until;
+    }
+    if (js.remaining == 0) {
+      POBP_ASSERT_MSG(now <= jobs[running].deadline,
+                      "ready filter admitted a job that missed its deadline");
+      running = kNoJob;
+    }
+    // Loop: the policy decides again at this event.
+  }
+
+  // Account the outcome.
+  std::size_t released = jobs.size();
+  for (JobId id = 0; id < jobs.size(); ++id) {
+    JobState& js = state[id];
+    if (js.remaining == 0) {
+      ++result.completed;
+      result.value += jobs[id].value;
+      result.useful_time += jobs[id].length;
+      const std::size_t preemptions = js.segments_used - 1;
+      result.max_preemptions = std::max(result.max_preemptions, preemptions);
+      result.schedule.add(Assignment{id, std::move(js.chunks)});
+    } else {
+      result.wasted_time += jobs[id].length - js.remaining;
+    }
+  }
+  result.dropped = released - result.completed;
+  POBP_ASSERT(result.overhead_time ==
+              config.dispatch_cost *
+                  static_cast<Duration>(result.dispatches));
+  return result;
+}
+
+}  // namespace pobp::sim

@@ -1,0 +1,105 @@
+// Exact OPT∞ via branch-and-bound over the interval feasibility condition.
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "pobp/schedule/interval_condition.hpp"
+#include "pobp/solvers/solvers.hpp"
+#include "pobp/util/assert.hpp"
+#include "pobp/util/parallel.hpp"
+
+namespace pobp {
+namespace {
+
+struct Shared {
+  std::atomic<double> best_value{0.0};
+  std::mutex members_mutex;
+  std::vector<JobId> best_members;
+
+  void offer(double value, std::span<const JobId> members) {
+    double current = best_value.load(std::memory_order_relaxed);
+    while (value > current && !best_value.compare_exchange_weak(
+                                  current, value, std::memory_order_relaxed)) {
+    }
+    if (value > current) {
+      std::lock_guard lock(members_mutex);
+      // Re-check under the lock: another thread may have raced past us.
+      if (value >= best_value.load(std::memory_order_relaxed)) {
+        best_members.assign(members.begin(), members.end());
+      }
+    }
+  }
+};
+
+struct Searcher {
+  const JobSet* jobs;
+  const std::vector<JobId>* order;
+  const std::vector<Value>* suffix;  // suffix[i] = Σ value of order[i..)
+  Shared* shared;
+  FeasibilityOracle oracle;
+  Value current = 0;
+
+  void dfs(std::size_t i) {
+    if (current + (*suffix)[i] <=
+        shared->best_value.load(std::memory_order_relaxed)) {
+      return;  // even taking everything left cannot beat the incumbent
+    }
+    if (i == order->size()) {
+      shared->offer(current, oracle.members());
+      return;
+    }
+    const JobId id = (*order)[i];
+    // Include first (value-ordered jobs make greedy-include a good
+    // incumbent quickly).  Feasibility is monotone, so an infeasible
+    // include prunes that whole branch.
+    if (oracle.try_add(id)) {
+      current += (*jobs)[id].value;
+      dfs(i + 1);
+      current -= (*jobs)[id].value;
+      oracle.pop();
+    }
+    dfs(i + 1);
+  }
+};
+
+}  // namespace
+
+SubsetSolution opt_infinity(const JobSet& jobs,
+                            std::span<const JobId> candidates) {
+  SubsetSolution solution;
+  if (candidates.empty()) return solution;
+
+  std::vector<JobId> order(candidates.begin(), candidates.end());
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    if (jobs[a].value != jobs[b].value) return jobs[a].value > jobs[b].value;
+    return a < b;
+  });
+  std::vector<Value> suffix(order.size() + 1, 0);
+  for (std::size_t i = order.size(); i-- > 0;) {
+    suffix[i] = suffix[i + 1] + jobs[order[i]].value;
+  }
+
+  Shared shared;
+
+  // Fan the first `split` include/exclude decisions out over the pool; each
+  // task owns a private oracle primed with its prefix decisions.
+  const std::size_t split = std::min<std::size_t>(4, order.size());
+  const std::size_t tasks = std::size_t{1} << split;
+  parallel_for(0, tasks, [&](std::size_t mask) {
+    Searcher searcher{&jobs, &order, &suffix, &shared,
+                      FeasibilityOracle(jobs), 0};
+    for (std::size_t i = 0; i < split; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        if (!searcher.oracle.try_add(order[i])) return;  // prefix infeasible
+        searcher.current += jobs[order[i]].value;
+      }
+    }
+    searcher.dfs(split);
+  });
+
+  solution.value = shared.best_value.load();
+  solution.members = std::move(shared.best_members);
+  return solution;
+}
+
+}  // namespace pobp

@@ -1,0 +1,63 @@
+// Exact OPT_0 (non-preemptive, single machine) via bitmask DP.
+//
+// f[S] = the minimal completion time over feasible non-preemptive schedules
+// of exactly the subset S; f[S] = min over the last job j ∈ S of
+// max(f[S \ j], r_j) + p_j, subject to that completion meeting d_j.
+// OPT_0 is the best-value S with f[S] finite.
+#include <algorithm>
+#include <limits>
+
+#include "pobp/solvers/solvers.hpp"
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+SubsetSolution opt_zero(const JobSet& jobs, std::span<const JobId> candidates) {
+  SubsetSolution solution;
+  const std::size_t n = candidates.size();
+  if (n == 0) return solution;
+  POBP_ASSERT_MSG(n <= 22, "opt_zero bitmask DP supports at most 22 jobs");
+
+  constexpr Time kInfeasible = std::numeric_limits<Time>::max();
+  const std::size_t subsets = std::size_t{1} << n;
+  std::vector<Time> completion(subsets, kInfeasible);
+  // "Completed before any release": max(f, r_j) will lift it to r_j.
+  completion[0] = std::numeric_limits<Time>::min() / 4;
+
+  for (std::size_t s = 1; s < subsets; ++s) {
+    for (std::size_t bit = 0; bit < n; ++bit) {
+      if (!(s & (std::size_t{1} << bit))) continue;
+      const Time prev = completion[s ^ (std::size_t{1} << bit)];
+      if (prev == kInfeasible) continue;
+      const Job& j = jobs[candidates[bit]];
+      const Time done = std::max(prev, j.release) + j.length;
+      if (done <= j.deadline) {
+        completion[s] = std::min(completion[s], done);
+      }
+    }
+  }
+
+  std::size_t best_set = 0;
+  Value best_value = 0;
+  for (std::size_t s = 0; s < subsets; ++s) {
+    if (completion[s] == kInfeasible) continue;
+    Value value = 0;
+    for (std::size_t bit = 0; bit < n; ++bit) {
+      if (s & (std::size_t{1} << bit)) value += jobs[candidates[bit]].value;
+    }
+    if (value > best_value) {
+      best_value = value;
+      best_set = s;
+    }
+  }
+
+  solution.value = best_value;
+  for (std::size_t bit = 0; bit < n; ++bit) {
+    if (best_set & (std::size_t{1} << bit)) {
+      solution.members.push_back(candidates[bit]);
+    }
+  }
+  return solution;
+}
+
+}  // namespace pobp

@@ -1,0 +1,47 @@
+// Greedy ∞-preemptive heuristic (density order + EDF feasibility check).
+#include <algorithm>
+
+#include "pobp/schedule/edf.hpp"
+#include "pobp/solvers/solvers.hpp"
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+MachineSchedule greedy_infinity(const JobSet& jobs,
+                                std::span<const JobId> candidates) {
+  std::vector<JobId> order(candidates.begin(), candidates.end());
+  std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+    const double lhs = jobs[a].value * static_cast<double>(jobs[b].length);
+    const double rhs = jobs[b].value * static_cast<double>(jobs[a].length);
+    if (lhs != rhs) return lhs > rhs;
+    return a < b;
+  });
+
+  std::vector<JobId> accepted;
+  MachineSchedule best;
+  for (const JobId id : order) {
+    accepted.push_back(id);
+    if (auto schedule = edf_schedule(jobs, accepted)) {
+      best = std::move(*schedule);
+    } else {
+      accepted.pop_back();
+    }
+  }
+  return best;
+}
+
+Schedule greedy_infinity_multi(const JobSet& jobs,
+                               std::span<const JobId> candidates,
+                               std::size_t machine_count) {
+  POBP_ASSERT(machine_count >= 1);
+  Schedule out(machine_count);
+  std::vector<JobId> remaining(candidates.begin(), candidates.end());
+  for (std::size_t m = 0; m < machine_count && !remaining.empty(); ++m) {
+    out.machine(m) = greedy_infinity(jobs, remaining);
+    std::erase_if(remaining,
+                  [&](JobId id) { return out.machine(m).contains(id); });
+  }
+  return out;
+}
+
+}  // namespace pobp

@@ -1,0 +1,62 @@
+// Ground-truth solvers.
+//
+// The paper's price is a ratio against OPT∞ (and, for §5, implicitly
+// against OPT_0); these solvers provide the exact and heuristic reference
+// values the tests and benches compare against.
+//
+//  * opt_infinity      — exact max-value ∞-preemptive subset on one machine,
+//                        branch-and-bound over the interval feasibility
+//                        condition (a subset is feasible iff every window
+//                        [r, d] has enough room — see interval_condition.hpp).
+//                        Exponential worst case; intended for n ≤ ~26.
+//  * opt_zero          — exact max-value *non-preemptive* subset on one
+//                        machine via bitmask DP over subsets (state: minimal
+//                        completion time).  O(2^n · n); n ≤ 22.
+//  * opt_k_slots       — exact max-value k-preemptive schedule for *tiny*
+//                        integer-horizon instances by DP over unit time
+//                        slots.  Exists purely as a cross-check oracle.
+//  * greedy_infinity   — density-ordered greedy with an EDF feasibility
+//                        check; a fast ∞-preemptive heuristic used to seed
+//                        the pipeline on instances too large for B&B.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp {
+
+struct SubsetSolution {
+  std::vector<JobId> members;
+  Value value = 0;
+};
+
+/// Exact OPT∞(J) on one machine (B&B; the first two branching levels are
+/// fanned out over the global thread pool).
+SubsetSolution opt_infinity(const JobSet& jobs,
+                            std::span<const JobId> candidates);
+
+/// Exact OPT_0(J) on one machine (bitmask DP).
+SubsetSolution opt_zero(const JobSet& jobs, std::span<const JobId> candidates);
+
+/// Exact OPT_k by unit-slot DP.  Requires a small horizon; aborts when the
+/// state space would exceed `max_states`.
+std::optional<Value> opt_k_slots(const JobSet& jobs, std::size_t k,
+                                 std::size_t max_states = 50'000'000);
+
+/// Greedy ∞-preemptive heuristic: jobs in descending density order, each
+/// accepted iff the accepted set stays EDF-feasible.  Returns the EDF
+/// schedule of the accepted set.
+MachineSchedule greedy_infinity(const JobSet& jobs,
+                                std::span<const JobId> candidates);
+
+/// Multi-machine greedy: fills machine 0 with greedy_infinity, then machine
+/// 1 with the residual, and so on.
+Schedule greedy_infinity_multi(const JobSet& jobs,
+                               std::span<const JobId> candidates,
+                               std::size_t machine_count);
+
+}  // namespace pobp

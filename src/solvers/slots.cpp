@@ -1,0 +1,108 @@
+// Exact OPT_k for tiny instances by DP over unit time slots.
+//
+// State after slot t: per job its remaining length and how many segments it
+// has used, plus which job ran in slot t−1 (running the same job again does
+// not open a new segment).  This is exponential in every dimension and
+// exists solely as a cross-check oracle for micro instances in the tests.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "pobp/solvers/solvers.hpp"
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+namespace {
+
+struct SlotDp {
+  const JobSet* jobs;
+  std::size_t k;
+  Time begin;
+  Time horizon;
+  std::vector<unsigned> rem_bits;   // bits to encode remaining per job
+  std::vector<unsigned> seg_bits;   // bits to encode segments-used per job
+  std::unordered_map<std::uint64_t, Value> memo;
+
+  std::uint64_t pack(Time t, std::size_t last,
+                     const std::vector<Duration>& rem,
+                     const std::vector<std::size_t>& segs) const {
+    std::uint64_t key = static_cast<std::uint64_t>(t - begin);
+    key = key * (jobs->size() + 2) + last;
+    for (std::size_t i = 0; i < jobs->size(); ++i) {
+      key = (key << rem_bits[i]) | static_cast<std::uint64_t>(rem[i]);
+      key = (key << seg_bits[i]) | static_cast<std::uint64_t>(segs[i]);
+    }
+    return key;
+  }
+
+  Value solve(Time t, std::size_t last, std::vector<Duration>& rem,
+              std::vector<std::size_t>& segs) {
+    if (t >= horizon) return 0;
+    const std::uint64_t key = pack(t, last, rem, segs);
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+
+    // Option 1: idle this slot.
+    Value best = solve(t + 1, jobs->size(), rem, segs);
+
+    // Option 2: run job i in [t, t+1).
+    for (std::size_t i = 0; i < jobs->size(); ++i) {
+      const Job& j = (*jobs)[static_cast<JobId>(i)];
+      if (rem[i] == 0 || j.release > t || j.deadline < t + 1) continue;
+      const bool new_segment = last != i;
+      if (new_segment && segs[i] >= k + 1) continue;  // preemption budget
+      rem[i] -= 1;
+      if (new_segment) segs[i] += 1;
+      const Value gained = rem[i] == 0 ? j.value : 0;
+      best = std::max(best, gained + solve(t + 1, i, rem, segs));
+      if (new_segment) segs[i] -= 1;
+      rem[i] += 1;
+    }
+    memo.emplace(key, best);
+    return best;
+  }
+};
+
+unsigned bits_for(std::uint64_t max_value) {
+  unsigned bits = 1;
+  while ((std::uint64_t{1} << bits) <= max_value) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+std::optional<Value> opt_k_slots(const JobSet& jobs, std::size_t k,
+                                 std::size_t max_states) {
+  if (jobs.empty()) return Value{0};
+
+  SlotDp dp;
+  dp.jobs = &jobs;
+  dp.k = k;
+  dp.begin = jobs.earliest_release();
+  dp.horizon = jobs.horizon();
+
+  // Key-width and state-space guards.
+  std::uint64_t states = static_cast<std::uint64_t>(dp.horizon - dp.begin) *
+                         (jobs.size() + 2);
+  unsigned total_bits = 0;
+  for (const Job& j : jobs) {
+    // A job with p units of work never opens more than p segments, so the
+    // per-job segment counter is bounded by min(k+1, p).
+    const std::uint64_t max_segs =
+        std::min<std::uint64_t>(k + 1, static_cast<std::uint64_t>(j.length));
+    dp.rem_bits.push_back(bits_for(static_cast<std::uint64_t>(j.length)));
+    dp.seg_bits.push_back(bits_for(max_segs));
+    total_bits += dp.rem_bits.back() + dp.seg_bits.back();
+    const std::uint64_t per_job =
+        static_cast<std::uint64_t>(j.length + 1) * (max_segs + 1);
+    if (states > max_states / per_job) return std::nullopt;  // too big
+    states *= per_job;
+  }
+  if (total_bits > 44 || states > max_states) return std::nullopt;
+
+  std::vector<Duration> rem;
+  std::vector<std::size_t> segs(jobs.size(), 0);
+  for (const Job& j : jobs) rem.push_back(j.length);
+  return dp.solve(dp.begin, jobs.size(), rem, segs);
+}
+
+}  // namespace pobp

@@ -1,0 +1,41 @@
+// Runtime assertion macros used throughout the library.
+//
+// POBP_ASSERT is active in every build type (the algorithms here are
+// correctness-critical reference implementations; the cost of the checks is
+// negligible next to the O(n log n) work they guard).  POBP_DASSERT compiles
+// away in NDEBUG builds and is used inside hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pobp::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "pobp assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace pobp::detail
+
+#define POBP_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::pobp::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                  \
+  } while (0)
+
+#define POBP_ASSERT_MSG(expr, msg)                                  \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::pobp::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define POBP_DASSERT(expr) ((void)0)
+#else
+#define POBP_DASSERT(expr) POBP_ASSERT(expr)
+#endif

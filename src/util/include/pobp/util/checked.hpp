@@ -1,0 +1,73 @@
+// Overflow-checked 64-bit arithmetic.
+//
+// The paper's lower-bound constructions (Appendix B) use job lengths that
+// form a geometric progression with ratio 3K^2; instantiating them with
+// integer ticks can approach the int64 range, so every arithmetic step in
+// the generators goes through these helpers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+/// Addition that aborts on signed overflow.
+constexpr std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  POBP_ASSERT_MSG(!__builtin_add_overflow(a, b, &out), "int64 add overflow");
+  return out;
+}
+
+/// Subtraction that aborts on signed overflow.
+constexpr std::int64_t checked_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  POBP_ASSERT_MSG(!__builtin_sub_overflow(a, b, &out), "int64 sub overflow");
+  return out;
+}
+
+/// Multiplication that aborts on signed overflow.
+constexpr std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  POBP_ASSERT_MSG(!__builtin_mul_overflow(a, b, &out), "int64 mul overflow");
+  return out;
+}
+
+/// Integer power base^exp with overflow checking. Requires exp >= 0.
+constexpr std::int64_t checked_pow(std::int64_t base, int exp) {
+  POBP_ASSERT(exp >= 0);
+  std::int64_t result = 1;
+  for (int i = 0; i < exp; ++i) result = checked_mul(result, base);
+  return result;
+}
+
+/// True iff base^exp fits in int64 (same loop as checked_pow, non-aborting).
+constexpr bool pow_fits_int64(std::int64_t base, int exp) {
+  std::int64_t result = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (__builtin_mul_overflow(result, base, &result)) return false;
+  }
+  return true;
+}
+
+/// Exact integer division: aborts if b does not divide a.
+constexpr std::int64_t exact_div(std::int64_t a, std::int64_t b) {
+  POBP_ASSERT(b != 0);
+  POBP_ASSERT_MSG(a % b == 0, "exact_div: not divisible");
+  return a / b;
+}
+
+/// floor(log_base(x)) for x >= 1, base >= 2.
+constexpr int floor_log(std::int64_t base, std::int64_t x) {
+  POBP_ASSERT(base >= 2 && x >= 1);
+  int l = 0;
+  // Divide instead of multiply so the loop cannot overflow.
+  while (x >= base) {
+    x /= base;
+    ++l;
+  }
+  return l;
+}
+
+}  // namespace pobp

@@ -1,0 +1,109 @@
+// Exact rational arithmetic on int64 (always stored in lowest terms).
+//
+// Used where the paper's constructions are stated with fractional
+// quantities — e.g. the Appendix-B relative laxity λ = 1 + 1/(3K−1) and the
+// Lemma-A.2 closed forms Σ (k/K)^j — so tests can assert *exact* equality
+// against the paper's formulas instead of comparing doubles.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "pobp/util/checked.hpp"
+
+namespace pobp {
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(std::int64_t value) : num_(value) {}  // NOLINT(implicit)
+  constexpr Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    POBP_ASSERT_MSG(den != 0, "rational with zero denominator");
+    normalize();
+  }
+
+  constexpr std::int64_t num() const { return num_; }
+  constexpr std::int64_t den() const { return den_; }
+
+  constexpr bool is_integer() const { return den_ == 1; }
+  constexpr double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Exact conversion; aborts unless the value is integral.
+  constexpr std::int64_t to_int() const {
+    POBP_ASSERT_MSG(den_ == 1, "rational is not an integer");
+    return num_;
+  }
+
+  friend constexpr Rational operator+(const Rational& a, const Rational& b) {
+    const std::int64_t g = std::gcd(a.den_, b.den_);
+    const std::int64_t bd = b.den_ / g;
+    return Rational(
+        checked_add(checked_mul(a.num_, bd), checked_mul(b.num_, a.den_ / g)),
+        checked_mul(a.den_, bd));
+  }
+  friend constexpr Rational operator-(const Rational& a, const Rational& b) {
+    return a + Rational(-b.num_, b.den_);
+  }
+  friend constexpr Rational operator*(const Rational& a, const Rational& b) {
+    // Cross-reduce before multiplying to delay overflow.
+    const std::int64_t g1 = std::gcd(a.num_ < 0 ? -a.num_ : a.num_, b.den_);
+    const std::int64_t g2 = std::gcd(b.num_ < 0 ? -b.num_ : b.num_, a.den_);
+    return Rational(checked_mul(a.num_ / g1, b.num_ / g2),
+                    checked_mul(a.den_ / g2, b.den_ / g1));
+  }
+  friend constexpr Rational operator/(const Rational& a, const Rational& b) {
+    POBP_ASSERT_MSG(b.num_ != 0, "rational division by zero");
+    return a * Rational(b.den_, b.num_);
+  }
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+  constexpr Rational operator-() const { return Rational(-num_, den_); }
+
+  friend constexpr bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;  // both in lowest terms
+  }
+  friend constexpr std::strong_ordering operator<=>(const Rational& a,
+                                                    const Rational& b) {
+    // a.num/a.den <=> b.num/b.den, denominators positive.
+    return checked_mul(a.num_, b.den_) <=> checked_mul(b.num_, a.den_);
+  }
+
+  std::string to_string() const {
+    return den_ == 1 ? std::to_string(num_)
+                     : std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+ private:
+  constexpr void normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+/// rational power with non-negative exponent.
+constexpr Rational pow(Rational base, int exp) {
+  POBP_ASSERT(exp >= 0);
+  Rational result(1);
+  for (int i = 0; i < exp; ++i) result *= base;
+  return result;
+}
+
+}  // namespace pobp

@@ -1,0 +1,71 @@
+// Small statistics helpers used by the experiment harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+/// Single-pass running statistics (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Merge another accumulator (parallel reduction support).
+  void merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (by sorting a copy). q in [0, 1].
+inline double percentile(std::vector<double> xs, double q) {
+  POBP_ASSERT(!xs.empty());
+  POBP_ASSERT(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace pobp

@@ -1,0 +1,41 @@
+// ASCII table printer for the benchmark harnesses.
+//
+// The benchmarks in bench/ regenerate the paper's constructions and print
+// paper-style series ("level, n, OPT_inf, OPT_k, ratio, bound").  This tiny
+// formatter keeps those tables aligned and diff-friendly so EXPERIMENTS.md
+// can quote them verbatim.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pobp {
+
+/// Column-aligned ASCII table with a title and header row.
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> header);
+
+  /// Append one row; cells are pre-formatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(int v) { return fmt(static_cast<std::int64_t>(v)); }
+  static std::string fmt(double v, int precision = 4);
+
+  /// Render with box-drawing separators.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pobp

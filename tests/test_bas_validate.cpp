@@ -1,0 +1,174 @@
+// Tests for the k-BAS validator (Defs. 3.1–3.2) and the brute-force oracle.
+#include <gtest/gtest.h>
+
+#include "pobp/forest/bas.hpp"
+#include "pobp/gen/forest_gen.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+//      0
+//     / \
+//    1   2
+//   / \   \
+//  3   4   5
+Forest chain_tree() {
+  Forest f;
+  f.add(1);
+  f.add(1, 0);
+  f.add(1, 0);
+  f.add(1, 1);
+  f.add(1, 1);
+  f.add(1, 2);
+  return f;
+}
+
+SubForest mask(const Forest& f, std::initializer_list<NodeId> kept) {
+  SubForest sel{std::vector<char>(f.size(), 0)};
+  for (const NodeId v : kept) sel.keep[v] = 1;
+  return sel;
+}
+
+TEST(BasValidate, EmptySelectionIsValid) {
+  const Forest f = chain_tree();
+  EXPECT_TRUE(validate_bas(f, mask(f, {}), 1));
+}
+
+TEST(BasValidate, WholeTreeValidIffDegreeFits) {
+  const Forest f = chain_tree();
+  SubForest all{std::vector<char>(f.size(), 1)};
+  EXPECT_TRUE(validate_bas(f, all, 2));
+  EXPECT_FALSE(validate_bas(f, all, 1));  // node 0 and 1 have 2 children
+}
+
+TEST(BasValidate, DegreeCountsOnlyKeptChildren) {
+  const Forest f = chain_tree();
+  // Keep 0,1,3 — each kept node has ≤1 kept child.
+  EXPECT_TRUE(validate_bas(f, mask(f, {0, 1, 3}), 1));
+}
+
+TEST(BasValidate, AncestorIndependenceViolation) {
+  const Forest f = chain_tree();
+  // Keep 0 and 3 but delete 1: 3 roots a component under kept ancestor 0.
+  const auto r = validate_bas(f, mask(f, {0, 3}), 1);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("ancestor independence"), std::string::npos);
+}
+
+TEST(BasValidate, SiblingComponentsAreIndependent) {
+  const Forest f = chain_tree();
+  // Delete the root; both 1-subtree and 2-subtree kept: independent.
+  EXPECT_TRUE(validate_bas(f, mask(f, {1, 3, 4, 2, 5}), 2));
+}
+
+TEST(BasValidate, DeepAncestorViolationDetected) {
+  Forest f;  // path 0-1-2-3
+  f.add(1);
+  f.add(1, 0);
+  f.add(1, 1);
+  f.add(1, 2);
+  EXPECT_FALSE(validate_bas(f, mask(f, {0, 3}), 3));
+  EXPECT_TRUE(validate_bas(f, mask(f, {0, 1, 2, 3}), 1));
+  EXPECT_TRUE(validate_bas(f, mask(f, {2, 3}), 1));  // lower component only
+}
+
+TEST(BasValidate, DegreeViolationMessage) {
+  const Forest f = chain_tree();
+  const auto r = validate_bas(f, mask(f, {1, 3, 4}), 1);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("degree bound"), std::string::npos);
+}
+
+TEST(BasValidate, MaskSizeMismatch) {
+  const Forest f = chain_tree();
+  SubForest bad{std::vector<char>(2, 1)};
+  EXPECT_FALSE(validate_bas(f, bad, 1));
+}
+
+TEST(SubForest, ValueAndCount) {
+  Forest f;
+  f.add(10);
+  f.add(20, 0);
+  f.add(30, 0);
+  const SubForest sel = mask(f, {0, 2});
+  EXPECT_DOUBLE_EQ(sel.value(f), 40.0);
+  EXPECT_EQ(sel.kept_count(), 2u);
+}
+
+TEST(BruteForce, FindsObviousOptimum) {
+  // Star: root value 1, five leaves value 10 each.  For k=1 the best k-BAS
+  // keeps... deleting the root and keeping all leaves (independent
+  // components, degree 0): value 50.
+  Forest f;
+  f.add(1);
+  for (int i = 0; i < 5; ++i) f.add(10, 0);
+  const SubForest best = brute_force_bas(f, 1);
+  EXPECT_TRUE(validate_bas(f, best, 1));
+  EXPECT_DOUBLE_EQ(best.value(f), 50.0);
+}
+
+TEST(BruteForce, KeepsRootWhenItDominates) {
+  Forest f;
+  f.add(100);
+  for (int i = 0; i < 3; ++i) f.add(1, 0);
+  const SubForest best = brute_force_bas(f, 1);
+  EXPECT_TRUE(best.kept(0));
+  EXPECT_DOUBLE_EQ(best.value(f), 101.0);  // root + best child
+}
+
+
+// ---- differential check against an independent naive validator ----------
+
+/// Naive reimplementation of Defs. 3.1–3.2 using is_ancestor() directly:
+/// O(n³), structured completely differently from validate_bas.
+bool naive_valid_bas(const Forest& f, const SubForest& sel, std::size_t k) {
+  if (sel.keep.size() != f.size()) return false;
+  // Degree bound.
+  for (NodeId v = 0; v < f.size(); ++v) {
+    if (!sel.kept(v)) continue;
+    std::size_t kept_children = 0;
+    for (const NodeId c : f.children(v)) kept_children += sel.kept(c);
+    if (kept_children > k) return false;
+  }
+  // Ancestor independence: find the component of each kept node by walking
+  // up through kept parents; two nodes in different components must not be
+  // ancestor-related.
+  auto component_root = [&](NodeId v) {
+    while (f.parent(v) != kNoNode && sel.kept(f.parent(v))) v = f.parent(v);
+    return v;
+  };
+  for (NodeId a = 0; a < f.size(); ++a) {
+    if (!sel.kept(a)) continue;
+    for (NodeId b = 0; b < f.size(); ++b) {
+      if (!sel.kept(b) || a == b) continue;
+      if (component_root(a) != component_root(b) && f.is_ancestor(a, b)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(BasValidateDifferential, AgreesWithNaiveOnRandomMasks) {
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    ForestGenConfig config;
+    config.nodes = 1 + static_cast<std::size_t>(rng.uniform_int(1, 25));
+    config.max_degree = 1 + static_cast<std::size_t>(rng.uniform_int(1, 4));
+    config.root_probability = 0.15;
+    const Forest f = random_forest(config, rng);
+    for (int m = 0; m < 30; ++m) {
+      SubForest sel{std::vector<char>(f.size(), 0)};
+      for (NodeId v = 0; v < f.size(); ++v) {
+        sel.keep[v] = rng.bernoulli(0.55);
+      }
+      const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+      EXPECT_EQ(validate_bas(f, sel, k).ok, naive_valid_bas(f, sel, k))
+          << "trial " << trial << " mask " << m;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pobp

@@ -1,0 +1,152 @@
+// Tests for Algorithm 1 (MaxContract / LevelledContraction):
+// value conservation (Lemma 3.17), the iteration bound (Lemma 3.18), and
+// validity of every level as a k-BAS (Lemma 3.16).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "pobp/bas/contraction.hpp"
+#include "pobp/bas/tm.hpp"
+#include "pobp/gen/forest_gen.hpp"
+#include "pobp/gen/lower_bounds.hpp"
+#include "pobp/schedule/metrics.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+TEST(Contraction, SingleNode) {
+  Forest f;
+  f.add(7);
+  const ContractionResult r = levelled_contraction(f, 1);
+  EXPECT_EQ(r.iterations(), 1u);
+  EXPECT_DOUBLE_EQ(r.value, 7.0);
+  EXPECT_TRUE(r.selection.kept(0));
+}
+
+TEST(Contraction, DegreeKTreeContractsInOneIteration) {
+  // A binary tree is fully 1-contract... no: for k=1 a binary tree is NOT
+  // 1-contractible; use k=2.
+  Forest f;
+  f.add(1);
+  f.add(1, 0);
+  f.add(1, 0);
+  f.add(1, 1);
+  f.add(1, 1);
+  const ContractionResult r = levelled_contraction(f, 2);
+  EXPECT_EQ(r.iterations(), 1u);
+  EXPECT_DOUBLE_EQ(r.value, 5.0);  // whole tree in one contraction
+}
+
+TEST(Contraction, StarNeedsTwoIterationsForSmallK) {
+  Forest f;
+  f.add(1);
+  for (int i = 0; i < 5; ++i) f.add(10, 0);
+  const ContractionResult r = levelled_contraction(f, 1);
+  // Iteration 1 removes the 5 leaves (each a maximal contractible node,
+  // since the root has degree 5 > 1); iteration 2 removes the root.
+  ASSERT_EQ(r.iterations(), 2u);
+  EXPECT_DOUBLE_EQ(r.levels[0].value, 50.0);
+  EXPECT_DOUBLE_EQ(r.levels[1].value, 1.0);
+  EXPECT_DOUBLE_EQ(r.value, 50.0);
+}
+
+TEST(ContractionDeath, KZeroRejected) {
+  Forest f;
+  f.add(1);
+  EXPECT_DEATH(levelled_contraction(f, 0), "k >= 1");
+}
+
+class ContractionProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(ContractionProperty, LevelsPartitionValueAndFormValidBas) {
+  const auto [seed, k] = GetParam();
+  Rng rng(seed);
+  for (int trial = 0; trial < 15; ++trial) {
+    ForestGenConfig config;
+    config.nodes = 1 + static_cast<std::size_t>(rng.uniform_int(1, 300));
+    config.max_degree = 1 + static_cast<std::size_t>(rng.uniform_int(1, 6));
+    config.root_probability = 0.05;
+    const Forest f = random_forest(config, rng);
+
+    const ContractionResult r = levelled_contraction(f, k);
+
+    // Lemma 3.17 machinery: the levels partition the node set, so the
+    // total value is conserved across levels.
+    Value level_sum = 0;
+    std::size_t member_count = 0;
+    for (const auto& level : r.levels) {
+      level_sum += level.value;
+      member_count += level.members.size();
+      // Lemma 3.16: every level is a valid k-BAS.
+      SubForest level_sel{std::vector<char>(f.size(), 0)};
+      for (const NodeId v : level.members) level_sel.keep[v] = 1;
+      const auto check = validate_bas(f, level_sel, k);
+      EXPECT_TRUE(check) << check.error;
+    }
+    EXPECT_EQ(member_count, f.size());
+    EXPECT_NEAR(level_sum, f.total_value(), 1e-6);
+
+    // Lemma 3.18: L ≤ log_{k+1} n (+1 for the rounding of tiny forests).
+    const double bound = std::log(static_cast<double>(f.size())) /
+                         std::log(static_cast<double>(k + 1));
+    EXPECT_LE(static_cast<double>(r.iterations()), bound + 1.0);
+
+    // Best level value ≥ total / L (eq. 3.2).
+    EXPECT_GE(r.value * static_cast<double>(r.iterations()),
+              f.total_value() * (1 - 1e-12));
+
+    // The returned selection is itself a valid k-BAS.
+    EXPECT_TRUE(validate_bas(f, r.selection, k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, ContractionProperty,
+    ::testing::Combine(::testing::Values(3u, 13u, 23u),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{5})));
+
+// Theorem 3.9's proof structure: TM (optimal) is at least as good as
+// LevelledContraction on every input.
+class TmDominatesContraction
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TmDominatesContraction, OnRandomForests) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    ForestGenConfig config;
+    config.nodes = 500;
+    config.max_degree = 6;
+    config.value_dist = ForestGenConfig::ValueDist::kHeavyTail;
+    const Forest f = random_forest(config, rng);
+    for (const std::size_t k : {1u, 3u}) {
+      const TmResult tm = tm_optimal_bas(f, k);
+      const ContractionResult lc = levelled_contraction(f, k);
+      EXPECT_GE(tm.value, lc.value * (1 - 1e-12));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TmDominatesContraction,
+                         ::testing::Values(41, 42, 43));
+
+// On the Appendix-A lower-bound tree the contraction levels are exactly the
+// tree levels (every level i is K-regular with K > k).
+TEST(Contraction, AppendixATreeContractsLevelByLevel) {
+  const std::size_t k = 1;
+  const std::size_t L = 5;
+  const BasLowerBoundTree lb = bas_lower_bound_tree(k, 2, L);
+  const ContractionResult r = levelled_contraction(lb.forest, k);
+  ASSERT_EQ(r.iterations(), L + 1);
+  // Each iteration harvests one tree level (bottom-up), each worth K^L.
+  for (const auto& level : r.levels) {
+    EXPECT_DOUBLE_EQ(level.value, std::pow(2.0, static_cast<double>(L)));
+  }
+}
+
+}  // namespace
+}  // namespace pobp

@@ -1,0 +1,143 @@
+// Edge-case sweep across modules: the degenerate inputs every production
+// library gets fed eventually.
+#include <gtest/gtest.h>
+
+#include "pobp/core/pobp.hpp"
+#include "pobp/gen/forest_gen.hpp"
+#include "pobp/gen/lower_bounds.hpp"
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/gen/schedule_gen.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+TEST(EdgeCases, SingleTickJobEverywhere) {
+  JobSet jobs;
+  jobs.add({0, 1, 1, 1.0});  // tightest possible job
+  const ScheduleResult r = schedule_bounded(jobs, {.k = 0});
+  EXPECT_DOUBLE_EQ(r.value, 1.0);
+  EXPECT_TRUE(validate(jobs, r.schedule, 0));
+  EXPECT_TRUE(edf_schedule(jobs, all_ids(jobs)).has_value());
+  EXPECT_TRUE(preemptive_feasible(jobs, all_ids(jobs)));
+}
+
+TEST(EdgeCases, EdfDeadlineTiesBrokenById) {
+  JobSet jobs;
+  jobs.add({0, 10, 3, 1.0});
+  jobs.add({0, 10, 3, 1.0});
+  const auto ms = edf_schedule(jobs, all_ids(jobs));
+  ASSERT_TRUE(ms);
+  // Lower id first under the strict tie order.
+  EXPECT_EQ(ms->find(0)->segments[0], (Segment{0, 3}));
+  EXPECT_EQ(ms->find(1)->segments[0], (Segment{3, 6}));
+}
+
+TEST(EdgeCases, SimultaneousReleaseBurst) {
+  // 20 identical jobs released together, exactly filling the horizon.
+  JobSet jobs;
+  for (int i = 0; i < 20; ++i) jobs.add({0, 100, 5, 1.0});
+  const auto ms = edf_schedule(jobs, all_ids(jobs));
+  ASSERT_TRUE(ms);
+  EXPECT_EQ(ms->job_count(), 20u);
+  EXPECT_EQ(ms->max_preemptions(), 0u);  // EDF runs them back to back
+}
+
+TEST(EdgeCases, AppendixATreeAtDepthZero) {
+  const BasLowerBoundTree lb = bas_lower_bound_tree(1, 2, 0);
+  EXPECT_EQ(lb.forest.size(), 1u);
+  EXPECT_EQ(lb.total_value, 1);
+  const TmResult r = tm_optimal_bas(lb.forest, 1);
+  EXPECT_DOUBLE_EQ(r.value, 1.0);
+}
+
+TEST(EdgeCases, GeometricChainOfOne) {
+  const K0GeometricInstance inst = k0_geometric_instance(1);
+  EXPECT_EQ(inst.jobs.size(), 1u);
+  EXPECT_TRUE(validate_machine(inst.jobs, inst.witness, 0));
+}
+
+TEST(EdgeCases, LaminarGeneratorMinimalTarget) {
+  Rng rng(1);
+  LaminarGenConfig config;
+  config.target_jobs = 1;
+  const LaminarInstance inst = random_laminar_instance(config, rng);
+  EXPECT_GE(inst.jobs.size(), 1u);
+  EXPECT_TRUE(validate_machine(inst.jobs, inst.schedule));
+}
+
+TEST(EdgeCases, SingleNodeForestGenerator) {
+  Rng rng(2);
+  ForestGenConfig config;
+  config.nodes = 1;
+  const Forest f = random_forest(config, rng);
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(levelled_contraction(f, 1).iterations(), 1u);
+}
+
+TEST(EdgeCases, AllJobsLaxGoThroughLsaBranch) {
+  Rng rng(3);
+  JobGenConfig config;
+  config.n = 30;
+  config.max_length = 32;
+  config.min_laxity = 10.0;  // λ ≥ k+1 for any small k
+  config.max_laxity = 20.0;
+  config.horizon = 4096;
+  const JobSet jobs = random_jobs(config, rng);
+  const MachineSchedule seed = greedy_infinity(jobs, all_ids(jobs));
+  const CombinedResult r = k_preemption_combined(jobs, seed, {.k = 2});
+  EXPECT_EQ(r.strict_jobs, 0u);
+  EXPECT_GT(r.lax_jobs, 0u);
+  EXPECT_TRUE(validate_machine(jobs, r.schedule, 2));
+}
+
+TEST(EdgeCases, AllJobsStrictGoThroughReductionBranch) {
+  Rng rng(4);
+  JobGenConfig config;
+  config.n = 30;
+  config.max_length = 32;
+  config.min_laxity = 1.0;
+  config.max_laxity = 1.4;  // λ < k+1 for every k ≥ 1
+  config.horizon = 4096;
+  const JobSet jobs = random_jobs(config, rng);
+  const MachineSchedule seed = greedy_infinity(jobs, all_ids(jobs));
+  const CombinedResult r = k_preemption_combined(jobs, seed, {.k = 2});
+  EXPECT_EQ(r.lax_jobs, 0u);
+  EXPECT_DOUBLE_EQ(r.lax_value, 0.0);
+  EXPECT_TRUE(validate_machine(jobs, r.schedule, 2));
+}
+
+TEST(EdgeCases, HugeKEquivalentToUnbounded) {
+  Rng rng(5);
+  LaminarGenConfig config;
+  config.target_jobs = 60;
+  config.max_children = 4;
+  const LaminarInstance inst = random_laminar_instance(config, rng);
+  // k larger than any forest degree: the reduction keeps everything.
+  const ReductionResult r =
+      reduce_to_k_preemptive(inst.jobs, inst.schedule, 100);
+  EXPECT_DOUBLE_EQ(r.value, inst.jobs.total_value());
+}
+
+TEST(EdgeCases, ValidatorHandlesAdjacentSegmentsOfSameJob) {
+  // Adjacent segments are merged on add(), so they count as one.
+  JobSet jobs;
+  jobs.add({0, 10, 4, 1.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 2}, {2, 4}}});
+  EXPECT_TRUE(validate_machine(jobs, ms, 0));
+}
+
+TEST(EdgeCases, IntervalCoverOfIdenticalIntervals) {
+  const std::vector<Segment> s{{0, 5}, {0, 5}, {0, 5}};
+  const IntervalCover c = greedy_interval_cover(s);
+  EXPECT_EQ(c.chosen.size(), 1u);
+}
+
+TEST(EdgeCases, MaxLPickerSmallBudget) {
+  // A job budget of 1 only fits L = 0.
+  EXPECT_EQ(pobp_lower_bound_max_L(2, 1), 0u);
+}
+
+}  // namespace
+}  // namespace pobp

@@ -1,0 +1,102 @@
+// Unit tests for the forest arena.
+#include <gtest/gtest.h>
+
+#include "pobp/forest/forest.hpp"
+
+namespace pobp {
+namespace {
+
+Forest small_tree() {
+  //      0
+  //    / | \
+  //   1  2  3
+  //  / \     \
+  // 4   5     6
+  Forest f;
+  f.add(10);        // 0
+  f.add(20, 0);     // 1
+  f.add(30, 0);     // 2
+  f.add(40, 0);     // 3
+  f.add(50, 1);     // 4
+  f.add(60, 1);     // 5
+  f.add(70, 3);     // 6
+  return f;
+}
+
+TEST(Forest, BasicStructure) {
+  const Forest f = small_tree();
+  EXPECT_EQ(f.size(), 7u);
+  EXPECT_EQ(f.roots().size(), 1u);
+  EXPECT_EQ(f.degree(0), 3u);
+  EXPECT_EQ(f.degree(1), 2u);
+  EXPECT_TRUE(f.is_leaf(4));
+  EXPECT_FALSE(f.is_leaf(1));
+  EXPECT_TRUE(f.is_root(0));
+  EXPECT_EQ(f.parent(6), 3u);
+  EXPECT_EQ(f.parent(0), kNoNode);
+}
+
+TEST(Forest, MultipleRoots) {
+  Forest f;
+  f.add(1);
+  f.add(2);
+  f.add(3, 1);
+  EXPECT_EQ(f.roots().size(), 2u);
+  EXPECT_EQ(f.roots()[0], 0u);
+  EXPECT_EQ(f.roots()[1], 1u);
+}
+
+TEST(Forest, AncestorAndDepth) {
+  const Forest f = small_tree();
+  EXPECT_TRUE(f.is_ancestor(0, 4));
+  EXPECT_TRUE(f.is_ancestor(1, 5));
+  EXPECT_FALSE(f.is_ancestor(4, 0));
+  EXPECT_FALSE(f.is_ancestor(2, 4));
+  EXPECT_FALSE(f.is_ancestor(4, 4));  // not a *proper* ancestor of itself
+  EXPECT_EQ(f.depth(0), 0u);
+  EXPECT_EQ(f.depth(3), 1u);
+  EXPECT_EQ(f.depth(6), 2u);
+}
+
+TEST(Forest, Values) {
+  Forest f = small_tree();
+  EXPECT_DOUBLE_EQ(f.total_value(), 280.0);
+  EXPECT_DOUBLE_EQ(f.subtree_value(1), 130.0);
+  EXPECT_DOUBLE_EQ(f.subtree_value(4), 50.0);
+  f.set_value(4, 5);
+  EXPECT_DOUBLE_EQ(f.subtree_value(1), 85.0);
+}
+
+TEST(Forest, SubtreeMembership) {
+  const Forest f = small_tree();
+  const auto sub = f.subtree(1);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub[0], 1u);  // root of the subtree first
+}
+
+TEST(Forest, PostOrderIsChildrenFirst) {
+  const Forest f = small_tree();
+  const auto order = f.post_order();
+  ASSERT_EQ(order.size(), f.size());
+  std::vector<bool> seen(f.size(), false);
+  for (const NodeId v : order) {
+    for (const NodeId c : f.children(v)) {
+      EXPECT_TRUE(seen[c]) << "child " << c << " after parent " << v;
+    }
+    seen[v] = true;
+  }
+}
+
+TEST(Forest, LeafCount) {
+  const Forest f = small_tree();
+  EXPECT_EQ(f.leaf_count(), 4u);  // 4, 5, 2, 6
+}
+
+TEST(ForestDeath, ChildBeforeParentAborts) {
+  Forest f;
+  f.add(1);
+  EXPECT_DEATH(f.add(2, 5), "parent");
+}
+
+}  // namespace
+}  // namespace pobp

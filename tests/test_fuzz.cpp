@@ -1,0 +1,190 @@
+// Cross-module differential sweeps ("fuzz" tier): every invariant that ties
+// two independent implementations together, hammered with random inputs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pobp/core/pobp.hpp"
+#include "pobp/gen/forest_gen.hpp"
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/gen/schedule_gen.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+// Ordering of the exact solvers on one instance:
+//   ALG_k ≤ OPT_k(slots) ≤ OPT∞(B&B) ≤ migrative OPT∞ ≤ total value,
+//   and OPT₀(bitmask) ≤ OPT_k for every k ≥ 0.
+class SolverChain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverChain, ExactSolversAreConsistentlyOrdered) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    JobGenConfig config;
+    config.n = 5;
+    config.min_length = 1;
+    config.max_length = 5;
+    config.max_laxity = 3.0;
+    config.horizon = 32;
+    config.value_mode = JobGenConfig::ValueMode::kRandomDensity;
+    const JobSet jobs = random_jobs(config, rng);
+    const auto ids = all_ids(jobs);
+
+    const Value opt0 = opt_zero(jobs, ids).value;
+    const auto opt1 = opt_k_slots(jobs, 1, std::size_t{1} << 34);
+    const auto opt2 = opt_k_slots(jobs, 2, std::size_t{1} << 34);
+    const Value opt_inf = opt_infinity(jobs, ids).value;
+    const Value opt_mig2 = opt_infinity_migrative(jobs, ids, 2).value;
+    ASSERT_TRUE(opt1 && opt2);
+
+    EXPECT_LE(opt0, *opt1 + 1e-9);
+    EXPECT_LE(*opt1, *opt2 + 1e-9);
+    EXPECT_LE(*opt2, opt_inf + 1e-9);
+    EXPECT_LE(opt_inf, opt_mig2 + 1e-9);
+    EXPECT_LE(opt_mig2, jobs.total_value() + 1e-9);
+
+    // The pipeline never beats the matching exact optimum.
+    for (const std::size_t k : {0u, 1u, 2u}) {
+      const ScheduleResult r = schedule_bounded(
+          jobs, {.k = k, .seed = ScheduleOptions::Seed::kExact});
+      ASSERT_TRUE(validate(jobs, r.schedule, k));
+      const Value cap = k == 0 ? opt0 : (k == 1 ? *opt1 : *opt2);
+      EXPECT_LE(r.value, cap + 1e-9) << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverChain,
+                         ::testing::Values(301, 302, 303, 304, 305));
+
+// Reduction idempotence: a schedule that is already k-bounded and laminar
+// survives the k'-reduction unscathed for every k' ≥ its forest degree.
+class ReductionIdempotence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReductionIdempotence, BoundedSchedulesPassThroughLosslessly) {
+  Rng rng(GetParam());
+  LaminarGenConfig config;
+  config.target_jobs = 80;
+  config.max_children = 3;  // forest degree ≤ 3
+  const LaminarInstance inst = random_laminar_instance(config, rng);
+
+  // With k ≥ max forest degree the optimal k-BAS is the whole forest.
+  const ReductionResult r = reduce_to_k_preemptive(inst.jobs, inst.schedule, 3);
+  EXPECT_DOUBLE_EQ(r.value, inst.jobs.total_value());
+  EXPECT_EQ(r.bounded.job_count(), inst.jobs.size());
+  EXPECT_TRUE(validate_machine(inst.jobs, r.bounded, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionIdempotence,
+                         ::testing::Values(311, 312, 313, 314));
+
+// CSV round trips compose with the whole pipeline.
+class IoPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoPipeline, SolveOfParsedEqualsSolveOfOriginal) {
+  Rng rng(GetParam());
+  JobGenConfig config;
+  config.n = 40;
+  config.max_length = 128;
+  config.horizon = 4096;
+  config.value_mode = JobGenConfig::ValueMode::kRandomDensity;
+  const JobSet original = random_jobs(config, rng);
+  const JobSet parsed = io::jobs_from_csv(io::jobs_to_csv(original));
+
+  const ScheduleResult a = schedule_bounded(original, {.k = 1});
+  const ScheduleResult b = schedule_bounded(parsed, {.k = 1});
+  EXPECT_DOUBLE_EQ(a.value, b.value);  // deterministic pipeline
+
+  // And the schedule itself round-trips losslessly.
+  const Schedule round =
+      io::schedule_from_csv(io::schedule_to_csv(a.schedule));
+  EXPECT_TRUE(validate(original, round, 1));
+  EXPECT_DOUBLE_EQ(round.total_value(original), a.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoPipeline,
+                         ::testing::Values(321, 322, 323));
+
+// Forest CSV round trips preserve TM results exactly.
+class ForestIo : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForestIo, TmValueSurvivesRoundTrip) {
+  Rng rng(GetParam());
+  ForestGenConfig config;
+  config.nodes = 300;
+  config.max_degree = 5;
+  config.value_dist = ForestGenConfig::ValueDist::kHeavyTail;
+  const Forest original = random_forest(config, rng);
+  const Forest parsed = io::forest_from_csv(io::forest_to_csv(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (const std::size_t k : {1u, 2u}) {
+    EXPECT_DOUBLE_EQ(tm_optimal_bas(parsed, k).value,
+                     tm_optimal_bas(original, k).value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestIo, ::testing::Values(331, 332));
+
+// Determinism: the full pipeline is a pure function of its inputs.
+TEST(Determinism, SchedulingTwiceGivesIdenticalSchedules) {
+  Rng rng(341);
+  JobGenConfig config;
+  config.n = 60;
+  config.max_length = 128;
+  config.horizon = 4096;
+  const JobSet jobs = random_jobs(config, rng);
+  const ScheduleResult a = schedule_bounded(jobs, {.k = 2, .machine_count = 2});
+  const ScheduleResult b = schedule_bounded(jobs, {.k = 2, .machine_count = 2});
+  EXPECT_EQ(io::schedule_to_csv(a.schedule), io::schedule_to_csv(b.schedule));
+}
+
+// Validator agreement: anything EDF emits validates; anything the validator
+// rejects, EDF could not have emitted (spot-checked by mutation).
+class ValidatorMutation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValidatorMutation, RandomMutationsOfFeasibleSchedulesAreCaught) {
+  Rng rng(GetParam());
+  JobGenConfig config;
+  config.n = 25;
+  config.max_length = 64;
+  config.max_laxity = 2.0;  // tight windows: most mutations are infeasible
+  config.horizon = 2048;
+  const JobSet jobs = random_jobs(config, rng);
+  const MachineSchedule ms = greedy_infinity(jobs, all_ids(jobs));
+  ASSERT_TRUE(validate_machine(jobs, ms));
+  if (ms.empty()) GTEST_SKIP();
+
+  int caught = 0;
+  int mutations = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    // Rebuild the schedule with one random segment shifted.
+    MachineSchedule mutated;
+    const std::size_t victim = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ms.job_count()) - 1));
+    const Time shift = rng.uniform_int(1, 40) * (rng.bernoulli(0.5) ? 1 : -1);
+    bool changed = false;
+    for (std::size_t a = 0; a < ms.assignments().size(); ++a) {
+      Assignment copy = ms.assignments()[a];
+      if (a == victim && !copy.segments.empty()) {
+        copy.segments.back().begin += shift;
+        copy.segments.back().end += shift;
+        changed = true;
+      }
+      // Normalization inside add() may abort on pathological overlaps;
+      // guard with the pre-check used by add().
+      mutated.add(std::move(copy));
+    }
+    if (!changed) continue;
+    ++mutations;
+    caught += !validate_machine(jobs, mutated).ok;
+  }
+  // Most random shifts in a tight, busy schedule must be rejected.
+  EXPECT_GT(caught * 2, mutations) << caught << "/" << mutations;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorMutation,
+                         ::testing::Values(351, 352, 353));
+
+}  // namespace
+}  // namespace pobp

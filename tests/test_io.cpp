@@ -1,0 +1,257 @@
+// Tests for CSV (de)serialization and the Gantt renderer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/io/csv.hpp"
+#include "pobp/io/forest_csv.hpp"
+#include "pobp/schedule/report.hpp"
+#include "pobp/schedule/gantt.hpp"
+#include "pobp/schedule/validate.hpp"
+#include "pobp/solvers/solvers.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+JobSet sample_jobs() {
+  JobSet jobs;
+  jobs.add({0, 10, 4, 5.0});
+  jobs.add({2, 20, 6, 2.5});
+  jobs.add({5, 9, 1, 100.0});
+  return jobs;
+}
+
+TEST(JobsCsv, RoundTripsExactly) {
+  const JobSet original = sample_jobs();
+  const JobSet parsed = io::jobs_from_csv(io::jobs_to_csv(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (JobId i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].release, original[i].release);
+    EXPECT_EQ(parsed[i].deadline, original[i].deadline);
+    EXPECT_EQ(parsed[i].length, original[i].length);
+    EXPECT_DOUBLE_EQ(parsed[i].value, original[i].value);
+  }
+}
+
+TEST(JobsCsv, RoundTripsRandomInstancesExactly) {
+  Rng rng(5);
+  JobGenConfig config;
+  config.n = 200;
+  config.value_mode = JobGenConfig::ValueMode::kRandomDensity;
+  const JobSet original = random_jobs(config, rng);
+  const JobSet parsed = io::jobs_from_csv(io::jobs_to_csv(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (JobId i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed[i].value, original[i].value);  // 17 sig digits
+    EXPECT_EQ(parsed[i].window(), original[i].window());
+  }
+}
+
+TEST(JobsCsv, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n\nrelease,deadline,length,value\n# inline\n0,10,4,5\n";
+  const JobSet jobs = io::jobs_from_csv(text);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].length, 4);
+}
+
+TEST(JobsCsv, RejectsMissingHeader) {
+  EXPECT_THROW(io::jobs_from_csv("0,10,4,5\n"), io::ParseError);
+}
+
+TEST(JobsCsv, RejectsWrongCellCount) {
+  EXPECT_THROW(
+      io::jobs_from_csv("release,deadline,length,value\n0,10,4\n"),
+      io::ParseError);
+}
+
+TEST(JobsCsv, RejectsNonNumeric) {
+  try {
+    io::jobs_from_csv("release,deadline,length,value\n0,ten,4,5\n");
+    FAIL() << "expected ParseError";
+  } catch (const io::ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(JobsCsv, RejectsMalformedJob) {
+  EXPECT_THROW(
+      io::jobs_from_csv("release,deadline,length,value\n0,3,4,5\n"),
+      io::ParseError);  // window < length
+}
+
+TEST(ScheduleCsv, RoundTripsMultiMachine) {
+  Schedule original(2);
+  original.machine(0).add({0, {{0, 2}, {5, 7}}});
+  original.machine(1).add({1, {{1, 4}}});
+  const Schedule parsed =
+      io::schedule_from_csv(io::schedule_to_csv(original));
+  ASSERT_EQ(parsed.machine_count(), 2u);
+  ASSERT_NE(parsed.machine(0).find(0), nullptr);
+  EXPECT_EQ(parsed.machine(0).find(0)->segments,
+            original.machine(0).find(0)->segments);
+  EXPECT_EQ(parsed.machine(1).find(1)->segments[0], (Segment{1, 4}));
+}
+
+TEST(ScheduleCsv, ValidatesAfterRoundTrip) {
+  Rng rng(7);
+  JobGenConfig config;
+  config.n = 30;
+  config.max_length = 64;
+  config.horizon = 4096;
+  const JobSet jobs = random_jobs(config, rng);
+  const MachineSchedule ms = greedy_infinity(jobs, all_ids(jobs));
+  const Schedule round =
+      io::schedule_from_csv(io::schedule_to_csv(Schedule(ms)));
+  EXPECT_TRUE(validate(jobs, round));
+  EXPECT_DOUBLE_EQ(round.total_value(jobs), ms.total_value(jobs));
+}
+
+TEST(ScheduleCsv, RejectsEmptySegment) {
+  EXPECT_THROW(io::schedule_from_csv("machine,job,begin,end\n0,0,5,5\n"),
+               io::ParseError);
+}
+
+TEST(CsvFiles, SaveAndLoad) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string jobs_path = (dir / "pobp_test_jobs.csv").string();
+  const std::string sched_path = (dir / "pobp_test_sched.csv").string();
+
+  const JobSet jobs = sample_jobs();
+  io::save_jobs(jobs_path, jobs);
+  EXPECT_EQ(io::load_jobs(jobs_path).size(), jobs.size());
+
+  Schedule schedule(1);
+  schedule.machine(0).add({0, {{0, 4}}});
+  io::save_schedule(sched_path, schedule);
+  EXPECT_EQ(io::load_schedule(sched_path).job_count(), 1u);
+
+  std::filesystem::remove(jobs_path);
+  std::filesystem::remove(sched_path);
+}
+
+TEST(CsvFiles, LoadMissingFileThrows) {
+  EXPECT_THROW(io::load_jobs("/nonexistent/path/jobs.csv"),
+               std::runtime_error);
+}
+
+TEST(Gantt, RendersKnownLayout) {
+  JobSet jobs;
+  jobs.add({0, 10, 4, 1.0});
+  jobs.add({2, 8, 3, 2.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 2}, {5, 7}}});
+  ms.add({1, {{2, 5}}});
+  const std::string art = render_gantt(jobs, ms, {.max_width = 80});
+  // 1 tick per column at this width: AABBBAA then idle-free tail.
+  EXPECT_NE(art.find("AABBBAA"), std::string::npos) << art;
+  EXPECT_NE(art.find("A = job#0"), std::string::npos);
+  EXPECT_NE(art.find("B = job#1"), std::string::npos);
+}
+
+TEST(Gantt, ShowsIdleGaps) {
+  JobSet jobs;
+  jobs.add({0, 4, 2, 1.0});
+  jobs.add({6, 10, 2, 1.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 2}}});
+  ms.add({1, {{6, 8}}});
+  const std::string art = render_gantt(jobs, ms, {.max_width = 80});
+  EXPECT_NE(art.find("AA....BB"), std::string::npos) << art;
+}
+
+TEST(Gantt, EmptyScheduleDoesNotCrash) {
+  const std::string art = render_gantt(JobSet{}, MachineSchedule{});
+  EXPECT_NE(art.find("time"), std::string::npos);
+}
+
+TEST(Gantt, ScalesDownLongHorizons) {
+  JobSet jobs;
+  jobs.add({0, 100000, 50000, 1.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 50000}}});
+  const std::string art = render_gantt(jobs, ms, {.max_width = 50});
+  // Must mention a >1 tick scale and stay within ~50 columns per lane.
+  EXPECT_NE(art.find("ticks"), std::string::npos);
+  const std::size_t lane = art.find("M0");
+  const std::size_t eol = art.find('\n', lane);
+  EXPECT_LE(eol - lane, 60u);
+}
+
+TEST(Gantt, MultiMachineLanes) {
+  JobSet jobs;
+  jobs.add({0, 4, 2, 1.0});
+  jobs.add({0, 4, 2, 1.0});
+  Schedule s(2);
+  s.machine(0).add({0, {{0, 2}}});
+  s.machine(1).add({1, {{0, 2}}});
+  const std::string art = render_gantt(jobs, s);
+  EXPECT_NE(art.find("M0"), std::string::npos);
+  EXPECT_NE(art.find("M1"), std::string::npos);
+}
+
+
+TEST(ForestCsv, RoundTripsStructureAndValues) {
+  Forest f;
+  f.add(5);
+  f.add(10, 0);
+  f.add(20, 0);
+  f.add(30, 1);
+  f.add(7);  // second root
+  const Forest parsed = io::forest_from_csv(io::forest_to_csv(f));
+  ASSERT_EQ(parsed.size(), f.size());
+  for (NodeId v = 0; v < f.size(); ++v) {
+    EXPECT_EQ(parsed.parent(v), f.parent(v));
+    EXPECT_DOUBLE_EQ(parsed.value(v), f.value(v));
+  }
+  EXPECT_EQ(parsed.roots().size(), 2u);
+}
+
+TEST(ForestCsv, RejectsForwardParentReference) {
+  EXPECT_THROW(io::forest_from_csv("parent,value\n3,1\n"), io::ParseError);
+}
+
+TEST(ForestCsv, RejectsNonPositiveValue) {
+  EXPECT_THROW(io::forest_from_csv("parent,value\n-1,0\n"), io::ParseError);
+}
+
+TEST(ForestCsv, RejectsMissingHeader) {
+  EXPECT_THROW(io::forest_from_csv("-1,5\n"), io::ParseError);
+}
+
+TEST(Report, SummarizesScheduleCorrectly) {
+  JobSet jobs;
+  jobs.add({0, 20, 4, 10.0});
+  jobs.add({0, 20, 3, 5.0});
+  jobs.add({0, 20, 2, 1.0});  // left unscheduled
+  Schedule s(2);
+  s.machine(0).add({0, {{0, 2}, {5, 7}}});  // 1 preemption
+  s.machine(1).add({1, {{1, 4}}});
+  const ScheduleReport r = make_report(jobs, s);
+  EXPECT_EQ(r.machines, 2u);
+  EXPECT_EQ(r.scheduled_jobs, 2u);
+  EXPECT_EQ(r.total_jobs, 3u);
+  EXPECT_DOUBLE_EQ(r.value, 15.0);
+  EXPECT_DOUBLE_EQ(r.total_value, 16.0);
+  EXPECT_EQ(r.busy_time, 7);
+  EXPECT_EQ(r.makespan_window, 7);  // [0, 7)
+  EXPECT_DOUBLE_EQ(r.utilization, 7.0 / 14.0);
+  EXPECT_EQ(r.max_preemptions, 1u);
+  EXPECT_EQ(r.total_preemptions, 1u);
+  ASSERT_EQ(r.segment_histogram.size(), 2u);
+  EXPECT_EQ(r.segment_histogram[0], 1u);  // one 1-segment job
+  EXPECT_EQ(r.segment_histogram[1], 1u);  // one 2-segment job
+  EXPECT_FALSE(r.to_string().empty());
+}
+
+TEST(Report, EmptySchedule) {
+  const ScheduleReport r = make_report(JobSet{}, Schedule(1));
+  EXPECT_EQ(r.scheduled_jobs, 0u);
+  EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace pobp

@@ -1,0 +1,149 @@
+// Tests for laminarity detection and the Fig. 1 rearrangement.
+#include <gtest/gtest.h>
+
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/schedule/edf.hpp"
+#include "pobp/schedule/laminar.hpp"
+#include "pobp/schedule/validate.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+TEST(IsLaminar, EmptyAndSingleJob) {
+  EXPECT_TRUE(is_laminar(MachineSchedule{}));
+  MachineSchedule ms;
+  ms.add({0, {{0, 2}, {5, 6}}});
+  EXPECT_TRUE(is_laminar(ms));
+}
+
+TEST(IsLaminar, ProperNestingIsLaminar) {
+  // A [0,1) B [1,2) A [2,3): B nested between A's segments.
+  MachineSchedule ms;
+  ms.add({0, {{0, 1}, {2, 3}}});
+  ms.add({1, {{1, 2}}});
+  EXPECT_TRUE(is_laminar(ms));
+}
+
+TEST(IsLaminar, TwoChildrenInOneGap) {
+  MachineSchedule ms;
+  ms.add({0, {{0, 1}, {3, 4}}});
+  ms.add({1, {{1, 2}}});
+  ms.add({2, {{2, 3}}});
+  EXPECT_TRUE(is_laminar(ms));
+}
+
+TEST(IsLaminar, DeepNesting) {
+  MachineSchedule ms;
+  ms.add({0, {{0, 1}, {6, 7}}});
+  ms.add({1, {{1, 2}, {4, 5}}});
+  ms.add({2, {{2, 3}}});
+  ms.add({3, {{3, 4}}});
+  ms.add({4, {{5, 6}}});
+  EXPECT_TRUE(is_laminar(ms));
+}
+
+TEST(IsLaminar, DetectsInterleaving) {
+  // a1 ≺ b1 ≺ a2 ≺ b2 — the forbidden pattern.
+  MachineSchedule ms;
+  ms.add({0, {{0, 1}, {2, 3}}});
+  ms.add({1, {{1, 2}, {3, 4}}});
+  EXPECT_FALSE(is_laminar(ms));
+}
+
+TEST(IsLaminar, DetectsInterleavingAcrossNesting) {
+  // C nests fine inside A, but B interleaves with A.
+  MachineSchedule ms;
+  ms.add({0, {{0, 1}, {3, 4}}});          // A
+  ms.add({2, {{1, 2}}});                  // C inside A ✓
+  ms.add({1, {{2, 3}, {5, 6}}});          // B: starts inside A, ends after
+  EXPECT_FALSE(is_laminar(ms));
+}
+
+TEST(IsLaminar, SequentialJobsAreLaminar) {
+  MachineSchedule ms;
+  ms.add({0, {{0, 3}}});
+  ms.add({1, {{3, 5}}});
+  ms.add({2, {{7, 9}}});
+  EXPECT_TRUE(is_laminar(ms));
+}
+
+TEST(Laminarize, FixesTheFigureOneExample) {
+  // The Fig. 1 pattern: two interleaved jobs.
+  JobSet jobs;
+  jobs.add({0, 5, 2, 1.0});
+  jobs.add({1, 8, 6, 1.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 1}, {4, 5}}});
+  ms.add({1, {{1, 4}, {5, 8}}});
+  ASSERT_TRUE(validate_machine(jobs, ms));
+  ASSERT_FALSE(is_laminar(ms));
+
+  const MachineSchedule fixed = laminarize(jobs, ms);
+  EXPECT_TRUE(is_laminar(fixed));
+  const auto check = validate_machine(jobs, fixed);
+  EXPECT_TRUE(check) << check.error;
+  // Same job set, same value — no loss (§4.1).
+  EXPECT_EQ(fixed.job_count(), 2u);
+  EXPECT_DOUBLE_EQ(fixed.total_value(jobs), ms.total_value(jobs));
+}
+
+class LaminarizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LaminarizeProperty, RandomFeasibleSetsBecomeLaminarLosslessly) {
+  Rng rng(GetParam());
+  JobGenConfig config;
+  config.n = 40;
+  config.max_length = 256;
+  config.max_laxity = 5.0;
+  config.horizon = 1 << 14;
+  const JobSet jobs = random_jobs(config, rng);
+
+  // Build a feasible subset greedily, then laminarize its EDF schedule.
+  std::vector<JobId> accepted;
+  for (JobId id = 0; id < jobs.size(); ++id) {
+    accepted.push_back(id);
+    if (!edf_schedule(jobs, accepted)) accepted.pop_back();
+  }
+  const auto ms = edf_schedule(jobs, accepted);
+  ASSERT_TRUE(ms);
+
+  const MachineSchedule out = laminarize(jobs, *ms);
+  EXPECT_TRUE(is_laminar(out));
+  EXPECT_TRUE(validate_machine(jobs, out));
+  EXPECT_EQ(out.job_count(), accepted.size());
+  EXPECT_DOUBLE_EQ(out.total_value(jobs), ms->total_value(jobs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaminarizeProperty,
+                         ::testing::Values(5, 15, 25, 35, 45, 55));
+
+// EDF output itself must always be laminar (the tie-order argument in
+// laminar.hpp) — sweep many random instances.
+class EdfLaminarity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdfLaminarity, EdfSchedulesAreLaminar) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    JobGenConfig config;
+    config.n = 25;
+    config.max_length = 64;
+    config.max_laxity = 8.0;
+    config.horizon = 4096;
+    const JobSet jobs = random_jobs(config, rng);
+    std::vector<JobId> accepted;
+    for (JobId id = 0; id < jobs.size(); ++id) {
+      accepted.push_back(id);
+      if (!edf_schedule(jobs, accepted)) accepted.pop_back();
+    }
+    const auto ms = edf_schedule(jobs, accepted);
+    ASSERT_TRUE(ms);
+    EXPECT_TRUE(is_laminar(*ms)) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdfLaminarity,
+                         ::testing::Values(7, 17, 27, 37));
+
+}  // namespace
+}  // namespace pobp

@@ -1,0 +1,133 @@
+// Tests for the k-BAS → k-bounded-schedule rebuild (Lemma 4.1) and the
+// full §4.2 reduction pipeline (Theorem 4.2).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pobp/bas/tm.hpp"
+#include "pobp/gen/schedule_gen.hpp"
+#include "pobp/reduction/rebuild.hpp"
+#include "pobp/schedule/laminar.hpp"
+#include "pobp/schedule/metrics.hpp"
+#include "pobp/schedule/validate.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+TEST(Rebuild, LeftMergeAroundPrunedChild) {
+  // Job 0 preempted twice by children 1 and 2; keep only child 2 (k = 1):
+  // job 0's second segment must merge left into child 1's vacated slot.
+  JobSet jobs;
+  jobs.add({0, 12, 8, 10.0});  // parent
+  jobs.add({2, 6, 2, 1.0});    // child A (will be pruned)
+  jobs.add({6, 10, 2, 5.0});   // child B (kept)
+  MachineSchedule ms;
+  ms.add({0, {{0, 2}, {4, 6}, {8, 12}}});
+  ms.add({1, {{2, 4}}});
+  ms.add({2, {{6, 8}}});
+  ASSERT_TRUE(validate_machine(jobs, ms));
+
+  const ScheduleForest sf = build_schedule_forest(jobs, ms);
+  SubForest sel{std::vector<char>(3, 1)};
+  sel.keep[1] = 0;  // prune child A
+
+  const MachineSchedule out = rebuild_schedule(jobs, sf, sel);
+  const auto check = validate_machine(jobs, out, /*k=*/1);
+  EXPECT_TRUE(check) << check.error;
+  const Assignment* parent = out.find(0);
+  ASSERT_NE(parent, nullptr);
+  // Left-merged: [0,2)+[2,4 vacated)+[4,6) coalesce into [0,6).
+  ASSERT_EQ(parent->segments.size(), 2u);
+  EXPECT_EQ(parent->segments[0], (Segment{0, 6}));
+  EXPECT_EQ(parent->segments[1], (Segment{8, 10}));  // trailing work shifts left
+  EXPECT_EQ(out.find(2)->segments[0], (Segment{6, 8}));  // kept child unmoved
+}
+
+TEST(Rebuild, PruneUpKeepsIndependentComponents) {
+  // A cheap parent preempted twice by two valuable children: for k = 1 the
+  // optimum prunes the parent *up* and keeps both children as independent
+  // components (Obs. 3.8b).
+  JobSet jobs;
+  jobs.add({0, 11, 3, 1.0});    // parent, segments [0,1) [5,6) [10,11)
+  jobs.add({1, 5, 4, 10.0});    // child in gap 1 (tight window)
+  jobs.add({6, 10, 4, 10.0});   // child in gap 2 (tight window)
+  MachineSchedule ms;
+  ms.add({0, {{0, 1}, {5, 6}, {10, 11}}});
+  ms.add({1, {{1, 5}}});
+  ms.add({2, {{6, 10}}});
+  ASSERT_TRUE(validate_machine(jobs, ms));
+  const ScheduleForest sf = build_schedule_forest(jobs, ms);
+  ASSERT_EQ(sf.forest.degree(0), 2u);
+
+  const TmResult tm = tm_optimal_bas(sf.forest, 1);
+  EXPECT_DOUBLE_EQ(tm.value, 20.0);  // m(root) = 20 beats t(root) = 11
+  EXPECT_FALSE(tm.selection.kept(0));
+  const MachineSchedule out = rebuild_schedule(jobs, sf, tm.selection);
+  EXPECT_TRUE(validate_machine(jobs, out, 1));
+  EXPECT_DOUBLE_EQ(out.total_value(jobs), 20.0);
+  // Children stay exactly where they were.
+  EXPECT_EQ(out.find(1)->segments[0], (Segment{1, 5}));
+  EXPECT_EQ(out.find(2)->segments[0], (Segment{6, 10}));
+}
+
+TEST(ReduceToKPreemptive, EmptyScheduleIsFine) {
+  JobSet jobs;
+  jobs.add({0, 4, 2, 1.0});
+  const ReductionResult r = reduce_to_k_preemptive(jobs, MachineSchedule{}, 1);
+  EXPECT_EQ(r.value, 0.0);
+  EXPECT_TRUE(r.bounded.empty());
+}
+
+class ReductionProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(ReductionProperty, Theorem42HoldsOnRandomLaminarInstances) {
+  const auto [seed, k] = GetParam();
+  Rng rng(seed);
+  for (int trial = 0; trial < 8; ++trial) {
+    LaminarGenConfig config;
+    config.target_jobs = 120;
+    config.max_children = 5;
+    config.value_dist = trial % 3 == 0
+                            ? LaminarGenConfig::ValueDist::kDepthGrow
+                            : LaminarGenConfig::ValueDist::kUniform;
+    const LaminarInstance inst = random_laminar_instance(config, rng);
+    const Value total = inst.jobs.total_value();  // = OPT∞ by construction
+
+    const ReductionResult r =
+        reduce_to_k_preemptive(inst.jobs, inst.schedule, k);
+
+    // Feasible and k-bounded (Lemma 4.1).
+    const auto check = validate_machine(inst.jobs, r.bounded, k);
+    EXPECT_TRUE(check) << check.error;
+
+    // Theorem 4.2: value ≥ OPT∞ / log_{k+1} n.
+    const double bound = log_k1(k, static_cast<double>(inst.jobs.size()));
+    EXPECT_GE(r.value * bound, total * (1 - 1e-9))
+        << "k=" << k << " trial=" << trial << " n=" << inst.jobs.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, ReductionProperty,
+    ::testing::Combine(::testing::Values(71u, 72u, 73u),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4})));
+
+// The reduction consumes schedules with slack windows too (r < span begin).
+TEST(ReductionProperty, SlackWindowsStillRebuildFeasibly) {
+  Rng rng(99);
+  LaminarGenConfig config;
+  config.target_jobs = 100;
+  config.slack_factor = 0.5;
+  const LaminarInstance inst = random_laminar_instance(config, rng);
+  const ReductionResult r = reduce_to_k_preemptive(inst.jobs, inst.schedule, 1);
+  const auto check = validate_machine(inst.jobs, r.bounded, 1);
+  EXPECT_TRUE(check) << check.error;
+  EXPECT_GT(r.value, 0.0);
+}
+
+}  // namespace
+}  // namespace pobp

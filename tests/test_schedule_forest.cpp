@@ -1,0 +1,136 @@
+// Tests for the schedule-forest construction (§4.1).
+#include <gtest/gtest.h>
+
+#include "pobp/gen/schedule_gen.hpp"
+#include "pobp/reduction/schedule_forest.hpp"
+#include "pobp/schedule/laminar.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+TEST(ScheduleForest, SequentialJobsBecomeRoots) {
+  JobSet jobs;
+  jobs.add({0, 3, 3, 1.0});
+  jobs.add({3, 7, 4, 2.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 3}}});
+  ms.add({1, {{3, 7}}});
+  const ScheduleForest sf = build_schedule_forest(jobs, ms);
+  EXPECT_EQ(sf.size(), 2u);
+  EXPECT_EQ(sf.forest.roots().size(), 2u);
+}
+
+TEST(ScheduleForest, NestedJobBecomesChild) {
+  JobSet jobs;
+  jobs.add({0, 10, 4, 1.0});
+  jobs.add({2, 8, 6, 2.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 2}, {8, 10}}});
+  ms.add({1, {{2, 8}}});
+  const ScheduleForest sf = build_schedule_forest(jobs, ms);
+  ASSERT_EQ(sf.size(), 2u);
+  // Node 0 = job 0 (first segment first); node 1 = job 1, child of node 0.
+  EXPECT_EQ(sf.node_job[0], 0u);
+  EXPECT_EQ(sf.node_job[1], 1u);
+  EXPECT_EQ(sf.forest.parent(1), 0u);
+  EXPECT_DOUBLE_EQ(sf.forest.value(1), 2.0);
+  EXPECT_EQ(sf.node_span[1], (Segment{2, 8}));
+  EXPECT_EQ(sf.node_span[0], (Segment{0, 10}));
+}
+
+TEST(ScheduleForest, TwoChildrenInOneGapAreSiblings) {
+  JobSet jobs;
+  jobs.add({0, 10, 2, 1.0});
+  jobs.add({0, 10, 4, 2.0});
+  jobs.add({0, 10, 4, 3.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 1}, {9, 10}}});
+  ms.add({1, {{1, 5}}});
+  ms.add({2, {{5, 9}}});
+  const ScheduleForest sf = build_schedule_forest(jobs, ms);
+  EXPECT_EQ(sf.forest.degree(0), 2u);
+  EXPECT_EQ(sf.forest.parent(1), 0u);
+  EXPECT_EQ(sf.forest.parent(2), 0u);
+}
+
+TEST(ScheduleForest, DeepNestingChain) {
+  JobSet jobs;
+  jobs.add({0, 10, 2, 1.0});
+  jobs.add({1, 9, 2, 1.0});
+  jobs.add({2, 8, 2, 1.0});
+  jobs.add({3, 7, 4, 1.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 1}, {9, 10}}});
+  ms.add({1, {{1, 2}, {8, 9}}});
+  ms.add({2, {{2, 3}, {7, 8}}});
+  ms.add({3, {{3, 7}}});
+  const ScheduleForest sf = build_schedule_forest(jobs, ms);
+  EXPECT_EQ(sf.forest.parent(1), 0u);
+  EXPECT_EQ(sf.forest.parent(2), 1u);
+  EXPECT_EQ(sf.forest.parent(3), 2u);
+  EXPECT_EQ(sf.forest.depth(3), 3u);
+}
+
+TEST(ScheduleForestDeath, RejectsNonLaminarInput) {
+  JobSet jobs;
+  jobs.add({0, 5, 2, 1.0});
+  jobs.add({1, 8, 6, 1.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 1}, {4, 5}}});
+  ms.add({1, {{1, 4}, {5, 8}}});
+  EXPECT_DEATH(build_schedule_forest(jobs, ms), "laminar");
+}
+
+TEST(ScheduleForestDeath, RejectsIdleInsideSpan) {
+  JobSet jobs;
+  jobs.add({0, 10, 2, 1.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 1}, {5, 6}}});  // idle [1,5) while job 0 is open
+  EXPECT_DEATH(build_schedule_forest(jobs, ms), "idles inside");
+}
+
+TEST(ScheduleForest, IdleBetweenRootsIsAllowed) {
+  JobSet jobs;
+  jobs.add({0, 3, 3, 1.0});
+  jobs.add({10, 14, 4, 2.0});
+  MachineSchedule ms;
+  ms.add({0, {{0, 3}}});
+  ms.add({1, {{10, 14}}});
+  const ScheduleForest sf = build_schedule_forest(jobs, ms);
+  EXPECT_EQ(sf.forest.roots().size(), 2u);
+}
+
+class ScheduleForestProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ScheduleForestProperty, GeneratorInstancesRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    LaminarGenConfig config;
+    config.target_jobs = 150;
+    const LaminarInstance inst = random_laminar_instance(config, rng);
+    ASSERT_TRUE(is_laminar(inst.schedule));
+
+    const ScheduleForest sf = build_schedule_forest(inst.jobs, inst.schedule);
+    EXPECT_EQ(sf.size(), inst.jobs.size());
+
+    // Forest value equals schedule value.
+    EXPECT_NEAR(sf.forest.total_value(), inst.jobs.total_value(), 1e-6);
+
+    // Parent-child relation is consistent with spans: child span inside the
+    // parent's span.
+    for (NodeId v = 0; v < sf.size(); ++v) {
+      const NodeId p = sf.forest.parent(v);
+      if (p == kNoNode) continue;
+      EXPECT_TRUE(sf.node_span[p].contains(sf.node_span[v]))
+          << "node " << v << " span not inside parent";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleForestProperty,
+                         ::testing::Values(61, 62, 63, 64));
+
+}  // namespace
+}  // namespace pobp

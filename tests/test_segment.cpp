@@ -1,0 +1,69 @@
+// Unit tests for segment algebra (Def. 2.1a and the ≺ relation of §2.2).
+#include <gtest/gtest.h>
+
+#include "pobp/schedule/segment.hpp"
+#include "pobp/schedule/schedule.hpp"
+
+namespace pobp {
+namespace {
+
+TEST(Segment, LengthAndEmpty) {
+  EXPECT_EQ((Segment{2, 7}).length(), 5);
+  EXPECT_TRUE((Segment{3, 3}).empty());
+  EXPECT_FALSE((Segment{3, 4}).empty());
+}
+
+TEST(Segment, OverlapsHalfOpenSemantics) {
+  EXPECT_TRUE((Segment{0, 5}).overlaps({4, 10}));
+  EXPECT_FALSE((Segment{0, 5}).overlaps({5, 10}));  // touching is disjoint
+  EXPECT_TRUE((Segment{0, 10}).overlaps({3, 4}));
+  EXPECT_FALSE((Segment{0, 1}).overlaps({2, 3}));
+}
+
+TEST(Segment, Contains) {
+  EXPECT_TRUE((Segment{0, 10}).contains(Segment{3, 7}));
+  EXPECT_TRUE((Segment{0, 10}).contains(Segment{0, 10}));
+  EXPECT_FALSE((Segment{0, 10}).contains(Segment{3, 11}));
+  EXPECT_TRUE((Segment{0, 10}).contains(Time{9}));
+  EXPECT_FALSE((Segment{0, 10}).contains(Time{10}));  // half-open
+}
+
+TEST(Segment, PrecedesIsTheTotalOrderOfDisjointSegments) {
+  EXPECT_TRUE(precedes(Segment{0, 3}, Segment{3, 5}));
+  EXPECT_TRUE(precedes(Segment{0, 3}, Segment{4, 5}));
+  EXPECT_FALSE(precedes(Segment{3, 5}, Segment{0, 3}));
+  // Overlapping segments: neither precedes the other.
+  EXPECT_FALSE(precedes(Segment{0, 4}, Segment{3, 5}));
+}
+
+TEST(Segment, TotalLength) {
+  EXPECT_EQ(total_length({{0, 2}, {5, 9}}), 6);
+  EXPECT_EQ(total_length({}), 0);
+}
+
+TEST(Segment, IsSortedDisjoint) {
+  EXPECT_TRUE(is_sorted_disjoint({{0, 2}, {2, 4}, {7, 8}}));
+  EXPECT_FALSE(is_sorted_disjoint({{0, 2}, {1, 4}}));     // overlap
+  EXPECT_FALSE(is_sorted_disjoint({{2, 4}, {0, 1}}));     // unsorted
+  EXPECT_FALSE(is_sorted_disjoint({{0, 2}, {3, 3}}));     // empty member
+  EXPECT_TRUE(is_sorted_disjoint({}));
+}
+
+TEST(Normalized, SortsMergesAndDropsEmpty) {
+  const auto out =
+      normalized({{5, 9}, {0, 2}, {2, 5}, {12, 12}, {20, 22}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Segment{0, 9}));
+  EXPECT_EQ(out[1], (Segment{20, 22}));
+}
+
+TEST(Normalized, MergesOverlapping) {
+  const auto out = normalized({{0, 5}, {3, 8}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Segment{0, 8}));
+}
+
+TEST(Normalized, EmptyInput) { EXPECT_TRUE(normalized({}).empty()); }
+
+}  // namespace
+}  // namespace pobp

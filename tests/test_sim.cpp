@@ -1,0 +1,193 @@
+// Tests for the online simulator and its reference policies.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/schedule/edf.hpp"
+#include "pobp/schedule/validate.hpp"
+#include "pobp/sim/policies.hpp"
+#include "pobp/sim/sim.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+using sim::BudgetEdfPolicy;
+using sim::DensityBudgetPolicy;
+using sim::EdfPolicy;
+using sim::NonPreemptivePolicy;
+using sim::SimConfig;
+using sim::SimResult;
+using sim::simulate;
+
+JobSet feasible_pair() {
+  JobSet jobs;
+  jobs.add({0, 20, 10, 1.0});
+  jobs.add({2, 7, 3, 2.0});
+  return jobs;
+}
+
+TEST(Sim, EmptyJobSet) {
+  EdfPolicy edf;
+  const SimResult r = simulate(JobSet{}, edf);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(Sim, EdfZeroCostMatchesOfflineEdf) {
+  const JobSet jobs = feasible_pair();
+  EdfPolicy edf;
+  const SimResult r = simulate(jobs, edf);
+  EXPECT_EQ(r.completed, 2u);
+  EXPECT_EQ(r.overhead_time, 0);
+  EXPECT_EQ(r.wasted_time, 0);
+  // Identical segments to the offline simulator.
+  const auto offline = edf_schedule(jobs, all_ids(jobs));
+  ASSERT_TRUE(offline);
+  EXPECT_EQ(r.schedule.find(0)->segments, offline->find(0)->segments);
+  EXPECT_EQ(r.schedule.find(1)->segments, offline->find(1)->segments);
+}
+
+TEST(Sim, DispatchCostDelaysWork) {
+  JobSet jobs;
+  jobs.add({0, 12, 10, 1.0});  // 2 ticks of slack
+  EdfPolicy edf;
+  EXPECT_EQ(simulate(jobs, edf, {.dispatch_cost = 2}).completed, 1u);
+  // 3 ticks of overhead no longer fit the window: the ready filter drops it
+  // up front and nothing runs.
+  const SimResult late = simulate(jobs, edf, {.dispatch_cost = 3});
+  EXPECT_EQ(late.completed, 0u);
+  EXPECT_EQ(late.dropped, 1u);
+  EXPECT_EQ(late.overhead_time, 0);
+}
+
+TEST(Sim, PreemptionCostsTwoDispatches) {
+  const JobSet jobs = feasible_pair();  // job 1 preempts job 0 at t=2
+  EdfPolicy edf;
+  const SimResult r = simulate(jobs, edf, {.dispatch_cost = 1});
+  EXPECT_EQ(r.completed, 2u);
+  EXPECT_EQ(r.dispatches, 3u);  // start 0, switch to 1, resume 0
+  EXPECT_EQ(r.overhead_time, 3);
+  EXPECT_EQ(r.max_preemptions, 1u);
+}
+
+TEST(Sim, NonPreemptiveNeverSplitsJobs) {
+  Rng rng(3);
+  JobGenConfig config;
+  config.n = 50;
+  config.max_length = 64;
+  config.horizon = 4096;
+  const JobSet jobs = random_jobs(config, rng);
+  NonPreemptivePolicy np;
+  const SimResult r = simulate(jobs, np);
+  const auto check = validate_machine(jobs, r.schedule, /*k=*/0);
+  EXPECT_TRUE(check) << check.error;
+  EXPECT_EQ(r.max_preemptions, 0u);
+}
+
+TEST(Sim, BudgetZeroBehavesLikeNonPreemptive) {
+  Rng rng(5);
+  JobGenConfig config;
+  config.n = 40;
+  config.max_length = 64;
+  config.horizon = 2048;
+  const JobSet jobs = random_jobs(config, rng);
+  NonPreemptivePolicy np;
+  BudgetEdfPolicy b0(0);
+  EXPECT_DOUBLE_EQ(simulate(jobs, np).value, simulate(jobs, b0).value);
+}
+
+class SimBudgetSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(SimBudgetSweep, CompletedJobsRespectTheBudget) {
+  const auto [seed, k] = GetParam();
+  Rng rng(seed);
+  JobGenConfig config;
+  config.n = 120;
+  config.max_length = 128;
+  config.min_laxity = 1.0;
+  config.max_laxity = 4.0;
+  config.horizon = 4096;  // congested
+  config.value_mode = JobGenConfig::ValueMode::kRandomDensity;
+  const JobSet jobs = random_jobs(config, rng);
+
+  BudgetEdfPolicy policy(k);
+  for (const Duration cost : {Duration{0}, Duration{2}, Duration{9}}) {
+    const SimResult r = simulate(jobs, policy, {.dispatch_cost = cost});
+    const auto check = validate_machine(jobs, r.schedule, k);
+    EXPECT_TRUE(check) << check.error;
+    EXPECT_LE(r.max_preemptions, k);
+    EXPECT_EQ(r.completed + r.dropped, jobs.size());
+    EXPECT_EQ(r.overhead_time,
+              cost * static_cast<Duration>(r.dispatches));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, SimBudgetSweep,
+    ::testing::Combine(::testing::Values(21u, 22u, 23u),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}, std::size_t{5})));
+
+TEST(Sim, UnlimitedBudgetMatchesPlainEdf) {
+  Rng rng(31);
+  JobGenConfig config;
+  config.n = 60;
+  config.max_length = 64;
+  config.horizon = 2048;
+  const JobSet jobs = random_jobs(config, rng);
+  EdfPolicy edf;
+  BudgetEdfPolicy huge(1000);
+  EXPECT_DOUBLE_EQ(simulate(jobs, edf).value, simulate(jobs, huge).value);
+}
+
+TEST(Sim, DensityPolicyValidatesAndPrefersDenseJobs) {
+  // A long cheap job is running; a short valuable job arrives.
+  JobSet jobs;
+  jobs.add({0, 100, 50, 1.0});    // density 0.02
+  jobs.add({5, 20, 5, 50.0});     // density 10
+  DensityBudgetPolicy policy(1, 2.0);
+  const SimResult r = simulate(jobs, policy);
+  EXPECT_EQ(r.completed, 2u);
+  EXPECT_TRUE(validate_machine(jobs, r.schedule, 1));
+  // The dense job ran as soon as it arrived.
+  EXPECT_EQ(r.schedule.find(1)->segments[0], (Segment{5, 10}));
+}
+
+TEST(Sim, DensityPolicyRefusesWeakChallengers) {
+  JobSet jobs;
+  jobs.add({0, 100, 50, 10.0});   // density 0.2
+  jobs.add({5, 60, 5, 1.5});      // density 0.3 < 2 × 0.2
+  DensityBudgetPolicy policy(1, 2.0);
+  const SimResult r = simulate(jobs, policy);
+  // Running job is not preempted; challenger still fits afterwards.
+  ASSERT_EQ(r.completed, 2u);
+  EXPECT_EQ(r.schedule.find(0)->segments.size(), 1u);
+}
+
+TEST(Sim, AccountingIdentity) {
+  Rng rng(41);
+  JobGenConfig config;
+  config.n = 80;
+  config.max_length = 64;
+  config.max_laxity = 2.0;
+  config.horizon = 1024;  // congested: drops and waste happen
+  const JobSet jobs = random_jobs(config, rng);
+  EdfPolicy edf;
+  const SimResult r = simulate(jobs, edf, {.dispatch_cost = 3});
+  EXPECT_EQ(r.completed + r.dropped, jobs.size());
+  // All machine time categories are non-negative and useful time matches
+  // the completed jobs exactly.
+  Duration useful = 0;
+  for (const auto& a : r.schedule.assignments()) {
+    useful += total_length(a.segments);
+  }
+  EXPECT_EQ(useful, r.useful_time);
+  EXPECT_GE(r.wasted_time, 0);
+}
+
+}  // namespace
+}  // namespace pobp

@@ -1,0 +1,161 @@
+// Unit + property tests for IdleTimeline (the structure behind Alg. 2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pobp/schedule/timeline.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+TEST(IdleTimeline, StartsFullyIdle) {
+  IdleTimeline t;
+  EXPECT_TRUE(t.is_idle({0, 1000}));
+  EXPECT_EQ(t.run_count(), 0u);
+}
+
+TEST(IdleTimeline, OccupyMarksBusy) {
+  IdleTimeline t;
+  t.occupy({10, 20});
+  EXPECT_FALSE(t.is_idle({10, 20}));
+  EXPECT_FALSE(t.is_idle({15, 16}));
+  EXPECT_FALSE(t.is_idle({5, 11}));
+  EXPECT_TRUE(t.is_idle({0, 10}));
+  EXPECT_TRUE(t.is_idle({20, 30}));
+}
+
+TEST(IdleTimeline, CoalescesAdjacentRuns) {
+  IdleTimeline t;
+  t.occupy({10, 20});
+  t.occupy({20, 30});
+  t.occupy({0, 10});
+  EXPECT_EQ(t.run_count(), 1u);
+  EXPECT_EQ(t.busy_in({-5, 100}).size(), 1u);
+  EXPECT_EQ(t.busy_in({-5, 100})[0], (Segment{0, 30}));
+}
+
+TEST(IdleTimelineDeath, DoubleOccupyAborts) {
+  IdleTimeline t;
+  t.occupy({10, 20});
+  EXPECT_DEATH(t.occupy({15, 25}), "non-idle");
+}
+
+TEST(IdleTimeline, NextIdleSkipsBusyRuns) {
+  IdleTimeline t;
+  t.occupy({10, 20});
+  t.occupy({30, 40});
+  const Segment window{0, 100};
+  auto gap = t.next_idle(0, window);
+  ASSERT_TRUE(gap);
+  EXPECT_EQ(*gap, (Segment{0, 10}));
+  gap = t.next_idle(gap->end, window);
+  ASSERT_TRUE(gap);
+  EXPECT_EQ(*gap, (Segment{20, 30}));
+  gap = t.next_idle(gap->end, window);
+  ASSERT_TRUE(gap);
+  EXPECT_EQ(*gap, (Segment{40, 100}));
+  EXPECT_FALSE(t.next_idle(gap->end, window));
+}
+
+TEST(IdleTimeline, NextIdleFromInsideBusyRun) {
+  IdleTimeline t;
+  t.occupy({10, 20});
+  const auto gap = t.next_idle(12, {0, 100});
+  ASSERT_TRUE(gap);
+  EXPECT_EQ(*gap, (Segment{20, 100}));
+}
+
+TEST(IdleTimeline, NextIdleClipsToWindow) {
+  IdleTimeline t;
+  t.occupy({10, 20});
+  const auto gap = t.next_idle(0, {15, 18});
+  EXPECT_FALSE(gap);  // window entirely busy
+  const auto gap2 = t.next_idle(0, {15, 25});
+  ASSERT_TRUE(gap2);
+  EXPECT_EQ(*gap2, (Segment{20, 25}));
+}
+
+TEST(IdleTimeline, IdleInAndBusyInPartitionWindow) {
+  IdleTimeline t;
+  t.occupy({10, 20});
+  t.occupy({25, 26});
+  const Segment window{5, 30};
+  const auto idle = t.idle_in(window);
+  const auto busy = t.busy_in(window);
+  ASSERT_EQ(idle.size(), 3u);
+  EXPECT_EQ(idle[0], (Segment{5, 10}));
+  EXPECT_EQ(idle[1], (Segment{20, 25}));
+  EXPECT_EQ(idle[2], (Segment{26, 30}));
+  ASSERT_EQ(busy.size(), 2u);
+  EXPECT_EQ(t.idle_time(window) + t.busy_time(window), window.length());
+  EXPECT_EQ(t.busy_time(window), 11);
+}
+
+// ------------------------------------------------------------- property --
+
+/// Reference implementation: a plain bool array over [0, H).
+class NaiveTimeline {
+ public:
+  explicit NaiveTimeline(std::size_t horizon) : busy_(horizon, false) {}
+
+  bool is_idle(Segment s) const {
+    for (Time t = s.begin; t < s.end; ++t) {
+      if (busy_[static_cast<std::size_t>(t)]) return false;
+    }
+    return true;
+  }
+
+  void occupy(Segment s) {
+    for (Time t = s.begin; t < s.end; ++t) {
+      busy_[static_cast<std::size_t>(t)] = true;
+    }
+  }
+
+  std::vector<Segment> idle_in(Segment window) const {
+    std::vector<Segment> out;
+    Time t = window.begin;
+    while (t < window.end) {
+      while (t < window.end && busy_[static_cast<std::size_t>(t)]) ++t;
+      if (t >= window.end) break;
+      Time e = t;
+      while (e < window.end && !busy_[static_cast<std::size_t>(e)]) ++e;
+      out.push_back({t, e});
+      t = e;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<bool> busy_;
+};
+
+class TimelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelineProperty, MatchesNaiveReferenceUnderRandomOps) {
+  constexpr Time kHorizon = 200;
+  Rng rng(GetParam());
+  IdleTimeline fast;
+  NaiveTimeline slow(kHorizon);
+
+  for (int step = 0; step < 300; ++step) {
+    const Time a = rng.uniform_int(0, kHorizon - 1);
+    const Time b = rng.uniform_int(a + 1, kHorizon);
+    const Segment s{a, b};
+    EXPECT_EQ(fast.is_idle(s), slow.is_idle(s)) << "step " << step;
+    if (slow.is_idle(s) && rng.bernoulli(0.5)) {
+      fast.occupy(s);
+      slow.occupy(s);
+    }
+    // Compare full idle decomposition of a random window.
+    const Time wa = rng.uniform_int(0, kHorizon - 1);
+    const Time wb = rng.uniform_int(wa + 1, kHorizon);
+    EXPECT_EQ(fast.idle_in({wa, wb}), slow.idle_in({wa, wb}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace pobp

@@ -1,0 +1,255 @@
+// Tests for the TM dynamic program (§3.2): exactness against the
+// brute-force oracle, the Lemma A.2 closed forms, and the Theorem 3.9 loss
+// bound on random forests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "pobp/bas/tm.hpp"
+#include "pobp/gen/forest_gen.hpp"
+#include "pobp/gen/lower_bounds.hpp"
+#include "pobp/schedule/metrics.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+TEST(Tm, SingleNode) {
+  Forest f;
+  f.add(7);
+  const TmResult r = tm_optimal_bas(f, 1);
+  EXPECT_DOUBLE_EQ(r.value, 7.0);
+  EXPECT_TRUE(r.selection.kept(0));
+}
+
+TEST(Tm, LeafFormula) {
+  // Procedure TM lines 1–3: t(leaf) = val, m(leaf) = 0.
+  Forest f;
+  f.add(5);
+  f.add(9, 0);
+  const TmResult r = tm_optimal_bas(f, 1);
+  EXPECT_DOUBLE_EQ(r.t[1], 9.0);
+  EXPECT_DOUBLE_EQ(r.m[1], 0.0);
+  EXPECT_DOUBLE_EQ(r.t[0], 14.0);
+  EXPECT_DOUBLE_EQ(r.m[0], 9.0);
+}
+
+TEST(Tm, StarPrefersLeavesWhenRootIsCheap) {
+  Forest f;
+  f.add(1);
+  for (int i = 0; i < 5; ++i) f.add(10, 0);
+  const TmResult r = tm_optimal_bas(f, 1);
+  EXPECT_DOUBLE_EQ(r.value, 50.0);
+  EXPECT_FALSE(r.selection.kept(0));
+}
+
+TEST(Tm, PicksTopKChildren) {
+  Forest f;
+  f.add(100);
+  f.add(5, 0);
+  f.add(9, 0);
+  f.add(7, 0);
+  const TmResult r = tm_optimal_bas(f, 2);
+  EXPECT_DOUBLE_EQ(r.value, 116.0);  // 100 + 9 + 7
+  EXPECT_TRUE(r.selection.kept(0));
+  EXPECT_FALSE(r.selection.kept(1));
+  EXPECT_TRUE(r.selection.kept(2));
+  EXPECT_TRUE(r.selection.kept(3));
+}
+
+TEST(Tm, ForestIsUnionOfTreeSolutions) {
+  // Obs. 3.5: per-tree optimality composes.
+  Forest f;
+  f.add(1);          // tree A root
+  f.add(10, 0);
+  f.add(10, 0);
+  f.add(50);         // tree B root (id 3)
+  f.add(2, 3);
+  const TmResult r = tm_optimal_bas(f, 1);
+  EXPECT_DOUBLE_EQ(r.value, 20.0 + 52.0);
+}
+
+TEST(Tm, PrunedUpAllowsMixedChildren) {
+  // Root cheap; one child subtree best retained, another best pruned-up —
+  // Obs. 3.8(b).
+  Forest f;
+  f.add(1);            // 0 root (will be pruned-up)
+  f.add(100, 0);       // 1: retained child
+  f.add(1, 0);         // 2: cheap child, itself pruned-up
+  f.add(60, 2);        // 3
+  f.add(60, 2);        // 4  (2's two children each worth more than 2+one)
+  const TmResult r = tm_optimal_bas(f, 1);
+  // Best: delete 0 and 2; keep 1, 3, 4 as separate components = 220.
+  EXPECT_DOUBLE_EQ(r.value, 220.0);
+  EXPECT_TRUE(validate_bas(f, r.selection, 1));
+}
+
+// ---- exhaustive cross-validation against the brute-force oracle ---------
+
+class TmVsBrute
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(TmVsBrute, MatchesBruteForceOnRandomForests) {
+  const auto [seed, k] = GetParam();
+  Rng rng(seed);
+  for (int trial = 0; trial < 40; ++trial) {
+    ForestGenConfig config;
+    config.nodes = 1 + static_cast<std::size_t>(rng.uniform_int(1, 12));
+    config.max_degree = 1 + static_cast<std::size_t>(rng.uniform_int(1, 4));
+    config.root_probability = 0.2;
+    const Forest f = random_forest(config, rng);
+
+    const TmResult tm = tm_optimal_bas(f, k);
+    const auto check = validate_bas(f, tm.selection, k);
+    ASSERT_TRUE(check) << check.error;
+    EXPECT_NEAR(tm.selection.value(f), tm.value, 1e-9);
+
+    const SubForest brute = brute_force_bas(f, k);
+    EXPECT_NEAR(tm.value, brute.value(f), 1e-9)
+        << "trial " << trial << " n=" << f.size() << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, TmVsBrute,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3})));
+
+// ---- Lemma A.2: exact t/m on the Appendix-A tree -------------------------
+
+class LemmaA2 : public ::testing::TestWithParam<
+                    std::tuple<std::size_t, std::int64_t, std::size_t>> {};
+
+TEST_P(LemmaA2, TmValuesMatchClosedForm) {
+  const auto [k, K, L] = GetParam();
+  const BasLowerBoundTree lb = bas_lower_bound_tree(k, K, L);
+  const TmResult r = tm_optimal_bas(lb.forest, k);
+
+  // Node ids are level-contiguous; check one node per level (they are all
+  // identical by symmetry) plus the root.
+  NodeId level_start = 0;
+  std::size_t level_size = 1;
+  for (std::size_t level = 0; level <= L; ++level) {
+    EXPECT_DOUBLE_EQ(r.t[level_start],
+                     static_cast<double>(lb.expected_t[level]))
+        << "t at level " << level;
+    EXPECT_DOUBLE_EQ(r.m[level_start],
+                     static_cast<double>(lb.expected_m[level]))
+        << "m at level " << level;
+    level_start += static_cast<NodeId>(level_size);
+    level_size *= static_cast<std::size_t>(K);
+  }
+  // Lemma A.2 remark: t > m everywhere, so TM retains the root.
+  EXPECT_DOUBLE_EQ(r.value, static_cast<double>(lb.opt_bas_value));
+  EXPECT_TRUE(r.selection.kept(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, LemmaA2,
+    ::testing::Values(std::make_tuple(std::size_t{1}, std::int64_t{2},
+                                      std::size_t{6}),
+                      std::make_tuple(std::size_t{1}, std::int64_t{3},
+                                      std::size_t{5}),
+                      std::make_tuple(std::size_t{2}, std::int64_t{4},
+                                      std::size_t{4}),
+                      std::make_tuple(std::size_t{3}, std::int64_t{6},
+                                      std::size_t{3}),
+                      std::make_tuple(std::size_t{2}, std::int64_t{3},
+                                      std::size_t{5})));
+
+// Theorem 3.20 with K = 2k: the ratio total/OPT is Ω(log_{k+1} n).
+TEST(Theorem320, LossGrowsWithDepth) {
+  const std::size_t k = 1;
+  double previous_ratio = 0;
+  for (std::size_t L = 2; L <= 10; L += 2) {
+    const BasLowerBoundTree lb = bas_lower_bound_tree(k, 2 * k, L);
+    const TmResult r = tm_optimal_bas(lb.forest, k);
+    const double ratio = static_cast<double>(lb.total_value) / r.value;
+    EXPECT_GT(ratio, previous_ratio);  // strictly growing with L
+    previous_ratio = ratio;
+    // OPT_k < K/(K−k) = 2 per unit level value (Cor. A.3, scaled by K^L):
+    EXPECT_LT(r.value, 2.0 * std::pow(2.0, static_cast<double>(L)));
+  }
+}
+
+// Theorem 3.9: loss factor of TM ≤ log_{k+1} n on arbitrary forests.
+class Theorem39 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem39, LossFactorWithinBoundOnRandomForests) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    ForestGenConfig config;
+    config.nodes = 2000;
+    config.max_degree = 10;
+    config.value_dist = trial % 2 == 0
+                            ? ForestGenConfig::ValueDist::kUniform
+                            : ForestGenConfig::ValueDist::kDepthDecay;
+    const Forest f = random_forest(config, rng);
+    for (const std::size_t k : {1u, 2u, 4u}) {
+      const TmResult r = tm_optimal_bas(f, k);
+      const double bound =
+          log_k1(k, static_cast<double>(f.size()));
+      EXPECT_GE(r.value * bound, f.total_value() * (1 - 1e-12))
+          << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem39, ::testing::Values(9, 19, 29));
+
+
+// ---- per-node degree bounds (the generalized DP) -------------------------
+
+TEST(TmPerNode, UniformBoundsMatchScalarOverload) {
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    ForestGenConfig config;
+    config.nodes = 1 + static_cast<std::size_t>(rng.uniform_int(1, 200));
+    config.max_degree = 6;
+    const Forest f = random_forest(config, rng);
+    for (const std::size_t k : {1u, 2u, 4u}) {
+      const std::vector<std::size_t> uniform(f.size(), k);
+      EXPECT_DOUBLE_EQ(tm_optimal_bas(f, uniform).value,
+                       tm_optimal_bas(f, k).value);
+    }
+  }
+}
+
+TEST(TmPerNode, MatchesBruteForceWithMixedBounds) {
+  Rng rng(56);
+  for (int trial = 0; trial < 25; ++trial) {
+    ForestGenConfig config;
+    config.nodes = 1 + static_cast<std::size_t>(rng.uniform_int(1, 11));
+    config.max_degree = 4;
+    config.root_probability = 0.2;
+    const Forest f = random_forest(config, rng);
+    std::vector<std::size_t> bounds(f.size());
+    for (auto& b : bounds) {
+      b = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    }
+    const TmResult tm = tm_optimal_bas(f, bounds);
+    const auto check = validate_bas(f, tm.selection, bounds);
+    ASSERT_TRUE(check) << check.error;
+    const SubForest brute = brute_force_bas(f, bounds);
+    EXPECT_NEAR(tm.value, brute.value(f), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(TmPerNode, ZeroBudgetNodesKeepNoChildren) {
+  // Root budget 0: it may be retained but all children are pruned-down.
+  Forest f;
+  f.add(100);
+  f.add(10, 0);
+  f.add(10, 0);
+  const std::vector<std::size_t> bounds{0, 2, 2};
+  const TmResult r = tm_optimal_bas(f, bounds);
+  EXPECT_DOUBLE_EQ(r.value, 100.0);  // 100 beats pruning up for 20
+  EXPECT_TRUE(r.selection.kept(0));
+  EXPECT_FALSE(r.selection.kept(1));
+}
+
+}  // namespace
+}  // namespace pobp

@@ -1,0 +1,169 @@
+// Unit tests for the feasibility validator (Def. 2.1) — every failure mode.
+#include <gtest/gtest.h>
+
+#include "pobp/schedule/schedule.hpp"
+#include "pobp/schedule/validate.hpp"
+
+namespace pobp {
+namespace {
+
+JobSet two_jobs() {
+  JobSet jobs;
+  jobs.add({0, 10, 4, 1.0});   // job 0
+  jobs.add({2, 20, 6, 2.0});   // job 1
+  return jobs;
+}
+
+TEST(Validate, AcceptsFeasibleSingleMachine) {
+  const JobSet jobs = two_jobs();
+  MachineSchedule ms;
+  ms.add({0, {{0, 2}, {8, 10}}});
+  ms.add({1, {{2, 8}}});
+  EXPECT_TRUE(validate_machine(jobs, ms));
+}
+
+TEST(Validate, AcceptsEmptySchedule) {
+  const JobSet jobs = two_jobs();
+  EXPECT_TRUE(validate_machine(jobs, MachineSchedule{}));
+}
+
+TEST(Validate, RejectsSegmentBeforeRelease) {
+  const JobSet jobs = two_jobs();
+  MachineSchedule ms;
+  ms.add({1, {{1, 7}}});  // release is 2
+  const auto r = validate_machine(jobs, ms);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("outside the job window"), std::string::npos);
+}
+
+TEST(Validate, RejectsSegmentAfterDeadline) {
+  const JobSet jobs = two_jobs();
+  MachineSchedule ms;
+  ms.add({0, {{7, 11}}});  // deadline is 10
+  EXPECT_FALSE(validate_machine(jobs, ms));
+}
+
+TEST(Validate, RejectsWrongTotalLength) {
+  const JobSet jobs = two_jobs();
+  MachineSchedule ms;
+  ms.add({0, {{0, 3}}});  // p = 4 but scheduled 3
+  const auto r = validate_machine(jobs, ms);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("expected 4"), std::string::npos);
+}
+
+TEST(Validate, RejectsCrossJobOverlap) {
+  const JobSet jobs = two_jobs();
+  MachineSchedule ms;
+  ms.add({0, {{0, 4}}});
+  ms.add({1, {{3, 9}}});
+  const auto r = validate_machine(jobs, ms);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("machine conflict"), std::string::npos);
+}
+
+TEST(Validate, RejectsPreemptionBudgetViolation) {
+  const JobSet jobs = two_jobs();
+  MachineSchedule ms;
+  ms.add({0, {{0, 2}, {5, 6}, {9, 10}}});  // 2 preemptions
+  EXPECT_TRUE(validate_machine(jobs, ms, 2));
+  const auto r = validate_machine(jobs, ms, 1);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("exceed the bound"), std::string::npos);
+}
+
+TEST(Validate, KZeroMeansOneSegment) {
+  const JobSet jobs = two_jobs();
+  MachineSchedule ms;
+  ms.add({0, {{0, 4}}});
+  EXPECT_TRUE(validate_machine(jobs, ms, 0));
+  MachineSchedule ms2;
+  ms2.add({0, {{0, 2}, {8, 10}}});
+  EXPECT_FALSE(validate_machine(jobs, ms2, 0));
+}
+
+TEST(Validate, RejectsUnknownJobId) {
+  const JobSet jobs = two_jobs();
+  MachineSchedule ms;
+  ms.add({7, {{0, 4}}});
+  EXPECT_FALSE(validate_machine(jobs, ms));
+}
+
+TEST(Validate, AdjacentSegmentsOfDifferentJobsAreFine) {
+  const JobSet jobs = two_jobs();
+  MachineSchedule ms;
+  ms.add({0, {{0, 4}}});
+  ms.add({1, {{4, 10}}});
+  EXPECT_TRUE(validate_machine(jobs, ms));
+}
+
+TEST(ValidateMulti, AcceptsDisjointMachines) {
+  const JobSet jobs = two_jobs();
+  Schedule s(2);
+  s.machine(0).add({0, {{0, 4}}});
+  s.machine(1).add({1, {{2, 8}}});
+  EXPECT_TRUE(validate(jobs, s));
+  EXPECT_DOUBLE_EQ(s.total_value(jobs), 3.0);
+  EXPECT_EQ(s.job_count(), 2u);
+}
+
+TEST(ValidateMulti, RejectsMigration) {
+  JobSet jobs;
+  jobs.add({0, 10, 2, 1.0});
+  Schedule s(2);
+  s.machine(0).add({0, {{0, 2}}});
+  s.machine(1).add({0, {{4, 6}}});
+  const auto r = validate(jobs, s);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("more than one machine"), std::string::npos);
+}
+
+TEST(ValidateMulti, ReportsFailingMachineIndex) {
+  const JobSet jobs = two_jobs();
+  Schedule s(2);
+  s.machine(1).add({0, {{0, 3}}});  // wrong length
+  const auto r = validate(jobs, s);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("machine 1"), std::string::npos);
+}
+
+TEST(Schedule, MachineOfAndScheduledJobs) {
+  const JobSet jobs = two_jobs();
+  Schedule s(2);
+  s.machine(1).add({1, {{2, 8}}});
+  EXPECT_EQ(s.machine_of(1).value(), 1u);
+  EXPECT_FALSE(s.machine_of(0).has_value());
+  EXPECT_EQ(s.scheduled_jobs().size(), 1u);
+}
+
+TEST(MachineSchedule, NormalizesSegmentsOnAdd) {
+  const JobSet jobs = two_jobs();
+  MachineSchedule ms;
+  ms.add({0, {{2, 4}, {0, 2}}});  // unsorted but adjacent: merged
+  const Assignment* a = ms.find(0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->segments.size(), 1u);
+  EXPECT_EQ(a->segments[0], (Segment{0, 4}));
+  EXPECT_EQ(a->preemptions(), 0u);
+  EXPECT_TRUE(validate_machine(jobs, ms, 0));
+}
+
+TEST(MachineScheduleDeath, DuplicateJobAborts) {
+  MachineSchedule ms;
+  ms.add({0, {{0, 2}}});
+  EXPECT_DEATH(ms.add({0, {{4, 6}}}), "already scheduled");
+}
+
+TEST(MachineSchedule, TimelineSortedByBegin) {
+  MachineSchedule ms;
+  ms.add({0, {{8, 10}}});
+  ms.add({1, {{0, 2}}});
+  const auto tl = ms.timeline();
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl[0].job, 1u);
+  EXPECT_EQ(tl[1].job, 0u);
+  EXPECT_EQ(ms.busy_time(), 4);
+}
+
+}  // namespace
+}  // namespace pobp

@@ -1,0 +1,279 @@
+// pobp — command-line front end.
+//
+//   pobp generate --n 200 --seed 7 --out jobs.csv [...]
+//   pobp solve    --jobs jobs.csv --k 1 [--machines 2] [--out sched.csv]
+//                 [--gantt] [--exact]
+//   pobp validate --jobs jobs.csv --schedule sched.csv [--k 1]
+//   pobp price    --jobs jobs.csv --k 1 [--machines 2] [--exact]
+//   pobp info     --jobs jobs.csv
+//
+// Exit code 0 on success (for validate: schedule is feasible), 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pobp/core/pobp.hpp"
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/sim/policies.hpp"
+#include "pobp/sim/sim.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace {
+
+using namespace pobp;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, R"(usage: pobp <command> [flags]
+
+commands:
+  generate   write a random workload as jobs CSV
+             --out FILE [--n N] [--seed S] [--min-length L] [--max-length L]
+             [--min-laxity X] [--max-laxity X] [--horizon T]
+             [--values uniform|proportional|density]
+  solve      schedule a workload with bounded preemption
+             --jobs FILE --k K [--machines M] [--out FILE] [--gantt]
+             [--exact]            (exact B&B seed; n <= ~26)
+  validate   check a schedule against a workload (Def. 2.1)
+             --jobs FILE --schedule FILE [--k K]
+  price      report the empirical price of bounded preemption
+             --jobs FILE --k K [--machines M] [--exact]
+  info       print instance metrics (n, P, rho, sigma, lambda_max)
+             --jobs FILE
+  bas        optimal k-BAS of a value forest (Procedure TM, §3.2)
+             --forest FILE --k K [--heuristic]   (LevelledContraction too)
+  sim        run an online policy with context-switch costs
+             --jobs FILE --policy edf|nonpreemptive|budget [--k K]
+             [--cost C] [--gantt]
+)");
+  std::exit(1);
+}
+
+/// --flag value parser; boolean flags have empty values.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage(("unexpected argument " + key).c_str());
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string str(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      if (fallback.empty()) usage(("missing --" + key).c_str());
+      return fallback;
+    }
+    return it->second;
+  }
+
+  std::int64_t num(const std::string& key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double real(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_generate(const Flags& flags) {
+  JobGenConfig config;
+  config.n = static_cast<std::size_t>(flags.num("n", 100));
+  config.min_length = flags.num("min-length", 1);
+  config.max_length = flags.num("max-length", 1024);
+  config.min_laxity = flags.real("min-laxity", 1.0);
+  config.max_laxity = flags.real("max-laxity", 6.0);
+  config.horizon = flags.num("horizon", 16 * config.max_length);
+  const std::string mode = flags.str("values", "uniform");
+  if (mode == "proportional") {
+    config.value_mode = JobGenConfig::ValueMode::kProportional;
+  } else if (mode == "density") {
+    config.value_mode = JobGenConfig::ValueMode::kRandomDensity;
+  } else if (mode != "uniform") {
+    usage("unknown --values mode");
+  }
+  Rng rng(static_cast<std::uint64_t>(flags.num("seed", 1)));
+  const JobSet jobs = random_jobs(config, rng);
+  io::save_jobs(flags.str("out"), jobs);
+  std::printf("wrote %zu jobs: %s\n", jobs.size(),
+              compute_metrics(jobs).to_string().c_str());
+  return 0;
+}
+
+int cmd_solve(const Flags& flags) {
+  const JobSet jobs = io::load_jobs(flags.str("jobs"));
+  ScheduleOptions options;
+  options.k = static_cast<std::size_t>(flags.num("k", 1));
+  options.machine_count = static_cast<std::size_t>(flags.num("machines", 1));
+  if (flags.has("exact")) options.seed = ScheduleOptions::Seed::kExact;
+
+  const ScheduleResult result = schedule_bounded(jobs, options);
+  const ValidationResult check = validate(jobs, result.schedule, options.k);
+  if (!check) {
+    std::fprintf(stderr, "internal error: %s\n", check.error.c_str());
+    return 1;
+  }
+  std::printf("scheduled %zu/%zu jobs, value %.6g of %.6g (price %.3f), "
+              "max preemptions %zu (k=%zu)\n",
+              result.schedule.job_count(), jobs.size(), result.value,
+              result.unbounded_value, result.price(),
+              result.schedule.max_preemptions(), options.k);
+  if (flags.has("gantt")) {
+    std::printf("%s", render_gantt(jobs, result.schedule).c_str());
+  }
+  if (flags.has("report")) {
+    std::printf("%s", make_report(jobs, result.schedule).to_string().c_str());
+  }
+  if (flags.has("out")) {
+    io::save_schedule(flags.str("out"), result.schedule);
+    std::printf("schedule written to %s\n", flags.str("out").c_str());
+  }
+  return 0;
+}
+
+int cmd_validate(const Flags& flags) {
+  const JobSet jobs = io::load_jobs(flags.str("jobs"));
+  const Schedule schedule = io::load_schedule(flags.str("schedule"));
+  const std::size_t k = flags.has("k")
+                            ? static_cast<std::size_t>(flags.num("k", 0))
+                            : kUnboundedPreemptions;
+  const ValidationResult check = validate(jobs, schedule, k);
+  if (check) {
+    std::printf("feasible: %zu jobs, value %.6g, max preemptions %zu\n",
+                schedule.job_count(), schedule.total_value(jobs),
+                schedule.max_preemptions());
+    return 0;
+  }
+  std::printf("INFEASIBLE: %s\n", check.error.c_str());
+  return 1;
+}
+
+int cmd_price(const Flags& flags) {
+  const JobSet jobs = io::load_jobs(flags.str("jobs"));
+  ScheduleOptions options;
+  options.k = static_cast<std::size_t>(flags.num("k", 1));
+  options.machine_count = static_cast<std::size_t>(flags.num("machines", 1));
+  if (flags.has("exact")) options.seed = ScheduleOptions::Seed::kExact;
+
+  const ScheduleResult result = schedule_bounded(jobs, options);
+  const InstanceMetrics metrics = compute_metrics(jobs);
+  const double n_bound =
+      options.k >= 1 ? log_k1(options.k, static_cast<double>(metrics.n))
+                     : static_cast<double>(metrics.n);
+  const double p_bound = options.k >= 1 ? log_k1(options.k, metrics.P)
+                                        : log_base(2.0, metrics.P);
+  std::printf("instance: %s\n", metrics.to_string().c_str());
+  std::printf("unbounded value: %.6g (%s seed)\n", result.unbounded_value,
+              flags.has("exact") ? "exact" : "greedy");
+  std::printf("k=%zu value:     %.6g\n", options.k, result.value);
+  std::printf("price:          %.4f\n", result.price());
+  std::printf("paper bound:    O(log_{k+1} min{n, P}) ~ min{%.2f, %.2f}\n",
+              n_bound, p_bound);
+  return 0;
+}
+
+int cmd_info(const Flags& flags) {
+  const JobSet jobs = io::load_jobs(flags.str("jobs"));
+  std::printf("%s\n", compute_metrics(jobs).to_string().c_str());
+  return 0;
+}
+
+int cmd_bas(const Flags& flags) {
+  const Forest forest = io::load_forest(flags.str("forest"));
+  const std::size_t k = static_cast<std::size_t>(flags.num("k", 1));
+  const TmResult tm = tm_optimal_bas(forest, k);
+  const BasCheck check = validate_bas(forest, tm.selection, k);
+  if (!check) {
+    std::fprintf(stderr, "internal error: %s\n", check.error.c_str());
+    return 1;
+  }
+  std::printf("forest: %zu nodes, %zu roots, total value %.6g\n",
+              forest.size(), forest.roots().size(), forest.total_value());
+  std::printf("optimal %zu-BAS: %zu nodes kept, value %.6g (%.2f%% of "
+              "total; worst-case guarantee %.2f%%)\n",
+              k, tm.selection.kept_count(), tm.value,
+              100.0 * tm.value / forest.total_value(),
+              100.0 / log_k1(std::max<std::size_t>(k, 1),
+                             static_cast<double>(std::max<std::size_t>(
+                                 forest.size(), 2))));
+  if (flags.has("heuristic")) {
+    const ContractionResult lc = levelled_contraction(forest, k);
+    std::printf("levelled contraction: value %.6g in %zu iterations "
+                "(<= log_{k+1} n = %.2f)\n",
+                lc.value, lc.iterations(),
+                log_k1(k, static_cast<double>(forest.size())));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cmd_sim(const Flags& flags) {
+  const JobSet jobs = io::load_jobs(flags.str("jobs"));
+  const std::string policy_name = flags.str("policy", "edf");
+  const std::size_t k = static_cast<std::size_t>(flags.num("k", 1));
+  sim::EdfPolicy edf;
+  sim::NonPreemptivePolicy np;
+  sim::BudgetEdfPolicy budget(k);
+  sim::Policy* policy = nullptr;
+  if (policy_name == "edf") {
+    policy = &edf;
+  } else if (policy_name == "nonpreemptive") {
+    policy = &np;
+  } else if (policy_name == "budget") {
+    policy = &budget;
+  } else {
+    usage("unknown --policy (edf | nonpreemptive | budget)");
+  }
+  const sim::SimConfig config{flags.num("cost", 0)};
+  const sim::SimResult r = sim::simulate(jobs, *policy, config);
+  std::printf("policy %s, dispatch cost %lld:\n", policy->name(),
+              static_cast<long long>(config.dispatch_cost));
+  std::printf("  completed %zu/%zu jobs, value %.6g of %.6g\n", r.completed,
+              jobs.size(), r.value, jobs.total_value());
+  std::printf("  dispatches %zu, overhead %lld, wasted work %lld, max "
+              "preemptions %zu\n",
+              r.dispatches, static_cast<long long>(r.overhead_time),
+              static_cast<long long>(r.wasted_time), r.max_preemptions);
+  if (flags.has("gantt")) {
+    std::printf("%s", render_gantt(jobs, Schedule(r.schedule)).c_str());
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  try {
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "solve") return cmd_solve(flags);
+    if (command == "validate") return cmd_validate(flags);
+    if (command == "price") return cmd_price(flags);
+    if (command == "info") return cmd_info(flags);
+    if (command == "bas") return cmd_bas(flags);
+    if (command == "sim") return cmd_sim(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage(("unknown command " + command).c_str());
+}
