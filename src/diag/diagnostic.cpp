@@ -1,0 +1,106 @@
+#include "pobp/diag/diagnostic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pobp/diag/registry.hpp"
+
+namespace pobp::diag {
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "error";
+}
+
+std::string Location::to_string() const {
+  std::ostringstream os;
+  const char* sep = "";
+  if (machine) {
+    os << "machine " << *machine;
+    sep = ", ";
+  }
+  if (job) {
+    os << sep << "job#" << *job;
+    sep = ", ";
+  }
+  if (node) {
+    os << sep << "node " << *node;
+    sep = ", ";
+  }
+  if (segment) {
+    os << sep << "segment " << *segment;
+    sep = ", ";
+  }
+  if (begin && end) {
+    os << sep << "[" << *begin << ", " << *end << ")";
+  } else if (begin) {
+    os << sep << "t=" << *begin;
+  }
+  return os.str();
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << rule << " [" << diag::to_string(severity) << "]";
+  const std::string at = where.to_string();
+  if (!at.empty()) os << " " << at << ":";
+  os << " " << message;
+  return os.str();
+}
+
+Diagnostic& Report::add(std::string rule, std::string message,
+                        Location where) {
+  const RuleInfo* info = find_rule(rule);
+  const Severity severity = info ? info->default_severity : Severity::kError;
+  return add(std::move(rule), severity, std::move(message), where);
+}
+
+Diagnostic& Report::add(std::string rule, Severity severity,
+                        std::string message, Location where) {
+  diagnostics_.push_back(
+      Diagnostic{std::move(rule), severity, std::move(message), where, {}});
+  return diagnostics_.back();
+}
+
+std::size_t Report::error_count() const { return count(Severity::kError); }
+
+std::size_t Report::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [&](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+std::size_t Report::count(std::string_view rule) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+std::string Report::first_error() const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) return d.message;
+  }
+  return {};
+}
+
+std::vector<std::string> Report::rule_ids() const {
+  std::vector<std::string> ids;
+  for (const Diagnostic& d : diagnostics_) {
+    if (std::find(ids.begin(), ids.end(), d.rule) == ids.end()) {
+      ids.push_back(d.rule);
+    }
+  }
+  return ids;
+}
+
+void Report::merge(Report other) {
+  diagnostics_.insert(diagnostics_.end(),
+                      std::make_move_iterator(other.diagnostics_.begin()),
+                      std::make_move_iterator(other.diagnostics_.end()));
+}
+
+}  // namespace pobp::diag

@@ -1,0 +1,109 @@
+// Structured diagnostics for invariant checking.
+//
+// Every machine-checkable invariant in the library — Def. 2.1 feasibility,
+// §4.1 laminarity, Defs. 3.1–3.2 k-BAS rules, the §4.1 Hall-type interval
+// condition, Appendix-B generator ranges — reports violations as Diagnostic
+// records collected in a Report.  Unlike the historical first-failure
+// strings, a Report accumulates *all* violations of *all* rules, each tagged
+// with a stable rule id (e.g. "POBP-SCHED-005") so tools, tests and CI can
+// match on ids instead of message text.
+//
+// The diag layer depends only on pobp_util; locations are expressed with
+// raw integer ids so schedule/forest modules can layer on top of it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pobp::diag {
+
+enum class Severity {
+  kError,    ///< invariant violated; artifact must be rejected
+  kWarning,  ///< suspicious but not invalidating (e.g. infeasible whole set)
+  kNote,     ///< informational findings
+};
+
+std::string_view to_string(Severity severity);
+
+/// Where a finding anchors.  All fields optional; raw integers keep the
+/// diag module independent of the schedule/forest type headers.
+struct Location {
+  std::optional<std::size_t> machine;   ///< machine index
+  std::optional<std::uint32_t> job;     ///< JobId
+  std::optional<std::uint32_t> node;    ///< forest NodeId
+  std::optional<std::size_t> segment;   ///< segment index within a job
+  std::optional<std::int64_t> begin;    ///< time range start (ticks)
+  std::optional<std::int64_t> end;      ///< time range end (ticks)
+
+  std::string to_string() const;  ///< "machine 0, job#3, segment 2, [4, 9)"
+};
+
+/// One finding: a rule id, a severity, a human message, an anchor, and a
+/// machine-readable key/value payload (numbers serialized as decimal).
+struct Diagnostic {
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+  Location where;
+  std::vector<std::pair<std::string, std::string>> payload;
+
+  Diagnostic& with(std::string key, std::string value) {
+    payload.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  Diagnostic& with(std::string key, std::int64_t value) {
+    return with(std::move(key), std::to_string(value));
+  }
+  Diagnostic& with(std::string key, std::size_t value) {
+    return with(std::move(key), std::to_string(value));
+  }
+
+  /// "POBP-SCHED-005 [error] machine 0, job#3: segment outside window"
+  std::string to_string() const;
+};
+
+/// Accumulates diagnostics.  Checkers append with add(); callers inspect
+/// counts or render the whole report.
+class Report {
+ public:
+  /// Appends a finding; severity defaults to the registry's default for
+  /// `rule` (kError when the rule id is unknown).  Returns the record so
+  /// call sites can chain `.with(...)` payload entries.
+  Diagnostic& add(std::string rule, std::string message, Location where = {});
+
+  /// Appends with an explicit severity override.
+  Diagnostic& add(std::string rule, Severity severity, std::string message,
+                  Location where = {});
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  std::size_t size() const { return diagnostics_.size(); }
+
+  /// True iff no error-severity findings (warnings/notes allowed).
+  bool ok() const { return error_count() == 0; }
+  std::size_t error_count() const;
+  std::size_t count(Severity severity) const;
+
+  /// Number of findings carrying the given rule id.
+  std::size_t count(std::string_view rule) const;
+
+  /// Message of the first error-severity finding ("" when ok) — the
+  /// back-compat bridge for first-failure interfaces.
+  std::string first_error() const;
+
+  /// Distinct rule ids present, in first-appearance order.
+  std::vector<std::string> rule_ids() const;
+
+  /// Merges another report's findings (append, preserving order).
+  void merge(Report other);
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace pobp::diag

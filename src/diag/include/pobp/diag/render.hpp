@@ -1,0 +1,20 @@
+// Report renderers: line-per-finding text for terminals, and a
+// SARIF-2.1.0-shaped JSON document for editor/CI integrations.
+#pragma once
+
+#include <string>
+
+#include "pobp/diag/diagnostic.hpp"
+
+namespace pobp::diag {
+
+/// One line per finding ("RULE [severity] location: message"), followed by
+/// a severity summary line.  Empty reports render as "no findings\n".
+std::string to_text(const Report& report);
+
+/// SARIF 2.1.0-shaped JSON: a single run whose tool.driver carries the
+/// registry entries of every rule referenced by the report, and one result
+/// per finding (payload entries land in result.properties).
+std::string to_sarif(const Report& report, std::string_view tool_name = "pobp_lint");
+
+}  // namespace pobp::diag

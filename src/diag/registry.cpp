@@ -1,0 +1,125 @@
+#include "pobp/diag/registry.hpp"
+
+#include <algorithm>
+
+namespace pobp::diag {
+namespace {
+
+using rules::kBasAncestorDependence;
+using rules::kBasDegreeOverflow;
+using rules::kBasMaskSize;
+using rules::kGenOverflow;
+using rules::kGenParamDomain;
+using rules::kIntervalOverload;
+using rules::kJobMalformed;
+using rules::kLaminarInterleaving;
+using rules::kSchedEmptyAssignment;
+using rules::kSchedEmptySegment;
+using rules::kSchedLengthMismatch;
+using rules::kSchedMachineConflict;
+using rules::kSchedMigration;
+using rules::kSchedPreemptionBudget;
+using rules::kSchedUnknownJob;
+using rules::kSchedUnsortedSegments;
+using rules::kSchedWindowEscape;
+
+// Ordered by id; find_rule binary-searches this table.
+constexpr RuleInfo kCatalogue[] = {
+    {kBasMaskSize, Severity::kError, "selection mask size mismatch",
+     "Def. 3.1",
+     "A sub-forest selection must carry exactly one keep flag per node of "
+     "the host forest; a mask of any other size cannot describe a "
+     "sub-forest."},
+    {kBasAncestorDependence, Severity::kError,
+     "ancestor independence violated", "Def. 3.2",
+     "A kept node whose parent is deleted roots a component of the "
+     "sub-forest and therefore must not have any kept proper ancestor; "
+     "otherwise the selection is not ancestor-independent."},
+    {kBasDegreeOverflow, Severity::kError, "degree bound exceeded",
+     "Def. 3.1",
+     "Every kept node may retain at most k kept children (per-node bounds "
+     "in the generalized variant); more kept children than the bound "
+     "breaks the k-bounded-degree property."},
+    {kGenParamDomain, Severity::kError, "generator parameters out of domain",
+     "Appendix B",
+     "The Appendix-B lower-bound construction requires k >= 1 and "
+     "branching factor K > k (the paper instantiates K = 2k)."},
+    {kGenOverflow, Severity::kError, "generator range overflow",
+     "Appendix B",
+     "Job lengths in the Appendix-B instance grow as (3K^2)^L * (3K-1); "
+     "for the chosen (K, L) the tick arithmetic would overflow int64 (or "
+     "exceed the job budget), so the instance cannot be materialized "
+     "exactly."},
+    {kIntervalOverload, Severity::kError, "interval demand exceeds capacity",
+     "§4.1",
+     "Hall-type feasibility: for every interval [r, d] spanned by a "
+     "release and a deadline, the total length of jobs whose windows lie "
+     "inside it must not exceed d - r; an overloaded interval proves the "
+     "set has no preemptive schedule."},
+    {kJobMalformed, Severity::kError, "malformed job", "§2.1",
+     "A job must satisfy p >= 1, val > 0 and window d - r >= p; otherwise "
+     "it cannot be feasibly scheduled even alone."},
+    {kLaminarInterleaving, Severity::kError, "interleaved preemptions",
+     "§4.1, Fig. 1",
+     "In a laminar schedule the 'preempts' relation forms a forest: "
+     "segments a1 < b1 < a2 < b2 of two jobs (each resuming under the "
+     "other) are forbidden.  Interleavings break the Schedule Forest "
+     "reduction."},
+    {kSchedUnknownJob, Severity::kError, "unknown job id", "Def. 2.1",
+     "An assignment references a job id outside the instance."},
+    {kSchedEmptyAssignment, Severity::kError, "empty segment list",
+     "Def. 2.1",
+     "A scheduled job must execute in at least one segment."},
+    {kSchedEmptySegment, Severity::kError, "empty or inverted segment",
+     "Def. 2.1(a)",
+     "Every execution segment [begin, end) must have begin < end; "
+     "zero-length or inverted segments carry no machine time and usually "
+     "indicate generator or serialization bugs."},
+    {kSchedUnsortedSegments, Severity::kError,
+     "segments not sorted or overlapping", "Def. 2.1(a)",
+     "A job's segments must be sorted by start time and pairwise disjoint "
+     "(adjacency allowed); overlap within a job double-books the "
+     "machine."},
+    {kSchedWindowEscape, Severity::kError, "segment outside job window",
+     "Def. 2.1(b)",
+     "Every segment of job j must lie inside [r_j, d_j): work before "
+     "release or after deadline does not count."},
+    {kSchedLengthMismatch, Severity::kError, "processed length mismatch",
+     "Def. 2.1(b)",
+     "The segments of a scheduled job must sum to exactly p_j; a job is "
+     "only counted when fully processed."},
+    {kSchedPreemptionBudget, Severity::kError, "preemption budget exceeded",
+     "Def. 2.1(c)",
+     "A k-preemptive schedule allows at most k preemptions per job, i.e. "
+     "at most k+1 segments."},
+    {kSchedMachineConflict, Severity::kError, "machine double-booked",
+     "Def. 2.1(a)",
+     "Segments of different jobs on the same machine must not overlap: "
+     "one machine executes at most one job at any moment."},
+    {kSchedMigration, Severity::kError, "job scheduled on two machines",
+     "§2.1 (multi-machine)",
+     "The multi-machine setting is non-migrative: a job's segments must "
+     "all live on a single machine."},
+};
+
+constexpr bool catalogue_sorted() {
+  for (std::size_t i = 1; i < std::size(kCatalogue); ++i) {
+    if (!(kCatalogue[i - 1].id < kCatalogue[i].id)) return false;
+  }
+  return true;
+}
+static_assert(catalogue_sorted(), "rule catalogue must be ordered by id");
+
+}  // namespace
+
+std::span<const RuleInfo> all_rules() { return kCatalogue; }
+
+const RuleInfo* find_rule(std::string_view id) {
+  const auto it = std::lower_bound(
+      std::begin(kCatalogue), std::end(kCatalogue), id,
+      [](const RuleInfo& info, std::string_view key) { return info.id < key; });
+  if (it == std::end(kCatalogue) || it->id != id) return nullptr;
+  return it;
+}
+
+}  // namespace pobp::diag

@@ -1,0 +1,119 @@
+#include "pobp/diag/render.hpp"
+
+#include <sstream>
+
+#include "pobp/diag/registry.hpp"
+
+namespace pobp::diag {
+namespace {
+
+/// Minimal JSON string escaping (the catalogue and messages are ASCII, but
+/// CSV-derived payload values could contain anything).
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string_view sarif_level(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "error";
+}
+
+}  // namespace
+
+std::string to_text(const Report& report) {
+  if (report.empty()) return "no findings\n";
+  std::ostringstream os;
+  for (const Diagnostic& d : report.diagnostics()) {
+    os << d.to_string() << '\n';
+  }
+  os << report.count(Severity::kError) << " error(s), "
+     << report.count(Severity::kWarning) << " warning(s), "
+     << report.count(Severity::kNote) << " note(s)\n";
+  return os.str();
+}
+
+std::string to_sarif(const Report& report, std::string_view tool_name) {
+  std::ostringstream os;
+  os << "{\"version\":\"2.1.0\","
+     << "\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+     << "\"runs\":[{\"tool\":{\"driver\":{\"name\":";
+  append_json_string(os, tool_name);
+  os << ",\"rules\":[";
+  bool first = true;
+  for (const std::string& id : report.rule_ids()) {
+    const RuleInfo* info = find_rule(id);
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":";
+    append_json_string(os, id);
+    if (info) {
+      os << ",\"shortDescription\":{\"text\":";
+      append_json_string(os, info->title);
+      os << "},\"fullDescription\":{\"text\":";
+      append_json_string(os, info->description);
+      os << "},\"properties\":{\"paperRef\":";
+      append_json_string(os, info->paper_ref);
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "]}},\"results\":[";
+  first = true;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ruleId\":";
+    append_json_string(os, d.rule);
+    os << ",\"level\":\"" << sarif_level(d.severity)
+       << "\",\"message\":{\"text\":";
+    append_json_string(os, d.message);
+    os << "},\"properties\":{";
+    bool first_prop = true;
+    const auto prop = [&](std::string_view key, std::string_view value,
+                          bool quote) {
+      if (!first_prop) os << ',';
+      first_prop = false;
+      append_json_string(os, key);
+      os << ':';
+      if (quote) {
+        append_json_string(os, value);
+      } else {
+        os << value;
+      }
+    };
+    if (d.where.machine) prop("machine", std::to_string(*d.where.machine), false);
+    if (d.where.job) prop("job", std::to_string(*d.where.job), false);
+    if (d.where.node) prop("node", std::to_string(*d.where.node), false);
+    if (d.where.segment) prop("segment", std::to_string(*d.where.segment), false);
+    if (d.where.begin) prop("begin", std::to_string(*d.where.begin), false);
+    if (d.where.end) prop("end", std::to_string(*d.where.end), false);
+    for (const auto& [key, value] : d.payload) prop(key, value, true);
+    os << "}}";
+  }
+  os << "]}]}";
+  return os.str();
+}
+
+}  // namespace pobp::diag

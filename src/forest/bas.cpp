@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "pobp/diag/registry.hpp"
+
 namespace pobp {
 
 std::size_t SubForest::kept_count() const {
@@ -23,11 +25,18 @@ Value SubForest::value(const Forest& forest) const {
 
 namespace {
 
+namespace rules = diag::rules;
+
 template <typename BoundFn>
-BasCheck validate_bas_impl(const Forest& forest, const SubForest& sel,
-                           BoundFn&& bound) {
+void diagnose_bas_impl(const Forest& forest, const SubForest& sel,
+                       BoundFn&& bound, diag::Report& report) {
   if (sel.keep.size() != forest.size()) {
-    return {false, "selection mask size mismatch"};
+    report
+        .add(std::string(rules::kBasMaskSize),
+             "selection mask size mismatch")
+        .with("mask_size", sel.keep.size())
+        .with("forest_size", forest.size());
+    return;  // per-node rules are meaningless on a mismatched mask
   }
 
   // has_kept_ancestor[v] computed top-down; ids are parents-first, so a
@@ -48,7 +57,9 @@ BasCheck validate_bas_impl(const Forest& forest, const SubForest& sel,
       os << "node " << v
          << " roots a component but has a kept proper ancestor "
             "(ancestor independence violated)";
-      return {false, os.str()};
+      diag::Location loc;
+      loc.node = v;
+      report.add(std::string(rules::kBasAncestorDependence), os.str(), loc);
     }
     std::size_t kept_children = 0;
     for (const NodeId c : forest.children(v)) kept_children += sel.kept(c);
@@ -56,24 +67,47 @@ BasCheck validate_bas_impl(const Forest& forest, const SubForest& sel,
       std::ostringstream os;
       os << "node " << v << " has " << kept_children
          << " kept children, exceeding the degree bound k=" << bound(v);
-      return {false, os.str()};
+      diag::Location loc;
+      loc.node = v;
+      report.add(std::string(rules::kBasDegreeOverflow), os.str(), loc)
+          .with("kept_children", kept_children)
+          .with("bound", bound(v));
     }
   }
-  return {};
+}
+
+BasCheck first_failure(const diag::Report& report) {
+  if (report.ok()) return {};
+  return {false, report.first_error()};
 }
 
 }  // namespace
 
+void diagnose_bas(const Forest& forest, const SubForest& sel, std::size_t k,
+                  diag::Report& report) {
+  diagnose_bas_impl(forest, sel, [k](NodeId) { return k; }, report);
+}
+
+void diagnose_bas(const Forest& forest, const SubForest& sel,
+                  std::span<const std::size_t> degree_bounds,
+                  diag::Report& report) {
+  POBP_ASSERT(degree_bounds.size() == forest.size());
+  diagnose_bas_impl(
+      forest, sel, [&](NodeId v) { return degree_bounds[v]; }, report);
+}
+
 BasCheck validate_bas(const Forest& forest, const SubForest& sel,
                       std::size_t k) {
-  return validate_bas_impl(forest, sel, [k](NodeId) { return k; });
+  diag::Report report;
+  diagnose_bas(forest, sel, k, report);
+  return first_failure(report);
 }
 
 BasCheck validate_bas(const Forest& forest, const SubForest& sel,
                       std::span<const std::size_t> degree_bounds) {
-  POBP_ASSERT(degree_bounds.size() == forest.size());
-  return validate_bas_impl(forest, sel,
-                           [&](NodeId v) { return degree_bounds[v]; });
+  diag::Report report;
+  diagnose_bas(forest, sel, degree_bounds, report);
+  return first_failure(report);
 }
 
 SubForest brute_force_bas(const Forest& forest, std::size_t k) {

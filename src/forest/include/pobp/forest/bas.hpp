@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "pobp/diag/diagnostic.hpp"
 #include "pobp/forest/forest.hpp"
 
 namespace pobp {
@@ -29,7 +30,22 @@ struct BasCheck {
   explicit operator bool() const { return ok; }
 };
 
-/// Checks Defs. 3.1–3.2:
+/// Reports every violation of Defs. 3.1–3.2 through the diagnostics engine:
+///  * POBP-BAS-001 — the keep mask does not match the forest size;
+///  * POBP-BAS-002 — ancestor independence: a kept node whose parent is
+///    deleted (i.e. the root of a component of the sub-forest) has a kept
+///    proper ancestor;
+///  * POBP-BAS-003 — bounded degree: a kept node has more than k kept
+///    children.
+void diagnose_bas(const Forest& forest, const SubForest& sel, std::size_t k,
+                  diag::Report& report);
+
+/// Per-node degree budget variant (k(v) instead of one global k).
+void diagnose_bas(const Forest& forest, const SubForest& sel,
+                  std::span<const std::size_t> degree_bounds,
+                  diag::Report& report);
+
+/// First-failure shim over diagnose_bas — checks Defs. 3.1–3.2:
 ///  * ancestor independence — a kept node whose parent is deleted (i.e. the
 ///    root of a component of the sub-forest) has no kept proper ancestor;
 ///  * bounded degree — every kept node has at most k kept children.

@@ -1,5 +1,6 @@
 #include "pobp/io/csv.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <map>
 #include <fstream>
@@ -125,6 +126,72 @@ JobSet jobs_from_csv(const std::string& text) {
   return jobs;
 }
 
+std::vector<Job> job_rows_from_csv(const std::string& text) {
+  std::vector<Job> rows;
+  for_each_row(text, "release,deadline,length,value", 4,
+               [&](const std::vector<std::string>& cells, std::size_t line) {
+                 Job job;
+                 job.release = parse_int(cells[0], line);
+                 job.deadline = parse_int(cells[1], line);
+                 job.length = parse_int(cells[2], line);
+                 job.value = parse_double(cells[3], line);
+                 rows.push_back(job);
+               });
+  return rows;
+}
+
+std::vector<ScheduleRow> schedule_rows_from_csv(const std::string& text) {
+  std::vector<ScheduleRow> rows;
+  for_each_row(text, "machine,job,begin,end", 4,
+               [&](const std::vector<std::string>& cells, std::size_t line) {
+                 ScheduleRow row;
+                 const std::int64_t m = parse_int(cells[0], line);
+                 const std::int64_t j = parse_int(cells[1], line);
+                 if (m < 0 || j < 0) {
+                   throw ParseError(line, "negative machine or job id");
+                 }
+                 row.machine = static_cast<std::size_t>(m);
+                 row.job = static_cast<JobId>(j);
+                 row.segment.begin = parse_int(cells[2], line);
+                 row.segment.end = parse_int(cells[3], line);
+                 row.line = line;
+                 rows.push_back(row);
+               });
+  return rows;
+}
+
+std::vector<std::vector<Assignment>> group_schedule_rows(
+    std::span<const ScheduleRow> rows) {
+  std::size_t machines = 1;
+  for (const ScheduleRow& row : rows) {
+    machines = std::max(machines, row.machine + 1);
+  }
+  // Group per (machine, job) preserving first-appearance order of jobs.
+  std::vector<std::vector<Assignment>> out(machines);
+  std::map<std::pair<std::size_t, JobId>, std::size_t> index;
+  for (const ScheduleRow& row : rows) {
+    const auto key = std::make_pair(row.machine, row.job);
+    const auto it = index.find(key);
+    if (it == index.end()) {
+      index.emplace(key, out[row.machine].size());
+      out[row.machine].push_back(Assignment{row.job, {row.segment}});
+    } else {
+      out[row.machine][it->second].segments.push_back(row.segment);
+    }
+  }
+  // Stable sort by begin so intra-job order defects are judged on time
+  // order, not file order; empties and overlaps are preserved verbatim.
+  for (std::vector<Assignment>& machine : out) {
+    for (Assignment& a : machine) {
+      std::stable_sort(a.segments.begin(), a.segments.end(),
+                       [](const Segment& x, const Segment& y) {
+                         return x.begin < y.begin;
+                       });
+    }
+  }
+  return out;
+}
+
 std::string schedule_to_csv(const Schedule& schedule) {
   std::ostringstream os;
   os << "# pobp schedule v1\n";
@@ -193,6 +260,14 @@ void save_schedule(const std::string& path, const Schedule& schedule) {
 
 Schedule load_schedule(const std::string& path) {
   return schedule_from_csv(read_file(path));
+}
+
+std::vector<Job> load_job_rows(const std::string& path) {
+  return job_rows_from_csv(read_file(path));
+}
+
+std::vector<ScheduleRow> load_schedule_rows(const std::string& path) {
+  return schedule_rows_from_csv(read_file(path));
 }
 
 }  // namespace pobp::io

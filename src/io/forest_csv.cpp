@@ -86,4 +86,44 @@ Forest load_forest(const std::string& path) {
   return forest_from_csv(read_file(path));
 }
 
+std::string selection_to_csv(const SubForest& sel) {
+  std::ostringstream os;
+  os << "# pobp selection v1\n";
+  os << "keep\n";
+  for (const char kept : sel.keep) os << (kept ? 1 : 0) << '\n';
+  return os.str();
+}
+
+SubForest selection_from_csv(const std::string& text) {
+  SubForest sel;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_seen) {
+      if (line != "keep") throw ParseError(line_no, "expected header 'keep'");
+      header_seen = true;
+      continue;
+    }
+    if (line != "0" && line != "1") {
+      throw ParseError(line_no, "keep flag must be 0 or 1, got '" + line + "'");
+    }
+    sel.keep.push_back(line == "1" ? 1 : 0);
+  }
+  if (!header_seen) throw ParseError(line_no, "missing header row");
+  return sel;
+}
+
+void save_selection(const std::string& path, const SubForest& sel) {
+  write_file(path, selection_to_csv(sel));
+}
+
+SubForest load_selection(const std::string& path) {
+  return selection_from_csv(read_file(path));
+}
+
 }  // namespace pobp::io

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "pobp/schedule/schedule.hpp"
 
@@ -41,6 +43,33 @@ std::string schedule_to_csv(const Schedule& schedule);
 /// (at least 1).
 Schedule schedule_from_csv(const std::string& text);
 
+// --- lenient row forms (the lint path) -------------------------------------
+//
+// The strict loaders above reject semantically bad data outright (malformed
+// jobs, empty segments) and MachineSchedule::add normalizes segment lists,
+// which is exactly wrong for a linter: it must *see* the defects to report
+// them.  The row-level forms below check syntax only and preserve the file's
+// contents verbatim so the diagnostics engine can judge them.
+
+/// Jobs without the well-formedness filter (syntax errors still throw).
+std::vector<Job> job_rows_from_csv(const std::string& text);
+
+/// One parsed schedule row, order and duplicates preserved; zero-length and
+/// inverted segments are kept.
+struct ScheduleRow {
+  std::size_t machine = 0;
+  JobId job = 0;
+  Segment segment;
+  std::size_t line = 0;  ///< 1-based source line (for diagnostics)
+};
+std::vector<ScheduleRow> schedule_rows_from_csv(const std::string& text);
+
+/// Groups rows into per-machine raw assignments: segments sorted by begin
+/// (stable) but *not* merged, empties kept.  `machine_count` of the result
+/// is 1 + the largest machine index present (at least 1).
+std::vector<std::vector<Assignment>> group_schedule_rows(
+    std::span<const ScheduleRow> rows);
+
 // --- file forms ------------------------------------------------------------
 
 void save_jobs(const std::string& path, const JobSet& jobs);
@@ -48,5 +77,8 @@ JobSet load_jobs(const std::string& path);  // throws on IO/parse failure
 
 void save_schedule(const std::string& path, const Schedule& schedule);
 Schedule load_schedule(const std::string& path);
+
+std::vector<Job> load_job_rows(const std::string& path);
+std::vector<ScheduleRow> load_schedule_rows(const std::string& path);
 
 }  // namespace pobp::io

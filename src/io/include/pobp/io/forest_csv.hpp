@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "pobp/forest/bas.hpp"
 #include "pobp/forest/forest.hpp"
 #include "pobp/io/csv.hpp"
 
@@ -22,5 +23,21 @@ Forest forest_from_csv(const std::string& text);
 
 void save_forest(const std::string& path, const Forest& forest);
 Forest load_forest(const std::string& path);
+
+// Sub-forest selections (k-BAS candidates) as a single `keep` column of
+// 0/1 flags; row index = node id, mirroring forest.csv:
+//
+//   selection.csv
+//   keep
+//   1            <- node 0 kept
+//   0            <- node 1 deleted
+//
+// The mask length is *not* forced to match any forest here — pobp_lint
+// reports a mismatch as diagnostic POBP-BAS-001 instead.
+std::string selection_to_csv(const SubForest& sel);
+SubForest selection_from_csv(const std::string& text);
+
+void save_selection(const std::string& path, const SubForest& sel);
+SubForest load_selection(const std::string& path);
 
 }  // namespace pobp::io

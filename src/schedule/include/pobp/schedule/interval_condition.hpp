@@ -10,8 +10,10 @@
 // to agree with it on random subsets.
 #pragma once
 
+#include <optional>
 #include <span>
 
+#include "pobp/diag/diagnostic.hpp"
 #include "pobp/schedule/job.hpp"
 
 namespace pobp {
@@ -19,6 +21,16 @@ namespace pobp {
 /// True iff `subset` of `jobs` is feasible on one machine with unbounded
 /// preemption.  O(n log n + n²) worst case, n = |subset|.
 bool preemptive_feasible(const JobSet& jobs, std::span<const JobId> subset);
+
+/// Reports every overloaded interval as rule POBP-INT-001: for each release
+/// point r whose demand overflows, one finding at the *first* deadline d
+/// (in deadline order) where Σ p_j over jobs with windows inside [r, d]
+/// exceeds d − r.  `severity` defaults to the registry's (error); pass
+/// kWarning when linting whole instances, where "not all jobs fit" is
+/// expected rather than a defect.
+void diagnose_interval_condition(
+    const JobSet& jobs, std::span<const JobId> subset, diag::Report& report,
+    std::optional<diag::Severity> severity = std::nullopt);
 
 /// Incremental oracle for branch-and-bound: jobs are added one at a time and
 /// the condition is re-checked only against intervals the new job affects.

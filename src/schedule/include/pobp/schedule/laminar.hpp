@@ -16,6 +16,9 @@
 // contradiction.  Same jobs, same value, laminar output.
 #pragma once
 
+#include <optional>
+
+#include "pobp/diag/diagnostic.hpp"
 #include "pobp/schedule/schedule.hpp"
 
 namespace pobp {
@@ -23,6 +26,12 @@ namespace pobp {
 /// True iff no two jobs of `ms` interleave (a₁ ≺ b₁ ≺ a₂ ≺ b₂).
 /// O(S) over the segment timeline using a nesting stack.
 bool is_laminar(const MachineSchedule& ms);
+
+/// Reports every interleaving as rule POBP-LAM-001: one finding per
+/// segment that resumes its job underneath a still-open other job, naming
+/// the witness pair.  `machine` only decorates locations.
+void diagnose_laminar(const MachineSchedule& ms, diag::Report& report,
+                      std::optional<std::size_t> machine = std::nullopt);
 
 /// Rearranges `ms` into an equivalent laminar schedule of the same job set
 /// (same value, still feasible).  Precondition: `ms` validates against

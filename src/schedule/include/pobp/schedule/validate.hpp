@@ -2,13 +2,19 @@
 //
 // The validator is the single source of truth for "is this a feasible
 // k-preemptive schedule"; every algorithm's output in tests and benches is
-// pushed through it.  On failure it reports a human-readable reason.
+// pushed through it.  Checks emit structured diagnostics (stable rule ids,
+// see pobp/diag/registry.hpp) through a diag::Report, reporting *every*
+// violation; the historical first-failure ValidationResult interface is
+// kept as a thin shim over the same engine.
 #pragma once
 
 #include <cstddef>
 #include <limits>
+#include <optional>
+#include <span>
 #include <string>
 
+#include "pobp/diag/diagnostic.hpp"
 #include "pobp/schedule/schedule.hpp"
 
 namespace pobp {
@@ -28,12 +34,52 @@ struct ValidationResult {
   }
 };
 
+// --- diagnostics engine -----------------------------------------------------
+
+/// Checks one job's raw assignment (rules POBP-SCHED-001..007): known job
+/// id, non-empty segment list, per-segment positive length, sortedness and
+/// intra-job disjointness, window containment, exact processed length, and
+/// the preemption budget.  Appends every violation to `report`; `machine`
+/// only decorates locations.  Works on *raw* assignments — segments need
+/// not be normalized — so lint can run it on untrusted CSV rows.
+void diagnose_assignment(const JobSet& jobs, const Assignment& assignment,
+                         std::size_t k, diag::Report& report,
+                         std::optional<std::size_t> machine = std::nullopt);
+
+/// Per-assignment checks for a whole machine plus machine exclusivity
+/// (POBP-SCHED-008: no two jobs overlap).  Appends all violations.
+void diagnose_machine(const JobSet& jobs, const MachineSchedule& ms,
+                      std::size_t k, diag::Report& report,
+                      std::optional<std::size_t> machine = std::nullopt);
+
+/// Raw-span variant of diagnose_machine for unnormalized input (the lint
+/// path): same rules, including cross-job overlap over all segments.
+void diagnose_assignments(const JobSet& jobs,
+                          std::span<const Assignment> assignments,
+                          std::size_t k, diag::Report& report,
+                          std::optional<std::size_t> machine = std::nullopt);
+
+/// Multi-machine: every machine's checks plus non-migration
+/// (POBP-SCHED-009).  Appends all violations across all machines.
+void diagnose_schedule(const JobSet& jobs, const Schedule& schedule,
+                       std::size_t k, diag::Report& report);
+
+/// Raw multi-machine variant: one unnormalized assignment vector per
+/// machine (io::group_schedule_rows output).  Same rules as
+/// diagnose_schedule, including non-migration.
+void diagnose_raw_schedule(const JobSet& jobs,
+                           std::span<const std::vector<Assignment>> machines,
+                           std::size_t k, diag::Report& report);
+
+// --- first-failure shims ----------------------------------------------------
+
 /// Checks that `ms` is a feasible k-preemptive schedule of a subset of
 /// `jobs` on one machine:
 ///   * every segment lies in [r_j, d_j) and has positive length,
 ///   * each job's segments are pairwise disjoint and sum to exactly p_j,
 ///   * segments of different jobs do not overlap,
 ///   * no job has more than k preemptions (k+1 segments).
+/// Reports the first violation found by the diagnostics engine.
 ValidationResult validate_machine(const JobSet& jobs,
                                   const MachineSchedule& ms,
                                   std::size_t k = kUnboundedPreemptions);

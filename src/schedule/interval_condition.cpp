@@ -1,7 +1,10 @@
 #include "pobp/schedule/interval_condition.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
+
+#include "pobp/diag/registry.hpp"
 
 namespace pobp {
 namespace {
@@ -12,9 +15,13 @@ struct Item {
   Duration length;
 };
 
-/// Core check over explicit items.  For every release value r, scan items
-/// with r_j >= r in deadline order and verify the running demand fits.
-bool feasible(std::vector<Item> items) {
+/// Core sweep over explicit items.  For every release value r, scan items
+/// with r_j >= r in deadline order and accumulate demand; the first time
+/// the running demand overflows the interval [r, d_j], call
+/// `on_overload(r, d_j, demand, witnesses)` and move to the next release.
+/// Returning false stops the whole sweep.
+template <typename OverloadFn>
+void interval_sweep(std::vector<Item> items, OverloadFn&& on_overload) {
   std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
     return a.deadline < b.deadline;
   });
@@ -27,25 +34,65 @@ bool feasible(std::vector<Item> items) {
 
   for (const Time r : releases) {
     Duration demand = 0;
+    std::size_t witnesses = 0;
     for (const Item& it : items) {  // deadline order
       if (it.release < r) continue;
       demand += it.length;
-      if (demand > it.deadline - r) return false;
+      ++witnesses;
+      if (demand > it.deadline - r) {
+        if (!on_overload(r, it.deadline, demand, witnesses)) return;
+        break;  // one finding per release point; try the next r
+      }
     }
   }
-  return true;
 }
 
-}  // namespace
-
-bool preemptive_feasible(const JobSet& jobs, std::span<const JobId> subset) {
+std::vector<Item> collect(const JobSet& jobs, std::span<const JobId> subset) {
   std::vector<Item> items;
   items.reserve(subset.size());
   for (const JobId id : subset) {
     const Job& j = jobs[id];
     items.push_back({j.release, j.deadline, j.length});
   }
-  return feasible(std::move(items));
+  return items;
+}
+
+}  // namespace
+
+bool preemptive_feasible(const JobSet& jobs, std::span<const JobId> subset) {
+  bool feasible = true;
+  interval_sweep(collect(jobs, subset),
+                 [&](Time, Time, Duration, std::size_t) {
+                   feasible = false;
+                   return false;  // first overload settles the predicate
+                 });
+  return feasible;
+}
+
+void diagnose_interval_condition(const JobSet& jobs,
+                                 std::span<const JobId> subset,
+                                 diag::Report& report,
+                                 std::optional<diag::Severity> severity) {
+  interval_sweep(
+      collect(jobs, subset),
+      [&](Time r, Time d, Duration demand, std::size_t witnesses) {
+        std::ostringstream os;
+        os << "interval [" << r << ", " << d << "] demands " << demand
+           << " units of work but offers only " << (d - r) << " ("
+           << witnesses << " jobs with windows inside it)";
+        diag::Location loc;
+        loc.begin = r;
+        loc.end = d;
+        auto& diagnostic =
+            severity ? report.add(std::string(diag::rules::kIntervalOverload),
+                                  *severity, os.str(), loc)
+                     : report.add(std::string(diag::rules::kIntervalOverload),
+                                  os.str(), loc);
+        diagnostic.with("demand", demand)
+            .with("capacity", d - r)
+            .with("jobs", witnesses);
+        return true;  // report every overloaded release point
+      });
 }
 
 bool FeasibilityOracle::try_add(JobId id) {

@@ -1,15 +1,27 @@
 #include "pobp/schedule/laminar.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <unordered_map>
 #include <vector>
 
+#include "pobp/diag/registry.hpp"
 #include "pobp/schedule/edf.hpp"
 #include "pobp/util/assert.hpp"
 
 namespace pobp {
+namespace {
 
-bool is_laminar(const MachineSchedule& ms) {
+/// Timeline sweep shared by the predicate and the diagnoser.  Keeps a stack
+/// of open jobs, outermost first; finished jobs are popped as soon as they
+/// reach the top, so every non-top stack entry is open.  A segment whose
+/// job already sits below the top therefore proves that some job above it
+/// still has a future segment — exactly the pattern a₁ ≺ b₁ ≺ a₂ ≺ b₂.
+/// `on_violation(resumed, witness)` is called once per violating segment
+/// with the innermost still-open job above the resumed one; returning false
+/// stops the sweep.
+template <typename ViolationFn>
+void laminar_sweep(const MachineSchedule& ms, ViolationFn&& on_violation) {
   const auto timeline = ms.timeline();
 
   // Remaining-segment counter per job: a job is "open" while more of its
@@ -17,23 +29,50 @@ bool is_laminar(const MachineSchedule& ms) {
   std::unordered_map<JobId, std::size_t> remaining;
   for (const auto& ts : timeline) ++remaining[ts.job];
 
-  // Sweep the timeline keeping a stack of open jobs, outermost first.
-  // Invariant: finished jobs are popped as soon as they reach the top, so
-  // every non-top stack entry is open.  A segment whose job sits below the
-  // top therefore proves that some job above it still has a future segment
-  // — exactly the pattern a₁ ≺ b₁ ≺ a₂ ≺ b₂.
   std::vector<JobId> stack;
   for (const auto& ts : timeline) {
     while (!stack.empty() && remaining[stack.back()] == 0) stack.pop_back();
     if (stack.empty() || stack.back() != ts.job) {
       if (std::find(stack.begin(), stack.end(), ts.job) != stack.end()) {
-        return false;  // resumed under an open job: interleaving
+        // Resumed under an open job: interleaving.  Leave the stack as-is
+        // (the job is already recorded) so the sweep stays consistent.
+        if (!on_violation(ts, stack.back())) return;
+      } else {
+        stack.push_back(ts.job);
       }
-      stack.push_back(ts.job);
     }
     --remaining[ts.job];
   }
-  return true;
+}
+
+}  // namespace
+
+bool is_laminar(const MachineSchedule& ms) {
+  bool laminar = true;
+  laminar_sweep(ms, [&](const MachineSchedule::TaggedSegment&, JobId) {
+    laminar = false;
+    return false;  // first violation settles the predicate
+  });
+  return laminar;
+}
+
+void diagnose_laminar(const MachineSchedule& ms, diag::Report& report,
+                      std::optional<std::size_t> machine) {
+  laminar_sweep(ms, [&](const MachineSchedule::TaggedSegment& ts,
+                        JobId witness) {
+    std::ostringstream os;
+    os << "job#" << ts.job << " resumes at [" << ts.segment.begin << ", "
+       << ts.segment.end << ") while job#" << witness
+       << " is still open (interleaving a1 < b1 < a2 < b2)";
+    diag::Location loc;
+    loc.machine = machine;
+    loc.job = ts.job;
+    loc.begin = ts.segment.begin;
+    loc.end = ts.segment.end;
+    report.add(std::string(diag::rules::kLaminarInterleaving), os.str(), loc)
+        .with("open_job", static_cast<std::int64_t>(witness));
+    return true;  // keep sweeping: report every interleaving
+  });
 }
 
 MachineSchedule laminarize(const JobSet& jobs, const MachineSchedule& ms) {

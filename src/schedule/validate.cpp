@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
+
+#include "pobp/diag/registry.hpp"
 
 namespace pobp {
 namespace {
+
+namespace rules = diag::rules;
 
 std::string describe(JobId id, const Job& j) {
   std::ostringstream os;
@@ -14,77 +19,235 @@ std::string describe(JobId id, const Job& j) {
   return os.str();
 }
 
+diag::Location job_loc(std::optional<std::size_t> machine, JobId job) {
+  diag::Location loc;
+  loc.machine = machine;
+  loc.job = job;
+  return loc;
+}
+
+diag::Location segment_loc(std::optional<std::size_t> machine, JobId job,
+                           std::size_t index, const Segment& s) {
+  diag::Location loc = job_loc(machine, job);
+  loc.segment = index;
+  loc.begin = s.begin;
+  loc.end = s.end;
+  return loc;
+}
+
+/// Cross-job machine exclusivity over an explicit timeline (POBP-SCHED-008).
+/// Reports every adjacent overlapping pair.
+void diagnose_exclusivity(
+    const std::vector<MachineSchedule::TaggedSegment>& timeline,
+    diag::Report& report, std::optional<std::size_t> machine) {
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    const auto& prev = timeline[i - 1];
+    const auto& cur = timeline[i];
+    if (prev.segment.end <= cur.segment.begin) continue;
+    std::ostringstream os;
+    os << "machine conflict: job#" << prev.job << " [" << prev.segment.begin
+       << ", " << prev.segment.end << ") overlaps job#" << cur.job << " ["
+       << cur.segment.begin << ", " << cur.segment.end << ")";
+    diag::Location loc;
+    loc.machine = machine;
+    loc.job = cur.job;
+    loc.begin = cur.segment.begin;
+    loc.end = std::min(prev.segment.end, cur.segment.end);
+    report.add(std::string(rules::kSchedMachineConflict), os.str(), loc)
+        .with("other_job", static_cast<std::int64_t>(prev.job));
+  }
+}
+
 }  // namespace
+
+void diagnose_assignment(const JobSet& jobs, const Assignment& a,
+                         std::size_t k, diag::Report& report,
+                         std::optional<std::size_t> machine) {
+  if (a.job >= jobs.size()) {
+    report
+        .add(std::string(rules::kSchedUnknownJob),
+             "assignment references unknown job id",
+             job_loc(machine, a.job))
+        .with("job_count", jobs.size());
+    return;  // nothing else is checkable without the job's parameters
+  }
+  const Job& job = jobs[a.job];
+  if (a.segments.empty()) {
+    report.add(std::string(rules::kSchedEmptyAssignment),
+               describe(a.job, job) + ": empty segment list",
+               job_loc(machine, a.job));
+    return;
+  }
+
+  // Per-segment rules: positive length (POBP-SCHED-003) and window
+  // containment (POBP-SCHED-005).  Empty segments are excluded from the
+  // ordering check below so one defect does not masquerade as another.
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    const Segment& s = a.segments[i];
+    if (s.empty()) {
+      std::ostringstream os;
+      os << describe(a.job, job) << ": segment [" << s.begin << ", " << s.end
+         << ") is empty (begin >= end)";
+      report.add(std::string(rules::kSchedEmptySegment), os.str(),
+                 segment_loc(machine, a.job, i, s));
+    }
+    if (s.begin < job.release || s.end > job.deadline) {
+      std::ostringstream os;
+      os << describe(a.job, job) << ": segment [" << s.begin << ", " << s.end
+         << ") outside the job window";
+      report
+          .add(std::string(rules::kSchedWindowEscape), os.str(),
+               segment_loc(machine, a.job, i, s))
+          .with("release", job.release)
+          .with("deadline", job.deadline);
+    }
+  }
+
+  // Sortedness / intra-job disjointness over the non-empty segments
+  // (POBP-SCHED-004), one finding per offending adjacent pair.
+  std::size_t prev = a.segments.size();
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    if (a.segments[i].empty()) continue;
+    if (prev != a.segments.size() &&
+        a.segments[prev].end > a.segments[i].begin) {
+      std::ostringstream os;
+      os << describe(a.job, job) << ": segment [" << a.segments[i].begin
+         << ", " << a.segments[i].end << ") not sorted/disjoint with ["
+         << a.segments[prev].begin << ", " << a.segments[prev].end << ")";
+      report.add(std::string(rules::kSchedUnsortedSegments), os.str(),
+                 segment_loc(machine, a.job, i, a.segments[i]));
+    }
+    prev = i;
+  }
+
+  if (total_length(a.segments) != job.length) {
+    std::ostringstream os;
+    os << describe(a.job, job) << ": scheduled " << total_length(a.segments)
+       << " units, expected " << job.length;
+    report
+        .add(std::string(rules::kSchedLengthMismatch), os.str(),
+             job_loc(machine, a.job))
+        .with("scheduled", total_length(a.segments))
+        .with("expected", job.length);
+  }
+  // Preemptions are counted over the non-empty segments only: an empty
+  // segment is already reported by POBP-SCHED-003 and carries no work, so
+  // it should not also read as a preemption.
+  const std::size_t real_segments = static_cast<std::size_t>(
+      std::count_if(a.segments.begin(), a.segments.end(),
+                    [](const Segment& s) { return !s.empty(); }));
+  const std::size_t preemptions = real_segments == 0 ? 0 : real_segments - 1;
+  if (k != kUnboundedPreemptions && preemptions > k) {
+    std::ostringstream os;
+    os << describe(a.job, job) << ": " << preemptions
+       << " preemptions exceed the bound k=" << k;
+    report
+        .add(std::string(rules::kSchedPreemptionBudget), os.str(),
+             job_loc(machine, a.job))
+        .with("preemptions", preemptions)
+        .with("k", k);
+  }
+}
+
+void diagnose_assignments(const JobSet& jobs,
+                          std::span<const Assignment> assignments,
+                          std::size_t k, diag::Report& report,
+                          std::optional<std::size_t> machine) {
+  for (const Assignment& a : assignments) {
+    diagnose_assignment(jobs, a, k, report, machine);
+  }
+  // Machine exclusivity over all non-empty segments, sorted by begin.
+  std::vector<MachineSchedule::TaggedSegment> timeline;
+  for (const Assignment& a : assignments) {
+    for (const Segment& s : a.segments) {
+      if (!s.empty()) timeline.push_back({s, a.job});
+    }
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const MachineSchedule::TaggedSegment& a,
+                      const MachineSchedule::TaggedSegment& b) {
+                     return a.segment.begin < b.segment.begin;
+                   });
+  diagnose_exclusivity(timeline, report, machine);
+}
+
+void diagnose_machine(const JobSet& jobs, const MachineSchedule& ms,
+                      std::size_t k, diag::Report& report,
+                      std::optional<std::size_t> machine) {
+  diagnose_assignments(jobs, ms.assignments(), k, report, machine);
+}
+
+namespace {
+
+/// Non-migration bookkeeping shared by the normalized and raw paths.
+class MigrationTracker {
+ public:
+  explicit MigrationTracker(diag::Report& report) : report_(&report) {}
+
+  void see(JobId job, std::size_t machine) {
+    const auto [it, inserted] = first_machine_.emplace(job, machine);
+    if (inserted) return;
+    diag::Location loc;
+    loc.machine = machine;
+    loc.job = job;
+    report_
+        ->add(std::string(rules::kSchedMigration),
+              "job#" + std::to_string(job) +
+                  " scheduled on more than one machine (migration forbidden)",
+              loc)
+        .with("first_machine", it->second);
+  }
+
+ private:
+  diag::Report* report_;
+  std::unordered_map<JobId, std::size_t> first_machine_;
+};
+
+}  // namespace
+
+void diagnose_schedule(const JobSet& jobs, const Schedule& schedule,
+                       std::size_t k, diag::Report& report) {
+  MigrationTracker migration(report);
+  for (std::size_t m = 0; m < schedule.machine_count(); ++m) {
+    diagnose_machine(jobs, schedule.machine(m), k, report, m);
+    for (const Assignment& a : schedule.machine(m).assignments()) {
+      migration.see(a.job, m);
+    }
+  }
+}
+
+void diagnose_raw_schedule(const JobSet& jobs,
+                           std::span<const std::vector<Assignment>> machines,
+                           std::size_t k, diag::Report& report) {
+  MigrationTracker migration(report);
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    diagnose_assignments(jobs, machines[m], k, report, m);
+    for (const Assignment& a : machines[m]) migration.see(a.job, m);
+  }
+}
 
 ValidationResult validate_machine(const JobSet& jobs,
                                   const MachineSchedule& ms, std::size_t k) {
-  for (const Assignment& a : ms.assignments()) {
-    if (a.job >= jobs.size()) {
-      return ValidationResult::failure("assignment references unknown job id");
-    }
-    const Job& job = jobs[a.job];
-    if (a.segments.empty()) {
-      return ValidationResult::failure(describe(a.job, job) +
-                                       ": empty segment list");
-    }
-    if (!is_sorted_disjoint(a.segments)) {
-      return ValidationResult::failure(
-          describe(a.job, job) + ": segments not sorted/disjoint/non-empty");
-    }
-    for (const Segment& s : a.segments) {
-      if (s.begin < job.release || s.end > job.deadline) {
-        std::ostringstream os;
-        os << describe(a.job, job) << ": segment [" << s.begin << ", " << s.end
-           << ") outside the job window";
-        return ValidationResult::failure(os.str());
-      }
-    }
-    if (total_length(a.segments) != job.length) {
-      std::ostringstream os;
-      os << describe(a.job, job) << ": scheduled "
-         << total_length(a.segments) << " units, expected " << job.length;
-      return ValidationResult::failure(os.str());
-    }
-    if (k != kUnboundedPreemptions && a.preemptions() > k) {
-      std::ostringstream os;
-      os << describe(a.job, job) << ": " << a.preemptions()
-         << " preemptions exceed the bound k=" << k;
-      return ValidationResult::failure(os.str());
-    }
-  }
-
-  // Machine exclusivity: at most one job executing at any moment.
-  const auto timeline = ms.timeline();
-  for (std::size_t i = 1; i < timeline.size(); ++i) {
-    if (timeline[i - 1].segment.end > timeline[i].segment.begin) {
-      std::ostringstream os;
-      os << "machine conflict: job#" << timeline[i - 1].job << " ["
-         << timeline[i - 1].segment.begin << ", "
-         << timeline[i - 1].segment.end << ") overlaps job#"
-         << timeline[i].job << " [" << timeline[i].segment.begin << ", "
-         << timeline[i].segment.end << ")";
-      return ValidationResult::failure(os.str());
-    }
-  }
-  return {};
+  diag::Report report;
+  diagnose_machine(jobs, ms, k, report);
+  if (report.ok()) return {};
+  return ValidationResult::failure(report.first_error());
 }
 
 ValidationResult validate(const JobSet& jobs, const Schedule& schedule,
                           std::size_t k) {
-  std::unordered_set<JobId> seen;
-  for (std::size_t m = 0; m < schedule.machine_count(); ++m) {
-    ValidationResult r = validate_machine(jobs, schedule.machine(m), k);
-    if (!r) {
-      r.error = "machine " + std::to_string(m) + ": " + r.error;
-      return r;
+  diag::Report report;
+  diagnose_schedule(jobs, schedule, k, report);
+  if (report.ok()) return {};
+  for (const diag::Diagnostic& d : report.diagnostics()) {
+    if (d.severity != diag::Severity::kError) continue;
+    // Historical format: machine-scoped failures carry a "machine N: "
+    // prefix; the migration rule's message already names the job.
+    if (d.where.machine && d.rule != rules::kSchedMigration) {
+      return ValidationResult::failure(
+          "machine " + std::to_string(*d.where.machine) + ": " + d.message);
     }
-    for (const Assignment& a : schedule.machine(m).assignments()) {
-      if (!seen.insert(a.job).second) {
-        return ValidationResult::failure(
-            "job#" + std::to_string(a.job) +
-            " scheduled on more than one machine (migration forbidden)");
-      }
-    }
+    return ValidationResult::failure(d.message);
   }
   return {};
 }

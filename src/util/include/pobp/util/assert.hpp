@@ -35,7 +35,9 @@ namespace pobp::detail {
   } while (0)
 
 #ifdef NDEBUG
-#define POBP_DASSERT(expr) ((void)0)
+// sizeof keeps the expression parsed (so variables used only in the assert
+// don't trip -Wunused-variable under -Werror) without ever evaluating it.
+#define POBP_DASSERT(expr) ((void)sizeof(!(expr)))
 #else
 #define POBP_DASSERT(expr) POBP_ASSERT(expr)
 #endif

@@ -9,9 +9,9 @@ namespace pobp {
 namespace {
 
 //      0
-//     / \
+//     / \.
 //    1   2
-//   / \   \
+//   / \   \.
 //  3   4   5
 Forest chain_tree() {
   Forest f;

@@ -8,9 +8,9 @@ namespace {
 
 Forest small_tree() {
   //      0
-  //    / | \
+  //    / | \.
   //   1  2  3
-  //  / \     \
+  //  / \     \.
   // 4   5     6
   Forest f;
   f.add(10);        // 0

@@ -28,7 +28,7 @@ TEST_P(ExactPipeline, BoundedValueWithinTheoremEnvelopeOfExactOpt) {
     config.min_length = 1;
     config.max_length = 256;
     config.min_laxity = 1.0;
-    config.max_laxity = 2.0 * (k + 1);
+    config.max_laxity = 2.0 * (static_cast<double>(k) + 1.0);
     config.horizon = 2048;
     config.value_mode = JobGenConfig::ValueMode::kRandomDensity;
     const JobSet jobs = random_jobs(config, rng);

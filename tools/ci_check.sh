@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# CI gate: warning-clean Release build, sanitizer builds, full ctest under
+# each, clang-tidy (when installed), and a pobp_lint smoke run on the
+# known-bad fixtures.
+#
+#   tools/ci_check.sh [--skip-tsan] [--skip-tidy]
+#
+# Presets come from CMakePresets.json; build trees land in
+# build-<preset>/.  The script is self-gating: sanitizers or clang-tidy
+# that the toolchain lacks are reported and skipped, everything else is
+# fatal (set -e).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+SKIP_TIDY=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-tidy) SKIP_TIDY=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+say() { printf '\n=== %s ===\n' "$*"; }
+
+# True iff the active C++ compiler can link the given -fsanitize= flag.
+sanitizer_available() {
+  local flag="$1"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  echo 'int main() { return 0; }' > "$tmp/probe.cpp"
+  "${CXX:-c++}" "-fsanitize=$flag" "$tmp/probe.cpp" -o "$tmp/probe" \
+    > /dev/null 2>&1
+}
+
+run_preset() {
+  local preset="$1"
+  say "configure + build: $preset"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  say "ctest: $preset"
+  ctest --preset "$preset"
+}
+
+# 1. Warning-clean build (-Werror -Wconversion -Wshadow) + full tests.
+run_preset werror
+
+# 2. Release build + tests (the tier-1 configuration).
+run_preset release
+
+# 3. Sanitizers.
+if sanitizer_available address; then
+  run_preset asan-ubsan
+else
+  say "asan-ubsan: sanitizer runtime unavailable, skipped"
+fi
+if [ "$SKIP_TSAN" -eq 0 ] && sanitizer_available thread; then
+  run_preset tsan
+else
+  say "tsan: skipped"
+fi
+
+# 4. clang-tidy over the library and tools (uses .clang-tidy).
+if [ "$SKIP_TIDY" -eq 0 ] && command -v clang-tidy > /dev/null 2>&1; then
+  say "clang-tidy"
+  cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  git ls-files 'src/*.cpp' 'tools/*.cpp' \
+    | xargs clang-tidy -p build-release --quiet
+else
+  say "clang-tidy: unavailable or skipped"
+fi
+
+# 5. pobp_lint smoke: the known-bad fixtures must produce error findings
+#    (exit 1), a clean artifact must lint clean (exit 0).
+say "pobp_lint smoke"
+LINT=build-release/tools/pobp_lint
+set +e
+"$LINT" --jobs tests/data/bad_jobs.csv --schedule tests/data/bad_schedule.csv \
+        --k 1 --forest tests/data/bad_forest.csv \
+        --selection tests/data/bad_selection.csv
+lint_status=$?
+set -e
+if [ "$lint_status" -ne 1 ]; then
+  echo "FAIL: pobp_lint exit $lint_status on bad fixtures (want 1)" >&2
+  exit 1
+fi
+"$LINT" --check-gen --gen-k 1 --gen-K 2 --gen-L 4
+
+say "all checks passed"

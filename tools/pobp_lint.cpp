@@ -1,0 +1,292 @@
+// pobp_lint — machine-checkable invariant linter for pobp artifacts.
+//
+//   pobp_lint --jobs jobs.csv                       # instance rules only
+//   pobp_lint --jobs jobs.csv --schedule sched.csv --k 1
+//   pobp_lint --forest forest.csv --selection sel.csv --bas-k 1
+//   pobp_lint --check-gen --gen-k 1 --gen-K 2 --gen-L 5
+//   pobp_lint --list-rules
+//
+// Runs every registered rule that applies to the given artifacts and
+// prints *all* findings (stable rule ids, see docs/LINT.md), as text or
+// SARIF-shaped JSON (--format json).  Unlike `pobp validate`, which stops
+// at the first violation, the linter is built for CI and debugging: one
+// run shows everything wrong with an artifact.
+//
+// Exit codes: 0 = no error-severity findings (warnings/notes allowed),
+//             1 = at least one error finding,
+//             2 = usage / IO / parse failure.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pobp/diag/registry.hpp"
+#include "pobp/diag/render.hpp"
+#include "pobp/forest/bas.hpp"
+#include "pobp/gen/lower_bounds.hpp"
+#include "pobp/io/csv.hpp"
+#include "pobp/io/forest_csv.hpp"
+#include "pobp/schedule/interval_condition.hpp"
+#include "pobp/schedule/laminar.hpp"
+#include "pobp/schedule/validate.hpp"
+#include "pobp/util/checked.hpp"
+
+namespace {
+
+using namespace pobp;
+namespace rules = diag::rules;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, R"(usage: pobp_lint [artifacts] [flags]
+
+artifacts (any combination; at least one, or --list-rules):
+  --jobs FILE            lint a job instance (POBP-JOB-*, POBP-INT-001)
+  --schedule FILE        lint a schedule against --jobs
+                         (POBP-SCHED-*, POBP-LAM-001); --k K applies the
+                         preemption budget (default: unbounded)
+  --forest FILE          lint a value forest; with --selection FILE the
+                         k-BAS rules run too (POBP-BAS-*); --bas-k K sets
+                         the degree bound (default 1)
+  --check-gen            check Appendix-B generator parameters
+                         --gen-k K --gen-K K --gen-L L (POBP-GEN-*)
+
+flags:
+  --k K                  preemption budget for schedule rules
+  --bas-k K              degree bound for k-BAS rules (default 1)
+  --format text|json     output format (json = SARIF 2.1.0 shaped)
+  --list-rules           print the rule catalogue and exit
+)");
+  std::exit(2);
+}
+
+/// --flag value parser; boolean flags have empty values.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    static const char* const kKnown[] = {
+        "jobs", "schedule", "forest",   "selection", "check-gen", "k",
+        "bas-k", "gen-k",   "gen-K",    "gen-L",     "format",    "list-rules",
+    };
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        usage(("unexpected argument " + key).c_str());
+      }
+      key = key.substr(2);
+      if (std::find_if(std::begin(kKnown), std::end(kKnown),
+                       [&](const char* k) { return key == k; }) ==
+          std::end(kKnown)) {
+        usage(("unknown flag --" + key).c_str());
+      }
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string str(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) {
+      usage(("missing value for --" + key).c_str());
+    }
+    return it->second;
+  }
+
+  std::int64_t num(const std::string& key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      usage(("bad number for --" + key).c_str());
+    }
+    return value;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int list_rules() {
+  for (const diag::RuleInfo& rule : diag::all_rules()) {
+    std::printf("%-14s %-9s %s (%.*s)\n", std::string(rule.id).c_str(),
+                std::string(diag::to_string(rule.default_severity)).c_str(),
+                std::string(rule.title).c_str(),
+                static_cast<int>(rule.paper_ref.size()),
+                rule.paper_ref.data());
+  }
+  return 0;
+}
+
+/// Instance rules: POBP-JOB-001 per malformed job.  Returns the JobSet
+/// when every job is well-formed (the schedule rules need one), otherwise
+/// nullopt — feasibility of malformed jobs is undefined.
+std::optional<JobSet> lint_jobs(const std::vector<Job>& rows,
+                                diag::Report& report) {
+  bool all_well_formed = true;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Job& j = rows[i];
+    if (j.well_formed()) continue;
+    all_well_formed = false;
+    diag::Location loc;
+    loc.job = static_cast<std::uint32_t>(i);
+    loc.begin = j.release;
+    loc.end = j.deadline;
+    report
+        .add(std::string(rules::kJobMalformed),
+             "job#" + std::to_string(i) + " is malformed (need p >= 1, "
+             "val > 0, window >= p)",
+             loc)
+        .with("length", j.length)
+        .with("window", j.deadline - j.release);
+  }
+  if (!all_well_formed) return std::nullopt;
+  JobSet jobs;
+  for (const Job& j : rows) jobs.add(j);
+  return jobs;
+}
+
+/// Schedule rules over raw CSV rows: Def. 2.1 feasibility (all machines),
+/// non-migration, and §4.1 laminarity per machine.
+void lint_schedule(const JobSet& jobs,
+                   const std::vector<io::ScheduleRow>& rows, std::size_t k,
+                   diag::Report& report) {
+  const std::vector<std::vector<Assignment>> machines =
+      io::group_schedule_rows(rows);
+  diagnose_raw_schedule(jobs, machines, k, report);
+
+  // Laminarity is judged on the cleaned segment lists (empties dropped,
+  // duplicates merged) so one defect is not double-reported as another.
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    MachineSchedule ms;
+    for (const Assignment& a : machines[m]) {
+      Assignment cleaned{a.job, normalized(a.segments)};
+      if (!cleaned.segments.empty()) ms.add(std::move(cleaned));
+    }
+    diagnose_laminar(ms, report, m);
+  }
+}
+
+void lint_bas(const Forest& forest, const SubForest& sel, std::size_t bas_k,
+              diag::Report& report) {
+  diagnose_bas(forest, sel, bas_k, report);
+}
+
+/// Appendix-B generator parameter check: domain (k >= 1, K > k) and the
+/// int64 tick range of the (K, L) geometric ladder.
+void lint_gen(std::int64_t k, std::int64_t K, std::int64_t L,
+              diag::Report& report) {
+  if (k < 1 || K <= k || L < 0) {
+    report
+        .add(std::string(rules::kGenParamDomain),
+             "Appendix-B construction needs k >= 1, K > k, L >= 0 (got k=" +
+                 std::to_string(k) + ", K=" + std::to_string(K) +
+                 ", L=" + std::to_string(L) + ")")
+        .with("k", k)
+        .with("K", K)
+        .with("L", L);
+    return;
+  }
+  const std::size_t max_L = pobp_lower_bound_max_L(
+      K, std::numeric_limits<std::size_t>::max());
+  if (static_cast<std::size_t>(L) > max_L) {
+    report
+        .add(std::string(rules::kGenOverflow),
+             "Appendix-B instance with K=" + std::to_string(K) +
+                 ", L=" + std::to_string(L) +
+                 " overflows int64 ticks; largest safe L is " +
+                 std::to_string(max_L))
+        .with("K", K)
+        .with("L", L)
+        .with("max_L", max_L);
+  } else {
+    report.add(std::string(rules::kGenOverflow), diag::Severity::kNote,
+               "Appendix-B parameters are in range (largest safe L for K=" +
+                   std::to_string(K) + " is " + std::to_string(max_L) + ")");
+  }
+}
+
+int run(const Flags& flags) {
+  if (flags.has("list-rules")) return list_rules();
+
+  const bool has_jobs = flags.has("jobs");
+  const bool has_schedule = flags.has("schedule");
+  const bool has_forest = flags.has("forest");
+  const bool has_gen = flags.has("check-gen");
+  if (!has_jobs && !has_forest && !has_gen) {
+    usage("nothing to lint (need --jobs, --forest, --check-gen or "
+          "--list-rules)");
+  }
+  if (has_schedule && !has_jobs) usage("--schedule requires --jobs");
+  if (flags.has("selection") && !has_forest) {
+    usage("--selection requires --forest");
+  }
+
+  diag::Report report;
+
+  if (has_jobs) {
+    const std::vector<Job> rows = io::load_job_rows(flags.str("jobs"));
+    const std::optional<JobSet> jobs = lint_jobs(rows, report);
+    if (jobs && has_schedule) {
+      const std::size_t k =
+          flags.has("k") ? static_cast<std::size_t>(flags.num("k", 0))
+                         : kUnboundedPreemptions;
+      lint_schedule(*jobs, io::load_schedule_rows(flags.str("schedule")), k,
+                    report);
+    } else if (jobs && !jobs->empty()) {
+      // No schedule to judge: report whole-instance overload as a warning
+      // (an instance where not every job fits is common, not a defect).
+      diagnose_interval_condition(*jobs, all_ids(*jobs), report,
+                                  diag::Severity::kWarning);
+    } else if (!jobs && has_schedule) {
+      std::fprintf(stderr,
+                   "note: schedule rules skipped (job instance malformed)\n");
+    }
+  }
+
+  if (has_forest) {
+    const Forest forest = io::load_forest(flags.str("forest"));
+    if (flags.has("selection")) {
+      const SubForest sel = io::load_selection(flags.str("selection"));
+      lint_bas(forest, sel,
+               static_cast<std::size_t>(flags.num("bas-k", 1)), report);
+    }
+  }
+
+  if (has_gen) {
+    lint_gen(flags.num("gen-k", 1), flags.num("gen-K", 2),
+             flags.num("gen-L", 1), report);
+  }
+
+  const std::string format =
+      flags.has("format") ? flags.str("format") : "text";
+  if (format == "json") {
+    std::printf("%s\n", diag::to_sarif(report).c_str());
+  } else if (format == "text") {
+    std::printf("%s", diag::to_text(report).c_str());
+  } else {
+    usage("unknown --format (text | json)");
+  }
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, 1);
+  try {
+    return run(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
