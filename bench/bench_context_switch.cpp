@@ -9,7 +9,7 @@
 // bounded-preemption model is built for.  The offline cost-free pipeline
 // value is printed as the reference ceiling.
 #include "bench_common.hpp"
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/sim/policies.hpp"
 #include "pobp/util/stats.hpp"

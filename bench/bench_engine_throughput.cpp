@@ -1,0 +1,113 @@
+// E-ENGINE — batch-solve throughput of pobp::Engine vs worker count.
+//
+// Streams a fixed corpus of random instances through Engine::solve_batch at
+// worker counts 1/2/4/8 and reports instances/sec and speedup over the
+// 1-worker baseline.  Also re-checks the engine's determinism contract:
+// every worker count must produce bit-identical schedules.
+//
+//   bench_engine_throughput [--smoke] [--instances N] [--repeats R]
+//
+// --smoke shrinks the corpus for CI (tools/ci_check.sh).  The speedup
+// column is reported, not asserted: single-core runners legitimately show
+// ~1x for every worker count.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pobp/pobp.hpp"
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/util/rng.hpp"
+#include "pobp/util/table.hpp"
+#include "pobp/util/timing.hpp"
+
+namespace pobp {
+namespace {
+
+std::vector<JobSet> make_corpus(std::size_t count) {
+  Rng rng(20180616);  // SPAA'18
+  std::vector<JobSet> instances;
+  for (std::size_t i = 0; i < count; ++i) {
+    JobGenConfig config;
+    config.n = 24 + (i % 5) * 8;
+    config.max_length = 1 << 7;
+    config.horizon = 1 << 13;
+    instances.push_back(random_jobs(config, rng));
+  }
+  return instances;
+}
+
+std::string fingerprint(const std::vector<ScheduleResult>& results) {
+  std::string out;
+  for (const ScheduleResult& r : results) {
+    out += io::schedule_to_csv(r.schedule);
+    out += '\n';
+  }
+  return out;
+}
+
+int run(std::size_t instance_count, std::size_t repeats) {
+  const std::vector<JobSet> instances = make_corpus(instance_count);
+  const ScheduleOptions schedule{.k = 1, .machine_count = 2};
+
+  bench::banner("E-ENGINE", "engine throughput",
+                "solve_batch is deterministic across worker counts and "
+                "scales with available cores");
+
+  Table table("engine throughput",
+              {"workers", "instances/s", "speedup", "mean solve ms"});
+  double baseline = 0;
+  std::string expected;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    Engine engine({.schedule = schedule, .workers = workers});
+    std::string got;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      got = fingerprint(engine.solve_batch(instances));
+    }
+    if (workers == 1) {
+      expected = got;
+    } else if (got != expected) {
+      std::cerr << "FAIL: results with " << workers
+                << " workers differ from the 1-worker baseline\n";
+      return 1;
+    }
+
+    const EngineMetrics m = engine.metrics();
+    const double rate = m.instances_per_second();
+    if (workers == 1) baseline = rate;
+    table.add_row({Table::fmt(static_cast<std::uint64_t>(workers)),
+                   Table::fmt(rate, 1),
+                   Table::fmt(baseline > 0 ? rate / baseline : 0.0, 2),
+                   Table::fmt(m.solve_seconds.mean() * 1e3, 3)});
+  }
+  bench::emit(table);
+  std::cout << "\ndeterminism: all worker counts bit-identical over "
+            << instance_count << " instances x " << repeats << " repeats\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pobp
+
+int main(int argc, char** argv) {
+  std::size_t instances = 64;
+  std::size_t repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      instances = 8;
+      repeats = 1;
+    } else if (arg == "--instances" && i + 1 < argc) {
+      instances = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--repeats" && i + 1 < argc) {
+      repeats = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else {
+      std::cerr << "usage: bench_engine_throughput [--smoke] "
+                   "[--instances N] [--repeats R]\n";
+      return 2;
+    }
+  }
+  return pobp::run(instances, repeats);
+}

@@ -7,7 +7,8 @@
 #include <mutex>
 
 #include "bench_common.hpp"
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/gen/lower_bounds.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/util/parallel.hpp"

@@ -8,7 +8,8 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
+#include "pobp/schedule/edf.hpp"
 #include "pobp/gen/lower_bounds.hpp"
 
 namespace pobp {

@@ -6,7 +6,9 @@
 //   (b) random congested instances: iterative LSA_CS / combined across m,
 //       showing value grows with m while the price bound is preserved.
 #include "bench_common.hpp"
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
+#include "pobp/flow/migrative.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/gen/lower_bounds.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/util/stats.hpp"

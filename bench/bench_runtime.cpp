@@ -8,7 +8,14 @@
 
 #include "pobp/bas/contraction.hpp"
 #include "pobp/bas/tm.hpp"
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
+#include "pobp/flow/migrative.hpp"
+#include "pobp/lsa/lsa.hpp"
+#include "pobp/reduction/rebuild.hpp"
+#include "pobp/schedule/edf.hpp"
+#include "pobp/reduction/schedule_forest.hpp"
+#include "pobp/schedule/laminar.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/gen/forest_gen.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/gen/schedule_gen.hpp"

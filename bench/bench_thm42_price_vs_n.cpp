@@ -6,7 +6,7 @@
 #include <mutex>
 
 #include "bench_common.hpp"
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
 #include "pobp/gen/schedule_gen.hpp"
 #include "pobp/util/parallel.hpp"
 #include "pobp/util/stats.hpp"

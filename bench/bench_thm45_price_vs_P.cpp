@@ -8,7 +8,10 @@
 #include <mutex>
 
 #include "bench_common.hpp"
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
+#include "pobp/lsa/lsa.hpp"
+#include "pobp/schedule/edf.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/util/parallel.hpp"
 #include "pobp/util/stats.hpp"

@@ -1,0 +1,60 @@
+// batch_service — serving-shaped use of pobp::Engine.
+//
+// Simulates a scheduling service: instances arrive as a JSONL stream (the
+// same format `pobp batch --jsonl` reads), a long-lived Engine streams
+// results back as they complete, and the per-stage metrics are printed the
+// way a service would export them to a dashboard.
+//
+// Build: cmake --build build --target batch_service && ./build/examples/batch_service
+#include <iostream>
+#include <vector>
+
+#include "pobp/pobp.hpp"
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/util/rng.hpp"
+
+int main() {
+  // --- 1. Instances arrive as JSONL (here: an inline request log). --------
+  const std::string request_log = R"({"name": "web", "jobs": [[0,10,4,5.0],[2,7,3,2.5],[1,12,5,4.0]]}
+{"name": "batch-etl", "jobs": [{"release":0,"deadline":40,"length":12,"value":9},{"release":5,"deadline":30,"length":8,"value":6}]}
+)";
+  std::vector<pobp::io::BatchInstance> requests =
+      pobp::io::instances_from_jsonl(request_log);
+
+  // ...plus a burst of synthetic tenants.
+  pobp::Rng rng(4);
+  for (int tenant = 0; tenant < 6; ++tenant) {
+    pobp::JobGenConfig config;
+    config.n = 16;
+    requests.push_back({"tenant" + std::to_string(tenant),
+                        pobp::random_jobs(config, rng)});
+  }
+
+  // --- 2. One Engine for the life of the service. -------------------------
+  // Options are validated once up front — a service should reject a bad
+  // configuration at startup, not per request.
+  const pobp::ScheduleOptions schedule{.k = 1, .machine_count = 2};
+  if (auto probe = pobp::try_schedule_bounded(pobp::JobSet{}, schedule);
+      !probe) {
+    std::cerr << "bad configuration: " << probe.error().first_error() << "\n";
+    return 1;
+  }
+  pobp::Engine engine({.schedule = schedule, .workers = 4});
+
+  // --- 3. Stream results as they complete. --------------------------------
+  std::vector<pobp::JobSet> instances;
+  instances.reserve(requests.size());
+  for (const auto& request : requests) instances.push_back(request.jobs);
+
+  engine.for_each_result(
+      instances, [&](std::size_t i, const pobp::ScheduleResult& result) {
+        std::cout << requests[i].name << ": scheduled "
+                  << result.schedule.job_count() << "/" << instances[i].size()
+                  << " jobs, value " << result.value << ", price "
+                  << result.price() << "\n";
+      });
+
+  // --- 4. Export metrics (ASCII here; to_json() for dashboards). ----------
+  std::cout << "\n" << engine.metrics().to_table();
+  return 0;
+}

@@ -12,7 +12,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/util/rng.hpp"
 

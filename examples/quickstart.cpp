@@ -5,7 +5,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
 
 int main() {
   using namespace pobp;
@@ -19,8 +19,14 @@ int main() {
   jobs.add({.release = 16, .deadline = 22, .length = 5, .value = 7.0});
 
   // One call: build an unbounded-preemption reference schedule, then bound
-  // each job to at most k preemptions (Alon–Azar–Berlin, SPAA'18).
-  const ScheduleResult result = schedule_bounded(jobs, {.k = 1});
+  // each job to at most k preemptions (Alon–Azar–Berlin, SPAA'18).  Bad
+  // options come back as a rule-tagged report instead of a throw.
+  const auto solved = try_schedule_bounded(jobs, {.k = 1});
+  if (!solved) {
+    std::printf("rejected: %s\n", solved.error().first_error().c_str());
+    return 1;
+  }
+  const ScheduleResult& result = *solved;
 
   std::printf("scheduled %zu of %zu jobs, value %.1f of %.1f (price %.3f)\n",
               result.schedule.job_count(), jobs.size(), result.value,

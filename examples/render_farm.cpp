@@ -12,7 +12,7 @@
 #include <cstdlib>
 #include <set>
 
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/util/rng.hpp"
 

@@ -1,21 +1,33 @@
 #include <algorithm>
 #include <vector>
 
+#include "pobp/bas/contraction.hpp"
+#include "pobp/bas/tm.hpp"
 #include "pobp/core/pobp.hpp"
+#include "pobp/diag/registry.hpp"
+#include "pobp/lsa/lsa.hpp"
+#include "pobp/reduction/rebuild.hpp"
+#include "pobp/schedule/edf.hpp"
+#include "pobp/schedule/laminar.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/util/assert.hpp"
 
 namespace pobp {
-namespace {
 
-/// Seed ∞-preemptive schedule across machines: exact B&B applied
-/// iteratively to the residual set, or the density-greedy heuristic.
-Schedule seed_unbounded(const JobSet& jobs, const ScheduleOptions& options) {
+Schedule seed_unbounded_schedule(const JobSet& jobs,
+                                 const ScheduleOptions& options) {
   const std::vector<JobId> ids = all_ids(jobs);
+  return seed_unbounded_schedule(jobs, options, ids);
+}
+
+Schedule seed_unbounded_schedule(const JobSet& jobs,
+                                 const ScheduleOptions& options,
+                                 std::span<const JobId> ids) {
   if (options.seed == ScheduleOptions::Seed::kGreedyDensity) {
     return greedy_infinity_multi(jobs, ids, options.machine_count);
   }
   Schedule out(options.machine_count);
-  std::vector<JobId> remaining = ids;
+  std::vector<JobId> remaining(ids.begin(), ids.end());
   for (std::size_t m = 0; m < options.machine_count && !remaining.empty();
        ++m) {
     const SubsetSolution sol = opt_infinity(jobs, remaining);
@@ -31,16 +43,36 @@ Schedule seed_unbounded(const JobSet& jobs, const ScheduleOptions& options) {
   return out;
 }
 
-}  // namespace
+diag::Report check_schedule_options(const JobSet& jobs,
+                                    const ScheduleOptions& options) {
+  diag::Report report;
+  if (options.machine_count == 0) {
+    report
+        .add(std::string(diag::rules::kOptMachineCount),
+             "machine_count must be at least 1")
+        .with("machine_count", options.machine_count);
+  }
+  if (options.seed == ScheduleOptions::Seed::kExact &&
+      jobs.size() > kExactSeedJobLimit) {
+    report
+        .add(std::string(diag::rules::kOptExactSeedLimit),
+             "exact B&B seed is exponential in n; use the greedy seed for "
+             "this instance")
+        .with("n", jobs.size())
+        .with("limit", kExactSeedJobLimit);
+  }
+  return report;
+}
 
 CombinedMultiResult k_preemption_combined_multi(
     const JobSet& jobs, const Schedule& unbounded,
-    const CombinedOptions& options) {
+    const CombinedOptions& options, PipelineTimings* timings) {
   CombinedMultiResult result;
   const std::size_t machines = unbounded.machine_count();
   const Rational threshold(static_cast<std::int64_t>(options.k) + 1);
 
   // Strict branch: reduce each machine's restriction separately.
+  Stopwatch sw;
   Schedule strict_schedule(machines);
   std::vector<JobId> lax_ids;
   for (std::size_t m = 0; m < machines; ++m) {
@@ -49,27 +81,35 @@ CombinedMultiResult k_preemption_combined_multi(
       (jobs[id].laxity() >= threshold ? lax_ids : strict_ids).push_back(id);
     }
     if (strict_ids.empty()) continue;
+    sw.lap();
     const MachineSchedule restricted =
         restrict_schedule(unbounded.machine(m), strict_ids);
     const MachineSchedule laminar = laminarize(jobs, restricted);
+    if (timings) timings->laminarize_s += sw.lap();
     const ScheduleForest sf = build_schedule_forest(jobs, laminar);
+    if (timings) timings->forest_s += sw.lap();
     const SubForest sel =
         options.use_tm ? tm_optimal_bas(sf.forest, options.k).selection
                        : levelled_contraction(sf.forest, options.k).selection;
+    if (timings) timings->prune_s += sw.lap();
     strict_schedule.machine(m) = rebuild_schedule(jobs, sf, sel);
+    if (timings) timings->merge_s += sw.lap();
   }
   result.strict_value = strict_schedule.total_value(jobs);
 
   // Lax branch: iterative multi-machine LSA_CS on all lax jobs.
+  sw.lap();
   Schedule lax_schedule =
       lsa_cs_multi(jobs, lax_ids, options.k, machines);
+  if (timings) timings->lsa_s += sw.lap();
   result.lax_value = lax_schedule.total_value(jobs);
 
   // Full-reduction branch (Theorem 4.2, per machine).
   Schedule full_schedule(machines);
   for (std::size_t m = 0; m < machines; ++m) {
     full_schedule.machine(m) =
-        reduce_to_k_preemptive(jobs, unbounded.machine(m), options.k).bounded;
+        reduce_to_k_preemptive(jobs, unbounded.machine(m), options.k, timings)
+            .bounded;
   }
   const Value full_value = full_schedule.total_value(jobs);
 
@@ -83,36 +123,6 @@ CombinedMultiResult k_preemption_combined_multi(
     result.schedule = std::move(lax_schedule);
     result.value = result.lax_value;
   }
-  return result;
-}
-
-ScheduleResult schedule_bounded(const JobSet& jobs,
-                                const ScheduleOptions& options) {
-  POBP_ASSERT(options.machine_count >= 1);
-  ScheduleResult result;
-  result.schedule = Schedule(options.machine_count);
-  if (jobs.empty()) return result;
-
-  const Schedule seed = seed_unbounded(jobs, options);
-  result.unbounded_value = seed.total_value(jobs);
-
-  if (options.k == 0) {
-    // §5: iterative per-machine non-preemptive scheduling of the residual.
-    std::vector<JobId> remaining = all_ids(jobs);
-    for (std::size_t m = 0;
-         m < options.machine_count && !remaining.empty(); ++m) {
-      NonPreemptiveResult r = schedule_nonpreemptive(jobs, remaining);
-      result.schedule.machine(m) = std::move(r.schedule);
-      std::erase_if(remaining, [&](JobId id) {
-        return result.schedule.machine(m).contains(id);
-      });
-    }
-  } else {
-    CombinedOptions combined{options.k, options.use_tm};
-    result.schedule =
-        k_preemption_combined_multi(jobs, seed, combined).schedule;
-  }
-  result.value = result.schedule.total_value(jobs);
   return result;
 }
 

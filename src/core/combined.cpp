@@ -87,13 +87,16 @@ CombinedResult k_preemption_combined(const JobSet& jobs,
 }
 
 NonPreemptiveResult schedule_nonpreemptive(const JobSet& jobs,
-                                           std::span<const JobId> candidates) {
+                                           std::span<const JobId> candidates,
+                                           PipelineTimings* timings) {
   NonPreemptiveResult result;
   if (candidates.empty()) return result;
 
   // Branch (a): LSA_CS with k = 0 (en-bloc placement, length classes of
   // ratio ≤ 2 — §5's adjustment of Alg. 2).
+  Stopwatch sw;
   LsaResult cs = lsa_cs(jobs, candidates, /*k=*/0);
+  if (timings) timings->lsa_s += sw.lap();
   const Value cs_value = cs.schedule.total_value(jobs);
 
   // Branch (b): the single most valuable job — a feasible non-preemptive

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "pobp/schedule/schedule.hpp"
+#include "pobp/util/timing.hpp"
 
 namespace pobp {
 
@@ -57,7 +59,8 @@ struct NonPreemptiveResult {
   Value value = 0;
 };
 NonPreemptiveResult schedule_nonpreemptive(const JobSet& jobs,
-                                           std::span<const JobId> candidates);
+                                           std::span<const JobId> candidates,
+                                           PipelineTimings* timings = nullptr);
 
 /// Restriction of a machine schedule to the jobs in `keep` (a feasible
 /// schedule stays feasible under restriction).

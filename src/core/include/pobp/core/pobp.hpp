@@ -1,47 +1,37 @@
 // pobp — The Price of Bounded Preemption (Alon, Azar, Berlin; SPAA'18).
 //
-// Umbrella header: include this to get the whole public API.
+// One-call solve API.  Most applications should include the curated
+// umbrella "pobp/pobp.hpp" instead, which re-exports this header together
+// with the batch engine (pobp/engine/engine.hpp) and the common IO /
+// rendering helpers; the per-module headers under pobp/<module>/ are the
+// internal pipeline surface.
 //
-// Quick start (see examples/quickstart.cpp):
+// Quick start (see examples/quickstart.cpp and examples/batch_service.cpp):
 //
 //   pobp::JobSet jobs;
 //   jobs.add({.release = 0, .deadline = 10, .length = 4, .value = 5.0});
 //   ...
-//   auto result = pobp::schedule_bounded(jobs, {.k = 1});
-//   // result.schedule is a feasible schedule where no job is preempted
-//   // more than once, within O(log_{k+1} min{n, P}) of the unbounded
-//   // optimum's value.
+//   auto result = pobp::try_schedule_bounded(jobs, {.k = 1});
+//   if (result) {
+//     // result->schedule is a feasible schedule where no job is preempted
+//     // more than once, within O(log_{k+1} min{n, P}) of the unbounded
+//     // optimum's value.
+//   }
 #pragma once
 
-#include "pobp/bas/contraction.hpp"
-#include "pobp/bas/tm.hpp"
+#include <cstddef>
+#include <limits>
+
 #include "pobp/core/combined.hpp"
-#include "pobp/flow/maxflow.hpp"
-#include "pobp/flow/migrative.hpp"
-#include "pobp/forest/bas.hpp"
-#include "pobp/forest/forest.hpp"
-#include "pobp/io/csv.hpp"
-#include "pobp/io/forest_csv.hpp"
-#include "pobp/lsa/lsa.hpp"
-#include "pobp/reduction/rebuild.hpp"
-#include "pobp/reduction/schedule_forest.hpp"
-#include "pobp/schedule/edf.hpp"
-#include "pobp/schedule/gantt.hpp"
-#include "pobp/schedule/interval_condition.hpp"
-#include "pobp/schedule/interval_cover.hpp"
+#include "pobp/diag/diagnostic.hpp"
 #include "pobp/schedule/job.hpp"
-#include "pobp/schedule/laminar.hpp"
-#include "pobp/schedule/metrics.hpp"
-#include "pobp/schedule/report.hpp"
 #include "pobp/schedule/schedule.hpp"
-#include "pobp/schedule/segment.hpp"
-#include "pobp/schedule/timeline.hpp"
-#include "pobp/schedule/validate.hpp"
-#include "pobp/solvers/solvers.hpp"
+#include "pobp/util/expected.hpp"
+#include "pobp/util/timing.hpp"
 
 namespace pobp {
 
-/// Options for the one-call entry point.
+/// Options for the one-call entry points and the engine.
 struct ScheduleOptions {
   std::size_t k = 1;             ///< preemption bound (0 = non-preemptive)
   std::size_t machine_count = 1; ///< non-migrative identical machines
@@ -56,22 +46,59 @@ struct ScheduleOptions {
   bool use_tm = true;  ///< see CombinedOptions::use_tm
 };
 
+/// Largest instance the checked entry points accept with Seed::kExact
+/// (rule POBP-OPT-002): the B&B seed is exponential in n.
+inline constexpr std::size_t kExactSeedJobLimit = 32;
+
 struct ScheduleResult {
   Schedule schedule;          ///< feasible k-preemptive schedule
   Value value = 0;            ///< val(schedule)
   Value unbounded_value = 0;  ///< value of the seed ∞-preemptive schedule
-  /// unbounded_value / value (1 when both are 0) — the empirically paid
-  /// price; the paper guarantees O(log_{k+1} min{n, P}).
-  double price() const {
-    return value > 0 ? unbounded_value / value : 1.0;
+  /// unbounded_value / value — the empirically paid price; the paper
+  /// guarantees O(log_{k+1} min{n, P}).  Degenerate cases: 1 when both
+  /// values are 0 (nothing to lose), +inf when value == 0 but the seed
+  /// scheduled something (total loss).
+  [[nodiscard]] double price() const {
+    if (value > 0) return unbounded_value / value;
+    return unbounded_value > 0 ? std::numeric_limits<double>::infinity()
+                               : 1.0;
   }
 };
 
+/// Rule-tagged validation of the solve options against an instance
+/// (POBP-OPT-*).  Empty report ⟺ the options are accepted.
+[[nodiscard]] diag::Report check_schedule_options(
+    const JobSet& jobs, const ScheduleOptions& options);
+
 /// One-call pipeline: build an ∞-preemptive reference schedule, then bound
 /// its preemptions with Algorithm 3 (k ≥ 1) or the §5 non-preemptive
-/// algorithm (k = 0), per machine.
-ScheduleResult schedule_bounded(const JobSet& jobs,
-                                const ScheduleOptions& options = {});
+/// algorithm (k = 0), per machine.  Bad options are reported as a
+/// diag::Report tagged with POBP-OPT-* rule ids instead of being thrown.
+///
+/// Runs on the process-wide default Engine (pobp/engine/engine.hpp);
+/// construct a dedicated pobp::Engine for batch workloads or custom
+/// worker/metrics configuration.
+[[nodiscard]] Expected<ScheduleResult, diag::Report> try_schedule_bounded(
+    const JobSet& jobs, const ScheduleOptions& options = {});
+
+/// Deprecated throwing shim over try_schedule_bounded: rejects bad options
+/// with std::invalid_argument (historically an assertion).  Prefer
+/// try_schedule_bounded or pobp::Engine in new code.
+[[nodiscard]] ScheduleResult schedule_bounded(
+    const JobSet& jobs, const ScheduleOptions& options = {});
+
+/// Seed ∞-preemptive schedule across machines: the density-greedy heuristic
+/// or the exact B&B applied iteratively to the residual set, per
+/// ScheduleOptions::seed.  This is stage 1 of the pipeline; exported so the
+/// engine can time it separately.
+[[nodiscard]] Schedule seed_unbounded_schedule(const JobSet& jobs,
+                                               const ScheduleOptions& options);
+
+/// Scratch-reusing variant: `ids` must be all job ids [0, n) (the engine's
+/// sessions keep this buffer alive across instances).
+[[nodiscard]] Schedule seed_unbounded_schedule(const JobSet& jobs,
+                                               const ScheduleOptions& options,
+                                               std::span<const JobId> ids);
 
 /// Multi-machine Algorithm 3: the strict branch reduces each machine of the
 /// given ∞-preemptive schedule separately (§4.1 remark); the lax branch
@@ -82,8 +109,8 @@ struct CombinedMultiResult {
   Value strict_value = 0;
   Value lax_value = 0;
 };
-CombinedMultiResult k_preemption_combined_multi(const JobSet& jobs,
-                                                const Schedule& unbounded,
-                                                const CombinedOptions& options);
+[[nodiscard]] CombinedMultiResult k_preemption_combined_multi(
+    const JobSet& jobs, const Schedule& unbounded,
+    const CombinedOptions& options, PipelineTimings* timings = nullptr);
 
 }  // namespace pobp

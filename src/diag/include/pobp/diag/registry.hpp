@@ -54,6 +54,10 @@ inline constexpr std::string_view kBasDegreeOverflow = "POBP-BAS-003";
 // Instance-level job rules.
 inline constexpr std::string_view kJobMalformed = "POBP-JOB-001";
 
+// Solve-option rules (the checked schedule_bounded entry points).
+inline constexpr std::string_view kOptMachineCount = "POBP-OPT-001";
+inline constexpr std::string_view kOptExactSeedLimit = "POBP-OPT-002";
+
 // Hall-type interval feasibility (§4.1).
 inline constexpr std::string_view kIntervalOverload = "POBP-INT-001";
 

@@ -13,6 +13,8 @@ using rules::kGenParamDomain;
 using rules::kIntervalOverload;
 using rules::kJobMalformed;
 using rules::kLaminarInterleaving;
+using rules::kOptExactSeedLimit;
+using rules::kOptMachineCount;
 using rules::kSchedEmptyAssignment;
 using rules::kSchedEmptySegment;
 using rules::kSchedLengthMismatch;
@@ -65,6 +67,16 @@ constexpr RuleInfo kCatalogue[] = {
      "segments a1 < b1 < a2 < b2 of two jobs (each resuming under the "
      "other) are forbidden.  Interleavings break the Schedule Forest "
      "reduction."},
+    {kOptMachineCount, Severity::kError, "machine count out of domain",
+     "§2.1 (multi-machine)",
+     "The multi-machine setting schedules on m >= 1 identical non-migrative "
+     "machines; machine_count = 0 describes no machine to place work on."},
+    {kOptExactSeedLimit, Severity::kError, "exact seed instance too large",
+     "§2.1 (OPT∞)",
+     "The exact ∞-preemptive seed enumerates job subsets with "
+     "branch-and-bound, which is exponential in n; instances beyond the "
+     "supported bound would effectively never terminate, so the checked "
+     "entry points reject them instead (use the greedy-density seed)."},
     {kSchedUnknownJob, Severity::kError, "unknown job id", "Def. 2.1",
      "An assignment references a job id outside the instance."},
     {kSchedEmptyAssignment, Severity::kError, "empty segment list",

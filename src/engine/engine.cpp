@@ -1,0 +1,203 @@
+#include "pobp/engine/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "pobp/schedule/validate.hpp"
+#include "pobp/util/assert.hpp"
+#include "pobp/util/parallel.hpp"
+
+namespace pobp {
+
+// --- Session ----------------------------------------------------------------
+
+Session::Session(EngineOptions options) : options_(std::move(options)) {}
+
+ScheduleResult Session::solve(const JobSet& jobs) {
+  return solve(jobs, options_.schedule);
+}
+
+ScheduleResult Session::solve(const JobSet& jobs,
+                              const ScheduleOptions& options) {
+  POBP_ASSERT(options.machine_count >= 1);
+  Stopwatch total;
+  PipelineTimings timings;
+
+  ScheduleResult result;
+  result.schedule = Schedule(options.machine_count);
+  if (jobs.empty()) {
+    if (options_.collect_metrics) {
+      metrics_.record(jobs, result, timings, total.seconds(), true);
+    }
+    return result;
+  }
+
+  // Stage 1: the ∞-preemptive reference schedule (ids_ is the session's
+  // reusable scratch — no reallocation once it has grown to the largest
+  // instance seen).
+  Stopwatch sw;
+  ids_.resize(jobs.size());
+  std::iota(ids_.begin(), ids_.end(), JobId{0});
+  const Schedule seed = seed_unbounded_schedule(jobs, options, ids_);
+  timings.seed_s = sw.lap();
+  result.unbounded_value = seed.total_value(jobs);
+
+  if (options.k == 0) {
+    // §5: iterative per-machine non-preemptive scheduling of the residual.
+    remaining_.assign(ids_.begin(), ids_.end());
+    for (std::size_t m = 0;
+         m < options.machine_count && !remaining_.empty(); ++m) {
+      NonPreemptiveResult r =
+          schedule_nonpreemptive(jobs, remaining_, &timings);
+      result.schedule.machine(m) = std::move(r.schedule);
+      std::erase_if(remaining_, [&](JobId id) {
+        return result.schedule.machine(m).contains(id);
+      });
+    }
+  } else {
+    const CombinedOptions combined{options.k, options.use_tm};
+    result.schedule =
+        k_preemption_combined_multi(jobs, seed, combined, &timings).schedule;
+  }
+  result.value = result.schedule.total_value(jobs);
+
+  bool valid = true;
+  if (options_.validate) {
+    sw.lap();
+    valid = static_cast<bool>(validate(jobs, result.schedule, options.k));
+    timings.validate_s = sw.lap();
+  }
+  if (options_.collect_metrics) {
+    metrics_.record(jobs, result, timings, total.seconds(), valid);
+  }
+  return result;
+}
+
+// --- Engine -----------------------------------------------------------------
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      workers_(options_.workers != 0
+                   ? options_.workers
+                   : std::max<std::size_t>(
+                         1, std::thread::hardware_concurrency())),
+      inline_session_(options_) {}
+
+Engine::~Engine() = default;
+
+ScheduleResult Engine::solve(const JobSet& jobs) {
+  return solve(jobs, options_.schedule);
+}
+
+ScheduleResult Engine::solve(const JobSet& jobs,
+                             const ScheduleOptions& options) {
+  std::lock_guard lock(inline_mutex_);
+  return inline_session_.solve(jobs, options);
+}
+
+std::vector<ScheduleResult> Engine::solve_batch(
+    std::span<const JobSet> instances) {
+  std::vector<ScheduleResult> results(instances.size());
+  run_batch(instances, results.data(), nullptr);
+  return results;
+}
+
+void Engine::for_each_result(std::span<const JobSet> instances,
+                             const ResultCallback& on_result) {
+  std::vector<ScheduleResult> results(instances.size());
+  run_batch(instances, results.data(), &on_result);
+}
+
+void Engine::run_batch(std::span<const JobSet> instances,
+                       ScheduleResult* results,
+                       const ResultCallback* on_result) {
+  if (instances.empty()) return;
+  std::lock_guard lock(mutex_);
+  Stopwatch batch;
+
+  while (sessions_.size() < workers_) {
+    sessions_.push_back(std::make_unique<Session>(options_));
+  }
+
+  std::mutex callback_mutex;
+  const auto drain = [&](Session& session, std::atomic<std::size_t>& next) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= instances.size()) return;
+      results[i] = session.solve(instances[i]);
+      if (on_result) {
+        std::lock_guard cb_lock(callback_mutex);
+        (*on_result)(i, results[i]);
+      }
+    }
+  };
+
+  std::atomic<std::size_t> next{0};
+  const std::size_t active = std::min(workers_, instances.size());
+  if (active <= 1) {
+    drain(*sessions_[0], next);
+  } else {
+    if (!pool_) pool_ = std::make_unique<ThreadPool>(workers_);
+    for (std::size_t w = 0; w < active; ++w) {
+      Session& session = *sessions_[w];
+      pool_->submit([&drain, &session, &next] { drain(session, next); });
+    }
+    pool_->wait_idle();
+  }
+
+  batch_seconds_ += batch.seconds();
+}
+
+EngineMetrics Engine::metrics() const {
+  EngineMetrics merged;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& session : sessions_) merged.merge(session->metrics());
+    merged.batch_seconds += batch_seconds_;
+  }
+  {
+    std::lock_guard lock(inline_mutex_);
+    merged.merge(inline_session_.metrics());
+  }
+  return merged;
+}
+
+void Engine::reset_metrics() {
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& session : sessions_) session->reset_metrics();
+    batch_seconds_ = 0;
+  }
+  std::lock_guard lock(inline_mutex_);
+  inline_session_.reset_metrics();
+}
+
+Engine& Engine::shared() {
+  static Engine engine;
+  return engine;
+}
+
+// --- one-call shims ---------------------------------------------------------
+
+Expected<ScheduleResult, diag::Report> try_schedule_bounded(
+    const JobSet& jobs, const ScheduleOptions& options) {
+  diag::Report report = check_schedule_options(jobs, options);
+  if (!report.ok()) return Unexpected{std::move(report)};
+  return Engine::shared().solve(jobs, options);
+}
+
+ScheduleResult schedule_bounded(const JobSet& jobs,
+                                const ScheduleOptions& options) {
+  auto result = try_schedule_bounded(jobs, options);
+  if (!result) {
+    throw std::invalid_argument("schedule_bounded: " +
+                                result.error().first_error());
+  }
+  return std::move(result).value();
+}
+
+}  // namespace pobp

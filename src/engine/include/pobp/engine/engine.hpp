@@ -1,0 +1,135 @@
+// pobp::Engine — reusable pipeline sessions and the parallel batch-solve
+// runtime.
+//
+// The one-shot schedule_bounded() free function re-allocates every scratch
+// structure and solves exactly one instance per call.  The engine is the
+// serving-shaped entry point: construct one Engine from EngineOptions, then
+// stream instances through it —
+//
+//   pobp::Engine engine({.schedule = {.k = 1}, .workers = 8});
+//   pobp::ScheduleResult one = engine.solve(jobs);
+//   std::vector<pobp::ScheduleResult> all = engine.solve_batch(instances);
+//   engine.for_each_result(instances, [&](std::size_t i, const auto& r) {
+//     ...  // streaming: called as instances complete
+//   });
+//   std::cout << engine.metrics().to_table();
+//
+// solve_batch shards the instance list over a dedicated pobp::ThreadPool
+// (one Session per worker, work-queue by instance index) and is
+// bit-deterministic: the results are identical for every worker count,
+// because each instance's solve is a pure function of (jobs, options).
+//
+// schedule_bounded() remains as a thin shim over the process-wide
+// Engine::shared() instance.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "pobp/core/pobp.hpp"
+#include "pobp/engine/metrics.hpp"
+
+namespace pobp {
+
+class ThreadPool;
+
+struct EngineOptions {
+  ScheduleOptions schedule;  ///< pipeline options applied to every instance
+
+  /// Worker threads for solve_batch / for_each_result
+  /// (0 = hardware_concurrency).  Single solve() always runs inline.
+  std::size_t workers = 0;
+
+  /// Run the Def. 2.1 validator on every result (timed as the validate
+  /// stage; failures are counted in EngineMetrics::validation_failures).
+  bool validate = true;
+
+  bool collect_metrics = true;
+};
+
+/// One worker's reusable pipeline state: scratch id buffers pre-sized once
+/// and reused across instances, plus a private metrics shard (so recording
+/// is contention-free).  A Session is single-threaded; the Engine owns one
+/// per worker.
+class Session {
+ public:
+  explicit Session(EngineOptions options = {});
+
+  /// Runs the full pipeline (seed → laminarize → forest → prune / LSA_CS →
+  /// left-merge → validate) on one instance with this session's options.
+  [[nodiscard]] ScheduleResult solve(const JobSet& jobs);
+
+  /// Same, overriding the schedule options for this call only.
+  [[nodiscard]] ScheduleResult solve(const JobSet& jobs,
+                                     const ScheduleOptions& options);
+
+  const EngineOptions& options() const { return options_; }
+  const EngineMetrics& metrics() const { return metrics_; }
+  void reset_metrics() { metrics_ = EngineMetrics(); }
+
+ private:
+  EngineOptions options_;
+  EngineMetrics metrics_;
+  std::vector<JobId> ids_;        // all_ids scratch
+  std::vector<JobId> remaining_;  // k = 0 residual scratch
+};
+
+/// Thread-safe batch-solve runtime: a fixed option set, a lazily created
+/// worker pool, and one Session per worker.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Solves one instance on the calling thread (the inline session).
+  [[nodiscard]] ScheduleResult solve(const JobSet& jobs);
+  [[nodiscard]] ScheduleResult solve(const JobSet& jobs,
+                                     const ScheduleOptions& options);
+
+  /// Solves every instance in parallel; results[i] corresponds to
+  /// instances[i].  Deterministic: identical output for any worker count.
+  [[nodiscard]] std::vector<ScheduleResult> solve_batch(
+      std::span<const JobSet> instances);
+
+  /// Streaming variant: `on_result(index, result)` is invoked once per
+  /// instance as it completes (unordered).  Callback invocations are
+  /// serialized — the callback need not be thread-safe — and the result
+  /// reference is only valid during the call.
+  using ResultCallback =
+      std::function<void(std::size_t, const ScheduleResult&)>;
+  void for_each_result(std::span<const JobSet> instances,
+                       const ResultCallback& on_result);
+
+  /// Merged snapshot across the inline session and every worker session.
+  [[nodiscard]] EngineMetrics metrics() const;
+  void reset_metrics();
+
+  const EngineOptions& options() const { return options_; }
+  std::size_t worker_count() const { return workers_; }
+
+  /// Process-wide default engine (what schedule_bounded runs on).
+  static Engine& shared();
+
+ private:
+  void run_batch(std::span<const JobSet> instances, ScheduleResult* results,
+                 const ResultCallback* on_result);
+
+  EngineOptions options_;
+  std::size_t workers_;
+
+  mutable std::mutex mutex_;  // serializes batches and metrics access
+  std::unique_ptr<ThreadPool> pool_;            // lazy, workers_ threads
+  std::vector<std::unique_ptr<Session>> sessions_;  // one per worker, lazy
+  double batch_seconds_ = 0;                    // Σ solve_batch wall time
+  Session inline_session_;                      // solve() state
+  mutable std::mutex inline_mutex_;
+};
+
+}  // namespace pobp

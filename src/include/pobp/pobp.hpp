@@ -1,0 +1,27 @@
+// pobp — curated public surface.
+//
+// This umbrella re-exports what a typical application needs:
+//
+//   * the job / schedule model and the Def. 2.1 validator,
+//   * the one-call solve API (try_schedule_bounded / schedule_bounded),
+//   * the batch engine (pobp::Engine, sessions, per-stage metrics),
+//   * CSV / manifest IO and the ASCII renderers.
+//
+// The per-module headers under pobp/<module>/ (forest, bas, lsa, reduction,
+// flow, solvers, gen, sim) are the internal pipeline surface: stable for
+// in-repo tools, tests and benches, but not part of this curated set —
+// include them directly when you need a specific algorithm.
+#pragma once
+
+#include "pobp/core/pobp.hpp"
+#include "pobp/engine/engine.hpp"
+#include "pobp/engine/metrics.hpp"
+#include "pobp/io/csv.hpp"
+#include "pobp/io/manifest.hpp"
+#include "pobp/schedule/gantt.hpp"
+#include "pobp/schedule/job.hpp"
+#include "pobp/schedule/metrics.hpp"
+#include "pobp/schedule/report.hpp"
+#include "pobp/schedule/schedule.hpp"
+#include "pobp/schedule/validate.hpp"
+#include "pobp/util/expected.hpp"

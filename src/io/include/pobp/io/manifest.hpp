@@ -1,0 +1,47 @@
+// Batch-instance loading for the engine and the `pobp batch` CLI.
+//
+// Two on-disk forms (documented in docs/ENGINE.md):
+//
+//   * manifest — a text file with one jobs-CSV path per line; '#' starts a
+//     comment, blank lines are skipped, and relative paths are resolved
+//     against the manifest file's directory.  Instance names are the file
+//     stems ("workloads/web.csv" → "web").
+//
+//   * JSONL — one JSON object per line:
+//       {"name": "web", "jobs": [[release,deadline,length,value], ...]}
+//     `name` is optional (defaults to "line<N>"); each job may also be an
+//     object {"release":r,"deadline":d,"length":p,"value":v}.
+//
+// Malformed input throws ParseError with the offending 1-based line number
+// (for JSONL, the line within the stream).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pobp/io/csv.hpp"
+#include "pobp/schedule/job.hpp"
+
+namespace pobp::io {
+
+/// One named instance of a batch.
+struct BatchInstance {
+  std::string name;
+  JobSet jobs;
+};
+
+/// Parses manifest text; `base_dir` is prepended to relative paths ("" =
+/// current directory).
+std::vector<std::string> manifest_paths(const std::string& text,
+                                        const std::string& base_dir);
+
+/// Loads a manifest file and every jobs CSV it references.
+std::vector<BatchInstance> load_manifest(const std::string& path);
+
+/// Parses a JSONL instance stream (string form).
+std::vector<BatchInstance> instances_from_jsonl(const std::string& text);
+
+/// Loads a JSONL instance file.
+std::vector<BatchInstance> load_jsonl(const std::string& path);
+
+}  // namespace pobp::io

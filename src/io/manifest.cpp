@@ -1,0 +1,335 @@
+#include "pobp/io/manifest.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace pobp::io {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string trim(std::string s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// "dir/web.csv" → "web".
+std::string path_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
+  std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || dot < start) dot = path.size();
+  return path.substr(start, dot - start);
+}
+
+// --- micro JSON reader ------------------------------------------------------
+//
+// Just enough JSON for the JSONL instance format: objects, arrays, numbers,
+// strings (with the standard escapes), true/false/null.  One value per
+// line; anything else is a ParseError.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  JsonReader(const std::string& text, std::size_t line)
+      : text_(text), line_(line) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(line_, what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of JSON value");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.string = string();
+        return v;
+      default:
+        if (consume_word("true")) {
+          v.kind = JsonValue::Kind::kBool;
+          v.boolean = true;
+          return v;
+        }
+        if (consume_word("false")) {
+          v.kind = JsonValue::Kind::kBool;
+          return v;
+        }
+        if (consume_word("null")) return v;
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.fields.emplace_back(std::move(key), value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      v.items.push_back(value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        default: fail("unsupported string escape");  // \uXXXX included
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a JSON value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    v.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t line_;
+  std::size_t pos_ = 0;
+};
+
+std::int64_t to_tick(const JsonValue& v, const char* what, std::size_t line) {
+  if (v.kind != JsonValue::Kind::kNumber) {
+    throw ParseError(line, std::string(what) + " must be a number");
+  }
+  return static_cast<std::int64_t>(v.number);
+}
+
+Job job_from_json(const JsonValue& v, std::size_t line) {
+  Job job;
+  if (v.kind == JsonValue::Kind::kArray) {
+    if (v.items.size() != 4) {
+      throw ParseError(line,
+                       "job array must be [release,deadline,length,value]");
+    }
+    job.release = to_tick(v.items[0], "release", line);
+    job.deadline = to_tick(v.items[1], "deadline", line);
+    job.length = to_tick(v.items[2], "length", line);
+    if (v.items[3].kind != JsonValue::Kind::kNumber) {
+      throw ParseError(line, "value must be a number");
+    }
+    job.value = v.items[3].number;
+  } else if (v.kind == JsonValue::Kind::kObject) {
+    const JsonValue* r = v.find("release");
+    const JsonValue* d = v.find("deadline");
+    const JsonValue* p = v.find("length");
+    const JsonValue* val = v.find("value");
+    if (!r || !d || !p) {
+      throw ParseError(line, "job object needs release, deadline, length");
+    }
+    job.release = to_tick(*r, "release", line);
+    job.deadline = to_tick(*d, "deadline", line);
+    job.length = to_tick(*p, "length", line);
+    if (val) {
+      if (val->kind != JsonValue::Kind::kNumber) {
+        throw ParseError(line, "value must be a number");
+      }
+      job.value = val->number;
+    }
+  } else {
+    throw ParseError(line, "job must be a JSON array or object");
+  }
+  if (!job.well_formed()) {
+    throw ParseError(line, "malformed job (need p >= 1, val > 0, window >= p)");
+  }
+  return job;
+}
+
+}  // namespace
+
+std::vector<std::string> manifest_paths(const std::string& text,
+                                        const std::string& base_dir) {
+  std::vector<std::string> paths;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::string line = trim(std::move(raw));
+    if (line.empty()) continue;
+    if (!base_dir.empty() && line.front() != '/') {
+      line = base_dir + "/" + line;
+    }
+    paths.push_back(std::move(line));
+  }
+  return paths;
+}
+
+std::vector<BatchInstance> load_manifest(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base_dir =
+      slash == std::string::npos ? "" : path.substr(0, slash);
+  std::vector<BatchInstance> instances;
+  for (const std::string& csv : manifest_paths(read_file(path), base_dir)) {
+    instances.push_back({path_stem(csv), load_jobs(csv)});
+  }
+  return instances;
+}
+
+std::vector<BatchInstance> instances_from_jsonl(const std::string& text) {
+  std::vector<BatchInstance> instances;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(std::move(raw));
+    if (line.empty() || line.front() == '#') continue;
+    const JsonValue v = JsonReader(line, line_no).parse();
+    if (v.kind != JsonValue::Kind::kObject) {
+      throw ParseError(line_no, "each JSONL line must be a JSON object");
+    }
+    BatchInstance instance;
+    if (const JsonValue* name = v.find("name")) {
+      if (name->kind != JsonValue::Kind::kString) {
+        throw ParseError(line_no, "name must be a string");
+      }
+      instance.name = name->string;
+    } else {
+      instance.name = "line" + std::to_string(line_no);
+    }
+    const JsonValue* jobs = v.find("jobs");
+    if (!jobs || jobs->kind != JsonValue::Kind::kArray) {
+      throw ParseError(line_no, "instance needs a \"jobs\" array");
+    }
+    for (const JsonValue& j : jobs->items) {
+      instance.jobs.add(job_from_json(j, line_no));
+    }
+    instances.push_back(std::move(instance));
+  }
+  return instances;
+}
+
+std::vector<BatchInstance> load_jsonl(const std::string& path) {
+  return instances_from_jsonl(read_file(path));
+}
+
+}  // namespace pobp::io

@@ -15,6 +15,7 @@
 
 #include "pobp/forest/bas.hpp"
 #include "pobp/reduction/schedule_forest.hpp"
+#include "pobp/util/timing.hpp"
 
 namespace pobp {
 
@@ -35,6 +36,7 @@ struct ReductionResult {
 };
 ReductionResult reduce_to_k_preemptive(const JobSet& jobs,
                                        const MachineSchedule& unbounded,
-                                       std::size_t k);
+                                       std::size_t k,
+                                       PipelineTimings* timings = nullptr);
 
 }  // namespace pobp

@@ -46,13 +46,19 @@ MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
 
 ReductionResult reduce_to_k_preemptive(const JobSet& jobs,
                                        const MachineSchedule& unbounded,
-                                       std::size_t k) {
+                                       std::size_t k,
+                                       PipelineTimings* timings) {
   ReductionResult result;
   if (unbounded.empty()) return result;
+  Stopwatch sw;
   const MachineSchedule laminar = laminarize(jobs, unbounded);
+  if (timings) timings->laminarize_s += sw.lap();
   const ScheduleForest sf = build_schedule_forest(jobs, laminar);
+  if (timings) timings->forest_s += sw.lap();
   const TmResult bas = tm_optimal_bas(sf.forest, k);
+  if (timings) timings->prune_s += sw.lap();
   result.bounded = rebuild_schedule(jobs, sf, bas.selection);
+  if (timings) timings->merge_s += sw.lap();
   result.value = result.bounded.total_value(jobs);
   result.forest_size = sf.size();
   return result;

@@ -1,0 +1,79 @@
+// Minimal expected<T, E> (the toolchain targets C++20, which predates
+// std::expected).  Used by the option-checked solve entry points to return
+// a diag::Report instead of throwing; only the operations those call sites
+// need are provided.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+/// Error carrier for constructing a failed Expected:
+///   return Unexpected{std::move(report)};
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+/// Either a value (success) or an error.  Accessing the wrong side is a
+/// programming error (POBP_ASSERT), not UB.
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> e)
+      : storage_(std::in_place_index<1>, std::move(e.error)) {}
+
+  [[nodiscard]] bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    POBP_ASSERT_MSG(has_value(), "Expected::value() on an error");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    POBP_ASSERT_MSG(has_value(), "Expected::value() on an error");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    POBP_ASSERT_MSG(has_value(), "Expected::value() on an error");
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] const E& error() const& {
+    POBP_ASSERT_MSG(!has_value(), "Expected::error() on a value");
+    return std::get<1>(storage_);
+  }
+  [[nodiscard]] E& error() & {
+    POBP_ASSERT_MSG(!has_value(), "Expected::error() on a value");
+    return std::get<1>(storage_);
+  }
+  [[nodiscard]] E&& error() && {
+    POBP_ASSERT_MSG(!has_value(), "Expected::error() on a value");
+    return std::get<1>(std::move(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(storage_) : std::move(fallback);
+  }
+  [[nodiscard]] T value_or(T fallback) && {
+    return has_value() ? std::get<0>(std::move(storage_))
+                       : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace pobp

@@ -1,0 +1,66 @@
+// Wall-clock instrumentation for the solve pipeline.
+//
+// The engine (src/engine) reports per-stage timings for every instance it
+// solves; the stages are the ones the paper's pipeline is described in:
+// seed ∞-schedule → laminarize → schedule forest → prune (TM / LSA_CS) →
+// left-merge rebuild → validate.  The pipeline functions in core/ and
+// reduction/ accept an optional PipelineTimings* and accumulate into it, so
+// a nullptr keeps the non-instrumented paths free of clock calls.
+#pragma once
+
+#include <chrono>
+
+namespace pobp {
+
+/// Monotonic stopwatch, seconds as double.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds since construction or the last lap().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns seconds() and restarts the stopwatch.
+  double lap() {
+    const Clock::time_point now = Clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-stage wall-clock accumulator for one solve (seconds).  Stages that a
+/// particular configuration skips (e.g. laminarize when k = 0) stay 0.
+struct PipelineTimings {
+  double seed_s = 0;        ///< ∞-preemptive reference schedule
+  double laminarize_s = 0;  ///< restrict + laminarize (§4.1)
+  double forest_s = 0;      ///< build_schedule_forest
+  double prune_s = 0;       ///< TM / LevelledContraction k-BAS pruning
+  double lsa_s = 0;         ///< LSA_CS branches (and the whole §5 k=0 path)
+  double merge_s = 0;       ///< left-merge rebuild (Lemma 4.1)
+  double validate_s = 0;    ///< Def. 2.1 validation of the result
+
+  double total() const {
+    return seed_s + laminarize_s + forest_s + prune_s + lsa_s + merge_s +
+           validate_s;
+  }
+
+  PipelineTimings& operator+=(const PipelineTimings& other) {
+    seed_s += other.seed_s;
+    laminarize_s += other.laminarize_s;
+    forest_s += other.forest_s;
+    prune_s += other.prune_s;
+    lsa_s += other.lsa_s;
+    merge_s += other.merge_s;
+    validate_s += other.validate_s;
+    return *this;
+  }
+};
+
+}  // namespace pobp

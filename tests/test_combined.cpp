@@ -4,7 +4,9 @@
 
 #include <tuple>
 
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
+#include "pobp/schedule/edf.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/gen/schedule_gen.hpp"
 #include "pobp/util/rng.hpp"

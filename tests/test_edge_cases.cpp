@@ -2,7 +2,14 @@
 // library gets fed eventually.
 #include <gtest/gtest.h>
 
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
+#include "pobp/bas/contraction.hpp"
+#include "pobp/bas/tm.hpp"
+#include "pobp/reduction/rebuild.hpp"
+#include "pobp/schedule/edf.hpp"
+#include "pobp/schedule/interval_condition.hpp"
+#include "pobp/schedule/interval_cover.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/gen/forest_gen.hpp"
 #include "pobp/gen/lower_bounds.hpp"
 #include "pobp/gen/random_jobs.hpp"

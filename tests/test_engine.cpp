@@ -1,0 +1,266 @@
+// Tests for pobp::Engine / pobp::Session (the batch-solve runtime), the
+// Expected-based checked entry points, and the engine metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pobp/pobp.hpp"
+#include "pobp/gen/random_jobs.hpp"
+#include "pobp/util/rng.hpp"
+
+namespace pobp {
+namespace {
+
+std::vector<JobSet> corpus(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<JobSet> instances;
+  for (std::size_t i = 0; i < count; ++i) {
+    JobGenConfig config;
+    config.n = 10 + 3 * i;
+    config.max_length = 1 << 6;
+    config.horizon = 1 << 12;
+    instances.push_back(random_jobs(config, rng));
+  }
+  return instances;
+}
+
+/// Bit-exact fingerprint of a result: the serialized schedule plus the two
+/// values (CSV keeps every segment, machine and order).
+std::string fingerprint(const ScheduleResult& r) {
+  return io::schedule_to_csv(r.schedule) + "|" + std::to_string(r.value) +
+         "|" + std::to_string(r.unbounded_value);
+}
+
+// ------------------------------------------------------ determinism -------
+
+// The acceptance bar of the engine: solve_batch must be bit-identical to
+// the sequential one-call path for every worker count.
+TEST(Engine, BatchMatchesSequentialForEveryWorkerCount) {
+  const std::vector<JobSet> instances = corpus(12, 77);
+  const ScheduleOptions schedule{.k = 1, .machine_count = 2};
+
+  std::vector<std::string> expected;
+  for (const JobSet& jobs : instances) {
+    expected.push_back(fingerprint(schedule_bounded(jobs, schedule)));
+  }
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    Engine engine({.schedule = schedule, .workers = workers});
+    const std::vector<ScheduleResult> results = engine.solve_batch(instances);
+    ASSERT_EQ(results.size(), instances.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(fingerprint(results[i]), expected[i])
+          << "instance " << i << " diverged with " << workers << " workers";
+    }
+  }
+}
+
+TEST(Engine, ForEachResultVisitsEveryIndexOnce) {
+  const std::vector<JobSet> instances = corpus(9, 5);
+  Engine engine({.schedule = {.k = 1}, .workers = 4});
+
+  std::set<std::size_t> seen;
+  std::size_t calls = 0;
+  engine.for_each_result(instances,
+                         [&](std::size_t index, const ScheduleResult& r) {
+                           ++calls;
+                           seen.insert(index);
+                           EXPECT_TRUE(
+                               validate(instances[index], r.schedule, 1).ok);
+                         });
+  EXPECT_EQ(calls, instances.size());
+  EXPECT_EQ(seen.size(), instances.size());
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), instances.size() - 1);
+}
+
+TEST(Engine, SingleSolveMatchesBatchOfOne) {
+  const std::vector<JobSet> instances = corpus(1, 13);
+  Engine engine({.schedule = {.k = 2}});
+  const ScheduleResult lone = engine.solve(instances[0]);
+  const std::vector<ScheduleResult> batch = engine.solve_batch(instances);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(fingerprint(lone), fingerprint(batch[0]));
+}
+
+// --------------------------------------------------------- sessions -------
+
+TEST(Session, ReusedAcrossInstancesAccumulatesMetrics) {
+  const std::vector<JobSet> instances = corpus(4, 3);
+  Session session({.schedule = {.k = 1}});
+  std::size_t jobs_total = 0;
+  for (const JobSet& jobs : instances) {
+    const ScheduleResult r = session.solve(jobs);
+    EXPECT_TRUE(validate(jobs, r.schedule, 1).ok);
+    jobs_total += jobs.size();
+  }
+  const EngineMetrics& m = session.metrics();
+  EXPECT_EQ(m.instances, instances.size());
+  EXPECT_EQ(m.jobs_seen, jobs_total);
+  EXPECT_EQ(m.validation_failures, 0u);
+  EXPECT_EQ(m.solve_seconds.count(), instances.size());
+  EXPECT_GT(m.value_bounded, 0);
+  EXPECT_GE(m.value_unbounded, m.value_bounded);
+
+  session.reset_metrics();
+  EXPECT_EQ(session.metrics().instances, 0u);
+}
+
+TEST(Session, PerCallOptionsOverrideConstructorOptions) {
+  const std::vector<JobSet> instances = corpus(1, 9);
+  Session session({.schedule = {.k = 1}});
+  const ScheduleResult k1 = session.solve(instances[0]);
+  const ScheduleResult k0 = session.solve(instances[0], {.k = 0});
+  EXPECT_LE(k0.schedule.max_preemptions(), 0u);
+  EXPECT_TRUE(validate(instances[0], k1.schedule, 1).ok);
+  EXPECT_TRUE(validate(instances[0], k0.schedule, 0).ok);
+}
+
+TEST(Session, EmptyInstanceSolvesToEmptySchedule) {
+  Session session;
+  const ScheduleResult r = session.solve(JobSet{});
+  EXPECT_EQ(r.schedule.job_count(), 0u);
+  EXPECT_EQ(r.value, 0);
+  EXPECT_DOUBLE_EQ(r.price(), 1.0);
+  EXPECT_EQ(session.metrics().instances, 1u);
+}
+
+// ---------------------------------------------------------- metrics -------
+
+TEST(EngineMetrics, SnapshotMergesWorkerShards) {
+  const std::vector<JobSet> instances = corpus(10, 21);
+  Engine engine({.schedule = {.k = 1}, .workers = 3});
+  (void)engine.solve_batch(instances);
+
+  const EngineMetrics m = engine.metrics();
+  EXPECT_EQ(m.instances, instances.size());
+  EXPECT_EQ(m.validation_failures, 0u);
+  EXPECT_GT(m.batch_seconds, 0.0);
+  EXPECT_GT(m.instances_per_second(), 0.0);
+  // Every instance went through seed + validate; strict/lax branch stages
+  // are recorded per instance too (k >= 1 path).
+  EXPECT_EQ(m.stage_seconds[static_cast<std::size_t>(Stage::kSeed)].count(),
+            instances.size());
+  EXPECT_EQ(
+      m.stage_seconds[static_cast<std::size_t>(Stage::kValidate)].count(),
+      instances.size());
+  EXPECT_EQ(m.price_histogram.total(), m.price.count());
+  EXPECT_EQ(m.value_histogram.total(), instances.size());
+
+  engine.reset_metrics();
+  EXPECT_EQ(engine.metrics().instances, 0u);
+}
+
+TEST(EngineMetrics, ExportsAreNonEmptyAndNamed) {
+  const std::vector<JobSet> instances = corpus(3, 41);
+  Engine engine({.schedule = {.k = 1}, .workers = 2});
+  (void)engine.solve_batch(instances);
+
+  const std::string table = engine.metrics().to_table();
+  EXPECT_NE(table.find("instances"), std::string::npos);
+  EXPECT_NE(table.find("seed"), std::string::npos);
+
+  const std::string json = engine.metrics().to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"instances\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Histogram, BucketsAndMerge) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.add(0.5);   // < 1
+  h.add(1.0);   // [1, 2)
+  h.add(3.0);   // [2, 4)
+  h.add(100);   // >= 4
+  EXPECT_EQ(h.counts(), (std::vector<std::size_t>{1, 1, 1, 1}));
+  EXPECT_EQ(h.bucket_label(0), "< 1.000");
+  EXPECT_EQ(h.bucket_label(3), ">= 4.000");
+
+  Histogram other({1.0, 2.0, 4.0});
+  other.add(1.5);
+  h.merge(other);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts()[1], 2u);
+}
+
+// ------------------------------------------- checked entry points ---------
+
+TEST(TrySchedule, RejectsZeroMachines) {
+  JobSet jobs;
+  jobs.add({.release = 0, .deadline = 10, .length = 4, .value = 5.0});
+  const auto result = try_schedule_bounded(jobs, {.machine_count = 0});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().count("POBP-OPT-001"), 1u);
+}
+
+TEST(TrySchedule, RejectsExactSeedAboveJobLimit) {
+  Rng rng(7);
+  JobGenConfig config;
+  config.n = kExactSeedJobLimit + 1;
+  const JobSet jobs = random_jobs(config, rng);
+  const auto result =
+      try_schedule_bounded(jobs, {.seed = ScheduleOptions::Seed::kExact});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().count("POBP-OPT-002"), 1u);
+}
+
+TEST(TrySchedule, AcceptsGoodOptionsAndSolves) {
+  const std::vector<JobSet> instances = corpus(1, 99);
+  const auto result = try_schedule_bounded(instances[0], {.k = 1});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(validate(instances[0], result->schedule, 1).ok);
+  EXPECT_GE(result->price(), 1.0);
+}
+
+TEST(ScheduleBoundedShim, ThrowsOnBadOptions) {
+  JobSet jobs;
+  jobs.add({.release = 0, .deadline = 10, .length = 4, .value = 5.0});
+  EXPECT_THROW((void)schedule_bounded(jobs, {.machine_count = 0}),
+               std::invalid_argument);
+}
+
+TEST(ScheduleBoundedShim, MatchesSharedEngine) {
+  const std::vector<JobSet> instances = corpus(1, 55);
+  const ScheduleResult via_shim = schedule_bounded(instances[0], {.k = 1});
+  const ScheduleResult via_engine =
+      Engine::shared().solve(instances[0], {.k = 1});
+  EXPECT_EQ(fingerprint(via_shim), fingerprint(via_engine));
+}
+
+// ------------------------------------------------------------ price -------
+
+TEST(ScheduleResult, PriceIsInfiniteOnTotalLoss) {
+  ScheduleResult r;
+  r.value = 0;
+  r.unbounded_value = 7.5;
+  EXPECT_TRUE(std::isinf(r.price()));
+  EXPECT_GT(r.price(), 0);
+}
+
+TEST(ScheduleResult, PriceIsOneWhenNothingSchedulable) {
+  ScheduleResult r;  // both values zero
+  EXPECT_DOUBLE_EQ(r.price(), 1.0);
+}
+
+// ---------------------------------------------------------- Expected ------
+
+TEST(Expected, ValueAndErrorPaths) {
+  Expected<int, std::string> good = 42;
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.value_or(7), 42);
+
+  Expected<int, std::string> bad = Unexpected{std::string("nope")};
+  ASSERT_FALSE(bad);
+  EXPECT_EQ(bad.error(), "nope");
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+}  // namespace
+}  // namespace pobp

@@ -4,7 +4,12 @@
 
 #include <tuple>
 
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
+#include "pobp/bas/tm.hpp"
+#include "pobp/flow/migrative.hpp"
+#include "pobp/io/forest_csv.hpp"
+#include "pobp/reduction/rebuild.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/gen/forest_gen.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/gen/schedule_gen.hpp"

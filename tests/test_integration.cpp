@@ -4,7 +4,8 @@
 
 #include <tuple>
 
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/gen/lower_bounds.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/gen/schedule_gen.hpp"

@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "pobp/bas/tm.hpp"
-#include "pobp/core/pobp.hpp"
+#include "pobp/pobp.hpp"
 #include "pobp/gen/lower_bounds.hpp"
+#include "pobp/schedule/edf.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/util/checked.hpp"
 

@@ -89,4 +89,26 @@ if [ "$lint_status" -ne 1 ]; then
 fi
 "$LINT" --check-gen --gen-k 1 --gen-K 2 --gen-L 4
 
+# 6. Engine smoke: the throughput bench's determinism check (bit-identical
+#    schedules across worker counts) in smoke size, then `pobp batch`
+#    end-to-end on a 3-instance manifest — every result must validate and
+#    the metrics JSON must be written.
+say "engine smoke"
+POBP=build-release/tools/pobp
+build-release/bench/bench_engine_throughput --smoke
+ENGINE_TMP="$(mktemp -d)"
+trap 'rm -rf "$ENGINE_TMP"' EXIT
+for seed in 31 32 33; do
+  "$POBP" generate --out "$ENGINE_TMP/inst$seed.csv" --n 20 --seed "$seed"
+  echo "inst$seed.csv" >> "$ENGINE_TMP/manifest.txt"
+done
+mkdir -p "$ENGINE_TMP/out"
+"$POBP" batch --manifest "$ENGINE_TMP/manifest.txt" --k 1 --workers 2 \
+        --out-dir "$ENGINE_TMP/out" --metrics-json "$ENGINE_TMP/metrics.json"
+test -s "$ENGINE_TMP/metrics.json"
+for seed in 31 32 33; do
+  "$POBP" validate --jobs "$ENGINE_TMP/inst$seed.csv" \
+          --schedule "$ENGINE_TMP/out/inst$seed.sched.csv" --k 1
+done
+
 say "all checks passed"

@@ -3,6 +3,8 @@
 //   pobp generate --n 200 --seed 7 --out jobs.csv [...]
 //   pobp solve    --jobs jobs.csv --k 1 [--machines 2] [--out sched.csv]
 //                 [--gantt] [--exact]
+//   pobp batch    --manifest list.txt | --jsonl stream.jsonl --k 1
+//                 [--workers 8] [--out-dir DIR] [--metrics-json FILE]
 //   pobp validate --jobs jobs.csv --schedule sched.csv [--k 1]
 //   pobp price    --jobs jobs.csv --k 1 [--machines 2] [--exact]
 //   pobp info     --jobs jobs.csv
@@ -10,12 +12,16 @@
 // Exit code 0 on success (for validate: schedule is feasible), 1 otherwise.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "pobp/core/pobp.hpp"
+#include "pobp/bas/contraction.hpp"
+#include "pobp/bas/tm.hpp"
 #include "pobp/gen/random_jobs.hpp"
+#include "pobp/io/forest_csv.hpp"
+#include "pobp/pobp.hpp"
 #include "pobp/sim/policies.hpp"
 #include "pobp/sim/sim.hpp"
 #include "pobp/util/rng.hpp"
@@ -36,6 +42,10 @@ commands:
   solve      schedule a workload with bounded preemption
              --jobs FILE --k K [--machines M] [--out FILE] [--gantt]
              [--exact]            (exact B&B seed; n <= ~26)
+  batch      solve many instances in parallel on a pobp::Engine
+             (--manifest FILE | --jsonl FILE) [--k K] [--machines M]
+             [--workers W] [--exact] [--out-dir DIR] [--quiet]
+             [--metrics-json FILE]  (FILE '-' = stdout)
   validate   check a schedule against a workload (Def. 2.1)
              --jobs FILE --schedule FILE [--k K]
   price      report the empirical price of bounded preemption
@@ -147,6 +157,84 @@ int cmd_solve(const Flags& flags) {
     std::printf("schedule written to %s\n", flags.str("out").c_str());
   }
   return 0;
+}
+
+int cmd_batch(const Flags& flags) {
+  std::vector<io::BatchInstance> instances;
+  if (flags.has("manifest")) {
+    instances = io::load_manifest(flags.str("manifest"));
+  } else if (flags.has("jsonl")) {
+    instances = io::load_jsonl(flags.str("jsonl"));
+  } else {
+    usage("batch needs --manifest or --jsonl");
+  }
+  if (instances.empty()) {
+    std::fprintf(stderr, "error: empty instance list\n");
+    return 1;
+  }
+
+  EngineOptions options;
+  options.schedule.k = static_cast<std::size_t>(flags.num("k", 1));
+  options.schedule.machine_count =
+      static_cast<std::size_t>(flags.num("machines", 1));
+  if (flags.has("exact")) {
+    options.schedule.seed = ScheduleOptions::Seed::kExact;
+  }
+  options.workers = static_cast<std::size_t>(flags.num("workers", 0));
+  Engine engine(options);
+
+  std::vector<JobSet> sets;
+  sets.reserve(instances.size());
+  for (const io::BatchInstance& instance : instances) {
+    const diag::Report report =
+        check_schedule_options(instance.jobs, options.schedule);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", instance.name.c_str(),
+                   report.first_error().c_str());
+      return 1;
+    }
+    sets.push_back(instance.jobs);
+  }
+
+  const bool quiet = flags.has("quiet");
+  const std::vector<ScheduleResult> results = engine.solve_batch(sets);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScheduleResult& r = results[i];
+    if (!quiet) {
+      std::printf("%-20s %4zu/%4zu jobs  value %10.6g of %10.6g  price %.3f"
+                  "  max preemptions %zu\n",
+                  instances[i].name.c_str(), r.schedule.job_count(),
+                  sets[i].size(), r.value, r.unbounded_value, r.price(),
+                  r.schedule.max_preemptions());
+    }
+    if (flags.has("out-dir")) {
+      std::string name = instances[i].name;
+      for (char& c : name) {
+        if (c == '/') c = '_';
+      }
+      io::save_schedule(flags.str("out-dir") + "/" + name + ".sched.csv",
+                        r.schedule);
+    }
+  }
+
+  const EngineMetrics metrics = engine.metrics();
+  if (!quiet) {
+    std::printf("\n%s", metrics.to_table().c_str());
+  }
+  if (flags.has("metrics-json")) {
+    const std::string target = flags.str("metrics-json");
+    if (target == "-") {
+      std::printf("%s\n", metrics.to_json().c_str());
+    } else {
+      std::ofstream out(target);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open %s\n", target.c_str());
+        return 1;
+      }
+      out << metrics.to_json() << '\n';
+    }
+  }
+  return metrics.validation_failures == 0 ? 0 : 1;
 }
 
 int cmd_validate(const Flags& flags) {
@@ -266,6 +354,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(flags);
     if (command == "solve") return cmd_solve(flags);
+    if (command == "batch") return cmd_batch(flags);
     if (command == "validate") return cmd_validate(flags);
     if (command == "price") return cmd_price(flags);
     if (command == "info") return cmd_info(flags);
