@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "pobp/util/assert.hpp"
+#include "pobp/util/budget.hpp"
+#include "pobp/util/faultinject.hpp"
 
 namespace pobp {
 namespace {
@@ -32,6 +34,7 @@ namespace {
 
 template <typename BoundFn>
 TmResult tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of) {
+  POBP_FAULT_POINT(kTmDp);
   const std::size_t n = forest.size();
   TmResult result;
   result.t.assign(n, 0);
@@ -40,6 +43,7 @@ TmResult tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of) {
 
   // Bottom-up pass (ids are parents-first, so descending id order works).
   for (std::size_t i = n; i-- > 0;) {
+    BudgetGuard::poll();  // one operation per DP node
     const NodeId u = static_cast<NodeId>(i);
     Value t_u = forest.value(u);
     for (const NodeId c : top_k_children(forest, result.t, u, k_of(u))) {

@@ -11,6 +11,7 @@
 #include "pobp/schedule/laminar.hpp"
 #include "pobp/solvers/solvers.hpp"
 #include "pobp/util/assert.hpp"
+#include "pobp/util/budget.hpp"
 
 namespace pobp {
 
@@ -30,11 +31,12 @@ Schedule seed_unbounded_schedule(const JobSet& jobs,
   std::vector<JobId> remaining(ids.begin(), ids.end());
   for (std::size_t m = 0; m < options.machine_count && !remaining.empty();
        ++m) {
+    BudgetGuard::poll();
     const SubsetSolution sol = opt_infinity(jobs, remaining);
     if (!sol.members.empty()) {
       auto schedule = edf_schedule(jobs, sol.members);
-      POBP_ASSERT_MSG(schedule.has_value(),
-                      "B&B returned an infeasible subset");
+      POBP_CHECK_MSG(schedule.has_value(),
+                     "B&B returned an infeasible subset");
       out.machine(m) = std::move(*schedule);
     }
     std::erase_if(remaining,
@@ -76,6 +78,7 @@ CombinedMultiResult k_preemption_combined_multi(
   Schedule strict_schedule(machines);
   std::vector<JobId> lax_ids;
   for (std::size_t m = 0; m < machines; ++m) {
+    BudgetGuard::poll();
     std::vector<JobId> strict_ids;
     for (const JobId id : unbounded.machine(m).scheduled_jobs()) {
       (jobs[id].laxity() >= threshold ? lax_ids : strict_ids).push_back(id);

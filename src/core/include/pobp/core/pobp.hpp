@@ -54,6 +54,13 @@ struct ScheduleResult {
   Schedule schedule;          ///< feasible k-preemptive schedule
   Value value = 0;            ///< val(schedule)
   Value unbounded_value = 0;  ///< value of the seed ∞-preemptive schedule
+
+  /// True when the solve exceeded its SolveBudget and the engine fell
+  /// back to the approximate greedy + LSA_CS path (DegradePolicy::
+  /// kApproximate) instead of the exact pipeline.  Degraded results are
+  /// still feasible k-preemptive schedules; only the price guarantee of
+  /// the full pipeline is forfeited.
+  bool degraded = false;
   /// unbounded_value / value — the empirically paid price; the paper
   /// guarantees O(log_{k+1} min{n, P}).  Degenerate cases: 1 when both
   /// values are 0 (nothing to lose), +inf when value == 0 but the seed

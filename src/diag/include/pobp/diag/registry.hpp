@@ -51,12 +51,22 @@ inline constexpr std::string_view kBasMaskSize = "POBP-BAS-001";
 inline constexpr std::string_view kBasAncestorDependence = "POBP-BAS-002";
 inline constexpr std::string_view kBasDegreeOverflow = "POBP-BAS-003";
 
+// Input loading (CSV / manifest / JSONL hardening).
+inline constexpr std::string_view kIoParse = "POBP-IO-001";
+inline constexpr std::string_view kIoNumeric = "POBP-IO-002";
+inline constexpr std::string_view kIoJobDomain = "POBP-IO-003";
+
 // Instance-level job rules.
 inline constexpr std::string_view kJobMalformed = "POBP-JOB-001";
 
 // Solve-option rules (the checked schedule_bounded entry points).
 inline constexpr std::string_view kOptMachineCount = "POBP-OPT-001";
 inline constexpr std::string_view kOptExactSeedLimit = "POBP-OPT-002";
+
+// Serving-layer fault containment (Session::solve boundary).
+inline constexpr std::string_view kRunPipelineFault = "POBP-RUN-001";
+inline constexpr std::string_view kRunDeadline = "POBP-RUN-002";
+inline constexpr std::string_view kRunBudget = "POBP-RUN-003";
 
 // Hall-type interval feasibility (§4.1).
 inline constexpr std::string_view kIntervalOverload = "POBP-INT-001";

@@ -11,10 +11,16 @@ using rules::kBasMaskSize;
 using rules::kGenOverflow;
 using rules::kGenParamDomain;
 using rules::kIntervalOverload;
+using rules::kIoJobDomain;
+using rules::kIoNumeric;
+using rules::kIoParse;
 using rules::kJobMalformed;
 using rules::kLaminarInterleaving;
 using rules::kOptExactSeedLimit;
 using rules::kOptMachineCount;
+using rules::kRunBudget;
+using rules::kRunDeadline;
+using rules::kRunPipelineFault;
 using rules::kSchedEmptyAssignment;
 using rules::kSchedEmptySegment;
 using rules::kSchedLengthMismatch;
@@ -58,6 +64,20 @@ constexpr RuleInfo kCatalogue[] = {
      "release and a deadline, the total length of jobs whose windows lie "
      "inside it must not exceed d - r; an overloaded interval proves the "
      "set has no preemptive schedule."},
+    {kIoParse, Severity::kError, "unparseable input", "§2.1 (instances)",
+     "A jobs CSV, batch manifest or JSONL instance file is syntactically "
+     "malformed (missing header, wrong cell count, non-numeric cell, "
+     "truncated JSON); the instance cannot be loaded."},
+    {kIoNumeric, Severity::kError, "numeric field out of range",
+     "§2.1 (tick arithmetic)",
+     "A parsed numeric field is NaN, infinite, fractional where a tick is "
+     "required, or outside the int64 tick range; admitting it would make "
+     "downstream tick arithmetic overflow or become undefined."},
+    {kIoJobDomain, Severity::kError, "job outside the §2.1 domain",
+     "§2.1",
+     "A syntactically valid row describes a job violating the instance "
+     "domain: length < 1, value <= 0, a window shorter than the length, or "
+     "a window so wide that d - r overflows int64."},
     {kJobMalformed, Severity::kError, "malformed job", "§2.1",
      "A job must satisfy p >= 1, val > 0 and window d - r >= p; otherwise "
      "it cannot be feasibly scheduled even alone."},
@@ -77,6 +97,21 @@ constexpr RuleInfo kCatalogue[] = {
      "branch-and-bound, which is exponential in n; instances beyond the "
      "supported bound would effectively never terminate, so the checked "
      "entry points reject them instead (use the greedy-density seed)."},
+    {kRunPipelineFault, Severity::kError, "pipeline fault contained",
+     "§4 (pipeline)",
+     "An exception or internal invariant failure escaped the solve "
+     "pipeline for one instance and was caught at the Session boundary; "
+     "the instance has no result but the batch and the process continue."},
+    {kRunDeadline, Severity::kError, "solve deadline exceeded",
+     "§4.3 (LSA_CS as fallback)",
+     "The instance's wall-clock deadline (SolveBudget::deadline_s) expired "
+     "before the pipeline finished, and the degrade policy did not produce "
+     "a fallback result."},
+    {kRunBudget, Severity::kError, "solve operation budget exhausted",
+     "§4.3 (LSA_CS as fallback)",
+     "The instance's cooperative operation budget (SolveBudget::max_ops) "
+     "ran out before the pipeline finished, and the degrade policy did not "
+     "produce a fallback result."},
     {kSchedUnknownJob, Severity::kError, "unknown job id", "Def. 2.1",
      "An assignment references a job id outside the instance."},
     {kSchedEmptyAssignment, Severity::kError, "empty segment list",

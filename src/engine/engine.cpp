@@ -3,15 +3,32 @@
 #include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "pobp/diag/registry.hpp"
+#include "pobp/lsa/lsa.hpp"
 #include "pobp/schedule/validate.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/util/assert.hpp"
+#include "pobp/util/faultinject.hpp"
 #include "pobp/util/parallel.hpp"
 
 namespace pobp {
+namespace {
+
+/// One-finding report for a contained solve failure (POBP-RUN-*).
+diag::Report run_report(std::string_view rule, std::string message,
+                        std::size_t instance) {
+  diag::Report report;
+  diag::Diagnostic& d = report.add(std::string(rule), std::move(message));
+  if (instance != Session::kNoInstance) d.with("instance", instance);
+  return report;
+}
+
+}  // namespace
 
 // --- Session ----------------------------------------------------------------
 
@@ -23,7 +40,23 @@ ScheduleResult Session::solve(const JobSet& jobs) {
 
 ScheduleResult Session::solve(const JobSet& jobs,
                               const ScheduleOptions& options) {
-  POBP_ASSERT(options.machine_count >= 1);
+  if (!options_.budget.unlimited()) {
+    BudgetGuard guard(options_.budget);
+    try {
+      const BudgetGuard::Scope budget_scope(&guard);
+      return solve_pipeline(jobs, options);
+    } catch (const BudgetError&) {
+      if (options_.degrade != DegradePolicy::kApproximate) throw;
+    }
+    return solve_degraded(jobs, options);  // guard uninstalled
+  }
+  return solve_pipeline(jobs, options);
+}
+
+ScheduleResult Session::solve_pipeline(const JobSet& jobs,
+                                       const ScheduleOptions& options) {
+  POBP_CHECK(options.machine_count >= 1);
+  POBP_FAULT_POINT(kAlloc);
   Stopwatch total;
   PipelineTimings timings;
 
@@ -77,6 +110,109 @@ ScheduleResult Session::solve(const JobSet& jobs,
   return result;
 }
 
+ScheduleResult Session::solve_degraded(const JobSet& jobs,
+                                       const ScheduleOptions& options) {
+  POBP_CHECK(options.machine_count >= 1);
+  Stopwatch total;
+  PipelineTimings timings;
+
+  ScheduleResult result;
+  result.degraded = true;
+  result.schedule = Schedule(options.machine_count);
+  if (!jobs.empty()) {
+    // The §4.3 approximate path: greedy-density seed for the reference
+    // value, then LSA_CS directly on all jobs — no exact DP/B&B, no
+    // laminarization, no forest.  Runs without a budget guard: it is the
+    // fallback after the budget already fired.
+    Stopwatch sw;
+    ids_.resize(jobs.size());
+    std::iota(ids_.begin(), ids_.end(), JobId{0});
+    const Schedule seed =
+        greedy_infinity_multi(jobs, ids_, options.machine_count);
+    timings.seed_s = sw.lap();
+    result.unbounded_value = seed.total_value(jobs);
+    result.schedule = lsa_cs_multi(jobs, ids_, options.k,
+                                   options.machine_count);
+    timings.lsa_s = sw.lap();
+    result.value = result.schedule.total_value(jobs);
+  }
+
+  bool valid = true;
+  if (options_.validate) {
+    Stopwatch sw;
+    valid = static_cast<bool>(validate(jobs, result.schedule, options.k));
+    timings.validate_s = sw.lap();
+  }
+  if (options_.collect_metrics) {
+    metrics_.record(jobs, result, timings, total.seconds(), valid);
+  }
+  return result;
+}
+
+SolveOutcome Session::try_solve(const JobSet& jobs, std::size_t instance) {
+  return try_solve(jobs, options_.schedule, instance);
+}
+
+SolveOutcome Session::try_solve(const JobSet& jobs,
+                                const ScheduleOptions& options,
+                                std::size_t instance) {
+  diag::Report rejected = check_schedule_options(jobs, options);
+  if (!rejected.ok()) return Unexpected{std::move(rejected)};
+
+  // Fault-injection triggers key on (site, instance, nth-call-within-
+  // instance); the scope resets the per-site counters so placement is
+  // identical for every worker count.
+  const fault::InstanceScope fault_scope(instance);
+  const bool budgeted = !options_.budget.unlimited();
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      if (!budgeted) return solve_pipeline(jobs, options);
+      BudgetGuard guard(options_.budget);
+      const BudgetGuard::Scope budget_scope(&guard);
+      return solve_pipeline(jobs, options);
+    } catch (const DeadlineExceeded& e) {
+      return budget_fallback(jobs, options, instance, /*deadline=*/true,
+                             e.what());
+    } catch (const BudgetExhausted& e) {
+      return budget_fallback(jobs, options, instance, /*deadline=*/false,
+                             e.what());
+    } catch (const std::exception& e) {
+      if (attempt < options_.max_retries) {
+        if (options_.collect_metrics) ++metrics_.retries;
+        continue;
+      }
+      if (options_.collect_metrics) ++metrics_.pipeline_faults;
+      return Unexpected{
+          run_report(diag::rules::kRunPipelineFault, e.what(), instance)};
+    } catch (...) {
+      if (options_.collect_metrics) ++metrics_.pipeline_faults;
+      return Unexpected{run_report(diag::rules::kRunPipelineFault,
+                                   "unknown pipeline exception", instance)};
+    }
+  }
+}
+
+SolveOutcome Session::budget_fallback(const JobSet& jobs,
+                                      const ScheduleOptions& options,
+                                      std::size_t instance, bool deadline,
+                                      const char* what) {
+  if (options_.degrade == DegradePolicy::kApproximate) {
+    try {
+      return solve_degraded(jobs, options);
+    } catch (const std::exception& e) {
+      if (options_.collect_metrics) ++metrics_.pipeline_faults;
+      return Unexpected{
+          run_report(diag::rules::kRunPipelineFault, e.what(), instance)};
+    }
+  }
+  if (options_.collect_metrics) {
+    ++(deadline ? metrics_.deadline_exceeded : metrics_.budget_exhausted);
+  }
+  return Unexpected{run_report(deadline ? diag::rules::kRunDeadline
+                                        : diag::rules::kRunBudget,
+                               what, instance)};
+}
+
 // --- Engine -----------------------------------------------------------------
 
 Engine::Engine(EngineOptions options)
@@ -85,7 +221,16 @@ Engine::Engine(EngineOptions options)
                    ? options_.workers
                    : std::max<std::size_t>(
                          1, std::thread::hardware_concurrency())),
-      inline_session_(options_) {}
+      inline_session_(options_) {
+  // Fault-injection triggers are process-wide (the harness keys them by
+  // instance + site); an explicit EngineOptions spec wins, otherwise the
+  // POBP_FAULT_INJECT env var is honoured when set.
+  if (!options_.fault_injection.empty()) {
+    fault::arm(fault::parse_spec(options_.fault_injection));
+  } else {
+    fault::arm_from_env();
+  }
+}
 
 Engine::~Engine() = default;
 
@@ -102,20 +247,52 @@ ScheduleResult Engine::solve(const JobSet& jobs,
 std::vector<ScheduleResult> Engine::solve_batch(
     std::span<const JobSet> instances) {
   std::vector<ScheduleResult> results(instances.size());
-  run_batch(instances, results.data(), nullptr);
+  run_batch(instances.size(), [&](Session& session, std::size_t i) {
+    results[i] = session.solve(instances[i]);
+  });
   return results;
+}
+
+std::vector<SolveOutcome> Engine::try_solve_batch(
+    std::span<const JobSet> instances) {
+  // SolveOutcome has no default constructor (it is a value or an error);
+  // the workers fill optional slots which are then move-unwrapped.
+  std::vector<std::optional<SolveOutcome>> slots(instances.size());
+  run_batch(instances.size(), [&](Session& session, std::size_t i) {
+    slots[i].emplace(session.try_solve(instances[i], i));
+  });
+  std::vector<SolveOutcome> results;
+  results.reserve(instances.size());
+  for (std::optional<SolveOutcome>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+SolveOutcome Engine::try_solve(const JobSet& jobs) {
+  std::lock_guard lock(inline_mutex_);
+  return inline_session_.try_solve(jobs);
+}
+
+SolveOutcome Engine::try_solve(const JobSet& jobs,
+                               const ScheduleOptions& options) {
+  std::lock_guard lock(inline_mutex_);
+  return inline_session_.try_solve(jobs, options);
 }
 
 void Engine::for_each_result(std::span<const JobSet> instances,
                              const ResultCallback& on_result) {
   std::vector<ScheduleResult> results(instances.size());
-  run_batch(instances, results.data(), &on_result);
+  std::mutex callback_mutex;
+  run_batch(instances.size(), [&](Session& session, std::size_t i) {
+    results[i] = session.solve(instances[i]);
+    std::lock_guard cb_lock(callback_mutex);
+    on_result(i, results[i]);
+  });
 }
 
-void Engine::run_batch(std::span<const JobSet> instances,
-                       ScheduleResult* results,
-                       const ResultCallback* on_result) {
-  if (instances.empty()) return;
+void Engine::run_batch(std::size_t count, const InstanceFn& work) {
+  if (count == 0) return;
   std::lock_guard lock(mutex_);
   Stopwatch batch;
 
@@ -123,28 +300,23 @@ void Engine::run_batch(std::span<const JobSet> instances,
     sessions_.push_back(std::make_unique<Session>(options_));
   }
 
-  std::mutex callback_mutex;
-  const auto drain = [&](Session& session, std::atomic<std::size_t>& next) {
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&](Session& session) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= instances.size()) return;
-      results[i] = session.solve(instances[i]);
-      if (on_result) {
-        std::lock_guard cb_lock(callback_mutex);
-        (*on_result)(i, results[i]);
-      }
+      if (i >= count) return;
+      work(session, i);
     }
   };
 
-  std::atomic<std::size_t> next{0};
-  const std::size_t active = std::min(workers_, instances.size());
+  const std::size_t active = std::min(workers_, count);
   if (active <= 1) {
-    drain(*sessions_[0], next);
+    drain(*sessions_[0]);
   } else {
     if (!pool_) pool_ = std::make_unique<ThreadPool>(workers_);
     for (std::size_t w = 0; w < active; ++w) {
       Session& session = *sessions_[w];
-      pool_->submit([&drain, &session, &next] { drain(session, next); });
+      pool_->submit([&drain, &session] { drain(session); });
     }
     pool_->wait_idle();
   }
@@ -185,9 +357,9 @@ Engine& Engine::shared() {
 
 Expected<ScheduleResult, diag::Report> try_schedule_bounded(
     const JobSet& jobs, const ScheduleOptions& options) {
-  diag::Report report = check_schedule_options(jobs, options);
-  if (!report.ok()) return Unexpected{std::move(report)};
-  return Engine::shared().solve(jobs, options);
+  // Fully contained: bad options come back as POBP-OPT-* findings,
+  // in-pipeline faults as POBP-RUN-* findings.
+  return Engine::shared().try_solve(jobs, options);
 }
 
 ScheduleResult schedule_bounded(const JobSet& jobs,

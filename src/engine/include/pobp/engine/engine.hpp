@@ -28,14 +28,22 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "pobp/core/pobp.hpp"
 #include "pobp/engine/metrics.hpp"
+#include "pobp/util/budget.hpp"
 
 namespace pobp {
 
 class ThreadPool;
+
+/// What a Session does when an instance exhausts its SolveBudget.
+enum class DegradePolicy {
+  kNone,         ///< report POBP-RUN-002 / POBP-RUN-003, no result
+  kApproximate,  ///< retry on the greedy + LSA_CS path, tag as degraded
+};
 
 struct EngineOptions {
   ScheduleOptions schedule;  ///< pipeline options applied to every instance
@@ -49,7 +57,32 @@ struct EngineOptions {
   bool validate = true;
 
   bool collect_metrics = true;
+
+  /// Per-instance solve limits (default: unlimited).  Enforced on the
+  /// try_solve / try_solve_batch paths; plain solve()/solve_batch() throw
+  /// BudgetError when a limit fires and no degrade policy absorbs it.
+  SolveBudget budget = {};
+
+  /// Fallback when `budget` is exhausted mid-pipeline.
+  DegradePolicy degrade = DegradePolicy::kNone;
+
+  /// Extra full-pipeline attempts after a contained pipeline fault
+  /// (POBP-RUN-001) before the instance is reported as failed.  Budget and
+  /// deadline faults are never retried (they would fail identically or
+  /// blow through the deadline again).
+  std::size_t max_retries = 0;
+
+  /// Fault-injection trigger spec (see pobp/util/faultinject.hpp), armed
+  /// process-wide at Engine construction.  Empty = arm from the
+  /// POBP_FAULT_INJECT environment variable if set.  Only live in
+  /// POBP_FAULT_INJECTION builds (the asan-ubsan preset).
+  std::string fault_injection = {};
 };
+
+/// Per-instance outcome of the fault-contained solve paths: a result, or
+/// the rule-tagged report (POBP-OPT-* / POBP-RUN-*) explaining why this
+/// instance has none.
+using SolveOutcome = Expected<ScheduleResult, diag::Report>;
 
 /// One worker's reusable pipeline state: scratch id buffers pre-sized once
 /// and reused across instances, plus a private metrics shard (so recording
@@ -61,17 +94,42 @@ class Session {
 
   /// Runs the full pipeline (seed → laminarize → forest → prune / LSA_CS →
   /// left-merge → validate) on one instance with this session's options.
+  /// Budget exhaustion that the degrade policy does not absorb, and
+  /// pipeline faults, propagate as exceptions — use try_solve for the
+  /// contained per-instance form.
   [[nodiscard]] ScheduleResult solve(const JobSet& jobs);
 
   /// Same, overriding the schedule options for this call only.
   [[nodiscard]] ScheduleResult solve(const JobSet& jobs,
                                      const ScheduleOptions& options);
 
+  /// Fault-contained solve: every pipeline exception, invariant failure or
+  /// budget/deadline overrun is caught at this boundary and converted into
+  /// a rule-tagged diag::Report (POBP-OPT-* for rejected options,
+  /// POBP-RUN-001/002/003 for pipeline fault / deadline / budget).
+  /// `instance` is the batch index (used by fault-injection triggers and
+  /// the report payload); pass kNoInstance for standalone solves.
+  static constexpr std::size_t kNoInstance = static_cast<std::size_t>(-1);
+  [[nodiscard]] SolveOutcome try_solve(const JobSet& jobs,
+                                       std::size_t instance = kNoInstance);
+  [[nodiscard]] SolveOutcome try_solve(const JobSet& jobs,
+                                       const ScheduleOptions& options,
+                                       std::size_t instance = kNoInstance);
+
   const EngineOptions& options() const { return options_; }
   const EngineMetrics& metrics() const { return metrics_; }
   void reset_metrics() { metrics_ = EngineMetrics(); }
 
  private:
+  ScheduleResult solve_pipeline(const JobSet& jobs,
+                                const ScheduleOptions& options);
+  ScheduleResult solve_degraded(const JobSet& jobs,
+                                const ScheduleOptions& options);
+  SolveOutcome budget_fallback(const JobSet& jobs,
+                               const ScheduleOptions& options,
+                               std::size_t instance, bool deadline,
+                               const char* what);
+
   EngineOptions options_;
   EngineMetrics metrics_;
   std::vector<JobId> ids_;        // all_ids scratch
@@ -98,6 +156,19 @@ class Engine {
   [[nodiscard]] std::vector<ScheduleResult> solve_batch(
       std::span<const JobSet> instances);
 
+  /// Fault-contained batch: results[i] is either instance i's result or
+  /// the diag::Report explaining its failure (POBP-RUN-*).  One poisoned
+  /// instance never aborts the batch or the process, and the successful
+  /// entries are bit-identical to a fault-free solve_batch for every
+  /// worker count.
+  [[nodiscard]] std::vector<SolveOutcome> try_solve_batch(
+      std::span<const JobSet> instances);
+
+  /// Fault-contained single solve on the calling thread.
+  [[nodiscard]] SolveOutcome try_solve(const JobSet& jobs);
+  [[nodiscard]] SolveOutcome try_solve(const JobSet& jobs,
+                                       const ScheduleOptions& options);
+
   /// Streaming variant: `on_result(index, result)` is invoked once per
   /// instance as it completes (unordered).  Callback invocations are
   /// serialized — the callback need not be thread-safe — and the result
@@ -118,8 +189,12 @@ class Engine {
   static Engine& shared();
 
  private:
-  void run_batch(std::span<const JobSet> instances, ScheduleResult* results,
-                 const ResultCallback* on_result);
+  /// Drains instances [0, count) over the worker sessions; `work(session,
+  /// i)` must handle instance i completely (including error capture — an
+  /// exception escaping `work` on a pool thread is fatal by ThreadPool
+  /// contract).
+  using InstanceFn = std::function<void(Session&, std::size_t)>;
+  void run_batch(std::size_t count, const InstanceFn& work);
 
   EngineOptions options_;
   std::size_t workers_;

@@ -64,6 +64,13 @@ struct EngineMetrics {
   std::size_t jobs_scheduled = 0;
   std::size_t preemptions = 0;          ///< Σ preemptions over all jobs
   std::size_t infinite_prices = 0;      ///< value == 0 < unbounded_value
+
+  // Fault-containment counters (the try_solve paths; docs/ROBUSTNESS.md).
+  std::size_t degraded_solves = 0;      ///< budget hit → approximate fallback
+  std::size_t pipeline_faults = 0;      ///< POBP-RUN-001 reports
+  std::size_t deadline_exceeded = 0;    ///< POBP-RUN-002 reports
+  std::size_t budget_exhausted = 0;     ///< POBP-RUN-003 reports
+  std::size_t retries = 0;              ///< pipeline re-attempts (max_retries)
   Value value_bounded = 0;              ///< Σ val(schedule)
   Value value_unbounded = 0;            ///< Σ val(seed schedule)
   double batch_seconds = 0;             ///< wall time of solve_batch calls

@@ -121,6 +121,7 @@ void EngineMetrics::record(const JobSet& jobs, const ScheduleResult& result,
       preemptions += a.preemptions();
     }
   }
+  if (result.degraded) ++degraded_solves;
   const double p = result.price();
   if (std::isinf(p)) {
     ++infinite_prices;
@@ -149,6 +150,11 @@ void EngineMetrics::merge(const EngineMetrics& other) {
   jobs_scheduled += other.jobs_scheduled;
   preemptions += other.preemptions;
   infinite_prices += other.infinite_prices;
+  degraded_solves += other.degraded_solves;
+  pipeline_faults += other.pipeline_faults;
+  deadline_exceeded += other.deadline_exceeded;
+  budget_exhausted += other.budget_exhausted;
+  retries += other.retries;
   value_bounded += other.value_bounded;
   value_unbounded += other.value_unbounded;
   batch_seconds += other.batch_seconds;
@@ -181,6 +187,12 @@ std::string EngineMetrics::to_table() const {
       {"price (mean finite)",
        price.count() ? Table::fmt(price.mean(), 4) : std::string("-")});
   summary.add_row({"price = +inf instances", Table::fmt(infinite_prices)});
+  summary.add_row({"degraded solves", Table::fmt(degraded_solves)});
+  summary.add_row(
+      {"contained faults (pipeline/deadline/budget)",
+       Table::fmt(pipeline_faults) + " / " + Table::fmt(deadline_exceeded) +
+           " / " + Table::fmt(budget_exhausted)});
+  summary.add_row({"retries", Table::fmt(retries)});
   summary.add_row({"batch wall time [s]", Table::fmt(batch_seconds, 4)});
   summary.add_row({"instances / second",
                    batch_seconds > 0 ? Table::fmt(instances_per_second(), 2)
@@ -227,6 +239,11 @@ std::string EngineMetrics::to_json() const {
      << ",\"unbounded\":" << fmt_double(value_unbounded) << '}'
      << ",\"preemptions\":" << preemptions
      << ",\"infinite_prices\":" << infinite_prices
+     << ",\"degraded\":" << degraded_solves
+     << ",\"faults\":{\"pipeline\":" << pipeline_faults
+     << ",\"deadline\":" << deadline_exceeded
+     << ",\"budget\":" << budget_exhausted << ",\"retries\":" << retries
+     << '}'
      << ",\"batch_seconds\":" << fmt_double(batch_seconds)
      << ",\"instances_per_second\":" << fmt_double(instances_per_second())
      << ',';

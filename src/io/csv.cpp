@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <map>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "pobp/diag/registry.hpp"
 #include "pobp/util/assert.hpp"
+#include "pobp/util/checked.hpp"
 
 namespace pobp::io {
 namespace {
@@ -27,25 +30,55 @@ std::vector<std::string> split(const std::string& line) {
   }
 }
 
-std::int64_t parse_int(const std::string& cell, std::size_t line) {
-  std::int64_t value = 0;
+/// Why a numeric cell was rejected — shared by the throwing parsers and the
+/// fault-contained loaders (which map kSyntax → POBP-IO-001 and the numeric
+/// kinds → POBP-IO-002).
+enum class NumStatus { kOk, kSyntax, kOutOfRange, kNonFinite };
+
+NumStatus parse_int_cell(const std::string& cell, std::int64_t& out) {
   const char* first = cell.data();
   const char* last = cell.data() + cell.size();
-  const auto [ptr, ec] = std::from_chars(first, last, value);
-  if (ec != std::errc{} || ptr != last) {
-    throw ParseError(line, "expected integer, got '" + cell + "'");
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc::result_out_of_range) return NumStatus::kOutOfRange;
+  if (ec != std::errc{} || ptr != last) return NumStatus::kSyntax;
+  return NumStatus::kOk;
+}
+
+NumStatus parse_double_cell(const std::string& cell, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(cell, &used);
+    if (used != cell.size()) return NumStatus::kSyntax;
+  } catch (const std::out_of_range&) {
+    return NumStatus::kOutOfRange;
+  } catch (const std::exception&) {
+    return NumStatus::kSyntax;
   }
-  return value;
+  // stod happily parses "inf" and "nan"; ticks and values must be finite.
+  return std::isfinite(out) ? NumStatus::kOk : NumStatus::kNonFinite;
+}
+
+std::int64_t parse_int(const std::string& cell, std::size_t line) {
+  std::int64_t value = 0;
+  switch (parse_int_cell(cell, value)) {
+    case NumStatus::kOk: return value;
+    case NumStatus::kOutOfRange:
+      throw ParseError(line, "integer out of range: '" + cell + "'");
+    default:
+      throw ParseError(line, "expected integer, got '" + cell + "'");
+  }
 }
 
 double parse_double(const std::string& cell, std::size_t line) {
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(cell, &used);
-    if (used != cell.size()) throw std::invalid_argument(cell);
-    return value;
-  } catch (const std::exception&) {
-    throw ParseError(line, "expected number, got '" + cell + "'");
+  double value = 0;
+  switch (parse_double_cell(cell, value)) {
+    case NumStatus::kOk: return value;
+    case NumStatus::kOutOfRange:
+      throw ParseError(line, "number out of range: '" + cell + "'");
+    case NumStatus::kNonFinite:
+      throw ParseError(line, "non-finite number: '" + cell + "'");
+    default:
+      throw ParseError(line, "expected number, got '" + cell + "'");
   }
 }
 
@@ -124,6 +157,87 @@ JobSet jobs_from_csv(const std::string& text) {
                  jobs.add(job);
                });
   return jobs;
+}
+
+Expected<JobSet, diag::Report> try_jobs_from_csv(const std::string& text) {
+  diag::Report report;
+  std::vector<Job> good;
+  const auto numeric_finding = [&](NumStatus status, const char* field,
+                                   const std::string& cell,
+                                   std::size_t line) {
+    const bool syntax = status == NumStatus::kSyntax;
+    report
+        .add(std::string(syntax ? diag::rules::kIoParse
+                                : diag::rules::kIoNumeric),
+             std::string(field) +
+                 (syntax           ? ": expected a number, got '"
+                  : status == NumStatus::kNonFinite ? ": non-finite value '"
+                                                    : ": out of range '") +
+                 cell + "'")
+        .with("line", line)
+        .with("cell", cell);
+  };
+  try {
+    for_each_row(
+        text, "release,deadline,length,value", 4,
+        [&](const std::vector<std::string>& cells, std::size_t line) {
+          Job job;
+          bool ok = true;
+          const char* const fields[3] = {"release", "deadline", "length"};
+          std::int64_t ticks[3] = {};
+          for (std::size_t i = 0; i < 3; ++i) {
+            const NumStatus status = parse_int_cell(cells[i], ticks[i]);
+            if (status != NumStatus::kOk) {
+              numeric_finding(status, fields[i], cells[i], line);
+              ok = false;
+            }
+          }
+          const NumStatus vstatus = parse_double_cell(cells[3], job.value);
+          if (vstatus != NumStatus::kOk) {
+            numeric_finding(vstatus, "value", cells[3], line);
+            ok = false;
+          }
+          if (!ok) return;
+          job.release = ticks[0];
+          job.deadline = ticks[1];
+          job.length = ticks[2];
+          if (sub_overflows(job.deadline, job.release)) {
+            report
+                .add(std::string(diag::rules::kIoJobDomain),
+                     "window d - r overflows int64")
+                .with("line", line);
+            return;
+          }
+          if (!job.well_formed()) {
+            report
+                .add(std::string(diag::rules::kIoJobDomain),
+                     "malformed job (need p >= 1, val > 0, window >= p)")
+                .with("line", line);
+            return;
+          }
+          good.push_back(job);
+        });
+  } catch (const ParseError& e) {
+    // Structural defects (bad header, wrong cell count) end the scan; the
+    // per-cell findings gathered so far are still reported alongside.
+    report.add(std::string(diag::rules::kIoParse), e.what())
+        .with("line", e.line());
+  }
+  if (!report.ok()) return Unexpected{std::move(report)};
+  return JobSet(std::move(good));
+}
+
+Expected<JobSet, diag::Report> try_load_jobs(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    diag::Report report;
+    report.add(std::string(diag::rules::kIoParse), "cannot open " + path)
+        .with("path", path);
+    return Unexpected{std::move(report)};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return try_jobs_from_csv(buffer.str());
 }
 
 std::vector<Job> job_rows_from_csv(const std::string& text) {

@@ -18,7 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "pobp/diag/diagnostic.hpp"
 #include "pobp/schedule/schedule.hpp"
+#include "pobp/util/expected.hpp"
 
 namespace pobp::io {
 
@@ -42,6 +44,24 @@ std::string schedule_to_csv(const Schedule& schedule);
 /// `machine_count` of the result is 1 + the largest machine index present
 /// (at least 1).
 Schedule schedule_from_csv(const std::string& text);
+
+// --- fault-contained forms --------------------------------------------------
+//
+// The strict loaders stop at the first defect and throw; these accumulate
+// *every* finding into a rule-tagged diag::Report instead (and never throw
+// on malformed input):
+//
+//   POBP-IO-001  syntax: bad header, wrong cell count, non-numeric cell
+//   POBP-IO-002  numeric: int64 overflow, NaN/inf, double out of range
+//   POBP-IO-003  job domain: p < 1, val <= 0, window < p, d - r overflow
+//
+// Success requires a defect-free file: any error-severity finding rejects
+// the whole file, the report tags each finding with its 1-based "line".
+
+Expected<JobSet, diag::Report> try_jobs_from_csv(const std::string& text);
+
+/// File form; an unreadable file is a POBP-IO-001 finding, not an exception.
+Expected<JobSet, diag::Report> try_load_jobs(const std::string& path);
 
 // --- lenient row forms (the lint path) -------------------------------------
 //

@@ -44,4 +44,27 @@ std::vector<BatchInstance> instances_from_jsonl(const std::string& text);
 /// Loads a JSONL instance file.
 std::vector<BatchInstance> load_jsonl(const std::string& path);
 
+// --- fault-contained forms --------------------------------------------------
+//
+// The strict loaders above throw on the first defect anywhere in the batch,
+// so one corrupt instance poisons its siblings.  The try_ forms contain
+// defects per instance: each referenced CSV / JSONL line becomes either its
+// parsed jobs or the rule-tagged diag::Report (POBP-IO-001/002/003)
+// explaining why that one instance was rejected.  Only the batch container
+// itself being unreadable is a whole-batch error.
+
+/// One fault-contained instance: jobs, or the report rejecting them.
+struct InstanceOutcome {
+  std::string name;
+  Expected<JobSet, diag::Report> jobs;
+};
+
+Expected<std::vector<InstanceOutcome>, diag::Report> try_load_manifest(
+    const std::string& path);
+
+std::vector<InstanceOutcome> try_instances_from_jsonl(const std::string& text);
+
+Expected<std::vector<InstanceOutcome>, diag::Report> try_load_jsonl(
+    const std::string& path);
+
 }  // namespace pobp::io

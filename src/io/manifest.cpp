@@ -3,8 +3,12 @@
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <utility>
+
+#include "pobp/diag/registry.hpp"
+#include "pobp/util/checked.hpp"
 
 namespace pobp::io {
 namespace {
@@ -216,11 +220,27 @@ class JsonReader {
   std::size_t pos_ = 0;
 };
 
+// ParseError refinements so the fault-contained loaders can classify a
+// failure without sniffing message text; the throwing API is unchanged
+// (both are ParseError).
+struct NumericError : ParseError {
+  using ParseError::ParseError;
+};
+struct JobDomainError : ParseError {
+  using ParseError::ParseError;
+};
+
 std::int64_t to_tick(const JsonValue& v, const char* what, std::size_t line) {
   if (v.kind != JsonValue::Kind::kNumber) {
     throw ParseError(line, std::string(what) + " must be a number");
   }
-  return static_cast<std::int64_t>(v.number);
+  // static_cast<int64> of a NaN/inf/out-of-range double is UB; screen first.
+  const std::optional<std::int64_t> tick = double_to_tick(v.number);
+  if (!tick) {
+    throw NumericError(line,
+                       std::string(what) + " must be a finite integer tick");
+  }
+  return *tick;
 }
 
 Job job_from_json(const JsonValue& v, std::size_t line) {
@@ -258,9 +278,48 @@ Job job_from_json(const JsonValue& v, std::size_t line) {
     throw ParseError(line, "job must be a JSON array or object");
   }
   if (!job.well_formed()) {
-    throw ParseError(line, "malformed job (need p >= 1, val > 0, window >= p)");
+    throw JobDomainError(line,
+                         "malformed job (need p >= 1, val > 0, window >= p)");
   }
   return job;
+}
+
+/// Parses one (already trimmed, non-empty) JSONL line into an instance.
+BatchInstance parse_jsonl_line(const std::string& line, std::size_t line_no) {
+  const JsonValue v = JsonReader(line, line_no).parse();
+  if (v.kind != JsonValue::Kind::kObject) {
+    throw ParseError(line_no, "each JSONL line must be a JSON object");
+  }
+  BatchInstance instance;
+  if (const JsonValue* name = v.find("name")) {
+    if (name->kind != JsonValue::Kind::kString) {
+      throw ParseError(line_no, "name must be a string");
+    }
+    instance.name = name->string;
+  } else {
+    instance.name = "line" + std::to_string(line_no);
+  }
+  const JsonValue* jobs = v.find("jobs");
+  if (!jobs || jobs->kind != JsonValue::Kind::kArray) {
+    throw ParseError(line_no, "instance needs a \"jobs\" array");
+  }
+  for (const JsonValue& j : jobs->items) {
+    instance.jobs.add(job_from_json(j, line_no));
+  }
+  return instance;
+}
+
+diag::Report report_one(std::string_view rule, const ParseError& e) {
+  diag::Report report;
+  report.add(std::string(rule), e.what()).with("line", e.line());
+  return report;
+}
+
+diag::Report cannot_open(const std::string& path) {
+  diag::Report report;
+  report.add(std::string(diag::rules::kIoParse), "cannot open " + path)
+      .with("path", path);
+  return report;
 }
 
 }  // namespace
@@ -303,33 +362,71 @@ std::vector<BatchInstance> instances_from_jsonl(const std::string& text) {
     ++line_no;
     const std::string line = trim(std::move(raw));
     if (line.empty() || line.front() == '#') continue;
-    const JsonValue v = JsonReader(line, line_no).parse();
-    if (v.kind != JsonValue::Kind::kObject) {
-      throw ParseError(line_no, "each JSONL line must be a JSON object");
-    }
-    BatchInstance instance;
-    if (const JsonValue* name = v.find("name")) {
-      if (name->kind != JsonValue::Kind::kString) {
-        throw ParseError(line_no, "name must be a string");
-      }
-      instance.name = name->string;
-    } else {
-      instance.name = "line" + std::to_string(line_no);
-    }
-    const JsonValue* jobs = v.find("jobs");
-    if (!jobs || jobs->kind != JsonValue::Kind::kArray) {
-      throw ParseError(line_no, "instance needs a \"jobs\" array");
-    }
-    for (const JsonValue& j : jobs->items) {
-      instance.jobs.add(job_from_json(j, line_no));
-    }
-    instances.push_back(std::move(instance));
+    instances.push_back(parse_jsonl_line(line, line_no));
   }
   return instances;
 }
 
 std::vector<BatchInstance> load_jsonl(const std::string& path) {
   return instances_from_jsonl(read_file(path));
+}
+
+Expected<std::vector<InstanceOutcome>, diag::Report> try_load_manifest(
+    const std::string& path) {
+  std::string text;
+  try {
+    text = read_file(path);
+  } catch (const std::exception&) {
+    return Unexpected{cannot_open(path)};
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base_dir =
+      slash == std::string::npos ? "" : path.substr(0, slash);
+  std::vector<InstanceOutcome> outcomes;
+  for (const std::string& csv : manifest_paths(text, base_dir)) {
+    outcomes.push_back({path_stem(csv), try_load_jobs(csv)});
+  }
+  return outcomes;
+}
+
+std::vector<InstanceOutcome> try_instances_from_jsonl(const std::string& text) {
+  std::vector<InstanceOutcome> outcomes;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(std::move(raw));
+    if (line.empty() || line.front() == '#') continue;
+    const std::string fallback_name = "line" + std::to_string(line_no);
+    try {
+      BatchInstance instance = parse_jsonl_line(line, line_no);
+      outcomes.push_back(
+          {std::move(instance.name), std::move(instance.jobs)});
+    } catch (const NumericError& e) {
+      outcomes.push_back(
+          {fallback_name, Unexpected{report_one(diag::rules::kIoNumeric, e)}});
+    } catch (const JobDomainError& e) {
+      outcomes.push_back(
+          {fallback_name,
+           Unexpected{report_one(diag::rules::kIoJobDomain, e)}});
+    } catch (const ParseError& e) {
+      outcomes.push_back(
+          {fallback_name, Unexpected{report_one(diag::rules::kIoParse, e)}});
+    }
+  }
+  return outcomes;
+}
+
+Expected<std::vector<InstanceOutcome>, diag::Report> try_load_jsonl(
+    const std::string& path) {
+  std::string text;
+  try {
+    text = read_file(path);
+  } catch (const std::exception&) {
+    return Unexpected{cannot_open(path)};
+  }
+  return try_instances_from_jsonl(text);
 }
 
 }  // namespace pobp::io

@@ -6,6 +6,7 @@
 
 #include "pobp/schedule/timeline.hpp"
 #include "pobp/util/assert.hpp"
+#include "pobp/util/budget.hpp"
 #include "pobp/util/checked.hpp"
 
 namespace pobp {
@@ -71,6 +72,7 @@ bool try_place(const JobSet& jobs, JobId id, std::size_t k,
   }
 
   for (;;) {
+    BudgetGuard::poll();  // one operation per working-set exchange
     if (sum >= job.length) {
       // Schedule leftmost: fill the members of S in time order.
       Duration todo = job.length;
@@ -114,6 +116,7 @@ LsaResult lsa(const JobSet& jobs, std::span<const JobId> candidates,
   LsaResult result;
   IdleTimeline timeline;
   for (const JobId id : consideration_order(jobs, candidates, order)) {
+    BudgetGuard::poll();  // one operation per placement attempt
     if (try_place(jobs, id, k, timeline, result.schedule)) {
       result.scheduled.push_back(id);
     } else {
@@ -148,6 +151,7 @@ LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
   LsaResult best;
   Value best_value = -1;
   for (const auto& [cls, members] : classes) {
+    BudgetGuard::poll();  // one operation per class attempt
     LsaResult r = lsa(jobs, members, k, order);
     const Value v = r.schedule.total_value(jobs);
     if (v > best_value) {
@@ -165,7 +169,7 @@ LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
 
 Schedule lsa_cs_multi(const JobSet& jobs, std::span<const JobId> candidates,
                       std::size_t k, std::size_t machine_count) {
-  POBP_ASSERT(machine_count >= 1);
+  POBP_CHECK(machine_count >= 1);
   Schedule out(machine_count);
   std::vector<JobId> remaining(candidates.begin(), candidates.end());
   for (std::size_t m = 0; m < machine_count && !remaining.empty(); ++m) {

@@ -5,15 +5,19 @@
 #include "pobp/bas/tm.hpp"
 #include "pobp/schedule/laminar.hpp"
 #include "pobp/util/assert.hpp"
+#include "pobp/util/budget.hpp"
+#include "pobp/util/faultinject.hpp"
 
 namespace pobp {
 
 MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
                                  const SubForest& sel) {
-  POBP_ASSERT(sel.keep.size() == sf.size());
+  POBP_FAULT_POINT(kLeftMerge);
+  POBP_CHECK(sel.keep.size() == sf.size());
   MachineSchedule out;
 
   for (NodeId u = 0; u < sf.size(); ++u) {
+    BudgetGuard::poll();  // one operation per forest node
     if (!sel.kept(u)) continue;
     const JobId job = sf.node_job[u];
 
@@ -36,9 +40,9 @@ MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
       placed.push_back({slot.begin, slot.begin + take});
       todo -= take;
     }
-    POBP_ASSERT_MSG(todo == 0,
-                    "available slots shorter than p_j — input schedule was "
-                    "not feasible/span-compact");
+    POBP_CHECK_MSG(todo == 0,
+                   "available slots shorter than p_j — input schedule was "
+                   "not feasible/span-compact");
     out.add(Assignment{job, std::move(placed)});
   }
   return out;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -36,8 +37,14 @@ struct Job {
   }
 
   /// A job is well-formed iff it can be feasibly scheduled alone.
+  /// Overflow-safe (a window d − r that overflows int64 is malformed, not
+  /// UB) and NaN/inf values are rejected, so untrusted inputs can be
+  /// screened with this predicate before window()/laxity() are ever called.
   constexpr bool well_formed() const {
-    return length >= 1 && value > 0 && window() >= length;
+    Duration w = 0;
+    if (__builtin_sub_overflow(deadline, release, &w)) return false;
+    return length >= 1 && value > 0 &&
+           value <= std::numeric_limits<double>::max() && w >= length;
   }
 };
 
@@ -47,13 +54,14 @@ class JobSet {
   JobSet() = default;
   explicit JobSet(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
     for (const Job& j : jobs_) {
-      POBP_ASSERT_MSG(j.well_formed(), "malformed job in JobSet");
+      POBP_CHECK_MSG(j.well_formed(), "malformed job in JobSet");
     }
   }
 
-  /// Append a job; returns its id.
+  /// Append a job; returns its id.  Malformed jobs (untrusted input can
+  /// reach this) throw pobp::InternalError rather than aborting.
   JobId add(const Job& job) {
-    POBP_ASSERT_MSG(job.well_formed(), "malformed job");
+    POBP_CHECK_MSG(job.well_formed(), "malformed job");
     jobs_.push_back(job);
     return static_cast<JobId>(jobs_.size() - 1);
   }

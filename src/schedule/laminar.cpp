@@ -8,6 +8,8 @@
 #include "pobp/diag/registry.hpp"
 #include "pobp/schedule/edf.hpp"
 #include "pobp/util/assert.hpp"
+#include "pobp/util/budget.hpp"
+#include "pobp/util/faultinject.hpp"
 
 namespace pobp {
 namespace {
@@ -76,11 +78,13 @@ void diagnose_laminar(const MachineSchedule& ms, diag::Report& report,
 }
 
 MachineSchedule laminarize(const JobSet& jobs, const MachineSchedule& ms) {
+  POBP_FAULT_POINT(kLaminarize);
+  BudgetGuard::poll();
   const std::vector<JobId> ids = ms.scheduled_jobs();
   std::optional<MachineSchedule> out = edf_schedule(jobs, ids);
-  POBP_ASSERT_MSG(out.has_value(),
-                  "laminarize: input schedule's job set must be feasible");
-  POBP_ASSERT(is_laminar(*out));
+  POBP_CHECK_MSG(out.has_value(),
+                 "laminarize: input schedule's job set must be feasible");
+  POBP_CHECK(is_laminar(*out));
   return std::move(*out);
 }
 

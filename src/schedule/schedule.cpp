@@ -24,8 +24,8 @@ std::vector<Segment> normalized(std::vector<Segment> segs) {
 }
 
 void MachineSchedule::add(Assignment assignment) {
-  POBP_ASSERT_MSG(!contains(assignment.job), "job already scheduled");
-  POBP_ASSERT_MSG(!assignment.segments.empty(), "empty assignment");
+  POBP_CHECK_MSG(!contains(assignment.job), "job already scheduled");
+  POBP_CHECK_MSG(!assignment.segments.empty(), "empty assignment");
   assignment.segments = normalized(std::move(assignment.segments));
   index_.emplace(assignment.job, assignments_.size());
   assignments_.push_back(std::move(assignment));

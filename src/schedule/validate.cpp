@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "pobp/diag/registry.hpp"
+#include "pobp/util/faultinject.hpp"
 
 namespace pobp {
 namespace {
@@ -236,6 +237,7 @@ ValidationResult validate_machine(const JobSet& jobs,
 
 ValidationResult validate(const JobSet& jobs, const Schedule& schedule,
                           std::size_t k) {
+  POBP_FAULT_POINT(kValidate);
   diag::Report report;
   diagnose_schedule(jobs, schedule, k, report);
   if (report.ok()) return {};

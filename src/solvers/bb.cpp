@@ -1,11 +1,13 @@
 // Exact OPT∞ via branch-and-bound over the interval feasibility condition.
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <mutex>
 
 #include "pobp/schedule/interval_condition.hpp"
 #include "pobp/solvers/solvers.hpp"
 #include "pobp/util/assert.hpp"
+#include "pobp/util/budget.hpp"
 #include "pobp/util/parallel.hpp"
 
 namespace pobp {
@@ -40,6 +42,7 @@ struct Searcher {
   Value current = 0;
 
   void dfs(std::size_t i) {
+    BudgetGuard::poll();  // one operation per explored B&B node
     if (current + (*suffix)[i] <=
         shared->best_value.load(std::memory_order_relaxed)) {
       return;  // even taking everything left cannot beat the incumbent
@@ -82,20 +85,37 @@ SubsetSolution opt_infinity(const JobSet& jobs,
   Shared shared;
 
   // Fan the first `split` include/exclude decisions out over the pool; each
-  // task owns a private oracle primed with its prefix decisions.
+  // task owns a private oracle primed with its prefix decisions.  The
+  // caller's BudgetGuard (thread-local) is shared with every task, and no
+  // exception may escape a pool task (the pool treats that as fatal): the
+  // first failure is captured, the remaining tasks short-circuit, and the
+  // failure is rethrown on the calling thread.
+  BudgetGuard* const guard = BudgetGuard::active();
+  std::atomic<bool> failed{false};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
   const std::size_t split = std::min<std::size_t>(4, order.size());
   const std::size_t tasks = std::size_t{1} << split;
   parallel_for(0, tasks, [&](std::size_t mask) {
-    Searcher searcher{&jobs, &order, &suffix, &shared,
-                      FeasibilityOracle(jobs), 0};
-    for (std::size_t i = 0; i < split; ++i) {
-      if (mask & (std::size_t{1} << i)) {
-        if (!searcher.oracle.try_add(order[i])) return;  // prefix infeasible
-        searcher.current += jobs[order[i]].value;
+    if (failed.load(std::memory_order_relaxed)) return;
+    const BudgetGuard::Scope budget_scope(guard);
+    try {
+      Searcher searcher{&jobs, &order, &suffix, &shared,
+                        FeasibilityOracle(jobs), 0};
+      for (std::size_t i = 0; i < split; ++i) {
+        if (mask & (std::size_t{1} << i)) {
+          if (!searcher.oracle.try_add(order[i])) return;  // prefix infeasible
+          searcher.current += jobs[order[i]].value;
+        }
       }
+      searcher.dfs(split);
+    } catch (...) {
+      failed.store(true, std::memory_order_relaxed);
+      std::lock_guard lock(failure_mutex);
+      if (!failure) failure = std::current_exception();
     }
-    searcher.dfs(split);
   });
+  if (failure) std::rethrow_exception(failure);
 
   solution.value = shared.best_value.load();
   solution.members = std::move(shared.best_members);

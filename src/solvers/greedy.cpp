@@ -4,6 +4,7 @@
 #include "pobp/schedule/edf.hpp"
 #include "pobp/solvers/solvers.hpp"
 #include "pobp/util/assert.hpp"
+#include "pobp/util/budget.hpp"
 
 namespace pobp {
 
@@ -20,6 +21,7 @@ MachineSchedule greedy_infinity(const JobSet& jobs,
   std::vector<JobId> accepted;
   MachineSchedule best;
   for (const JobId id : order) {
+    BudgetGuard::poll();
     accepted.push_back(id);
     if (auto schedule = edf_schedule(jobs, accepted)) {
       best = std::move(*schedule);
@@ -33,7 +35,7 @@ MachineSchedule greedy_infinity(const JobSet& jobs,
 Schedule greedy_infinity_multi(const JobSet& jobs,
                                std::span<const JobId> candidates,
                                std::size_t machine_count) {
-  POBP_ASSERT(machine_count >= 1);
+  POBP_CHECK(machine_count >= 1);
   Schedule out(machine_count);
   std::vector<JobId> remaining(candidates.begin(), candidates.end());
   for (std::size_t m = 0; m < machine_count && !remaining.empty(); ++m) {

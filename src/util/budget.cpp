@@ -1,0 +1,7 @@
+#include "pobp/util/budget.hpp"
+
+namespace pobp {
+
+thread_local BudgetGuard* BudgetGuard::current_ = nullptr;
+
+}  // namespace pobp

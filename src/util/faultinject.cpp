@@ -1,0 +1,136 @@
+#include "pobp/util/faultinject.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace pobp::fault {
+namespace {
+
+// Armed triggers are process-wide.  arm()/disarm() happen between
+// batches (the Engine arms before any worker starts and the workers are
+// handed their work through the pool's queue, which orders the writes),
+// so a release/acquire flag around a plain vector is sufficient.
+std::vector<Trigger> g_triggers;             // NOLINT(cert-err58-cpp)
+std::atomic_bool g_armed{false};
+
+thread_local std::size_t t_instance = kAnyInstance;
+thread_local std::uint64_t t_counts[kSiteCount] = {};
+
+Site parse_site(const std::string& token) {
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    if (token == site_name(static_cast<Site>(s))) {
+      return static_cast<Site>(s);
+    }
+  }
+  throw std::invalid_argument("fault spec: unknown site '" + token +
+                              "' (want alloc|laminarize|tm_dp|left_merge|"
+                              "validate)");
+}
+
+std::uint64_t parse_count(const std::string& token, const char* what) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(std::string("fault spec: bad ") + what +
+                                " '" + token + "'");
+  }
+  return std::stoull(token);
+}
+
+Trigger parse_one(const std::string& item) {
+  const std::size_t colon = item.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("fault spec: missing ':nth' in '" + item +
+                                "' (grammar: site[@instance]:nth)");
+  }
+  std::string head = item.substr(0, colon);
+  Trigger trigger;
+  trigger.nth = parse_count(item.substr(colon + 1), "call count");
+  if (trigger.nth == 0) {
+    throw std::invalid_argument("fault spec: call count must be >= 1 in '" +
+                                item + "'");
+  }
+  const std::size_t at = head.find('@');
+  if (at != std::string::npos) {
+    trigger.instance = static_cast<std::size_t>(
+        parse_count(head.substr(at + 1), "instance index"));
+    head.resize(at);
+  }
+  trigger.site = parse_site(head);
+  return trigger;
+}
+
+}  // namespace
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kAlloc: return "alloc";
+    case Site::kLaminarize: return "laminarize";
+    case Site::kTmDp: return "tm_dp";
+    case Site::kLeftMerge: return "left_merge";
+    case Site::kValidate: return "validate";
+  }
+  return "?";
+}
+
+std::vector<Trigger> parse_spec(const std::string& spec) {
+  std::vector<Trigger> triggers;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    if (!item.empty()) triggers.push_back(parse_one(item));
+    start = end + 1;
+  }
+  return triggers;
+}
+
+void arm(std::vector<Trigger> triggers) {
+  g_armed.store(false, std::memory_order_release);
+  g_triggers = std::move(triggers);
+  g_armed.store(!g_triggers.empty(), std::memory_order_release);
+}
+
+void disarm() { arm({}); }
+
+bool armed() { return g_armed.load(std::memory_order_acquire); }
+
+bool arm_from_env() {
+  const char* spec = std::getenv("POBP_FAULT_INJECT");
+  if (spec == nullptr || *spec == '\0') return false;
+  arm(parse_spec(spec));
+  return armed();
+}
+
+InstanceScope::InstanceScope(std::size_t index)
+    : previous_instance_(t_instance) {
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    previous_counts_[s] = t_counts[s];
+    t_counts[s] = 0;
+  }
+  t_instance = index;
+}
+
+InstanceScope::~InstanceScope() {
+  t_instance = previous_instance_;
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    t_counts[s] = previous_counts_[s];
+  }
+}
+
+void hit(Site site) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  const std::uint64_t count = ++t_counts[static_cast<std::size_t>(site)];
+  for (const Trigger& trigger : g_triggers) {
+    if (trigger.site != site) continue;
+    if (trigger.instance != kAnyInstance && trigger.instance != t_instance) {
+      continue;
+    }
+    if (trigger.nth != count) continue;
+    if (site == Site::kAlloc) throw std::bad_alloc();
+    throw FaultInjected(site);
+  }
+}
+
+}  // namespace pobp::fault

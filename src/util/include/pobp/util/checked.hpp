@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 
 #include "pobp/util/assert.hpp"
 
@@ -32,6 +33,31 @@ constexpr std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
   std::int64_t out = 0;
   POBP_ASSERT_MSG(!__builtin_mul_overflow(a, b, &out), "int64 mul overflow");
   return out;
+}
+
+/// True iff a + b overflows int64 (non-aborting form for input screening).
+constexpr bool add_overflows(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  return __builtin_add_overflow(a, b, &out);
+}
+
+/// True iff a - b overflows int64 (non-aborting form for input screening).
+constexpr bool sub_overflows(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  return __builtin_sub_overflow(a, b, &out);
+}
+
+/// Checked double → tick conversion for untrusted numeric input: nullopt
+/// unless v is finite, integral, and representable as int64.  (The naive
+/// static_cast is UB for NaN/inf/out-of-range doubles.)
+constexpr std::optional<std::int64_t> double_to_tick(double v) {
+  // 2^63 is exactly representable as a double; int64 covers [-2^63, 2^63).
+  constexpr double kLo = -9223372036854775808.0;
+  constexpr double kHi = 9223372036854775808.0;
+  if (!(v >= kLo && v < kHi)) return std::nullopt;  // also rejects NaN/inf
+  const auto tick = static_cast<std::int64_t>(v);
+  if (static_cast<double>(tick) != v) return std::nullopt;  // fractional
+  return tick;
 }
 
 /// Integer power base^exp with overflow checking. Requires exp >= 0.

@@ -1,0 +1,119 @@
+// pobp::fault — deterministic fault injection for the serving layer.
+//
+// Named sites inside the pipeline call POBP_FAULT_POINT(site).  When a
+// matching trigger is armed, the N-th execution of that site *within the
+// current instance* throws (FaultInjected, or std::bad_alloc for the
+// `alloc` site), exercising the Session's containment path.  Counters
+// are thread-local and reset per instance by fault::InstanceScope, and
+// triggers match on the instance index — so the set of faulting
+// instances is identical for every worker count, which is what lets the
+// fault-containment tests assert bit-determinism of the survivors.
+//
+// Trigger spec grammar (EngineOptions::fault_injection or the
+// POBP_FAULT_INJECT env var), comma-separated:
+//
+//   site[@instance]:nth
+//
+//   laminarize:1          first laminarize call of *every* instance
+//   tm_dp@7:2             second tm_dp call of instance 7 only
+//   alloc@3:1,validate@5:1
+//
+// Sites: alloc, laminarize, tm_dp, left_merge, validate.
+//
+// Compile-time gating: unless POBP_FAULT_INJECTION is defined (the
+// asan-ubsan preset turns it on), POBP_FAULT_POINT expands to nothing —
+// zero overhead on the serving path.  The runtime (arm/parse) is always
+// compiled so tools and tests can probe fault::compiled_in().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pobp::fault {
+
+enum class Site : std::uint8_t {
+  kAlloc = 0,
+  kLaminarize,
+  kTmDp,
+  kLeftMerge,
+  kValidate,
+};
+inline constexpr std::size_t kSiteCount = 5;
+
+const char* site_name(Site site);
+
+/// Thrown by a triggered fault point (except `alloc`, which throws
+/// std::bad_alloc to exercise the allocation-failure containment path).
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(Site site)
+      : std::runtime_error(std::string("injected fault at site ") +
+                           site_name(site)),
+        site_(site) {}
+  [[nodiscard]] Site site() const { return site_; }
+
+ private:
+  Site site_;
+};
+
+inline constexpr std::size_t kAnyInstance = static_cast<std::size_t>(-1);
+
+struct Trigger {
+  Site site = Site::kAlloc;
+  std::size_t instance = kAnyInstance;  ///< instance index, or any
+  std::uint64_t nth = 1;                ///< 1-based call count within instance
+};
+
+/// Parses the comma-separated trigger spec; throws std::invalid_argument
+/// with a descriptive message on malformed input.
+std::vector<Trigger> parse_spec(const std::string& spec);
+
+/// Replaces the armed trigger set (process-wide; call before solving).
+void arm(std::vector<Trigger> triggers);
+void disarm();
+[[nodiscard]] bool armed();
+
+/// Arms from the POBP_FAULT_INJECT environment variable if it is set.
+/// Returns true when triggers were armed.
+bool arm_from_env();
+
+/// True when the library was built with POBP_FAULT_INJECTION, i.e. the
+/// POBP_FAULT_POINT sites are live.  Tests skip themselves otherwise.
+constexpr bool compiled_in() {
+#ifdef POBP_FAULT_INJECTION
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// RAII: enters instance `index` on the calling thread, zeroing the
+/// per-site call counters so `nth` is counted per instance.  The Session
+/// opens one scope per solve.
+class InstanceScope {
+ public:
+  explicit InstanceScope(std::size_t index);
+  ~InstanceScope();
+  InstanceScope(const InstanceScope&) = delete;
+  InstanceScope& operator=(const InstanceScope&) = delete;
+
+ private:
+  std::size_t previous_instance_;
+  std::uint64_t previous_counts_[kSiteCount];
+};
+
+/// Records one execution of `site` on this thread and throws if an armed
+/// trigger matches.  Called via POBP_FAULT_POINT; cheap no-trigger path
+/// (one branch on a process-wide flag).
+void hit(Site site);
+
+}  // namespace pobp::fault
+
+#ifdef POBP_FAULT_INJECTION
+#define POBP_FAULT_POINT(site) ::pobp::fault::hit(::pobp::fault::Site::site)
+#else
+#define POBP_FAULT_POINT(site) ((void)0)
+#endif

@@ -10,6 +10,8 @@
 
 #include "pobp/pobp.hpp"
 #include "pobp/gen/random_jobs.hpp"
+#include "pobp/util/budget.hpp"
+#include "pobp/util/faultinject.hpp"
 #include "pobp/util/rng.hpp"
 
 namespace pobp {
@@ -231,6 +233,146 @@ TEST(ScheduleBoundedShim, MatchesSharedEngine) {
   const ScheduleResult via_engine =
       Engine::shared().solve(instances[0], {.k = 1});
   EXPECT_EQ(fingerprint(via_shim), fingerprint(via_engine));
+}
+
+// ------------------------------------------- fault containment ------------
+
+/// Disarms process-wide fault-injection triggers on scope exit so a failing
+/// assertion cannot leak armed triggers into later tests.
+struct DisarmGuard {
+  ~DisarmGuard() { fault::disarm(); }
+};
+
+// The acceptance bar of the fault-contained batch path: with 4 injected
+// faults in a 64-instance batch, exactly those 4 instances report
+// POBP-RUN-001 and the other 60 results are bit-identical to a fault-free
+// run — for every worker count.
+TEST(EngineFaults, InjectedFaultsAreContainedAndDeterministic) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "built without POBP_FAULT_INJECTION";
+  }
+  const DisarmGuard disarm;
+  const std::vector<JobSet> instances = corpus(64, 4242);
+  const ScheduleOptions schedule{.k = 1};
+
+  Engine clean({.schedule = schedule, .workers = 2});
+  const std::vector<SolveOutcome> base = clean.try_solve_batch(instances);
+  ASSERT_EQ(base.size(), instances.size());
+  std::vector<std::string> expected;
+  for (const SolveOutcome& outcome : base) {
+    ASSERT_TRUE(outcome.has_value());
+    expected.push_back(fingerprint(*outcome));
+  }
+
+  const std::set<std::size_t> faulty = {3, 17, 31, 55};
+  const char* spec = "alloc@3:1,laminarize@17:1,tm_dp@31:1,validate@55:1";
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    Engine engine({.schedule = schedule,
+                   .workers = workers,
+                   .fault_injection = spec});
+    const std::vector<SolveOutcome> results =
+        engine.try_solve_batch(instances);
+    ASSERT_EQ(results.size(), instances.size());
+    std::size_t reports = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (faulty.count(i) != 0) {
+        ASSERT_FALSE(results[i].has_value())
+            << "instance " << i << " should fault (" << workers
+            << " workers)";
+        EXPECT_EQ(results[i].error().count("POBP-RUN-001"), 1u);
+        ++reports;
+      } else {
+        ASSERT_TRUE(results[i].has_value())
+            << "instance " << i << " poisoned (" << workers << " workers)";
+        EXPECT_EQ(fingerprint(*results[i]), expected[i])
+            << "instance " << i << " diverged with " << workers
+            << " workers";
+      }
+    }
+    EXPECT_EQ(reports, faulty.size());
+    EXPECT_EQ(engine.metrics().pipeline_faults, faulty.size());
+    EXPECT_EQ(engine.metrics().instances, instances.size() - faulty.size());
+  }
+}
+
+TEST(EngineFaults, RetriesAbsorbTransientInjectedFaults) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "built without POBP_FAULT_INJECTION";
+  }
+  const DisarmGuard disarm;
+  const std::vector<JobSet> instances = corpus(1, 7);
+
+  // Without retries the injected fault is reported...
+  Engine failing({.schedule = {.k = 1}, .fault_injection = "laminarize:1"});
+  const SolveOutcome failed = failing.try_solve(instances[0]);
+  ASSERT_FALSE(failed.has_value());
+  EXPECT_EQ(failed.error().count("POBP-RUN-001"), 1u);
+  EXPECT_EQ(failing.metrics().pipeline_faults, 1u);
+
+  // ...with one retry the nth-call trigger has already fired, so the second
+  // attempt runs clean and the instance succeeds.
+  Engine retrying({.schedule = {.k = 1},
+                   .max_retries = 1,
+                   .fault_injection = "laminarize:1"});
+  const SolveOutcome retried = retrying.try_solve(instances[0]);
+  ASSERT_TRUE(retried.has_value());
+  EXPECT_TRUE(validate(instances[0], retried->schedule, 1).ok);
+  EXPECT_EQ(retrying.metrics().retries, 1u);
+  EXPECT_EQ(retrying.metrics().pipeline_faults, 0u);
+}
+
+TEST(EngineFaults, OpBudgetExhaustionIsReported) {
+  const std::vector<JobSet> instances = corpus(1, 11);
+  Engine engine({.schedule = {.k = 1}, .budget = {.max_ops = 1}});
+  const SolveOutcome outcome = engine.try_solve(instances[0]);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().count("POBP-RUN-003"), 1u);
+  EXPECT_EQ(engine.metrics().budget_exhausted, 1u);
+}
+
+TEST(EngineFaults, DeadlineExceededIsReported) {
+  const std::vector<JobSet> instances = corpus(1, 12);
+  Engine engine(
+      {.schedule = {.k = 1}, .budget = {.deadline_s = 1e-12}});
+  const SolveOutcome outcome = engine.try_solve(instances[0]);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().count("POBP-RUN-002"), 1u);
+  EXPECT_EQ(engine.metrics().deadline_exceeded, 1u);
+}
+
+TEST(EngineFaults, DegradePolicyFallsBackToApproximatePath) {
+  const std::vector<JobSet> instances = corpus(1, 13);
+  Engine engine({.schedule = {.k = 1},
+                 .budget = {.max_ops = 1},
+                 .degrade = DegradePolicy::kApproximate});
+  const SolveOutcome outcome = engine.try_solve(instances[0]);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->degraded);
+  EXPECT_TRUE(validate(instances[0], outcome->schedule, 1).ok);
+  EXPECT_EQ(engine.metrics().degraded_solves, 1u);
+  EXPECT_EQ(engine.metrics().budget_exhausted, 0u);
+
+  // Degraded results surface in the metrics exports.
+  EXPECT_NE(engine.metrics().to_json().find("\"degraded\":1"),
+            std::string::npos);
+}
+
+TEST(EngineFaults, PlainSolveThrowsWhenBudgetFiresWithoutDegrade) {
+  const std::vector<JobSet> instances = corpus(1, 14);
+  Session session({.schedule = {.k = 1}, .budget = {.max_ops = 1}});
+  EXPECT_THROW((void)session.solve(instances[0]), BudgetError);
+}
+
+TEST(EngineFaults, TrySolveBatchReportsOptionRejectionPerInstance) {
+  const std::vector<JobSet> instances = corpus(2, 15);
+  Engine engine({.schedule = {.k = 1, .machine_count = 0}});
+  const std::vector<SolveOutcome> results =
+      engine.try_solve_batch(instances);
+  ASSERT_EQ(results.size(), 2u);
+  for (const SolveOutcome& outcome : results) {
+    ASSERT_FALSE(outcome.has_value());
+    EXPECT_EQ(outcome.error().count("POBP-OPT-001"), 1u);
+  }
 }
 
 // ------------------------------------------------------------ price -------

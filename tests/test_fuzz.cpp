@@ -2,10 +2,13 @@
 // two independent implementations together, hammered with random inputs.
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <string>
 #include <tuple>
 
 #include "pobp/pobp.hpp"
 #include "pobp/bas/tm.hpp"
+#include "pobp/io/manifest.hpp"
 #include "pobp/flow/migrative.hpp"
 #include "pobp/io/forest_csv.hpp"
 #include "pobp/reduction/rebuild.hpp"
@@ -190,6 +193,115 @@ TEST_P(ValidatorMutation, RandomMutationsOfFeasibleSchedulesAreCaught) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorMutation,
                          ::testing::Values(351, 352, 353));
+
+// IO robustness fuzz: the loaders are fed randomly mutated inputs.  The
+// throwing API may only ever raise io::ParseError; the try_ API never
+// throws at all (rule-tagged report instead); neither may abort.  The two
+// APIs must also agree on accept/reject.
+std::string mutate(std::string text, Rng& rng) {
+  static const char* const kTokens[] = {
+      "nan",  "inf",  "-inf", "1e999", "-1e999", "9223372036854775807",
+      "-9223372036854775808", "99999999999999999999", ",", ",,", "\n",
+      "-",    ".",    "#",    "e",     "\"",      "{",  "[",  "1.5",
+  };
+  const int edits = 1 + static_cast<int>(rng.uniform_int(0, 7));
+  for (int e = 0; e < edits && !text.empty(); ++e) {
+    const std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // flip one byte to a random printable character
+        text[pos] = static_cast<char>(' ' + rng.uniform_int(0, 94));
+        break;
+      case 1:  // delete one byte
+        text.erase(pos, 1);
+        break;
+      case 2:  // insert a random byte
+        text.insert(pos, 1,
+                    static_cast<char>(' ' + rng.uniform_int(0, 94)));
+        break;
+      default:  // splice in a hostile numeric/structural token
+        text.insert(
+            pos,
+            kTokens[rng.uniform_int(
+                0, static_cast<std::int64_t>(std::size(kTokens)) - 1)]);
+        break;
+    }
+  }
+  return text;
+}
+
+class IoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoFuzz, MutatedJobsCsvNeverAbortsAndApisAgree) {
+  Rng rng(GetParam());
+  JobGenConfig config;
+  config.n = 12;
+  config.max_length = 64;
+  config.horizon = 1024;
+  const std::string good = io::jobs_to_csv(random_jobs(config, rng));
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string csv = trial == 0 ? good : mutate(good, rng);
+
+    const auto outcome = io::try_jobs_from_csv(csv);
+    if (!outcome.has_value()) {
+      EXPECT_FALSE(outcome.error().ok());
+      EXPECT_FALSE(outcome.error().rule_ids().empty());
+    }
+
+    bool threw = false;
+    try {
+      const JobSet parsed = io::jobs_from_csv(csv);
+      if (outcome.has_value()) {
+        EXPECT_EQ(parsed.size(), outcome->size());
+      }
+    } catch (const io::ParseError&) {
+      threw = true;
+    }  // any other exception type escapes and fails the test
+    EXPECT_EQ(outcome.has_value(), !threw) << "APIs disagree on:\n" << csv;
+  }
+}
+
+TEST_P(IoFuzz, MutatedJsonlNeverAbortsAndApisAgree) {
+  Rng rng(GetParam() + 1000);
+  const std::string good =
+      "{\"name\": \"a\", \"jobs\": [[0,10,4,5.0],[2,7,3,2.5]]}\n"
+      "{\"jobs\": [{\"release\":0,\"deadline\":30,\"length\":10,"
+      "\"value\":3}]}\n";
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string jsonl = trial == 0 ? good : mutate(good, rng);
+
+    const std::vector<io::InstanceOutcome> outcomes =
+        io::try_instances_from_jsonl(jsonl);
+    bool all_ok = true;
+    for (const io::InstanceOutcome& instance : outcomes) {
+      if (instance.jobs.has_value()) continue;
+      all_ok = false;
+      EXPECT_FALSE(instance.jobs.error().ok());
+    }
+
+    bool threw = false;
+    try {
+      const auto parsed = io::instances_from_jsonl(jsonl);
+      EXPECT_EQ(parsed.size(), outcomes.size());
+    } catch (const io::ParseError&) {
+      threw = true;
+    }
+    EXPECT_EQ(all_ok, !threw) << "APIs disagree on:\n" << jsonl;
+  }
+}
+
+TEST_P(IoFuzz, MutatedManifestTextNeverThrows) {
+  Rng rng(GetParam() + 2000);
+  const std::string good = "a.csv\n# comment\nsub/dir/b.csv\n\n/abs/c.csv\n";
+  for (int trial = 0; trial < 200; ++trial) {
+    // manifest_paths is pure path splitting: no defect may ever throw.
+    (void)io::manifest_paths(mutate(good, rng), "base");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzz, ::testing::Values(361, 362, 363));
 
 }  // namespace
 }  // namespace pobp

@@ -35,9 +35,11 @@ TEST(JobSet, AddAndAccess) {
   EXPECT_EQ(jobs[b].value, 4.0);
 }
 
-TEST(JobSetDeath, MalformedJobAborts) {
+TEST(JobSet, MalformedJobThrowsInternalError) {
+  // Untrusted input can reach add(); it must be containable (thrown, not
+  // aborted) so the serving layer can reject the instance and continue.
   JobSet jobs;
-  EXPECT_DEATH(jobs.add({0, 1, 5, 1.0}), "malformed");
+  EXPECT_THROW(jobs.add({0, 1, 5, 1.0}), InternalError);
 }
 
 TEST(JobSet, Aggregates) {

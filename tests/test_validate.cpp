@@ -148,10 +148,10 @@ TEST(MachineSchedule, NormalizesSegmentsOnAdd) {
   EXPECT_TRUE(validate_machine(jobs, ms, 0));
 }
 
-TEST(MachineScheduleDeath, DuplicateJobAborts) {
+TEST(MachineSchedule, DuplicateJobThrowsInternalError) {
   MachineSchedule ms;
   ms.add({0, {{0, 2}}});
-  EXPECT_DEATH(ms.add({0, {{4, 6}}}), "already scheduled");
+  EXPECT_THROW(ms.add({0, {{4, 6}}}), InternalError);
 }
 
 TEST(MachineSchedule, TimelineSortedByBegin) {

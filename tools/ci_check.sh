@@ -51,9 +51,14 @@ run_preset werror
 # 2. Release build + tests (the tier-1 configuration).
 run_preset release
 
-# 3. Sanitizers.
+# 3. Sanitizers.  The asan-ubsan preset also compiles the pobp::fault
+#    injection sites in (POBP_FAULT_INJECTION=ON), so its ctest run covers
+#    the EngineFaults suite live; re-run that subset explicitly afterwards
+#    as the fault-injection smoke.
 if sanitizer_available address; then
   run_preset asan-ubsan
+  say "fault-injection smoke (asan-ubsan, EngineFaults.*)"
+  build-asan-ubsan/tests/test_engine --gtest_filter='EngineFaults.*'
 else
   say "asan-ubsan: sanitizer runtime unavailable, skipped"
 fi
@@ -110,5 +115,23 @@ for seed in 31 32 33; do
   "$POBP" validate --jobs "$ENGINE_TMP/inst$seed.csv" \
           --schedule "$ENGINE_TMP/out/inst$seed.sched.csv" --k 1
 done
+
+# 7. Fault-containment smoke: a manifest with one good, one corrupt and one
+#    missing instance must still solve the good one under --on-error=skip
+#    (exit 0) and must fail with the parse exit code (4) under
+#    --on-error=fail.
+say "batch fault-containment smoke"
+"$POBP" batch --manifest tests/data/malformed_manifest.txt --k 1 --quiet \
+        --on-error=skip
+set +e
+"$POBP" batch --manifest tests/data/malformed_manifest.txt --k 1 --quiet \
+        --on-error=fail
+batch_status=$?
+set -e
+if [ "$batch_status" -ne 4 ]; then
+  echo "FAIL: batch --on-error=fail exit $batch_status on corrupt manifest" \
+       "(want 4)" >&2
+  exit 1
+fi
 
 say "all checks passed"

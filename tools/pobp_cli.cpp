@@ -9,7 +9,14 @@
 //   pobp price    --jobs jobs.csv --k 1 [--machines 2] [--exact]
 //   pobp info     --jobs jobs.csv
 //
-// Exit code 0 on success (for validate: schedule is feasible), 1 otherwise.
+// Exit codes (documented in docs/CLI.md):
+//   0  success (for validate: the schedule is feasible)
+//   1  infeasible schedule / validation failure / other runtime failure
+//   2  usage error (unknown command, bad flag, bad flag value)
+//   3  a referenced file cannot be opened
+//   4  malformed input data (CSV / manifest / JSONL parse failure)
+//   5  solve options rejected (POBP-OPT-*)
+//   6  contained solve fault (POBP-RUN-*: pipeline fault, deadline, budget)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,8 +26,10 @@
 
 #include "pobp/bas/contraction.hpp"
 #include "pobp/bas/tm.hpp"
+#include "pobp/diag/render.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/io/forest_csv.hpp"
+#include "pobp/io/manifest.hpp"
 #include "pobp/pobp.hpp"
 #include "pobp/sim/policies.hpp"
 #include "pobp/sim/sim.hpp"
@@ -29,6 +38,31 @@
 namespace {
 
 using namespace pobp;
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitInfeasible = 1,
+  kExitUsage = 2,
+  kExitFileOpen = 3,
+  kExitParse = 4,
+  kExitOptions = 5,
+  kExitSolveFault = 6,
+};
+
+/// Maps a rule-tagged report onto the exit-code table above (first
+/// error-severity finding decides).
+int exit_for(const diag::Report& report) {
+  for (const diag::Diagnostic& d : report.diagnostics()) {
+    if (d.severity != diag::Severity::kError) continue;
+    if (d.rule.rfind("POBP-RUN-", 0) == 0) return kExitSolveFault;
+    if (d.rule.rfind("POBP-OPT-", 0) == 0) return kExitOptions;
+    if (d.rule.rfind("POBP-IO-", 0) == 0) {
+      return d.message.rfind("cannot open", 0) == 0 ? kExitFileOpen
+                                                    : kExitParse;
+    }
+  }
+  return kExitInfeasible;
+}
 
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error) std::fprintf(stderr, "error: %s\n\n", error);
@@ -46,6 +80,10 @@ commands:
              (--manifest FILE | --jsonl FILE) [--k K] [--machines M]
              [--workers W] [--exact] [--out-dir DIR] [--quiet]
              [--metrics-json FILE]  (FILE '-' = stdout)
+             fault containment:
+             [--deadline-ms MS] [--max-ops N] [--degrade] [--max-retries R]
+             [--on-error skip|report|fail]   (default: report)
+             [--fault-inject SPEC]  (site[@instance]:nth, testing builds)
   validate   check a schedule against a workload (Def. 2.1)
              --jobs FILE --schedule FILE [--k K]
   price      report the empirical price of bounded preemption
@@ -58,10 +96,11 @@ commands:
              --jobs FILE --policy edf|nonpreemptive|budget [--k K]
              [--cost C] [--gantt]
 )");
-  std::exit(1);
+  std::exit(kExitUsage);
 }
 
-/// --flag value parser; boolean flags have empty values.
+/// --flag value parser; accepts both `--key value` and `--key=value`;
+/// boolean flags have empty values.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
@@ -69,7 +108,11 @@ class Flags {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) usage(("unexpected argument " + key).c_str());
       key = key.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "";
@@ -135,11 +178,17 @@ int cmd_solve(const Flags& flags) {
   options.machine_count = static_cast<std::size_t>(flags.num("machines", 1));
   if (flags.has("exact")) options.seed = ScheduleOptions::Seed::kExact;
 
-  const ScheduleResult result = schedule_bounded(jobs, options);
+  const Expected<ScheduleResult, diag::Report> outcome =
+      try_schedule_bounded(jobs, options);
+  if (!outcome) {
+    std::fputs(diag::to_text(outcome.error()).c_str(), stderr);
+    return exit_for(outcome.error());
+  }
+  const ScheduleResult& result = *outcome;
   const ValidationResult check = validate(jobs, result.schedule, options.k);
   if (!check) {
     std::fprintf(stderr, "internal error: %s\n", check.error.c_str());
-    return 1;
+    return kExitInfeasible;
   }
   std::printf("scheduled %zu/%zu jobs, value %.6g of %.6g (price %.3f), "
               "max preemptions %zu (k=%zu)\n",
@@ -160,17 +209,49 @@ int cmd_solve(const Flags& flags) {
 }
 
 int cmd_batch(const Flags& flags) {
-  std::vector<io::BatchInstance> instances;
+  const std::string on_error = flags.str("on-error", "report");
+  if (on_error != "skip" && on_error != "report" && on_error != "fail") {
+    usage("--on-error wants skip, report or fail");
+  }
+
+  // Fault-contained load: a corrupt instance is a per-instance report, not
+  // a batch abort.  Only the batch container itself failing to open is
+  // immediately fatal.
+  std::vector<io::InstanceOutcome> loaded;
   if (flags.has("manifest")) {
-    instances = io::load_manifest(flags.str("manifest"));
+    auto batch = io::try_load_manifest(flags.str("manifest"));
+    if (!batch) {
+      std::fputs(diag::to_text(batch.error()).c_str(), stderr);
+      return exit_for(batch.error());
+    }
+    loaded = std::move(batch).value();
   } else if (flags.has("jsonl")) {
-    instances = io::load_jsonl(flags.str("jsonl"));
+    auto batch = io::try_load_jsonl(flags.str("jsonl"));
+    if (!batch) {
+      std::fputs(diag::to_text(batch.error()).c_str(), stderr);
+      return exit_for(batch.error());
+    }
+    loaded = std::move(batch).value();
   } else {
     usage("batch needs --manifest or --jsonl");
   }
-  if (instances.empty()) {
+  if (loaded.empty()) {
     std::fprintf(stderr, "error: empty instance list\n");
-    return 1;
+    return kExitParse;
+  }
+
+  int failure_exit = kExitOk;  // first failure decides the exit code
+  std::size_t load_failures = 0;
+  for (const io::InstanceOutcome& instance : loaded) {
+    if (instance.jobs.has_value()) continue;
+    ++load_failures;
+    std::fprintf(stderr, "error: instance '%s' rejected:\n%s",
+                 instance.name.c_str(),
+                 diag::to_text(instance.jobs.error()).c_str());
+    if (on_error == "fail") return exit_for(instance.jobs.error());
+    if (failure_exit == kExitOk) {
+      failure_exit = exit_for(instance.jobs.error());
+    }
   }
 
   EngineOptions options;
@@ -181,38 +262,56 @@ int cmd_batch(const Flags& flags) {
     options.schedule.seed = ScheduleOptions::Seed::kExact;
   }
   options.workers = static_cast<std::size_t>(flags.num("workers", 0));
+  options.budget.deadline_s = flags.real("deadline-ms", 0.0) / 1000.0;
+  options.budget.max_ops =
+      static_cast<std::uint64_t>(flags.num("max-ops", 0));
+  if (flags.has("degrade")) options.degrade = DegradePolicy::kApproximate;
+  options.max_retries = static_cast<std::size_t>(flags.num("max-retries", 0));
+  if (flags.has("fault-inject")) {
+    options.fault_injection = flags.str("fault-inject");
+  }
   Engine engine(options);
 
+  // Batch indices (and fault-injection `@instance` triggers) refer to
+  // positions among the *loadable* instances.
   std::vector<JobSet> sets;
-  sets.reserve(instances.size());
-  for (const io::BatchInstance& instance : instances) {
-    const diag::Report report =
-        check_schedule_options(instance.jobs, options.schedule);
-    if (!report.ok()) {
-      std::fprintf(stderr, "error: %s: %s\n", instance.name.c_str(),
-                   report.first_error().c_str());
-      return 1;
-    }
-    sets.push_back(instance.jobs);
+  std::vector<std::size_t> origin;  // sets index → loaded index
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    if (!loaded[i].jobs.has_value()) continue;
+    sets.push_back(*loaded[i].jobs);
+    origin.push_back(i);
   }
 
   const bool quiet = flags.has("quiet");
-  const std::vector<ScheduleResult> results = engine.solve_batch(sets);
+  const std::vector<SolveOutcome> results = engine.try_solve_batch(sets);
+  std::size_t solve_failures = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const ScheduleResult& r = results[i];
+    const std::string& name = loaded[origin[i]].name;
+    if (!results[i].has_value()) {
+      ++solve_failures;
+      std::fprintf(stderr, "error: instance '%s' failed:\n%s", name.c_str(),
+                   diag::to_text(results[i].error()).c_str());
+      if (on_error == "fail") return exit_for(results[i].error());
+      if (failure_exit == kExitOk) {
+        failure_exit = exit_for(results[i].error());
+      }
+      continue;
+    }
+    const ScheduleResult& r = *results[i];
     if (!quiet) {
       std::printf("%-20s %4zu/%4zu jobs  value %10.6g of %10.6g  price %.3f"
-                  "  max preemptions %zu\n",
-                  instances[i].name.c_str(), r.schedule.job_count(),
-                  sets[i].size(), r.value, r.unbounded_value, r.price(),
-                  r.schedule.max_preemptions());
+                  "  max preemptions %zu%s\n",
+                  name.c_str(), r.schedule.job_count(), sets[i].size(),
+                  r.value, r.unbounded_value, r.price(),
+                  r.schedule.max_preemptions(),
+                  r.degraded ? "  [degraded]" : "");
     }
     if (flags.has("out-dir")) {
-      std::string name = instances[i].name;
-      for (char& c : name) {
+      std::string name_safe = name;
+      for (char& c : name_safe) {
         if (c == '/') c = '_';
       }
-      io::save_schedule(flags.str("out-dir") + "/" + name + ".sched.csv",
+      io::save_schedule(flags.str("out-dir") + "/" + name_safe + ".sched.csv",
                         r.schedule);
     }
   }
@@ -229,12 +328,25 @@ int cmd_batch(const Flags& flags) {
       std::ofstream out(target);
       if (!out) {
         std::fprintf(stderr, "error: cannot open %s\n", target.c_str());
-        return 1;
+        return kExitFileOpen;
       }
       out << metrics.to_json() << '\n';
     }
   }
-  return metrics.validation_failures == 0 ? 0 : 1;
+
+  if (load_failures + solve_failures > 0) {
+    std::fprintf(stderr,
+                 "batch: %zu/%zu instance(s) solved (%zu load failure(s), "
+                 "%zu solve failure(s))\n",
+                 results.size() - solve_failures, loaded.size(),
+                 load_failures, solve_failures);
+  }
+  if (on_error == "skip") {
+    // Defects were reported above but do not affect the exit code.
+    return metrics.validation_failures == 0 ? kExitOk : kExitInfeasible;
+  }
+  if (failure_exit != kExitOk) return failure_exit;
+  return metrics.validation_failures == 0 ? kExitOk : kExitInfeasible;
 }
 
 int cmd_validate(const Flags& flags) {
@@ -261,7 +373,13 @@ int cmd_price(const Flags& flags) {
   options.machine_count = static_cast<std::size_t>(flags.num("machines", 1));
   if (flags.has("exact")) options.seed = ScheduleOptions::Seed::kExact;
 
-  const ScheduleResult result = schedule_bounded(jobs, options);
+  const Expected<ScheduleResult, diag::Report> outcome =
+      try_schedule_bounded(jobs, options);
+  if (!outcome) {
+    std::fputs(diag::to_text(outcome.error()).c_str(), stderr);
+    return exit_for(outcome.error());
+  }
+  const ScheduleResult& result = *outcome;
   const InstanceMetrics metrics = compute_metrics(jobs);
   const double n_bound =
       options.k >= 1 ? log_k1(options.k, static_cast<double>(metrics.n))
@@ -360,9 +478,18 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(flags);
     if (command == "bas") return cmd_bas(flags);
     if (command == "sim") return cmd_sim(flags);
-  } catch (const std::exception& e) {
+  } catch (const io::ParseError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitParse;
+  } catch (const std::invalid_argument& e) {
+    // Bad flag values (e.g. a malformed --fault-inject spec).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    std::fprintf(stderr, "error: %s\n", what.c_str());
+    return what.rfind("cannot open", 0) == 0 ? kExitFileOpen
+                                             : kExitInfeasible;
   }
   usage(("unknown command " + command).c_str());
 }
