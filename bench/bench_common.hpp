@@ -1,8 +1,26 @@
 // Shared helpers for the experiment harnesses in bench/.
+//
+// Besides the human-readable banner/table output, benches can emit a
+// machine-readable BENCH_*.json for the perf-regression gate
+// (tools/bench_compare, tools/ci_check.sh):
+//
+//   pobp::bench::JsonWriter json("engine");
+//   json.metric("solve_batch_w1").ns_per_op(...).allocs_per_op(...);
+//   json.write("BENCH_engine.json");
+//
+// Format: {"bench": ..., "peak_rss_kb": ..., "metrics": [{"name": ...,
+// "ns_per_op": ..., "allocs_per_op": ...}, ...]}.  allocs_per_op is only
+// emitted when the binary links pobp::allocspy and counting is live
+// (alloccount::arm()) — it is the machine-independent half of the gate,
+// compared strictly; ns_per_op is compared with a tolerance.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "pobp/util/table.hpp"
 
@@ -21,5 +39,75 @@ inline void emit(const Table& table) {
   table.print(std::cout);
   std::cout.flush();
 }
+
+/// Peak resident set size of this process in kB (VmHWM from
+/// /proc/self/status), or 0 where unavailable.  Informational only — the
+/// compare gate never fails on RSS.
+inline std::uint64_t peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::uint64_t kb = 0;
+      std::istringstream(line.substr(6)) >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+
+/// One named measurement inside a BENCH_*.json.
+struct Metric {
+  std::string name;
+  double ns_per_op = -1;      ///< < 0 = not measured
+  double allocs_per_op = -1;  ///< < 0 = not measured (counting disarmed)
+
+  Metric& ns(double v) {
+    ns_per_op = v;
+    return *this;
+  }
+  Metric& allocs(double v) {
+    allocs_per_op = v;
+    return *this;
+  }
+};
+
+/// Collects metrics and writes the perf-gate JSON.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  Metric& metric(const std::string& name) {
+    metrics_.push_back(Metric{name});
+    return metrics_.back();
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n"
+        << "  \"peak_rss_kb\": " << peak_rss_kb() << ",\n"
+        << "  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      out << "    {\"name\": \"" << m.name << "\"";
+      if (m.ns_per_op >= 0) out << ", \"ns_per_op\": " << m.ns_per_op;
+      if (m.allocs_per_op >= 0) {
+        out << ", \"allocs_per_op\": " << m.allocs_per_op;
+      }
+      out << "}" << (i + 1 < metrics_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string bench_;
+  std::vector<Metric> metrics_;
+};
 
 }  // namespace pobp::bench

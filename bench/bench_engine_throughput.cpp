@@ -6,10 +6,16 @@
 // every worker count must produce bit-identical schedules.
 //
 //   bench_engine_throughput [--smoke] [--instances N] [--repeats R]
+//                           [--json PATH]
 //
 // --smoke shrinks the corpus for CI (tools/ci_check.sh).  The speedup
 // column is reported, not asserted: single-core runners legitimately show
 // ~1x for every worker count.
+//
+// --json writes BENCH_engine.json for the perf-regression gate
+// (tools/bench_compare): ns/instance at workers 1 and 8, plus the
+// steady-state heap allocations per solve on a warmed session — the
+// pooled-scratch contract that tools/ci_check.sh enforces strictly.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -18,6 +24,7 @@
 #include "bench_common.hpp"
 #include "pobp/pobp.hpp"
 #include "pobp/gen/random_jobs.hpp"
+#include "pobp/util/alloccount.hpp"
 #include "pobp/util/rng.hpp"
 #include "pobp/util/table.hpp"
 #include "pobp/util/timing.hpp"
@@ -47,14 +54,17 @@ std::string fingerprint(const std::vector<ScheduleResult>& results) {
   return out;
 }
 
-int run(std::size_t instance_count, std::size_t repeats) {
+int run(std::size_t instance_count, std::size_t repeats,
+        const std::string& json_path) {
   const std::vector<JobSet> instances = make_corpus(instance_count);
   const ScheduleOptions schedule{.k = 1, .machine_count = 2};
+  const bool counting = alloccount::arm();
 
   bench::banner("E-ENGINE", "engine throughput",
                 "solve_batch is deterministic across worker counts and "
                 "scales with available cores");
 
+  bench::JsonWriter json("engine");
   Table table("engine throughput",
               {"workers", "instances/s", "speedup", "mean solve ms"});
   double baseline = 0;
@@ -77,6 +87,10 @@ int run(std::size_t instance_count, std::size_t repeats) {
     const EngineMetrics m = engine.metrics();
     const double rate = m.instances_per_second();
     if (workers == 1) baseline = rate;
+    if (workers == 1 || workers == 8) {
+      json.metric("solve_batch_w" + std::to_string(workers))
+          .ns(rate > 0 ? 1e9 / rate : 0);
+    }
     table.add_row({Table::fmt(static_cast<std::uint64_t>(workers)),
                    Table::fmt(rate, 1),
                    Table::fmt(baseline > 0 ? rate / baseline : 0.0, 2),
@@ -85,6 +99,31 @@ int run(std::size_t instance_count, std::size_t repeats) {
   bench::emit(table);
   std::cout << "\ndeterminism: all worker counts bit-identical over "
             << instance_count << " instances x " << repeats << " repeats\n";
+
+  // Steady-state allocations per solve: one warmed single-worker session,
+  // one warmup pass to grow every scratch buffer, then count.  This is the
+  // pooled-scratch contract — machine-independent and compared strictly by
+  // tools/bench_compare.
+  {
+    Engine engine({.schedule = schedule, .workers = 1});
+    auto warm = engine.solve_batch(instances);  // grow scratch buffers
+    (void)warm;
+    bench::Metric& m = json.metric("steady_allocs_per_solve");
+    if (counting) {
+      const alloccount::Scope scope;
+      auto measured = engine.solve_batch(instances);
+      (void)measured;
+      const double per_solve =
+          static_cast<double>(scope.allocations()) /
+          static_cast<double>(instances.size());
+      m.allocs(per_solve);
+      std::cout << "steady-state allocs/solve: " << per_solve << "\n";
+    } else {
+      std::cout << "steady-state allocs/solve: (counting disarmed)\n";
+    }
+  }
+
+  if (!json_path.empty() && !json.write(json_path)) return 1;
   return 0;
 }
 
@@ -94,6 +133,7 @@ int run(std::size_t instance_count, std::size_t repeats) {
 int main(int argc, char** argv) {
   std::size_t instances = 64;
   std::size_t repeats = 3;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -103,11 +143,13 @@ int main(int argc, char** argv) {
       instances = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--repeats" && i + 1 < argc) {
       repeats = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::cerr << "usage: bench_engine_throughput [--smoke] "
-                   "[--instances N] [--repeats R]\n";
+                   "[--instances N] [--repeats R] [--json PATH]\n";
       return 2;
     }
   }
-  return pobp::run(instances, repeats);
+  return pobp::run(instances, repeats, json_path);
 }

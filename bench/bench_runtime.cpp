@@ -19,6 +19,8 @@
 #include "pobp/gen/forest_gen.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/gen/schedule_gen.hpp"
+#include "pobp/util/alloccount.hpp"
+#include "pobp/util/budget.hpp"
 #include "pobp/util/rng.hpp"
 
 namespace pobp {
@@ -154,6 +156,99 @@ void BM_OptInfinityBB(benchmark::State& state) {
 }
 BENCHMARK(BM_OptInfinityBB)->DenseRange(10, 22, 4);
 
+
+/// Records steady-state heap allocations per iteration as the "allocs_op"
+/// counter (0 when the binary's counting hooks are disarmed, e.g. under the
+/// sanitizer presets).  tools/bench_compare gates this strictly: the pooled
+/// stages must stay allocation-free once their scratch has warmed up.
+class AllocMeter {
+ public:
+  explicit AllocMeter(benchmark::State& state) : state_(state) {
+    armed_ = pobp::alloccount::arm();
+    start_ = pobp::alloccount::allocations();
+  }
+  ~AllocMeter() {
+    state_.counters["allocs_op"] = benchmark::Counter(
+        armed_ ? static_cast<double>(pobp::alloccount::allocations() - start_)
+               : 0.0,
+        benchmark::Counter::kAvgIterations);
+  }
+
+ private:
+  benchmark::State& state_;
+  bool armed_ = false;
+  std::uint64_t start_ = 0;
+};
+
+void BM_TmOptimalBasPooled(benchmark::State& state) {
+  const Forest f = make_forest(static_cast<std::size_t>(state.range(0)));
+  TmScratch scratch;
+  TmResult result;
+  tm_optimal_bas(f, 2, scratch, result);  // warm the scratch + result
+  AllocMeter meter(state);
+  for (auto _ : state) {
+    tm_optimal_bas(f, 2, scratch, result);
+    benchmark::DoNotOptimize(result.value);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TmOptimalBasPooled)
+    ->Range(1 << 10, 1 << 20)
+    ->Complexity(benchmark::oN);
+
+void BM_EdfSimulatorPooled(benchmark::State& state) {
+  const LaminarInstance inst =
+      make_laminar(static_cast<std::size_t>(state.range(0)));
+  const std::vector<JobId> ids = all_ids(inst.jobs);
+  EdfScratch scratch;
+  (void)edf_feasible(inst.jobs, ids, scratch);  // warm the scratch
+  AllocMeter meter(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edf_feasible(inst.jobs, ids, scratch));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EdfSimulatorPooled)
+    ->Range(1 << 10, 1 << 17)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_FullReductionPooled(benchmark::State& state) {
+  const LaminarInstance inst =
+      make_laminar(static_cast<std::size_t>(state.range(0)));
+  ReductionScratch scratch;
+  (void)reduce_to_k_preemptive(inst.jobs, inst.schedule, 2, nullptr,
+                               &scratch);  // warm the scratch
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reduce_to_k_preemptive(inst.jobs, inst.schedule,
+                                                    2, nullptr, &scratch));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullReductionPooled)
+    ->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oNLogN);
+
+// BudgetGuard::poll() cost, uninstalled (the common case: a thread-local
+// pointer test) and installed (atomic op count + amortized clock check).
+// docs/PERF.md relates these to the per-iteration stage costs above to
+// substantiate the "< 1% overhead" claim.
+void BM_BudgetPollUninstalled(benchmark::State& state) {
+  for (auto _ : state) {
+    BudgetGuard::poll();
+  }
+}
+BENCHMARK(BM_BudgetPollUninstalled);
+
+void BM_BudgetPollInstalled(benchmark::State& state) {
+  SolveBudget budget;
+  budget.deadline_s = 1e9;  // installed but never fires
+  BudgetGuard guard(budget);
+  const BudgetGuard::Scope scope(&guard);
+  for (auto _ : state) {
+    BudgetGuard::poll();
+  }
+}
+BENCHMARK(BM_BudgetPollInstalled);
 
 void BM_MigrativeFeasibility(benchmark::State& state) {
   Rng rng(46);

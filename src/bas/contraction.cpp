@@ -80,4 +80,72 @@ ContractionResult levelled_contraction(const Forest& forest, std::size_t k) {
   return result;
 }
 
+Value levelled_contraction_select(const Forest& forest, std::size_t k,
+                                  ContractionScratch& s, SubForest& out) {
+  POBP_ASSERT_MSG(k >= 1, "LevelledContraction requires k >= 1 (paper §3)");
+  const std::size_t n = forest.size();
+  out.keep.assign(n, 0);
+  if (n == 0) return 0;
+
+  s.alive.assign(n, 1);
+  s.alive_nodes.resize(n);
+  for (NodeId v = 0; v < n; ++v) s.alive_nodes[v] = v;
+  s.contractible.assign(n, 0);
+  s.best_members.clear();
+
+  // Same iteration structure as levelled_contraction above; the only
+  // difference is that a level's members are kept only while it is the
+  // current argmax (ties resolve to the earliest level, matching
+  // std::max_element).
+  Value best_value = 0;
+  bool have_best = false;
+  while (!s.alive_nodes.empty()) {
+    for (auto it = s.alive_nodes.rbegin(); it != s.alive_nodes.rend(); ++it) {
+      const NodeId u = *it;
+      std::size_t alive_children = 0;
+      bool all_contractible = true;
+      for (const NodeId c : forest.children(u)) {
+        if (!s.alive[c]) continue;
+        ++alive_children;
+        all_contractible = all_contractible && s.contractible[c];
+      }
+      s.contractible[u] = alive_children <= k && all_contractible;
+    }
+
+    s.members.clear();
+    Value level_value = 0;
+    bool any_root = false;
+    for (const NodeId u : s.alive_nodes) {
+      if (!s.contractible[u]) continue;
+      const NodeId p = forest.parent(u);
+      if (p != kNoNode && s.contractible[p]) continue;  // not maximal
+      any_root = true;
+      s.dfs_stack.assign(1, u);
+      while (!s.dfs_stack.empty()) {
+        const NodeId v = s.dfs_stack.back();
+        s.dfs_stack.pop_back();
+        POBP_DASSERT(s.alive[v]);
+        s.alive[v] = 0;
+        s.members.push_back(v);
+        level_value += forest.value(v);
+        for (const NodeId c : forest.children(v)) {
+          if (s.alive[c]) s.dfs_stack.push_back(c);
+        }
+      }
+    }
+    POBP_ASSERT_MSG(any_root,
+                    "every iteration removes at least the current leaves");
+    if (!have_best || level_value > best_value) {
+      have_best = true;
+      best_value = level_value;
+      std::swap(s.members, s.best_members);
+    }
+
+    std::erase_if(s.alive_nodes, [&](NodeId v) { return !s.alive[v]; });
+  }
+
+  for (const NodeId v : s.best_members) out.keep[v] = 1;
+  return best_value;
+}
+
 }  // namespace pobp

@@ -41,4 +41,22 @@ struct ContractionResult {
 /// iteration removes at least the current leaves.
 ContractionResult levelled_contraction(const Forest& forest, std::size_t k);
 
+/// Reusable buffers for the select-only form.
+struct ContractionScratch {
+  std::vector<char> alive;
+  std::vector<char> contractible;
+  std::vector<NodeId> alive_nodes;
+  std::vector<NodeId> dfs_stack;
+  std::vector<NodeId> members;       ///< current level's removed nodes
+  std::vector<NodeId> best_members;  ///< best level seen so far
+};
+
+/// Select-only form of levelled_contraction: identical selection and value,
+/// but only the winning level is kept (no per-level instrumentation) and
+/// every working buffer comes from `scratch`.  `out` is overwritten.
+/// Returns the selection's value.
+Value levelled_contraction_select(const Forest& forest, std::size_t k,
+                                  ContractionScratch& scratch,
+                                  SubForest& out);
+
 }  // namespace pobp

@@ -10,6 +10,11 @@
 // Runs in O(|V|) time up to the top-k selection (O(deg log deg) per node via
 // nth_element — linear overall in practice) and is exact (Theorem: it
 // implements equation 3.1).
+//
+// The scratch-taking forms reuse every DP buffer (including the TmResult's
+// own arrays via assign()), so a warmed-up TmScratch + TmResult pair makes
+// the whole DP allocation-free — the property the deep-chain stress test
+// pins down.
 #pragma once
 
 #include <cstddef>
@@ -29,13 +34,28 @@ struct TmResult {
   std::vector<Value> m;    ///< m(u) per node (aggregate value if pruned-up)
 };
 
+/// Reusable buffers for the DP passes.
+struct TmScratch {
+  std::vector<NodeId> topk;  ///< top-k selection staging (≥ k+1 children)
+  std::vector<std::pair<NodeId, char>> stack;  ///< top-down decision stack
+};
+
 /// Computes the optimal (max-value) k-BAS of `forest` for degree bound k.
 TmResult tm_optimal_bas(const Forest& forest, std::size_t k);
+
+/// Scratch-reusing form (identical result): `out` is overwritten.
+void tm_optimal_bas(const Forest& forest, std::size_t k, TmScratch& scratch,
+                    TmResult& out);
 
 /// Per-node degree budgets k(v) — the DP is unchanged except that C_k(u)
 /// becomes C_{k(u)}(u).  Useful for hierarchy-selection applications where
 /// different nodes tolerate different fan-outs.
 TmResult tm_optimal_bas(const Forest& forest,
                         std::span<const std::size_t> degree_bounds);
+
+/// Scratch-reusing form of the per-node-budget variant.
+void tm_optimal_bas(const Forest& forest,
+                    std::span<const std::size_t> degree_bounds,
+                    TmScratch& scratch, TmResult& out);
 
 }  // namespace pobp

@@ -12,31 +12,32 @@ namespace pobp {
 namespace {
 
 /// The ids of the (up to) k children of u with the highest t values.
-/// Deterministic: ties broken toward smaller node id.
-std::vector<NodeId> top_k_children(const Forest& forest,
-                                   const std::vector<Value>& t, NodeId u,
-                                   std::size_t k) {
-  std::vector<NodeId> kids(forest.children(u).begin(),
-                           forest.children(u).end());
+/// Deterministic: ties broken toward smaller node id.  When u has at most k
+/// children the CSR child view is returned directly; otherwise the
+/// selection happens in `topk` (no per-node allocation once it has grown).
+std::span<const NodeId> top_k_children(const Forest& forest,
+                                       const std::vector<Value>& t, NodeId u,
+                                       std::size_t k,
+                                       std::vector<NodeId>& topk) {
+  const std::span<const NodeId> kids = forest.children(u);
   if (kids.size() <= k) return kids;
-  std::nth_element(kids.begin(), kids.begin() + static_cast<std::ptrdiff_t>(k),
-                   kids.end(), [&](NodeId a, NodeId b) {
+  topk.assign(kids.begin(), kids.end());
+  std::nth_element(topk.begin(), topk.begin() + static_cast<std::ptrdiff_t>(k),
+                   topk.end(), [&](NodeId a, NodeId b) {
                      if (t[a] != t[b]) return t[a] > t[b];
                      return a < b;
                    });
-  kids.resize(k);
-  return kids;
+  return {topk.data(), k};
 }
 
-}  // namespace
-
-namespace {
+enum : char { kRetain = 0, kPruneUp = 1 };
 
 template <typename BoundFn>
-TmResult tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of) {
+void tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of,
+                         TmScratch& scratch, TmResult& result) {
   POBP_FAULT_POINT(kTmDp);
   const std::size_t n = forest.size();
-  TmResult result;
+  result.value = 0;
   result.t.assign(n, 0);
   result.m.assign(n, 0);
   result.selection.keep.assign(n, 0);
@@ -46,7 +47,8 @@ TmResult tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of) {
     BudgetGuard::poll();  // one operation per DP node
     const NodeId u = static_cast<NodeId>(i);
     Value t_u = forest.value(u);
-    for (const NodeId c : top_k_children(forest, result.t, u, k_of(u))) {
+    for (const NodeId c :
+         top_k_children(forest, result.t, u, k_of(u), scratch.topk)) {
       t_u += result.t[c];
     }
     Value m_u = 0;
@@ -59,25 +61,25 @@ TmResult tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of) {
 
   // Top-down decision pass.  State per node: RETAIN, PRUNE_UP or discard
   // (pruned-down nodes are simply never visited).
-  enum class Decision : char { kRetain, kPruneUp };
-  std::vector<std::pair<NodeId, Decision>> stack;
+  auto& stack = scratch.stack;
+  stack.clear();
   auto choose = [&](NodeId v) {
-    stack.emplace_back(v, result.t[v] >= result.m[v] ? Decision::kRetain
-                                                     : Decision::kPruneUp);
+    stack.emplace_back(v,
+                       result.t[v] >= result.m[v] ? kRetain : kPruneUp);
   };
   for (const NodeId r : forest.roots()) choose(r);
 
   while (!stack.empty()) {
     const auto [u, decision] = stack.back();
     stack.pop_back();
-    if (decision == Decision::kRetain) {
+    if (decision == kRetain) {
       result.selection.keep[u] = 1;
       // Top-k children stay retained; the rest are pruned-down (discarded
       // with all their descendants) — Obs. 3.8(a): a retained node cannot
       // have pruned-up descendants.
       for (const NodeId c :
-           top_k_children(forest, result.t, u, k_of(u))) {
-        stack.emplace_back(c, Decision::kRetain);
+           top_k_children(forest, result.t, u, k_of(u), scratch.topk)) {
+        stack.emplace_back(c, kRetain);
       }
     } else {
       for (const NodeId c : forest.children(u)) choose(c);
@@ -93,20 +95,36 @@ TmResult tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of) {
   // Different summation order than the DP, so compare with a tolerance.
   POBP_DASSERT(std::abs(result.selection.value(forest) - result.value) <=
                1e-9 * (1.0 + std::abs(result.value)));
-  return result;
 }
 
 }  // namespace
 
+void tm_optimal_bas(const Forest& forest, std::size_t k, TmScratch& scratch,
+                    TmResult& out) {
+  tm_optimal_bas_impl(forest, [k](NodeId) { return k; }, scratch, out);
+}
+
+void tm_optimal_bas(const Forest& forest,
+                    std::span<const std::size_t> degree_bounds,
+                    TmScratch& scratch, TmResult& out) {
+  POBP_ASSERT(degree_bounds.size() == forest.size());
+  tm_optimal_bas_impl(forest, [&](NodeId v) { return degree_bounds[v]; },
+                      scratch, out);
+}
+
 TmResult tm_optimal_bas(const Forest& forest, std::size_t k) {
-  return tm_optimal_bas_impl(forest, [k](NodeId) { return k; });
+  TmScratch scratch;
+  TmResult result;
+  tm_optimal_bas(forest, k, scratch, result);
+  return result;
 }
 
 TmResult tm_optimal_bas(const Forest& forest,
                         std::span<const std::size_t> degree_bounds) {
-  POBP_ASSERT(degree_bounds.size() == forest.size());
-  return tm_optimal_bas_impl(forest,
-                             [&](NodeId v) { return degree_bounds[v]; });
+  TmScratch scratch;
+  TmResult result;
+  tm_optimal_bas(forest, degree_bounds, scratch, result);
+  return result;
 }
 
 }  // namespace pobp

@@ -4,6 +4,7 @@
 #include "pobp/bas/contraction.hpp"
 #include "pobp/bas/tm.hpp"
 #include "pobp/core/pobp.hpp"
+#include "pobp/core/scratch.hpp"
 #include "pobp/diag/registry.hpp"
 #include "pobp/lsa/lsa.hpp"
 #include "pobp/reduction/rebuild.hpp"
@@ -23,8 +24,13 @@ Schedule seed_unbounded_schedule(const JobSet& jobs,
 
 Schedule seed_unbounded_schedule(const JobSet& jobs,
                                  const ScheduleOptions& options,
-                                 std::span<const JobId> ids) {
+                                 std::span<const JobId> ids,
+                                 SolveScratch* scratch) {
   if (options.seed == ScheduleOptions::Seed::kGreedyDensity) {
+    if (scratch != nullptr) {
+      return greedy_infinity_multi(jobs, ids, options.machine_count,
+                                   scratch->greedy);
+    }
     return greedy_infinity_multi(jobs, ids, options.machine_count);
   }
   Schedule out(options.machine_count);
@@ -68,34 +74,50 @@ diag::Report check_schedule_options(const JobSet& jobs,
 
 CombinedMultiResult k_preemption_combined_multi(
     const JobSet& jobs, const Schedule& unbounded,
-    const CombinedOptions& options, PipelineTimings* timings) {
+    const CombinedOptions& options, PipelineTimings* timings,
+    SolveScratch* scratch) {
   CombinedMultiResult result;
   const std::size_t machines = unbounded.machine_count();
   const Rational threshold(static_cast<std::int64_t>(options.k) + 1);
 
-  // Strict branch: reduce each machine's restriction separately.
+  SolveScratch local;
+  SolveScratch& s = scratch != nullptr ? *scratch : local;
+  ReductionScratch& rs = s.reduction;
+
+  // Strict branch: reduce each machine's restriction separately.  The
+  // restriction itself is never materialized — the laminar rearrangement is
+  // a pure function of the strict job subset (see laminarize_subset).
   Stopwatch sw;
   Schedule strict_schedule(machines);
-  std::vector<JobId> lax_ids;
+  auto& lax_ids = s.lax_ids;
+  lax_ids.clear();
   for (std::size_t m = 0; m < machines; ++m) {
     BudgetGuard::poll();
-    std::vector<JobId> strict_ids;
-    for (const JobId id : unbounded.machine(m).scheduled_jobs()) {
-      (jobs[id].laxity() >= threshold ? lax_ids : strict_ids).push_back(id);
+    auto& strict_ids = s.strict_ids;
+    strict_ids.clear();
+    for (const Assignment& a : unbounded.machine(m).assignments()) {
+      (jobs[a.job].laxity() >= threshold ? lax_ids : strict_ids)
+          .push_back(a.job);
     }
     if (strict_ids.empty()) continue;
     sw.lap();
-    const MachineSchedule restricted =
-        restrict_schedule(unbounded.machine(m), strict_ids);
-    const MachineSchedule laminar = laminarize(jobs, restricted);
+    const MachineSchedule laminar =
+        laminarize_subset(jobs, strict_ids, rs.laminar);
     if (timings) timings->laminarize_s += sw.lap();
-    const ScheduleForest sf = build_schedule_forest(jobs, laminar);
+    build_schedule_forest(jobs, laminar, rs.sf, rs.forest_build);
     if (timings) timings->forest_s += sw.lap();
-    const SubForest sel =
-        options.use_tm ? tm_optimal_bas(sf.forest, options.k).selection
-                       : levelled_contraction(sf.forest, options.k).selection;
+    const SubForest* sel;
+    if (options.use_tm) {
+      tm_optimal_bas(rs.sf.forest, options.k, rs.tm, rs.tm_result);
+      sel = &rs.tm_result.selection;
+    } else {
+      levelled_contraction_select(rs.sf.forest, options.k, rs.contraction,
+                                  rs.contraction_sel);
+      sel = &rs.contraction_sel;
+    }
     if (timings) timings->prune_s += sw.lap();
-    strict_schedule.machine(m) = rebuild_schedule(jobs, sf, sel);
+    strict_schedule.machine(m) = rebuild_schedule(jobs, rs.sf, *sel,
+                                                  rs.rebuild);
     if (timings) timings->merge_s += sw.lap();
   }
   result.strict_value = strict_schedule.total_value(jobs);
@@ -103,7 +125,7 @@ CombinedMultiResult k_preemption_combined_multi(
   // Lax branch: iterative multi-machine LSA_CS on all lax jobs.
   sw.lap();
   Schedule lax_schedule =
-      lsa_cs_multi(jobs, lax_ids, options.k, machines);
+      lsa_cs_multi(jobs, lax_ids, options.k, machines, s.lsa);
   if (timings) timings->lsa_s += sw.lap();
   result.lax_value = lax_schedule.total_value(jobs);
 
@@ -111,7 +133,8 @@ CombinedMultiResult k_preemption_combined_multi(
   Schedule full_schedule(machines);
   for (std::size_t m = 0; m < machines; ++m) {
     full_schedule.machine(m) =
-        reduce_to_k_preemptive(jobs, unbounded.machine(m), options.k, timings)
+        reduce_to_k_preemptive(jobs, unbounded.machine(m), options.k, timings,
+                               &rs)
             .bounded;
   }
   const Value full_value = full_schedule.total_value(jobs);

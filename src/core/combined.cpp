@@ -88,14 +88,18 @@ CombinedResult k_preemption_combined(const JobSet& jobs,
 
 NonPreemptiveResult schedule_nonpreemptive(const JobSet& jobs,
                                            std::span<const JobId> candidates,
-                                           PipelineTimings* timings) {
+                                           PipelineTimings* timings,
+                                           LsaScratch* scratch) {
   NonPreemptiveResult result;
   if (candidates.empty()) return result;
 
   // Branch (a): LSA_CS with k = 0 (en-bloc placement, length classes of
   // ratio ≤ 2 — §5's adjustment of Alg. 2).
   Stopwatch sw;
-  LsaResult cs = lsa_cs(jobs, candidates, /*k=*/0);
+  LsaScratch local;
+  LsaResult cs =
+      lsa_cs(jobs, candidates, /*k=*/0, ClassifyBy::kLength,
+             LsaOrder::kDensity, scratch != nullptr ? *scratch : local);
   if (timings) timings->lsa_s += sw.lap();
   const Value cs_value = cs.schedule.total_value(jobs);
 

@@ -58,9 +58,11 @@ struct NonPreemptiveResult {
   MachineSchedule schedule;
   Value value = 0;
 };
+struct LsaScratch;
 NonPreemptiveResult schedule_nonpreemptive(const JobSet& jobs,
                                            std::span<const JobId> candidates,
-                                           PipelineTimings* timings = nullptr);
+                                           PipelineTimings* timings = nullptr,
+                                           LsaScratch* scratch = nullptr);
 
 /// Restriction of a machine schedule to the jobs in `keep` (a feasible
 /// schedule stays feasible under restriction).

@@ -101,11 +101,17 @@ struct ScheduleResult {
 [[nodiscard]] Schedule seed_unbounded_schedule(const JobSet& jobs,
                                                const ScheduleOptions& options);
 
+/// Every reusable buffer a pipeline solve needs (see pobp/core/scratch.hpp).
+struct SolveScratch;
+
 /// Scratch-reusing variant: `ids` must be all job ids [0, n) (the engine's
-/// sessions keep this buffer alive across instances).
+/// sessions keep this buffer alive across instances).  With a non-null
+/// `scratch` the seed additionally reuses the greedy/EDF buffers — results
+/// are bit-identical either way.
 [[nodiscard]] Schedule seed_unbounded_schedule(const JobSet& jobs,
                                                const ScheduleOptions& options,
-                                               std::span<const JobId> ids);
+                                               std::span<const JobId> ids,
+                                               SolveScratch* scratch = nullptr);
 
 /// Multi-machine Algorithm 3: the strict branch reduces each machine of the
 /// given ∞-preemptive schedule separately (§4.1 remark); the lax branch
@@ -118,6 +124,7 @@ struct CombinedMultiResult {
 };
 [[nodiscard]] CombinedMultiResult k_preemption_combined_multi(
     const JobSet& jobs, const Schedule& unbounded,
-    const CombinedOptions& options, PipelineTimings* timings = nullptr);
+    const CombinedOptions& options, PipelineTimings* timings = nullptr,
+    SolveScratch* scratch = nullptr);
 
 }  // namespace pobp

@@ -1,0 +1,37 @@
+// SolveScratch: every reusable buffer one full pipeline solve needs.
+//
+// The engine's per-worker Session owns exactly one SolveScratch and passes
+// it down through seed → laminarize → forest → prune → left-merge → LSA_CS.
+// Each stage's typed scratch struct lives where it is consumed (EdfScratch
+// in schedule/, TmScratch in bas/, ...); this header only aggregates them —
+// plus the shared id-partition buffers — so the core entry points can
+// thread one pointer instead of seven.
+//
+// Contract (see docs/PERF.md): a scratch must only ever be used by one
+// thread at a time, results are bit-identical with and without a scratch,
+// and once every buffer has grown to the largest instance seen, a solve
+// performs no steady-state heap allocations in the TM / laminarize /
+// left-merge path beyond materializing its result schedules.
+#pragma once
+
+#include <vector>
+
+#include "pobp/lsa/lsa.hpp"
+#include "pobp/reduction/rebuild.hpp"
+#include "pobp/schedule/job.hpp"
+#include "pobp/solvers/solvers.hpp"
+
+namespace pobp {
+
+struct SolveScratch {
+  GreedyScratch greedy;        ///< seed stage
+  ReductionScratch reduction;  ///< laminarize/forest/TM/left-merge stages
+  LsaScratch lsa;              ///< lax branch and k = 0 path
+
+  std::vector<JobId> ids;        ///< all-ids staging
+  std::vector<JobId> remaining;  ///< k = 0 residual staging
+  std::vector<JobId> strict_ids; ///< per-machine strict partition
+  std::vector<JobId> lax_ids;    ///< accumulated lax partition
+};
+
+}  // namespace pobp

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "pobp/core/scratch.hpp"
 #include "pobp/diag/registry.hpp"
 #include "pobp/lsa/lsa.hpp"
 #include "pobp/schedule/validate.hpp"
@@ -32,7 +33,11 @@ diag::Report run_report(std::string_view rule, std::string message,
 
 // --- Session ----------------------------------------------------------------
 
-Session::Session(EngineOptions options) : options_(std::move(options)) {}
+Session::Session(EngineOptions options)
+    : options_(std::move(options)),
+      scratch_(std::make_unique<SolveScratch>()) {}
+
+Session::~Session() = default;
 
 ScheduleResult Session::solve(const JobSet& jobs) {
   return solve(jobs, options_.schedule);
@@ -69,32 +74,35 @@ ScheduleResult Session::solve_pipeline(const JobSet& jobs,
     return result;
   }
 
-  // Stage 1: the ∞-preemptive reference schedule (ids_ is the session's
-  // reusable scratch — no reallocation once it has grown to the largest
-  // instance seen).
+  // Stage 1: the ∞-preemptive reference schedule.  scratch_ is the
+  // session's pooled pipeline state — every stage below reuses its buffers,
+  // so nothing reallocates once they have grown to the largest instance
+  // seen.
   Stopwatch sw;
-  ids_.resize(jobs.size());
-  std::iota(ids_.begin(), ids_.end(), JobId{0});
-  const Schedule seed = seed_unbounded_schedule(jobs, options, ids_);
+  SolveScratch& s = *scratch_;
+  s.ids.resize(jobs.size());
+  std::iota(s.ids.begin(), s.ids.end(), JobId{0});
+  const Schedule seed = seed_unbounded_schedule(jobs, options, s.ids, &s);
   timings.seed_s = sw.lap();
   result.unbounded_value = seed.total_value(jobs);
 
   if (options.k == 0) {
     // §5: iterative per-machine non-preemptive scheduling of the residual.
-    remaining_.assign(ids_.begin(), ids_.end());
+    s.remaining.assign(s.ids.begin(), s.ids.end());
     for (std::size_t m = 0;
-         m < options.machine_count && !remaining_.empty(); ++m) {
+         m < options.machine_count && !s.remaining.empty(); ++m) {
       NonPreemptiveResult r =
-          schedule_nonpreemptive(jobs, remaining_, &timings);
+          schedule_nonpreemptive(jobs, s.remaining, &timings, &s.lsa);
       result.schedule.machine(m) = std::move(r.schedule);
-      std::erase_if(remaining_, [&](JobId id) {
+      std::erase_if(s.remaining, [&](JobId id) {
         return result.schedule.machine(m).contains(id);
       });
     }
   } else {
     const CombinedOptions combined{options.k, options.use_tm};
     result.schedule =
-        k_preemption_combined_multi(jobs, seed, combined, &timings).schedule;
+        k_preemption_combined_multi(jobs, seed, combined, &timings, &s)
+            .schedule;
   }
   result.value = result.schedule.total_value(jobs);
 
@@ -125,14 +133,15 @@ ScheduleResult Session::solve_degraded(const JobSet& jobs,
     // laminarization, no forest.  Runs without a budget guard: it is the
     // fallback after the budget already fired.
     Stopwatch sw;
-    ids_.resize(jobs.size());
-    std::iota(ids_.begin(), ids_.end(), JobId{0});
-    const Schedule seed =
-        greedy_infinity_multi(jobs, ids_, options.machine_count);
+    SolveScratch& s = *scratch_;
+    s.ids.resize(jobs.size());
+    std::iota(s.ids.begin(), s.ids.end(), JobId{0});
+    const Schedule seed = greedy_infinity_multi(
+        jobs, s.ids, options.machine_count, s.greedy);
     timings.seed_s = sw.lap();
     result.unbounded_value = seed.total_value(jobs);
-    result.schedule = lsa_cs_multi(jobs, ids_, options.k,
-                                   options.machine_count);
+    result.schedule = lsa_cs_multi(jobs, s.ids, options.k,
+                                   options.machine_count, s.lsa);
     timings.lsa_s = sw.lap();
     result.value = result.schedule.total_value(jobs);
   }

@@ -91,6 +91,7 @@ using SolveOutcome = Expected<ScheduleResult, diag::Report>;
 class Session {
  public:
   explicit Session(EngineOptions options = {});
+  ~Session();
 
   /// Runs the full pipeline (seed → laminarize → forest → prune / LSA_CS →
   /// left-merge → validate) on one instance with this session's options.
@@ -132,8 +133,10 @@ class Session {
 
   EngineOptions options_;
   EngineMetrics metrics_;
-  std::vector<JobId> ids_;        // all_ids scratch
-  std::vector<JobId> remaining_;  // k = 0 residual scratch
+  // Every reusable pipeline buffer (pobp/core/scratch.hpp), heap-held so
+  // this header stays light.  Grows to the largest instance seen, then the
+  // pipeline hot path performs no steady-state allocations.
+  std::unique_ptr<SolveScratch> scratch_;
 };
 
 /// Thread-safe batch-solve runtime: a fixed option set, a lazily created

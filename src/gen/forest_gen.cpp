@@ -34,6 +34,9 @@ Forest random_forest(const ForestGenConfig& config, Rng& rng) {
   Forest forest;
   std::vector<NodeId> open;  // nodes with spare child capacity
   std::vector<std::size_t> depth;
+  // Track degrees locally: querying forest.degree() mid-construction would
+  // rebuild the CSR child index per add.
+  std::vector<std::size_t> child_count;
 
   for (std::size_t i = 0; i < config.nodes; ++i) {
     NodeId parent = kNoNode;
@@ -43,7 +46,7 @@ Forest random_forest(const ForestGenConfig& config, Rng& rng) {
           rng.uniform_int(0, static_cast<std::int64_t>(open.size()) - 1));
       parent = open[pick];
       node_depth = depth[parent] + 1;
-      if (forest.degree(parent) + 1 >= config.max_degree) {
+      if (++child_count[parent] >= config.max_degree) {
         // Parent is now full: swap-remove from the open list.
         open[pick] = open.back();
         open.pop_back();
@@ -52,8 +55,10 @@ Forest random_forest(const ForestGenConfig& config, Rng& rng) {
     const NodeId id =
         forest.add(draw_value(config.value_dist, node_depth, rng), parent);
     depth.push_back(node_depth);
+    child_count.push_back(0);
     open.push_back(id);
   }
+  forest.finalize();
   return forest;
 }
 

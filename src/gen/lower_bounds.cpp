@@ -77,6 +77,7 @@ BasLowerBoundTree bas_lower_bound_tree(std::size_t k, std::int64_t K,
     }
     frontier = std::move(next);
   }
+  out.forest.finalize();
 
   // Lemma A.2 (scaled by K^L):
   //   t(level i) = Σ_{j=0}^{L−i}   k^j · K^{L−i−j}

@@ -75,6 +75,7 @@ Forest forest_from_csv(const std::string& text) {
                parent < 0 ? kNoNode : static_cast<NodeId>(parent));
   }
   if (!header_seen) throw ParseError(line_no, "missing header row");
+  forest.finalize();
   return forest;
 }
 

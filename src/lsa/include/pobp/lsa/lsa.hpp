@@ -42,10 +42,24 @@ enum class LsaOrder {
   kValue,    ///< descending val(j) — Albagli-Kim's original
 };
 
+/// Reusable buffers for LSA and its classify-and-select wrapper.
+struct LsaScratch {
+  std::vector<JobId> order;          ///< consideration-order staging
+  std::vector<Segment> working;      ///< Alg. 2's working set S
+  std::vector<Segment> placed;       ///< leftmost-fill staging
+  std::vector<std::pair<std::size_t, JobId>> classes;  ///< (class, id) pairs
+  std::vector<JobId> class_members;  ///< one class's members, contiguous
+  std::vector<JobId> residual;       ///< multi-machine leftover staging
+};
+
 /// Plain LSA over `candidates` on one (initially empty) machine.
 /// k is the preemption bound (k = 0 means en-bloc / non-preemptive).
 LsaResult lsa(const JobSet& jobs, std::span<const JobId> candidates,
               std::size_t k, LsaOrder order = LsaOrder::kDensity);
+
+/// Scratch-reusing form (identical result).
+LsaResult lsa(const JobSet& jobs, std::span<const JobId> candidates,
+              std::size_t k, LsaOrder order, LsaScratch& scratch);
 
 /// What classify-and-select groups by.  The paper's Alg. 2 classifies by
 /// length (ratio ≤ k+1 per class ⇒ price O(log_{k+1} P)); §1.4 notes that
@@ -64,11 +78,21 @@ LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
                  std::size_t k, ClassifyBy by = ClassifyBy::kLength,
                  LsaOrder order = LsaOrder::kDensity);
 
+/// Scratch-reusing form (identical result).
+LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
+                 std::size_t k, ClassifyBy by, LsaOrder order,
+                 LsaScratch& scratch);
+
 /// Iterative multi-machine extension: machine i runs LSA_CS on the jobs the
 /// first i−1 machines rejected (the residual technique of [2], which costs
 /// at most +1 in the price).
 Schedule lsa_cs_multi(const JobSet& jobs, std::span<const JobId> candidates,
                       std::size_t k, std::size_t machine_count);
+
+/// Scratch-reusing form (identical result).
+Schedule lsa_cs_multi(const JobSet& jobs, std::span<const JobId> candidates,
+                      std::size_t k, std::size_t machine_count,
+                      LsaScratch& scratch);
 
 /// The length-class index of a job for class base `base` (≥ 2): the unique
 /// c ≥ 0 with base^c ≤ p_j < base^(c+1).

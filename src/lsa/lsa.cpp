@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "pobp/schedule/timeline.hpp"
 #include "pobp/util/assert.hpp"
@@ -12,11 +11,11 @@
 namespace pobp {
 namespace {
 
-/// Candidates in the configured greedy order (ties by id, deterministic).
-std::vector<JobId> consideration_order(const JobSet& jobs,
-                                       std::span<const JobId> candidates,
-                                       LsaOrder order) {
-  std::vector<JobId> out(candidates.begin(), candidates.end());
+/// Fills `out` with the candidates in the configured greedy order (ties by
+/// id, deterministic).
+void consideration_order(const JobSet& jobs, std::span<const JobId> candidates,
+                         LsaOrder order, std::vector<JobId>& out) {
+  out.assign(candidates.begin(), candidates.end());
   if (order == LsaOrder::kDensity) {
     std::sort(out.begin(), out.end(), [&](JobId a, JobId b) {
       // Compare val_a/p_a vs val_b/p_b exactly via cross-multiplication.
@@ -31,7 +30,6 @@ std::vector<JobId> consideration_order(const JobSet& jobs,
       return a < b;
     });
   }
-  return out;
 }
 
 /// Factor-2 class index of a positive double (value / density classes).
@@ -42,15 +40,17 @@ std::size_t ratio2_class(double x) {
 }
 
 /// Tries to place job `id` with at most k+1 segments; returns true and
-/// occupies the timeline on success.
+/// occupies the timeline on success.  `working` and `placed` are reusable
+/// staging buffers.
 bool try_place(const JobSet& jobs, JobId id, std::size_t k,
-               IdleTimeline& timeline, MachineSchedule& schedule) {
+               IdleTimeline& timeline, MachineSchedule& schedule,
+               std::vector<Segment>& working, std::vector<Segment>& placed) {
   const Job& job = jobs[id];
   const Segment window{job.release, job.deadline};
   const std::size_t cap = k + 1;
 
   // Working set S: the current candidate idle segments, kept in time order.
-  std::vector<Segment> working;
+  working.clear();
   Duration sum = 0;
   Time cursor = window.begin;
   bool exhausted = false;
@@ -76,7 +76,7 @@ bool try_place(const JobSet& jobs, JobId id, std::size_t k,
     if (sum >= job.length) {
       // Schedule leftmost: fill the members of S in time order.
       Duration todo = job.length;
-      std::vector<Segment> placed;
+      placed.clear();
       for (const Segment& slot : working) {
         if (todo == 0) break;
         const Duration take = std::min(todo, slot.length());
@@ -85,7 +85,8 @@ bool try_place(const JobSet& jobs, JobId id, std::size_t k,
       }
       POBP_DASSERT(todo == 0);
       for (const Segment& s : placed) timeline.occupy(s);
-      schedule.add(Assignment{id, std::move(placed)});
+      schedule.add_sorted(
+          Assignment{id, std::vector<Segment>(placed.begin(), placed.end())});
       return true;
     }
     if (exhausted || working.empty()) return false;
@@ -112,12 +113,14 @@ std::size_t length_class(Duration length, std::size_t base) {
 }
 
 LsaResult lsa(const JobSet& jobs, std::span<const JobId> candidates,
-              std::size_t k, LsaOrder order) {
+              std::size_t k, LsaOrder order, LsaScratch& scratch) {
   LsaResult result;
   IdleTimeline timeline;
-  for (const JobId id : consideration_order(jobs, candidates, order)) {
+  consideration_order(jobs, candidates, order, scratch.order);
+  for (const JobId id : scratch.order) {
     BudgetGuard::poll();  // one operation per placement attempt
-    if (try_place(jobs, id, k, timeline, result.schedule)) {
+    if (try_place(jobs, id, k, timeline, result.schedule, scratch.working,
+                  scratch.placed)) {
       result.scheduled.push_back(id);
     } else {
       result.rejected.push_back(id);
@@ -126,12 +129,24 @@ LsaResult lsa(const JobSet& jobs, std::span<const JobId> candidates,
   return result;
 }
 
+LsaResult lsa(const JobSet& jobs, std::span<const JobId> candidates,
+              std::size_t k, LsaOrder order) {
+  LsaScratch scratch;
+  return lsa(jobs, candidates, k, order, scratch);
+}
+
 LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
-                 std::size_t k, ClassifyBy by, LsaOrder order) {
+                 std::size_t k, ClassifyBy by, LsaOrder order,
+                 LsaScratch& scratch) {
   if (candidates.empty()) return {};
   const std::size_t base = std::max<std::size_t>(k + 1, 2);
 
-  std::map<std::size_t, std::vector<JobId>> classes;
+  // Bucket by class: (class, id) pairs, stably sorted by class — groups
+  // come out in ascending class order with members in candidates order,
+  // exactly the iteration order of the std::map this replaces.
+  auto& classes = scratch.classes;
+  classes.clear();
+  classes.reserve(candidates.size());
   for (const JobId id : candidates) {
     std::size_t cls = 0;
     switch (by) {
@@ -145,14 +160,24 @@ LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
         cls = ratio2_class(jobs[id].density());
         break;
     }
-    classes[cls].push_back(id);
+    classes.emplace_back(cls, id);
   }
+  std::stable_sort(classes.begin(), classes.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
 
   LsaResult best;
   Value best_value = -1;
-  for (const auto& [cls, members] : classes) {
+  auto& members = scratch.class_members;
+  for (std::size_t i = 0; i < classes.size();) {
+    const std::size_t cls = classes[i].first;
+    members.clear();
+    for (; i < classes.size() && classes[i].first == cls; ++i) {
+      members.push_back(classes[i].second);
+    }
     BudgetGuard::poll();  // one operation per class attempt
-    LsaResult r = lsa(jobs, members, k, order);
+    LsaResult r = lsa(jobs, members, k, order, scratch);
     const Value v = r.schedule.total_value(jobs);
     if (v > best_value) {
       best_value = v;
@@ -167,17 +192,32 @@ LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
   return best;
 }
 
+LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
+                 std::size_t k, ClassifyBy by, LsaOrder order) {
+  LsaScratch scratch;
+  return lsa_cs(jobs, candidates, k, by, order, scratch);
+}
+
 Schedule lsa_cs_multi(const JobSet& jobs, std::span<const JobId> candidates,
-                      std::size_t k, std::size_t machine_count) {
+                      std::size_t k, std::size_t machine_count,
+                      LsaScratch& scratch) {
   POBP_CHECK(machine_count >= 1);
   Schedule out(machine_count);
-  std::vector<JobId> remaining(candidates.begin(), candidates.end());
+  auto& remaining = scratch.residual;
+  remaining.assign(candidates.begin(), candidates.end());
   for (std::size_t m = 0; m < machine_count && !remaining.empty(); ++m) {
-    LsaResult r = lsa_cs(jobs, remaining, k);
+    LsaResult r = lsa_cs(jobs, remaining, k, ClassifyBy::kLength,
+                         LsaOrder::kDensity, scratch);
     out.machine(m) = std::move(r.schedule);
-    remaining = std::move(r.rejected);
+    remaining.assign(r.rejected.begin(), r.rejected.end());
   }
   return out;
+}
+
+Schedule lsa_cs_multi(const JobSet& jobs, std::span<const JobId> candidates,
+                      std::size_t k, std::size_t machine_count) {
+  LsaScratch scratch;
+  return lsa_cs_multi(jobs, candidates, k, machine_count, scratch);
 }
 
 }  // namespace pobp

@@ -13,17 +13,46 @@
 // so feasibility is preserved (Lemma 4.1).
 #pragma once
 
+#include "pobp/bas/contraction.hpp"
+#include "pobp/bas/tm.hpp"
 #include "pobp/forest/bas.hpp"
 #include "pobp/reduction/schedule_forest.hpp"
+#include "pobp/schedule/laminar.hpp"
 #include "pobp/util/timing.hpp"
 
 namespace pobp {
+
+/// Reusable buffers for the left-merge.
+struct RebuildScratch {
+  std::vector<Segment> available;  ///< candidate slots for one job
+  std::vector<Segment> placed;     ///< left-aligned layout staging
+};
 
 /// Lays out the retained jobs of `sel` (a valid k-BAS of `sf.forest`) as a
 /// k-bounded-preemptive schedule.  The result's value equals the k-BAS
 /// value and it validates with preemption bound k.
 MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
                                  const SubForest& sel);
+
+/// Scratch-reusing form (identical result).
+MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
+                                 const SubForest& sel,
+                                 RebuildScratch& scratch);
+
+/// All the state one §4.1/§4.2 reduction needs, pooled: laminarize (EDF),
+/// forest build, TM / LevelledContraction pruning and left-merge each draw
+/// from here, and the intermediate ScheduleForest + TmResult products are
+/// rebuilt in place.  One per engine Session, reused across the batch.
+struct ReductionScratch {
+  LaminarScratch laminar;
+  ForestBuildScratch forest_build;
+  ScheduleForest sf;
+  TmScratch tm;
+  TmResult tm_result;
+  ContractionScratch contraction;
+  SubForest contraction_sel;
+  RebuildScratch rebuild;
+};
 
 /// One-call §4.2 pipeline for a single machine: laminarize the given
 /// ∞-preemptive schedule, build its schedule forest, prune it to an optimal
@@ -37,6 +66,7 @@ struct ReductionResult {
 ReductionResult reduce_to_k_preemptive(const JobSet& jobs,
                                        const MachineSchedule& unbounded,
                                        std::size_t k,
-                                       PipelineTimings* timings = nullptr);
+                                       PipelineTimings* timings = nullptr,
+                                       ReductionScratch* scratch = nullptr);
 
 }  // namespace pobp

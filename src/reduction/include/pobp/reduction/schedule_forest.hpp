@@ -15,26 +15,60 @@
 // either precondition is violated.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "pobp/forest/forest.hpp"
 #include "pobp/schedule/schedule.hpp"
+#include "pobp/util/arena.hpp"
 
 namespace pobp {
 
 /// The forest plus the node ↔ job correspondence and per-node layout data
-/// the rebuild step needs.
+/// the rebuild step needs.  Per-node segment lists live in one flat CSR
+/// arena (offsets + data) rather than a vector-of-vectors, so the whole
+/// structure can be rebuilt in place with zero steady-state allocations.
 struct ScheduleForest {
   Forest forest;                      ///< node values = job values
   std::vector<JobId> node_job;        ///< forest node -> job id
-  std::vector<std::vector<Segment>> node_segments;  ///< original G_j per node
+  std::vector<std::uint32_t> seg_offsets;  ///< CSR offsets into seg_data
+  std::vector<Segment> seg_data;      ///< all nodes' G_j, concatenated
   std::vector<Segment> node_span;     ///< [first begin, last end] of subtree
 
+  /// Original segment list G_j of the job at node v.
+  std::span<const Segment> segments(NodeId v) const {
+    return {seg_data.data() + seg_offsets[v],
+            seg_offsets[v + 1] - seg_offsets[v]};
+  }
+
   std::size_t size() const { return forest.size(); }
+
+  /// Drops all nodes but keeps every buffer's capacity.
+  void clear() {
+    forest.clear();
+    node_job.clear();
+    seg_offsets.clear();
+    seg_data.clear();
+    node_span.clear();
+  }
+};
+
+/// Reusable buffers for the in-place builder.
+struct ForestBuildScratch {
+  MonotonicArena arena;               ///< backs the timeline staging
+  std::vector<std::uint32_t> remaining;  ///< per job id, segments left
+  std::vector<NodeId> node_of;        ///< per job id, kNoNode = unseen
+  std::vector<NodeId> stack;          ///< open nodes, outermost first
 };
 
 /// Builds the schedule forest of a laminar, span-compact machine schedule.
 ScheduleForest build_schedule_forest(const JobSet& jobs,
                                      const MachineSchedule& ms);
+
+/// In-place form (identical result): `out` is cleared and refilled, so a
+/// warmed-up out + scratch pair makes the build allocation-free.
+void build_schedule_forest(const JobSet& jobs, const MachineSchedule& ms,
+                           ScheduleForest& out, ForestBuildScratch& scratch);
 
 }  // namespace pobp

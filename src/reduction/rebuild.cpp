@@ -11,11 +11,14 @@
 namespace pobp {
 
 MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
-                                 const SubForest& sel) {
+                                 const SubForest& sel,
+                                 RebuildScratch& scratch) {
   POBP_FAULT_POINT(kLeftMerge);
   POBP_CHECK(sel.keep.size() == sf.size());
   MachineSchedule out;
 
+  auto& available = scratch.available;
+  auto& placed = scratch.placed;
   for (NodeId u = 0; u < sf.size(); ++u) {
     BudgetGuard::poll();  // one operation per forest node
     if (!sel.kept(u)) continue;
@@ -25,15 +28,16 @@ MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
     // pruned-down child subtrees.  (In a valid k-BAS a non-kept child of a
     // kept node is pruned-down with its whole subtree — Obs. 3.8a — and the
     // non-idling precondition makes its span fully vacated.)
-    std::vector<Segment> available = sf.node_segments[u];
+    const std::span<const Segment> own = sf.segments(u);
+    available.assign(own.begin(), own.end());
     for (const NodeId c : sf.forest.children(u)) {
       if (!sel.kept(c)) available.push_back(sf.node_span[c]);
     }
-    available = normalized(std::move(available));
+    normalize_in_place(available);
 
     // Left-merge: fill p_j units left-aligned.
     Duration todo = jobs[job].length;
-    std::vector<Segment> placed;
+    placed.clear();
     for (const Segment& slot : available) {
       if (todo == 0) break;
       const Duration take = std::min(todo, slot.length());
@@ -43,28 +47,40 @@ MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
     POBP_CHECK_MSG(todo == 0,
                    "available slots shorter than p_j — input schedule was "
                    "not feasible/span-compact");
-    out.add(Assignment{job, std::move(placed)});
+    out.add_sorted(
+        Assignment{job, std::vector<Segment>(placed.begin(), placed.end())});
   }
   return out;
+}
+
+MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
+                                 const SubForest& sel) {
+  RebuildScratch scratch;
+  return rebuild_schedule(jobs, sf, sel, scratch);
 }
 
 ReductionResult reduce_to_k_preemptive(const JobSet& jobs,
                                        const MachineSchedule& unbounded,
                                        std::size_t k,
-                                       PipelineTimings* timings) {
+                                       PipelineTimings* timings,
+                                       ReductionScratch* scratch) {
   ReductionResult result;
   if (unbounded.empty()) return result;
+  ReductionScratch local;
+  ReductionScratch& s = scratch != nullptr ? *scratch : local;
+
   Stopwatch sw;
-  const MachineSchedule laminar = laminarize(jobs, unbounded);
+  const MachineSchedule laminar = laminarize(jobs, unbounded, s.laminar);
   if (timings) timings->laminarize_s += sw.lap();
-  const ScheduleForest sf = build_schedule_forest(jobs, laminar);
+  build_schedule_forest(jobs, laminar, s.sf, s.forest_build);
   if (timings) timings->forest_s += sw.lap();
-  const TmResult bas = tm_optimal_bas(sf.forest, k);
+  tm_optimal_bas(s.sf.forest, k, s.tm, s.tm_result);
   if (timings) timings->prune_s += sw.lap();
-  result.bounded = rebuild_schedule(jobs, sf, bas.selection);
+  result.bounded = rebuild_schedule(jobs, s.sf, s.tm_result.selection,
+                                    s.rebuild);
   if (timings) timings->merge_s += sw.lap();
   result.value = result.bounded.total_value(jobs);
-  result.forest_size = sf.size();
+  result.forest_size = s.sf.size();
   return result;
 }
 

@@ -1,27 +1,45 @@
 #include "pobp/reduction/schedule_forest.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "pobp/util/assert.hpp"
 
 namespace pobp {
 
-ScheduleForest build_schedule_forest(const JobSet& jobs,
-                                     const MachineSchedule& ms) {
-  ScheduleForest out;
-  const auto timeline = ms.timeline();
+void build_schedule_forest(const JobSet& jobs, const MachineSchedule& ms,
+                           ScheduleForest& out, ForestBuildScratch& scratch) {
+  out.clear();
 
-  std::unordered_map<JobId, std::size_t> remaining;
-  for (const auto& ts : timeline) ++remaining[ts.job];
+  // Stage the sorted segment timeline in the per-solve arena: its size
+  // varies per instance and its lifetime ends with this build, the exact
+  // pattern a monotonic allocator serves without churn.
+  scratch.arena.reset();
+  const std::size_t seg_total = ms.segment_count();
+  const std::span<MachineSchedule::TaggedSegment> timeline(
+      scratch.arena.allocate_array<MachineSchedule::TaggedSegment>(seg_total),
+      seg_total);
+  std::size_t fill = 0;
+  for (const Assignment& a : ms.assignments()) {
+    for (const Segment& s : a.segments) timeline[fill++] = {s, a.job};
+  }
+  std::sort(timeline.begin(), timeline.end(),
+            [](const MachineSchedule::TaggedSegment& a,
+               const MachineSchedule::TaggedSegment& b) {
+              return a.segment.begin < b.segment.begin;
+            });
 
-  std::unordered_map<JobId, NodeId> node_of;
-  std::vector<NodeId> stack;  // open nodes, outermost first
+  scratch.remaining.assign(jobs.size(), 0);
+  scratch.node_of.assign(jobs.size(), kNoNode);
+  for (const auto& ts : timeline) ++scratch.remaining[ts.job];
+
+  auto& stack = scratch.stack;  // open nodes, outermost first
+  stack.clear();
 
   Time prev_end = kNoTime;
   for (const auto& ts : timeline) {
     // Close finished jobs.
-    while (!stack.empty() && remaining[out.node_job[stack.back()]] == 0) {
+    while (!stack.empty() &&
+           scratch.remaining[out.node_job[stack.back()]] == 0) {
       stack.pop_back();
     }
     // Non-idling-inside-spans precondition: if some job is still open, the
@@ -32,33 +50,39 @@ ScheduleForest build_schedule_forest(const JobSet& jobs,
                       "(EDF) input required");
     }
 
-    auto it = node_of.find(ts.job);
-    if (it == node_of.end()) {
+    const NodeId seen = scratch.node_of[ts.job];
+    if (seen == kNoNode) {
       // First segment of this job: its parent is the innermost open job.
       const NodeId parent = stack.empty() ? kNoNode : stack.back();
       const NodeId node = out.forest.add(jobs[ts.job].value, parent);
       POBP_ASSERT(node == out.node_job.size());
       out.node_job.push_back(ts.job);
-      node_of.emplace(ts.job, node);
+      scratch.node_of[ts.job] = node;
       stack.push_back(node);
     } else {
       // A resumed job must be the innermost open one — laminarity.
-      POBP_ASSERT_MSG(!stack.empty() && stack.back() == it->second,
+      POBP_ASSERT_MSG(!stack.empty() && stack.back() == seen,
                       "schedule is not laminar; run laminarize() first");
     }
-    --remaining[ts.job];
+    --scratch.remaining[ts.job];
     prev_end = ts.segment.end;
   }
+  out.forest.finalize();
 
-  // Per-node segment lists and subtree spans.
+  // Per-node segment lists (flat CSR) and subtree spans.
   const std::size_t n = out.size();
-  out.node_segments.resize(n);
+  out.seg_offsets.assign(n + 1, 0);
+  out.seg_data.resize(seg_total);
   out.node_span.assign(n, Segment{0, 0});
+  std::uint32_t offset = 0;
   for (NodeId v = 0; v < n; ++v) {
-    out.node_segments[v] = ms.find(out.node_job[v])->segments;
-    out.node_span[v] = {out.node_segments[v].front().begin,
-                        out.node_segments[v].back().end};
+    const Assignment* a = ms.find(out.node_job[v]);
+    out.seg_offsets[v] = offset;
+    for (const Segment& s : a->segments) out.seg_data[offset++] = s;
+    out.node_span[v] = {a->segments.front().begin, a->segments.back().end};
   }
+  out.seg_offsets[n] = offset;
+  POBP_DASSERT(offset == seg_total);
   // Children precede nothing: ids are parents-first, so a reverse scan
   // accumulates subtree spans bottom-up.
   for (std::size_t i = n; i-- > 0;) {
@@ -71,6 +95,13 @@ ScheduleForest build_schedule_forest(const JobSet& jobs,
           std::max(out.node_span[p].end, out.node_span[v].end);
     }
   }
+}
+
+ScheduleForest build_schedule_forest(const JobSet& jobs,
+                                     const MachineSchedule& ms) {
+  ScheduleForest out;
+  ForestBuildScratch scratch;
+  build_schedule_forest(jobs, ms, out, scratch);
   return out;
 }
 

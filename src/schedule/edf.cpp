@@ -1,7 +1,7 @@
 #include "pobp/schedule/edf.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 #include <vector>
 
 #include "pobp/util/assert.hpp"
@@ -9,23 +9,16 @@
 namespace pobp {
 namespace {
 
-struct Pending {
-  Time deadline;
-  JobId id;
-
-  // Earliest deadline wins; job id breaks ties (a strict total order, which
-  // is what makes the output laminar).
-  friend bool operator>(const Pending& a, const Pending& b) {
-    if (a.deadline != b.deadline) return a.deadline > b.deadline;
-    return a.id > b.id;
-  }
-};
-
-}  // namespace
-
-std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
-                                            std::span<const JobId> subset) {
-  std::vector<JobId> by_release(subset.begin(), subset.end());
+/// Core EDF loop.  Record=false skips all segment bookkeeping (the greedy
+/// feasibility probe); Record=true leaves the merged run log in
+/// scratch.runs.  Every scratch.remaining entry touched is zeroed again
+/// before returning, so the job-indexed arrays stay sparsely clean even on
+/// early (infeasible) exits.
+template <bool Record>
+bool edf_simulate(const JobSet& jobs, std::span<const JobId> subset,
+                  EdfScratch& s) {
+  auto& by_release = s.by_release;
+  by_release.assign(subset.begin(), subset.end());
   std::sort(by_release.begin(), by_release.end(), [&](JobId a, JobId b) {
     if (jobs[a].release != jobs[b].release) {
       return jobs[a].release < jobs[b].release;
@@ -33,61 +26,118 @@ std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
     return a < b;
   });
 
-  std::vector<Duration> remaining(jobs.size(), 0);
-  std::vector<std::vector<Segment>> segments(jobs.size());
+  if (s.remaining.size() < jobs.size()) s.remaining.resize(jobs.size(), 0);
   for (const JobId id : by_release) {
-    POBP_ASSERT_MSG(remaining[id] == 0, "duplicate job id in EDF subset");
-    remaining[id] = jobs[id].length;
+    POBP_ASSERT_MSG(s.remaining[id] == 0, "duplicate job id in EDF subset");
+    s.remaining[id] = jobs[id].length;
   }
 
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> ready;
-  std::size_t next_release = 0;
-  Time now = 0;
-  if (!by_release.empty()) now = jobs[by_release.front()].release;
+  auto& ready = s.ready;  // min-heap on (deadline, id): strict total order
+  ready.clear();
+  if (Record) s.runs.clear();
 
-  auto run_job = [&](JobId id, Time from, Time to) {
-    POBP_DASSERT(from < to);
-    auto& segs = segments[id];
-    if (!segs.empty() && segs.back().end == from) {
-      segs.back().end = to;  // extend: no real preemption happened
-    } else {
-      segs.push_back({from, to});
-    }
-    remaining[id] -= to - from;
-  };
+  const bool feasible = [&] {
+    std::size_t next_release = 0;
+    Time now = 0;
+    if (!by_release.empty()) now = jobs[by_release.front()].release;
 
-  while (next_release < by_release.size() || !ready.empty()) {
-    // Admit everything released by `now`.
-    while (next_release < by_release.size() &&
-           jobs[by_release[next_release]].release <= now) {
-      const JobId id = by_release[next_release++];
-      ready.push({jobs[id].deadline, id});
+    while (next_release < by_release.size() || !ready.empty()) {
+      // Admit everything released by `now`.
+      while (next_release < by_release.size() &&
+             jobs[by_release[next_release]].release <= now) {
+        const JobId id = by_release[next_release++];
+        ready.emplace_back(jobs[id].deadline, id);
+        std::push_heap(ready.begin(), ready.end(), std::greater<>{});
+      }
+      if (ready.empty()) {
+        now = jobs[by_release[next_release]].release;
+        continue;
+      }
+      const JobId top = ready.front().second;
+      // Run the earliest-deadline job until it completes or the next
+      // release.
+      Time until = now + s.remaining[top];
+      if (next_release < by_release.size()) {
+        until = std::min(until, jobs[by_release[next_release]].release);
+      }
+      POBP_DASSERT(now < until);
+      if (Record) {
+        if (!s.runs.empty() && s.runs.back().job == top &&
+            s.runs.back().segment.end == now) {
+          s.runs.back().segment.end = until;  // no real preemption happened
+        } else {
+          s.runs.push_back({{now, until}, top});
+        }
+      }
+      s.remaining[top] -= until - now;
+      now = until;
+      if (s.remaining[top] == 0) {
+        if (now > jobs[top].deadline) return false;
+        std::pop_heap(ready.begin(), ready.end(), std::greater<>{});
+        ready.pop_back();
+      } else if (now > jobs[top].deadline) {
+        return false;  // already late; bail out early
+      }
     }
-    if (ready.empty()) {
-      now = jobs[by_release[next_release]].release;
-      continue;
-    }
-    const Pending top = ready.top();
-    // Run the earliest-deadline job until it completes or the next release.
-    Time until = now + remaining[top.id];
-    if (next_release < by_release.size()) {
-      until = std::min(until, jobs[by_release[next_release]].release);
-    }
-    run_job(top.id, now, until);
-    now = until;
-    if (remaining[top.id] == 0) {
-      if (now > jobs[top.id].deadline) return std::nullopt;
-      ready.pop();
-    } else if (now > jobs[top.id].deadline) {
-      return std::nullopt;  // already late; bail out early
-    }
+    return true;
+  }();
+
+  for (const JobId id : by_release) s.remaining[id] = 0;
+  return feasible;
+}
+
+}  // namespace
+
+bool edf_feasible(const JobSet& jobs, std::span<const JobId> subset,
+                  EdfScratch& scratch) {
+  return edf_simulate</*Record=*/false>(jobs, subset, scratch);
+}
+
+std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
+                                            std::span<const JobId> subset,
+                                            EdfScratch& s) {
+  if (!edf_simulate</*Record=*/true>(jobs, subset, s)) return std::nullopt;
+
+  // Bucket the run log into per-job segment lists with one counting pass,
+  // then materialize assignments in release order (the order the original
+  // simulator emitted them in).
+  const std::size_t n_jobs = s.by_release.size();
+  if (s.slot.size() < jobs.size()) s.slot.resize(jobs.size(), 0);
+  if (s.seg_count.size() < jobs.size()) s.seg_count.resize(jobs.size(), 0);
+  for (std::size_t i = 0; i < n_jobs; ++i) {
+    s.slot[s.by_release[i]] = static_cast<std::uint32_t>(i);
   }
+  for (const EdfScratch::Run& run : s.runs) ++s.seg_count[run.job];
+
+  s.seg_cursor.assign(n_jobs + 1, 0);
+  for (std::size_t i = 0; i < n_jobs; ++i) {
+    s.seg_cursor[i + 1] = s.seg_cursor[i] + s.seg_count[s.by_release[i]];
+  }
+  s.seg_buf.resize(s.runs.size());
+  for (const EdfScratch::Run& run : s.runs) {
+    s.seg_buf[s.seg_cursor[s.slot[run.job]]++] = run.segment;
+  }
+  // The cursors now sit at each slot's end = the next slot's begin.
 
   MachineSchedule out;
-  for (const JobId id : by_release) {
-    out.add(Assignment{id, std::move(segments[id])});
+  out.reserve(n_jobs);
+  std::uint32_t begin = 0;
+  for (std::size_t i = 0; i < n_jobs; ++i) {
+    const JobId id = s.by_release[i];
+    const std::uint32_t end = s.seg_cursor[i];
+    out.add_sorted(Assignment{
+        id, std::vector<Segment>(s.seg_buf.begin() + begin,
+                                 s.seg_buf.begin() + end)});
+    begin = end;
+    s.seg_count[id] = 0;  // restore sparse cleanliness
   }
   return out;
+}
+
+std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
+                                            std::span<const JobId> subset) {
+  EdfScratch scratch;
+  return edf_schedule(jobs, subset, scratch);
 }
 
 }  // namespace pobp

@@ -6,8 +6,19 @@
 // schedule EDF produces is *laminar* — no two jobs interleave as
 // a₁ ≺ b₁ ≺ a₂ ≺ b₂ — which is exactly the normal form the paper's
 // reduction (§4.1, Fig. 1) requires.  See laminar.hpp.
+//
+// The simulator comes in two strengths sharing one core loop:
+//   * edf_feasible  — yes/no, records nothing.  This is what greedy trial
+//     acceptance wants: the density-greedy seed probes O(n) candidate sets
+//     and only the final accepted set needs a materialized schedule.
+//   * edf_schedule  — the full laminar schedule.
+// Both have scratch-taking forms (EdfScratch) that perform zero heap
+// allocations once the scratch has warmed up to the largest instance seen;
+// the engine's per-worker sessions keep one EdfScratch alive across a whole
+// batch.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 
@@ -15,11 +26,48 @@
 
 namespace pobp {
 
+/// Reusable buffers for the EDF simulator.  All job-indexed arrays are
+/// maintained sparsely: every entry a simulation touches is restored before
+/// it returns, so the same scratch serves instances of any size without a
+/// full reset.
+struct EdfScratch {
+  /// One maximal run of one job on the machine, in machine-time order.
+  /// Adjacent runs of the same job are merged, so the run log is exactly
+  /// the sorted segment timeline of the resulting schedule.
+  struct Run {
+    Segment segment;
+    JobId job;
+  };
+
+  std::vector<JobId> by_release;              ///< subset, release-sorted
+  std::vector<Duration> remaining;            ///< per job id, sparse
+  std::vector<std::pair<Time, JobId>> ready;  ///< (deadline, id) min-heap
+  std::vector<Run> runs;                      ///< recorded timeline
+  std::vector<std::uint32_t> seg_count;       ///< per job id, sparse
+  std::vector<Segment> seg_buf;               ///< run-bucketing staging
+  std::vector<std::uint32_t> seg_cursor;      ///< per subset slot
+  std::vector<std::uint32_t> slot;            ///< per job id, sparse
+};
+
+/// True iff EDF completes every job of `subset` by its deadline, i.e. the
+/// subset is ∞-preemptive-feasible.  Records no schedule — this is the
+/// cheap form for greedy trial acceptance.
+bool edf_feasible(const JobSet& jobs, std::span<const JobId> subset,
+                  EdfScratch& scratch);
+
 /// Simulates preemptive EDF of `subset` on one machine.
 ///
 /// Returns the resulting schedule if every job completes by its deadline,
 /// std::nullopt otherwise.  O(n log n): events are releases and completions.
 std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
                                             std::span<const JobId> subset);
+
+/// Scratch-reusing form: identical result, but every simulation buffer
+/// comes from `scratch` (only the returned schedule itself allocates).
+/// On success `scratch.runs` additionally holds the schedule's segment
+/// timeline in machine-time order (valid until the next simulation).
+std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
+                                            std::span<const JobId> subset,
+                                            EdfScratch& scratch);
 
 }  // namespace pobp

@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "pobp/diag/diagnostic.hpp"
+#include "pobp/schedule/edf.hpp"
 #include "pobp/schedule/schedule.hpp"
 
 namespace pobp {
@@ -33,9 +34,31 @@ bool is_laminar(const MachineSchedule& ms);
 void diagnose_laminar(const MachineSchedule& ms, diag::Report& report,
                       std::optional<std::size_t> machine = std::nullopt);
 
+/// Reusable buffers for the scratch-taking laminarize forms: the EDF
+/// simulator state plus the laminarity-check sweep state.
+struct LaminarScratch {
+  EdfScratch edf;
+  std::vector<std::uint32_t> remaining;  ///< per job id, sweep counter
+  std::vector<char> on_stack;            ///< per job id, sweep membership
+  std::vector<JobId> stack;              ///< open jobs, outermost first
+  std::vector<JobId> ids;                ///< scheduled_jobs staging
+};
+
 /// Rearranges `ms` into an equivalent laminar schedule of the same job set
 /// (same value, still feasible).  Precondition: `ms` validates against
 /// `jobs` with unbounded k.
 MachineSchedule laminarize(const JobSet& jobs, const MachineSchedule& ms);
+
+/// Scratch-reusing form (identical result).
+MachineSchedule laminarize(const JobSet& jobs, const MachineSchedule& ms,
+                           LaminarScratch& scratch);
+
+/// Laminar schedule of a bare (feasible) job subset: exactly what
+/// laminarize(jobs, restrict_schedule(ms, ids)) produces — the laminar
+/// rearrangement never looks at the input schedule's segments, only at its
+/// job set — without materializing the restricted schedule first.
+MachineSchedule laminarize_subset(const JobSet& jobs,
+                                  std::span<const JobId> ids,
+                                  LaminarScratch& scratch);
 
 }  // namespace pobp

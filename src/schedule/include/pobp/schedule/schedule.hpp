@@ -35,6 +35,17 @@ class MachineSchedule {
   /// Adds a job's full segment list.  The job must not already be present.
   void add(Assignment assignment);
 
+  /// Fast path for producers whose segment lists are already sorted,
+  /// non-empty and pairwise non-touching (EDF, left-merge, LSA): skips the
+  /// normalization sort.  Debug builds assert the precondition.
+  void add_sorted(Assignment assignment);
+
+  /// Pre-sizes the assignment table for `jobs` entries.
+  void reserve(std::size_t jobs) {
+    assignments_.reserve(jobs);
+    index_.reserve(jobs);
+  }
+
   /// Convenience: single contiguous (non-preemptive) placement.
   void add_block(JobId job, Time begin, Duration length) {
     add(Assignment{job, {Segment{begin, begin + length}}});
@@ -67,6 +78,12 @@ class MachineSchedule {
     JobId job;
   };
   std::vector<TaggedSegment> timeline() const;
+
+  /// Buffer-reusing form of timeline(): `out` is overwritten.
+  void timeline_into(std::vector<TaggedSegment>& out) const;
+
+  /// Total number of segments across all assignments.
+  std::size_t segment_count() const;
 
   /// Human-readable dump (for examples and failure diagnostics).
   std::string to_string(const JobSet& jobs) const;

@@ -62,4 +62,8 @@ inline bool is_sorted_disjoint(const std::vector<Segment>& segs) {
 /// Precondition for exact semantics downstream: inputs pairwise disjoint.
 std::vector<Segment> normalized(std::vector<Segment> segs);
 
+/// In-place form of normalized(): same result, but reuses `segs`' storage
+/// (no allocation once the vector has grown to its working size).
+void normalize_in_place(std::vector<Segment>& segs);
+
 }  // namespace pobp

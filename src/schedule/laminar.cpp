@@ -2,11 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_map>
 #include <vector>
 
 #include "pobp/diag/registry.hpp"
-#include "pobp/schedule/edf.hpp"
 #include "pobp/util/assert.hpp"
 #include "pobp/util/budget.hpp"
 #include "pobp/util/faultinject.hpp"
@@ -26,25 +24,68 @@ template <typename ViolationFn>
 void laminar_sweep(const MachineSchedule& ms, ViolationFn&& on_violation) {
   const auto timeline = ms.timeline();
 
-  // Remaining-segment counter per job: a job is "open" while more of its
-  // segments are still ahead of the sweep.
-  std::unordered_map<JobId, std::size_t> remaining;
+  // Remaining-segment counter and stack-membership flag per job.  Flat
+  // arrays keyed by job id keep the sweep O(S) even when the nesting stack
+  // is deep (a std::find over the stack would be quadratic on chains).
+  JobId max_id = 0;
+  for (const auto& ts : timeline) max_id = std::max(max_id, ts.job);
+  std::vector<std::size_t> remaining(timeline.empty() ? 0 : max_id + 1, 0);
+  std::vector<char> on_stack(remaining.size(), 0);
   for (const auto& ts : timeline) ++remaining[ts.job];
 
   std::vector<JobId> stack;
   for (const auto& ts : timeline) {
-    while (!stack.empty() && remaining[stack.back()] == 0) stack.pop_back();
+    while (!stack.empty() && remaining[stack.back()] == 0) {
+      on_stack[stack.back()] = 0;
+      stack.pop_back();
+    }
     if (stack.empty() || stack.back() != ts.job) {
-      if (std::find(stack.begin(), stack.end(), ts.job) != stack.end()) {
+      if (on_stack[ts.job]) {
         // Resumed under an open job: interleaving.  Leave the stack as-is
         // (the job is already recorded) so the sweep stays consistent.
         if (!on_violation(ts, stack.back())) return;
       } else {
         stack.push_back(ts.job);
+        on_stack[ts.job] = 1;
       }
     }
     --remaining[ts.job];
   }
+}
+
+/// Laminarity check over an EDF run log using scratch buffers only.  EDF
+/// output is laminar by construction; this is the always-on defense against
+/// simulator regressions, same as the is_laminar() check on the allocating
+/// path.  The sparse per-job arrays are restored to zero before returning.
+bool runs_are_laminar(std::span<const EdfScratch::Run> runs,
+                      std::size_t job_count, LaminarScratch& s) {
+  if (s.remaining.size() < job_count) s.remaining.resize(job_count, 0);
+  if (s.on_stack.size() < job_count) s.on_stack.resize(job_count, 0);
+  for (const auto& run : runs) ++s.remaining[run.job];
+
+  s.stack.clear();
+  bool laminar = true;
+  for (const auto& run : runs) {
+    while (!s.stack.empty() && s.remaining[s.stack.back()] == 0) {
+      s.on_stack[s.stack.back()] = 0;
+      s.stack.pop_back();
+    }
+    if (s.stack.empty() || s.stack.back() != run.job) {
+      if (s.on_stack[run.job]) {
+        laminar = false;
+        break;
+      }
+      s.stack.push_back(run.job);
+      s.on_stack[run.job] = 1;
+    }
+    --s.remaining[run.job];
+  }
+  // Restore sparse cleanliness (the early break can leave both counters and
+  // membership flags set).
+  for (const auto& run : runs) s.remaining[run.job] = 0;
+  for (const JobId id : s.stack) s.on_stack[id] = 0;
+  s.stack.clear();
+  return laminar;
 }
 
 }  // namespace
@@ -77,15 +118,29 @@ void diagnose_laminar(const MachineSchedule& ms, diag::Report& report,
   });
 }
 
-MachineSchedule laminarize(const JobSet& jobs, const MachineSchedule& ms) {
+MachineSchedule laminarize_subset(const JobSet& jobs,
+                                  std::span<const JobId> ids,
+                                  LaminarScratch& scratch) {
   POBP_FAULT_POINT(kLaminarize);
   BudgetGuard::poll();
-  const std::vector<JobId> ids = ms.scheduled_jobs();
-  std::optional<MachineSchedule> out = edf_schedule(jobs, ids);
+  std::optional<MachineSchedule> out = edf_schedule(jobs, ids, scratch.edf);
   POBP_CHECK_MSG(out.has_value(),
                  "laminarize: input schedule's job set must be feasible");
-  POBP_CHECK(is_laminar(*out));
+  POBP_CHECK(runs_are_laminar(scratch.edf.runs, jobs.size(), scratch));
   return std::move(*out);
+}
+
+MachineSchedule laminarize(const JobSet& jobs, const MachineSchedule& ms,
+                           LaminarScratch& scratch) {
+  scratch.ids.clear();
+  scratch.ids.reserve(ms.job_count());
+  for (const Assignment& a : ms.assignments()) scratch.ids.push_back(a.job);
+  return laminarize_subset(jobs, scratch.ids, scratch);
+}
+
+MachineSchedule laminarize(const JobSet& jobs, const MachineSchedule& ms) {
+  LaminarScratch scratch;
+  return laminarize(jobs, ms, scratch);
 }
 
 }  // namespace pobp

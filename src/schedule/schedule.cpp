@@ -23,10 +23,44 @@ std::vector<Segment> normalized(std::vector<Segment> segs) {
   return out;
 }
 
+void normalize_in_place(std::vector<Segment>& segs) {
+  std::sort(segs.begin(), segs.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+            });
+  std::size_t out = 0;
+  for (const Segment& s : segs) {
+    if (s.empty()) continue;
+    if (out != 0 && segs[out - 1].end >= s.begin) {
+      segs[out - 1].end = std::max(segs[out - 1].end, s.end);
+    } else {
+      segs[out++] = s;
+    }
+  }
+  segs.resize(out);
+}
+
 void MachineSchedule::add(Assignment assignment) {
   POBP_CHECK_MSG(!contains(assignment.job), "job already scheduled");
   POBP_CHECK_MSG(!assignment.segments.empty(), "empty assignment");
   assignment.segments = normalized(std::move(assignment.segments));
+  index_.emplace(assignment.job, assignments_.size());
+  assignments_.push_back(std::move(assignment));
+}
+
+void MachineSchedule::add_sorted(Assignment assignment) {
+  POBP_CHECK_MSG(!contains(assignment.job), "job already scheduled");
+  POBP_CHECK_MSG(!assignment.segments.empty(), "empty assignment");
+#ifndef NDEBUG
+  // Equivalence with add(): normalized() must be a no-op, which requires
+  // sorted, non-empty, *strictly* separated segments (touching ones would
+  // have been merged).
+  for (std::size_t i = 0; i < assignment.segments.size(); ++i) {
+    POBP_DASSERT(!assignment.segments[i].empty());
+    POBP_DASSERT(i == 0 || assignment.segments[i - 1].end <
+                               assignment.segments[i].begin);
+  }
+#endif
   index_.emplace(assignment.job, assignments_.size());
   assignments_.push_back(std::move(assignment));
 }
@@ -65,6 +99,13 @@ Duration MachineSchedule::busy_time() const {
 
 std::vector<MachineSchedule::TaggedSegment> MachineSchedule::timeline() const {
   std::vector<TaggedSegment> out;
+  timeline_into(out);
+  return out;
+}
+
+void MachineSchedule::timeline_into(std::vector<TaggedSegment>& out) const {
+  out.clear();
+  out.reserve(segment_count());
   for (const Assignment& a : assignments_) {
     for (const Segment& s : a.segments) out.push_back({s, a.job});
   }
@@ -72,7 +113,12 @@ std::vector<MachineSchedule::TaggedSegment> MachineSchedule::timeline() const {
             [](const TaggedSegment& a, const TaggedSegment& b) {
               return a.segment.begin < b.segment.begin;
             });
-  return out;
+}
+
+std::size_t MachineSchedule::segment_count() const {
+  std::size_t count = 0;
+  for (const Assignment& a : assignments_) count += a.segments.size();
+  return count;
 }
 
 std::string MachineSchedule::to_string(const JobSet& jobs) const {

@@ -9,8 +9,10 @@
 namespace pobp {
 
 MachineSchedule greedy_infinity(const JobSet& jobs,
-                                std::span<const JobId> candidates) {
-  std::vector<JobId> order(candidates.begin(), candidates.end());
+                                std::span<const JobId> candidates,
+                                GreedyScratch& scratch) {
+  auto& order = scratch.order;
+  order.assign(candidates.begin(), candidates.end());
   std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
     const double lhs = jobs[a].value * static_cast<double>(jobs[b].length);
     const double rhs = jobs[b].value * static_cast<double>(jobs[a].length);
@@ -18,32 +20,50 @@ MachineSchedule greedy_infinity(const JobSet& jobs,
     return a < b;
   });
 
-  std::vector<JobId> accepted;
-  MachineSchedule best;
+  // Trial acceptance needs only feasibility; the schedule of the final
+  // accepted set is the same EDF run either way, so one materialization at
+  // the end replaces one per accepted candidate.
+  auto& accepted = scratch.accepted;
+  accepted.clear();
   for (const JobId id : order) {
     BudgetGuard::poll();
     accepted.push_back(id);
-    if (auto schedule = edf_schedule(jobs, accepted)) {
-      best = std::move(*schedule);
-    } else {
-      accepted.pop_back();
-    }
+    if (!edf_feasible(jobs, accepted, scratch.edf)) accepted.pop_back();
   }
-  return best;
+  if (accepted.empty()) return {};
+  auto schedule = edf_schedule(jobs, accepted, scratch.edf);
+  POBP_CHECK_MSG(schedule.has_value(),
+                 "greedy accepted set must be EDF-feasible");
+  return std::move(*schedule);
+}
+
+MachineSchedule greedy_infinity(const JobSet& jobs,
+                                std::span<const JobId> candidates) {
+  GreedyScratch scratch;
+  return greedy_infinity(jobs, candidates, scratch);
+}
+
+Schedule greedy_infinity_multi(const JobSet& jobs,
+                               std::span<const JobId> candidates,
+                               std::size_t machine_count,
+                               GreedyScratch& scratch) {
+  POBP_CHECK(machine_count >= 1);
+  Schedule out(machine_count);
+  auto& remaining = scratch.residual;
+  remaining.assign(candidates.begin(), candidates.end());
+  for (std::size_t m = 0; m < machine_count && !remaining.empty(); ++m) {
+    out.machine(m) = greedy_infinity(jobs, remaining, scratch);
+    std::erase_if(remaining,
+                  [&](JobId id) { return out.machine(m).contains(id); });
+  }
+  return out;
 }
 
 Schedule greedy_infinity_multi(const JobSet& jobs,
                                std::span<const JobId> candidates,
                                std::size_t machine_count) {
-  POBP_CHECK(machine_count >= 1);
-  Schedule out(machine_count);
-  std::vector<JobId> remaining(candidates.begin(), candidates.end());
-  for (std::size_t m = 0; m < machine_count && !remaining.empty(); ++m) {
-    out.machine(m) = greedy_infinity(jobs, remaining);
-    std::erase_if(remaining,
-                  [&](JobId id) { return out.machine(m).contains(id); });
-  }
-  return out;
+  GreedyScratch scratch;
+  return greedy_infinity_multi(jobs, candidates, machine_count, scratch);
 }
 
 }  // namespace pobp

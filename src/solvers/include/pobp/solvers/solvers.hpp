@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "pobp/schedule/edf.hpp"
 #include "pobp/schedule/schedule.hpp"
 
 namespace pobp {
@@ -47,16 +48,38 @@ SubsetSolution opt_zero(const JobSet& jobs, std::span<const JobId> candidates);
 std::optional<Value> opt_k_slots(const JobSet& jobs, std::size_t k,
                                  std::size_t max_states = 50'000'000);
 
+/// Reusable buffers for the greedy seed.  Each candidate probe runs the
+/// feasibility-only EDF simulator (edf_feasible) — only the final accepted
+/// set is materialized as a schedule, which is identical because EDF is a
+/// pure function of the job set.
+struct GreedyScratch {
+  std::vector<JobId> order;     ///< density-sorted consideration order
+  std::vector<JobId> accepted;  ///< growing accepted set
+  std::vector<JobId> residual;  ///< multi-machine leftover staging
+  EdfScratch edf;
+};
+
 /// Greedy ∞-preemptive heuristic: jobs in descending density order, each
 /// accepted iff the accepted set stays EDF-feasible.  Returns the EDF
 /// schedule of the accepted set.
 MachineSchedule greedy_infinity(const JobSet& jobs,
                                 std::span<const JobId> candidates);
 
+/// Scratch-reusing form (identical result).
+MachineSchedule greedy_infinity(const JobSet& jobs,
+                                std::span<const JobId> candidates,
+                                GreedyScratch& scratch);
+
 /// Multi-machine greedy: fills machine 0 with greedy_infinity, then machine
 /// 1 with the residual, and so on.
 Schedule greedy_infinity_multi(const JobSet& jobs,
                                std::span<const JobId> candidates,
                                std::size_t machine_count);
+
+/// Scratch-reusing form (identical result).
+Schedule greedy_infinity_multi(const JobSet& jobs,
+                               std::span<const JobId> candidates,
+                               std::size_t machine_count,
+                               GreedyScratch& scratch);
 
 }  // namespace pobp

@@ -1,0 +1,21 @@
+#include "pobp/util/alloccount.hpp"
+
+namespace pobp::alloccount {
+namespace detail {
+
+namespace {
+thread_local Counters tls_counters;
+bool hooks_enabled = false;
+}  // namespace
+
+Counters& counters() { return tls_counters; }
+void set_enabled(bool on) { hooks_enabled = on; }
+
+}  // namespace detail
+
+bool enabled() { return detail::hooks_enabled; }
+std::uint64_t allocations() { return detail::counters().allocations; }
+std::uint64_t deallocations() { return detail::counters().deallocations; }
+std::uint64_t bytes_allocated() { return detail::counters().bytes; }
+
+}  // namespace pobp::alloccount

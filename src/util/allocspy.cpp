@@ -1,0 +1,97 @@
+// Global operator new/delete replacement feeding pobp::alloccount.
+//
+// Compiled into the separate pobp::allocspy static library so only opt-in
+// binaries (benches, perf tests) replace the global allocator; calling
+// alloccount::arm() from the binary forces the linker to keep this TU.
+//
+// POBP_ALLOC_COUNT=OFF (the sanitizer presets) compiles the hooks out
+// entirely — ASan/TSan install their own allocator interceptors and we
+// keep their new/delete type checking intact — and arm() reports false so
+// tests downgrade their zero-alloc assertions to skipped.
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "pobp/util/alloccount.hpp"
+
+#if POBP_ALLOC_COUNT
+
+namespace {
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  auto& c = pobp::alloccount::detail::counters();
+  ++c.allocations;
+  c.bytes += size;
+  void* p = align <= alignof(std::max_align_t)
+                ? std::malloc(size)
+                : std::aligned_alloc(align, (size + align - 1) / align * align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  ++pobp::alloccount::detail::counters().deallocations;
+  std::free(p);
+}
+
+struct HookArmer {
+  HookArmer() { pobp::alloccount::detail::set_enabled(true); }
+};
+const HookArmer armer;
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size, 0); }
+void* operator new[](std::size_t size) { return counted_alloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+namespace pobp::alloccount {
+bool arm() { return true; }
+}  // namespace pobp::alloccount
+
+#else  // !POBP_ALLOC_COUNT
+
+namespace pobp::alloccount {
+bool arm() { return false; }
+}  // namespace pobp::alloccount
+
+#endif  // POBP_ALLOC_COUNT

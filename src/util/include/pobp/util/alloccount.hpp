@@ -1,0 +1,68 @@
+// Heap-allocation counting for the perf harness.
+//
+// The counters are defined in the always-built pobp_util library; the
+// global operator new/delete hooks that feed them live in the separate
+// pobp::allocspy static library (src/util/allocspy.cpp) so that only
+// binaries that opt in — the benches and the perf tests — replace the
+// global allocator.  A binary that links allocspy AND calls
+// alloccount::arm() reports live counts; everywhere else enabled() is
+// false and the counters read 0.
+//
+// Counts are per-thread (thread_local), which is exactly what the
+// steady-state assertions need: "this solve, on this worker, performed N
+// heap allocations".
+#pragma once
+
+#include <cstdint>
+
+namespace pobp::alloccount {
+
+/// Pulls the allocspy hooks into the binary (forces the linker to keep the
+/// TU that defines operator new) and reports whether counting is live.
+/// Returns false when the build disables the hooks (POBP_ALLOC_COUNT=OFF,
+/// e.g. the sanitizer presets) or when allocspy is not linked.
+bool arm();
+
+/// True iff the global operator new/delete hooks are installed and
+/// counting.  Meaningful after arm().
+bool enabled();
+
+/// Calling-thread totals since thread start.
+std::uint64_t allocations();
+std::uint64_t deallocations();
+std::uint64_t bytes_allocated();
+
+/// RAII delta counter: allocations performed on this thread in scope.
+class Scope {
+ public:
+  // The qualification matters: unqualified allocations() here would find
+  // the *member* Scope::allocations(), which reads start_allocs_ before it
+  // is initialized.
+  Scope()
+      : start_allocs_(alloccount::allocations()),
+        start_bytes_(alloccount::bytes_allocated()) {}
+
+  std::uint64_t allocations() const {
+    return alloccount::allocations() - start_allocs_;
+  }
+  std::uint64_t bytes() const {
+    return alloccount::bytes_allocated() - start_bytes_;
+  }
+
+ private:
+  std::uint64_t start_allocs_;
+  std::uint64_t start_bytes_;
+};
+
+// Internal: incremented by the allocspy hooks.
+namespace detail {
+struct Counters {
+  std::uint64_t allocations = 0;
+  std::uint64_t deallocations = 0;
+  std::uint64_t bytes = 0;
+};
+Counters& counters();
+void set_enabled(bool on);
+}  // namespace detail
+
+}  // namespace pobp::alloccount

@@ -1,0 +1,121 @@
+// Monotonic arena for per-solve scratch storage.
+//
+// The engine's per-worker Session owns one SolveScratch whose transient
+// POD buffers draw from this arena: allocate() bumps a cursor inside a
+// chunk, reset() rewinds the cursor without releasing memory, so after the
+// first solve at a given instance size the arena serves every later solve
+// without touching the heap.  Chunks grow geometrically; release() returns
+// everything to the heap (used by tests and by callers that want to shed
+// memory after a burst of large instances).
+//
+// The arena is single-threaded by design — one per Session, like the rest
+// of the scratch state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+class MonotonicArena {
+ public:
+  explicit MonotonicArena(std::size_t first_chunk_bytes = 4096)
+      : first_chunk_bytes_(first_chunk_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocates `bytes` with the given alignment.  O(1) amortized; a
+  /// fresh chunk is only carved when the current one is exhausted.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    POBP_DASSERT(align != 0 && (align & (align - 1)) == 0);
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+    if (p + bytes > chunk_end_) {
+      grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+    }
+    cursor_ = p + bytes;
+    used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Typed bump allocation of `count` default-uninitialized Ts (T must be
+  /// trivially destructible — nothing is ever destroyed).
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty, keeping every chunk for reuse.  After the warmup
+  /// solve, reset() + re-allocation touches no allocator.
+  void reset() {
+    current_ = 0;
+    used_ = 0;
+    if (!chunks_.empty()) {
+      cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[0].data.get());
+      chunk_end_ = cursor_ + chunks_[0].bytes;
+    } else {
+      cursor_ = chunk_end_ = 0;
+    }
+  }
+
+  /// Returns all chunks to the heap.
+  void release() {
+    chunks_.clear();
+    current_ = 0;
+    used_ = 0;
+    cursor_ = chunk_end_ = 0;
+  }
+
+  /// Bytes handed out since the last reset().
+  std::size_t used() const { return used_; }
+
+  /// Total bytes owned (high-water footprint across resets).
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.bytes;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t bytes = 0;
+  };
+
+  void grow(std::size_t need) {
+    // Advance into an already-owned chunk if one is big enough (possible
+    // after reset()); otherwise append a geometrically larger chunk.
+    while (current_ + 1 < chunks_.size()) {
+      ++current_;
+      if (chunks_[current_].bytes >= need) {
+        cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[current_].data.get());
+        chunk_end_ = cursor_ + chunks_[current_].bytes;
+        return;
+      }
+    }
+    std::size_t bytes = chunks_.empty() ? first_chunk_bytes_
+                                        : chunks_.back().bytes * 2;
+    while (bytes < need) bytes *= 2;
+    chunks_.push_back({std::make_unique<std::byte[]>(bytes), bytes});
+    current_ = chunks_.size() - 1;
+    cursor_ = reinterpret_cast<std::uintptr_t>(chunks_.back().data.get());
+    chunk_end_ = cursor_ + bytes;
+  }
+
+  std::size_t first_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t chunk_end_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace pobp

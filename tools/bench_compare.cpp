@@ -1,0 +1,325 @@
+// bench_compare — the perf-regression gate (tools/ci_check.sh perf stage).
+//
+//   bench_compare [--tol FRAC] baseline.json current.json
+//
+// Reads two benchmark result files and fails (exit 1) when the current run
+// regresses against the checked-in baseline:
+//
+//   * ns/op (or real_time): current > baseline * (1 + FRAC) — wall-clock
+//     comparisons are machine-sensitive, so the tolerance defaults to 15%
+//     (the ISSUE's regression budget) and is configurable;
+//   * allocs/op: current > baseline — allocation counts are deterministic
+//     and machine-independent, so they are gated strictly.  This is the
+//     enforcement half of the zero-allocation hot-path contract.
+//
+// Two input formats are auto-detected per file:
+//   * the custom bench JSON written by bench_common.hpp's JsonWriter
+//     ({"metrics": [{"name", "ns_per_op", "allocs_per_op"}]}), and
+//   * google-benchmark --benchmark_out JSON ({"benchmarks": [{"name",
+//     "real_time", "time_unit", "allocs_op", ...}]}); aggregate and
+//     complexity-fit entries (_BigO, _RMS, _mean, ...) are skipped.
+//
+// Metrics present in the baseline but missing from the current run fail the
+// gate (a silently dropped metric is a dropped guarantee); metrics only in
+// the current run are reported as new and pass.
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON -----------------------------------------------------------
+
+struct JValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JValue> array;
+  std::vector<std::pair<std::string, JValue>> object;
+
+  const JValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  std::optional<JValue> parse() {
+    JValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.type = JValue::Type::kString;
+      return parse_string(out.string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.type = JValue::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.type = JValue::Type::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_object(JValue& out) {
+    out.type = JValue::Type::kObject;
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      JValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JValue& out) {
+    out.type = JValue::Type::kArray;
+    if (!consume('[')) return false;
+    if (consume(']')) return true;
+    for (;;) {
+      JValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u':  // keep the raw escape; names never need code points
+            out += "\\u";
+            break;
+          default: out += esc; break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;
+  }
+
+  bool parse_number(JValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.type = JValue::Type::kNumber;
+    out.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// --- metric extraction ------------------------------------------------------
+
+struct Sample {
+  double ns_per_op = -1;    // < 0 = absent
+  double allocs_per_op = -1;
+};
+
+double to_ns(double value, const std::string& unit) {
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  if (unit == "s") return value * 1e9;
+  return value;  // ns (google-benchmark's default)
+}
+
+bool is_aggregate(const JValue& entry, const std::string& name) {
+  if (const JValue* rt = entry.find("run_type")) {
+    if (rt->string != "iteration") return true;
+  }
+  return name.find("_BigO") != std::string::npos ||
+         name.find("_RMS") != std::string::npos ||
+         name.find("_mean") != std::string::npos ||
+         name.find("_median") != std::string::npos ||
+         name.find("_stddev") != std::string::npos ||
+         name.find("_cv") != std::string::npos;
+}
+
+std::optional<std::map<std::string, Sample>> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_compare: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto root = JsonParser(buffer.str()).parse();
+  if (!root || root->type != JValue::Type::kObject) {
+    std::cerr << "bench_compare: " << path << ": not a JSON object\n";
+    return std::nullopt;
+  }
+
+  std::map<std::string, Sample> out;
+  if (const JValue* metrics = root->find("metrics")) {
+    // bench_common.hpp JsonWriter format.
+    for (const JValue& m : metrics->array) {
+      const JValue* name = m.find("name");
+      if (name == nullptr) continue;
+      Sample s;
+      if (const JValue* v = m.find("ns_per_op")) s.ns_per_op = v->number;
+      if (const JValue* v = m.find("allocs_per_op")) {
+        s.allocs_per_op = v->number;
+      }
+      out[name->string] = s;
+    }
+    return out;
+  }
+  if (const JValue* benchmarks = root->find("benchmarks")) {
+    // google-benchmark --benchmark_out format.
+    for (const JValue& b : benchmarks->array) {
+      const JValue* name = b.find("name");
+      if (name == nullptr || is_aggregate(b, name->string)) continue;
+      Sample s;
+      if (const JValue* v = b.find("real_time")) {
+        const JValue* unit = b.find("time_unit");
+        s.ns_per_op = to_ns(v->number, unit ? unit->string : "ns");
+      }
+      if (const JValue* v = b.find("allocs_op")) s.allocs_per_op = v->number;
+      out[name->string] = s;
+    }
+    return out;
+  }
+  std::cerr << "bench_compare: " << path
+            << ": neither \"metrics\" nor \"benchmarks\" found\n";
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tol = 0.15;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tol" && i + 1 < argc) {
+      tol = std::strtod(argv[++i], nullptr);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "usage: bench_compare [--tol FRAC] baseline.json "
+                 "current.json\n";
+    return 2;
+  }
+
+  const auto baseline = load(paths[0]);
+  const auto current = load(paths[1]);
+  if (!baseline || !current) return 2;
+
+  int regressions = 0;
+  for (const auto& [name, base] : *baseline) {
+    const auto it = current->find(name);
+    if (it == current->end()) {
+      std::cerr << "FAIL " << name << ": present in baseline, missing from "
+                << "current run\n";
+      ++regressions;
+      continue;
+    }
+    const Sample& cur = it->second;
+    if (base.ns_per_op >= 0 && cur.ns_per_op >= 0) {
+      const double limit = base.ns_per_op * (1.0 + tol);
+      const bool bad = cur.ns_per_op > limit;
+      std::cout << (bad ? "FAIL " : "ok   ") << name << ": "
+                << cur.ns_per_op << " ns/op vs baseline " << base.ns_per_op
+                << " (limit " << limit << ")\n";
+      if (bad) ++regressions;
+    }
+    if (base.allocs_per_op >= 0 && cur.allocs_per_op >= 0) {
+      const bool bad = cur.allocs_per_op > base.allocs_per_op + 1e-9;
+      std::cout << (bad ? "FAIL " : "ok   ") << name << ": "
+                << cur.allocs_per_op << " allocs/op vs baseline "
+                << base.allocs_per_op << " (strict)\n";
+      if (bad) ++regressions;
+    }
+  }
+  for (const auto& [name, cur] : *current) {
+    if (baseline->find(name) == baseline->end()) {
+      std::cout << "new  " << name << " (no baseline, not gated)\n";
+    }
+  }
+
+  if (regressions > 0) {
+    std::cerr << regressions << " perf regression(s) vs " << paths[0] << "\n";
+    return 1;
+  }
+  std::cout << "bench_compare: no regressions vs " << paths[0] << "\n";
+  return 0;
+}

@@ -3,7 +3,7 @@
 # each, clang-tidy (when installed), and a pobp_lint smoke run on the
 # known-bad fixtures.
 #
-#   tools/ci_check.sh [--skip-tsan] [--skip-tidy]
+#   tools/ci_check.sh [--skip-tsan] [--skip-tidy] [--skip-perf]
 #
 # Presets come from CMakePresets.json; build trees land in
 # build-<preset>/.  The script is self-gating: sanitizers or clang-tidy
@@ -15,10 +15,12 @@ cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 SKIP_TIDY=0
+SKIP_PERF=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-tidy) SKIP_TIDY=1 ;;
+    --skip-perf) SKIP_PERF=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -50,6 +52,29 @@ run_preset werror
 
 # 2. Release build + tests (the tier-1 configuration).
 run_preset release
+
+# 2b. Perf-regression gate (see docs/PERF.md): run the engine throughput
+#     bench and the pooled-stage google-benchmark subset in Release, write
+#     BENCH_engine.json / BENCH_runtime.json, and diff them against the
+#     checked-in baselines with bench_compare.  Time regresses at > 15%
+#     (bench_compare's default tolerance); allocs/op regress strictly —
+#     that is the zero-allocation hot-path contract.  Refresh baselines
+#     with tools/refresh_bench_baselines.sh after an intentional change.
+if [ "$SKIP_PERF" -eq 0 ]; then
+  say "perf smoke (bench_compare vs bench/baselines)"
+  build-release/bench/bench_engine_throughput --instances 32 --repeats 2 \
+      --json build-release/BENCH_engine.json
+  build-release/bench/bench_runtime \
+      --benchmark_filter="$(cat bench/baselines/runtime_filter.txt)" \
+      --benchmark_out=build-release/BENCH_runtime.json \
+      --benchmark_out_format=json > /dev/null
+  build-release/tools/bench_compare bench/baselines/BENCH_engine.json \
+      build-release/BENCH_engine.json
+  build-release/tools/bench_compare bench/baselines/BENCH_runtime.json \
+      build-release/BENCH_runtime.json
+else
+  say "perf smoke: skipped"
+fi
 
 # 3. Sanitizers.  The asan-ubsan preset also compiles the pobp::fault
 #    injection sites in (POBP_FAULT_INJECTION=ON), so its ctest run covers

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in perf baselines in bench/baselines/ from the
+# current tree's Release build.  Run after an *intentional* perf change,
+# review the diff (allocs/op should only ever go down), and commit the
+# result; tools/ci_check.sh's perf stage gates every later run against
+# these files via tools/bench_compare.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)" \
+  --target bench_engine_throughput bench_runtime bench_compare
+
+build-release/bench/bench_engine_throughput --instances 32 --repeats 2 \
+  --json bench/baselines/BENCH_engine.json
+
+build-release/bench/bench_runtime \
+  --benchmark_filter="$(cat bench/baselines/runtime_filter.txt)" \
+  --benchmark_out=bench/baselines/BENCH_runtime.json \
+  --benchmark_out_format=json > /dev/null
+
+echo "baselines refreshed:"
+ls -l bench/baselines/
