@@ -8,11 +8,14 @@
 //   json.metric("solve_batch_w1").ns_per_op(...).allocs_per_op(...);
 //   json.write("BENCH_engine.json");
 //
-// Format: {"bench": ..., "peak_rss_kb": ..., "metrics": [{"name": ...,
-// "ns_per_op": ..., "allocs_per_op": ...}, ...]}.  allocs_per_op is only
-// emitted when the binary links pobp::allocspy and counting is live
+// Format: {"bench": ..., "peak_rss_kb": ..., "peak_rss_delta_kb": ...,
+// "metrics": [{"name": ..., "ns_per_op": ..., "allocs_per_op": ...,
+// "ops_per_s": ..., "value": ...}, ...]}.  allocs_per_op is only emitted
+// when the binary links pobp::allocspy and counting is live
 // (alloccount::arm()) — it is the machine-independent half of the gate,
-// compared strictly; ns_per_op is compared with a tolerance.
+// compared strictly; ns_per_op and ops_per_s are compared with a
+// tolerance (lower/higher is better respectively); "value" is an
+// ungated indicator (e.g. scaling efficiency).
 #pragma once
 
 #include <cstdint>
@@ -42,7 +45,11 @@ inline void emit(const Table& table) {
 
 /// Peak resident set size of this process in kB (VmHWM from
 /// /proc/self/status), or 0 where unavailable.  Informational only — the
-/// compare gate never fails on RSS.
+/// compare gate never fails on RSS.  VmHWM is a high-water mark, so a
+/// single end-of-run sample mostly measures corpus construction and
+/// warmup; JsonWriter therefore samples it both at construction (before
+/// the measured region) and at write() and reports the delta — the peak
+/// growth attributable to the measurements themselves.
 inline std::uint64_t peak_rss_kb() {
   std::ifstream status("/proc/self/status");
   std::string line;
@@ -61,6 +68,8 @@ struct Metric {
   std::string name;
   double ns_per_op = -1;      ///< < 0 = not measured
   double allocs_per_op = -1;  ///< < 0 = not measured (counting disarmed)
+  double ops_per_s = -1;      ///< throughput (gated: higher is better)
+  double value = -1;          ///< free-form indicator (reported, not gated)
 
   Metric& ns(double v) {
     ns_per_op = v;
@@ -70,13 +79,21 @@ struct Metric {
     allocs_per_op = v;
     return *this;
   }
+  Metric& ops(double v) {
+    ops_per_s = v;
+    return *this;
+  }
+  Metric& val(double v) {
+    value = v;
+    return *this;
+  }
 };
 
 /// Collects metrics and writes the perf-gate JSON.
 class JsonWriter {
  public:
   explicit JsonWriter(std::string bench_name)
-      : bench_(std::move(bench_name)) {}
+      : bench_(std::move(bench_name)), rss_before_kb_(peak_rss_kb()) {}
 
   Metric& metric(const std::string& name) {
     metrics_.push_back(Metric{name});
@@ -89,8 +106,12 @@ class JsonWriter {
       std::cerr << "bench: cannot write " << path << "\n";
       return false;
     }
+    const std::uint64_t rss_after = peak_rss_kb();
+    const std::uint64_t rss_delta =
+        rss_after > rss_before_kb_ ? rss_after - rss_before_kb_ : 0;
     out << "{\n  \"bench\": \"" << bench_ << "\",\n"
-        << "  \"peak_rss_kb\": " << peak_rss_kb() << ",\n"
+        << "  \"peak_rss_kb\": " << rss_after << ",\n"
+        << "  \"peak_rss_delta_kb\": " << rss_delta << ",\n"
         << "  \"metrics\": [\n";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       const Metric& m = metrics_[i];
@@ -99,6 +120,8 @@ class JsonWriter {
       if (m.allocs_per_op >= 0) {
         out << ", \"allocs_per_op\": " << m.allocs_per_op;
       }
+      if (m.ops_per_s >= 0) out << ", \"ops_per_s\": " << m.ops_per_s;
+      if (m.value >= 0) out << ", \"value\": " << m.value;
       out << "}" << (i + 1 < metrics_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -107,6 +130,7 @@ class JsonWriter {
 
  private:
   std::string bench_;
+  std::uint64_t rss_before_kb_;  ///< VmHWM sampled before measurements
   std::vector<Metric> metrics_;
 };
 

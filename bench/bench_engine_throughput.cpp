@@ -1,21 +1,37 @@
 // E-ENGINE — batch-solve throughput of pobp::Engine vs worker count.
 //
-// Streams a fixed corpus of random instances through Engine::solve_batch at
-// worker counts 1/2/4/8 and reports instances/sec and speedup over the
+// Streams a fixed corpus of random instances through Engine::solve_batch_into
+// at worker counts 1/2/4/8 and reports instances/sec and speedup over the
 // 1-worker baseline.  Also re-checks the engine's determinism contract:
-// every worker count must produce bit-identical schedules.
+// every worker count must produce bit-identical schedules (the sharded
+// work-stealing scheduler moves instances between sessions, never changes
+// their results).
 //
 //   bench_engine_throughput [--smoke] [--instances N] [--repeats R]
-//                           [--json PATH]
+//                           [--json PATH] [--gate-allocs N]
+//                           [--gate-scaling X] [--lenient-scaling]
 //
 // --smoke shrinks the corpus for CI (tools/ci_check.sh).  The speedup
-// column is reported, not asserted: single-core runners legitimately show
-// ~1x for every worker count.
+// column is reported, not asserted by default: single-core runners
+// legitimately show ~1x for every worker count.
+//
+// Gates (tools/ci_check.sh perf stage):
+//   --gate-allocs N    fail when steady-state allocs/solve exceeds N
+//                      (machine-independent — always meaningful);
+//   --gate-scaling X   fail when the 8-worker throughput is below X times
+//                      the 1-worker throughput (only meaningful with ≥ 8
+//                      real cores);
+//   --lenient-scaling  demote a --gate-scaling failure to a warning — for
+//                      CI runners with fewer cores than workers, where the
+//                      floor is physically unreachable.
 //
 // --json writes BENCH_engine.json for the perf-regression gate
-// (tools/bench_compare): ns/instance at workers 1 and 8, plus the
-// steady-state heap allocations per solve on a warmed session — the
-// pooled-scratch contract that tools/ci_check.sh enforces strictly.
+// (tools/bench_compare): ns/instance and instances/s at workers 1 and 8,
+// the w8 scaling efficiency (speedup / 8, ungated — machine-sensitive),
+// and the steady-state heap allocations per solve on a warmed session —
+// the pooled result-arena contract that tools/ci_check.sh enforces
+// strictly.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -54,8 +70,14 @@ std::string fingerprint(const std::vector<ScheduleResult>& results) {
   return out;
 }
 
+struct Gates {
+  double max_allocs = -1;    ///< < 0 = no allocation gate
+  double min_scaling = -1;   ///< < 0 = no scaling gate (w8 ≥ X · w1)
+  bool lenient_scaling = false;
+};
+
 int run(std::size_t instance_count, std::size_t repeats,
-        const std::string& json_path) {
+        const std::string& json_path, const Gates& gates) {
   const std::vector<JobSet> instances = make_corpus(instance_count);
   const ScheduleOptions schedule{.k = 1, .machine_count = 2};
   const bool counting = alloccount::arm();
@@ -68,13 +90,16 @@ int run(std::size_t instance_count, std::size_t repeats,
   Table table("engine throughput",
               {"workers", "instances/s", "speedup", "mean solve ms"});
   double baseline = 0;
+  double rate_w8 = 0;
   std::string expected;
+  std::vector<ScheduleResult> results;  // reused: the harvest pattern
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}, std::size_t{8}}) {
     Engine engine({.schedule = schedule, .workers = workers});
     std::string got;
     for (std::size_t r = 0; r < repeats; ++r) {
-      got = fingerprint(engine.solve_batch(instances));
+      engine.solve_batch_into(instances, results);
+      got = fingerprint(results);
     }
     if (workers == 1) {
       expected = got;
@@ -87,9 +112,11 @@ int run(std::size_t instance_count, std::size_t repeats,
     const EngineMetrics m = engine.metrics();
     const double rate = m.instances_per_second();
     if (workers == 1) baseline = rate;
+    if (workers == 8) rate_w8 = rate;
     if (workers == 1 || workers == 8) {
       json.metric("solve_batch_w" + std::to_string(workers))
-          .ns(rate > 0 ? 1e9 / rate : 0);
+          .ns(rate > 0 ? 1e9 / rate : 0)
+          .ops(rate);
     }
     table.add_row({Table::fmt(static_cast<std::uint64_t>(workers)),
                    Table::fmt(rate, 1),
@@ -100,31 +127,68 @@ int run(std::size_t instance_count, std::size_t repeats,
   std::cout << "\ndeterminism: all worker counts bit-identical over "
             << instance_count << " instances x " << repeats << " repeats\n";
 
-  // Steady-state allocations per solve: one warmed single-worker session,
-  // one warmup pass to grow every scratch buffer, then count.  This is the
-  // pooled-scratch contract — machine-independent and compared strictly by
-  // tools/bench_compare.
+  const double speedup_w8 = baseline > 0 ? rate_w8 / baseline : 0;
+  json.metric("scaling_efficiency_w8").val(speedup_w8 / 8.0);
+  std::cout << "scaling: w8 speedup " << speedup_w8 << "x (efficiency "
+            << speedup_w8 / 8.0 << ")\n";
+
+  // Steady-state allocations per solve: one warmed single-worker engine
+  // solving into a reused results vector — the serving-loop shape.  The
+  // warmup batch grows every scratch buffer and every pooled result
+  // schedule; the measured batch must then stay off the heap.  This is the
+  // result-arena contract — machine-independent and compared strictly by
+  // tools/bench_compare (and gated absolutely by --gate-allocs).
+  double steady_allocs = -1;
   {
     Engine engine({.schedule = schedule, .workers = 1});
-    auto warm = engine.solve_batch(instances);  // grow scratch buffers
-    (void)warm;
+    engine.solve_batch_into(instances, results);  // grow scratch + arena
     bench::Metric& m = json.metric("steady_allocs_per_solve");
     if (counting) {
       const alloccount::Scope scope;
-      auto measured = engine.solve_batch(instances);
-      (void)measured;
-      const double per_solve =
-          static_cast<double>(scope.allocations()) /
-          static_cast<double>(instances.size());
-      m.allocs(per_solve);
-      std::cout << "steady-state allocs/solve: " << per_solve << "\n";
+      engine.solve_batch_into(instances, results);
+      steady_allocs = static_cast<double>(scope.allocations()) /
+                      static_cast<double>(instances.size());
+      m.allocs(steady_allocs);
+      std::cout << "steady-state allocs/solve: " << steady_allocs << "\n";
     } else {
       std::cout << "steady-state allocs/solve: (counting disarmed)\n";
     }
   }
 
   if (!json_path.empty() && !json.write(json_path)) return 1;
-  return 0;
+
+  int failures = 0;
+  if (gates.max_allocs >= 0) {
+    if (steady_allocs < 0) {
+      std::cerr << "GATE allocs: counting disarmed, cannot enforce\n";
+      ++failures;
+    } else if (steady_allocs > gates.max_allocs) {
+      std::cerr << "GATE allocs: " << steady_allocs
+                << " allocs/solve exceeds the limit of " << gates.max_allocs
+                << "\n";
+      ++failures;
+    } else {
+      std::cout << "gate allocs: ok (" << steady_allocs << " <= "
+                << gates.max_allocs << ")\n";
+    }
+  }
+  if (gates.min_scaling >= 0) {
+    if (speedup_w8 + 1e-9 < gates.min_scaling) {
+      if (gates.lenient_scaling) {
+        std::cout << "gate scaling: WARN w8 speedup " << speedup_w8
+                  << "x below the floor of " << gates.min_scaling
+                  << "x (lenient mode: not failing)\n";
+      } else {
+        std::cerr << "GATE scaling: w8 speedup " << speedup_w8
+                  << "x below the floor of " << gates.min_scaling << "x\n";
+        ++failures;
+      }
+    } else {
+      std::cout << "gate scaling: ok (w8 speedup " << speedup_w8 << "x >= "
+                << gates.min_scaling << "x)\n";
+    }
+  }
+  return failures > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -134,6 +198,7 @@ int main(int argc, char** argv) {
   std::size_t instances = 64;
   std::size_t repeats = 3;
   std::string json_path;
+  pobp::Gates gates;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -145,11 +210,19 @@ int main(int argc, char** argv) {
       repeats = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--gate-allocs" && i + 1 < argc) {
+      gates.max_allocs = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--gate-scaling" && i + 1 < argc) {
+      gates.min_scaling = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--lenient-scaling") {
+      gates.lenient_scaling = true;
     } else {
       std::cerr << "usage: bench_engine_throughput [--smoke] "
-                   "[--instances N] [--repeats R] [--json PATH]\n";
+                   "[--instances N] [--repeats R] [--json PATH] "
+                   "[--gate-allocs N] [--gate-scaling X] "
+                   "[--lenient-scaling]\n";
       return 2;
     }
   }
-  return pobp::run(instances, repeats, json_path);
+  return pobp::run(instances, repeats, json_path, gates);
 }

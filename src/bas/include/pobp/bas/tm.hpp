@@ -34,10 +34,19 @@ struct TmResult {
   std::vector<Value> m;    ///< m(u) per node (aggregate value if pruned-up)
 };
 
+/// Per-root-tree buffers for tm_optimal_bas_forked (one per concurrent
+/// root task, recycled across solves).
+struct TmForkTask {
+  std::vector<NodeId> nodes;  ///< root subtree, parents-first
+  std::vector<NodeId> topk;   ///< per-task top-k staging
+  std::vector<std::pair<NodeId, char>> stack;  ///< per-task decision stack
+};
+
 /// Reusable buffers for the DP passes.
 struct TmScratch {
   std::vector<NodeId> topk;  ///< top-k selection staging (≥ k+1 children)
   std::vector<std::pair<NodeId, char>> stack;  ///< top-down decision stack
+  std::vector<TmForkTask> fork_tasks;  ///< per-root tasks (forked entry)
 };
 
 /// Computes the optimal (max-value) k-BAS of `forest` for degree bound k.
@@ -57,5 +66,20 @@ TmResult tm_optimal_bas(const Forest& forest,
 void tm_optimal_bas(const Forest& forest,
                     std::span<const std::size_t> degree_bounds,
                     TmScratch& scratch, TmResult& out);
+
+/// Intra-solve parallel form: identical (bit-for-bit) result to
+/// tm_optimal_bas — root subtrees are disjoint and every DP quantity
+/// depends only on a node's descendants, so running the per-root DPs
+/// concurrently and summing root optima in root order changes nothing —
+/// but fans the roots out across the global thread pool when the forest
+/// has at least `fork_min_nodes` nodes and more than one root
+/// (`fork_min_nodes` = 0 disables forking).  Falls back to the serial DP
+/// when a SolveBudget is active: budget op accounting is thread-local and
+/// the exhaustion point must not depend on the worker count.  Inside an
+/// engine batch worker parallel_for itself degrades to a serial loop, so
+/// the fan-out only ever uses otherwise-idle threads.
+void tm_optimal_bas_forked(const Forest& forest, std::size_t k,
+                           TmScratch& scratch, TmResult& out,
+                           std::size_t fork_min_nodes);
 
 }  // namespace pobp

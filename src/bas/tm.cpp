@@ -7,6 +7,7 @@
 #include "pobp/util/assert.hpp"
 #include "pobp/util/budget.hpp"
 #include "pobp/util/faultinject.hpp"
+#include "pobp/util/parallel.hpp"
 
 namespace pobp {
 namespace {
@@ -97,7 +98,96 @@ void tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of,
                1e-9 * (1.0 + std::abs(result.value)));
 }
 
+/// One root's share of the DP: bottom-up over the root's subtree (reverse
+/// parents-first order = children before parents), then the top-down
+/// decision pass from that root.  Writes only to this subtree's entries of
+/// t/m/keep — disjoint from every other root task by construction.
+void tm_root_task(const Forest& forest, std::size_t k, NodeId root,
+                  TmForkTask& task, TmResult& result) {
+  forest.subtree(root, task.nodes);
+  for (std::size_t i = task.nodes.size(); i-- > 0;) {
+    const NodeId u = task.nodes[i];
+    Value t_u = forest.value(u);
+    for (const NodeId c :
+         top_k_children(forest, result.t, u, k, task.topk)) {
+      t_u += result.t[c];
+    }
+    Value m_u = 0;
+    for (const NodeId c : forest.children(u)) {
+      m_u += std::max(result.t[c], result.m[c]);
+    }
+    result.t[u] = t_u;
+    result.m[u] = m_u;
+  }
+
+  auto& stack = task.stack;
+  stack.clear();
+  stack.emplace_back(root,
+                     result.t[root] >= result.m[root] ? kRetain : kPruneUp);
+  while (!stack.empty()) {
+    const auto [u, decision] = stack.back();
+    stack.pop_back();
+    if (decision == kRetain) {
+      result.selection.keep[u] = 1;
+      for (const NodeId c :
+           top_k_children(forest, result.t, u, k, task.topk)) {
+        stack.emplace_back(c, kRetain);
+      }
+    } else {
+      for (const NodeId c : forest.children(u)) {
+        stack.emplace_back(c, result.t[c] >= result.m[c] ? kRetain
+                                                         : kPruneUp);
+      }
+    }
+  }
+}
+
 }  // namespace
+
+void tm_optimal_bas_forked(const Forest& forest, std::size_t k,
+                           TmScratch& scratch, TmResult& out,
+                           std::size_t fork_min_nodes) {
+  const std::span<const NodeId> roots = forest.roots();
+  if (fork_min_nodes == 0 || forest.size() < fork_min_nodes ||
+      roots.size() < 2 || BudgetGuard::active() != nullptr) {
+    tm_optimal_bas(forest, k, scratch, out);
+    return;
+  }
+  POBP_FAULT_POINT(kTmDp);  // same site + call count as the serial entry
+  forest.finalize();        // CSR must exist before const cross-thread use
+
+  const std::size_t n = forest.size();
+  out.value = 0;
+  out.t.assign(n, 0);
+  out.m.assign(n, 0);
+  out.selection.keep.assign(n, 0);
+
+  auto& tasks = scratch.fork_tasks;
+  if (tasks.size() < roots.size()) tasks.resize(roots.size());
+
+  // Exceptions must not escape into the pool (fatal by ThreadPool
+  // contract): capture per root, rethrow the lowest-indexed one.
+  std::vector<std::exception_ptr> errors(roots.size());
+  parallel_for(0, roots.size(), [&](std::size_t i) {
+    try {
+      tm_root_task(forest, k, roots[i], tasks[i], out);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  Value total = 0;
+  for (const NodeId r : roots) {
+    total += std::max(out.t[r], out.m[r]);
+  }
+  out.value = total;
+
+  POBP_DASSERT(std::abs(out.selection.value(forest) - out.value) <=
+               1e-9 * (1.0 + std::abs(out.value)));
+}
 
 void tm_optimal_bas(const Forest& forest, std::size_t k, TmScratch& scratch,
                     TmResult& out) {

@@ -22,19 +22,20 @@ Schedule seed_unbounded_schedule(const JobSet& jobs,
   return seed_unbounded_schedule(jobs, options, ids);
 }
 
-Schedule seed_unbounded_schedule(const JobSet& jobs,
-                                 const ScheduleOptions& options,
-                                 std::span<const JobId> ids,
-                                 SolveScratch* scratch) {
+void seed_unbounded_schedule_into(const JobSet& jobs,
+                                  const ScheduleOptions& options,
+                                  std::span<const JobId> ids,
+                                  SolveScratch& scratch, Schedule& out) {
   if (options.seed == ScheduleOptions::Seed::kGreedyDensity) {
-    if (scratch != nullptr) {
-      return greedy_infinity_multi(jobs, ids, options.machine_count,
-                                   scratch->greedy);
-    }
-    return greedy_infinity_multi(jobs, ids, options.machine_count);
+    greedy_infinity_multi_into(jobs, ids, options.machine_count,
+                               scratch.greedy, out);
+    return;
   }
-  Schedule out(options.machine_count);
-  std::vector<JobId> remaining(ids.begin(), ids.end());
+  // Exact B&B seed — a cold path (n ≤ kExactSeedJobLimit): the output is
+  // pooled, but the solver's own allocations are not worth chasing.
+  out.reset(options.machine_count);
+  auto& remaining = scratch.remaining;
+  remaining.assign(ids.begin(), ids.end());
   for (std::size_t m = 0; m < options.machine_count && !remaining.empty();
        ++m) {
     BudgetGuard::poll();
@@ -43,10 +44,23 @@ Schedule seed_unbounded_schedule(const JobSet& jobs,
       auto schedule = edf_schedule(jobs, sol.members);
       POBP_CHECK_MSG(schedule.has_value(),
                      "B&B returned an infeasible subset");
-      out.machine(m) = std::move(*schedule);
+      out.machine(m).assign_from(*schedule);
     }
     std::erase_if(remaining,
                   [&](JobId id) { return out.machine(m).contains(id); });
+  }
+}
+
+Schedule seed_unbounded_schedule(const JobSet& jobs,
+                                 const ScheduleOptions& options,
+                                 std::span<const JobId> ids,
+                                 SolveScratch* scratch) {
+  Schedule out(options.machine_count);
+  if (scratch != nullptr) {
+    seed_unbounded_schedule_into(jobs, options, ids, *scratch, out);
+  } else {
+    SolveScratch local;
+    seed_unbounded_schedule_into(jobs, options, ids, local, out);
   }
   return out;
 }
@@ -72,23 +86,21 @@ diag::Report check_schedule_options(const JobSet& jobs,
   return report;
 }
 
-CombinedMultiResult k_preemption_combined_multi(
+CombinedMultiValues k_preemption_combined_multi_into(
     const JobSet& jobs, const Schedule& unbounded,
     const CombinedOptions& options, PipelineTimings* timings,
-    SolveScratch* scratch) {
-  CombinedMultiResult result;
+    SolveScratch& s, Schedule& out) {
+  CombinedMultiValues values;
   const std::size_t machines = unbounded.machine_count();
   const Rational threshold(static_cast<std::int64_t>(options.k) + 1);
-
-  SolveScratch local;
-  SolveScratch& s = scratch != nullptr ? *scratch : local;
   ReductionScratch& rs = s.reduction;
 
   // Strict branch: reduce each machine's restriction separately.  The
   // restriction itself is never materialized — the laminar rearrangement is
   // a pure function of the strict job subset (see laminarize_subset).
   Stopwatch sw;
-  Schedule strict_schedule(machines);
+  Schedule& strict_schedule = s.strict_sched;
+  strict_schedule.reset(machines);
   auto& lax_ids = s.lax_ids;
   lax_ids.clear();
   for (std::size_t m = 0; m < machines; ++m) {
@@ -101,14 +113,14 @@ CombinedMultiResult k_preemption_combined_multi(
     }
     if (strict_ids.empty()) continue;
     sw.lap();
-    const MachineSchedule laminar =
-        laminarize_subset(jobs, strict_ids, rs.laminar);
+    laminarize_subset_into(jobs, strict_ids, rs.laminar, s.laminar_stage);
     if (timings) timings->laminarize_s += sw.lap();
-    build_schedule_forest(jobs, laminar, rs.sf, rs.forest_build);
+    build_schedule_forest(jobs, s.laminar_stage, rs.sf, rs.forest_build);
     if (timings) timings->forest_s += sw.lap();
     const SubForest* sel;
     if (options.use_tm) {
-      tm_optimal_bas(rs.sf.forest, options.k, rs.tm, rs.tm_result);
+      tm_optimal_bas_forked(rs.sf.forest, options.k, rs.tm, rs.tm_result,
+                            options.tm_fork_min_nodes);
       sel = &rs.tm_result.selection;
     } else {
       levelled_contraction_select(rs.sf.forest, options.k, rs.contraction,
@@ -116,39 +128,73 @@ CombinedMultiResult k_preemption_combined_multi(
       sel = &rs.contraction_sel;
     }
     if (timings) timings->prune_s += sw.lap();
-    strict_schedule.machine(m) = rebuild_schedule(jobs, rs.sf, *sel,
-                                                  rs.rebuild);
+    rebuild_schedule_into(jobs, rs.sf, *sel, rs.rebuild,
+                          strict_schedule.machine(m));
     if (timings) timings->merge_s += sw.lap();
   }
-  result.strict_value = strict_schedule.total_value(jobs);
+  values.strict_value = strict_schedule.total_value(jobs);
 
   // Lax branch: iterative multi-machine LSA_CS on all lax jobs.
   sw.lap();
-  Schedule lax_schedule =
-      lsa_cs_multi(jobs, lax_ids, options.k, machines, s.lsa);
+  Schedule& lax_schedule = s.lax_sched;
+  lsa_cs_multi_into(jobs, lax_ids, options.k, machines, s.lsa, lax_schedule);
   if (timings) timings->lsa_s += sw.lap();
-  result.lax_value = lax_schedule.total_value(jobs);
+  values.lax_value = lax_schedule.total_value(jobs);
 
-  // Full-reduction branch (Theorem 4.2, per machine).
-  Schedule full_schedule(machines);
+  // Full-reduction branch (Theorem 4.2, per machine): the same four stages
+  // as the strict branch on each machine's whole job set, always pruned
+  // with the exact TM DP (mirrors reduce_to_k_preemptive, pooled).
+  Schedule& full_schedule = s.full_sched;
+  full_schedule.reset(machines);
   for (std::size_t m = 0; m < machines; ++m) {
-    full_schedule.machine(m) =
-        reduce_to_k_preemptive(jobs, unbounded.machine(m), options.k, timings,
-                               &rs)
-            .bounded;
+    const MachineSchedule& input = unbounded.machine(m);
+    if (input.empty()) continue;
+    sw.lap();
+    laminarize_into(jobs, input, rs.laminar, s.laminar_stage);
+    if (timings) timings->laminarize_s += sw.lap();
+    build_schedule_forest(jobs, s.laminar_stage, rs.sf, rs.forest_build);
+    if (timings) timings->forest_s += sw.lap();
+    tm_optimal_bas_forked(rs.sf.forest, options.k, rs.tm, rs.tm_result,
+                          options.tm_fork_min_nodes);
+    if (timings) timings->prune_s += sw.lap();
+    rebuild_schedule_into(jobs, rs.sf, rs.tm_result.selection, rs.rebuild,
+                          full_schedule.machine(m));
+    if (timings) timings->merge_s += sw.lap();
   }
   const Value full_value = full_schedule.total_value(jobs);
 
-  if (full_value >= result.strict_value && full_value >= result.lax_value) {
-    result.schedule = std::move(full_schedule);
-    result.value = full_value;
-  } else if (result.strict_value >= result.lax_value) {
-    result.schedule = std::move(strict_schedule);
-    result.value = result.strict_value;
+  if (full_value >= values.strict_value && full_value >= values.lax_value) {
+    out.assign_from(full_schedule);
+    values.value = full_value;
+  } else if (values.strict_value >= values.lax_value) {
+    out.assign_from(strict_schedule);
+    values.value = values.strict_value;
   } else {
-    result.schedule = std::move(lax_schedule);
-    result.value = result.lax_value;
+    out.assign_from(lax_schedule);
+    values.value = values.lax_value;
   }
+  return values;
+}
+
+CombinedMultiResult k_preemption_combined_multi(
+    const JobSet& jobs, const Schedule& unbounded,
+    const CombinedOptions& options, PipelineTimings* timings,
+    SolveScratch* scratch) {
+  CombinedMultiResult result;
+  CombinedMultiValues values;
+  if (scratch != nullptr) {
+    values = k_preemption_combined_multi_into(jobs, unbounded, options,
+                                              timings, *scratch,
+                                              result.schedule);
+  } else {
+    SolveScratch local;
+    values = k_preemption_combined_multi_into(jobs, unbounded, options,
+                                              timings, local,
+                                              result.schedule);
+  }
+  result.value = values.value;
+  result.strict_value = values.strict_value;
+  result.lax_value = values.lax_value;
   return result;
 }
 

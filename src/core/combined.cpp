@@ -86,20 +86,21 @@ CombinedResult k_preemption_combined(const JobSet& jobs,
   return result;
 }
 
-NonPreemptiveResult schedule_nonpreemptive(const JobSet& jobs,
-                                           std::span<const JobId> candidates,
-                                           PipelineTimings* timings,
-                                           LsaScratch* scratch) {
-  NonPreemptiveResult result;
-  if (candidates.empty()) return result;
+Value schedule_nonpreemptive_into(const JobSet& jobs,
+                                  std::span<const JobId> candidates,
+                                  PipelineTimings* timings,
+                                  LsaScratch& scratch, MachineSchedule& out) {
+  out.clear();
+  if (candidates.empty()) return 0;
 
   // Branch (a): LSA_CS with k = 0 (en-bloc placement, length classes of
-  // ratio ≤ 2 — §5's adjustment of Alg. 2).
+  // ratio ≤ 2 — §5's adjustment of Alg. 2).  cs_best is the scratch's
+  // pooled staging result (lsa_cs_into itself stages through
+  // scratch.attempt, so the two never alias).
   Stopwatch sw;
-  LsaScratch local;
-  LsaResult cs =
-      lsa_cs(jobs, candidates, /*k=*/0, ClassifyBy::kLength,
-             LsaOrder::kDensity, scratch != nullptr ? *scratch : local);
+  LsaResult& cs = scratch.cs_best;
+  lsa_cs_into(jobs, candidates, /*k=*/0, ClassifyBy::kLength,
+              LsaOrder::kDensity, scratch, cs);
   if (timings) timings->lsa_s += sw.lap();
   const Value cs_value = cs.schedule.total_value(jobs);
 
@@ -110,13 +111,23 @@ NonPreemptiveResult schedule_nonpreemptive(const JobSet& jobs,
       [&](JobId a, JobId b) { return jobs[a].value < jobs[b].value; });
 
   if (cs_value >= jobs[best_single].value) {
-    result.schedule = std::move(cs.schedule);
-    result.value = cs_value;
-  } else {
-    const Job& j = jobs[best_single];
-    result.schedule.add_block(best_single, j.release, j.length);
-    result.value = j.value;
+    out.assign_from(cs.schedule);
+    return cs_value;
   }
+  const Job& j = jobs[best_single];
+  out.add_block(best_single, j.release, j.length);
+  return j.value;
+}
+
+NonPreemptiveResult schedule_nonpreemptive(const JobSet& jobs,
+                                           std::span<const JobId> candidates,
+                                           PipelineTimings* timings,
+                                           LsaScratch* scratch) {
+  NonPreemptiveResult result;
+  LsaScratch local;
+  result.value = schedule_nonpreemptive_into(
+      jobs, candidates, timings, scratch != nullptr ? *scratch : local,
+      result.schedule);
   return result;
 }
 

@@ -20,6 +20,11 @@
 
 namespace pobp {
 
+/// Default forest size above which the TM DP forks per root tree across
+/// idle threads (see tm_optimal_bas_forked; results are bit-identical
+/// either way, so this is purely a parallelism-overhead cutoff).
+inline constexpr std::size_t kDefaultTmForkMinNodes = 1024;
+
 struct CombinedOptions {
   std::size_t k = 1;  ///< preemption bound
 
@@ -27,6 +32,11 @@ struct CombinedOptions {
   /// or with LevelledContraction (the algorithm the paper's upper-bound
   /// proof analyses) — exposed so the benches can compare both.
   bool use_tm = true;
+
+  /// Fork the TM DP per root tree across the global thread pool when the
+  /// schedule forest has at least this many nodes; 0 disables intra-solve
+  /// parallelism.  Bit-identical results either way.
+  std::size_t tm_fork_min_nodes = kDefaultTmForkMinNodes;
 };
 
 struct CombinedResult {
@@ -63,6 +73,16 @@ NonPreemptiveResult schedule_nonpreemptive(const JobSet& jobs,
                                            std::span<const JobId> candidates,
                                            PipelineTimings* timings = nullptr,
                                            LsaScratch* scratch = nullptr);
+
+/// Pooled form of schedule_nonpreemptive: writes the winning branch into
+/// `out` (cleared first, segment capacity retained) and returns its value.
+/// Bit-identical to the allocating form; allocation-free once `scratch`
+/// and `out` are warmed.  `out` must not alias a schedule owned by
+/// `scratch`.
+Value schedule_nonpreemptive_into(const JobSet& jobs,
+                                  std::span<const JobId> candidates,
+                                  PipelineTimings* timings,
+                                  LsaScratch& scratch, MachineSchedule& out);
 
 /// Restriction of a machine schedule to the jobs in `keep` (a feasible
 /// schedule stays feasible under restriction).

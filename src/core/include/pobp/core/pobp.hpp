@@ -44,6 +44,11 @@ struct ScheduleOptions {
   Seed seed = Seed::kGreedyDensity;
 
   bool use_tm = true;  ///< see CombinedOptions::use_tm
+
+  /// See CombinedOptions::tm_fork_min_nodes: minimum schedule-forest size
+  /// for the TM DP to fork per root tree across idle threads (0 disables).
+  /// Results are bit-identical regardless of this knob.
+  std::size_t tm_fork_min_nodes = kDefaultTmForkMinNodes;
 };
 
 /// Largest instance the checked entry points accept with Seed::kExact
@@ -113,6 +118,16 @@ struct SolveScratch;
                                                std::span<const JobId> ids,
                                                SolveScratch* scratch = nullptr);
 
+/// Pooled form of the scratch-reusing seed: writes the seed schedule into
+/// `out` (reset first, segment capacity retained).  Allocation-free once
+/// the scratch and `out` are warmed (greedy seed; the exact B&B seed is a
+/// cold path and still allocates internally).  `out` must not alias a
+/// schedule owned by `scratch`.
+void seed_unbounded_schedule_into(const JobSet& jobs,
+                                  const ScheduleOptions& options,
+                                  std::span<const JobId> ids,
+                                  SolveScratch& scratch, Schedule& out);
+
 /// Multi-machine Algorithm 3: the strict branch reduces each machine of the
 /// given ∞-preemptive schedule separately (§4.1 remark); the lax branch
 /// runs the iterative multi-machine LSA_CS (§4.3.4).  Better branch wins.
@@ -126,5 +141,24 @@ struct CombinedMultiResult {
     const JobSet& jobs, const Schedule& unbounded,
     const CombinedOptions& options, PipelineTimings* timings = nullptr,
     SolveScratch* scratch = nullptr);
+
+/// Branch values of a pooled Algorithm-3 run (the winning schedule itself
+/// goes to the caller's `out`).
+struct CombinedMultiValues {
+  Value value = 0;         ///< val(out) — the winning branch
+  Value strict_value = 0;  ///< strict (reduction) branch value
+  Value lax_value = 0;     ///< lax (LSA_CS) branch value
+};
+
+/// Pooled form of k_preemption_combined_multi: all three branch schedules
+/// are materialized in the scratch's result arena and the winner is
+/// deep-copied (pooled, capacity-retaining) into `out`.  Allocation-free
+/// once scratch and `out` are warmed; results bit-identical to the
+/// allocating form.  `out` must not alias a schedule owned by `scratch`
+/// and `unbounded` may be `scratch.seed` (it is only read).
+CombinedMultiValues k_preemption_combined_multi_into(
+    const JobSet& jobs, const Schedule& unbounded,
+    const CombinedOptions& options, PipelineTimings* timings,
+    SolveScratch& scratch, Schedule& out);
 
 }  // namespace pobp

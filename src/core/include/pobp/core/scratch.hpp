@@ -19,6 +19,7 @@
 #include "pobp/lsa/lsa.hpp"
 #include "pobp/reduction/rebuild.hpp"
 #include "pobp/schedule/job.hpp"
+#include "pobp/schedule/validate.hpp"
 #include "pobp/solvers/solvers.hpp"
 
 namespace pobp {
@@ -32,6 +33,20 @@ struct SolveScratch {
   std::vector<JobId> remaining;  ///< k = 0 residual staging
   std::vector<JobId> strict_ids; ///< per-machine strict partition
   std::vector<JobId> lax_ids;    ///< accumulated lax partition
+
+  // --- result arena (docs/PERF.md) -----------------------------------------
+  // Pooled materialization targets for every schedule the pipeline builds:
+  // Schedule::reset() / MachineSchedule::clear() retain the per-job segment
+  // vectors and the flat job index, so a warmed session re-solves without
+  // touching the heap.  The winning branch is deep-copied — pooled, via
+  // Schedule::assign_from — into the caller's ScheduleResult; moving it out
+  // instead would strip the arena's capacity every solve.
+  Schedule seed{1};           ///< stage-1 ∞-preemptive reference schedule
+  Schedule strict_sched{1};   ///< Alg. 3 strict branch
+  Schedule lax_sched{1};      ///< Alg. 3 lax branch (LSA_CS)
+  Schedule full_sched{1};     ///< Theorem 4.2 full-reduction branch
+  MachineSchedule laminar_stage;  ///< per-machine laminarize staging
+  ValidateScratch validate;   ///< allocation-free validator state
 };
 
 }  // namespace pobp

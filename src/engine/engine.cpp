@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <optional>
 #include <stdexcept>
@@ -29,6 +31,28 @@ diag::Report run_report(std::string_view rule, std::string message,
   return report;
 }
 
+// --- work-stealing shards ---------------------------------------------------
+//
+// One worker's shard of a batch: a half-open range [lo, hi) of instance
+// indices packed into a single atomic word, so the owner's front-pop and a
+// thief's steal-half are each one CAS on the same word.  Cache-line
+// aligned: a worker hammering its own slot never invalidates a neighbour's.
+// Ranges only ever shrink or split — a given packed value always denotes
+// the same instance set — so the CAS is ABA-safe without tags.
+struct alignas(64) WorkerSlot {
+  std::atomic<std::uint64_t> range{0};
+};
+
+constexpr std::uint64_t pack_range(std::uint64_t lo, std::uint64_t hi) {
+  return (lo << 32) | hi;
+}
+constexpr std::uint32_t range_lo(std::uint64_t r) {
+  return static_cast<std::uint32_t>(r >> 32);
+}
+constexpr std::uint32_t range_hi(std::uint64_t r) {
+  return static_cast<std::uint32_t>(r);
+}
+
 }  // namespace
 
 // --- Session ----------------------------------------------------------------
@@ -45,88 +69,110 @@ ScheduleResult Session::solve(const JobSet& jobs) {
 
 ScheduleResult Session::solve(const JobSet& jobs,
                               const ScheduleOptions& options) {
+  ScheduleResult result;
+  solve_into(jobs, options, result);
+  return result;
+}
+
+void Session::solve_into(const JobSet& jobs, ScheduleResult& out) {
+  solve_into(jobs, options_.schedule, out);
+}
+
+void Session::solve_into(const JobSet& jobs, const ScheduleOptions& options,
+                         ScheduleResult& out) {
   if (!options_.budget.unlimited()) {
     BudgetGuard guard(options_.budget);
     try {
       const BudgetGuard::Scope budget_scope(&guard);
-      return solve_pipeline(jobs, options);
+      solve_pipeline_into(jobs, options, out);
+      return;
     } catch (const BudgetError&) {
       if (options_.degrade != DegradePolicy::kApproximate) throw;
     }
-    return solve_degraded(jobs, options);  // guard uninstalled
+    solve_degraded_into(jobs, options, out);  // guard uninstalled
+    return;
   }
-  return solve_pipeline(jobs, options);
+  solve_pipeline_into(jobs, options, out);
 }
 
-ScheduleResult Session::solve_pipeline(const JobSet& jobs,
-                                       const ScheduleOptions& options) {
+void Session::solve_pipeline_into(const JobSet& jobs,
+                                  const ScheduleOptions& options,
+                                  ScheduleResult& out) {
   POBP_CHECK(options.machine_count >= 1);
   POBP_FAULT_POINT(kAlloc);
   Stopwatch total;
   PipelineTimings timings;
 
-  ScheduleResult result;
-  result.schedule = Schedule(options.machine_count);
+  out.value = 0;
+  out.unbounded_value = 0;
+  out.degraded = false;
+  out.schedule.reset(options.machine_count);
   if (jobs.empty()) {
     if (options_.collect_metrics) {
-      metrics_.record(jobs, result, timings, total.seconds(), true);
+      metrics_.record(jobs, out, timings, total.seconds(), true);
     }
-    return result;
+    return;
   }
 
   // Stage 1: the ∞-preemptive reference schedule.  scratch_ is the
-  // session's pooled pipeline state — every stage below reuses its buffers,
-  // so nothing reallocates once they have grown to the largest instance
-  // seen.
+  // session's pooled pipeline state — every stage below reuses its buffers
+  // (including the result arena's branch schedules), so nothing
+  // reallocates once they have grown to the largest instance seen.
   Stopwatch sw;
   SolveScratch& s = *scratch_;
   s.ids.resize(jobs.size());
   std::iota(s.ids.begin(), s.ids.end(), JobId{0});
-  const Schedule seed = seed_unbounded_schedule(jobs, options, s.ids, &s);
+  seed_unbounded_schedule_into(jobs, options, s.ids, s, s.seed);
   timings.seed_s = sw.lap();
-  result.unbounded_value = seed.total_value(jobs);
+  out.unbounded_value = s.seed.total_value(jobs);
 
   if (options.k == 0) {
     // §5: iterative per-machine non-preemptive scheduling of the residual.
     s.remaining.assign(s.ids.begin(), s.ids.end());
     for (std::size_t m = 0;
          m < options.machine_count && !s.remaining.empty(); ++m) {
-      NonPreemptiveResult r =
-          schedule_nonpreemptive(jobs, s.remaining, &timings, &s.lsa);
-      result.schedule.machine(m) = std::move(r.schedule);
+      schedule_nonpreemptive_into(jobs, s.remaining, &timings, s.lsa,
+                                  out.schedule.machine(m));
       std::erase_if(s.remaining, [&](JobId id) {
-        return result.schedule.machine(m).contains(id);
+        return out.schedule.machine(m).contains(id);
       });
     }
   } else {
-    const CombinedOptions combined{options.k, options.use_tm};
-    result.schedule =
-        k_preemption_combined_multi(jobs, seed, combined, &timings, &s)
-            .schedule;
+    CombinedOptions combined;
+    combined.k = options.k;
+    combined.use_tm = options.use_tm;
+    combined.tm_fork_min_nodes = options.tm_fork_min_nodes;
+    k_preemption_combined_multi_into(jobs, s.seed, combined, &timings, s,
+                                     out.schedule);
   }
-  result.value = result.schedule.total_value(jobs);
+  out.value = out.schedule.total_value(jobs);
 
   bool valid = true;
   if (options_.validate) {
     sw.lap();
-    valid = static_cast<bool>(validate(jobs, result.schedule, options.k));
+    // Verdict-only fast path: same predicates as validate(), but no
+    // diag::Report (string) construction and zero allocations.  The full
+    // diagnostics run only on the failure path, which trips the metrics
+    // counter below and is investigated with pobp_lint / diagnose_schedule.
+    valid = validate_fast(jobs, out.schedule, options.k, s.validate);
     timings.validate_s = sw.lap();
   }
   if (options_.collect_metrics) {
-    metrics_.record(jobs, result, timings, total.seconds(), valid);
+    metrics_.record(jobs, out, timings, total.seconds(), valid);
   }
-  return result;
 }
 
-ScheduleResult Session::solve_degraded(const JobSet& jobs,
-                                       const ScheduleOptions& options) {
+void Session::solve_degraded_into(const JobSet& jobs,
+                                  const ScheduleOptions& options,
+                                  ScheduleResult& out) {
   POBP_CHECK(options.machine_count >= 1);
   Stopwatch total;
   PipelineTimings timings;
 
-  ScheduleResult result;
-  result.degraded = true;
-  result.schedule = Schedule(options.machine_count);
+  out.value = 0;
+  out.unbounded_value = 0;
+  out.degraded = true;
+  out.schedule.reset(options.machine_count);
   if (!jobs.empty()) {
     // The §4.3 approximate path: greedy-density seed for the reference
     // value, then LSA_CS directly on all jobs — no exact DP/B&B, no
@@ -136,26 +182,25 @@ ScheduleResult Session::solve_degraded(const JobSet& jobs,
     SolveScratch& s = *scratch_;
     s.ids.resize(jobs.size());
     std::iota(s.ids.begin(), s.ids.end(), JobId{0});
-    const Schedule seed = greedy_infinity_multi(
-        jobs, s.ids, options.machine_count, s.greedy);
+    greedy_infinity_multi_into(jobs, s.ids, options.machine_count, s.greedy,
+                               s.seed);
     timings.seed_s = sw.lap();
-    result.unbounded_value = seed.total_value(jobs);
-    result.schedule = lsa_cs_multi(jobs, s.ids, options.k,
-                                   options.machine_count, s.lsa);
+    out.unbounded_value = s.seed.total_value(jobs);
+    lsa_cs_multi_into(jobs, s.ids, options.k, options.machine_count, s.lsa,
+                      out.schedule);
     timings.lsa_s = sw.lap();
-    result.value = result.schedule.total_value(jobs);
+    out.value = out.schedule.total_value(jobs);
   }
 
   bool valid = true;
   if (options_.validate) {
     Stopwatch sw;
-    valid = static_cast<bool>(validate(jobs, result.schedule, options.k));
+    valid = validate_fast(jobs, out.schedule, options.k, scratch_->validate);
     timings.validate_s = sw.lap();
   }
   if (options_.collect_metrics) {
-    metrics_.record(jobs, result, timings, total.seconds(), valid);
+    metrics_.record(jobs, out, timings, total.seconds(), valid);
   }
-  return result;
 }
 
 SolveOutcome Session::try_solve(const JobSet& jobs, std::size_t instance) {
@@ -175,10 +220,15 @@ SolveOutcome Session::try_solve(const JobSet& jobs,
   const bool budgeted = !options_.budget.unlimited();
   for (std::size_t attempt = 0;; ++attempt) {
     try {
-      if (!budgeted) return solve_pipeline(jobs, options);
+      ScheduleResult result;
+      if (!budgeted) {
+        solve_pipeline_into(jobs, options, result);
+        return result;
+      }
       BudgetGuard guard(options_.budget);
       const BudgetGuard::Scope budget_scope(&guard);
-      return solve_pipeline(jobs, options);
+      solve_pipeline_into(jobs, options, result);
+      return result;
     } catch (const DeadlineExceeded& e) {
       return budget_fallback(jobs, options, instance, /*deadline=*/true,
                              e.what());
@@ -207,7 +257,9 @@ SolveOutcome Session::budget_fallback(const JobSet& jobs,
                                       const char* what) {
   if (options_.degrade == DegradePolicy::kApproximate) {
     try {
-      return solve_degraded(jobs, options);
+      ScheduleResult result;
+      solve_degraded_into(jobs, options, result);
+      return result;
     } catch (const std::exception& e) {
       if (options_.collect_metrics) ++metrics_.pipeline_faults;
       return Unexpected{
@@ -255,11 +307,20 @@ ScheduleResult Engine::solve(const JobSet& jobs,
 
 std::vector<ScheduleResult> Engine::solve_batch(
     std::span<const JobSet> instances) {
-  std::vector<ScheduleResult> results(instances.size());
-  run_batch(instances.size(), [&](Session& session, std::size_t i) {
-    results[i] = session.solve(instances[i]);
-  });
+  std::vector<ScheduleResult> results;
+  solve_batch_into(instances, results);
   return results;
+}
+
+void Engine::solve_batch_into(std::span<const JobSet> instances,
+                              std::vector<ScheduleResult>& results) {
+  // resize() keeps the surviving elements — and hence their schedules'
+  // pooled storage — intact, so round-tripping the same vector gives
+  // allocation-free steady-state batches.
+  results.resize(instances.size());
+  run_batch(instances.size(), [&](Session& session, std::size_t i) {
+    session.solve_into(instances[i], results[i]);
+  });
 }
 
 std::vector<SolveOutcome> Engine::try_solve_batch(
@@ -309,26 +370,90 @@ void Engine::run_batch(std::size_t count, const InstanceFn& work) {
     sessions_.push_back(std::make_unique<Session>(options_));
   }
 
-  std::atomic<std::size_t> next{0};
-  const auto drain = [&](Session& session) {
+  const std::size_t active = std::min(workers_, count);
+  if (active <= 1) {
+    // Inline drain on the caller: no pool hop, no atomics — and the w = 1
+    // steady-state path the allocation gate measures.
+    Session& session = *sessions_[0];
+    for (std::size_t i = 0; i < count; ++i) work(session, i);
+    batch_seconds_ += batch.seconds();
+    return;
+  }
+
+  // Sharded work stealing.  Every worker starts with a contiguous slice of
+  // the instance indices in its own cache-line-sized slot; a worker whose
+  // slice drains steals the upper half of the first non-empty victim in a
+  // round-robin sweep seeded by its own index (deterministic victim
+  // order).  Compare with the previous single shared fetch_add cursor:
+  // under short solves every worker hammered one cache line per instance,
+  // and the line bounced across every core in the pool.  Here the common
+  // case touches only the worker's own slot; cross-worker traffic happens
+  // only on the (rare) steals that rebalance skewed batches.
+  POBP_CHECK_MSG(count <= std::numeric_limits<std::uint32_t>::max(),
+                 "solve_batch: more than 2^32 instances per batch");
+  const auto slots = std::make_unique<WorkerSlot[]>(active);
+  const std::size_t base = count / active;
+  const std::size_t extra = count % active;
+  std::size_t begin = 0;
+  for (std::size_t w = 0; w < active; ++w) {
+    const std::size_t end = begin + base + (w < extra ? 1 : 0);
+    slots[w].range.store(pack_range(begin, end), std::memory_order_relaxed);
+    begin = end;
+  }
+
+  // Termination: every instance index leaves exactly one slot exactly once
+  // (a successful CAS), so `completed` reaching `count` means all work()
+  // calls have returned and every worker's spin can exit.
+  std::atomic<std::size_t> completed{0};
+  const auto run_worker = [&](std::size_t self) {
+    WorkerSlot& mine = slots[self];
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      work(session, i);
+      // Drain the own shard front to back.
+      for (;;) {
+        std::uint64_t cur = mine.range.load(std::memory_order_acquire);
+        const std::uint32_t lo = range_lo(cur);
+        const std::uint32_t hi = range_hi(cur);
+        if (lo >= hi) break;
+        if (!mine.range.compare_exchange_weak(cur, pack_range(lo + 1, hi),
+                                              std::memory_order_acq_rel)) {
+          continue;  // a thief moved hi; reread
+        }
+        work(*sessions_[self], lo);
+        completed.fetch_add(1, std::memory_order_acq_rel);
+      }
+      if (completed.load(std::memory_order_acquire) >= count) return;
+
+      // Steal the upper half of the first victim with ≥ 2 instances left
+      // (a single remaining instance stays with its owner — stealing it
+      // would just move the cache miss).  The stolen range is published to
+      // the empty own slot, which only its owner ever writes.
+      bool stole = false;
+      for (std::size_t step = 1; step < active && !stole; ++step) {
+        WorkerSlot& victim = slots[(self + step) % active];
+        std::uint64_t cur = victim.range.load(std::memory_order_acquire);
+        const std::uint32_t lo = range_lo(cur);
+        const std::uint32_t hi = range_hi(cur);
+        if (lo >= hi || hi - lo < 2) continue;
+        const std::uint32_t mid = lo + (hi - lo + 1) / 2;  // victim keeps ⌈·⌉
+        if (!victim.range.compare_exchange_strong(
+                cur, pack_range(lo, mid), std::memory_order_acq_rel)) {
+          continue;  // raced with the owner or another thief; next victim
+        }
+        mine.range.store(pack_range(mid, hi), std::memory_order_release);
+        stole = true;
+      }
+      if (!stole) {
+        if (completed.load(std::memory_order_acquire) >= count) return;
+        std::this_thread::yield();
+      }
     }
   };
 
-  const std::size_t active = std::min(workers_, count);
-  if (active <= 1) {
-    drain(*sessions_[0]);
-  } else {
-    if (!pool_) pool_ = std::make_unique<ThreadPool>(workers_);
-    for (std::size_t w = 0; w < active; ++w) {
-      Session& session = *sessions_[w];
-      pool_->submit([&drain, &session] { drain(session); });
-    }
-    pool_->wait_idle();
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(workers_);
+  for (std::size_t w = 0; w < active; ++w) {
+    pool_->submit([&run_worker, w] { run_worker(w); });
   }
+  pool_->wait_idle();
 
   batch_seconds_ += batch.seconds();
 }

@@ -15,7 +15,10 @@
 //   std::cout << engine.metrics().to_table();
 //
 // solve_batch shards the instance list over a dedicated pobp::ThreadPool
-// (one Session per worker, work-queue by instance index) and is
+// (one Session per worker).  Each worker owns a contiguous shard of the
+// instance indices in a cache-line-aligned slot; when its shard drains it
+// steals the upper half of the first non-empty victim's shard (sweep order
+// seeded by the worker index — see docs/PERF.md).  The schedule is
 // bit-deterministic: the results are identical for every worker count,
 // because each instance's solve is a pure function of (jobs, options).
 //
@@ -104,6 +107,14 @@ class Session {
   [[nodiscard]] ScheduleResult solve(const JobSet& jobs,
                                      const ScheduleOptions& options);
 
+  /// Pooled form of solve(): writes the result into `out`, whose schedule
+  /// storage is recycled (capacity-retaining reset) instead of freed.
+  /// Re-solving into the same ScheduleResult on a warmed session performs
+  /// no steady-state heap allocations — the property the perf gate pins.
+  void solve_into(const JobSet& jobs, ScheduleResult& out);
+  void solve_into(const JobSet& jobs, const ScheduleOptions& options,
+                  ScheduleResult& out);
+
   /// Fault-contained solve: every pipeline exception, invariant failure or
   /// budget/deadline overrun is caught at this boundary and converted into
   /// a rule-tagged diag::Report (POBP-OPT-* for rejected options,
@@ -122,17 +133,21 @@ class Session {
   void reset_metrics() { metrics_ = EngineMetrics(); }
 
  private:
-  ScheduleResult solve_pipeline(const JobSet& jobs,
-                                const ScheduleOptions& options);
-  ScheduleResult solve_degraded(const JobSet& jobs,
-                                const ScheduleOptions& options);
+  void solve_pipeline_into(const JobSet& jobs, const ScheduleOptions& options,
+                           ScheduleResult& out);
+  void solve_degraded_into(const JobSet& jobs, const ScheduleOptions& options,
+                           ScheduleResult& out);
   SolveOutcome budget_fallback(const JobSet& jobs,
                                const ScheduleOptions& options,
                                std::size_t instance, bool deadline,
                                const char* what);
 
   EngineOptions options_;
-  EngineMetrics metrics_;
+  /// Private metrics shard, cache-line aligned so two sessions' hot
+  /// counters never share a line: recording during a batch is entirely
+  /// contention-free, and Engine::metrics() merges the shards once per
+  /// snapshot (docs/ENGINE.md).
+  alignas(64) EngineMetrics metrics_;
   // Every reusable pipeline buffer (pobp/core/scratch.hpp), heap-held so
   // this header stays light.  Grows to the largest instance seen, then the
   // pipeline hot path performs no steady-state allocations.
@@ -158,6 +173,13 @@ class Engine {
   /// instances[i].  Deterministic: identical output for any worker count.
   [[nodiscard]] std::vector<ScheduleResult> solve_batch(
       std::span<const JobSet> instances);
+
+  /// Pooled batch: fills `results` (resized to instances.size()) in place.
+  /// Re-running batches into the same vector recycles every result's
+  /// schedule storage — the serving-loop harvest pattern: pop what you
+  /// need out of `results`, then pass the vector back in.
+  void solve_batch_into(std::span<const JobSet> instances,
+                        std::vector<ScheduleResult>& results);
 
   /// Fault-contained batch: results[i] is either instance i's result or
   /// the diag::Report explaining its failure (POBP-RUN-*).  One poisoned
@@ -192,10 +214,11 @@ class Engine {
   static Engine& shared();
 
  private:
-  /// Drains instances [0, count) over the worker sessions; `work(session,
-  /// i)` must handle instance i completely (including error capture — an
-  /// exception escaping `work` on a pool thread is fatal by ThreadPool
-  /// contract).
+  /// Drains instances [0, count) over the worker sessions with the sharded
+  /// work-stealing scheduler (contiguous per-worker ranges, steal-half);
+  /// `work(session, i)` must handle instance i completely (including error
+  /// capture — an exception escaping `work` on a pool thread is fatal by
+  /// ThreadPool contract).
   using InstanceFn = std::function<void(Session&, std::size_t)>;
   void run_batch(std::size_t count, const InstanceFn& work);
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "pobp/schedule/schedule.hpp"
+#include "pobp/schedule/timeline.hpp"
 
 namespace pobp {
 
@@ -42,7 +43,10 @@ enum class LsaOrder {
   kValue,    ///< descending val(j) — Albagli-Kim's original
 };
 
-/// Reusable buffers for LSA and its classify-and-select wrapper.
+/// Reusable buffers for LSA and its classify-and-select wrapper.  The
+/// timeline and the two staging results are pooled: their run/slot storage
+/// survives clear(), so a warmed scratch makes every lsa_*_into form
+/// allocation-free.
 struct LsaScratch {
   std::vector<JobId> order;          ///< consideration-order staging
   std::vector<Segment> working;      ///< Alg. 2's working set S
@@ -50,6 +54,9 @@ struct LsaScratch {
   std::vector<std::pair<std::size_t, JobId>> classes;  ///< (class, id) pairs
   std::vector<JobId> class_members;  ///< one class's members, contiguous
   std::vector<JobId> residual;       ///< multi-machine leftover staging
+  IdleTimeline timeline;             ///< pooled busy-run timeline
+  LsaResult attempt;                 ///< per-class staging (lsa_cs_into)
+  LsaResult cs_best;                 ///< winning-class staging (multi form)
 };
 
 /// Plain LSA over `candidates` on one (initially empty) machine.
@@ -93,6 +100,19 @@ Schedule lsa_cs_multi(const JobSet& jobs, std::span<const JobId> candidates,
 Schedule lsa_cs_multi(const JobSet& jobs, std::span<const JobId> candidates,
                       std::size_t k, std::size_t machine_count,
                       LsaScratch& scratch);
+
+/// Pooled forms: write into `out` (cleared/reset first, slot storage
+/// recycled — zero heap allocations once scratch and `out` are warmed).
+/// `out` must not alias the scratch staging results.
+void lsa_into(const JobSet& jobs, std::span<const JobId> candidates,
+              std::size_t k, LsaOrder order, LsaScratch& scratch,
+              LsaResult& out);
+void lsa_cs_into(const JobSet& jobs, std::span<const JobId> candidates,
+                 std::size_t k, ClassifyBy by, LsaOrder order,
+                 LsaScratch& scratch, LsaResult& out);
+void lsa_cs_multi_into(const JobSet& jobs, std::span<const JobId> candidates,
+                       std::size_t k, std::size_t machine_count,
+                       LsaScratch& scratch, Schedule& out);
 
 /// The length-class index of a job for class base `base` (≥ 2): the unique
 /// c ≥ 0 with base^c ≤ p_j < base^(c+1).

@@ -85,8 +85,7 @@ bool try_place(const JobSet& jobs, JobId id, std::size_t k,
       }
       POBP_DASSERT(todo == 0);
       for (const Segment& s : placed) timeline.occupy(s);
-      schedule.add_sorted(
-          Assignment{id, std::vector<Segment>(placed.begin(), placed.end())});
+      schedule.append_sorted(id, {placed.data(), placed.size()});
       return true;
     }
     if (exhausted || working.empty()) return false;
@@ -112,20 +111,29 @@ std::size_t length_class(Duration length, std::size_t base) {
       floor_log(static_cast<std::int64_t>(base), length));
 }
 
-LsaResult lsa(const JobSet& jobs, std::span<const JobId> candidates,
-              std::size_t k, LsaOrder order, LsaScratch& scratch) {
-  LsaResult result;
-  IdleTimeline timeline;
+void lsa_into(const JobSet& jobs, std::span<const JobId> candidates,
+              std::size_t k, LsaOrder order, LsaScratch& scratch,
+              LsaResult& out) {
+  out.schedule.clear();
+  out.scheduled.clear();
+  out.rejected.clear();
+  scratch.timeline.clear();
   consideration_order(jobs, candidates, order, scratch.order);
   for (const JobId id : scratch.order) {
     BudgetGuard::poll();  // one operation per placement attempt
-    if (try_place(jobs, id, k, timeline, result.schedule, scratch.working,
+    if (try_place(jobs, id, k, scratch.timeline, out.schedule, scratch.working,
                   scratch.placed)) {
-      result.scheduled.push_back(id);
+      out.scheduled.push_back(id);
     } else {
-      result.rejected.push_back(id);
+      out.rejected.push_back(id);
     }
   }
+}
+
+LsaResult lsa(const JobSet& jobs, std::span<const JobId> candidates,
+              std::size_t k, LsaOrder order, LsaScratch& scratch) {
+  LsaResult result;
+  lsa_into(jobs, candidates, k, order, scratch, result);
   return result;
 }
 
@@ -135,10 +143,14 @@ LsaResult lsa(const JobSet& jobs, std::span<const JobId> candidates,
   return lsa(jobs, candidates, k, order, scratch);
 }
 
-LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
+void lsa_cs_into(const JobSet& jobs, std::span<const JobId> candidates,
                  std::size_t k, ClassifyBy by, LsaOrder order,
-                 LsaScratch& scratch) {
-  if (candidates.empty()) return {};
+                 LsaScratch& scratch, LsaResult& out) {
+  POBP_ASSERT(&out != &scratch.attempt);
+  out.schedule.clear();
+  out.scheduled.clear();
+  out.rejected.clear();
+  if (candidates.empty()) return;
   const std::size_t base = std::max<std::size_t>(k + 1, 2);
 
   // Bucket by class: (class, id) pairs, stably sorted by class — groups
@@ -167,7 +179,6 @@ LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
                      return a.first < b.first;
                    });
 
-  LsaResult best;
   Value best_value = -1;
   auto& members = scratch.class_members;
   for (std::size_t i = 0; i < classes.size();) {
@@ -177,18 +188,27 @@ LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
       members.push_back(classes[i].second);
     }
     BudgetGuard::poll();  // one operation per class attempt
-    LsaResult r = lsa(jobs, members, k, order, scratch);
-    const Value v = r.schedule.total_value(jobs);
+    lsa_into(jobs, members, k, order, scratch, scratch.attempt);
+    const Value v = scratch.attempt.schedule.total_value(jobs);
     if (v > best_value) {
       best_value = v;
-      best = std::move(r);
+      // The losing result's storage swaps back into the staging slot and
+      // gets recycled by the next class attempt.
+      std::swap(out, scratch.attempt);
     }
   }
   // J_out of the winner = everything not scheduled by the winning class.
-  best.rejected.clear();
+  out.rejected.clear();
   for (const JobId id : candidates) {
-    if (!best.schedule.contains(id)) best.rejected.push_back(id);
+    if (!out.schedule.contains(id)) out.rejected.push_back(id);
   }
+}
+
+LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
+                 std::size_t k, ClassifyBy by, LsaOrder order,
+                 LsaScratch& scratch) {
+  LsaResult best;
+  lsa_cs_into(jobs, candidates, k, by, order, scratch, best);
   return best;
 }
 
@@ -198,19 +218,27 @@ LsaResult lsa_cs(const JobSet& jobs, std::span<const JobId> candidates,
   return lsa_cs(jobs, candidates, k, by, order, scratch);
 }
 
-Schedule lsa_cs_multi(const JobSet& jobs, std::span<const JobId> candidates,
-                      std::size_t k, std::size_t machine_count,
-                      LsaScratch& scratch) {
+void lsa_cs_multi_into(const JobSet& jobs, std::span<const JobId> candidates,
+                       std::size_t k, std::size_t machine_count,
+                       LsaScratch& scratch, Schedule& out) {
   POBP_CHECK(machine_count >= 1);
-  Schedule out(machine_count);
+  out.reset(machine_count);
   auto& remaining = scratch.residual;
   remaining.assign(candidates.begin(), candidates.end());
   for (std::size_t m = 0; m < machine_count && !remaining.empty(); ++m) {
-    LsaResult r = lsa_cs(jobs, remaining, k, ClassifyBy::kLength,
-                         LsaOrder::kDensity, scratch);
-    out.machine(m) = std::move(r.schedule);
-    remaining.assign(r.rejected.begin(), r.rejected.end());
+    lsa_cs_into(jobs, remaining, k, ClassifyBy::kLength, LsaOrder::kDensity,
+                scratch, scratch.cs_best);
+    out.machine(m).assign_from(scratch.cs_best.schedule);
+    remaining.assign(scratch.cs_best.rejected.begin(),
+                     scratch.cs_best.rejected.end());
   }
+}
+
+Schedule lsa_cs_multi(const JobSet& jobs, std::span<const JobId> candidates,
+                      std::size_t k, std::size_t machine_count,
+                      LsaScratch& scratch) {
+  Schedule out(machine_count);
+  lsa_cs_multi_into(jobs, candidates, k, machine_count, scratch, out);
   return out;
 }
 

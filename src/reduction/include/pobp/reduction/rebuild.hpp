@@ -39,6 +39,12 @@ MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
                                  const SubForest& sel,
                                  RebuildScratch& scratch);
 
+/// Pooled form: writes into `out` (cleared first, slot storage recycled —
+/// zero heap allocations once scratch and `out` are warmed).
+void rebuild_schedule_into(const JobSet& jobs, const ScheduleForest& sf,
+                           const SubForest& sel, RebuildScratch& scratch,
+                           MachineSchedule& out);
+
 /// All the state one §4.1/§4.2 reduction needs, pooled: laminarize (EDF),
 /// forest build, TM / LevelledContraction pruning and left-merge each draw
 /// from here, and the intermediate ScheduleForest + TmResult products are

@@ -10,12 +10,12 @@
 
 namespace pobp {
 
-MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
-                                 const SubForest& sel,
-                                 RebuildScratch& scratch) {
+void rebuild_schedule_into(const JobSet& jobs, const ScheduleForest& sf,
+                           const SubForest& sel, RebuildScratch& scratch,
+                           MachineSchedule& out) {
   POBP_FAULT_POINT(kLeftMerge);
   POBP_CHECK(sel.keep.size() == sf.size());
-  MachineSchedule out;
+  out.clear();
 
   auto& available = scratch.available;
   auto& placed = scratch.placed;
@@ -47,9 +47,15 @@ MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
     POBP_CHECK_MSG(todo == 0,
                    "available slots shorter than p_j — input schedule was "
                    "not feasible/span-compact");
-    out.add_sorted(
-        Assignment{job, std::vector<Segment>(placed.begin(), placed.end())});
+    out.append_sorted(job, {placed.data(), placed.size()});
   }
+}
+
+MachineSchedule rebuild_schedule(const JobSet& jobs, const ScheduleForest& sf,
+                                 const SubForest& sel,
+                                 RebuildScratch& scratch) {
+  MachineSchedule out;
+  rebuild_schedule_into(jobs, sf, sel, scratch, out);
   return out;
 }
 

@@ -93,10 +93,10 @@ bool edf_feasible(const JobSet& jobs, std::span<const JobId> subset,
   return edf_simulate</*Record=*/false>(jobs, subset, scratch);
 }
 
-std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
-                                            std::span<const JobId> subset,
-                                            EdfScratch& s) {
-  if (!edf_simulate</*Record=*/true>(jobs, subset, s)) return std::nullopt;
+bool edf_schedule_into(const JobSet& jobs, std::span<const JobId> subset,
+                       EdfScratch& s, MachineSchedule& out) {
+  out.clear();
+  if (!edf_simulate</*Record=*/true>(jobs, subset, s)) return false;
 
   // Bucket the run log into per-job segment lists with one counting pass,
   // then materialize assignments in release order (the order the original
@@ -119,18 +119,24 @@ std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
   }
   // The cursors now sit at each slot's end = the next slot's begin.
 
-  MachineSchedule out;
   out.reserve(n_jobs);
   std::uint32_t begin = 0;
   for (std::size_t i = 0; i < n_jobs; ++i) {
     const JobId id = s.by_release[i];
     const std::uint32_t end = s.seg_cursor[i];
-    out.add_sorted(Assignment{
-        id, std::vector<Segment>(s.seg_buf.begin() + begin,
-                                 s.seg_buf.begin() + end)});
+    out.append_sorted(id, {s.seg_buf.data() + begin,
+                           static_cast<std::size_t>(end - begin)});
     begin = end;
     s.seg_count[id] = 0;  // restore sparse cleanliness
   }
+  return true;
+}
+
+std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
+                                            std::span<const JobId> subset,
+                                            EdfScratch& s) {
+  MachineSchedule out;
+  if (!edf_schedule_into(jobs, subset, s, out)) return std::nullopt;
   return out;
 }
 

@@ -70,4 +70,10 @@ std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
                                             std::span<const JobId> subset,
                                             EdfScratch& scratch);
 
+/// Pooled form: writes the schedule into `out` (cleared first, slot storage
+/// recycled — zero heap allocations once both scratch and `out` are warmed).
+/// Returns false, leaving `out` empty, when the subset is infeasible.
+bool edf_schedule_into(const JobSet& jobs, std::span<const JobId> subset,
+                       EdfScratch& scratch, MachineSchedule& out);
+
 }  // namespace pobp

@@ -61,4 +61,14 @@ MachineSchedule laminarize_subset(const JobSet& jobs,
                                   std::span<const JobId> ids,
                                   LaminarScratch& scratch);
 
+/// Pooled form: writes the laminar schedule into `out` (cleared first, slot
+/// storage recycled — zero allocations once warmed).  `out` must not alias
+/// a schedule the job set is read from.
+void laminarize_subset_into(const JobSet& jobs, std::span<const JobId> ids,
+                            LaminarScratch& scratch, MachineSchedule& out);
+
+/// Pooled form of laminarize(); `out` must not alias `ms`.
+void laminarize_into(const JobSet& jobs, const MachineSchedule& ms,
+                     LaminarScratch& scratch, MachineSchedule& out);
+
 }  // namespace pobp

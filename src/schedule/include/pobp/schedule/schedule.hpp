@@ -3,12 +3,20 @@
 // A MachineSchedule is a set of per-job segment lists on one machine; a
 // Schedule is one MachineSchedule per machine (the multi-machine,
 // non-migrative setting — a job appears on at most one machine).
+//
+// Storage is pooled: clear() retains every per-job segment vector (and the
+// flat job index) at full capacity, and the append*() producer forms write
+// into those recycled slots.  A warmed MachineSchedule that is cleared and
+// refilled with instances of no-larger size performs zero heap allocations —
+// this is what lets the engine's per-session result arena (SolveScratch)
+// keep the whole solve pipeline allocation-free in steady state.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "pobp/schedule/job.hpp"
@@ -28,9 +36,35 @@ struct Assignment {
 };
 
 /// A feasible (or candidate) schedule of a job subset on a single machine.
+///
+/// Assignments live in recycled slots: only the first job_count() entries of
+/// the slot vector are live, and clear() resets the count without releasing
+/// any segment storage.  The job-id lookup is an open-addressing hash table
+/// over a flat array (no per-node allocation, capacity-preserving clear).
 class MachineSchedule {
  public:
   MachineSchedule() = default;
+  MachineSchedule(const MachineSchedule& other) { assign_from(other); }
+  MachineSchedule& operator=(const MachineSchedule& other) {
+    assign_from(other);
+    return *this;
+  }
+  MachineSchedule(MachineSchedule&& other) noexcept
+      : slots_(std::move(other.slots_)),
+        live_(other.live_),
+        buckets_(std::move(other.buckets_)) {
+    other.live_ = 0;
+  }
+  MachineSchedule& operator=(MachineSchedule&& other) noexcept {
+    if (this != &other) {
+      slots_ = std::move(other.slots_);
+      live_ = other.live_;
+      buckets_ = std::move(other.buckets_);
+      other.live_ = 0;
+      other.buckets_.clear();
+    }
+    return *this;
+  }
 
   /// Adds a job's full segment list.  The job must not already be present.
   void add(Assignment assignment);
@@ -40,25 +74,36 @@ class MachineSchedule {
   /// normalization sort.  Debug builds assert the precondition.
   void add_sorted(Assignment assignment);
 
+  /// Allocation-free producer form of add_sorted(): copies `segments` into
+  /// a recycled slot instead of adopting a caller-built vector.  This is
+  /// the hot-path API — producers stage segments in scratch and append.
+  void append_sorted(JobId job, std::span<const Segment> segments);
+
+  /// Drops every assignment but keeps all slot/segment/index capacity.
+  void clear();
+
+  /// Pooled deep copy: refills this schedule's recycled slots from `other`
+  /// without releasing this schedule's storage (no-op on self-assign).
+  void assign_from(const MachineSchedule& other);
+
   /// Pre-sizes the assignment table for `jobs` entries.
-  void reserve(std::size_t jobs) {
-    assignments_.reserve(jobs);
-    index_.reserve(jobs);
-  }
+  void reserve(std::size_t jobs);
 
   /// Convenience: single contiguous (non-preemptive) placement.
   void add_block(JobId job, Time begin, Duration length) {
     add(Assignment{job, {Segment{begin, begin + length}}});
   }
 
-  std::size_t job_count() const { return assignments_.size(); }
-  bool empty() const { return assignments_.empty(); }
-  const std::vector<Assignment>& assignments() const { return assignments_; }
+  std::size_t job_count() const { return live_; }
+  bool empty() const { return live_ == 0; }
+  std::span<const Assignment> assignments() const {
+    return {slots_.data(), live_};
+  }
 
   /// Looks up a job's assignment (nullptr if the job is not scheduled).
-  /// O(1) via the id index.
+  /// O(1) via the flat id index.
   const Assignment* find(JobId job) const;
-  bool contains(JobId job) const { return index_.count(job) != 0; }
+  bool contains(JobId job) const { return index_lookup(job) != nullptr; }
 
   /// Ids of all scheduled jobs.
   std::vector<JobId> scheduled_jobs() const;
@@ -89,8 +134,19 @@ class MachineSchedule {
   std::string to_string(const JobSet& jobs) const;
 
  private:
-  std::vector<Assignment> assignments_;
-  std::unordered_map<JobId, std::size_t> index_;  // job id -> position
+  /// Claims the next recycled slot for `job` (segments cleared, capacity
+  /// kept) and records it in the index.  Preconditions checked by callers.
+  Assignment& new_slot(JobId job);
+
+  /// Index entry: (job id + 1) in the high 32 bits, slot position in the
+  /// low 32; 0 marks an empty bucket.
+  const std::uint64_t* index_lookup(JobId job) const;
+  void index_insert(JobId job, std::uint32_t pos);
+  void index_grow(std::size_t min_entries);
+
+  std::vector<Assignment> slots_;  ///< entries [0, live_) are live
+  std::size_t live_ = 0;
+  std::vector<std::uint64_t> buckets_;  ///< open-addressing job index
 };
 
 /// Multi-machine non-migrative schedule.
@@ -101,6 +157,15 @@ class Schedule {
     POBP_ASSERT(machine_count >= 1);
   }
   explicit Schedule(MachineSchedule single) : machines_{std::move(single)} {}
+
+  /// Clears every machine (retaining pooled storage) and resizes to
+  /// `machine_count` machines.  Growing allocates; steady-state reuse with
+  /// a stable machine count does not.
+  void reset(std::size_t machine_count);
+
+  /// Pooled deep copy of `other` (no-op on self-assign): machine storage is
+  /// recycled, not reallocated.
+  void assign_from(const Schedule& other);
 
   std::size_t machine_count() const { return machines_.size(); }
   MachineSchedule& machine(std::size_t m) { return machines_.at(m); }

@@ -2,13 +2,16 @@
 //
 // The Leftmost Schedule Algorithm (Alg. 2) repeatedly asks for the leftmost
 // idle segments inside a job's window [r_j, d_j) and then occupies parts of
-// them.  IdleTimeline maintains the set of *maximal* busy runs in an ordered
-// map, so both queries and updates are logarithmic in the number of runs.
-// Maximal runs are also what Lemma 4.11 ("every busy segment is at least as
-// long as the shortest job") is stated about.
+// them.  IdleTimeline maintains the set of *maximal* busy runs in a sorted
+// flat vector: queries binary-search (logarithmic), updates memmove the
+// tail (linear in the run count, but runs are few and contiguous, so this
+// beats a node-based map well past the sizes LSA produces — and, unlike a
+// map, clear() keeps the storage, so a pooled timeline in LsaScratch does
+// zero steady-state allocations).  Maximal runs are also what Lemma 4.11
+// ("every busy segment is at least as long as the shortest job") is stated
+// about.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -45,9 +48,15 @@ class IdleTimeline {
   /// Number of maximal busy runs overall.
   std::size_t run_count() const { return busy_.size(); }
 
+  /// Back to the all-idle state, retaining run storage.
+  void clear() { busy_.clear(); }
+
  private:
-  // begin -> end of each maximal busy run; keys are run begins.
-  std::map<Time, Time> busy_;
+  /// Index of the first run with begin > t (upper bound by run begin).
+  std::size_t upper_bound(Time t) const;
+
+  // Maximal busy runs, disjoint and non-touching, sorted by begin.
+  std::vector<Segment> busy_;
 };
 
 }  // namespace pobp

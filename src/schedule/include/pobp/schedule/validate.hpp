@@ -89,4 +89,23 @@ ValidationResult validate_machine(const JobSet& jobs,
 ValidationResult validate(const JobSet& jobs, const Schedule& schedule,
                           std::size_t k = kUnboundedPreemptions);
 
+// --- allocation-free fast path ----------------------------------------------
+
+/// Reusable buffers for validate_fast().  The per-job `seen` array is
+/// maintained sparsely (entries touched are restored before returning), so
+/// one scratch serves instances of any size without a full reset.
+struct ValidateScratch {
+  std::vector<MachineSchedule::TaggedSegment> timeline;  ///< exclusivity sweep
+  std::vector<std::uint8_t> seen;  ///< per job id: already placed on a machine
+  std::vector<JobId> touched;      ///< seen[] entries to restore
+};
+
+/// Verdict-only validator: true iff validate(jobs, schedule, k) would find
+/// no violation.  Checks exactly the same predicates but builds no
+/// diag::Report and performs zero heap allocations once `scratch` is
+/// warmed — the engine's hot path runs this and defers Report (string)
+/// construction to the error path.
+bool validate_fast(const JobSet& jobs, const Schedule& schedule, std::size_t k,
+                   ValidateScratch& scratch);
+
 }  // namespace pobp

@@ -118,24 +118,37 @@ void diagnose_laminar(const MachineSchedule& ms, diag::Report& report,
   });
 }
 
+void laminarize_subset_into(const JobSet& jobs, std::span<const JobId> ids,
+                            LaminarScratch& scratch, MachineSchedule& out) {
+  POBP_FAULT_POINT(kLaminarize);
+  BudgetGuard::poll();
+  POBP_CHECK_MSG(edf_schedule_into(jobs, ids, scratch.edf, out),
+                 "laminarize: input schedule's job set must be feasible");
+  POBP_CHECK(runs_are_laminar(scratch.edf.runs, jobs.size(), scratch));
+}
+
 MachineSchedule laminarize_subset(const JobSet& jobs,
                                   std::span<const JobId> ids,
                                   LaminarScratch& scratch) {
-  POBP_FAULT_POINT(kLaminarize);
-  BudgetGuard::poll();
-  std::optional<MachineSchedule> out = edf_schedule(jobs, ids, scratch.edf);
-  POBP_CHECK_MSG(out.has_value(),
-                 "laminarize: input schedule's job set must be feasible");
-  POBP_CHECK(runs_are_laminar(scratch.edf.runs, jobs.size(), scratch));
-  return std::move(*out);
+  MachineSchedule out;
+  laminarize_subset_into(jobs, ids, scratch, out);
+  return out;
+}
+
+void laminarize_into(const JobSet& jobs, const MachineSchedule& ms,
+                     LaminarScratch& scratch, MachineSchedule& out) {
+  POBP_ASSERT(&ms != &out);
+  scratch.ids.clear();
+  scratch.ids.reserve(ms.job_count());
+  for (const Assignment& a : ms.assignments()) scratch.ids.push_back(a.job);
+  laminarize_subset_into(jobs, scratch.ids, scratch, out);
 }
 
 MachineSchedule laminarize(const JobSet& jobs, const MachineSchedule& ms,
                            LaminarScratch& scratch) {
-  scratch.ids.clear();
-  scratch.ids.reserve(ms.job_count());
-  for (const Assignment& a : ms.assignments()) scratch.ids.push_back(a.job);
-  return laminarize_subset(jobs, scratch.ids, scratch);
+  MachineSchedule out;
+  laminarize_into(jobs, ms, scratch, out);
+  return out;
 }
 
 MachineSchedule laminarize(const JobSet& jobs, const MachineSchedule& ms) {

@@ -1,6 +1,7 @@
 #include "pobp/schedule/schedule.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 namespace pobp {
@@ -40,52 +41,140 @@ void normalize_in_place(std::vector<Segment>& segs) {
   segs.resize(out);
 }
 
+// --- flat job index ---------------------------------------------------------
+//
+// Open addressing over a power-of-two bucket array; each bucket packs
+// (job + 1) << 32 | slot, with 0 marking an empty bucket.  Compared with
+// the std::unordered_map it replaces, lookups stay O(1) but insertion does
+// no per-node allocation and clear() is a memset, so a recycled
+// MachineSchedule never touches the heap for its index.
+
+namespace {
+
+inline std::uint64_t index_hash(JobId job) {
+  return (static_cast<std::uint64_t>(job) + 1) * 0x9E3779B97F4A7C15ULL;
+}
+
+}  // namespace
+
+const std::uint64_t* MachineSchedule::index_lookup(JobId job) const {
+  if (buckets_.empty()) return nullptr;
+  const std::uint64_t key = static_cast<std::uint64_t>(job) + 1;
+  const std::size_t mask = buckets_.size() - 1;
+  for (std::size_t b = index_hash(job) & mask;; b = (b + 1) & mask) {
+    const std::uint64_t entry = buckets_[b];
+    if (entry == 0) return nullptr;
+    if ((entry >> 32) == key) return &buckets_[b];
+  }
+}
+
+void MachineSchedule::index_insert(JobId job, std::uint32_t pos) {
+  // Jobs are JobSet indices, so job + 1 always fits the 32-bit key field.
+  POBP_ASSERT(job != std::numeric_limits<JobId>::max());
+  if (buckets_.size() < 2 * (live_ + 1)) index_grow(live_ + 1);
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t b = index_hash(job) & mask;
+  while (buckets_[b] != 0) b = (b + 1) & mask;
+  buckets_[b] = ((static_cast<std::uint64_t>(job) + 1) << 32) | pos;
+}
+
+void MachineSchedule::index_grow(std::size_t min_entries) {
+  std::size_t cap = buckets_.empty() ? 16 : buckets_.size() * 2;
+  while (cap < 2 * min_entries) cap *= 2;
+  std::vector<std::uint64_t> old;
+  old.swap(buckets_);
+  buckets_.assign(cap, 0);
+  const std::size_t mask = cap - 1;
+  for (const std::uint64_t entry : old) {
+    if (entry == 0) continue;
+    std::size_t b =
+        index_hash(static_cast<JobId>((entry >> 32) - 1)) & mask;
+    while (buckets_[b] != 0) b = (b + 1) & mask;
+    buckets_[b] = entry;
+  }
+}
+
+// --- assignment slots -------------------------------------------------------
+
+Assignment& MachineSchedule::new_slot(JobId job) {
+  if (live_ == slots_.size()) slots_.emplace_back();
+  Assignment& slot = slots_[live_];
+  slot.job = job;
+  slot.segments.clear();  // capacity retained — this is the recycling
+  index_insert(job, static_cast<std::uint32_t>(live_));
+  ++live_;
+  return slot;
+}
+
 void MachineSchedule::add(Assignment assignment) {
   POBP_CHECK_MSG(!contains(assignment.job), "job already scheduled");
   POBP_CHECK_MSG(!assignment.segments.empty(), "empty assignment");
-  assignment.segments = normalized(std::move(assignment.segments));
-  index_.emplace(assignment.job, assignments_.size());
-  assignments_.push_back(std::move(assignment));
+  normalize_in_place(assignment.segments);
+  new_slot(assignment.job)
+      .segments.assign(assignment.segments.begin(), assignment.segments.end());
 }
 
 void MachineSchedule::add_sorted(Assignment assignment) {
-  POBP_CHECK_MSG(!contains(assignment.job), "job already scheduled");
-  POBP_CHECK_MSG(!assignment.segments.empty(), "empty assignment");
+  append_sorted(assignment.job,
+                {assignment.segments.data(), assignment.segments.size()});
+}
+
+void MachineSchedule::append_sorted(JobId job,
+                                    std::span<const Segment> segments) {
+  POBP_CHECK_MSG(!contains(job), "job already scheduled");
+  POBP_CHECK_MSG(!segments.empty(), "empty assignment");
 #ifndef NDEBUG
   // Equivalence with add(): normalized() must be a no-op, which requires
   // sorted, non-empty, *strictly* separated segments (touching ones would
   // have been merged).
-  for (std::size_t i = 0; i < assignment.segments.size(); ++i) {
-    POBP_DASSERT(!assignment.segments[i].empty());
-    POBP_DASSERT(i == 0 || assignment.segments[i - 1].end <
-                               assignment.segments[i].begin);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    POBP_DASSERT(!segments[i].empty());
+    POBP_DASSERT(i == 0 || segments[i - 1].end < segments[i].begin);
   }
 #endif
-  index_.emplace(assignment.job, assignments_.size());
-  assignments_.push_back(std::move(assignment));
+  new_slot(job).segments.assign(segments.begin(), segments.end());
+}
+
+void MachineSchedule::clear() {
+  live_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+void MachineSchedule::assign_from(const MachineSchedule& other) {
+  if (this == &other) return;
+  clear();
+  for (const Assignment& a : other.assignments()) {
+    append_sorted(a.job, {a.segments.data(), a.segments.size()});
+  }
+}
+
+void MachineSchedule::reserve(std::size_t jobs) {
+  slots_.reserve(jobs);
+  if (jobs > 0 && buckets_.size() < 2 * jobs) index_grow(jobs);
 }
 
 const Assignment* MachineSchedule::find(JobId job) const {
-  const auto it = index_.find(job);
-  return it == index_.end() ? nullptr : &assignments_[it->second];
+  const std::uint64_t* entry = index_lookup(job);
+  if (entry == nullptr) return nullptr;
+  return &slots_[static_cast<std::uint32_t>(*entry)];
 }
 
 std::vector<JobId> MachineSchedule::scheduled_jobs() const {
   std::vector<JobId> ids;
-  ids.reserve(assignments_.size());
-  for (const Assignment& a : assignments_) ids.push_back(a.job);
+  ids.reserve(live_);
+  for (const Assignment& a : assignments()) ids.push_back(a.job);
   return ids;
 }
 
 Value MachineSchedule::total_value(const JobSet& jobs) const {
   Value sum = 0;
-  for (const Assignment& a : assignments_) sum += jobs[a.job].value;
+  for (const Assignment& a : assignments()) sum += jobs[a.job].value;
   return sum;
 }
 
 std::size_t MachineSchedule::max_preemptions() const {
   std::size_t worst = 0;
-  for (const Assignment& a : assignments_) {
+  for (const Assignment& a : assignments()) {
     worst = std::max(worst, a.preemptions());
   }
   return worst;
@@ -93,7 +182,7 @@ std::size_t MachineSchedule::max_preemptions() const {
 
 Duration MachineSchedule::busy_time() const {
   Duration sum = 0;
-  for (const Assignment& a : assignments_) sum += total_length(a.segments);
+  for (const Assignment& a : assignments()) sum += total_length(a.segments);
   return sum;
 }
 
@@ -106,7 +195,7 @@ std::vector<MachineSchedule::TaggedSegment> MachineSchedule::timeline() const {
 void MachineSchedule::timeline_into(std::vector<TaggedSegment>& out) const {
   out.clear();
   out.reserve(segment_count());
-  for (const Assignment& a : assignments_) {
+  for (const Assignment& a : assignments()) {
     for (const Segment& s : a.segments) out.push_back({s, a.job});
   }
   std::sort(out.begin(), out.end(),
@@ -117,7 +206,7 @@ void MachineSchedule::timeline_into(std::vector<TaggedSegment>& out) const {
 
 std::size_t MachineSchedule::segment_count() const {
   std::size_t count = 0;
-  for (const Assignment& a : assignments_) count += a.segments.size();
+  for (const Assignment& a : assignments()) count += a.segments.size();
   return count;
 }
 
@@ -128,6 +217,21 @@ std::string MachineSchedule::to_string(const JobSet& jobs) const {
        << ts.job << " (val=" << jobs[ts.job].value << ")\n";
   }
   return os.str();
+}
+
+void Schedule::reset(std::size_t machine_count) {
+  POBP_ASSERT(machine_count >= 1);
+  if (machines_.size() > machine_count) machines_.resize(machine_count);
+  for (MachineSchedule& m : machines_) m.clear();
+  while (machines_.size() < machine_count) machines_.emplace_back();
+}
+
+void Schedule::assign_from(const Schedule& other) {
+  if (this == &other) return;
+  reset(other.machine_count());
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    machines_[m].assign_from(other.machine(m));
+  }
 }
 
 std::optional<std::size_t> Schedule::machine_of(JobId job) const {

@@ -1,58 +1,70 @@
 #include "pobp/schedule/timeline.hpp"
 
+#include <algorithm>
+
 #include "pobp/util/assert.hpp"
 
 namespace pobp {
+
+std::size_t IdleTimeline::upper_bound(Time t) const {
+  const auto it = std::upper_bound(
+      busy_.begin(), busy_.end(), t,
+      [](Time value, const Segment& run) { return value < run.begin; });
+  return static_cast<std::size_t>(it - busy_.begin());
+}
 
 void IdleTimeline::occupy(Segment s) {
   POBP_ASSERT(!s.empty());
   POBP_ASSERT_MSG(is_idle(s), "occupy() of a non-idle segment");
   Time begin = s.begin;
   Time end = s.end;
-  // Coalesce with a run ending exactly at s.begin.
-  auto it = busy_.lower_bound(begin);
-  if (it != busy_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second == begin) {
-      begin = prev->first;
-      busy_.erase(prev);
+  // i = first run beginning at or after s.begin (== s.end at most, since s
+  // is idle); the run before it can touch s.begin, the run at it can touch
+  // s.end — coalesce with both so busy runs stay maximal.
+  std::size_t i = upper_bound(begin);
+  if (i > 0 && busy_[i - 1].end == begin) {
+    begin = busy_[i - 1].begin;
+    --i;
+    if (i + 1 < busy_.size() && busy_[i + 1].begin == end) {
+      end = busy_[i + 1].end;
+      busy_[i] = Segment{begin, end};
+      busy_.erase(busy_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    } else {
+      busy_[i] = Segment{begin, end};
     }
+    return;
   }
-  // Coalesce with a run starting exactly at s.end.
-  it = busy_.find(end);
-  if (it != busy_.end()) {
-    end = it->second;
-    busy_.erase(it);
+  if (i < busy_.size() && busy_[i].begin == end) {
+    busy_[i] = Segment{begin, busy_[i].end};
+    return;
   }
-  busy_.emplace(begin, end);
+  busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(i),
+               Segment{begin, end});
 }
 
 bool IdleTimeline::is_idle(Segment s) const {
   if (s.empty()) return true;
-  auto it = busy_.upper_bound(s.begin);  // first run beginning after s.begin
-  if (it != busy_.end() && it->first < s.end) return false;
-  if (it != busy_.begin()) {
-    auto prev = std::prev(it);  // run beginning at or before s.begin
-    if (prev->second > s.begin) return false;
-  }
+  const std::size_t i = upper_bound(s.begin);
+  // Run beginning strictly after s.begin must not start inside s ...
+  if (i < busy_.size() && busy_[i].begin < s.end) return false;
+  // ... and the run beginning at or before s.begin must not cover it.
+  if (i > 0 && busy_[i - 1].end > s.begin) return false;
   return true;
 }
 
 std::optional<Segment> IdleTimeline::next_idle(Time from, Segment window) const {
   Time cursor = std::max(from, window.begin);
   while (cursor < window.end) {
-    auto it = busy_.upper_bound(cursor);
+    const std::size_t i = upper_bound(cursor);
     // Run covering `cursor`, if any.
-    if (it != busy_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second > cursor) {
-        cursor = prev->second;  // skip past the covering run
-        continue;
-      }
+    if (i > 0 && busy_[i - 1].end > cursor) {
+      cursor = busy_[i - 1].end;  // skip past the covering run
+      continue;
     }
     // `cursor` is idle; idle gap extends to the next run begin (or window end).
-    const Time gap_end =
-        it == busy_.end() ? window.end : std::min(it->first, window.end);
+    const Time gap_end = i == busy_.size()
+                             ? window.end
+                             : std::min(busy_[i].begin, window.end);
     if (cursor >= gap_end) return std::nullopt;
     return Segment{cursor, gap_end};
   }
@@ -71,11 +83,11 @@ std::vector<Segment> IdleTimeline::idle_in(Segment window) const {
 
 std::vector<Segment> IdleTimeline::busy_in(Segment window) const {
   std::vector<Segment> out;
-  auto it = busy_.upper_bound(window.begin);
-  if (it != busy_.begin()) --it;
-  for (; it != busy_.end() && it->first < window.end; ++it) {
-    const Segment clipped{std::max(it->first, window.begin),
-                          std::min(it->second, window.end)};
+  std::size_t i = upper_bound(window.begin);
+  if (i > 0) --i;
+  for (; i < busy_.size() && busy_[i].begin < window.end; ++i) {
+    const Segment clipped{std::max(busy_[i].begin, window.begin),
+                          std::min(busy_[i].end, window.end)};
     if (!clipped.empty()) out.push_back(clipped);
   }
   return out;

@@ -227,6 +227,81 @@ void diagnose_raw_schedule(const JobSet& jobs,
   }
 }
 
+namespace {
+
+/// One machine's share of validate_fast: the same predicates
+/// diagnose_machine checks, first failure wins.  Schedules reaching this
+/// path are MachineSchedule-built (normalized), but nothing here assumes
+/// it — the verdict matches the diagnostics engine either way.
+bool validate_machine_fast(const JobSet& jobs, const MachineSchedule& ms,
+                           std::size_t k, ValidateScratch& s) {
+  for (const Assignment& a : ms.assignments()) {
+    if (a.job >= jobs.size()) return false;       // POBP-SCHED-001
+    const Job& job = jobs[a.job];
+    if (a.segments.empty()) return false;         // POBP-SCHED-002
+    Duration scheduled = 0;
+    std::size_t real_segments = 0;
+    std::size_t prev = a.segments.size();
+    for (std::size_t i = 0; i < a.segments.size(); ++i) {
+      const Segment& seg = a.segments[i];
+      if (seg.empty()) return false;              // POBP-SCHED-003
+      if (seg.begin < job.release || seg.end > job.deadline) {
+        return false;                             // POBP-SCHED-005
+      }
+      if (prev != a.segments.size() && a.segments[prev].end > seg.begin) {
+        return false;                             // POBP-SCHED-004
+      }
+      prev = i;
+      scheduled += seg.length();
+      ++real_segments;
+    }
+    if (scheduled != job.length) return false;    // POBP-SCHED-006
+    const std::size_t preemptions =
+        real_segments == 0 ? 0 : real_segments - 1;
+    if (k != kUnboundedPreemptions && preemptions > k) {
+      return false;                               // POBP-SCHED-007
+    }
+  }
+  // Machine exclusivity (POBP-SCHED-008): with the timeline sorted by
+  // begin, adjacent disjointness implies pairwise disjointness.
+  ms.timeline_into(s.timeline);
+  for (std::size_t i = 1; i < s.timeline.size(); ++i) {
+    if (s.timeline[i - 1].segment.end > s.timeline[i].segment.begin) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_fast(const JobSet& jobs, const Schedule& schedule, std::size_t k,
+                   ValidateScratch& scratch) {
+  POBP_FAULT_POINT(kValidate);
+  if (scratch.seen.size() < jobs.size()) scratch.seen.resize(jobs.size(), 0);
+  scratch.touched.clear();
+  bool ok = true;
+  for (std::size_t m = 0; ok && m < schedule.machine_count(); ++m) {
+    const MachineSchedule& ms = schedule.machine(m);
+    if (!validate_machine_fast(jobs, ms, k, scratch)) {
+      ok = false;
+      break;
+    }
+    // Non-migration (POBP-SCHED-009); job ids are in range per the machine
+    // check above.
+    for (const Assignment& a : ms.assignments()) {
+      if (scratch.seen[a.job] != 0) {
+        ok = false;
+        break;
+      }
+      scratch.seen[a.job] = 1;
+      scratch.touched.push_back(a.job);
+    }
+  }
+  for (const JobId id : scratch.touched) scratch.seen[id] = 0;
+  return ok;
+}
+
 ValidationResult validate_machine(const JobSet& jobs,
                                   const MachineSchedule& ms, std::size_t k) {
   diag::Report report;

@@ -8,9 +8,8 @@
 
 namespace pobp {
 
-MachineSchedule greedy_infinity(const JobSet& jobs,
-                                std::span<const JobId> candidates,
-                                GreedyScratch& scratch) {
+void greedy_infinity_into(const JobSet& jobs, std::span<const JobId> candidates,
+                          GreedyScratch& scratch, MachineSchedule& out) {
   auto& order = scratch.order;
   order.assign(candidates.begin(), candidates.end());
   std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
@@ -30,11 +29,20 @@ MachineSchedule greedy_infinity(const JobSet& jobs,
     accepted.push_back(id);
     if (!edf_feasible(jobs, accepted, scratch.edf)) accepted.pop_back();
   }
-  if (accepted.empty()) return {};
-  auto schedule = edf_schedule(jobs, accepted, scratch.edf);
-  POBP_CHECK_MSG(schedule.has_value(),
+  if (accepted.empty()) {
+    out.clear();
+    return;
+  }
+  POBP_CHECK_MSG(edf_schedule_into(jobs, accepted, scratch.edf, out),
                  "greedy accepted set must be EDF-feasible");
-  return std::move(*schedule);
+}
+
+MachineSchedule greedy_infinity(const JobSet& jobs,
+                                std::span<const JobId> candidates,
+                                GreedyScratch& scratch) {
+  MachineSchedule out;
+  greedy_infinity_into(jobs, candidates, scratch, out);
+  return out;
 }
 
 MachineSchedule greedy_infinity(const JobSet& jobs,
@@ -43,19 +51,27 @@ MachineSchedule greedy_infinity(const JobSet& jobs,
   return greedy_infinity(jobs, candidates, scratch);
 }
 
+void greedy_infinity_multi_into(const JobSet& jobs,
+                                std::span<const JobId> candidates,
+                                std::size_t machine_count,
+                                GreedyScratch& scratch, Schedule& out) {
+  POBP_CHECK(machine_count >= 1);
+  out.reset(machine_count);
+  auto& remaining = scratch.residual;
+  remaining.assign(candidates.begin(), candidates.end());
+  for (std::size_t m = 0; m < machine_count && !remaining.empty(); ++m) {
+    greedy_infinity_into(jobs, remaining, scratch, out.machine(m));
+    std::erase_if(remaining,
+                  [&](JobId id) { return out.machine(m).contains(id); });
+  }
+}
+
 Schedule greedy_infinity_multi(const JobSet& jobs,
                                std::span<const JobId> candidates,
                                std::size_t machine_count,
                                GreedyScratch& scratch) {
-  POBP_CHECK(machine_count >= 1);
   Schedule out(machine_count);
-  auto& remaining = scratch.residual;
-  remaining.assign(candidates.begin(), candidates.end());
-  for (std::size_t m = 0; m < machine_count && !remaining.empty(); ++m) {
-    out.machine(m) = greedy_infinity(jobs, remaining, scratch);
-    std::erase_if(remaining,
-                  [&](JobId id) { return out.machine(m).contains(id); });
-  }
+  greedy_infinity_multi_into(jobs, candidates, machine_count, scratch, out);
   return out;
 }
 

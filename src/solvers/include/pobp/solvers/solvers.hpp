@@ -82,4 +82,13 @@ Schedule greedy_infinity_multi(const JobSet& jobs,
                                std::size_t machine_count,
                                GreedyScratch& scratch);
 
+/// Pooled forms: write into `out` (cleared/reset first, slot storage
+/// recycled — zero heap allocations once scratch and `out` are warmed).
+void greedy_infinity_into(const JobSet& jobs, std::span<const JobId> candidates,
+                          GreedyScratch& scratch, MachineSchedule& out);
+void greedy_infinity_multi_into(const JobSet& jobs,
+                                std::span<const JobId> candidates,
+                                std::size_t machine_count,
+                                GreedyScratch& scratch, Schedule& out);
+
 }  // namespace pobp

@@ -2,6 +2,7 @@
 // Expected-based checked entry points, and the engine metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <stdexcept>
@@ -35,6 +36,28 @@ std::vector<JobSet> corpus(std::size_t count, std::uint64_t seed) {
 std::string fingerprint(const ScheduleResult& r) {
   return io::schedule_to_csv(r.schedule) + "|" + std::to_string(r.value) +
          "|" + std::to_string(r.unbounded_value);
+}
+
+/// A steal-heavy batch: one giant instance first, then a mixed tail of small
+/// ones.  Whichever worker owns shard 0 is pinned on the giant instance
+/// while the others drain their shards and start stealing — the worst case
+/// for the sharded deque scheduler.
+std::vector<JobSet> skewed_corpus(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<JobSet> instances;
+  JobGenConfig giant;
+  giant.n = 220;
+  giant.max_length = 1 << 7;
+  giant.horizon = 1 << 13;
+  instances.push_back(random_jobs(giant, rng));
+  for (std::size_t i = 1; i < count; ++i) {
+    JobGenConfig config;
+    config.n = 12 + (i % 7) * 6;
+    config.max_length = 1 << 6;
+    config.horizon = 1 << 12;
+    instances.push_back(random_jobs(config, rng));
+  }
+  return instances;
 }
 
 // ------------------------------------------------------ determinism -------
@@ -89,6 +112,115 @@ TEST(Engine, SingleSolveMatchesBatchOfOne) {
   EXPECT_EQ(fingerprint(lone), fingerprint(batch[0]));
 }
 
+// ----------------------------------------------------- work stealing ------
+
+// The acceptance bar of the work-stealing scheduler: a 256-instance batch
+// whose first instance dwarfs the rest forces heavy stealing (the owner of
+// shard 0 is stuck on the giant while everyone else goes idle and starts
+// raiding), and the results must still be byte-identical to the 1-worker
+// run at every worker count — including counts far above the core count.
+TEST(EngineStealing, SkewedBatchBitIdenticalAcrossWorkerCounts) {
+  const std::vector<JobSet> instances = skewed_corpus(256, 20180616);
+  const ScheduleOptions schedule{.k = 1, .machine_count = 2};
+
+  std::vector<std::string> expected;
+  {
+    Engine engine({.schedule = schedule, .workers = 1});
+    for (const ScheduleResult& r : engine.solve_batch(instances)) {
+      expected.push_back(fingerprint(r));
+    }
+  }
+
+  for (const std::size_t workers : {2u, 3u, 8u, 16u}) {
+    Engine engine({.schedule = schedule, .workers = workers});
+    std::vector<ScheduleResult> results;
+    engine.solve_batch_into(instances, results);
+    ASSERT_EQ(results.size(), instances.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(fingerprint(results[i]), expected[i])
+          << "instance " << i << " diverged with " << workers << " workers";
+    }
+    EXPECT_EQ(engine.metrics().instances, instances.size());
+  }
+}
+
+// The intra-solve TM fan-out is a pure parallelisation: forcing it on for
+// every multi-root forest (threshold 1) or turning it off entirely (0) must
+// not change a single bit of any result, nested inside batch workers or not.
+TEST(EngineStealing, TmForkThresholdDoesNotChangeResults) {
+  const std::vector<JobSet> instances = skewed_corpus(48, 909);
+  ScheduleOptions schedule{.k = 1, .machine_count = 2};
+
+  std::vector<std::string> expected;
+  {
+    Engine engine({.schedule = schedule, .workers = 1});
+    for (const ScheduleResult& r : engine.solve_batch(instances)) {
+      expected.push_back(fingerprint(r));
+    }
+  }
+
+  for (const std::size_t fork_min : {std::size_t{0}, std::size_t{1}}) {
+    for (const std::size_t workers : {1u, 8u}) {
+      ScheduleOptions forked = schedule;
+      forked.tm_fork_min_nodes = fork_min;
+      Engine engine({.schedule = forked, .workers = workers});
+      const std::vector<ScheduleResult> results =
+          engine.solve_batch(instances);
+      ASSERT_EQ(results.size(), instances.size());
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(fingerprint(results[i]), expected[i])
+            << "instance " << i << " diverged with fork_min_nodes="
+            << fork_min << ", " << workers << " workers";
+      }
+    }
+  }
+}
+
+// Degraded outcomes ride the same determinism contract: which instances
+// exhaust the op budget — and the approximate schedules they fall back to —
+// must be identical for every worker count.
+TEST(EngineStealing, DegradedOutcomesIdenticalAcrossWorkerCounts) {
+  const std::vector<JobSet> instances = skewed_corpus(48, 31337);
+  EngineOptions base;
+  base.schedule = {.k = 1, .machine_count = 2};
+  // ~1455 ops for the giant instance, <= 325 for every small one (measured
+  // on this corpus): 800 splits the batch into degraded + clean halves.
+  base.budget = {.max_ops = 800};
+  base.degrade = DegradePolicy::kApproximate;
+
+  std::vector<std::string> expected;
+  std::vector<bool> degraded;
+  {
+    EngineOptions options = base;
+    options.workers = 1;
+    Engine engine(options);
+    for (const ScheduleResult& r : engine.solve_batch(instances)) {
+      expected.push_back(fingerprint(r));
+      degraded.push_back(r.degraded);
+    }
+  }
+  // The budget is sized so the batch is genuinely mixed: the giant instance
+  // must exhaust it and degrade, the small tail must not.
+  EXPECT_TRUE(degraded[0]);
+  EXPECT_FALSE(std::all_of(degraded.begin(), degraded.end(),
+                           [](bool d) { return d; }));
+
+  for (const std::size_t workers : {2u, 3u, 8u}) {
+    EngineOptions options = base;
+    options.workers = workers;
+    Engine engine(options);
+    const std::vector<ScheduleResult> results = engine.solve_batch(instances);
+    ASSERT_EQ(results.size(), instances.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].degraded, degraded[i])
+          << "instance " << i << " degrade outcome flipped with " << workers
+          << " workers";
+      EXPECT_EQ(fingerprint(results[i]), expected[i])
+          << "instance " << i << " diverged with " << workers << " workers";
+    }
+  }
+}
+
 // --------------------------------------------------------- sessions -------
 
 TEST(Session, ReusedAcrossInstancesAccumulatesMetrics) {
@@ -120,6 +252,47 @@ TEST(Session, PerCallOptionsOverrideConstructorOptions) {
   EXPECT_LE(k0.schedule.max_preemptions(), 0u);
   EXPECT_TRUE(validate(instances[0], k1.schedule, 1).ok);
   EXPECT_TRUE(validate(instances[0], k0.schedule, 0).ok);
+}
+
+// The harvest pattern: one ScheduleResult reused across solve_into calls
+// (its pooled schedule storage recycled between instances of very different
+// sizes) must match fresh Session::solve results exactly.
+TEST(Session, SolveIntoRecyclesResultStorage) {
+  const std::vector<JobSet> instances = skewed_corpus(8, 2024);
+  Session reusing({.schedule = {.k = 1, .machine_count = 2}});
+  Session fresh({.schedule = {.k = 1, .machine_count = 2}});
+  ScheduleResult recycled;
+  for (const JobSet& jobs : instances) {
+    reusing.solve_into(jobs, recycled);
+    EXPECT_EQ(fingerprint(recycled), fingerprint(fresh.solve(jobs)));
+    EXPECT_TRUE(validate(jobs, recycled.schedule, 1).ok);
+  }
+  // Per-call option overrides flow through the into-form too.
+  reusing.solve_into(instances[1], {.k = 0}, recycled);
+  EXPECT_LE(recycled.schedule.max_preemptions(), 0u);
+  EXPECT_TRUE(validate(instances[1], recycled.schedule, 0).ok);
+}
+
+// solve_batch_into across big -> small -> big batches: the results vector
+// (and every pooled schedule inside it) is recycled, never reallocated from
+// scratch, and the answers must match the allocating solve_batch path.
+TEST(Engine, SolveBatchIntoReusesResultsVector) {
+  const std::vector<JobSet> big = skewed_corpus(24, 5150);
+  const std::vector<JobSet> small = corpus(5, 61);
+  Engine engine({.schedule = {.k = 1, .machine_count = 2}, .workers = 4});
+  Engine reference({.schedule = {.k = 1, .machine_count = 2}, .workers = 1});
+
+  std::vector<ScheduleResult> results;
+  for (const std::vector<JobSet>* batch : {&big, &small, &big}) {
+    engine.solve_batch_into(*batch, results);
+    ASSERT_EQ(results.size(), batch->size());
+    const std::vector<ScheduleResult> expected =
+        reference.solve_batch(*batch);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(fingerprint(results[i]), fingerprint(expected[i]))
+          << "instance " << i << " diverged after vector reuse";
+    }
+  }
 }
 
 TEST(Session, EmptyInstanceSolvesToEmptySchedule) {
@@ -292,6 +465,65 @@ TEST(EngineFaults, InjectedFaultsAreContainedAndDeterministic) {
     EXPECT_EQ(reports, faulty.size());
     EXPECT_EQ(engine.metrics().pipeline_faults, faulty.size());
     EXPECT_EQ(engine.metrics().instances, instances.size() - faulty.size());
+  }
+}
+
+// The result-arena contract under faults: a fault thrown mid-solve leaves
+// the session's pooled scratch/result buffers in a reusable state — after
+// disarming, the very same engine (same sessions, same arenas) must solve
+// the whole batch correctly, with every result matching a fault-free run.
+// Exercised once per fault site so the unwind point sweeps the pipeline:
+// seed, laminarize, TM DP, left-merge rebuild, and validation.
+TEST(EngineFaults, ResultArenaSurvivesMidSolveFaults) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "built without POBP_FAULT_INJECTION";
+  }
+  const DisarmGuard disarm;
+  const std::vector<JobSet> instances = skewed_corpus(8, 618);
+  const ScheduleOptions schedule{.k = 1, .machine_count = 2};
+
+  Engine clean({.schedule = schedule, .workers = 1});
+  std::vector<std::string> expected;
+  for (const ScheduleResult& r : clean.solve_batch(instances)) {
+    expected.push_back(fingerprint(r));
+  }
+
+  const char* sites[] = {"alloc", "laminarize", "tm_dp", "left_merge",
+                         "validate"};
+  for (const char* site : sites) {
+    // Fault instance 2 mid-solve on its first visit to the site.
+    Engine engine({.schedule = schedule,
+                   .workers = 1,
+                   .fault_injection = std::string(site) + "@2:1"});
+    const std::vector<SolveOutcome> faulted =
+        engine.try_solve_batch(instances);
+    ASSERT_EQ(faulted.size(), instances.size());
+    ASSERT_FALSE(faulted[2].has_value())
+        << "site " << site << " never fired on instance 2";
+    EXPECT_EQ(faulted[2].error().count("POBP-RUN-001"), 1u);
+    for (std::size_t i = 0; i < faulted.size(); ++i) {
+      if (i == 2) continue;
+      ASSERT_TRUE(faulted[i].has_value())
+          << "instance " << i << " poisoned by " << site << " fault";
+      EXPECT_EQ(fingerprint(*faulted[i]), expected[i]);
+    }
+
+    // Triggers re-fire on every matching call, so disarm before rerunning
+    // the SAME engine: the arenas that the fault unwound through must now
+    // produce bit-identical, fully validated results.
+    fault::disarm();
+    const std::vector<SolveOutcome> recovered =
+        engine.try_solve_batch(instances);
+    ASSERT_EQ(recovered.size(), instances.size());
+    for (std::size_t i = 0; i < recovered.size(); ++i) {
+      ASSERT_TRUE(recovered[i].has_value())
+          << "instance " << i << " still failing after disarm (" << site
+          << ")";
+      EXPECT_EQ(fingerprint(*recovered[i]), expected[i])
+          << "instance " << i << " corrupted by the " << site
+          << " fault unwind";
+      EXPECT_TRUE(validate(instances[i], recovered[i]->schedule, 1).ok);
+    }
   }
 }
 

@@ -251,5 +251,43 @@ TEST(TmPerNode, ZeroBudgetNodesKeepNoChildren) {
   EXPECT_FALSE(r.selection.kept(1));
 }
 
+// The forked entry point fans root trees out across threads; root subtrees
+// are disjoint, so it must be bit-identical to the serial DP — value,
+// per-node t/m tables, and the keep mask — whether forking is forced on for
+// every multi-root forest (threshold 1) or disabled outright (0).
+TEST(Tm, ForkedMatchesSerialBitExactOnRandomForests) {
+  Rng rng(424242);
+  const ForestGenConfig::ValueDist dists[] = {
+      ForestGenConfig::ValueDist::kUniform,
+      ForestGenConfig::ValueDist::kHeavyTail,
+      ForestGenConfig::ValueDist::kDepthDecay};
+  for (int trial = 0; trial < 9; ++trial) {
+    ForestGenConfig config;
+    config.nodes = 150 + static_cast<std::size_t>(trial) * 80;
+    config.max_degree = 6;
+    config.root_probability = 0.05;  // plenty of roots to fork over
+    config.value_dist = dists[trial % 3];
+    const Forest f = random_forest(config, rng);
+    for (const std::size_t k : {std::size_t{1}, std::size_t{3}}) {
+      const TmResult serial = tm_optimal_bas(f, k);
+      TmScratch scratch;
+      TmResult forked;
+      tm_optimal_bas_forked(f, k, scratch, forked, /*fork_min_nodes=*/1);
+      EXPECT_EQ(serial.value, forked.value) << "trial " << trial;
+      EXPECT_EQ(serial.t, forked.t) << "trial " << trial;
+      EXPECT_EQ(serial.m, forked.m) << "trial " << trial;
+      EXPECT_EQ(serial.selection.keep, forked.selection.keep)
+          << "trial " << trial;
+
+      // fork_min_nodes = 0 disables forking; same scratch, same answer.
+      TmResult disabled;
+      tm_optimal_bas_forked(f, k, scratch, disabled, /*fork_min_nodes=*/0);
+      EXPECT_EQ(serial.value, disabled.value) << "trial " << trial;
+      EXPECT_EQ(serial.selection.keep, disabled.selection.keep)
+          << "trial " << trial;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pobp

@@ -10,7 +10,12 @@
 //     (the ISSUE's regression budget) and is configurable;
 //   * allocs/op: current > baseline — allocation counts are deterministic
 //     and machine-independent, so they are gated strictly.  This is the
-//     enforcement half of the zero-allocation hot-path contract.
+//     enforcement half of the zero-allocation hot-path contract;
+//   * ops/s: current < baseline * (1 - FRAC) — throughput metrics gate in
+//     the opposite direction (higher is better), same tolerance;
+//   * value: free-form indicators (e.g. scaling_efficiency_w8) are printed
+//     for trend-watching but never gated — the producing bench binary owns
+//     any policy on them (bench_engine_throughput --gate-scaling).
 //
 // Two input formats are auto-detected per file:
 //   * the custom bench JSON written by bench_common.hpp's JsonWriter
@@ -191,6 +196,8 @@ class JsonParser {
 struct Sample {
   double ns_per_op = -1;    // < 0 = absent
   double allocs_per_op = -1;
+  double ops_per_s = -1;    // throughput: higher is better
+  double value = -1;        // informational (e.g. scaling efficiency)
 };
 
 double to_ns(double value, const std::string& unit) {
@@ -237,6 +244,8 @@ std::optional<std::map<std::string, Sample>> load(const std::string& path) {
       if (const JValue* v = m.find("allocs_per_op")) {
         s.allocs_per_op = v->number;
       }
+      if (const JValue* v = m.find("ops_per_s")) s.ops_per_s = v->number;
+      if (const JValue* v = m.find("value")) s.value = v->number;
       out[name->string] = s;
     }
     return out;
@@ -308,6 +317,23 @@ int main(int argc, char** argv) {
                 << cur.allocs_per_op << " allocs/op vs baseline "
                 << base.allocs_per_op << " (strict)\n";
       if (bad) ++regressions;
+    }
+    if (base.ops_per_s >= 0 && cur.ops_per_s >= 0) {
+      // Throughput: higher is better, so the regression edge is the
+      // mirror image of the ns/op gate.
+      const double limit = base.ops_per_s * (1.0 - tol);
+      const bool bad = cur.ops_per_s < limit;
+      std::cout << (bad ? "FAIL " : "ok   ") << name << ": "
+                << cur.ops_per_s << " ops/s vs baseline " << base.ops_per_s
+                << " (limit " << limit << ")\n";
+      if (bad) ++regressions;
+    }
+    if (base.value >= 0 && cur.value >= 0) {
+      // Machine-sensitive indicators (scaling efficiency): reported for
+      // trend-watching, never gated here — the bench binary's own
+      // --gate-scaling flag owns that policy.
+      std::cout << "info " << name << ": " << cur.value << " vs baseline "
+                << base.value << " (not gated)\n";
     }
   }
   for (const auto& [name, cur] : *current) {

@@ -4,11 +4,17 @@
 # known-bad fixtures.
 #
 #   tools/ci_check.sh [--skip-tsan] [--skip-tidy] [--skip-perf]
+#                     [--lenient-scaling]
 #
 # Presets come from CMakePresets.json; build trees land in
 # build-<preset>/.  The script is self-gating: sanitizers or clang-tidy
 # that the toolchain lacks are reported and skipped, everything else is
 # fatal (set -e).
+#
+# --lenient-scaling demotes the perf stage's w8-vs-w1 scaling floor to a
+# warning (allocation and wall-clock gates stay fatal).  Runners with
+# fewer than 8 cores get lenient mode automatically: the floor is
+# physically unreachable there (see docs/PERF.md).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,14 +22,19 @@ cd "$(dirname "$0")/.."
 SKIP_TSAN=0
 SKIP_TIDY=0
 SKIP_PERF=0
+LENIENT_SCALING=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-tidy) SKIP_TIDY=1 ;;
     --skip-perf) SKIP_PERF=1 ;;
+    --lenient-scaling) LENIENT_SCALING=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+if [ "$(nproc)" -lt 8 ]; then
+  LENIENT_SCALING=1
+fi
 
 say() { printf '\n=== %s ===\n' "$*"; }
 
@@ -58,20 +69,36 @@ run_preset release
 #     BENCH_engine.json / BENCH_runtime.json, and diff them against the
 #     checked-in baselines with bench_compare.  Time regresses at > 15%
 #     (bench_compare's default tolerance); allocs/op regress strictly —
-#     that is the zero-allocation hot-path contract.  Refresh baselines
-#     with tools/refresh_bench_baselines.sh after an intentional change.
+#     that is the zero-allocation hot-path contract.  The throughput bench
+#     additionally enforces two absolute floors of the work-stealing
+#     engine: ≤ 8 steady-state allocs/solve (strict everywhere) and
+#     w8 ≥ 3× w1 throughput (a warning under lenient scaling — see the
+#     flag docs above).  Refresh baselines with
+#     tools/refresh_bench_baselines.sh after an intentional change.
 if [ "$SKIP_PERF" -eq 0 ]; then
   say "perf smoke (bench_compare vs bench/baselines)"
+  SCALING_FLAGS=()
+  if [ "$LENIENT_SCALING" -eq 1 ]; then
+    SCALING_FLAGS+=(--lenient-scaling)
+  fi
+  # Wall-clock tolerance for this stage.  bench_compare defaults to 15%,
+  # but here the benches run seconds after two full build+ctest stages, so
+  # a loaded single-core runner shows >20% swing on the microsecond-scale
+  # metrics.  25% keeps the gate meaningful for real regressions without
+  # tripping on scheduler noise; the allocation gates stay strict and the
+  # absolute alloc/scaling floors above are unaffected.
+  PERF_TOL=0.25
   build-release/bench/bench_engine_throughput --instances 32 --repeats 2 \
-      --json build-release/BENCH_engine.json
+      --json build-release/BENCH_engine.json \
+      --gate-allocs 8 --gate-scaling 3 "${SCALING_FLAGS[@]}"
   build-release/bench/bench_runtime \
       --benchmark_filter="$(cat bench/baselines/runtime_filter.txt)" \
       --benchmark_out=build-release/BENCH_runtime.json \
       --benchmark_out_format=json > /dev/null
-  build-release/tools/bench_compare bench/baselines/BENCH_engine.json \
-      build-release/BENCH_engine.json
-  build-release/tools/bench_compare bench/baselines/BENCH_runtime.json \
-      build-release/BENCH_runtime.json
+  build-release/tools/bench_compare --tol "$PERF_TOL" \
+      bench/baselines/BENCH_engine.json build-release/BENCH_engine.json
+  build-release/tools/bench_compare --tol "$PERF_TOL" \
+      bench/baselines/BENCH_runtime.json build-release/BENCH_runtime.json
 else
   say "perf smoke: skipped"
 fi
