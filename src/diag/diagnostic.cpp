@@ -16,9 +16,26 @@ std::string_view to_string(Severity severity) {
   return "error";
 }
 
+Location Location::at(std::string path, std::size_t line_number,
+                      std::size_t column_number) {
+  Location loc;
+  loc.file = std::move(path);
+  loc.line = line_number;
+  if (column_number != 0) loc.column = column_number;
+  return loc;
+}
+
 std::string Location::to_string() const {
   std::ostringstream os;
   const char* sep = "";
+  if (file) {
+    os << *file;
+    if (line) {
+      os << ':' << *line;
+      if (column) os << ':' << *column;
+    }
+    sep = ", ";
+  }
   if (machine) {
     os << "machine " << *machine;
     sep = ", ";

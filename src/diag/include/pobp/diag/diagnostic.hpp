@@ -31,7 +31,10 @@ enum class Severity {
 std::string_view to_string(Severity severity);
 
 /// Where a finding anchors.  All fields optional; raw integers keep the
-/// diag module independent of the schedule/forest type headers.
+/// diag module independent of the schedule/forest type headers.  Instance
+/// rules anchor in artifact coordinates (machine/job/segment/ticks); the
+/// source-analysis rules (POBP-SRC-*, src/srclint) anchor in file
+/// coordinates (path, 1-based line/column).
 struct Location {
   std::optional<std::size_t> machine;   ///< machine index
   std::optional<std::uint32_t> job;     ///< JobId
@@ -39,6 +42,14 @@ struct Location {
   std::optional<std::size_t> segment;   ///< segment index within a job
   std::optional<std::int64_t> begin;    ///< time range start (ticks)
   std::optional<std::int64_t> end;      ///< time range end (ticks)
+
+  std::optional<std::string> file;      ///< repo-relative source path
+  std::optional<std::size_t> line;      ///< 1-based source line
+  std::optional<std::size_t> column;    ///< 1-based source column
+
+  /// Builds a file anchor ("src/x.cpp:12").
+  static Location at(std::string path, std::size_t line_number,
+                     std::size_t column_number = 0);
 
   std::string to_string() const;  ///< "machine 0, job#3, segment 2, [4, 9)"
 };

@@ -75,6 +75,19 @@ inline constexpr std::string_view kIntervalOverload = "POBP-INT-001";
 inline constexpr std::string_view kGenParamDomain = "POBP-GEN-001";
 inline constexpr std::string_view kGenOverflow = "POBP-GEN-002";
 
+// Source-level static analysis (src/srclint, `pobp_srclint` /
+// `pobp lint-src`).  These rules lint the repository's own source tree
+// against the project engineering contracts (docs/PERF.md,
+// docs/ENGINE.md); each is suppressible at a site with a
+// `// POBP-SRC-nnn: reason` comment on the finding line or the line
+// above.
+inline constexpr std::string_view kSrcNakedAlloc = "POBP-SRC-001";
+inline constexpr std::string_view kSrcHotPathAlloc = "POBP-SRC-002";
+inline constexpr std::string_view kSrcImplicitMemoryOrder = "POBP-SRC-003";
+inline constexpr std::string_view kSrcNondeterminism = "POBP-SRC-004";
+inline constexpr std::string_view kSrcLayering = "POBP-SRC-005";
+inline constexpr std::string_view kSrcThrowInContainment = "POBP-SRC-006";
+
 }  // namespace rules
 
 }  // namespace pobp::diag

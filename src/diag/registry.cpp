@@ -30,6 +30,12 @@ using rules::kSchedPreemptionBudget;
 using rules::kSchedUnknownJob;
 using rules::kSchedUnsortedSegments;
 using rules::kSchedWindowEscape;
+using rules::kSrcHotPathAlloc;
+using rules::kSrcImplicitMemoryOrder;
+using rules::kSrcLayering;
+using rules::kSrcNakedAlloc;
+using rules::kSrcNondeterminism;
+using rules::kSrcThrowInContainment;
 
 // Ordered by id; find_rule binary-searches this table.
 constexpr RuleInfo kCatalogue[] = {
@@ -147,6 +153,49 @@ constexpr RuleInfo kCatalogue[] = {
      "§2.1 (multi-machine)",
      "The multi-machine setting is non-migrative: a job's segments must "
      "all live on a single machine."},
+    {kSrcNakedAlloc, Severity::kError, "naked allocation",
+     "docs/PERF.md (allocation discipline)",
+     "Raw new/delete/malloc/free outside the allocator modules (allocspy, "
+     "the arenas).  All ownership goes through containers, smart pointers "
+     "and arenas so the counting hooks and the zero-allocation perf gate "
+     "see every allocation.  Suppress with `// POBP-SRC-001: reason`."},
+    {kSrcHotPathAlloc, Severity::kError, "allocation call on the hot path",
+     "docs/PERF.md (zero-allocation hot path)",
+     "An allocation-capable call (new/delete, malloc-family, "
+     "make_unique/make_shared) inside a pooled `*_into` producer or a "
+     "function marked `// POBP_NOALLOC`.  Hot-path functions recycle "
+     "caller-owned storage; capacity operations (reserve/resize) are the "
+     "only sanctioned growth.  Suppress with `// POBP-SRC-002: reason`."},
+    {kSrcImplicitMemoryOrder, Severity::kError,
+     "atomic operation without explicit memory order",
+     "docs/PERF.md (work-stealing scheduler)",
+     "A std::atomic load/store/RMW in the concurrency-bearing modules "
+     "(engine, util, solvers) relying on the implicit seq_cst default.  "
+     "Every atomic op must spell its std::memory_order so the "
+     "synchronization protocol is reviewable and TSan findings map to "
+     "stated intent.  Suppress with `// POBP-SRC-003: reason`."},
+    {kSrcNondeterminism, Severity::kError,
+     "nondeterminism in result-affecting code",
+     "docs/ENGINE.md (determinism contract)",
+     "Result-affecting modules must be pure functions of (jobs, options): "
+     "unseeded randomness (rand/random_device), wall-clock reads "
+     "(system_clock), or iteration over unordered_{map,set} feeding "
+     "results would break bit-identity across worker counts.  Suppress "
+     "with `// POBP-SRC-004: reason`."},
+    {kSrcLayering, Severity::kError, "module layering violation",
+     "DESIGN.md (module layers)",
+     "An #include crossing the declared layer map upward (e.g. schedule "
+     "or core including engine, diag including a solver).  The layer map "
+     "mirrors the CMake link graph; a violating include compiles today "
+     "and becomes a cycle tomorrow.  Suppress with "
+     "`// POBP-SRC-005: reason`."},
+    {kSrcThrowInContainment, Severity::kError,
+     "throw inside a fault-containment boundary",
+     "docs/ROBUSTNESS.md (fault containment)",
+     "`try_*` entry points are the containment boundary: they convert "
+     "every pipeline failure into an Expected/diag::Report outcome.  A "
+     "throw statement inside one can escape to a pool worker and take "
+     "down the batch.  Suppress with `// POBP-SRC-006: reason`."},
 };
 
 constexpr bool catalogue_sorted() {

@@ -89,7 +89,22 @@ std::string to_sarif(const Report& report, std::string_view tool_name) {
     os << ",\"level\":\"" << sarif_level(d.severity)
        << "\",\"message\":{\"text\":";
     append_json_string(os, d.message);
-    os << "},\"properties\":{";
+    os << "}";
+    // Source-anchored findings (POBP-SRC-*) render as a SARIF
+    // physicalLocation so editors and CI annotate the file directly.
+    if (d.where.file) {
+      os << ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+            "{\"uri\":";
+      append_json_string(os, *d.where.file);
+      os << "}";
+      if (d.where.line) {
+        os << ",\"region\":{\"startLine\":" << *d.where.line;
+        if (d.where.column) os << ",\"startColumn\":" << *d.where.column;
+        os << "}";
+      }
+      os << "}}]";
+    }
+    os << ",\"properties\":{";
     bool first_prop = true;
     const auto prop = [&](std::string_view key, std::string_view value,
                           bool quote) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <optional>
 #include <stdexcept>
@@ -301,7 +302,7 @@ ScheduleResult Engine::solve(const JobSet& jobs) {
 
 ScheduleResult Engine::solve(const JobSet& jobs,
                              const ScheduleOptions& options) {
-  std::lock_guard lock(inline_mutex_);
+  util::MutexLock lock(inline_mutex_);
   return inline_session_.solve(jobs, options);
 }
 
@@ -340,13 +341,13 @@ std::vector<SolveOutcome> Engine::try_solve_batch(
 }
 
 SolveOutcome Engine::try_solve(const JobSet& jobs) {
-  std::lock_guard lock(inline_mutex_);
+  util::MutexLock lock(inline_mutex_);
   return inline_session_.try_solve(jobs);
 }
 
 SolveOutcome Engine::try_solve(const JobSet& jobs,
                                const ScheduleOptions& options) {
-  std::lock_guard lock(inline_mutex_);
+  util::MutexLock lock(inline_mutex_);
   return inline_session_.try_solve(jobs, options);
 }
 
@@ -363,7 +364,7 @@ void Engine::for_each_result(std::span<const JobSet> instances,
 
 void Engine::run_batch(std::size_t count, const InstanceFn& work) {
   if (count == 0) return;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Stopwatch batch;
 
   while (sessions_.size() < workers_) {
@@ -461,12 +462,12 @@ void Engine::run_batch(std::size_t count, const InstanceFn& work) {
 EngineMetrics Engine::metrics() const {
   EngineMetrics merged;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto& session : sessions_) merged.merge(session->metrics());
     merged.batch_seconds += batch_seconds_;
   }
   {
-    std::lock_guard lock(inline_mutex_);
+    util::MutexLock lock(inline_mutex_);
     merged.merge(inline_session_.metrics());
   }
   return merged;
@@ -474,11 +475,11 @@ EngineMetrics Engine::metrics() const {
 
 void Engine::reset_metrics() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto& session : sessions_) session->reset_metrics();
     batch_seconds_ = 0;
   }
-  std::lock_guard lock(inline_mutex_);
+  util::MutexLock lock(inline_mutex_);
   inline_session_.reset_metrics();
 }
 

@@ -29,7 +29,6 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,6 +36,7 @@
 #include "pobp/core/pobp.hpp"
 #include "pobp/engine/metrics.hpp"
 #include "pobp/util/budget.hpp"
+#include "pobp/util/thread_annotations.hpp"
 
 namespace pobp {
 
@@ -225,12 +225,18 @@ class Engine {
   EngineOptions options_;
   std::size_t workers_;
 
-  mutable std::mutex mutex_;  // serializes batches and metrics access
-  std::unique_ptr<ThreadPool> pool_;            // lazy, workers_ threads
-  std::vector<std::unique_ptr<Session>> sessions_;  // one per worker, lazy
-  double batch_seconds_ = 0;                    // Σ solve_batch wall time
-  Session inline_session_;                      // solve() state
-  mutable std::mutex inline_mutex_;
+  /// Serializes batches and metrics access.
+  mutable util::Mutex mutex_;
+  /// Lazy, workers_ threads.
+  std::unique_ptr<ThreadPool> pool_ POBP_GUARDED_BY(mutex_);
+  /// One per worker, lazy.
+  std::vector<std::unique_ptr<Session>> sessions_ POBP_GUARDED_BY(mutex_);
+  /// Σ solve_batch wall time.
+  double batch_seconds_ POBP_GUARDED_BY(mutex_) = 0;
+  /// solve() / try_solve() state, serialized by its own lock so inline
+  /// solves never contend with a running batch.
+  mutable util::Mutex inline_mutex_;
+  Session inline_session_ POBP_GUARDED_BY(inline_mutex_);
 };
 
 }  // namespace pobp

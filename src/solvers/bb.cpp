@@ -117,7 +117,7 @@ SubsetSolution opt_infinity(const JobSet& jobs,
   });
   if (failure) std::rethrow_exception(failure);
 
-  solution.value = shared.best_value.load();
+  solution.value = shared.best_value.load(std::memory_order_relaxed);
   solution.members = std::move(shared.best_members);
   return solution;
 }

@@ -1,0 +1,132 @@
+#include "pobp/srclint/driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace pobp::srclint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".hh" ||
+         ext == ".h";
+}
+
+std::string relative_to(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(file, root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") {
+    return file.generic_string();  // outside the root: scope by full path
+  }
+  return rel.generic_string();
+}
+
+/// Pulls every `"file": "..."` value out of a compile_commands.json.  The
+/// format is machine-written by CMake (flat array of objects, plain
+/// escapes), so targeted key scanning beats dragging in a JSON parser.
+std::vector<std::string> compile_commands_files(const std::string& db_path) {
+  std::ifstream in(db_path, std::ios::binary);
+  if (!in) throw DriveError("cannot open compile_commands: " + db_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::vector<std::string> files;
+  constexpr std::string_view kKey = "\"file\"";
+  for (std::size_t pos = text.find(kKey); pos != std::string::npos;
+       pos = text.find(kKey, pos + 1)) {
+    std::size_t i = pos + kKey.size();
+    while (i < text.size() &&
+           (text[i] == ' ' || text[i] == ':' || text[i] == '\t')) {
+      ++i;
+    }
+    if (i >= text.size() || text[i] != '"') continue;
+    ++i;
+    std::string value;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;  // unescape
+      value.push_back(text[i++]);
+    }
+    files.push_back(std::move(value));
+  }
+  return files;
+}
+
+}  // namespace
+
+std::vector<SourceEntry> collect_sources(const DriveRequest& request) {
+  const fs::path root =
+      request.root.empty() ? fs::current_path() : fs::path(request.root);
+
+  std::vector<SourceEntry> entries;
+  const auto add_file = [&](const fs::path& file) {
+    entries.push_back(
+        {file.string(), relative_to(fs::absolute(file), fs::absolute(root))});
+  };
+
+  for (const std::string& raw : request.paths) {
+    fs::path p(raw);
+    if (p.is_relative()) p = root / p;
+    if (fs::is_directory(p)) {
+      if (!request.as_path.empty()) {
+        throw DriveError("--as-path requires a single input file, got "
+                         "directory " + raw);
+      }
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && lintable_extension(entry.path())) {
+          add_file(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      add_file(p);
+    } else {
+      throw DriveError("no such file or directory: " + raw);
+    }
+  }
+
+  if (!request.compile_commands.empty()) {
+    if (!request.as_path.empty()) {
+      throw DriveError("--as-path cannot be combined with "
+                       "--compile-commands");
+    }
+    for (const std::string& file : compile_commands_files(
+             request.compile_commands)) {
+      const fs::path p(file);
+      std::error_code ec;
+      if (fs::is_regular_file(p, ec) && lintable_extension(p)) add_file(p);
+    }
+  }
+
+  if (!request.as_path.empty()) {
+    if (entries.size() != 1) {
+      throw DriveError("--as-path requires exactly one input file");
+    }
+    entries.front().rel_path = request.as_path;
+  }
+
+  std::sort(entries.begin(), entries.end(),
+            [](const SourceEntry& a, const SourceEntry& b) {
+              return a.rel_path < b.rel_path;
+            });
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const SourceEntry& a, const SourceEntry& b) {
+                              return a.rel_path == b.rel_path;
+                            }),
+                entries.end());
+  if (entries.empty()) throw DriveError("no sources to lint");
+  return entries;
+}
+
+diag::Report run_lint(const DriveRequest& request) {
+  diag::Report report;
+  for (const SourceEntry& entry : collect_sources(request)) {
+    lint_file(entry.fs_path, entry.rel_path, request.options, report);
+  }
+  return report;
+}
+
+}  // namespace pobp::srclint

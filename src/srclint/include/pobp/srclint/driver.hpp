@@ -1,0 +1,57 @@
+// Shared driver for `pobp_srclint` and `pobp lint-src`: collects the
+// source set (directory walks, explicit files, and/or the translation
+// units named by a CMake compile_commands.json), computes repo-relative
+// paths for rule scoping, and runs the rule pass over every file into one
+// diag::Report.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pobp/diag/diagnostic.hpp"
+#include "pobp/srclint/rules.hpp"
+
+namespace pobp::srclint {
+
+struct DriveRequest {
+  /// Files or directories (resolved against `root` when relative).
+  /// Directories are walked recursively for .cpp/.cc/.hpp/.hh/.h files.
+  std::vector<std::string> paths;
+
+  /// Repo root: rule scoping classifies each file by its path relative to
+  /// this directory.  Empty = current working directory.
+  std::string root;
+
+  /// When exactly one input *file* is given, lint it as if it lived at
+  /// this repo-relative path (fixture tests exercise path-scoped rules
+  /// this way).
+  std::string as_path;
+
+  /// Optional CMake compile_commands.json: every "file" entry under
+  /// `root` joins the source set, so the lint pass covers exactly what
+  /// the build compiles (headers still come from directory walks).
+  std::string compile_commands;
+
+  LintOptions options;
+};
+
+/// Thrown for unusable requests (missing path, --as-path with a
+/// directory, unreadable compile_commands).
+class DriveError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The resolved (filesystem path, repo-relative path) source set, sorted
+/// by relative path and deduplicated.
+struct SourceEntry {
+  std::string fs_path;
+  std::string rel_path;
+};
+std::vector<SourceEntry> collect_sources(const DriveRequest& request);
+
+/// collect_sources + lint_file over every entry.
+diag::Report run_lint(const DriveRequest& request);
+
+}  // namespace pobp::srclint

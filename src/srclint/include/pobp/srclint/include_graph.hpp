@@ -1,0 +1,42 @@
+// Module layering for POBP-SRC-005.
+//
+// Every file under src/<module>/ belongs to that module; tools/, bench/
+// and examples/ form the application layer (allowed to include anything).
+// The declared layer map mirrors the CMake link graph in
+// src/*/CMakeLists.txt: a module may include "pobp/<dep>/..." only for
+// deps below it.  The map is the single source of truth the linter
+// enforces — an include that compiles today but crosses the map upward
+// (schedule → engine, diag → solvers) is a latent cycle and a layering
+// leak.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pobp/diag/diagnostic.hpp"
+#include "pobp/srclint/scanner.hpp"
+
+namespace pobp::srclint {
+
+/// The module a repo-relative path belongs to: "util", "engine", ...;
+/// "<app>" for tools/bench/examples/tests, "" when unclassifiable.  The
+/// src/include/ umbrella header is the aggregate and reports "<app>".
+std::string module_of(std::string_view rel_path);
+
+/// Modules `module` may include (not counting itself); empty span with
+/// `known == false` for unknown modules.
+struct LayerInfo {
+  std::string_view module;
+  std::span<const std::string_view> allowed;
+};
+
+/// The declared layer map, bottom-up.
+std::span<const LayerInfo> layer_map();
+
+/// Emits POBP-SRC-005 findings for every `#include "pobp/<m>/..."` in
+/// `file` that crosses the layer map.
+void check_layering(const SourceFile& file, diag::Report& report);
+
+}  // namespace pobp::srclint

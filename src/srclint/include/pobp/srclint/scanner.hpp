@@ -1,0 +1,96 @@
+// Lightweight C++ source scanner for the POBP-SRC-* rules.
+//
+// This is deliberately not a compiler front end: the source rules
+// (docs/LINT.md) are token-shaped contracts — naked `new`, an atomic op
+// without a `std::memory_order` argument, an `#include` crossing the layer
+// map — so a single-pass tokenizer that understands comments, string/char
+// literals (including raw strings), preprocessor include lines and brace
+// nesting is exact enough, runs over the whole tree in milliseconds, and
+// has no toolchain dependency (the container's clang-less builds still get
+// a gating static stage).
+//
+// Besides tokens, the scanner extracts the three comment-borne channels the
+// rules need:
+//   * suppressions  — a trailing `// POBP-SRC-nnn: reason` disables that
+//     rule on its own line; a standalone comment disables it there and on
+//     the line below (the comment-above idiom, NOLINT vs NOLINTNEXTLINE);
+//   * POBP_NOALLOC  — marks the next function definition as a hot-path
+//     producer for POBP-SRC-002 (functions named `*_into` are implied);
+//   * includes      — every #include with its line and quote form, feeding
+//     the layer checker (include_graph.hpp).
+//
+// The srclint module layers on diag + util only (it is itself subject to
+// POBP-SRC-005).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pobp::srclint {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords
+  kNumber,
+  kString,      ///< string literal (contents not preserved)
+  kChar,        ///< character literal
+  kPunct,       ///< one punctuation character
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;        ///< identifier/number spelling; punct character
+  std::size_t line = 0;    ///< 1-based
+  std::size_t column = 0;  ///< 1-based
+};
+
+struct IncludeDirective {
+  std::string path;        ///< between the quotes/brackets
+  bool angled = false;     ///< <...> vs "..."
+  std::size_t line = 0;    ///< 1-based
+};
+
+/// One function definition found by the brace-matching pass: `name(...)
+/// ... { ... }` at namespace/class scope.  `first_token`/`last_token` index
+/// into SourceFile::tokens and bound the body (inclusive of the braces).
+struct FunctionSpan {
+  std::string name;
+  std::size_t line = 0;          ///< line of the name token
+  std::size_t first_token = 0;   ///< index of the opening `{`
+  std::size_t last_token = 0;    ///< index of the closing `}`
+  bool noalloc_marked = false;   ///< preceded by a POBP_NOALLOC marker
+};
+
+/// A scanned translation unit (or header).
+struct SourceFile {
+  std::string path;  ///< repo-relative path used for rule scoping
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<FunctionSpan> functions;
+
+  /// line -> rule ids suppressed on that line (standalone suppression
+  /// comments are already expanded to cover the following line too).
+  std::map<std::size_t, std::set<std::string>> suppressions;
+
+  /// Lines bearing a POBP_NOALLOC marker comment.
+  std::set<std::size_t> noalloc_lines;
+
+  /// True iff `rule` is suppressed at `line`.
+  bool suppressed(std::string_view rule, std::size_t line) const;
+};
+
+/// Scans `content`, recording `path` as the repo-relative name used for
+/// rule scoping.  Never throws on malformed input: the scanner is a
+/// best-effort lexer and simply stops classifying at the end of the
+/// buffer (unterminated literals swallow the rest of the file, which is
+/// also what a compiler would reject).
+SourceFile scan_source(std::string path, std::string_view content);
+
+/// Reads `fs_path` from disk and scans it as `rel_path`.  Throws
+/// std::runtime_error when the file cannot be read.
+SourceFile scan_file(const std::string& fs_path, std::string rel_path);
+
+}  // namespace pobp::srclint

@@ -1,0 +1,107 @@
+#include "pobp/srclint/include_graph.hpp"
+
+#include <algorithm>
+
+#include "pobp/diag/registry.hpp"
+
+namespace pobp::srclint {
+namespace {
+
+// The declared layer map, bottom-up; mirrors target_link_libraries in
+// src/*/CMakeLists.txt.  A module implicitly includes itself.  Keep this
+// in sync with the CMake graph — the srclint fixture tests pin the
+// contested edges (schedule ↛ engine, core ↛ engine, diag ↛ solvers).
+constexpr std::string_view kDiagDeps[] = {"util"};
+constexpr std::string_view kScheduleDeps[] = {"diag", "util"};
+constexpr std::string_view kForestDeps[] = {"diag", "schedule", "util"};
+constexpr std::string_view kBasDeps[] = {"diag", "forest", "schedule",
+                                         "util"};
+constexpr std::string_view kReductionDeps[] = {"bas", "diag", "forest",
+                                               "schedule", "util"};
+constexpr std::string_view kLsaDeps[] = {"diag", "schedule", "util"};
+constexpr std::string_view kFlowDeps[] = {"diag", "schedule", "solvers",
+                                          "util"};
+constexpr std::string_view kIoDeps[] = {"diag", "forest", "schedule",
+                                        "util"};
+constexpr std::string_view kSimDeps[] = {"diag", "schedule", "util"};
+constexpr std::string_view kSolversDeps[] = {"diag", "forest", "schedule",
+                                             "util"};
+constexpr std::string_view kGenDeps[] = {"diag", "forest", "schedule",
+                                         "util"};
+constexpr std::string_view kSrclintDeps[] = {"diag", "util"};
+constexpr std::string_view kCoreDeps[] = {
+    "bas",  "diag", "flow",    "forest", "io",
+    "lsa",  "reduction", "schedule", "solvers", "util"};
+constexpr std::string_view kEngineDeps[] = {
+    "bas",  "core", "diag",      "flow",     "forest",  "io",
+    "lsa",  "reduction", "schedule", "solvers", "util"};
+
+constexpr LayerInfo kLayers[] = {
+    {"util", {}},                {"diag", kDiagDeps},
+    {"schedule", kScheduleDeps}, {"forest", kForestDeps},
+    {"bas", kBasDeps},           {"reduction", kReductionDeps},
+    {"lsa", kLsaDeps},           {"flow", kFlowDeps},
+    {"io", kIoDeps},             {"sim", kSimDeps},
+    {"solvers", kSolversDeps},   {"gen", kGenDeps},
+    {"srclint", kSrclintDeps},   {"core", kCoreDeps},
+    {"engine", kEngineDeps},
+};
+
+const LayerInfo* find_layer(std::string_view module) {
+  for (const LayerInfo& layer : kLayers) {
+    if (layer.module == module) return &layer;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string module_of(std::string_view rel_path) {
+  // Normalize a leading "./".
+  if (rel_path.rfind("./", 0) == 0) rel_path.remove_prefix(2);
+  if (rel_path.rfind("src/", 0) == 0) {
+    const std::string_view rest = rel_path.substr(4);
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) return "<app>";  // src/include peer
+    const std::string_view module = rest.substr(0, slash);
+    if (module == "include") return "<app>";  // the pobp.hpp umbrella
+    return std::string(module);
+  }
+  if (rel_path.rfind("tools/", 0) == 0 || rel_path.rfind("bench/", 0) == 0 ||
+      rel_path.rfind("examples/", 0) == 0 ||
+      rel_path.rfind("tests/", 0) == 0) {
+    return "<app>";
+  }
+  return "";
+}
+
+std::span<const LayerInfo> layer_map() { return kLayers; }
+
+void check_layering(const SourceFile& file, diag::Report& report) {
+  const std::string module = module_of(file.path);
+  if (module.empty() || module == "<app>") return;
+  const LayerInfo* layer = find_layer(module);
+  for (const IncludeDirective& inc : file.includes) {
+    if (inc.angled || inc.path.rfind("pobp/", 0) != 0) continue;
+    const std::string_view rest = std::string_view(inc.path).substr(5);
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) continue;  // pobp/pobp.hpp umbrella
+    const std::string included(rest.substr(0, slash));
+    if (included == module) continue;
+    const bool allowed =
+        layer != nullptr &&
+        std::find(layer->allowed.begin(), layer->allowed.end(), included) !=
+            layer->allowed.end();
+    if (allowed) continue;
+    if (file.suppressed(diag::rules::kSrcLayering, inc.line)) continue;
+    report
+        .add(std::string(diag::rules::kSrcLayering),
+             "module '" + module + "' must not include 'pobp/" + included +
+                 "/...' (declared layer map, see docs/LINT.md)",
+             diag::Location::at(file.path, inc.line))
+        .with("module", module)
+        .with("included", included);
+  }
+}
+
+}  // namespace pobp::srclint

@@ -1,0 +1,359 @@
+#include "pobp/srclint/scanner.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pobp::srclint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Extracts the comment-borne channels from one comment's text: every
+/// `POBP-SRC-nnn` id and the POBP_NOALLOC marker.  A trailing comment
+/// (code earlier on the same line) suppresses its own line only; a
+/// standalone comment suppresses its line and the next (the
+/// comment-above idiom) — mirroring NOLINT vs NOLINTNEXTLINE.
+void harvest_comment(std::string_view text, std::size_t line, bool trailing,
+                     SourceFile& out) {
+  constexpr std::string_view kRulePrefix = "POBP-SRC-";
+  for (std::size_t pos = text.find(kRulePrefix); pos != std::string_view::npos;
+       pos = text.find(kRulePrefix, pos + 1)) {
+    std::size_t digits = pos + kRulePrefix.size();
+    std::size_t end = digits;
+    while (end < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    if (end == digits) continue;  // "POBP-SRC-" with no number
+    const std::string rule(text.substr(pos, end - pos));
+    out.suppressions[line].insert(rule);
+    if (!trailing) out.suppressions[line + 1].insert(rule);
+  }
+  if (text.find("POBP_NOALLOC") != std::string_view::npos) {
+    out.noalloc_lines.insert(line);
+  }
+}
+
+/// Cursor over the raw buffer tracking 1-based line/column.
+struct Cursor {
+  std::string_view src;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  bool done() const { return i >= src.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return i + ahead < src.size() ? src[i + ahead] : '\0';
+  }
+  void advance() {
+    if (src[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++i;
+  }
+};
+
+/// Skips a raw string literal R"delim(...)delim" (cursor on the opening
+/// R).  Returns false if this is not actually a raw string prefix.
+bool skip_raw_string(Cursor& c) {
+  // R"delim( — delim is up to 16 chars, no parens/space.
+  std::size_t j = c.i + 2;  // past R"
+  std::string delim;
+  while (j < c.src.size() && c.src[j] != '(' && delim.size() <= 16) {
+    delim.push_back(c.src[j++]);
+  }
+  if (j >= c.src.size() || c.src[j] != '(') return false;
+  const std::string close = ")" + delim + "\"";
+  const std::size_t end = c.src.find(close, j + 1);
+  const std::size_t stop =
+      end == std::string_view::npos ? c.src.size() : end + close.size();
+  while (c.i < stop) c.advance();
+  return true;
+}
+
+/// Consumes a quoted literal (cursor on the opening quote), honouring
+/// backslash escapes; unterminated literals run to end of line.
+void skip_quoted(Cursor& c, char quote) {
+  c.advance();  // opening quote
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\\' && c.i + 1 < c.src.size()) {
+      c.advance();
+      c.advance();
+      continue;
+    }
+    if (ch == quote || ch == '\n') {
+      c.advance();
+      return;
+    }
+    c.advance();
+  }
+}
+
+/// Parses one `#include` directive starting at the `#` and records it.
+/// Consumes to end of line either way.
+void scan_preprocessor_line(Cursor& c, SourceFile& out) {
+  const std::size_t line = c.line;
+  std::ostringstream text;
+  while (!c.done() && c.peek() != '\n') {
+    // Line continuations keep the directive going.
+    if (c.peek() == '\\' && c.peek(1) == '\n') {
+      c.advance();
+      c.advance();
+      continue;
+    }
+    // Comments inside directives end the interesting part.
+    if (c.peek() == '/' && (c.peek(1) == '/' || c.peek(1) == '*')) break;
+    text << c.peek();
+    c.advance();
+  }
+  const std::string directive = text.str();
+  std::size_t pos = directive.find("include");
+  if (pos == std::string::npos) return;
+  pos += 7;
+  while (pos < directive.size() &&
+         std::isspace(static_cast<unsigned char>(directive[pos]))) {
+    ++pos;
+  }
+  if (pos >= directive.size()) return;
+  const char open = directive[pos];
+  const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+  if (close == '\0') return;  // computed include — out of scope
+  const std::size_t end = directive.find(close, pos + 1);
+  if (end == std::string::npos) return;
+  IncludeDirective inc;
+  inc.path = directive.substr(pos + 1, end - pos - 1);
+  inc.angled = open == '<';
+  inc.line = line;
+  out.includes.push_back(std::move(inc));
+}
+
+/// Post-pass over the token stream: find function definitions by the
+/// `name ( ... ) [qualifiers] {` shape and record their body spans.
+void find_functions(SourceFile& out) {
+  const std::vector<Token>& toks = out.tokens;
+  std::set<std::size_t> unclaimed_noalloc = out.noalloc_lines;
+  const auto is_punct = [&](std::size_t i, char c) {
+    return i < toks.size() && toks[i].kind == TokenKind::kPunct &&
+           toks[i].text.size() == 1 && toks[i].text[0] == c;
+  };
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier || !is_punct(i + 1, '(')) {
+      continue;
+    }
+    // Control-flow keywords look like calls; skip them.
+    const std::string& name = toks[i].text;
+    if (name == "if" || name == "for" || name == "while" ||
+        name == "switch" || name == "return" || name == "catch" ||
+        name == "sizeof" || name == "alignof" || name == "decltype" ||
+        name == "static_assert" || name == "noexcept" || name == "alignas") {
+      continue;
+    }
+    // Match the parameter list.
+    std::size_t j = i + 1;
+    int depth = 0;
+    while (j < toks.size()) {
+      if (is_punct(j, '(')) ++depth;
+      if (is_punct(j, ')') && --depth == 0) break;
+      ++j;
+    }
+    if (j >= toks.size()) break;
+    // Allow trailing qualifiers (const, noexcept(...), override, ->Type,
+    // member initializers) between `)` and `{`; a `;`, `=` or `,` before
+    // the `{` means declaration / lambda-assignment / initializer list of
+    // something else, not this function's body.  Member-initializer lists
+    // contain parenthesized/braced initializers, so track nesting.
+    std::size_t k = j + 1;
+    bool body = false;
+    int nest = 0;
+    std::size_t guard = 0;
+    for (; k < toks.size() && guard < 64; ++k, ++guard) {
+      if (is_punct(k, '(')) ++nest;
+      else if (is_punct(k, ')')) --nest;
+      else if (nest == 0 && is_punct(k, '{')) {
+        body = true;
+        break;
+      } else if (nest == 0 && (is_punct(k, ';') || is_punct(k, '='))) {
+        break;
+      }
+    }
+    if (!body) continue;
+    // Body span: match braces from k.
+    std::size_t e = k;
+    int braces = 0;
+    while (e < toks.size()) {
+      if (is_punct(e, '{')) ++braces;
+      if (is_punct(e, '}') && --braces == 0) break;
+      ++e;
+    }
+    if (e >= toks.size()) e = toks.size() - 1;
+    FunctionSpan fn;
+    fn.name = name;
+    fn.line = toks[i].line;
+    fn.first_token = k;
+    fn.last_token = e;
+    // A POBP_NOALLOC marker applies to the next function definition within
+    // a few lines (marker comment directly above the signature).  Each
+    // marker binds to one function: consume it so it cannot bleed onto a
+    // later definition that happens to start nearby.
+    for (std::size_t m = fn.line >= 4 ? fn.line - 4 : 0; m <= fn.line; ++m) {
+      if (unclaimed_noalloc.erase(m) != 0) {
+        fn.noalloc_marked = true;
+        break;
+      }
+    }
+    out.functions.push_back(std::move(fn));
+    // Continue scanning *inside* the body too (nested lambdas are cheap to
+    // re-find and local functions don't exist), so just move on.
+  }
+}
+
+}  // namespace
+
+bool SourceFile::suppressed(std::string_view rule, std::size_t line) const {
+  const auto it = suppressions.find(line);
+  return it != suppressions.end() &&
+         it->second.count(std::string(rule)) != 0;
+}
+
+SourceFile scan_source(std::string path, std::string_view content) {
+  SourceFile out;
+  out.path = std::move(path);
+  Cursor c{content};
+  bool at_line_start = true;  // only whitespace seen so far on this line
+  while (!c.done()) {
+    const char ch = c.peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.advance();
+      if (ch == '\n') at_line_start = true;
+      continue;
+    }
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      const std::size_t line = c.line;
+      const std::size_t start = c.i;
+      while (!c.done() && c.peek() != '\n') c.advance();
+      harvest_comment(content.substr(start, c.i - start), line,
+                      /*trailing=*/!at_line_start, out);
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      const std::size_t line = c.line;
+      const std::size_t start = c.i;
+      c.advance();
+      c.advance();
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) c.advance();
+      if (!c.done()) {
+        c.advance();
+        c.advance();
+      }
+      // Multi-line block comments suppress at their *last* line (+1), like
+      // a line comment sitting there; harvest per starting line is enough
+      // for the single-line `/* POBP-SRC-nnn: x */` form.
+      harvest_comment(content.substr(start, c.i - start), line,
+                      /*trailing=*/!at_line_start, out);
+      continue;
+    }
+    // Preprocessor directives (only at line start).  A comment after the
+    // directive on the same line counts as trailing.
+    if (ch == '#' && at_line_start) {
+      at_line_start = false;
+      scan_preprocessor_line(c, out);
+      continue;
+    }
+    at_line_start = false;
+    // Raw strings, then plain literals.
+    if (ch == 'R' && c.peek(1) == '"') {
+      if (skip_raw_string(c)) {
+        out.tokens.push_back({TokenKind::kString, "", c.line, c.column});
+        continue;
+      }
+    }
+    if (ch == '"') {
+      const std::size_t line = c.line, col = c.column;
+      skip_quoted(c, '"');
+      out.tokens.push_back({TokenKind::kString, "", line, col});
+      continue;
+    }
+    if (ch == '\'') {
+      // Digit separators (1'000'000) are not char literals: a quote
+      // directly after a number token's digits continues the number.
+      if (!out.tokens.empty() && out.tokens.back().kind == TokenKind::kNumber &&
+          std::isdigit(static_cast<unsigned char>(c.peek(1)))) {
+        c.advance();  // separator
+        while (!c.done() && (ident_char(c.peek()) || c.peek() == '\'')) {
+          c.advance();
+        }
+        continue;
+      }
+      const std::size_t line = c.line, col = c.column;
+      skip_quoted(c, '\'');
+      out.tokens.push_back({TokenKind::kChar, "", line, col});
+      continue;
+    }
+    // Identifiers / keywords.
+    if (ident_start(ch)) {
+      const std::size_t line = c.line, col = c.column;
+      std::string text;
+      while (!c.done() && ident_char(c.peek())) {
+        text.push_back(c.peek());
+        c.advance();
+      }
+      // String-literal prefixes (u8"x", L"x", ...) — consume the literal.
+      if (!c.done() && c.peek() == '"' &&
+          (text == "u8" || text == "u" || text == "U" || text == "L")) {
+        skip_quoted(c, '"');
+        out.tokens.push_back({TokenKind::kString, "", line, col});
+        continue;
+      }
+      out.tokens.push_back(
+          {TokenKind::kIdentifier, std::move(text), line, col});
+      continue;
+    }
+    // Numbers (good enough: leading digit, then ident chars, dots and
+    // exponent signs; separators handled at the quote branch above).
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      const std::size_t line = c.line, col = c.column;
+      std::string text;
+      while (!c.done() &&
+             (ident_char(c.peek()) || c.peek() == '.' ||
+              ((c.peek() == '+' || c.peek() == '-') && !text.empty() &&
+               (text.back() == 'e' || text.back() == 'E' ||
+                text.back() == 'p' || text.back() == 'P')))) {
+        text.push_back(c.peek());
+        c.advance();
+      }
+      out.tokens.push_back({TokenKind::kNumber, std::move(text), line, col});
+      continue;
+    }
+    // Punctuation, one char at a time (the rules only ever look at single
+    // characters plus the `->` pair, matched as '-' then '>').
+    out.tokens.push_back(
+        {TokenKind::kPunct, std::string(1, ch), c.line, c.column});
+    c.advance();
+  }
+  find_functions(out);
+  return out;
+}
+
+SourceFile scan_file(const std::string& fs_path, std::string rel_path) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + fs_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  return scan_source(std::move(rel_path), content);
+}
+
+}  // namespace pobp::srclint

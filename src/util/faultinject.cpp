@@ -10,8 +10,12 @@ namespace {
 // Armed triggers are process-wide.  arm()/disarm() happen between
 // batches (the Engine arms before any worker starts and the workers are
 // handed their work through the pool's queue, which orders the writes),
-// so a release/acquire flag around a plain vector is sufficient.
-std::vector<Trigger> g_triggers;             // NOLINT(cert-err58-cpp)
+// so a release/acquire flag around a plain vector is sufficient for the
+// readers in hit(); g_arm_mutex additionally serializes concurrent
+// armers so two Engine constructions cannot race the swap itself.
+util::Mutex g_arm_mutex;
+std::vector<Trigger> g_triggers               // NOLINT(cert-err58-cpp)
+    POBP_GUARDED_BY(g_arm_mutex);
 std::atomic_bool g_armed{false};
 
 thread_local std::size_t t_instance = kAnyInstance;
@@ -87,6 +91,7 @@ std::vector<Trigger> parse_spec(const std::string& spec) {
 }
 
 void arm(std::vector<Trigger> triggers) {
+  util::MutexLock lock(g_arm_mutex);
   g_armed.store(false, std::memory_order_release);
   g_triggers = std::move(triggers);
   g_armed.store(!g_triggers.empty(), std::memory_order_release);

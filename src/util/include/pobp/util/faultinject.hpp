@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "pobp/util/thread_annotations.hpp"
+
 namespace pobp::fault {
 
 enum class Site : std::uint8_t {
@@ -107,8 +109,10 @@ class InstanceScope {
 
 /// Records one execution of `site` on this thread and throws if an armed
 /// trigger matches.  Called via POBP_FAULT_POINT; cheap no-trigger path
-/// (one branch on a process-wide flag).
-void hit(Site site);
+/// (one branch on a process-wide flag).  Reads the trigger set lock-free
+/// behind the release/acquire armed flag — beyond the thread-safety
+/// analysis, hence the escape hatch.
+void hit(Site site) POBP_NO_THREAD_SAFETY_ANALYSIS;
 
 }  // namespace pobp::fault
 

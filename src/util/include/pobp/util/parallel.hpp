@@ -10,10 +10,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "pobp/util/thread_annotations.hpp"
 
 namespace pobp {
 
@@ -33,8 +34,10 @@ class ThreadPool {
   /// Enqueue a task for asynchronous execution.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
-  void wait_idle();
+  /// Block until every submitted task has finished.  The cv wait takes a
+  /// std::unique_lock over mutex_.native(), which the thread-safety
+  /// analysis cannot follow.
+  void wait_idle() POBP_NO_THREAD_SAFETY_ANALYSIS;
 
   std::size_t thread_count() const { return workers_.size(); }
 
@@ -42,14 +45,16 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  /// Same cv-wait caveat as wait_idle(); the queue/counter accesses all
+  /// happen between the wait's relock and the scope's unlock.
+  void worker_loop() POBP_NO_THREAD_SAFETY_ANALYSIS;
 
-  std::mutex mutex_;
+  util::Mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::queue<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::queue<std::function<void()>> queue_ POBP_GUARDED_BY(mutex_);
+  std::size_t in_flight_ POBP_GUARDED_BY(mutex_) = 0;
+  bool stopping_ POBP_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

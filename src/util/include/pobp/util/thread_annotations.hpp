@@ -1,0 +1,108 @@
+// Clang thread-safety annotations (-Wthread-safety) for the concurrent
+// parts of the tree: the ThreadPool, the Engine, and the fault harness.
+//
+// The macros expand to Clang's capability attributes when compiling with
+// Clang and to nothing elsewhere, so GCC builds are unaffected.  Because
+// libstdc++'s std::mutex is not itself capability-annotated, this header
+// also provides pobp::util::Mutex / MutexLock — thin annotated wrappers
+// over std::mutex / std::lock_guard — which the concurrent classes use
+// for every analysable critical section.  The analysis is enabled (and
+// promoted to an error by the werror preset) whenever the compiler is
+// Clang; see the top-level CMakeLists.txt.
+//
+// Condition-variable waits need a std::unique_lock over the underlying
+// std::mutex, which the analysis cannot follow; those few functions take
+// Mutex::native() and carry POBP_NO_THREAD_SAFETY_ANALYSIS with a comment
+// explaining the protocol.  Everything else should be expressible with
+// POBP_GUARDED_BY / POBP_REQUIRES / MutexLock.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define POBP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define POBP_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define POBP_CAPABILITY(x) POBP_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires in its constructor and releases in
+/// its destructor (std::lock_guard shape).
+#define POBP_SCOPED_CAPABILITY POBP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the capability.
+#define POBP_GUARDED_BY(x) POBP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the capability.
+#define POBP_PT_GUARDED_BY(x) POBP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability and holds it on return.
+#define POBP_ACQUIRE(...) \
+  POBP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller holds.
+#define POBP_RELEASE(...) \
+  POBP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define POBP_TRY_ACQUIRE(result, ...) \
+  POBP_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must already hold the capability.
+#define POBP_REQUIRES(...) \
+  POBP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard).
+#define POBP_EXCLUDES(...) POBP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define POBP_RETURN_CAPABILITY(x) POBP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct but beyond the
+/// analysis (condition-variable waits, release/acquire publication).
+/// Always pair with a comment stating the actual protocol.
+#define POBP_NO_THREAD_SAFETY_ANALYSIS \
+  POBP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pobp::util {
+
+/// std::mutex with the capability annotation the analysis needs.
+/// BasicLockable, so it also works with std::scoped_lock if ever needed —
+/// but prefer MutexLock, which is annotated.
+class POBP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() POBP_ACQUIRE() { impl_.lock(); }
+  void unlock() POBP_RELEASE() { impl_.unlock(); }
+  bool try_lock() POBP_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+  /// The wrapped std::mutex, for std::condition_variable waits (which
+  /// require std::unique_lock<std::mutex>).  Callers bypass the analysis
+  /// and must carry POBP_NO_THREAD_SAFETY_ANALYSIS.
+  std::mutex& native() { return impl_; }
+
+ private:
+  std::mutex impl_;
+};
+
+/// Annotated std::lock_guard over Mutex.
+class POBP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) POBP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() POBP_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace pobp::util

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_task_.notify_all();
@@ -31,7 +31,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
@@ -39,7 +39,7 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
+  std::unique_lock lock(mutex_.native());
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
@@ -48,7 +48,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
+      std::unique_lock lock(mutex_.native());
       cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
@@ -56,7 +56,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      std::unique_lock lock(mutex_.native());
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }

@@ -1,0 +1,17 @@
+// srclint fixture: POBP-SRC-001 — naked allocation outside the allocator
+// modules.  Linted with --as-path src/core/leaky.cpp --rule POBP-SRC-001;
+// must yield exit 1 with three findings.
+#include <cstdlib>
+
+int* make_buffer(int n) {
+  int* raw = new int[n];           // finding 1: naked new
+  void* blob = std::malloc(64);    // finding 2: raw malloc() call
+  std::free(blob);                 // finding 3: raw free() call
+  return raw;
+}
+
+struct NotAFinding {
+  NotAFinding(const NotAFinding&) = delete;  // `= delete` is grammar, not
+  void* operator new(std::size_t);           // an allocation; so is an
+  void operator delete(void*);               // operator new/delete hook.
+};

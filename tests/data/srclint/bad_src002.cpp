@@ -1,0 +1,25 @@
+// srclint fixture: POBP-SRC-002 — allocation-capable calls inside
+// hot-path producers.  Linted with --as-path src/core/hot.cpp
+// --rule POBP-SRC-002; must yield exit 1 with three findings (the new,
+// the delete, and the malloc).
+#include <cstdlib>
+#include <vector>
+
+// The *_into suffix is the pooled-producer contract: the function must
+// recycle its output's storage, never allocate fresh.
+void fill_into(std::vector<int>& out) {
+  int* scratch = new int[16];  // finding 1: new inside a *_into producer
+  out.assign(scratch, scratch + 16);
+  delete[] scratch;
+}
+
+// POBP_NOALLOC
+int sum_marked(int n) {
+  int* tmp = static_cast<int*>(malloc(sizeof(int) * n));  // finding 2
+  int total = 0;
+  for (int i = 0; i < n; ++i) total += tmp[i];
+  return total;
+}
+
+// A plain function may allocate freely — no finding here.
+std::vector<int> build(int n) { return std::vector<int>(n, 0); }

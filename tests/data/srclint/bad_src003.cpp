@@ -1,0 +1,11 @@
+// srclint fixture: POBP-SRC-003 — atomic operations without an explicit
+// std::memory_order.  Linted with --as-path src/engine/atomics.cpp
+// --rule POBP-SRC-003; must yield exit 1 with two findings.
+#include <atomic>
+
+int drain(std::atomic<int>& counter, std::atomic<bool>* done) {
+  const int seen = counter.load();        // finding 1: implicit seq_cst
+  done->store(true);                      // finding 2: implicit seq_cst
+  counter.fetch_add(1, std::memory_order_relaxed);  // explicit — clean
+  return seen;
+}

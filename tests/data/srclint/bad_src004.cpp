@@ -1,0 +1,18 @@
+// srclint fixture: POBP-SRC-004 — nondeterminism in result-affecting
+// code.  Linted with --as-path src/core/nondet.cpp --rule POBP-SRC-004;
+// must yield exit 1 with two findings.
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> jittered_order(const std::vector<int>& ids) {
+  std::unordered_map<int, int> weight;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    weight[ids[i]] = rand();  // finding 1: rand() feeds the result
+  }
+  std::vector<int> out;
+  for (const auto& entry : weight) {  // finding 2: hash-order iteration
+    out.push_back(entry.first);
+  }
+  return out;
+}

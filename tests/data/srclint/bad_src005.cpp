@@ -1,0 +1,10 @@
+// srclint fixture: POBP-SRC-005 — module layering violation.  Linted
+// with --as-path src/schedule/upward.cpp --rule POBP-SRC-005; must yield
+// exit 1 with one finding: schedule sits below engine in the layer map
+// and must not include it.
+#include "pobp/engine/engine.hpp"   // finding: schedule -> engine is upward
+#include "pobp/diag/diagnostic.hpp" // clean: diag is a declared dependency
+#include "pobp/schedule/types.hpp"  // clean: a module may include itself
+#include <vector>                   // clean: system headers are exempt
+
+int touch() { return 1; }

@@ -1,0 +1,19 @@
+// srclint fixture: POBP-SRC-006 — throw inside a try_* containment
+// boundary.  Linted with --as-path src/core/boundary.cpp
+// --rule POBP-SRC-006; must yield exit 1 with one finding.
+#include <stdexcept>
+
+// try_* functions are containment boundaries: every failure must come
+// back as a value (Expected / diag::Report), never as an exception.
+bool try_parse_flag(const char* text) {
+  if (text == nullptr) {
+    throw std::invalid_argument("null flag");  // finding: throw at boundary
+  }
+  return *text == '1';
+}
+
+// Plain functions may throw — no finding here.
+int parse_or_throw(const char* text) {
+  if (text == nullptr) throw std::invalid_argument("null");
+  return *text - '0';
+}

@@ -1,0 +1,38 @@
+// srclint fixture: every POBP-SRC rule violated once, each suppressed at
+// the site with `// POBP-SRC-nnn: reason`.  Linted with
+// --as-path src/solvers/suppressed.cpp (all rules enabled); must yield
+// exit 0 and no findings.
+#include "pobp/engine/engine.hpp"  // POBP-SRC-005: fixture pins suppression
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+void fill_into(std::vector<int>& out) {
+  // POBP-SRC-001 POBP-SRC-002: fixture — one comment can name both rules
+  int* scratch = new int[8];
+  out.assign(scratch, scratch + 8);
+  delete[] scratch;  // POBP-SRC-001 POBP-SRC-002: fixture
+}
+
+int observe(std::atomic<int>& counter) {
+  return counter.load();  // POBP-SRC-003: fixture
+}
+
+std::vector<int> hashed(const std::unordered_map<int, int>& unused) {
+  std::unordered_map<int, int> weight;
+  weight[1] = rand();  // POBP-SRC-004: fixture
+  std::vector<int> out;
+  // POBP-SRC-004: fixture — suppression on the line above also applies
+  for (const auto& entry : weight) out.push_back(entry.first);
+  (void)unused;
+  return out;
+}
+
+bool try_flag(const char* text) {
+  if (text == nullptr) {
+    throw std::invalid_argument("null");  // POBP-SRC-006: fixture
+  }
+  return *text == '1';
+}

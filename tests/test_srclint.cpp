@@ -1,0 +1,194 @@
+// Unit tests for the pobp::srclint source-analysis pass: the scanner's
+// token/comment channels, each POBP-SRC rule firing and staying quiet,
+// inline suppressions, and the layer map (docs/LINT.md).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pobp/diag/registry.hpp"
+#include "pobp/srclint/include_graph.hpp"
+#include "pobp/srclint/rules.hpp"
+#include "pobp/srclint/scanner.hpp"
+
+namespace pobp::srclint {
+namespace {
+
+diag::Report lint(std::string path, std::string_view content,
+                  std::vector<std::string> rules = {}) {
+  const SourceFile file = scan_source(std::move(path), content);
+  LintOptions options;
+  options.rules = std::move(rules);
+  diag::Report report;
+  lint_source(file, options, report);
+  return report;
+}
+
+std::size_t count_rule(const diag::Report& report, std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(report.diagnostics().begin(), report.diagnostics().end(),
+                    [&](const auto& d) { return d.rule == rule; }));
+}
+
+// --- scanner ----------------------------------------------------------------
+
+TEST(Scanner, TokenizesPastCommentsAndStrings) {
+  const SourceFile file = scan_source("src/core/x.cpp",
+                                      "// new in a comment\n"
+                                      "const char* s = \"new delete\";\n"
+                                      "/* malloc(3) */ int n = 0b10'000;\n");
+  for (const Token& t : file.tokens) {
+    EXPECT_FALSE(t.kind == TokenKind::kIdentifier &&
+                 (t.text == "new" || t.text == "delete" || t.text == "malloc"))
+        << "literal/comment content leaked into tokens at line " << t.line;
+  }
+}
+
+TEST(Scanner, RawStringsDoNotLeakTokens) {
+  const SourceFile file = scan_source(
+      "src/core/x.cpp", "auto s = R\"(new delete rand() )\";\nint y;\n");
+  EXPECT_EQ(count_rule(lint("src/core/x.cpp",
+                            "auto s = R\"(new delete rand() )\";\n"),
+                       diag::rules::kSrcNakedAlloc),
+            0u);
+  ASSERT_FALSE(file.tokens.empty());
+}
+
+TEST(Scanner, RecordsIncludesWithQuoteForm) {
+  const SourceFile file =
+      scan_source("src/core/x.cpp",
+                  "#include \"pobp/diag/diagnostic.hpp\"\n#include <vector>\n");
+  ASSERT_EQ(file.includes.size(), 2u);
+  EXPECT_EQ(file.includes[0].path, "pobp/diag/diagnostic.hpp");
+  EXPECT_FALSE(file.includes[0].angled);
+  EXPECT_TRUE(file.includes[1].angled);
+}
+
+TEST(Scanner, FindsFunctionSpansAndNoallocMarkers) {
+  const SourceFile file = scan_source("src/core/x.cpp",
+                                      "// POBP_NOALLOC\n"
+                                      "int fast(int n) { return n; }\n"
+                                      "void fill_into(int& x) { x = 1; }\n");
+  ASSERT_EQ(file.functions.size(), 2u);
+  EXPECT_EQ(file.functions[0].name, "fast");
+  EXPECT_TRUE(file.functions[0].noalloc_marked);
+  EXPECT_EQ(file.functions[1].name, "fill_into");
+  EXPECT_FALSE(file.functions[1].noalloc_marked);
+}
+
+TEST(Scanner, SuppressionCoversCommentLineAndNextLine) {
+  const SourceFile file = scan_source("src/core/x.cpp",
+                                      "int a;\n"
+                                      "// POBP-SRC-001: reason\n"
+                                      "int b;\n"
+                                      "int c;\n");
+  EXPECT_FALSE(file.suppressed("POBP-SRC-001", 1));
+  EXPECT_TRUE(file.suppressed("POBP-SRC-001", 2));
+  EXPECT_TRUE(file.suppressed("POBP-SRC-001", 3));
+  EXPECT_FALSE(file.suppressed("POBP-SRC-001", 4));
+  EXPECT_FALSE(file.suppressed("POBP-SRC-002", 3));
+}
+
+// --- rules ------------------------------------------------------------------
+
+TEST(Rules, NakedAllocFires) {
+  const diag::Report report =
+      lint("src/core/x.cpp", "int* p = new int[4];\ndelete[] p;\n");
+  EXPECT_EQ(count_rule(report, diag::rules::kSrcNakedAlloc), 2u);
+}
+
+TEST(Rules, AllocAllowlistAndGrammarPositionsStayQuiet) {
+  EXPECT_TRUE(lint("src/util/allocspy.cpp", "void* p = malloc(1);\n").ok());
+  EXPECT_TRUE(lint("src/core/x.cpp",
+                   "struct S { S(const S&) = delete;\n"
+                   "  void* operator new(unsigned long); };\n")
+                  .ok());
+}
+
+TEST(Rules, HotPathAllocFiresOnlyInProducers) {
+  const std::string source =
+      "void fill_into(V& out) { out.p = new int; }\n"
+      "void build(V& out) { out.p = new int; }\n";
+  const diag::Report report = lint("src/core/x.cpp", source,
+                                   {std::string(diag::rules::kSrcHotPathAlloc)});
+  EXPECT_EQ(count_rule(report, diag::rules::kSrcHotPathAlloc), 1u);
+}
+
+TEST(Rules, AtomicOrderScopedToConcurrentModules) {
+  const std::string source = "int f(A& a) { return a.counter.load(); }\n";
+  EXPECT_EQ(count_rule(lint("src/engine/x.cpp", source),
+                       diag::rules::kSrcImplicitMemoryOrder),
+            1u);
+  // Explicit order is clean; out-of-scope modules are exempt.
+  EXPECT_TRUE(lint("src/engine/x.cpp",
+                   "int f(A& a) { return a.c.load(std::memory_order_acquire); }\n")
+                  .ok());
+  EXPECT_TRUE(lint("src/io/x.cpp", source).ok());
+}
+
+TEST(Rules, NondeterminismFlagsBansAndUnorderedIteration) {
+  const std::string source =
+      "int seed() { return rand(); }\n"
+      "void walk(std::unordered_map<int,int> m) {\n"
+      "  for (const auto& e : m) { (void)e; }\n"
+      "}\n";
+  const diag::Report report = lint("src/core/x.cpp", source);
+  EXPECT_EQ(count_rule(report, diag::rules::kSrcNondeterminism), 2u);
+  // Lookup-only use of an unordered container is fine.
+  EXPECT_TRUE(lint("src/core/x.cpp",
+                   "int get(std::unordered_map<int,int>& m) { return m[3]; }\n")
+                  .ok());
+}
+
+TEST(Rules, LayeringUsesDeclaredMap) {
+  EXPECT_EQ(module_of("src/schedule/edf.cpp"), "schedule");
+  EXPECT_EQ(module_of("tools/pobp_cli.cpp"), "<app>");
+  EXPECT_EQ(module_of("src/include/pobp/pobp.hpp"), "<app>");
+
+  const diag::Report up =
+      lint("src/schedule/x.cpp", "#include \"pobp/engine/engine.hpp\"\n");
+  EXPECT_EQ(count_rule(up, diag::rules::kSrcLayering), 1u);
+  EXPECT_TRUE(
+      lint("src/schedule/x.cpp", "#include \"pobp/diag/registry.hpp\"\n").ok());
+  EXPECT_TRUE(
+      lint("src/engine/x.cpp", "#include \"pobp/core/pobp.hpp\"\n").ok());
+}
+
+TEST(Rules, ThrowOnlyFlaggedInsideTryBoundaries) {
+  const std::string source =
+      "bool try_load(int x) { if (!x) throw 1; return true; }\n"
+      "void load(int x) { if (!x) throw 1; }\n";
+  const diag::Report report = lint("src/core/x.cpp", source);
+  EXPECT_EQ(count_rule(report, diag::rules::kSrcThrowInContainment), 1u);
+}
+
+TEST(Rules, InlineSuppressionSilencesOneRuleAtOneSite) {
+  const diag::Report report =
+      lint("src/core/x.cpp",
+           "int* a = new int;  // POBP-SRC-001: intentional\n"
+           "int* b = new int;\n");
+  EXPECT_EQ(count_rule(report, diag::rules::kSrcNakedAlloc), 1u);
+}
+
+TEST(Rules, FindingsCarrySourceLocations) {
+  const diag::Report report = lint("src/core/x.cpp", "int* p = new int;\n");
+  ASSERT_EQ(report.diagnostics().size(), 1u);
+  const auto& where = report.diagnostics()[0].where;
+  ASSERT_TRUE(where.file.has_value());
+  EXPECT_EQ(*where.file, "src/core/x.cpp");
+  ASSERT_TRUE(where.line.has_value());
+  EXPECT_EQ(*where.line, 1u);
+}
+
+TEST(Registry, SrcRulesAreCatalogued) {
+  for (const std::string_view id :
+       {diag::rules::kSrcNakedAlloc, diag::rules::kSrcHotPathAlloc,
+        diag::rules::kSrcImplicitMemoryOrder, diag::rules::kSrcNondeterminism,
+        diag::rules::kSrcLayering, diag::rules::kSrcThrowInContainment}) {
+    EXPECT_NE(diag::find_rule(id), nullptr) << id;
+  }
+}
+
+}  // namespace
+}  // namespace pobp::srclint

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # CI gate: warning-clean Release build, sanitizer builds, full ctest under
-# each, clang-tidy (when installed), and a pobp_lint smoke run on the
-# known-bad fixtures.
+# each, the gating pobp_srclint static stage, clang-format / clang-tidy
+# (when installed), and a pobp_lint smoke run on the known-bad fixtures.
 #
 #   tools/ci_check.sh [--skip-tsan] [--skip-tidy] [--skip-perf]
-#                     [--lenient-scaling]
+#                     [--skip-format] [--lenient-scaling]
 #
 # Presets come from CMakePresets.json; build trees land in
-# build-<preset>/.  The script is self-gating: sanitizers or clang-tidy
-# that the toolchain lacks are reported and skipped, everything else is
-# fatal (set -e).
+# build-<preset>/.  The script is self-gating: sanitizers, clang-format or
+# clang-tidy that the toolchain lacks are reported and skipped, everything
+# else is fatal (set -e).  The static stage has no toolchain dependency
+# (pobp_srclint is built by the tree itself) and always gates.
 #
 # --lenient-scaling demotes the perf stage's w8-vs-w1 scaling floor to a
 # warning (allocation and wall-clock gates stay fatal).  Runners with
@@ -22,12 +23,14 @@ cd "$(dirname "$0")/.."
 SKIP_TSAN=0
 SKIP_TIDY=0
 SKIP_PERF=0
+SKIP_FORMAT=0
 LENIENT_SCALING=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-tidy) SKIP_TIDY=1 ;;
     --skip-perf) SKIP_PERF=1 ;;
+    --skip-format) SKIP_FORMAT=1 ;;
     --lenient-scaling) LENIENT_SCALING=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -103,6 +106,16 @@ else
   say "perf smoke: skipped"
 fi
 
+# 2c. Gating static stage: the tree's own source analyzer (POBP-SRC-*
+#     rules, docs/LINT.md) over every lintable file.  The base preset
+#     exports compile_commands.json, so the pass covers exactly what the
+#     build compiles plus the headers found by the directory walk.  Any
+#     finding is fatal; suppress at a site with `// POBP-SRC-nnn: reason`.
+say "static (pobp_srclint)"
+build-release/tools/pobp_srclint --root . \
+    --compile-commands build-release/compile_commands.json \
+    src tools bench examples
+
 # 3. Sanitizers.  The asan-ubsan preset also compiles the pobp::fault
 #    injection sites in (POBP_FAULT_INJECTION=ON), so its ctest run covers
 #    the EngineFaults suite live; re-run that subset explicitly afterwards
@@ -120,17 +133,30 @@ else
   say "tsan: skipped"
 fi
 
-# 4. clang-tidy over the library and tools (uses .clang-tidy).
+# 4. clang-format over the tracked sources (uses .clang-format).
+#    --dry-run -Werror makes any mis-formatted file fatal.
+if [ "$SKIP_FORMAT" -eq 0 ] && command -v clang-format > /dev/null 2>&1; then
+  say "clang-format (--dry-run -Werror)"
+  git ls-files 'src/*.cpp' 'src/*.hpp' 'tools/*.cpp' 'bench/*.cpp' \
+               'examples/*.cpp' 'tests/*.cpp' \
+    | xargs clang-format --dry-run -Werror
+else
+  say "clang-format: unavailable or skipped"
+fi
+
+# 5. clang-tidy over the library and tools (uses .clang-tidy; the preset
+#    already exported compile_commands.json).  bugprone-* and
+#    clang-analyzer-* findings are errors (WarningsAsErrors), so this
+#    stage gates when the tool is installed.
 if [ "$SKIP_TIDY" -eq 0 ] && command -v clang-tidy > /dev/null 2>&1; then
   say "clang-tidy"
-  cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   git ls-files 'src/*.cpp' 'tools/*.cpp' \
     | xargs clang-tidy -p build-release --quiet
 else
   say "clang-tidy: unavailable or skipped"
 fi
 
-# 5. pobp_lint smoke: the known-bad fixtures must produce error findings
+# 6. pobp_lint smoke: the known-bad fixtures must produce error findings
 #    (exit 1), a clean artifact must lint clean (exit 0).
 say "pobp_lint smoke"
 LINT=build-release/tools/pobp_lint
@@ -146,7 +172,7 @@ if [ "$lint_status" -ne 1 ]; then
 fi
 "$LINT" --check-gen --gen-k 1 --gen-K 2 --gen-L 4
 
-# 6. Engine smoke: the throughput bench's determinism check (bit-identical
+# 7. Engine smoke: the throughput bench's determinism check (bit-identical
 #    schedules across worker counts) in smoke size, then `pobp batch`
 #    end-to-end on a 3-instance manifest — every result must validate and
 #    the metrics JSON must be written.
@@ -168,7 +194,7 @@ for seed in 31 32 33; do
           --schedule "$ENGINE_TMP/out/inst$seed.sched.csv" --k 1
 done
 
-# 7. Fault-containment smoke: a manifest with one good, one corrupt and one
+# 8. Fault-containment smoke: a manifest with one good, one corrupt and one
 #    missing instance must still solve the good one under --on-error=skip
 #    (exit 0) and must fail with the parse exit code (4) under
 #    --on-error=fail.

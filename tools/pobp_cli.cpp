@@ -27,6 +27,7 @@
 #include "pobp/bas/contraction.hpp"
 #include "pobp/bas/tm.hpp"
 #include "pobp/diag/render.hpp"
+#include "pobp/srclint/driver.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/io/forest_csv.hpp"
 #include "pobp/io/manifest.hpp"
@@ -95,6 +96,9 @@ commands:
   sim        run an online policy with context-switch costs
              --jobs FILE --policy edf|nonpreemptive|budget [--k K]
              [--cost C] [--gantt]
+  lint-src   source-level static analysis (POBP-SRC-* rules; the full
+             interface lives in the standalone pobp_srclint tool)
+             [paths...] [--root DIR] [--format text|json]
 )");
   std::exit(kExitUsage);
 }
@@ -465,9 +469,55 @@ int cmd_sim(const Flags& flags) {
   return 0;
 }
 
+/// `pobp lint-src [paths...] [--root DIR] [--format text|json]` — the
+/// repo-facing face of the srclint pass; the standalone pobp_srclint tool
+/// carries the full interface (--rule, --as-path, --compile-commands).
+int cmd_lint_src(int argc, char** argv) {
+  srclint::DriveRequest request;
+  std::string format = "text";
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      request.root = value();
+    } else if (arg == "--format") {
+      format = value();
+      if (format != "text" && format != "json") {
+        usage("unknown --format (text | json)");
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      usage(("unknown lint-src flag " + arg).c_str());
+    } else {
+      request.paths.push_back(arg);
+    }
+  }
+  if (request.paths.empty()) {
+    // The CI default: the whole first-party tree relative to --root/cwd.
+    request.paths = {"src", "tools", "bench", "examples"};
+  }
+  const diag::Report report = srclint::run_lint(request);
+  if (format == "json") {
+    std::printf("%s\n", diag::to_sarif(report, "pobp_srclint").c_str());
+  } else {
+    std::printf("%s", diag::to_text(report).c_str());
+  }
+  return report.ok() ? kExitOk : kExitInfeasible;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
+  if (command == "lint-src") {
+    try {
+      return cmd_lint_src(argc, argv);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return kExitUsage;
+    }
+  }
   const Flags flags(argc, argv, 2);
   try {
     if (command == "generate") return cmd_generate(flags);

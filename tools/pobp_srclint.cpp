@@ -1,0 +1,125 @@
+// pobp_srclint — source-level static analysis for the pobp tree.
+//
+//   pobp_srclint src tools bench examples            # the CI static stage
+//   pobp_srclint --root . --compile-commands build-release/compile_commands.json src
+//   pobp_srclint tests/data/srclint/bad_src003.cpp --as-path src/engine/x.cpp
+//   pobp_srclint --list-rules
+//
+// Checks the repository's own sources against the POBP-SRC-* engineering
+// rules (allocation discipline, explicit atomic memory orders,
+// determinism bans, module layering, containment-boundary hygiene — see
+// docs/LINT.md) and prints *all* findings as text or SARIF-shaped JSON.
+// A finding is suppressed at a site with `// POBP-SRC-nnn: reason` on the
+// same line or the line above.
+//
+// Exit codes mirror pobp_lint: 0 = no error findings, 1 = at least one,
+// 2 = usage / IO failure.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pobp/diag/registry.hpp"
+#include "pobp/diag/render.hpp"
+#include "pobp/srclint/driver.hpp"
+
+namespace {
+
+using namespace pobp;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, R"(usage: pobp_srclint [paths...] [flags]
+
+paths: source files, or directories walked recursively for
+       .cpp/.cc/.hpp/.hh/.h (resolved against --root)
+
+flags:
+  --root DIR             repo root for rule scoping (default: cwd); each
+                         file is classified by its path relative to DIR
+  --compile-commands F   add every "file" entry of a CMake
+                         compile_commands.json to the source set
+  --as-path PATH         lint a single input file as if it lived at the
+                         given repo-relative PATH (fixture testing)
+  --rule ID[,ID...]      run only the named POBP-SRC rules
+  --format text|json     output format (json = SARIF 2.1.0 shaped)
+  --list-rules           print the POBP-SRC rule catalogue and exit
+)");
+  std::exit(2);
+}
+
+int list_rules() {
+  for (const diag::RuleInfo& rule : diag::all_rules()) {
+    if (rule.id.rfind("POBP-SRC-", 0) != 0) continue;
+    std::printf("%-14s %-9s %s (%.*s)\n", std::string(rule.id).c_str(),
+                std::string(diag::to_string(rule.default_severity)).c_str(),
+                std::string(rule.title).c_str(),
+                static_cast<int>(rule.paper_ref.size()),
+                rule.paper_ref.data());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  srclint::DriveRequest request;
+  std::string format = "text";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "--root") {
+      request.root = value();
+    } else if (arg == "--compile-commands") {
+      request.compile_commands = value();
+    } else if (arg == "--as-path") {
+      request.as_path = value();
+    } else if (arg == "--rule") {
+      std::string ids = value();
+      for (std::size_t pos = 0; pos != std::string::npos;) {
+        const std::size_t comma = ids.find(',', pos);
+        const std::string id = ids.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        if (!id.empty()) {
+          if (diag::find_rule(id) == nullptr ||
+              id.rfind("POBP-SRC-", 0) != 0) {
+            usage(("unknown source rule " + id).c_str());
+          }
+          request.options.rules.push_back(id);
+        }
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (arg == "--format") {
+      format = value();
+      if (format != "text" && format != "json") {
+        usage("unknown --format (text | json)");
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      usage(("unknown flag " + arg).c_str());
+    } else {
+      request.paths.push_back(arg);
+    }
+  }
+  if (request.paths.empty() && request.compile_commands.empty()) {
+    usage("nothing to lint (need paths, --compile-commands or --list-rules)");
+  }
+
+  try {
+    const diag::Report report = srclint::run_lint(request);
+    if (format == "json") {
+      std::printf("%s\n", diag::to_sarif(report, "pobp_srclint").c_str());
+    } else {
+      std::printf("%s", diag::to_text(report).c_str());
+    }
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
