@@ -48,7 +48,7 @@ void run() {
   Rng rng(0x51AB);
   const JobSet jobs = make_mixed_workload(rng, 500);
 
-  const ScheduleResult offline = schedule_bounded(jobs, {.k = 2});
+  const ScheduleResult offline = try_schedule_bounded(jobs, {.k = 2}).value();
   std::cout << "offline cost-free reference (k=2 pipeline): value "
             << offline.value << "\n\n";
 

@@ -98,7 +98,7 @@ int run(std::size_t instance_count, std::size_t repeats,
     Engine engine({.schedule = schedule, .workers = workers});
     std::string got;
     for (std::size_t r = 0; r < repeats; ++r) {
-      engine.solve_batch_into(instances, results);
+      engine.solve_batch_into(instances, {}, results);
       got = fingerprint(results);
     }
     if (workers == 1) {
@@ -141,11 +141,11 @@ int run(std::size_t instance_count, std::size_t repeats,
   double steady_allocs = -1;
   {
     Engine engine({.schedule = schedule, .workers = 1});
-    engine.solve_batch_into(instances, results);  // grow scratch + arena
+    engine.solve_batch_into(instances, {}, results);  // grow scratch + arena
     bench::Metric& m = json.metric("steady_allocs_per_solve");
     if (counting) {
       const alloccount::Scope scope;
-      engine.solve_batch_into(instances, results);
+      engine.solve_batch_into(instances, {}, results);
       steady_allocs = static_cast<double>(scope.allocations()) /
                       static_cast<double>(instances.size());
       m.allocs(steady_allocs);

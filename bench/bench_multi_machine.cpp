@@ -24,8 +24,8 @@ void replicated_lower_bound() {
               {"m", "n", "OPT_inf", "ALG_k", "price", "log_{k+1} P"});
   for (const std::size_t m : {1u, 2u, 4u, 8u}) {
     const JobSet jobs = replicate(base.jobs, m);
-    const ScheduleResult r = schedule_bounded(
-        jobs, {.k = k, .machine_count = m});
+    const ScheduleResult r = try_schedule_bounded(
+        jobs, {.k = k, .machine_count = m}).value();
     POBP_ASSERT(validate(jobs, r.schedule, k).ok);
     const double opt_inf = base.total_value * static_cast<double>(m);
     table.add_row({Table::fmt(static_cast<std::uint64_t>(m)),
@@ -55,7 +55,7 @@ void random_scaling() {
   for (const std::size_t k : {1u, 2u}) {
     for (const std::size_t m : {1u, 2u, 4u, 8u}) {
       const ScheduleResult r =
-          schedule_bounded(jobs, {.k = k, .machine_count = m});
+          try_schedule_bounded(jobs, {.k = k, .machine_count = m}).value();
       POBP_ASSERT(validate(jobs, r.schedule, k).ok);
       table.add_row({Table::fmt(static_cast<std::uint64_t>(m)),
                      Table::fmt(static_cast<std::uint64_t>(k)),
@@ -89,7 +89,7 @@ void migrative_price() {
   for (const std::size_t m : {1u, 2u, 3u}) {
     const SubsetSolution opt = opt_infinity_migrative(jobs, all_ids(jobs), m);
     const ScheduleResult alg =
-        schedule_bounded(jobs, {.k = 1, .machine_count = m});
+        try_schedule_bounded(jobs, {.k = 1, .machine_count = m}).value();
     POBP_ASSERT(validate(jobs, alg.schedule, 1).ok);
     table.add_row(
         {Table::fmt(static_cast<std::uint64_t>(m)), Table::fmt(opt.value, 1),

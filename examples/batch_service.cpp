@@ -1,12 +1,14 @@
-// batch_service — serving-shaped use of pobp::Engine.
+// batch_service — serving-shaped use of pobp::StreamEngine.
 //
 // Simulates a scheduling service: instances arrive as a JSONL stream (the
-// same format `pobp batch --jsonl` reads), a long-lived Engine streams
-// results back as they complete, and the per-stage metrics are printed the
-// way a service would export them to a dashboard.
+// same format `pobp batch --jsonl` and `pobp serve` read), a long-lived
+// StreamEngine answers one future per request, and the per-stage metrics
+// are printed the way a service would export them to a dashboard.
 //
 // Build: cmake --build build --target batch_service && ./build/examples/batch_service
+#include <future>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "pobp/pobp.hpp"
@@ -30,7 +32,7 @@ int main() {
                         pobp::random_jobs(config, rng)});
   }
 
-  // --- 2. One Engine for the life of the service. -------------------------
+  // --- 2. One StreamEngine for the life of the service. -------------------
   // Options are validated once up front — a service should reject a bad
   // configuration at startup, not per request.
   const pobp::ScheduleOptions schedule{.k = 1, .machine_count = 2};
@@ -39,22 +41,34 @@ int main() {
     std::cerr << "bad configuration: " << probe.error().first_error() << "\n";
     return 1;
   }
-  pobp::Engine engine({.schedule = schedule, .workers = 4});
+  pobp::StreamOptions options;
+  options.engine.schedule = schedule;
+  options.engine.workers = 4;
+  pobp::StreamEngine service(options);
 
-  // --- 3. Stream results as they complete. --------------------------------
-  std::vector<pobp::JobSet> instances;
-  instances.reserve(requests.size());
-  for (const auto& request : requests) instances.push_back(request.jobs);
+  // --- 3. Submit the stream; one future per request. ----------------------
+  std::vector<std::future<pobp::SolveOutcome>> pending;
+  pending.reserve(requests.size());
+  for (const auto& request : requests) {
+    pobp::SubmitOptions submit;
+    submit.tenant = request.name;
+    pending.push_back(service.submit(request.jobs, std::move(submit)));
+  }
 
-  engine.for_each_result(
-      instances, [&](std::size_t i, const pobp::ScheduleResult& result) {
-        std::cout << requests[i].name << ": scheduled "
-                  << result.schedule.job_count() << "/" << instances[i].size()
-                  << " jobs, value " << result.value << ", price "
-                  << result.price() << "\n";
-      });
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const pobp::SolveOutcome outcome = pending[i].get();
+    if (!outcome) {
+      std::cout << requests[i].name << ": REJECTED ("
+                << outcome.error().first_error() << ")\n";
+      continue;
+    }
+    std::cout << requests[i].name << ": scheduled "
+              << outcome->schedule.job_count() << "/"
+              << requests[i].jobs.size() << " jobs, value " << outcome->value
+              << ", price " << outcome->price() << "\n";
+  }
 
   // --- 4. Export metrics (ASCII here; to_json() for dashboards). ----------
-  std::cout << "\n" << engine.metrics().to_table();
+  std::cout << "\n" << service.metrics().to_table();
   return 0;
 }

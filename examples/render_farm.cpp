@@ -43,8 +43,8 @@ int main(int argc, char** argv) {
   const std::set<std::size_t> machine_counts{
       1, std::max<std::size_t>(machines / 2, 1), machines, machines * 2};
   for (const std::size_t m : machine_counts) {
-    const ScheduleResult r = schedule_bounded(
-        shots, {.k = k, .machine_count = m});
+    const ScheduleResult r = try_schedule_bounded(
+        shots, {.k = k, .machine_count = m}).value();
     const ValidationResult check = validate(shots, r.schedule, k);
     if (!check) {
       std::printf("validator failed: %s\n", check.error.c_str());
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
 
   // Per-machine utilization report for the configured machine count.
   const ScheduleResult r =
-      schedule_bounded(shots, {.k = k, .machine_count = machines});
+      try_schedule_bounded(shots, {.k = k, .machine_count = machines}).value();
   std::printf("\nper-machine load (m=%zu):\n", machines);
   for (std::size_t m = 0; m < machines; ++m) {
     const MachineSchedule& ms = r.schedule.machine(m);

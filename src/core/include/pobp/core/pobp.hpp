@@ -93,12 +93,6 @@ struct ScheduleResult {
 [[nodiscard]] Expected<ScheduleResult, diag::Report> try_schedule_bounded(
     const JobSet& jobs, const ScheduleOptions& options = {});
 
-/// Deprecated throwing shim over try_schedule_bounded: rejects bad options
-/// with std::invalid_argument (historically an assertion).  Prefer
-/// try_schedule_bounded or pobp::Engine in new code.
-[[nodiscard]] ScheduleResult schedule_bounded(
-    const JobSet& jobs, const ScheduleOptions& options = {});
-
 /// Seed ∞-preemptive schedule across machines: the density-greedy heuristic
 /// or the exact B&B applied iteratively to the residual set, per
 /// ScheduleOptions::seed.  This is stage 1 of the pipeline; exported so the

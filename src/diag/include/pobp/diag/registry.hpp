@@ -63,10 +63,13 @@ inline constexpr std::string_view kJobMalformed = "POBP-JOB-001";
 inline constexpr std::string_view kOptMachineCount = "POBP-OPT-001";
 inline constexpr std::string_view kOptExactSeedLimit = "POBP-OPT-002";
 
-// Serving-layer fault containment (Session::solve boundary).
+// Serving-layer fault containment (Session::solve boundary) and the
+// streaming admission control (StreamEngine, docs/SERVING.md).
 inline constexpr std::string_view kRunPipelineFault = "POBP-RUN-001";
 inline constexpr std::string_view kRunDeadline = "POBP-RUN-002";
 inline constexpr std::string_view kRunBudget = "POBP-RUN-003";
+inline constexpr std::string_view kRunAdmission = "POBP-RUN-004";
+inline constexpr std::string_view kRunTenantQuota = "POBP-RUN-005";
 
 // Hall-type interval feasibility (§4.1).
 inline constexpr std::string_view kIntervalOverload = "POBP-INT-001";
@@ -87,6 +90,7 @@ inline constexpr std::string_view kSrcImplicitMemoryOrder = "POBP-SRC-003";
 inline constexpr std::string_view kSrcNondeterminism = "POBP-SRC-004";
 inline constexpr std::string_view kSrcLayering = "POBP-SRC-005";
 inline constexpr std::string_view kSrcThrowInContainment = "POBP-SRC-006";
+inline constexpr std::string_view kSrcBlockingSubmit = "POBP-SRC-007";
 
 }  // namespace rules
 

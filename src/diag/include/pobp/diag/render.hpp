@@ -17,4 +17,9 @@ std::string to_text(const Report& report);
 /// per finding (payload entries land in result.properties).
 std::string to_sarif(const Report& report, std::string_view tool_name = "pobp_lint");
 
+/// Compact single-line JSON for wire embedding (the `pobp serve` error
+/// frames): {"findings":[{"rule","severity","message","where"?,
+/// "payload"?}...]} with no newlines, so a frame stays one JSONL record.
+std::string to_json(const Report& report);
+
 }  // namespace pobp::diag

@@ -18,9 +18,11 @@ using rules::kJobMalformed;
 using rules::kLaminarInterleaving;
 using rules::kOptExactSeedLimit;
 using rules::kOptMachineCount;
+using rules::kRunAdmission;
 using rules::kRunBudget;
 using rules::kRunDeadline;
 using rules::kRunPipelineFault;
+using rules::kRunTenantQuota;
 using rules::kSchedEmptyAssignment;
 using rules::kSchedEmptySegment;
 using rules::kSchedLengthMismatch;
@@ -34,6 +36,7 @@ using rules::kSrcHotPathAlloc;
 using rules::kSrcImplicitMemoryOrder;
 using rules::kSrcLayering;
 using rules::kSrcNakedAlloc;
+using rules::kSrcBlockingSubmit;
 using rules::kSrcNondeterminism;
 using rules::kSrcThrowInContainment;
 
@@ -118,6 +121,18 @@ constexpr RuleInfo kCatalogue[] = {
      "The instance's cooperative operation budget (SolveBudget::max_ops) "
      "ran out before the pipeline finished, and the degrade policy did not "
      "produce a fallback result."},
+    {kRunAdmission, Severity::kError, "submission shed at admission",
+     "§4.3 (overload behaviour)",
+     "The streaming engine's bounded submission queue was full (or the "
+     "engine was shutting down) and the request was submitted on the "
+     "non-blocking path, so admission control shed it instead of queueing; "
+     "the request was never solved and can be resubmitted."},
+    {kRunTenantQuota, Severity::kError, "tenant in-flight quota exceeded",
+     "§4.3 (overload behaviour)",
+     "The submitting tenant already had the configured maximum number of "
+     "requests in flight (StreamOptions::tenant_max_in_flight), so "
+     "admission control rejected this one to protect other tenants; the "
+     "request was never solved and can be resubmitted after completions."},
     {kSchedUnknownJob, Severity::kError, "unknown job id", "Def. 2.1",
      "An assignment references a job id outside the instance."},
     {kSchedEmptyAssignment, Severity::kError, "empty segment list",
@@ -196,6 +211,15 @@ constexpr RuleInfo kCatalogue[] = {
      "every pipeline failure into an Expected/diag::Report outcome.  A "
      "throw statement inside one can escape to a pool worker and take "
      "down the batch.  Suppress with `// POBP-SRC-006: reason`."},
+    {kSrcBlockingSubmit, Severity::kError,
+     "blocking call in the submission hot path",
+     "docs/SERVING.md (submission queue)",
+     "The MPSC submission queue (engine/submit) is the lock-free producer "
+     "fast path of the streaming engine: a blocking syscall or primitive "
+     "(sleep/wait/IO, mutexes, condition variables) inside it would stall "
+     "every producer behind one descheduled thread.  Blocking backpressure "
+     "belongs in the StreamEngine layer above the queue.  Suppress with "
+     "`// POBP-SRC-007: reason`."},
 };
 
 constexpr bool catalogue_sorted() {

@@ -131,4 +131,39 @@ std::string to_sarif(const Report& report, std::string_view tool_name) {
   return os.str();
 }
 
+std::string to_json(const Report& report) {
+  std::ostringstream os;
+  os << "{\"findings\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"rule\":";
+    append_json_string(os, d.rule);
+    os << ",\"severity\":\"" << sarif_level(d.severity)
+       << "\",\"message\":";
+    append_json_string(os, d.message);
+    const std::string where = d.where.to_string();
+    if (!where.empty()) {
+      os << ",\"where\":";
+      append_json_string(os, where);
+    }
+    if (!d.payload.empty()) {
+      os << ",\"payload\":{";
+      bool first_prop = true;
+      for (const auto& [key, value] : d.payload) {
+        if (!first_prop) os << ',';
+        first_prop = false;
+        append_json_string(os, key);
+        os << ':';
+        append_json_string(os, value);
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
 }  // namespace pobp::diag

@@ -7,7 +7,6 @@
 #include <mutex>
 #include <numeric>
 #include <optional>
-#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -205,74 +204,143 @@ void Session::solve_degraded_into(const JobSet& jobs,
 }
 
 SolveOutcome Session::try_solve(const JobSet& jobs, std::size_t instance) {
-  return try_solve(jobs, options_.schedule, instance);
+  return try_solve_impl(jobs, options_.schedule, options_.budget,
+                        options_.degrade, instance);
 }
 
 SolveOutcome Session::try_solve(const JobSet& jobs,
                                 const ScheduleOptions& options,
                                 std::size_t instance) {
+  return try_solve_impl(jobs, options, options_.budget, options_.degrade,
+                        instance);
+}
+
+SolveOutcome Session::try_solve(const JobSet& jobs,
+                                const ScheduleOptions& options,
+                                const SubmitOptions& submit,
+                                std::size_t instance) {
+  SolveBudget budget = submit.budget.value_or(options_.budget);
+  // A request deadline tightens (never widens) the budget deadline.
+  if (submit.deadline_s > 0 &&
+      (budget.deadline_s <= 0 || submit.deadline_s < budget.deadline_s)) {
+    budget.deadline_s = submit.deadline_s;
+  }
+  return try_solve_impl(jobs, options, budget,
+                        submit.degrade.value_or(options_.degrade), instance);
+}
+
+std::optional<diag::Report> Session::try_solve_into(
+    const JobSet& jobs, const ScheduleOptions& options,
+    const SubmitOptions& submit, std::size_t instance, ScheduleResult& out) {
+  SolveBudget budget = submit.budget.value_or(options_.budget);
+  if (submit.deadline_s > 0 &&
+      (budget.deadline_s <= 0 || submit.deadline_s < budget.deadline_s)) {
+    budget.deadline_s = submit.deadline_s;
+  }
+  std::optional<diag::Report> failed = try_solve_into_impl(
+      jobs, options, budget, submit.degrade.value_or(options_.degrade),
+      instance, out);
+  // A failed solve may have left a partially written result behind; reset
+  // the slot so callers never observe it (costs storage only on failure).
+  if (failed) out = ScheduleResult{};
+  return failed;
+}
+
+SolveOutcome Session::try_solve_degraded(const JobSet& jobs,
+                                         const ScheduleOptions& options,
+                                         std::size_t instance) {
   diag::Report rejected = check_schedule_options(jobs, options);
   if (!rejected.ok()) return Unexpected{std::move(rejected)};
+  const fault::InstanceScope fault_scope(instance);
+  try {
+    ScheduleResult result;
+    solve_degraded_into(jobs, options, result);
+    return result;
+  } catch (const std::exception& e) {
+    if (options_.collect_metrics) ++metrics_.pipeline_faults;
+    return Unexpected{
+        run_report(diag::rules::kRunPipelineFault, e.what(), instance)};
+  } catch (...) {
+    if (options_.collect_metrics) ++metrics_.pipeline_faults;
+    return Unexpected{run_report(diag::rules::kRunPipelineFault,
+                                 "unknown pipeline exception", instance)};
+  }
+}
+
+SolveOutcome Session::try_solve_impl(const JobSet& jobs,
+                                     const ScheduleOptions& options,
+                                     const SolveBudget& budget,
+                                     DegradePolicy degrade,
+                                     std::size_t instance) {
+  ScheduleResult result;
+  std::optional<diag::Report> failed =
+      try_solve_into_impl(jobs, options, budget, degrade, instance, result);
+  if (failed) return Unexpected{std::move(*failed)};
+  return result;
+}
+
+std::optional<diag::Report> Session::try_solve_into_impl(
+    const JobSet& jobs, const ScheduleOptions& options,
+    const SolveBudget& budget, DegradePolicy degrade, std::size_t instance,
+    ScheduleResult& out) {
+  diag::Report rejected = check_schedule_options(jobs, options);
+  if (!rejected.ok()) return rejected;
 
   // Fault-injection triggers key on (site, instance, nth-call-within-
   // instance); the scope resets the per-site counters so placement is
   // identical for every worker count.
   const fault::InstanceScope fault_scope(instance);
-  const bool budgeted = !options_.budget.unlimited();
+  const bool budgeted = !budget.unlimited();
   for (std::size_t attempt = 0;; ++attempt) {
     try {
-      ScheduleResult result;
       if (!budgeted) {
-        solve_pipeline_into(jobs, options, result);
-        return result;
+        solve_pipeline_into(jobs, options, out);
+        return std::nullopt;
       }
-      BudgetGuard guard(options_.budget);
+      BudgetGuard guard(budget);
       const BudgetGuard::Scope budget_scope(&guard);
-      solve_pipeline_into(jobs, options, result);
-      return result;
+      solve_pipeline_into(jobs, options, out);
+      return std::nullopt;
     } catch (const DeadlineExceeded& e) {
-      return budget_fallback(jobs, options, instance, /*deadline=*/true,
-                             e.what());
+      return budget_fallback_into(jobs, options, degrade, instance,
+                                  /*deadline=*/true, e.what(), out);
     } catch (const BudgetExhausted& e) {
-      return budget_fallback(jobs, options, instance, /*deadline=*/false,
-                             e.what());
+      return budget_fallback_into(jobs, options, degrade, instance,
+                                  /*deadline=*/false, e.what(), out);
     } catch (const std::exception& e) {
       if (attempt < options_.max_retries) {
         if (options_.collect_metrics) ++metrics_.retries;
         continue;
       }
       if (options_.collect_metrics) ++metrics_.pipeline_faults;
-      return Unexpected{
-          run_report(diag::rules::kRunPipelineFault, e.what(), instance)};
+      return run_report(diag::rules::kRunPipelineFault, e.what(), instance);
     } catch (...) {
       if (options_.collect_metrics) ++metrics_.pipeline_faults;
-      return Unexpected{run_report(diag::rules::kRunPipelineFault,
-                                   "unknown pipeline exception", instance)};
+      return run_report(diag::rules::kRunPipelineFault,
+                        "unknown pipeline exception", instance);
     }
   }
 }
 
-SolveOutcome Session::budget_fallback(const JobSet& jobs,
-                                      const ScheduleOptions& options,
-                                      std::size_t instance, bool deadline,
-                                      const char* what) {
-  if (options_.degrade == DegradePolicy::kApproximate) {
+std::optional<diag::Report> Session::budget_fallback_into(
+    const JobSet& jobs, const ScheduleOptions& options, DegradePolicy degrade,
+    std::size_t instance, bool deadline, const char* what,
+    ScheduleResult& out) {
+  if (degrade == DegradePolicy::kApproximate) {
     try {
-      ScheduleResult result;
-      solve_degraded_into(jobs, options, result);
-      return result;
+      solve_degraded_into(jobs, options, out);
+      return std::nullopt;
     } catch (const std::exception& e) {
       if (options_.collect_metrics) ++metrics_.pipeline_faults;
-      return Unexpected{
-          run_report(diag::rules::kRunPipelineFault, e.what(), instance)};
+      return run_report(diag::rules::kRunPipelineFault, e.what(), instance);
     }
   }
   if (options_.collect_metrics) {
     ++(deadline ? metrics_.deadline_exceeded : metrics_.budget_exhausted);
   }
-  return Unexpected{run_report(deadline ? diag::rules::kRunDeadline
-                                        : diag::rules::kRunBudget,
-                               what, instance)};
+  return run_report(deadline ? diag::rules::kRunDeadline
+                             : diag::rules::kRunBudget,
+                    what, instance);
 }
 
 // --- Engine -----------------------------------------------------------------
@@ -307,38 +375,79 @@ ScheduleResult Engine::solve(const JobSet& jobs,
 }
 
 std::vector<ScheduleResult> Engine::solve_batch(
-    std::span<const JobSet> instances) {
+    std::span<const JobSet> instances, const SubmitOptions& submit) {
   std::vector<ScheduleResult> results;
-  solve_batch_into(instances, results);
+  solve_batch_into(instances, submit, results);
   return results;
 }
 
 void Engine::solve_batch_into(std::span<const JobSet> instances,
+                              const SubmitOptions& submit,
                               std::vector<ScheduleResult>& results) {
   // resize() keeps the surviving elements — and hence their schedules'
   // pooled storage — intact, so round-tripping the same vector gives
-  // allocation-free steady-state batches.
+  // allocation-free steady-state batches (try_solve_into recycles
+  // results[i]'s storage the way solve_into does).
+  //
+  // Contained form: a failed instance leaves a default (empty, value 0)
+  // result in its slot and is reported through submit.on_error instead of
+  // throwing out of a pool worker.  The error book-keeping is only
+  // allocated when a callback wants it.
   results.resize(instances.size());
+  const bool collect_errors = static_cast<bool>(submit.on_error);
+  std::vector<std::optional<diag::Report>> errors(
+      collect_errors ? instances.size() : 0);
   run_batch(instances.size(), [&](Session& session, std::size_t i) {
-    session.solve_into(instances[i], results[i]);
+    std::optional<diag::Report> failed = session.try_solve_into(
+        instances[i], options_.schedule, submit, i, results[i]);
+    if (failed && collect_errors) errors[i] = std::move(failed);
   });
+  if (collect_errors) {
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+      if (errors[i].has_value()) submit.on_error(i, *errors[i]);
+    }
+  }
 }
 
 std::vector<SolveOutcome> Engine::try_solve_batch(
-    std::span<const JobSet> instances) {
-  // SolveOutcome has no default constructor (it is a value or an error);
-  // the workers fill optional slots which are then move-unwrapped.
+    std::span<const JobSet> instances, const SubmitOptions& submit) {
   std::vector<std::optional<SolveOutcome>> slots(instances.size());
   run_batch(instances.size(), [&](Session& session, std::size_t i) {
-    slots[i].emplace(session.try_solve(instances[i], i));
+    slots[i].emplace(
+        session.try_solve(instances[i], options_.schedule, submit, i));
   });
   std::vector<SolveOutcome> results;
   results.reserve(instances.size());
   for (std::optional<SolveOutcome>& slot : slots) {
     results.push_back(std::move(*slot));
   }
+  if (submit.on_error) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].has_value()) submit.on_error(i, results[i].error());
+    }
+  }
   return results;
 }
+
+// Deprecated pre-SubmitOptions shims: defaulted SubmitOptions means every
+// knob falls back to EngineOptions, so these are pure delegations.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+std::vector<ScheduleResult> Engine::solve_batch(
+    std::span<const JobSet> instances) {
+  return solve_batch(instances, SubmitOptions{});
+}
+
+void Engine::solve_batch_into(std::span<const JobSet> instances,
+                              std::vector<ScheduleResult>& results) {
+  solve_batch_into(instances, SubmitOptions{}, results);
+}
+
+std::vector<SolveOutcome> Engine::try_solve_batch(
+    std::span<const JobSet> instances) {
+  return try_solve_batch(instances, SubmitOptions{});
+}
+#pragma GCC diagnostic pop
 
 SolveOutcome Engine::try_solve(const JobSet& jobs) {
   util::MutexLock lock(inline_mutex_);
@@ -362,7 +471,7 @@ void Engine::for_each_result(std::span<const JobSet> instances,
   });
 }
 
-void Engine::run_batch(std::size_t count, const InstanceFn& work) {
+void Engine::run_batch(std::size_t count, InstanceFn work) {
   if (count == 0) return;
   util::MutexLock lock(mutex_);
   Stopwatch batch;
@@ -488,23 +597,13 @@ Engine& Engine::shared() {
   return engine;
 }
 
-// --- one-call shims ---------------------------------------------------------
+// --- one-call shim ----------------------------------------------------------
 
 Expected<ScheduleResult, diag::Report> try_schedule_bounded(
     const JobSet& jobs, const ScheduleOptions& options) {
   // Fully contained: bad options come back as POBP-OPT-* findings,
   // in-pipeline faults as POBP-RUN-* findings.
   return Engine::shared().try_solve(jobs, options);
-}
-
-ScheduleResult schedule_bounded(const JobSet& jobs,
-                                const ScheduleOptions& options) {
-  auto result = try_schedule_bounded(jobs, options);
-  if (!result) {
-    throw std::invalid_argument("schedule_bounded: " +
-                                result.error().first_error());
-  }
-  return std::move(result).value();
 }
 
 }  // namespace pobp

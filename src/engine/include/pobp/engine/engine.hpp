@@ -1,17 +1,16 @@
 // pobp::Engine — reusable pipeline sessions and the parallel batch-solve
 // runtime.
 //
-// The one-shot schedule_bounded() free function re-allocates every scratch
-// structure and solves exactly one instance per call.  The engine is the
-// serving-shaped entry point: construct one Engine from EngineOptions, then
-// stream instances through it —
+// The engine is the serving-shaped entry point to the pipeline: construct
+// one Engine from EngineOptions, then stream instances through it —
 //
 //   pobp::Engine engine({.schedule = {.k = 1}, .workers = 8});
 //   pobp::ScheduleResult one = engine.solve(jobs);
 //   std::vector<pobp::ScheduleResult> all = engine.solve_batch(instances);
-//   engine.for_each_result(instances, [&](std::size_t i, const auto& r) {
-//     ...  // streaming: called as instances complete
-//   });
+//   std::vector<pobp::SolveOutcome> out =
+//       engine.try_solve_batch(instances, pobp::SubmitOptions{
+//           .budget = pobp::SolveBudget{.deadline_s = 0.5},
+//           .degrade = pobp::DegradePolicy::kApproximate});
 //   std::cout << engine.metrics().to_table();
 //
 // solve_batch shards the instance list over a dedicated pobp::ThreadPool
@@ -22,31 +21,29 @@
 // bit-deterministic: the results are identical for every worker count,
 // because each instance's solve is a pure function of (jobs, options).
 //
-// schedule_bounded() remains as a thin shim over the process-wide
-// Engine::shared() instance.
+// For long-lived online serving — a bounded submission queue, admission
+// control, per-tenant quotas and futures per request — see
+// pobp::StreamEngine (engine/serve.hpp, docs/SERVING.md), which feeds this
+// batch scheduler from a pump thread.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "pobp/core/pobp.hpp"
 #include "pobp/engine/metrics.hpp"
+#include "pobp/engine/submit.hpp"
 #include "pobp/util/budget.hpp"
 #include "pobp/util/thread_annotations.hpp"
 
 namespace pobp {
 
 class ThreadPool;
-
-/// What a Session does when an instance exhausts its SolveBudget.
-enum class DegradePolicy {
-  kNone,         ///< report POBP-RUN-002 / POBP-RUN-003, no result
-  kApproximate,  ///< retry on the greedy + LSA_CS path, tag as degraded
-};
 
 struct EngineOptions {
   ScheduleOptions schedule;  ///< pipeline options applied to every instance
@@ -128,6 +125,32 @@ class Session {
                                        const ScheduleOptions& options,
                                        std::size_t instance = kNoInstance);
 
+  /// Per-request form: SubmitOptions overrides the session's budget and
+  /// degrade policy for this call, and `submit.deadline_s` tightens the
+  /// effective wall-clock deadline (the streaming path uses it to charge
+  /// queue time against the request).  `submit.on_error` is not invoked —
+  /// the outcome already carries the report.
+  [[nodiscard]] SolveOutcome try_solve(const JobSet& jobs,
+                                       const ScheduleOptions& options,
+                                       const SubmitOptions& submit,
+                                       std::size_t instance = kNoInstance);
+
+  /// Pooled contained form: writes into `out` (schedule storage recycled,
+  /// like solve_into) and returns the failure report instead of throwing —
+  /// nullopt on success.  On failure `out` is left reset to the empty
+  /// result.  This is the batch hot path under SubmitOptions: success
+  /// costs no steady-state allocations.
+  [[nodiscard]] std::optional<diag::Report> try_solve_into(
+      const JobSet& jobs, const ScheduleOptions& options,
+      const SubmitOptions& submit, std::size_t instance, ScheduleResult& out);
+
+  /// Fault-contained solve on the §4.3 approximate path only (greedy
+  /// seed + LSA_CS, result tagged degraded) — the overload tier of the
+  /// streaming engine's admission control.
+  [[nodiscard]] SolveOutcome try_solve_degraded(
+      const JobSet& jobs, const ScheduleOptions& options,
+      std::size_t instance = kNoInstance);
+
   const EngineOptions& options() const { return options_; }
   const EngineMetrics& metrics() const { return metrics_; }
   void reset_metrics() { metrics_ = EngineMetrics(); }
@@ -137,10 +160,18 @@ class Session {
                            ScheduleResult& out);
   void solve_degraded_into(const JobSet& jobs, const ScheduleOptions& options,
                            ScheduleResult& out);
-  SolveOutcome budget_fallback(const JobSet& jobs,
-                               const ScheduleOptions& options,
-                               std::size_t instance, bool deadline,
-                               const char* what);
+  SolveOutcome try_solve_impl(const JobSet& jobs,
+                              const ScheduleOptions& options,
+                              const SolveBudget& budget, DegradePolicy degrade,
+                              std::size_t instance);
+  std::optional<diag::Report> try_solve_into_impl(
+      const JobSet& jobs, const ScheduleOptions& options,
+      const SolveBudget& budget, DegradePolicy degrade, std::size_t instance,
+      ScheduleResult& out);
+  std::optional<diag::Report> budget_fallback_into(
+      const JobSet& jobs, const ScheduleOptions& options,
+      DegradePolicy degrade, std::size_t instance, bool deadline,
+      const char* what, ScheduleResult& out);
 
   EngineOptions options_;
   /// Private metrics shard, cache-line aligned so two sessions' hot
@@ -171,21 +202,45 @@ class Engine {
 
   /// Solves every instance in parallel; results[i] corresponds to
   /// instances[i].  Deterministic: identical output for any worker count.
+  /// Every instance solves under `submit`'s budget / degrade / deadline
+  /// overrides, **fault-contained** — an instance that fails yields a
+  /// default (empty, value 0) ScheduleResult in its slot and
+  /// `submit.on_error(i, report)` is invoked for it (serialized, in
+  /// instance order, after the batch).
   [[nodiscard]] std::vector<ScheduleResult> solve_batch(
-      std::span<const JobSet> instances);
+      std::span<const JobSet> instances, const SubmitOptions& submit);
 
   /// Pooled batch: fills `results` (resized to instances.size()) in place.
   /// Re-running batches into the same vector recycles every result's
   /// schedule storage — the serving-loop harvest pattern: pop what you
-  /// need out of `results`, then pass the vector back in.
+  /// need out of `results`, then pass the vector back in.  Success costs
+  /// no steady-state allocations (the perf-gated property); the error path
+  /// allocates only for failed slots.
   void solve_batch_into(std::span<const JobSet> instances,
+                        const SubmitOptions& submit,
                         std::vector<ScheduleResult>& results);
 
   /// Fault-contained batch: results[i] is either instance i's result or
   /// the diag::Report explaining its failure (POBP-RUN-*).  One poisoned
   /// instance never aborts the batch or the process, and the successful
   /// entries are bit-identical to a fault-free solve_batch for every
-  /// worker count.
+  /// worker count.  Budget / degrade / deadline come from `submit`
+  /// (falling back to EngineOptions); `submit.on_error` fires for each
+  /// failed instance (serialized, in instance order, after the batch).
+  [[nodiscard]] std::vector<SolveOutcome> try_solve_batch(
+      std::span<const JobSet> instances, const SubmitOptions& submit);
+
+  // --- deprecated pre-SubmitOptions signatures (one release) ------------
+  // Thin delegating shims.  Note the semantic change carried by the
+  // redesign: the solve_batch family is now fault-contained (failed slot =
+  // empty result) instead of throwing out of a pool worker.
+  [[deprecated("pass a SubmitOptions (use {} for engine defaults)")]]
+  [[nodiscard]] std::vector<ScheduleResult> solve_batch(
+      std::span<const JobSet> instances);
+  [[deprecated("pass a SubmitOptions (use {} for engine defaults)")]]
+  void solve_batch_into(std::span<const JobSet> instances,
+                        std::vector<ScheduleResult>& results);
+  [[deprecated("pass a SubmitOptions (use {} for engine defaults)")]]
   [[nodiscard]] std::vector<SolveOutcome> try_solve_batch(
       std::span<const JobSet> instances);
 
@@ -200,8 +255,11 @@ class Engine {
   /// reference is only valid during the call.
   using ResultCallback =
       std::function<void(std::size_t, const ScheduleResult&)>;
-  void for_each_result(std::span<const JobSet> instances,
-                       const ResultCallback& on_result);
+  [[deprecated(
+      "use StreamEngine::submit for streaming completion, or solve_batch "
+      "with SubmitOptions::on_error")]] void
+  for_each_result(std::span<const JobSet> instances,
+                  const ResultCallback& on_result);
 
   /// Merged snapshot across the inline session and every worker session.
   [[nodiscard]] EngineMetrics metrics() const;
@@ -210,17 +268,39 @@ class Engine {
   const EngineOptions& options() const { return options_; }
   std::size_t worker_count() const { return workers_; }
 
-  /// Process-wide default engine (what schedule_bounded runs on).
+  /// Process-wide default engine (what try_schedule_bounded runs on).
   static Engine& shared();
 
  private:
+  /// The streaming front end pumps admitted requests into run_batch.
+  friend class StreamEngine;
+  /// Non-owning callable view over the batch lambdas.  A std::function
+  /// here would heap-allocate once per batch (the capture lists outgrow
+  /// the small-object buffer), which the steady-state allocation gate
+  /// counts; the callee never outlives the caller's lambda, so a borrowed
+  /// pointer pair is enough.
+  class InstanceFn {
+   public:
+    template <typename F>
+    InstanceFn(const F& fn)  // NOLINT(google-explicit-constructor)
+        : ctx_(&fn), call_([](const void* ctx, Session& session,
+                              std::size_t i) {
+            (*static_cast<const F*>(ctx))(session, i);
+          }) {}
+    void operator()(Session& session, std::size_t i) const {
+      call_(ctx_, session, i);
+    }
+
+   private:
+    const void* ctx_;
+    void (*call_)(const void*, Session&, std::size_t);
+  };
   /// Drains instances [0, count) over the worker sessions with the sharded
   /// work-stealing scheduler (contiguous per-worker ranges, steal-half);
   /// `work(session, i)` must handle instance i completely (including error
   /// capture — an exception escaping `work` on a pool thread is fatal by
   /// ThreadPool contract).
-  using InstanceFn = std::function<void(Session&, std::size_t)>;
-  void run_batch(std::size_t count, const InstanceFn& work);
+  void run_batch(std::size_t count, InstanceFn work);
 
   EngineOptions options_;
   std::size_t workers_;

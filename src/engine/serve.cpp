@@ -1,0 +1,362 @@
+#include "pobp/engine/serve.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "pobp/diag/registry.hpp"
+
+namespace pobp {
+namespace {
+
+constexpr const char* kDefaultTenant = "default";
+
+/// An already-resolved rejection future: shed / quota outcomes use the
+/// same future-of-outcome shape as real solves, so callers handle one
+/// uniform frame type.
+std::future<SolveOutcome> resolved(diag::Report report) {
+  std::promise<SolveOutcome> promise;
+  promise.set_value(Unexpected{std::move(report)});
+  return promise.get_future();
+}
+
+}  // namespace
+
+struct StreamEngine::Impl {
+  /// Per-tenant counters, cache-line aligned so two tenants hammering
+  /// their own shards never false-share; merged into TenantStats at read
+  /// time.
+  struct alignas(64) Tenant {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> rejected_quota{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> in_flight{0};
+  };
+
+  /// One admitted request, owned by the queue between push and pop.
+  struct Request {
+    JobSet jobs;
+    ScheduleOptions schedule;
+    SubmitOptions submit;
+    std::promise<SolveOutcome> promise;
+    Tenant* tenant = nullptr;
+    std::uint64_t id = 0;          ///< admission index = fault instance
+    bool degraded_tier = false;    ///< admitted into the overload tier
+    std::chrono::steady_clock::time_point admitted{};
+  };
+
+  StreamOptions options;
+  Engine engine;
+  SubmitQueue<Request*> queue;
+
+  /// Guards the condition variables only; all shared counters are atomic.
+  /// Notifiers take it (empty critical section) between the state change
+  /// and the notify so a waiter can never sleep through a wakeup.
+  std::mutex wait_mutex;
+  std::condition_variable pump_cv;   ///< pump sleeps when idle or paused
+  std::condition_variable space_cv;  ///< producers sleep on a full queue
+  std::condition_variable idle_cv;   ///< drain() sleeps here
+
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> paused{false};
+  std::atomic<std::uint64_t> next_id{0};   ///< admission ids (unique)
+  std::atomic<std::uint64_t> enqueued{0};  ///< requests that entered the queue
+  std::atomic<std::uint64_t> completed{0};
+
+  mutable std::mutex tenants_mutex;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants;
+
+  std::thread pump;
+
+  explicit Impl(StreamOptions opts)
+      : options(std::move(opts)),
+        engine(options.engine),
+        queue(options.queue_capacity) {
+    pump = std::thread([this] { pump_loop(); });
+  }
+
+  Tenant& tenant_for(const std::string& name) {
+    const std::string& key = name.empty() ? kDefaultTenant : name;
+    std::lock_guard<std::mutex> lock(tenants_mutex);
+    std::unique_ptr<Tenant>& slot = tenants[key];
+    if (!slot) slot = std::make_unique<Tenant>();
+    return *slot;
+  }
+
+  static std::string_view tenant_name(const SubmitOptions& submit) {
+    return submit.tenant.empty() ? std::string_view(kDefaultTenant)
+                                 : std::string_view(submit.tenant);
+  }
+
+  std::future<SolveOutcome> admit(JobSet jobs, const ScheduleOptions& schedule,
+                                  SubmitOptions submit, bool blocking) {
+    Tenant& tenant = tenant_for(submit.tenant);
+    tenant.submitted.fetch_add(1, std::memory_order_relaxed);
+
+    // Tenant quota: reserve an in-flight slot with a CAS so two racing
+    // submissions can never both slip under the cap.
+    const std::uint64_t quota = options.tenant_max_in_flight;
+    if (quota > 0) {
+      std::uint64_t cur = tenant.in_flight.load(std::memory_order_acquire);
+      for (;;) {
+        if (cur >= quota) {
+          tenant.rejected_quota.fetch_add(1, std::memory_order_relaxed);
+          diag::Report report;
+          report
+              .add(std::string(diag::rules::kRunTenantQuota),
+                   "tenant in-flight quota exceeded; resubmit after "
+                   "completions")
+              .with("tenant", std::string(tenant_name(submit)))
+              .with("in_flight", static_cast<std::size_t>(cur))
+              .with("quota", static_cast<std::size_t>(quota));
+          return resolved(std::move(report));
+        }
+        if (tenant.in_flight.compare_exchange_weak(
+                cur, cur + 1, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          break;
+        }
+      }
+    }
+
+    auto request = std::make_unique<Request>();
+    request->jobs = std::move(jobs);
+    request->schedule = schedule;
+    request->submit = std::move(submit);
+    request->tenant = &tenant;
+    request->id = next_id.fetch_add(1, std::memory_order_relaxed);
+    request->degraded_tier =
+        options.overload_degrade == DegradePolicy::kApproximate &&
+        queue.size_approx() * 4 >= queue.capacity() * 3;
+    request->admitted = std::chrono::steady_clock::now();
+    std::future<SolveOutcome> future = request->promise.get_future();
+
+    bool pushed = queue.try_push(request.get());
+    if (!pushed && blocking) {
+      // Backpressure: park on space_cv until the pump drains a batch.
+      // The retry happens under wait_mutex and the pump notifies under
+      // the same mutex, so a freed slot is never missed.
+      std::unique_lock<std::mutex> lock(wait_mutex);
+      for (;;) {
+        pushed = queue.try_push(request.get());
+        if (pushed || stopping.load(std::memory_order_acquire)) break;
+        space_cv.wait(lock);
+      }
+    }
+    if (!pushed) {
+      tenant.shed.fetch_add(1, std::memory_order_relaxed);
+      if (quota > 0) tenant.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      diag::Report report;
+      report
+          .add(std::string(diag::rules::kRunAdmission),
+               stopping.load(std::memory_order_acquire)
+                   ? "submission shed: engine is stopping"
+                   : "submission shed: queue full; resubmit or use the "
+                     "blocking submit path")
+          .with("tenant", std::string(tenant_name(request->submit)))
+          .with("queue_capacity", queue.capacity());
+      return resolved(std::move(report));
+    }
+    request.release();  // the queue owns it until the pump pops
+    enqueued.fetch_add(1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(wait_mutex);
+    }
+    pump_cv.notify_one();
+    return future;
+  }
+
+  /// Solves one popped request on a worker session and fulfills its
+  /// promise.  Runs on pool workers via Engine::run_batch; everything it
+  /// touches is request-local or atomic.
+  void complete(Session& session, Request& request) {
+    bool expired = false;
+    SubmitOptions submit = request.submit;
+    if (submit.deadline_s > 0) {
+      // The end-to-end deadline is measured from admission: time spent
+      // queued counts, and the solve gets only the remainder.
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        request.admitted)
+              .count();
+      const double remaining = submit.deadline_s - waited;
+      if (remaining <= 0) {
+        expired = true;
+      } else {
+        submit.deadline_s = remaining;
+      }
+    }
+
+    std::optional<SolveOutcome> outcome;
+    if (expired) {
+      diag::Report report;
+      report
+          .add(std::string(diag::rules::kRunDeadline),
+               "request deadline expired while queued")
+          .with("instance", static_cast<std::size_t>(request.id));
+      outcome.emplace(Unexpected{std::move(report)});
+    } else if (request.degraded_tier) {
+      outcome.emplace(session.try_solve_degraded(
+          request.jobs, request.schedule, request.id));
+      if (outcome->has_value()) {
+        request.tenant->degraded.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      outcome.emplace(session.try_solve(request.jobs, request.schedule,
+                                        submit, request.id));
+    }
+    if (!outcome->has_value()) {
+      request.tenant->failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    request.promise.set_value(std::move(*outcome));
+  }
+
+  void pump_loop() {
+    std::vector<std::unique_ptr<Request>> batch;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(wait_mutex);
+        pump_cv.wait(lock, [&] {
+          return stopping.load(std::memory_order_acquire) ||
+                 (!paused.load(std::memory_order_acquire) &&
+                  !queue.empty_approx());
+        });
+      }
+      const bool stop = stopping.load(std::memory_order_acquire);
+      // pause() freezes dispatch (admission keeps filling the queue);
+      // shutdown overrides it so the destructor always drains.
+      const bool frozen = paused.load(std::memory_order_acquire) && !stop;
+
+      batch.clear();
+      if (!frozen) {
+        Request* raw = nullptr;
+        while (batch.size() < std::max<std::size_t>(1, options.max_batch) &&
+               queue.try_pop(raw)) {
+          batch.emplace_back(raw);
+        }
+      }
+      if (!batch.empty()) {
+        {
+          std::lock_guard<std::mutex> lock(wait_mutex);
+        }
+        space_cv.notify_all();
+
+        engine.run_batch(batch.size(), [&](Session& session, std::size_t i) {
+          complete(session, *batch[i]);
+        });
+
+        for (const std::unique_ptr<Request>& request : batch) {
+          Impl::Tenant& tenant = *request->tenant;
+          tenant.completed.fetch_add(1, std::memory_order_relaxed);
+          if (options.tenant_max_in_flight > 0) {
+            tenant.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+          }
+        }
+        completed.fetch_add(batch.size(), std::memory_order_release);
+        batch.clear();
+        {
+          std::lock_guard<std::mutex> lock(wait_mutex);
+        }
+        idle_cv.notify_all();
+        continue;
+      }
+      if (stop && queue.empty_approx()) return;
+    }
+  }
+};
+
+StreamEngine::StreamEngine(StreamOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+StreamEngine::~StreamEngine() {
+  impl_->stopping.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(impl_->wait_mutex);
+  }
+  impl_->pump_cv.notify_all();
+  impl_->space_cv.notify_all();
+  impl_->pump.join();
+}
+
+std::future<SolveOutcome> StreamEngine::submit(JobSet jobs,
+                                               SubmitOptions options) {
+  const ScheduleOptions schedule = impl_->options.engine.schedule;
+  return impl_->admit(std::move(jobs), schedule, std::move(options),
+                      /*blocking=*/true);
+}
+
+std::future<SolveOutcome> StreamEngine::submit(JobSet jobs,
+                                               const ScheduleOptions& schedule,
+                                               SubmitOptions options) {
+  return impl_->admit(std::move(jobs), schedule, std::move(options),
+                      /*blocking=*/true);
+}
+
+std::future<SolveOutcome> StreamEngine::try_submit(JobSet jobs,
+                                                   SubmitOptions options) {
+  const ScheduleOptions schedule = impl_->options.engine.schedule;
+  return impl_->admit(std::move(jobs), schedule, std::move(options),
+                      /*blocking=*/false);
+}
+
+std::future<SolveOutcome> StreamEngine::try_submit(
+    JobSet jobs, const ScheduleOptions& schedule, SubmitOptions options) {
+  return impl_->admit(std::move(jobs), schedule, std::move(options),
+                      /*blocking=*/false);
+}
+
+void StreamEngine::pause() {
+  impl_->paused.store(true, std::memory_order_release);
+}
+
+void StreamEngine::resume() {
+  impl_->paused.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(impl_->wait_mutex);
+  }
+  impl_->pump_cv.notify_all();
+}
+
+void StreamEngine::drain() {
+  std::unique_lock<std::mutex> lock(impl_->wait_mutex);
+  impl_->idle_cv.wait(lock, [&] {
+    return impl_->enqueued.load(std::memory_order_acquire) ==
+               impl_->completed.load(std::memory_order_acquire) &&
+           impl_->queue.empty_approx();
+  });
+}
+
+EngineMetrics StreamEngine::metrics() const { return impl_->engine.metrics(); }
+
+std::vector<std::pair<std::string, TenantStats>> StreamEngine::tenant_stats()
+    const {
+  std::vector<std::pair<std::string, TenantStats>> stats;
+  std::lock_guard<std::mutex> lock(impl_->tenants_mutex);
+  stats.reserve(impl_->tenants.size());
+  for (const auto& [name, tenant] : impl_->tenants) {
+    TenantStats s;
+    s.submitted = tenant->submitted.load(std::memory_order_relaxed);
+    s.completed = tenant->completed.load(std::memory_order_relaxed);
+    s.failed = tenant->failed.load(std::memory_order_relaxed);
+    s.rejected_quota = tenant->rejected_quota.load(std::memory_order_relaxed);
+    s.shed = tenant->shed.load(std::memory_order_relaxed);
+    s.degraded = tenant->degraded.load(std::memory_order_relaxed);
+    stats.emplace_back(name, s);
+  }
+  return stats;
+}
+
+std::size_t StreamEngine::queue_depth() const {
+  return impl_->queue.size_approx();
+}
+
+const StreamOptions& StreamEngine::options() const { return impl_->options; }
+
+}  // namespace pobp

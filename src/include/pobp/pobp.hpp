@@ -3,8 +3,10 @@
 // This umbrella re-exports what a typical application needs:
 //
 //   * the job / schedule model and the Def. 2.1 validator,
-//   * the one-call solve API (try_schedule_bounded / schedule_bounded),
+//   * the one-call solve API (try_schedule_bounded),
 //   * the batch engine (pobp::Engine, sessions, per-stage metrics),
+//   * the streaming engine (pobp::StreamEngine, SubmitOptions, the MPSC
+//     submission queue, admission control — docs/SERVING.md),
 //   * CSV / manifest IO and the ASCII renderers.
 //
 // The per-module headers under pobp/<module>/ (forest, bas, lsa, reduction,
@@ -16,6 +18,8 @@
 #include "pobp/core/pobp.hpp"
 #include "pobp/engine/engine.hpp"
 #include "pobp/engine/metrics.hpp"
+#include "pobp/engine/serve.hpp"
+#include "pobp/engine/submit.hpp"
 #include "pobp/io/csv.hpp"
 #include "pobp/io/manifest.hpp"
 #include "pobp/schedule/gantt.hpp"

@@ -1,0 +1,79 @@
+// The `pobp serve` JSONL wire protocol (docs/SERVING.md).
+//
+// Requests are one JSON object per line:
+//
+//   {"id": "req-1", "jobs": [[0,10,4,5.0], ...],
+//    "k": 1, "machines": 2,                 // optional pipeline overrides
+//    "deadline_ms": 50, "max_ops": 1000000, // optional per-request budget
+//    "tenant": "acme", "degrade": true,     // optional admission fields
+//    "schedule": true}                      // echo the solved schedule
+//
+// Responses are one frame per request, in request order:
+//
+//   {"id":"req-1","ok":true,"value":7.5,"unbounded_value":8,"price":1.0666,
+//    "degraded":false,"jobs_scheduled":2,"schedule_csv":"..."}
+//   {"id":"req-2","ok":false,"error":{"findings":[{"rule":"POBP-RUN-003",
+//    ...}]}}
+//
+// Frames are deterministic functions of the request (no timestamps, no
+// worker identity), which is what makes replayed streams byte-identical
+// across worker counts.  Error frames embed the compact diag::to_json
+// rendering, so rule ids arrive machine-matchable.
+//
+// This layer is io-only (no engine dependency): the CLI composes it with
+// pobp::StreamEngine, and ResponseStats carries the few ScheduleResult
+// fields a frame needs so the layering (io below core/engine) holds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "pobp/diag/diagnostic.hpp"
+#include "pobp/schedule/job.hpp"
+#include "pobp/schedule/schedule.hpp"
+#include "pobp/util/expected.hpp"
+
+namespace pobp::io {
+
+/// One parsed request line.
+struct ServeRequest {
+  std::string id;        ///< echo token; defaults to "line<N>"
+  std::string tenant;    ///< "" = the default tenant
+  JobSet jobs;
+  std::optional<std::size_t> k;         ///< per-request k override
+  std::optional<std::size_t> machines;  ///< per-request machine count
+  double deadline_ms = 0;               ///< end-to-end deadline (0 = none)
+  std::uint64_t max_ops = 0;            ///< op budget (0 = engine default)
+  std::optional<bool> degrade;          ///< per-request degrade override
+  bool want_schedule = false;           ///< echo the schedule CSV
+};
+
+/// Parses one JSONL request line (1-based `line_no` for error reports and
+/// the fallback id).  Malformed lines come back as POBP-IO-001/-002/-003
+/// reports — one bad request never kills the stream.
+[[nodiscard]] Expected<ServeRequest, diag::Report> try_parse_serve_request(
+    const std::string& line, std::size_t line_no);
+
+/// The ScheduleResult fields a success frame carries (kept primitive so io
+/// stays below core in the layer map).
+struct ResponseStats {
+  double value = 0;
+  double unbounded_value = 0;
+  double price = 1;
+  bool degraded = false;
+  std::size_t jobs_scheduled = 0;
+};
+
+/// One success frame (no trailing newline).  `schedule` non-null embeds
+/// its CSV rendering as the "schedule_csv" field.
+[[nodiscard]] std::string response_frame(const std::string& id,
+                                         const ResponseStats& stats,
+                                         const Schedule* schedule = nullptr);
+
+/// One error frame (no trailing newline), embedding diag::to_json(report).
+[[nodiscard]] std::string error_frame(const std::string& id,
+                                      const diag::Report& report);
+
+}  // namespace pobp::io

@@ -1,17 +1,21 @@
 #include "pobp/io/manifest.hpp"
 
 #include <cctype>
-#include <cstdlib>
 #include <fstream>
-#include <optional>
 #include <sstream>
 #include <utility>
 
+#include "json_micro.hpp"
 #include "pobp/diag/registry.hpp"
-#include "pobp/util/checked.hpp"
 
 namespace pobp::io {
 namespace {
+
+using detail::JobDomainError;
+using detail::JsonReader;
+using detail::JsonValue;
+using detail::NumericError;
+using detail::job_from_json;
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -38,251 +42,8 @@ std::string path_stem(const std::string& path) {
   return path.substr(start, dot - start);
 }
 
-// --- micro JSON reader ------------------------------------------------------
-//
-// Just enough JSON for the JSONL instance format: objects, arrays, numbers,
-// strings (with the standard escapes), true/false/null.  One value per
-// line; anything else is a ParseError.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> fields;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : fields) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonReader {
- public:
-  JsonReader(const std::string& text, std::size_t line)
-      : text_(text), line_(line) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after JSON value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw ParseError(line_, what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of JSON value");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool consume_word(std::string_view word) {
-    if (text_.compare(pos_, word.size(), word) == 0) {
-      pos_ += word.size();
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    JsonValue v;
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"':
-        v.kind = JsonValue::Kind::kString;
-        v.string = string();
-        return v;
-      default:
-        if (consume_word("true")) {
-          v.kind = JsonValue::Kind::kBool;
-          v.boolean = true;
-          return v;
-        }
-        if (consume_word("false")) {
-          v.kind = JsonValue::Kind::kBool;
-          return v;
-        }
-        if (consume_word("null")) return v;
-        return number();
-    }
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    expect('{');
-    skip_ws();
-    if (consume('}')) return v;
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.fields.emplace_back(std::move(key), value());
-      skip_ws();
-      if (consume(',')) continue;
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    expect('[');
-    skip_ws();
-    if (consume(']')) return v;
-    for (;;) {
-      v.items.push_back(value());
-      skip_ws();
-      if (consume(',')) continue;
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        default: fail("unsupported string escape");  // \uXXXX included
-      }
-    }
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a JSON value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    char* end = nullptr;
-    const std::string token = text_.substr(start, pos_ - start);
-    v.number = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("malformed number");
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t line_;
-  std::size_t pos_ = 0;
-};
-
-// ParseError refinements so the fault-contained loaders can classify a
-// failure without sniffing message text; the throwing API is unchanged
-// (both are ParseError).
-struct NumericError : ParseError {
-  using ParseError::ParseError;
-};
-struct JobDomainError : ParseError {
-  using ParseError::ParseError;
-};
-
-std::int64_t to_tick(const JsonValue& v, const char* what, std::size_t line) {
-  if (v.kind != JsonValue::Kind::kNumber) {
-    throw ParseError(line, std::string(what) + " must be a number");
-  }
-  // static_cast<int64> of a NaN/inf/out-of-range double is UB; screen first.
-  const std::optional<std::int64_t> tick = double_to_tick(v.number);
-  if (!tick) {
-    throw NumericError(line,
-                       std::string(what) + " must be a finite integer tick");
-  }
-  return *tick;
-}
-
-Job job_from_json(const JsonValue& v, std::size_t line) {
-  Job job;
-  if (v.kind == JsonValue::Kind::kArray) {
-    if (v.items.size() != 4) {
-      throw ParseError(line,
-                       "job array must be [release,deadline,length,value]");
-    }
-    job.release = to_tick(v.items[0], "release", line);
-    job.deadline = to_tick(v.items[1], "deadline", line);
-    job.length = to_tick(v.items[2], "length", line);
-    if (v.items[3].kind != JsonValue::Kind::kNumber) {
-      throw ParseError(line, "value must be a number");
-    }
-    job.value = v.items[3].number;
-  } else if (v.kind == JsonValue::Kind::kObject) {
-    const JsonValue* r = v.find("release");
-    const JsonValue* d = v.find("deadline");
-    const JsonValue* p = v.find("length");
-    const JsonValue* val = v.find("value");
-    if (!r || !d || !p) {
-      throw ParseError(line, "job object needs release, deadline, length");
-    }
-    job.release = to_tick(*r, "release", line);
-    job.deadline = to_tick(*d, "deadline", line);
-    job.length = to_tick(*p, "length", line);
-    if (val) {
-      if (val->kind != JsonValue::Kind::kNumber) {
-        throw ParseError(line, "value must be a number");
-      }
-      job.value = val->number;
-    }
-  } else {
-    throw ParseError(line, "job must be a JSON array or object");
-  }
-  if (!job.well_formed()) {
-    throw JobDomainError(line,
-                         "malformed job (need p >= 1, val > 0, window >= p)");
-  }
-  return job;
-}
+// The micro JSON reader, the JsonValue tree, and job_from_json live in
+// json_micro.hpp (shared with the serve wire protocol, wire.cpp).
 
 /// Parses one (already trimmed, non-empty) JSONL line into an instance.
 BatchInstance parse_jsonl_line(const std::string& line, std::size_t line_no) {

@@ -11,6 +11,18 @@
 //  * DensityBudgetPolicy(k, ratio) — budgeted, but preempts only when the
 //                           newcomer's value density beats the running
 //                           job's by `ratio`; an admission-control flavour.
+//  * SrptBudgetPolicy(k)  — SRPT with the halving rule from the online
+//                           bounded-preemption literature (Dürr, Jeż &
+//                           Nguyen Thang): a challenger interrupts only if
+//                           its remaining work is at most half the running
+//                           job's, so each job suffers O(log P) preemptions
+//                           and the k budget is spent geometrically.
+//  * LaxityThresholdPolicy(k, alpha) — EDF admission, but a preemption is
+//                           spent only on genuinely urgent work: the
+//                           challenger's laxity must be below alpha × the
+//                           running job's remaining time, i.e. waiting for
+//                           the current job to finish would (nearly) kill
+//                           the challenger's deadline.
 #pragma once
 
 #include <cstddef>
@@ -51,6 +63,29 @@ class DensityBudgetPolicy final : public Policy {
  private:
   std::size_t k_;
   double ratio_;
+};
+
+class SrptBudgetPolicy final : public Policy {
+ public:
+  explicit SrptBudgetPolicy(std::size_t k) : k_(k) {}
+  JobId select(const SimView& view) override;
+  const char* name() const override { return "srpt-budget"; }
+  std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+};
+
+class LaxityThresholdPolicy final : public Policy {
+ public:
+  LaxityThresholdPolicy(std::size_t k, double alpha)
+      : k_(k), alpha_(alpha) {}
+  JobId select(const SimView& view) override;
+  const char* name() const override { return "laxity-threshold"; }
+
+ private:
+  std::size_t k_;
+  double alpha_;
 };
 
 }  // namespace pobp::sim

@@ -60,6 +60,62 @@ JobId BudgetEdfPolicy::select(const SimView& view) {
   return pick;
 }
 
+JobId SrptBudgetPolicy::select(const SimView& view) {
+  const auto resumable = [&](const ReadyJob& r) {
+    return r.id == view.running || r.segments_used < k_ + 1;
+  };
+  // Shortest remaining processing time (ties by id) over resumable jobs.
+  JobId pick = kNoJob;
+  Duration best_remaining = 0;
+  for (const ReadyJob& r : view.ready) {
+    if (!resumable(r)) continue;
+    if (pick == kNoJob || r.remaining < best_remaining ||
+        (r.remaining == best_remaining && r.id < pick)) {
+      pick = r.id;
+      best_remaining = r.remaining;
+    }
+  }
+  if (pick == view.running || view.running == kNoJob) return pick;
+
+  const ReadyJob* running = find(view, view.running);
+  if (running == nullptr) return pick;
+  // Budget exhausted: the running job finishes non-preemptibly.
+  if (running->segments_used >= k_ + 1) return view.running;
+  // Halving rule: interrupt only for a challenger at most half as long as
+  // what is left of the running job.  Each job can then be preempted only
+  // O(log P) times overall, so a budget of k is burnt on challengers that
+  // shrink the frontier geometrically instead of on near-peers.
+  if (pick != kNoJob && 2 * best_remaining <= running->remaining) {
+    return pick;
+  }
+  return view.running;
+}
+
+JobId LaxityThresholdPolicy::select(const SimView& view) {
+  const auto resumable = [&](const ReadyJob& r) {
+    return r.id == view.running || r.segments_used < k_ + 1;
+  };
+  const JobId pick = edf_pick(view, resumable);
+  if (pick == view.running || view.running == kNoJob) return pick;
+
+  const ReadyJob* running = find(view, view.running);
+  if (running == nullptr) return pick;
+  if (running->segments_used >= k_ + 1) return view.running;
+
+  // Spend a preemption only on urgent work: the challenger must be unable
+  // to (comfortably) wait for the running job — its laxity has to be below
+  // alpha × the running job's remaining time.
+  const ReadyJob* challenger = find(view, pick);
+  if (challenger != nullptr) {
+    const double laxity = static_cast<double>(
+        challenger->deadline - view.now - challenger->remaining);
+    if (laxity < alpha_ * static_cast<double>(running->remaining)) {
+      return pick;
+    }
+  }
+  return view.running;
+}
+
 JobId DensityBudgetPolicy::select(const SimView& view) {
   const auto resumable = [&](const ReadyJob& r) {
     return r.id == view.running || r.segments_used < k_ + 1;

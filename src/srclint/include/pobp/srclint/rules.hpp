@@ -17,6 +17,8 @@
 //                 (include_graph.hpp)
 //   POBP-SRC-006  throw statements inside `try_*` fault-containment
 //                 boundaries
+//   POBP-SRC-007  blocking syscalls/primitives in the lock-free MPSC
+//                 submission hot path (engine/submit)
 //
 // Every rule is suppressible at a site with `// POBP-SRC-nnn: reason` on
 // the finding's line or the line above.

@@ -1,0 +1,21 @@
+// srclint fixture: POBP-SRC-007 — blocking syscalls/primitives in the
+// MPSC submission hot path.  Linted with --as-path src/engine/submit.cpp
+// --rule POBP-SRC-007; must yield exit 1 with findings.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+// The producer fast path must stay lock-free: owning a mutex here means
+// lock-based synchronization on the hot path.
+std::mutex queue_lock;  // finding: blocking primitive `mutex`
+
+bool enqueue_slot(unsigned* slot, unsigned value) {
+  const std::lock_guard<std::mutex> hold(queue_lock);  // findings: both
+  *slot = value;
+  return true;
+}
+
+void backoff() {
+  // Sleeping deschedules the producer while others spin behind it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // finding
+}

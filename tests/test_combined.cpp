@@ -1,5 +1,5 @@
 // Tests for Algorithm 3 (k-PreemptionCombined), the §5 non-preemptive
-// algorithm, and the one-call schedule_bounded() entry point.
+// algorithm, and the one-call try_schedule_bounded().value() entry point.
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -183,7 +183,7 @@ TEST_P(ScheduleBoundedEndToEnd, OneCallPipeline) {
   const JobSet jobs = random_jobs(config, rng);
 
   const ScheduleResult r =
-      schedule_bounded(jobs, {.k = k, .machine_count = machines});
+      try_schedule_bounded(jobs, {.k = k, .machine_count = machines}).value();
   const auto check = validate(jobs, r.schedule, k);
   EXPECT_TRUE(check) << check.error;
   EXPECT_GT(r.value, 0.0);
@@ -210,14 +210,14 @@ TEST(ScheduleBounded, ExactSeedOnSmallInstance) {
   config.horizon = 300;
   config.max_laxity = 3.0;
   const JobSet jobs = random_jobs(config, rng);
-  const ScheduleResult r = schedule_bounded(
-      jobs, {.k = 1, .seed = ScheduleOptions::Seed::kExact});
+  const ScheduleResult r = try_schedule_bounded(
+      jobs, {.k = 1, .seed = ScheduleOptions::Seed::kExact}).value();
   EXPECT_TRUE(validate(jobs, r.schedule, 1));
   EXPECT_DOUBLE_EQ(r.unbounded_value, opt_infinity(jobs, all_ids(jobs)).value);
 }
 
 TEST(ScheduleBounded, EmptyJobSet) {
-  const ScheduleResult r = schedule_bounded(JobSet{}, {.k = 1});
+  const ScheduleResult r = try_schedule_bounded(JobSet{}, {.k = 1}).value();
   EXPECT_DOUBLE_EQ(r.value, 0.0);
   EXPECT_DOUBLE_EQ(r.price(), 1.0);
 }

@@ -22,7 +22,7 @@ namespace {
 TEST(EdgeCases, SingleTickJobEverywhere) {
   JobSet jobs;
   jobs.add({0, 1, 1, 1.0});  // tightest possible job
-  const ScheduleResult r = schedule_bounded(jobs, {.k = 0});
+  const ScheduleResult r = try_schedule_bounded(jobs, {.k = 0}).value();
   EXPECT_DOUBLE_EQ(r.value, 1.0);
   EXPECT_TRUE(validate(jobs, r.schedule, 0));
   EXPECT_TRUE(edf_schedule(jobs, all_ids(jobs)).has_value());

@@ -70,12 +70,13 @@ TEST(Engine, BatchMatchesSequentialForEveryWorkerCount) {
 
   std::vector<std::string> expected;
   for (const JobSet& jobs : instances) {
-    expected.push_back(fingerprint(schedule_bounded(jobs, schedule)));
+    expected.push_back(
+        fingerprint(try_schedule_bounded(jobs, schedule).value()));
   }
 
   for (const std::size_t workers : {1u, 2u, 8u}) {
     Engine engine({.schedule = schedule, .workers = workers});
-    const std::vector<ScheduleResult> results = engine.solve_batch(instances);
+    const std::vector<ScheduleResult> results = engine.solve_batch(instances, {});
     ASSERT_EQ(results.size(), instances.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
       EXPECT_EQ(fingerprint(results[i]), expected[i])
@@ -84,6 +85,10 @@ TEST(Engine, BatchMatchesSequentialForEveryWorkerCount) {
   }
 }
 
+// for_each_result is deprecated (use StreamEngine::submit or
+// SubmitOptions::on_error) but must keep working until removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(Engine, ForEachResultVisitsEveryIndexOnce) {
   const std::vector<JobSet> instances = corpus(9, 5);
   Engine engine({.schedule = {.k = 1}, .workers = 4});
@@ -102,12 +107,13 @@ TEST(Engine, ForEachResultVisitsEveryIndexOnce) {
   EXPECT_EQ(*seen.begin(), 0u);
   EXPECT_EQ(*seen.rbegin(), instances.size() - 1);
 }
+#pragma GCC diagnostic pop
 
 TEST(Engine, SingleSolveMatchesBatchOfOne) {
   const std::vector<JobSet> instances = corpus(1, 13);
   Engine engine({.schedule = {.k = 2}});
   const ScheduleResult lone = engine.solve(instances[0]);
-  const std::vector<ScheduleResult> batch = engine.solve_batch(instances);
+  const std::vector<ScheduleResult> batch = engine.solve_batch(instances, {});
   ASSERT_EQ(batch.size(), 1u);
   EXPECT_EQ(fingerprint(lone), fingerprint(batch[0]));
 }
@@ -126,7 +132,7 @@ TEST(EngineStealing, SkewedBatchBitIdenticalAcrossWorkerCounts) {
   std::vector<std::string> expected;
   {
     Engine engine({.schedule = schedule, .workers = 1});
-    for (const ScheduleResult& r : engine.solve_batch(instances)) {
+    for (const ScheduleResult& r : engine.solve_batch(instances, {})) {
       expected.push_back(fingerprint(r));
     }
   }
@@ -134,7 +140,7 @@ TEST(EngineStealing, SkewedBatchBitIdenticalAcrossWorkerCounts) {
   for (const std::size_t workers : {2u, 3u, 8u, 16u}) {
     Engine engine({.schedule = schedule, .workers = workers});
     std::vector<ScheduleResult> results;
-    engine.solve_batch_into(instances, results);
+    engine.solve_batch_into(instances, {}, results);
     ASSERT_EQ(results.size(), instances.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
       EXPECT_EQ(fingerprint(results[i]), expected[i])
@@ -154,7 +160,7 @@ TEST(EngineStealing, TmForkThresholdDoesNotChangeResults) {
   std::vector<std::string> expected;
   {
     Engine engine({.schedule = schedule, .workers = 1});
-    for (const ScheduleResult& r : engine.solve_batch(instances)) {
+    for (const ScheduleResult& r : engine.solve_batch(instances, {})) {
       expected.push_back(fingerprint(r));
     }
   }
@@ -165,7 +171,7 @@ TEST(EngineStealing, TmForkThresholdDoesNotChangeResults) {
       forked.tm_fork_min_nodes = fork_min;
       Engine engine({.schedule = forked, .workers = workers});
       const std::vector<ScheduleResult> results =
-          engine.solve_batch(instances);
+          engine.solve_batch(instances, {});
       ASSERT_EQ(results.size(), instances.size());
       for (std::size_t i = 0; i < results.size(); ++i) {
         EXPECT_EQ(fingerprint(results[i]), expected[i])
@@ -194,7 +200,7 @@ TEST(EngineStealing, DegradedOutcomesIdenticalAcrossWorkerCounts) {
     EngineOptions options = base;
     options.workers = 1;
     Engine engine(options);
-    for (const ScheduleResult& r : engine.solve_batch(instances)) {
+    for (const ScheduleResult& r : engine.solve_batch(instances, {})) {
       expected.push_back(fingerprint(r));
       degraded.push_back(r.degraded);
     }
@@ -209,7 +215,7 @@ TEST(EngineStealing, DegradedOutcomesIdenticalAcrossWorkerCounts) {
     EngineOptions options = base;
     options.workers = workers;
     Engine engine(options);
-    const std::vector<ScheduleResult> results = engine.solve_batch(instances);
+    const std::vector<ScheduleResult> results = engine.solve_batch(instances, {});
     ASSERT_EQ(results.size(), instances.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
       EXPECT_EQ(results[i].degraded, degraded[i])
@@ -284,10 +290,10 @@ TEST(Engine, SolveBatchIntoReusesResultsVector) {
 
   std::vector<ScheduleResult> results;
   for (const std::vector<JobSet>* batch : {&big, &small, &big}) {
-    engine.solve_batch_into(*batch, results);
+    engine.solve_batch_into(*batch, {}, results);
     ASSERT_EQ(results.size(), batch->size());
     const std::vector<ScheduleResult> expected =
-        reference.solve_batch(*batch);
+        reference.solve_batch(*batch, {});
     for (std::size_t i = 0; i < results.size(); ++i) {
       EXPECT_EQ(fingerprint(results[i]), fingerprint(expected[i]))
           << "instance " << i << " diverged after vector reuse";
@@ -309,7 +315,7 @@ TEST(Session, EmptyInstanceSolvesToEmptySchedule) {
 TEST(EngineMetrics, SnapshotMergesWorkerShards) {
   const std::vector<JobSet> instances = corpus(10, 21);
   Engine engine({.schedule = {.k = 1}, .workers = 3});
-  (void)engine.solve_batch(instances);
+  (void)engine.solve_batch(instances, {});
 
   const EngineMetrics m = engine.metrics();
   EXPECT_EQ(m.instances, instances.size());
@@ -333,7 +339,7 @@ TEST(EngineMetrics, SnapshotMergesWorkerShards) {
 TEST(EngineMetrics, ExportsAreNonEmptyAndNamed) {
   const std::vector<JobSet> instances = corpus(3, 41);
   Engine engine({.schedule = {.k = 1}, .workers = 2});
-  (void)engine.solve_batch(instances);
+  (void)engine.solve_batch(instances, {});
 
   const std::string table = engine.metrics().to_table();
   EXPECT_NE(table.find("instances"), std::string::npos);
@@ -393,16 +399,18 @@ TEST(TrySchedule, AcceptsGoodOptionsAndSolves) {
   EXPECT_GE(result->price(), 1.0);
 }
 
-TEST(ScheduleBoundedShim, ThrowsOnBadOptions) {
+TEST(TrySchedule, RejectsZeroMachinesWithReport) {
   JobSet jobs;
   jobs.add({.release = 0, .deadline = 10, .length = 4, .value = 5.0});
-  EXPECT_THROW((void)schedule_bounded(jobs, {.machine_count = 0}),
-               std::invalid_argument);
+  const auto result = try_schedule_bounded(jobs, {.machine_count = 0});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_FALSE(result.error().ok());
 }
 
-TEST(ScheduleBoundedShim, MatchesSharedEngine) {
+TEST(TrySchedule, MatchesSharedEngine) {
   const std::vector<JobSet> instances = corpus(1, 55);
-  const ScheduleResult via_shim = schedule_bounded(instances[0], {.k = 1});
+  const ScheduleResult via_shim =
+      try_schedule_bounded(instances[0], {.k = 1}).value();
   const ScheduleResult via_engine =
       Engine::shared().solve(instances[0], {.k = 1});
   EXPECT_EQ(fingerprint(via_shim), fingerprint(via_engine));
@@ -429,7 +437,7 @@ TEST(EngineFaults, InjectedFaultsAreContainedAndDeterministic) {
   const ScheduleOptions schedule{.k = 1};
 
   Engine clean({.schedule = schedule, .workers = 2});
-  const std::vector<SolveOutcome> base = clean.try_solve_batch(instances);
+  const std::vector<SolveOutcome> base = clean.try_solve_batch(instances, {});
   ASSERT_EQ(base.size(), instances.size());
   std::vector<std::string> expected;
   for (const SolveOutcome& outcome : base) {
@@ -444,7 +452,7 @@ TEST(EngineFaults, InjectedFaultsAreContainedAndDeterministic) {
                    .workers = workers,
                    .fault_injection = spec});
     const std::vector<SolveOutcome> results =
-        engine.try_solve_batch(instances);
+        engine.try_solve_batch(instances, {});
     ASSERT_EQ(results.size(), instances.size());
     std::size_t reports = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -484,7 +492,7 @@ TEST(EngineFaults, ResultArenaSurvivesMidSolveFaults) {
 
   Engine clean({.schedule = schedule, .workers = 1});
   std::vector<std::string> expected;
-  for (const ScheduleResult& r : clean.solve_batch(instances)) {
+  for (const ScheduleResult& r : clean.solve_batch(instances, {})) {
     expected.push_back(fingerprint(r));
   }
 
@@ -496,7 +504,7 @@ TEST(EngineFaults, ResultArenaSurvivesMidSolveFaults) {
                    .workers = 1,
                    .fault_injection = std::string(site) + "@2:1"});
     const std::vector<SolveOutcome> faulted =
-        engine.try_solve_batch(instances);
+        engine.try_solve_batch(instances, {});
     ASSERT_EQ(faulted.size(), instances.size());
     ASSERT_FALSE(faulted[2].has_value())
         << "site " << site << " never fired on instance 2";
@@ -513,7 +521,7 @@ TEST(EngineFaults, ResultArenaSurvivesMidSolveFaults) {
     // produce bit-identical, fully validated results.
     fault::disarm();
     const std::vector<SolveOutcome> recovered =
-        engine.try_solve_batch(instances);
+        engine.try_solve_batch(instances, {});
     ASSERT_EQ(recovered.size(), instances.size());
     for (std::size_t i = 0; i < recovered.size(); ++i) {
       ASSERT_TRUE(recovered[i].has_value())
@@ -599,7 +607,7 @@ TEST(EngineFaults, TrySolveBatchReportsOptionRejectionPerInstance) {
   const std::vector<JobSet> instances = corpus(2, 15);
   Engine engine({.schedule = {.k = 1, .machine_count = 0}});
   const std::vector<SolveOutcome> results =
-      engine.try_solve_batch(instances);
+      engine.try_solve_batch(instances, {});
   ASSERT_EQ(results.size(), 2u);
   for (const SolveOutcome& outcome : results) {
     ASSERT_FALSE(outcome.has_value());

@@ -54,8 +54,8 @@ TEST_P(SolverChain, ExactSolversAreConsistentlyOrdered) {
 
     // The pipeline never beats the matching exact optimum.
     for (const std::size_t k : {0u, 1u, 2u}) {
-      const ScheduleResult r = schedule_bounded(
-          jobs, {.k = k, .seed = ScheduleOptions::Seed::kExact});
+      const ScheduleResult r = try_schedule_bounded(
+          jobs, {.k = k, .seed = ScheduleOptions::Seed::kExact}).value();
       ASSERT_TRUE(validate(jobs, r.schedule, k));
       const Value cap = k == 0 ? opt0 : (k == 1 ? *opt1 : *opt2);
       EXPECT_LE(r.value, cap + 1e-9) << "k=" << k << " trial=" << trial;
@@ -100,8 +100,8 @@ TEST_P(IoPipeline, SolveOfParsedEqualsSolveOfOriginal) {
   const JobSet original = random_jobs(config, rng);
   const JobSet parsed = io::jobs_from_csv(io::jobs_to_csv(original));
 
-  const ScheduleResult a = schedule_bounded(original, {.k = 1});
-  const ScheduleResult b = schedule_bounded(parsed, {.k = 1});
+  const ScheduleResult a = try_schedule_bounded(original, {.k = 1}).value();
+  const ScheduleResult b = try_schedule_bounded(parsed, {.k = 1}).value();
   EXPECT_DOUBLE_EQ(a.value, b.value);  // deterministic pipeline
 
   // And the schedule itself round-trips losslessly.
@@ -142,8 +142,8 @@ TEST(Determinism, SchedulingTwiceGivesIdenticalSchedules) {
   config.max_length = 128;
   config.horizon = 4096;
   const JobSet jobs = random_jobs(config, rng);
-  const ScheduleResult a = schedule_bounded(jobs, {.k = 2, .machine_count = 2});
-  const ScheduleResult b = schedule_bounded(jobs, {.k = 2, .machine_count = 2});
+  const ScheduleResult a = try_schedule_bounded(jobs, {.k = 2, .machine_count = 2}).value();
+  const ScheduleResult b = try_schedule_bounded(jobs, {.k = 2, .machine_count = 2}).value();
   EXPECT_EQ(io::schedule_to_csv(a.schedule), io::schedule_to_csv(b.schedule));
 }
 

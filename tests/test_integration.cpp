@@ -34,8 +34,8 @@ TEST_P(ExactPipeline, BoundedValueWithinTheoremEnvelopeOfExactOpt) {
     config.value_mode = JobGenConfig::ValueMode::kRandomDensity;
     const JobSet jobs = random_jobs(config, rng);
 
-    const ScheduleResult r = schedule_bounded(
-        jobs, {.k = k, .seed = ScheduleOptions::Seed::kExact});
+    const ScheduleResult r = try_schedule_bounded(
+        jobs, {.k = k, .seed = ScheduleOptions::Seed::kExact}).value();
     const auto check = validate(jobs, r.schedule, k);
     ASSERT_TRUE(check) << check.error;
 
@@ -93,8 +93,8 @@ TEST(Integration, PipelineRespectsExactOptKOnMicroInstances) {
     for (const std::size_t k : {0u, 1u, 2u}) {
       const auto opt_k = opt_k_slots(jobs, k, std::size_t{1} << 34);
       ASSERT_TRUE(opt_k);
-      const ScheduleResult r = schedule_bounded(
-          jobs, {.k = k, .seed = ScheduleOptions::Seed::kExact});
+      const ScheduleResult r = try_schedule_bounded(
+          jobs, {.k = k, .seed = ScheduleOptions::Seed::kExact}).value();
       ASSERT_TRUE(validate(jobs, r.schedule, k));
       EXPECT_LE(r.value, *opt_k + 1e-9) << "k=" << k << " trial=" << trial;
       EXPECT_LE(*opt_k, opt_infinity(jobs, all_ids(jobs)).value + 1e-9);
@@ -105,7 +105,7 @@ TEST(Integration, PipelineRespectsExactOptKOnMicroInstances) {
 // Appendix-B instances flow through the whole public API.
 TEST(Integration, AppendixBThroughPublicApi) {
   const PobpLowerBoundInstance inst = pobp_lower_bound_instance(1, 2, 4);
-  const ScheduleResult r = schedule_bounded(inst.jobs, {.k = 1});
+  const ScheduleResult r = try_schedule_bounded(inst.jobs, {.k = 1}).value();
   ASSERT_TRUE(validate(inst.jobs, r.schedule, 1));
   EXPECT_LT(r.value, inst.opt_k_upper);
   EXPECT_GT(r.price(), 2.0);  // (L+1)/2 with L=4
@@ -116,7 +116,7 @@ TEST(Integration, ReplicatedLowerBoundAcrossMachines) {
   const PobpLowerBoundInstance inst = pobp_lower_bound_instance(1, 2, 3);
   const JobSet jobs = replicate(inst.jobs, 3);
   const ScheduleResult r =
-      schedule_bounded(jobs, {.k = 1, .machine_count = 3});
+      try_schedule_bounded(jobs, {.k = 1, .machine_count = 3}).value();
   ASSERT_TRUE(validate(jobs, r.schedule, 1));
   EXPECT_GT(r.value, 0.0);
   EXPECT_LT(r.value, 3.0 * inst.opt_k_upper);

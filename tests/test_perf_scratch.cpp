@@ -171,7 +171,7 @@ TEST(EngineScratch, WorkersAndBudgetsPreserveBitIdenticalResults) {
 
   std::vector<std::string> expected;
   for (const JobSet& jobs : instances) {
-    expected.push_back(fingerprint(schedule_bounded(jobs, schedule)));
+    expected.push_back(fingerprint(try_schedule_bounded(jobs, schedule).value()));
   }
 
   SolveBudget roomy;
@@ -199,7 +199,7 @@ TEST(EngineScratch, WorkersAndBudgetsPreserveBitIdenticalResults) {
   };
   for (const Variant& variant : variants) {
     Engine engine(variant.options);
-    const std::vector<ScheduleResult> results = engine.solve_batch(instances);
+    const std::vector<ScheduleResult> results = engine.solve_batch(instances, {});
     ASSERT_EQ(results.size(), instances.size()) << variant.name;
     for (std::size_t i = 0; i < results.size(); ++i) {
       EXPECT_EQ(fingerprint(results[i]), expected[i])
@@ -214,8 +214,8 @@ TEST(EngineScratch, WarmSessionsMatchColdSessions) {
   const std::vector<JobSet> instances = mixed_corpus(8, 31);
   for (std::size_t k : {0u, 1u}) {
     Engine engine({.schedule = {.k = k}, .workers = 2});
-    const std::vector<ScheduleResult> cold = engine.solve_batch(instances);
-    const std::vector<ScheduleResult> warm = engine.solve_batch(instances);
+    const std::vector<ScheduleResult> cold = engine.solve_batch(instances, {});
+    const std::vector<ScheduleResult> warm = engine.solve_batch(instances, {});
     ASSERT_EQ(cold.size(), warm.size());
     for (std::size_t i = 0; i < cold.size(); ++i) {
       EXPECT_EQ(fingerprint(warm[i]), fingerprint(cold[i]))

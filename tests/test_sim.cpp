@@ -168,6 +168,84 @@ TEST(Sim, DensityPolicyRefusesWeakChallengers) {
   EXPECT_EQ(r.schedule.find(0)->segments.size(), 1u);
 }
 
+TEST(Sim, SrptHalvingRulePreemptsOnlyShortChallengers) {
+  // The running job has 95 ticks left when the challenger arrives; the
+  // challenger's 40 satisfy 2 × 40 <= 95, so the halving rule spends a
+  // preemption on it.
+  JobSet jobs;
+  jobs.add({0, 1000, 100, 1.0});
+  jobs.add({5, 500, 40, 2.0});
+  sim::SrptBudgetPolicy policy(1);
+  const SimResult r = simulate(jobs, policy);
+  ASSERT_EQ(r.completed, 2u);
+  EXPECT_TRUE(validate_machine(jobs, r.schedule, 1));
+  EXPECT_EQ(r.schedule.find(1)->segments[0], (Segment{5, 45}));
+  EXPECT_EQ(r.schedule.find(0)->segments.size(), 2u);
+}
+
+TEST(Sim, SrptHalvingRuleRefusesNearPeers) {
+  // 2 × 60 > 95: a near-peer challenger waits instead of burning budget.
+  JobSet jobs;
+  jobs.add({0, 1000, 100, 1.0});
+  jobs.add({5, 500, 60, 2.0});
+  sim::SrptBudgetPolicy policy(1);
+  const SimResult r = simulate(jobs, policy);
+  ASSERT_EQ(r.completed, 2u);
+  EXPECT_EQ(r.schedule.find(0)->segments.size(), 1u);
+}
+
+TEST(Sim, LaxityThresholdPreemptsOnlyUrgentWork) {
+  // Challenger laxity 50 - 5 - 40 = 5 < 1.0 × 95: it cannot wait for the
+  // running job, so the preemption is genuinely necessary.
+  JobSet jobs;
+  jobs.add({0, 1000, 100, 1.0});
+  jobs.add({5, 50, 40, 2.0});
+  sim::LaxityThresholdPolicy policy(1, 1.0);
+  const SimResult r = simulate(jobs, policy);
+  ASSERT_EQ(r.completed, 2u);
+  EXPECT_TRUE(validate_machine(jobs, r.schedule, 1));
+  EXPECT_EQ(r.schedule.find(1)->segments[0], (Segment{5, 45}));
+}
+
+TEST(Sim, LaxityThresholdLetsRelaxedChallengersWait) {
+  // Laxity 500 - 5 - 40 = 455 >= 95: the challenger comfortably fits after
+  // the running job, so EDF order alone does not justify a preemption.
+  JobSet jobs;
+  jobs.add({0, 1000, 100, 1.0});
+  jobs.add({5, 500, 40, 2.0});
+  sim::LaxityThresholdPolicy policy(1, 1.0);
+  const SimResult r = simulate(jobs, policy);
+  ASSERT_EQ(r.completed, 2u);
+  EXPECT_EQ(r.schedule.find(0)->segments.size(), 1u);
+}
+
+TEST(Sim, OnlinePoliciesRespectTheBudget) {
+  Rng rng(77);
+  JobGenConfig config;
+  config.n = 120;
+  config.max_length = 128;
+  config.min_laxity = 1.0;
+  config.max_laxity = 4.0;
+  config.horizon = 4096;  // congested
+  config.value_mode = JobGenConfig::ValueMode::kRandomDensity;
+  const JobSet jobs = random_jobs(config, rng);
+
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{5}}) {
+    sim::SrptBudgetPolicy srpt(k);
+    sim::LaxityThresholdPolicy laxity(k, 1.0);
+    for (sim::Policy* policy : {static_cast<sim::Policy*>(&srpt),
+                                static_cast<sim::Policy*>(&laxity)}) {
+      const SimResult r = simulate(jobs, *policy, {.dispatch_cost = 2});
+      const auto check = validate_machine(jobs, r.schedule, k);
+      EXPECT_TRUE(check) << policy->name() << " k=" << k << ": "
+                         << check.error;
+      EXPECT_LE(r.max_preemptions, k) << policy->name();
+      EXPECT_EQ(r.completed + r.dropped, jobs.size());
+    }
+  }
+}
+
 TEST(Sim, AccountingIdentity) {
   Rng rng(41);
   JobGenConfig config;

@@ -163,6 +163,26 @@ TEST(Rules, ThrowOnlyFlaggedInsideTryBoundaries) {
   EXPECT_EQ(count_rule(report, diag::rules::kSrcThrowInContainment), 1u);
 }
 
+TEST(Rules, BlockingSubmitScopedToTheQueueFiles) {
+  const std::string source =
+      "bool push(Q& q) { std::mutex m; return q.wait_for(m); }\n";
+  // Two findings in the hot-path files: the mutex type and the wait_for
+  // call; the same code anywhere else is out of scope.
+  EXPECT_EQ(count_rule(lint("src/engine/submit.cpp", source),
+                       diag::rules::kSrcBlockingSubmit),
+            2u);
+  EXPECT_EQ(count_rule(lint("src/engine/include/pobp/engine/submit.hpp",
+                            source),
+                       diag::rules::kSrcBlockingSubmit),
+            2u);
+  EXPECT_TRUE(lint("src/engine/serve.cpp", source).ok());
+  // Non-blocking queue code stays quiet in scope.
+  EXPECT_TRUE(lint("src/engine/submit.cpp",
+                   "bool push(Q& q) { return q.head.fetch_add(1, "
+                   "std::memory_order_acq_rel) != 0; }\n")
+                  .ok());
+}
+
 TEST(Rules, InlineSuppressionSilencesOneRuleAtOneSite) {
   const diag::Report report =
       lint("src/core/x.cpp",
@@ -185,7 +205,8 @@ TEST(Registry, SrcRulesAreCatalogued) {
   for (const std::string_view id :
        {diag::rules::kSrcNakedAlloc, diag::rules::kSrcHotPathAlloc,
         diag::rules::kSrcImplicitMemoryOrder, diag::rules::kSrcNondeterminism,
-        diag::rules::kSrcLayering, diag::rules::kSrcThrowInContainment}) {
+        diag::rules::kSrcLayering, diag::rules::kSrcThrowInContainment,
+        diag::rules::kSrcBlockingSubmit}) {
     EXPECT_NE(diag::find_rule(id), nullptr) << id;
   }
 }

@@ -1,6 +1,7 @@
 // bench_compare — the perf-regression gate (tools/ci_check.sh perf stage).
 //
-//   bench_compare [--tol FRAC] baseline.json current.json
+//   bench_compare [--tol FRAC] [--require-cores N] [--warn-time]
+//                 baseline.json current.json
 //
 // Reads two benchmark result files and fails (exit 1) when the current run
 // regresses against the checked-in baseline:
@@ -27,6 +28,21 @@
 // Metrics present in the baseline but missing from the current run fail the
 // gate (a silently dropped metric is a dropped guarantee); metrics only in
 // the current run are reported as new and pass.
+//
+// --require-cores N declares the core count the baseline's scaling metrics
+// were measured at.  On a runner with fewer cores, every metric whose name
+// contains "scaling" is excluded with an explicit SKIP line — including the
+// missing-metric check — instead of being compared against numbers the
+// hardware cannot reproduce.  The skip is loud by design: an
+// under-provisioned runner must say so in its log, not silently pass a
+// weaker gate (docs/PERF.md).
+//
+// --warn-time demotes the wall-clock gates (ns/op, ops/s) from FAIL to an
+// explicit WARN line that does not affect the exit code; the allocation
+// and missing-metric gates stay fatal.  For runners (shared single-core
+// VMs) whose clock-speed drift exceeds any sane tolerance — ci_check.sh
+// enables it automatically below 8 cores, where an identical binary has
+// been observed to swing > 50% between runs (docs/PERF.md).
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
@@ -36,6 +52,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -274,20 +291,33 @@ std::optional<std::map<std::string, Sample>> load(const std::string& path) {
 
 int main(int argc, char** argv) {
   double tol = 0.15;
+  std::size_t require_cores = 0;
+  bool warn_time = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--tol" && i + 1 < argc) {
       tol = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--require-cores" && i + 1 < argc) {
+      require_cores =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--warn-time") {
+      warn_time = true;
     } else {
       paths.push_back(arg);
     }
   }
   if (paths.size() != 2) {
-    std::cerr << "usage: bench_compare [--tol FRAC] baseline.json "
-                 "current.json\n";
+    std::cerr << "usage: bench_compare [--tol FRAC] [--require-cores N] "
+                 "[--warn-time] baseline.json current.json\n";
     return 2;
   }
+
+  const std::size_t cores = std::thread::hardware_concurrency();
+  const bool skip_scaling = require_cores > 0 && cores < require_cores;
+  const auto is_scaling = [](const std::string& name) {
+    return name.find("scaling") != std::string::npos;
+  };
 
   const auto baseline = load(paths[0]);
   const auto current = load(paths[1]);
@@ -295,6 +325,11 @@ int main(int argc, char** argv) {
 
   int regressions = 0;
   for (const auto& [name, base] : *baseline) {
+    if (skip_scaling && is_scaling(name)) {
+      std::cout << "SKIP " << name << ": scaling gate requires >= "
+                << require_cores << " cores, runner has " << cores << "\n";
+      continue;
+    }
     const auto it = current->find(name);
     if (it == current->end()) {
       std::cerr << "FAIL " << name << ": present in baseline, missing from "
@@ -306,10 +341,12 @@ int main(int argc, char** argv) {
     if (base.ns_per_op >= 0 && cur.ns_per_op >= 0) {
       const double limit = base.ns_per_op * (1.0 + tol);
       const bool bad = cur.ns_per_op > limit;
-      std::cout << (bad ? "FAIL " : "ok   ") << name << ": "
-                << cur.ns_per_op << " ns/op vs baseline " << base.ns_per_op
-                << " (limit " << limit << ")\n";
-      if (bad) ++regressions;
+      std::cout << (bad ? (warn_time ? "WARN " : "FAIL ") : "ok   ") << name
+                << ": " << cur.ns_per_op << " ns/op vs baseline "
+                << base.ns_per_op << " (limit " << limit
+                << (bad && warn_time ? "; wall-clock demoted to warning" : "")
+                << ")\n";
+      if (bad && !warn_time) ++regressions;
     }
     if (base.allocs_per_op >= 0 && cur.allocs_per_op >= 0) {
       const bool bad = cur.allocs_per_op > base.allocs_per_op + 1e-9;
@@ -323,10 +360,12 @@ int main(int argc, char** argv) {
       // mirror image of the ns/op gate.
       const double limit = base.ops_per_s * (1.0 - tol);
       const bool bad = cur.ops_per_s < limit;
-      std::cout << (bad ? "FAIL " : "ok   ") << name << ": "
-                << cur.ops_per_s << " ops/s vs baseline " << base.ops_per_s
-                << " (limit " << limit << ")\n";
-      if (bad) ++regressions;
+      std::cout << (bad ? (warn_time ? "WARN " : "FAIL ") : "ok   ") << name
+                << ": " << cur.ops_per_s << " ops/s vs baseline "
+                << base.ops_per_s << " (limit " << limit
+                << (bad && warn_time ? "; wall-clock demoted to warning" : "")
+                << ")\n";
+      if (bad && !warn_time) ++regressions;
     }
     if (base.value >= 0 && cur.value >= 0) {
       // Machine-sensitive indicators (scaling efficiency): reported for
@@ -337,6 +376,7 @@ int main(int argc, char** argv) {
     }
   }
   for (const auto& [name, cur] : *current) {
+    if (skip_scaling && is_scaling(name)) continue;
     if (baseline->find(name) == baseline->end()) {
       std::cout << "new  " << name << " (no baseline, not gated)\n";
     }

@@ -14,8 +14,10 @@
 #
 # --lenient-scaling demotes the perf stage's w8-vs-w1 scaling floor to a
 # warning (allocation and wall-clock gates stay fatal).  Runners with
-# fewer than 8 cores get lenient mode automatically: the floor is
-# physically unreachable there (see docs/PERF.md).
+# fewer than 8 cores get lenient mode automatically — announced in the
+# log, and bench_compare is told via --require-cores 8 so its scaling
+# rows are skipped with explicit SKIP lines rather than silently passing
+# a weaker gate (see docs/PERF.md).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,7 +37,10 @@ for arg in "$@"; do
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
-if [ "$(nproc)" -lt 8 ]; then
+if [ "$(nproc)" -lt 8 ] && [ "$LENIENT_SCALING" -eq 0 ]; then
+  echo "ci_check: runner has $(nproc) cores (< 8): w8 scaling floor demoted" \
+       "to a warning; bench_compare will SKIP scaling rows and demote" \
+       "wall-clock rows to WARN (docs/PERF.md)"
   LENIENT_SCALING=1
 fi
 
@@ -89,8 +94,17 @@ if [ "$SKIP_PERF" -eq 0 ]; then
   # a loaded single-core runner shows >20% swing on the microsecond-scale
   # metrics.  25% keeps the gate meaningful for real regressions without
   # tripping on scheduler noise; the allocation gates stay strict and the
-  # absolute alloc/scaling floors above are unaffected.
+  # absolute alloc/scaling floors above are unaffected.  On the lenient
+  # (< 8 core) runners even 25% is not enough — an identical binary has
+  # been measured > 50% slower across runs on a shared single-core VM —
+  # so there the wall-clock rows are demoted to explicit WARN lines
+  # (--warn-time) and only the deterministic allocation and
+  # missing-metric gates stay fatal (docs/PERF.md).
   PERF_TOL=0.25
+  COMPARE_FLAGS=(--tol "$PERF_TOL" --require-cores 8)
+  if [ "$LENIENT_SCALING" -eq 1 ]; then
+    COMPARE_FLAGS+=(--warn-time)
+  fi
   build-release/bench/bench_engine_throughput --instances 32 --repeats 2 \
       --json build-release/BENCH_engine.json \
       --gate-allocs 8 --gate-scaling 3 "${SCALING_FLAGS[@]}"
@@ -98,9 +112,9 @@ if [ "$SKIP_PERF" -eq 0 ]; then
       --benchmark_filter="$(cat bench/baselines/runtime_filter.txt)" \
       --benchmark_out=build-release/BENCH_runtime.json \
       --benchmark_out_format=json > /dev/null
-  build-release/tools/bench_compare --tol "$PERF_TOL" \
+  build-release/tools/bench_compare "${COMPARE_FLAGS[@]}" \
       bench/baselines/BENCH_engine.json build-release/BENCH_engine.json
-  build-release/tools/bench_compare --tol "$PERF_TOL" \
+  build-release/tools/bench_compare "${COMPARE_FLAGS[@]}" \
       bench/baselines/BENCH_runtime.json build-release/BENCH_runtime.json
 else
   say "perf smoke: skipped"
@@ -211,5 +225,18 @@ if [ "$batch_status" -ne 4 ]; then
        "(want 4)" >&2
   exit 1
 fi
+
+# 9. Serve smoke: pipe the 100-request JSONL fixture through `pobp serve`
+#    on stdin and diff against the checked-in golden frames — parse errors
+#    and POBP-RUN-003 budget rejections ride in-band as error frames (exit
+#    stays 0).  Run twice (1 and 2 workers) to pin the byte-identical
+#    replay contract of docs/SERVING.md in CI.
+say "serve smoke (golden replay, workers 1 vs 2)"
+"$POBP" serve --workers 1 --quiet < tests/data/serve/requests.jsonl \
+        > "$ENGINE_TMP/serve_w1.jsonl"
+"$POBP" serve --workers 2 --quiet < tests/data/serve/requests.jsonl \
+        > "$ENGINE_TMP/serve_w2.jsonl"
+diff -u tests/data/serve/golden_responses.jsonl "$ENGINE_TMP/serve_w1.jsonl"
+diff -u "$ENGINE_TMP/serve_w1.jsonl" "$ENGINE_TMP/serve_w2.jsonl"
 
 say "all checks passed"

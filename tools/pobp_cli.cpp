@@ -5,6 +5,7 @@
 //                 [--gantt] [--exact]
 //   pobp batch    --manifest list.txt | --jsonl stream.jsonl --k 1
 //                 [--workers 8] [--out-dir DIR] [--metrics-json FILE]
+//   pobp serve    [--jsonl stream.jsonl] [--k 1] [--workers 8] [...]
 //   pobp validate --jobs jobs.csv --schedule sched.csv [--k 1]
 //   pobp price    --jobs jobs.csv --k 1 [--machines 2] [--exact]
 //   pobp info     --jobs jobs.csv
@@ -19,9 +20,13 @@
 //   6  contained solve fault (POBP-RUN-*: pipeline fault, deadline, budget)
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pobp/bas/contraction.hpp"
@@ -31,6 +36,7 @@
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/io/forest_csv.hpp"
 #include "pobp/io/manifest.hpp"
+#include "pobp/io/wire.hpp"
 #include "pobp/pobp.hpp"
 #include "pobp/sim/policies.hpp"
 #include "pobp/sim/sim.hpp"
@@ -85,6 +91,15 @@ commands:
              [--deadline-ms MS] [--max-ops N] [--degrade] [--max-retries R]
              [--on-error skip|report|fail]   (default: report)
              [--fault-inject SPEC]  (site[@instance]:nth, testing builds)
+  serve      long-lived streaming service: JSONL requests in (file or
+             stdin), one response frame per request in submission order
+             (wire format and semantics: docs/SERVING.md)
+             [--jsonl FILE]   (default '-' = stdin)
+             [--k K] [--machines M] [--workers W] [--exact]
+             [--queue N] [--max-batch N]          (pump shape)
+             [--deadline-ms MS] [--max-ops N] [--degrade]  (defaults)
+             [--shed] [--tenant-quota N] [--overload-degrade]
+             [--metrics-json FILE] [--tenant-stats] [--quiet]
   validate   check a schedule against a workload (Def. 2.1)
              --jobs FILE --schedule FILE [--k K]
   price      report the empirical price of bounded preemption
@@ -94,8 +109,8 @@ commands:
   bas        optimal k-BAS of a value forest (Procedure TM, §3.2)
              --forest FILE --k K [--heuristic]   (LevelledContraction too)
   sim        run an online policy with context-switch costs
-             --jobs FILE --policy edf|nonpreemptive|budget [--k K]
-             [--cost C] [--gantt]
+             --jobs FILE --policy edf|nonpreemptive|budget|srpt|laxity
+             [--k K] [--alpha A] [--cost C] [--gantt]
   lint-src   source-level static analysis (POBP-SRC-* rules; the full
              interface lives in the standalone pobp_srclint tool)
              [paths...] [--root DIR] [--format text|json]
@@ -287,7 +302,7 @@ int cmd_batch(const Flags& flags) {
   }
 
   const bool quiet = flags.has("quiet");
-  const std::vector<SolveOutcome> results = engine.try_solve_batch(sets);
+  const std::vector<SolveOutcome> results = engine.try_solve_batch(sets, {});
   std::size_t solve_failures = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const std::string& name = loaded[origin[i]].name;
@@ -351,6 +366,176 @@ int cmd_batch(const Flags& flags) {
   }
   if (failure_exit != kExitOk) return failure_exit;
   return metrics.validation_failures == 0 ? kExitOk : kExitInfeasible;
+}
+
+/// `pobp serve` — the streaming front end (docs/SERVING.md).  Reads JSONL
+/// requests from a file or stdin, pushes them through a pobp::StreamEngine,
+/// and emits exactly one response frame per request, in submission order.
+/// Per-request failures (parse, budget, deadline, admission) are in-band
+/// error frames, never a process exit: the stream always runs to the end.
+int cmd_serve(const Flags& flags) {
+  StreamOptions stream;
+  stream.engine.schedule.k = static_cast<std::size_t>(flags.num("k", 1));
+  stream.engine.schedule.machine_count =
+      static_cast<std::size_t>(flags.num("machines", 1));
+  if (flags.has("exact")) {
+    stream.engine.schedule.seed = ScheduleOptions::Seed::kExact;
+  }
+  stream.engine.workers = static_cast<std::size_t>(flags.num("workers", 0));
+  stream.engine.budget.deadline_s = flags.real("deadline-ms", 0.0) / 1000.0;
+  stream.engine.budget.max_ops =
+      static_cast<std::uint64_t>(flags.num("max-ops", 0));
+  if (flags.has("degrade")) {
+    stream.engine.degrade = DegradePolicy::kApproximate;
+  }
+  if (flags.has("fault-inject")) {
+    stream.engine.fault_injection = flags.str("fault-inject");
+  }
+  stream.queue_capacity = static_cast<std::size_t>(flags.num("queue", 1024));
+  stream.max_batch = static_cast<std::size_t>(flags.num("max-batch", 64));
+  stream.tenant_max_in_flight =
+      static_cast<std::size_t>(flags.num("tenant-quota", 0));
+  if (flags.has("overload-degrade")) {
+    stream.overload_degrade = DegradePolicy::kApproximate;
+  }
+  // Shedding and the overload tier are timing-dependent (queue occupancy);
+  // the default blocking submit keeps replayed streams byte-identical.
+  const bool shed = flags.has("shed");
+
+  const std::string source = flags.str("jsonl", "-");
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (source != "-") {
+    file.open(source);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open %s\n", source.c_str());
+      return kExitFileOpen;
+    }
+    in = &file;
+  }
+
+  StreamEngine engine(stream);
+
+  // Response frames leave in submission order: each request parks here
+  // until everything ahead of it has been printed.  `frame` is pre-rendered
+  // for requests that never reach the engine (parse failures).
+  struct Pending {
+    std::string frame;
+    std::optional<std::future<SolveOutcome>> outcome;
+    std::string id;
+    bool want_schedule = false;
+  };
+  std::deque<Pending> pending;
+  std::size_t served = 0;
+  std::size_t errors = 0;
+
+  const auto flush_front = [&] {
+    Pending p = std::move(pending.front());
+    pending.pop_front();
+    if (p.outcome) {
+      const SolveOutcome outcome = p.outcome->get();
+      if (outcome.has_value()) {
+        const ScheduleResult& r = *outcome;
+        io::ResponseStats stats;
+        stats.value = r.value;
+        stats.unbounded_value = r.unbounded_value;
+        stats.price = r.price();
+        stats.degraded = r.degraded;
+        stats.jobs_scheduled = r.schedule.job_count();
+        p.frame = io::response_frame(p.id, stats,
+                                     p.want_schedule ? &r.schedule : nullptr);
+      } else {
+        p.frame = io::error_frame(p.id, outcome.error());
+        ++errors;
+      }
+    }
+    std::fputs(p.frame.c_str(), stdout);
+    std::fputc('\n', stdout);
+    ++served;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    auto parsed = io::try_parse_serve_request(line, line_no);
+    if (!parsed) {
+      ++errors;
+      Pending p;
+      p.frame = io::error_frame("line" + std::to_string(line_no),
+                                parsed.error());
+      pending.push_back(std::move(p));
+    } else {
+      io::ServeRequest request = std::move(*parsed);
+      ScheduleOptions schedule = stream.engine.schedule;
+      if (request.k) schedule.k = *request.k;
+      if (request.machines) schedule.machine_count = *request.machines;
+      SubmitOptions submit;
+      submit.tenant = std::move(request.tenant);
+      if (request.deadline_ms > 0) {
+        submit.deadline_s = request.deadline_ms / 1000.0;
+      }
+      if (request.max_ops > 0) {
+        SolveBudget budget = stream.engine.budget;
+        budget.max_ops = request.max_ops;
+        submit.budget = budget;
+      }
+      if (request.degrade) {
+        submit.degrade = *request.degrade ? DegradePolicy::kApproximate
+                                          : DegradePolicy::kNone;
+      }
+      Pending p;
+      p.id = std::move(request.id);
+      p.want_schedule = request.want_schedule;
+      p.outcome = shed ? engine.try_submit(std::move(request.jobs), schedule,
+                                           std::move(submit))
+                       : engine.submit(std::move(request.jobs), schedule,
+                                       std::move(submit));
+      pending.push_back(std::move(p));
+    }
+    // Bound the parked-futures window so a long stream never accumulates
+    // unbounded response state.
+    while (pending.size() > stream.queue_capacity * 2) flush_front();
+  }
+  while (!pending.empty()) flush_front();
+  std::fflush(stdout);
+
+  engine.drain();
+  if (flags.has("metrics-json")) {
+    const EngineMetrics metrics = engine.metrics();
+    const std::string target = flags.str("metrics-json");
+    if (target == "-") {
+      std::printf("%s\n", metrics.to_json().c_str());
+    } else {
+      std::ofstream out(target);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open %s\n", target.c_str());
+        return kExitFileOpen;
+      }
+      out << metrics.to_json() << '\n';
+    }
+  }
+  if (flags.has("tenant-stats")) {
+    for (const auto& [tenant, stats] : engine.tenant_stats()) {
+      std::fprintf(stderr,
+                   "tenant %-16s submitted %llu completed %llu failed %llu "
+                   "quota-rejected %llu shed %llu degraded %llu\n",
+                   tenant.c_str(),
+                   static_cast<unsigned long long>(stats.submitted),
+                   static_cast<unsigned long long>(stats.completed),
+                   static_cast<unsigned long long>(stats.failed),
+                   static_cast<unsigned long long>(stats.rejected_quota),
+                   static_cast<unsigned long long>(stats.shed),
+                   static_cast<unsigned long long>(stats.degraded));
+    }
+  }
+  if (!flags.has("quiet")) {
+    std::fprintf(stderr, "serve: %zu response frame(s), %zu error frame(s)\n",
+                 served, errors);
+  }
+  return kExitOk;
 }
 
 int cmd_validate(const Flags& flags) {
@@ -443,6 +628,8 @@ int cmd_sim(const Flags& flags) {
   sim::EdfPolicy edf;
   sim::NonPreemptivePolicy np;
   sim::BudgetEdfPolicy budget(k);
+  sim::SrptBudgetPolicy srpt(k);
+  sim::LaxityThresholdPolicy laxity(k, flags.real("alpha", 1.0));
   sim::Policy* policy = nullptr;
   if (policy_name == "edf") {
     policy = &edf;
@@ -450,8 +637,12 @@ int cmd_sim(const Flags& flags) {
     policy = &np;
   } else if (policy_name == "budget") {
     policy = &budget;
+  } else if (policy_name == "srpt") {
+    policy = &srpt;
+  } else if (policy_name == "laxity") {
+    policy = &laxity;
   } else {
-    usage("unknown --policy (edf | nonpreemptive | budget)");
+    usage("unknown --policy (edf | nonpreemptive | budget | srpt | laxity)");
   }
   const sim::SimConfig config{flags.num("cost", 0)};
   const sim::SimResult r = sim::simulate(jobs, *policy, config);
@@ -523,6 +714,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(flags);
     if (command == "solve") return cmd_solve(flags);
     if (command == "batch") return cmd_batch(flags);
+    if (command == "serve") return cmd_serve(flags);
     if (command == "validate") return cmd_validate(flags);
     if (command == "price") return cmd_price(flags);
     if (command == "info") return cmd_info(flags);
