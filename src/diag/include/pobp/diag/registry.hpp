@@ -70,6 +70,8 @@ inline constexpr std::string_view kRunDeadline = "POBP-RUN-002";
 inline constexpr std::string_view kRunBudget = "POBP-RUN-003";
 inline constexpr std::string_view kRunAdmission = "POBP-RUN-004";
 inline constexpr std::string_view kRunTenantQuota = "POBP-RUN-005";
+inline constexpr std::string_view kRunRateLimited = "POBP-RUN-006";
+inline constexpr std::string_view kRunBreakerOpen = "POBP-RUN-007";
 
 // Hall-type interval feasibility (§4.1).
 inline constexpr std::string_view kIntervalOverload = "POBP-INT-001";
@@ -91,6 +93,7 @@ inline constexpr std::string_view kSrcNondeterminism = "POBP-SRC-004";
 inline constexpr std::string_view kSrcLayering = "POBP-SRC-005";
 inline constexpr std::string_view kSrcThrowInContainment = "POBP-SRC-006";
 inline constexpr std::string_view kSrcBlockingSubmit = "POBP-SRC-007";
+inline constexpr std::string_view kSrcUnboundedRetry = "POBP-SRC-008";
 
 }  // namespace rules
 

@@ -19,9 +19,11 @@ using rules::kLaminarInterleaving;
 using rules::kOptExactSeedLimit;
 using rules::kOptMachineCount;
 using rules::kRunAdmission;
+using rules::kRunBreakerOpen;
 using rules::kRunBudget;
 using rules::kRunDeadline;
 using rules::kRunPipelineFault;
+using rules::kRunRateLimited;
 using rules::kRunTenantQuota;
 using rules::kSchedEmptyAssignment;
 using rules::kSchedEmptySegment;
@@ -39,6 +41,7 @@ using rules::kSrcNakedAlloc;
 using rules::kSrcBlockingSubmit;
 using rules::kSrcNondeterminism;
 using rules::kSrcThrowInContainment;
+using rules::kSrcUnboundedRetry;
 
 // Ordered by id; find_rule binary-searches this table.
 constexpr RuleInfo kCatalogue[] = {
@@ -133,6 +136,18 @@ constexpr RuleInfo kCatalogue[] = {
      "requests in flight (StreamOptions::tenant_max_in_flight), so "
      "admission control rejected this one to protect other tenants; the "
      "request was never solved and can be resubmitted after completions."},
+    {kRunRateLimited, Severity::kError, "tenant rate limit exceeded",
+     "§4.3 (overload behaviour)",
+     "The submitting tenant's token bucket (StreamOptions::tenant_rate / "
+     "SubmitOptions::rate_limit) was empty, so admission control shed this "
+     "request before it touched the queue; the request was never solved "
+     "and can be resubmitted once the bucket refills."},
+    {kRunBreakerOpen, Severity::kError, "tenant circuit breaker open",
+     "§4.3 (overload behaviour)",
+     "The tenant's circuit breaker tripped after N consecutive contained "
+     "pipeline faults (POBP-RUN-001) and is shedding submissions while "
+     "open; after the cooldown a limited number of half-open probe "
+     "admissions either close it again or re-open it."},
     {kSchedUnknownJob, Severity::kError, "unknown job id", "Def. 2.1",
      "An assignment references a job id outside the instance."},
     {kSchedEmptyAssignment, Severity::kError, "empty segment list",
@@ -220,6 +235,16 @@ constexpr RuleInfo kCatalogue[] = {
      "every producer behind one descheduled thread.  Blocking backpressure "
      "belongs in the StreamEngine layer above the queue.  Suppress with "
      "`// POBP-SRC-007: reason`."},
+    {kSrcUnboundedRetry, Severity::kError,
+     "unbounded sleep-retry loop in the engine",
+     "docs/ROBUSTNESS.md (retry discipline)",
+     "A loop in src/engine/ that sleeps between iterations (a retry/"
+     "backoff loop) must be bounded: either an explicit attempt cap "
+     "(an `attempt`/`max_retries`-style counter in the loop) or a "
+     "BudgetGuard poll/charge so the request's SolveBudget can stop it.  "
+     "An unbounded sleep-retry can stall a pool worker forever and blow "
+     "through every request deadline.  Suppress with "
+     "`// POBP-SRC-008: reason`."},
 };
 
 constexpr bool catalogue_sorted() {

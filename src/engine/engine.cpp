@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <mutex>
@@ -29,6 +30,26 @@ diag::Report run_report(std::string_view rule, std::string message,
   diag::Diagnostic& d = report.add(std::string(rule), std::move(message));
   if (instance != Session::kNoInstance) d.with("instance", instance);
   return report;
+}
+
+/// Sleeps the policy's deterministic backoff before retry `attempt`
+/// (1-based), seeded by the instance id so replaying a request reproduces
+/// its exact backoff schedule.  Clamped to the remaining wall-clock
+/// deadline: a budgeted request never dozes past expiry — the next
+/// attempt's first poll converts it into DeadlineExceeded instead.
+/// Called from a catch handler, so it must not throw.
+void backoff_before_retry(const RetryPolicy& policy, std::size_t attempt,
+                          std::size_t instance, const BudgetGuard* guard) {
+  const std::uint64_t seed = instance == Session::kNoInstance
+                                 ? 0
+                                 : static_cast<std::uint64_t>(instance);
+  double delay = retry_backoff_s(policy, attempt, seed);
+  if (guard != nullptr) {
+    delay = std::min(delay, std::max(0.0, guard->remaining_deadline_s()));
+  }
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
 }
 
 // --- work-stealing shards ---------------------------------------------------
@@ -290,15 +311,25 @@ std::optional<diag::Report> Session::try_solve_into_impl(
   // instance); the scope resets the per-site counters so placement is
   // identical for every worker count.
   const fault::InstanceScope fault_scope(instance);
+  const RetryPolicy& retry = options_.retry;
+  // EngineOptions::max_retries predates RetryPolicy; the effective attempt
+  // cap honours whichever grants more attempts.
+  const std::size_t attempts = std::max<std::size_t>(
+      std::max<std::size_t>(1, retry.max_attempts), options_.max_retries + 1);
   const bool budgeted = !budget.unlimited();
-  for (std::size_t attempt = 0;; ++attempt) {
+  // One guard spans every attempt: the wall-clock deadline keeps running
+  // and the op counter accumulates across retries, so retrying (and the
+  // backoff sleeps between attempts) can never spend beyond the request's
+  // SolveBudget.
+  std::optional<BudgetGuard> guard;
+  if (budgeted) guard.emplace(budget);
+  for (std::size_t attempt = 1;; ++attempt) {
     try {
       if (!budgeted) {
         solve_pipeline_into(jobs, options, out);
         return std::nullopt;
       }
-      BudgetGuard guard(budget);
-      const BudgetGuard::Scope budget_scope(&guard);
+      const BudgetGuard::Scope budget_scope(&*guard);
       solve_pipeline_into(jobs, options, out);
       return std::nullopt;
     } catch (const DeadlineExceeded& e) {
@@ -308,9 +339,24 @@ std::optional<diag::Report> Session::try_solve_into_impl(
       return budget_fallback_into(jobs, options, degrade, instance,
                                   /*deadline=*/false, e.what(), out);
     } catch (const std::exception& e) {
-      if (attempt < options_.max_retries) {
+      if (attempt < attempts) {
         if (options_.collect_metrics) ++metrics_.retries;
+        backoff_before_retry(retry, attempt, instance,
+                             guard ? &*guard : nullptr);
         continue;
+      }
+      // Final-attempt downgrade: when every full-pipeline attempt
+      // faulted, the policy may answer on the approximate path instead of
+      // reporting the instance failed (result tagged degraded).
+      if (retry.degrade_final_attempt) {
+        try {
+          solve_degraded_into(jobs, options, out);
+          return std::nullopt;
+        } catch (const std::exception& degraded_error) {
+          if (options_.collect_metrics) ++metrics_.pipeline_faults;
+          return run_report(diag::rules::kRunPipelineFault,
+                            degraded_error.what(), instance);
+        }
       }
       if (options_.collect_metrics) ++metrics_.pipeline_faults;
       return run_report(diag::rules::kRunPipelineFault, e.what(), instance);

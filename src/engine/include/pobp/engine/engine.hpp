@@ -37,6 +37,7 @@
 
 #include "pobp/core/pobp.hpp"
 #include "pobp/engine/metrics.hpp"
+#include "pobp/engine/resilience.hpp"
 #include "pobp/engine/submit.hpp"
 #include "pobp/util/budget.hpp"
 #include "pobp/util/thread_annotations.hpp"
@@ -71,6 +72,15 @@ struct EngineOptions {
   /// deadline faults are never retried (they would fail identically or
   /// blow through the deadline again).
   std::size_t max_retries = 0;
+
+  /// Retry discipline for contained pipeline faults: attempts beyond the
+  /// first wait a deterministic capped-exponential backoff (jitter seeded
+  /// by the instance id, so replay is byte-identical) and draw from the
+  /// *same* SolveBudget as the first attempt — retrying never spends
+  /// beyond the request's limits.  `max_retries` above predates this
+  /// policy; the effective attempt cap is
+  /// max(retry.max_attempts, max_retries + 1).
+  RetryPolicy retry = {};
 
   /// Fault-injection trigger spec (see pobp/util/faultinject.hpp), armed
   /// process-wide at Engine construction.  Empty = arm from the

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "pobp/engine/engine.hpp"
+#include "pobp/engine/resilience.hpp"
 #include "pobp/engine/submit.hpp"
 
 namespace pobp {
@@ -43,7 +44,7 @@ namespace pobp {
 struct StreamOptions {
   /// Options for the embedded Engine (workers, schedule, budget, degrade,
   /// validation, fault injection).
-  EngineOptions engine;
+  EngineOptions engine = {};
 
   /// Submission queue capacity (rounded up to a power of two).  A full
   /// queue blocks submit() and sheds try_submit().
@@ -61,6 +62,22 @@ struct StreamOptions {
   /// is ≥ ¾ full on the degraded path (value guarantee forfeited, request
   /// still answered).  kNone disables the tier.
   DegradePolicy overload_degrade = DegradePolicy::kNone;
+
+  /// Default per-tenant admission rate (POBP-RUN-006); disabled by
+  /// default so replayed streams stay byte-identical.  A tenant's first
+  /// submission carrying SubmitOptions::rate_limit overrides this for
+  /// that tenant.
+  RateLimit tenant_rate = {};
+
+  /// Per-tenant circuit breaker over contained pipeline faults
+  /// (POBP-RUN-007); disabled by default.  (Retry/backoff for those same
+  /// faults is configured on `engine.retry`.)
+  BreakerPolicy breaker = {};
+
+  /// Pump-progress watchdog: detects stalls (pending work without
+  /// completion progress for >= stall_s) and degrades new admissions
+  /// until progress resumes; disabled by default.
+  WatchdogPolicy watchdog = {};
 };
 
 /// Per-tenant serving counters (monotonic since construction).
@@ -70,7 +87,12 @@ struct TenantStats {
   std::uint64_t failed = 0;          ///< outcomes that carried a report
   std::uint64_t rejected_quota = 0;  ///< POBP-RUN-005 at admission
   std::uint64_t shed = 0;            ///< POBP-RUN-004 at admission
-  std::uint64_t degraded = 0;        ///< solved on the overload tier
+  std::uint64_t degraded = 0;        ///< solved on the degraded tier
+  std::uint64_t rejected_rate = 0;   ///< POBP-RUN-006 at admission
+  std::uint64_t rejected_breaker = 0;  ///< POBP-RUN-007 at admission
+  std::uint64_t breaker_trips = 0;     ///< closed → open transitions
+  BreakerState breaker_state = BreakerState::kClosed;
+  LatencySnapshot latency = {};  ///< admission → completion, completed only
 };
 
 class StreamEngine {
@@ -115,6 +137,17 @@ class StreamEngine {
   /// Per-tenant counters, sorted by tenant name (deterministic order).
   [[nodiscard]] std::vector<std::pair<std::string, TenantStats>>
   tenant_stats() const;
+
+  /// Watchdog health snapshot (kHealthy whenever the watchdog is
+  /// disabled).
+  [[nodiscard]] HealthState health() const;
+
+  /// Stall episodes the watchdog has detected since construction.
+  [[nodiscard]] std::uint64_t watchdog_stalls() const;
+
+  /// Deterministic JSON rendering of health + tenant_stats() including
+  /// the latency histograms — the `pobp serve --stats` dump.
+  [[nodiscard]] std::string stats_json() const;
 
   /// Racy occupancy estimate of the submission queue.
   [[nodiscard]] std::size_t queue_depth() const;

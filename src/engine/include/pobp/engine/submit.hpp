@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "pobp/diag/diagnostic.hpp"
+#include "pobp/engine/resilience.hpp"
 #include "pobp/util/budget.hpp"
 
 namespace pobp {
@@ -38,10 +39,10 @@ enum class DegradePolicy {
 /// EngineOptions", so `SubmitOptions{}` reproduces the engine defaults.
 struct SubmitOptions {
   /// Per-request budget override (nullopt = EngineOptions::budget).
-  std::optional<SolveBudget> budget;
+  std::optional<SolveBudget> budget = {};
 
   /// Per-request degrade policy override (nullopt = EngineOptions::degrade).
-  std::optional<DegradePolicy> degrade;
+  std::optional<DegradePolicy> degrade = {};
 
   /// End-to-end request deadline in seconds (0 = none).  On the batch
   /// paths it tightens the effective SolveBudget deadline; on the
@@ -51,7 +52,12 @@ struct SubmitOptions {
   double deadline_s = 0;
 
   /// Tenant id for quota accounting and per-tenant stats ("" = "default").
-  std::string tenant;
+  std::string tenant = {};
+
+  /// Per-tenant admission rate override (POBP-RUN-006, streaming path
+  /// only): the tenant's first submission carrying one configures that
+  /// tenant's token bucket in place of StreamOptions::tenant_rate.
+  std::optional<RateLimit> rate_limit = {};
 
   /// Invoked (serialized, in instance order at the end of the batch) for
   /// every instance that produced a diag::Report instead of a result.

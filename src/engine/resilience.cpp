@@ -1,0 +1,252 @@
+#include "pobp/engine/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pobp {
+namespace {
+
+/// SplitMix64 finalizer: one well-mixed 64-bit word from (seed, attempt)
+/// without constructing a full generator per retry.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double unit_interval(std::uint64_t word) {
+  // 53 high bits → [0, 1) with full double precision.
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+// --- retry / backoff --------------------------------------------------------
+
+double retry_backoff_s(const RetryPolicy& policy, std::size_t attempt,
+                       std::uint64_t seed) {
+  if (attempt == 0 || policy.base_backoff_s <= 0) return 0;
+  // Exponential growth capped before the jitter so the cap is the *mean*
+  // ceiling; the exponent is clamped to keep ldexp out of inf territory
+  // on absurd attempt counts.
+  const int exponent = static_cast<int>(std::min<std::size_t>(attempt - 1, 62));
+  const double uncapped = std::ldexp(policy.base_backoff_s, exponent);
+  const double capped = std::min(
+      uncapped, std::max(policy.max_backoff_s, policy.base_backoff_s));
+  const double jitter = std::clamp(policy.jitter_frac, 0.0, 1.0);
+  const std::uint64_t word =
+      mix64(seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(attempt));
+  const double factor = 1.0 + jitter * (2.0 * unit_interval(word) - 1.0);
+  return std::max(0.0, capped * factor);
+}
+
+// --- token bucket -----------------------------------------------------------
+
+void TokenBucket::configure(const RateLimit& limit, double now_s) {
+  const util::MutexLock lock(mutex_);
+  limit_ = limit;
+  limit_.burst = std::max(limit.burst, 1.0);
+  tokens_ = limit_.burst;
+  refilled_at_s_ = now_s;
+}
+
+void TokenBucket::refill(double now_s) {
+  if (now_s > refilled_at_s_) {
+    tokens_ = std::min(limit_.burst,
+                       tokens_ + (now_s - refilled_at_s_) * limit_.tokens_per_s);
+  }
+  refilled_at_s_ = now_s;
+}
+
+bool TokenBucket::try_acquire(double now_s) {
+  const util::MutexLock lock(mutex_);
+  if (!limit_.enabled()) return true;
+  refill(now_s);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::available(double now_s) const {
+  const util::MutexLock lock(mutex_);
+  if (!limit_.enabled()) return 0;
+  if (now_s <= refilled_at_s_) return tokens_;
+  return std::min(limit_.burst,
+                  tokens_ + (now_s - refilled_at_s_) * limit_.tokens_per_s);
+}
+
+bool TokenBucket::enabled() const {
+  const util::MutexLock lock(mutex_);
+  return limit_.enabled();
+}
+
+// --- circuit breaker --------------------------------------------------------
+
+std::string_view to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+void CircuitBreaker::configure(const BreakerPolicy& policy) {
+  const util::MutexLock lock(mutex_);
+  policy_ = policy;
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  probes_issued_ = 0;
+  probe_successes_ = 0;
+}
+
+void CircuitBreaker::trip(double now_s) {
+  state_ = BreakerState::kOpen;
+  opened_at_s_ = now_s;
+  consecutive_failures_ = 0;
+  probes_issued_ = 0;
+  probe_successes_ = 0;
+  ++trips_;
+}
+
+void CircuitBreaker::maybe_half_open(double now_s) {
+  if (state_ == BreakerState::kOpen &&
+      now_s - opened_at_s_ >= policy_.cooldown_s) {
+    state_ = BreakerState::kHalfOpen;
+    probes_issued_ = 0;
+    probe_successes_ = 0;
+  }
+}
+
+bool CircuitBreaker::try_admit(double now_s) {
+  const util::MutexLock lock(mutex_);
+  if (!policy_.enabled()) return true;
+  maybe_half_open(now_s);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return false;
+    case BreakerState::kHalfOpen:
+      if (probes_issued_ >= std::max<std::size_t>(1, policy_.half_open_probes))
+        return false;
+      ++probes_issued_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_abandoned() {
+  const util::MutexLock lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen && probes_issued_ > 0) {
+    --probes_issued_;
+  }
+}
+
+void CircuitBreaker::on_success() {
+  const util::MutexLock lock(mutex_);
+  if (!policy_.enabled()) return;
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    ++probe_successes_;
+    if (probe_successes_ >= std::max<std::size_t>(1, policy_.success_to_close)) {
+      state_ = BreakerState::kClosed;
+      probes_issued_ = 0;
+      probe_successes_ = 0;
+    }
+  }
+}
+
+void CircuitBreaker::on_failure(double now_s) {
+  const util::MutexLock lock(mutex_);
+  if (!policy_.enabled()) return;
+  if (state_ == BreakerState::kHalfOpen) {
+    trip(now_s);  // a failed probe re-opens immediately
+    return;
+  }
+  if (state_ == BreakerState::kClosed) {
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= policy_.failure_threshold) trip(now_s);
+  }
+}
+
+BreakerState CircuitBreaker::state(double now_s) const {
+  const util::MutexLock lock(mutex_);
+  if (state_ == BreakerState::kOpen &&
+      now_s - opened_at_s_ >= policy_.cooldown_s) {
+    return BreakerState::kHalfOpen;  // what the next try_admit will see
+  }
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  const util::MutexLock lock(mutex_);
+  return trips_;
+}
+
+bool CircuitBreaker::enabled() const {
+  const util::MutexLock lock(mutex_);
+  return policy_.enabled();
+}
+
+// --- watchdog health --------------------------------------------------------
+
+std::string_view to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kStalled:
+      return "stalled";
+  }
+  return "unknown";
+}
+
+// --- latency histogram ------------------------------------------------------
+
+void LatencyHistogram::record(double seconds) {
+  const double micros = std::max(0.0, seconds * 1e6);
+  std::size_t bucket = 0;
+  // Bucket i covers [2^i, 2^(i+1)) µs; everything below 1 µs lands in
+  // bucket 0 and everything at or beyond 2^31 µs (~36 min) in the last.
+  while (bucket + 1 < LatencySnapshot::kBuckets &&
+         micros >= static_cast<double>(std::uint64_t{2} << bucket)) {
+    ++bucket;
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencySnapshot LatencyHistogram::snapshot() const {
+  LatencySnapshot snap;
+  for (std::size_t i = 0; i < LatencySnapshot::kBuckets; ++i) {
+    snap.buckets[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  if (snap.count == 0) return snap;
+  const auto quantile = [&](double q) {
+    const double target = q * static_cast<double>(snap.count);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < LatencySnapshot::kBuckets; ++i) {
+      seen += snap.buckets[i];
+      if (static_cast<double>(seen) >= target) {
+        // Report the bucket's upper edge: a conservative (never
+        // understated) quantile.
+        return static_cast<double>(std::uint64_t{2} << i) / 1e3;  // ms
+      }
+    }
+    return static_cast<double>(std::uint64_t{2}
+                               << (LatencySnapshot::kBuckets - 1)) /
+           1e3;
+  };
+  snap.p50_ms = quantile(0.50);
+  snap.p95_ms = quantile(0.95);
+  snap.p99_ms = quantile(0.99);
+  return snap;
+}
+
+}  // namespace pobp

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -24,6 +25,41 @@ std::future<SolveOutcome> resolved(diag::Report report) {
   return promise.get_future();
 }
 
+/// Shortest deterministic rendering for the stats JSON (not a replay-
+/// gated format, but kept stable anyway).
+std::string json_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Tenant ids come off the wire, so a hostile frame can carry quotes,
+/// backslashes or control bytes — escape them or stats_json() stops
+/// being valid JSON.
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 struct StreamEngine::Impl {
@@ -38,6 +74,13 @@ struct StreamEngine::Impl {
     std::atomic<std::uint64_t> shed{0};
     std::atomic<std::uint64_t> degraded{0};
     std::atomic<std::uint64_t> in_flight{0};
+    std::atomic<std::uint64_t> rejected_rate{0};     ///< POBP-RUN-006
+    std::atomic<std::uint64_t> rejected_breaker{0};  ///< POBP-RUN-007
+    /// First SubmitOptions::rate_limit override wins (sticky).
+    std::atomic<bool> rate_overridden{false};
+    TokenBucket bucket;
+    CircuitBreaker breaker;
+    LatencyHistogram latency;  ///< admission → completion
   };
 
   /// One admitted request, owned by the queue between push and pop.
@@ -73,20 +116,45 @@ struct StreamEngine::Impl {
   mutable std::mutex tenants_mutex;
   std::map<std::string, std::unique_ptr<Tenant>> tenants;
 
+  /// Watchdog health (stored as int for the atomic; kHealthy when the
+  /// watchdog is disabled) and total stall detections.
+  std::atomic<int> health_state{static_cast<int>(HealthState::kHealthy)};
+  std::atomic<std::uint64_t> stall_count{0};
+  std::condition_variable watchdog_cv;  ///< watchdog sleeps between polls
+
+  /// Monotonic time origin for the resilience clocks (token buckets,
+  /// breaker cooldowns): seconds since Impl construction.
+  const std::chrono::steady_clock::time_point epoch{
+      std::chrono::steady_clock::now()};
+
   std::thread pump;
+  std::thread watchdog;
 
   explicit Impl(StreamOptions opts)
       : options(std::move(opts)),
         engine(options.engine),
         queue(options.queue_capacity) {
     pump = std::thread([this] { pump_loop(); });
+    if (options.watchdog.enabled()) {
+      watchdog = std::thread([this] { watchdog_loop(); });
+    }
+  }
+
+  [[nodiscard]] double now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
   }
 
   Tenant& tenant_for(const std::string& name) {
     const std::string& key = name.empty() ? kDefaultTenant : name;
     std::lock_guard<std::mutex> lock(tenants_mutex);
     std::unique_ptr<Tenant>& slot = tenants[key];
-    if (!slot) slot = std::make_unique<Tenant>();
+    if (!slot) {
+      slot = std::make_unique<Tenant>();
+      slot->bucket.configure(options.tenant_rate, now_s());
+      slot->breaker.configure(options.breaker);
+    }
     return *slot;
   }
 
@@ -99,6 +167,25 @@ struct StreamEngine::Impl {
                                   SubmitOptions submit, bool blocking) {
     Tenant& tenant = tenant_for(submit.tenant);
     tenant.submitted.fetch_add(1, std::memory_order_relaxed);
+
+    // Per-tenant rate limit (POBP-RUN-006), layered before the in-flight
+    // quota: a tenant's first submission carrying a rate_limit override
+    // reconfigures its bucket (sticky — later overrides are ignored, so
+    // racing producers see one consistent limit).
+    if (submit.rate_limit.has_value() &&
+        !tenant.rate_overridden.exchange(true, std::memory_order_acq_rel)) {
+      tenant.bucket.configure(*submit.rate_limit, now_s());
+    }
+    if (!tenant.bucket.try_acquire(now_s())) {
+      tenant.rejected_rate.fetch_add(1, std::memory_order_relaxed);
+      diag::Report report;
+      report
+          .add(std::string(diag::rules::kRunRateLimited),
+               "tenant rate limit exceeded; resubmit after the bucket "
+               "refills")
+          .with("tenant", std::string(tenant_name(submit)));
+      return resolved(std::move(report));
+    }
 
     // Tenant quota: reserve an in-flight slot with a CAS so two racing
     // submissions can never both slip under the cap.
@@ -126,6 +213,21 @@ struct StreamEngine::Impl {
       }
     }
 
+    // Circuit breaker (POBP-RUN-007), last before the queue so an
+    // admitted-then-shed request can return its half-open probe slot.
+    if (!tenant.breaker.try_admit(now_s())) {
+      tenant.rejected_breaker.fetch_add(1, std::memory_order_relaxed);
+      if (quota > 0) tenant.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      diag::Report report;
+      report
+          .add(std::string(diag::rules::kRunBreakerOpen),
+               "tenant circuit breaker open after consecutive pipeline "
+               "faults; resubmit after the cooldown")
+          .with("tenant", std::string(tenant_name(submit)))
+          .with("state", std::string(to_string(tenant.breaker.state(now_s()))));
+      return resolved(std::move(report));
+    }
+
     auto request = std::make_unique<Request>();
     request->jobs = std::move(jobs);
     request->schedule = schedule;
@@ -133,8 +235,13 @@ struct StreamEngine::Impl {
     request->tenant = &tenant;
     request->id = next_id.fetch_add(1, std::memory_order_relaxed);
     request->degraded_tier =
-        options.overload_degrade == DegradePolicy::kApproximate &&
-        queue.size_approx() * 4 >= queue.capacity() * 3;
+        (options.overload_degrade == DegradePolicy::kApproximate &&
+         queue.size_approx() * 4 >= queue.capacity() * 3) ||
+        // Watchdog graceful degradation: while the pump is stalled, new
+        // admissions answer on the cheap path instead of deepening the
+        // backlog at full fidelity.
+        health_state.load(std::memory_order_relaxed) ==
+            static_cast<int>(HealthState::kStalled);
     request->admitted = std::chrono::steady_clock::now();
     std::future<SolveOutcome> future = request->promise.get_future();
 
@@ -152,6 +259,7 @@ struct StreamEngine::Impl {
     }
     if (!pushed) {
       tenant.shed.fetch_add(1, std::memory_order_relaxed);
+      tenant.breaker.on_abandoned();  // return a half-open probe slot
       if (quota > 0) tenant.in_flight.fetch_sub(1, std::memory_order_acq_rel);
       diag::Report report;
       report
@@ -205,17 +313,77 @@ struct StreamEngine::Impl {
     } else if (request.degraded_tier) {
       outcome.emplace(session.try_solve_degraded(
           request.jobs, request.schedule, request.id));
-      if (outcome->has_value()) {
-        request.tenant->degraded.fetch_add(1, std::memory_order_relaxed);
-      }
     } else {
       outcome.emplace(session.try_solve(request.jobs, request.schedule,
                                         submit, request.id));
     }
-    if (!outcome->has_value()) {
+    if (outcome->has_value()) {
+      // Counts every degraded answer: the overload tier, the watchdog
+      // tier, budget fallbacks and retry final-attempt downgrades alike.
+      if (outcome->value().degraded) {
+        request.tenant->degraded.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
       request.tenant->failed.fetch_add(1, std::memory_order_relaxed);
     }
+    // Breaker feedback: only contained pipeline faults (POBP-RUN-001)
+    // are evidence of an unhealthy pipeline; budget / deadline verdicts
+    // are the request's own outcome and count as successes here.
+    const bool pipeline_fault =
+        !outcome->has_value() &&
+        outcome->error().count(diag::rules::kRunPipelineFault) > 0;
+    if (pipeline_fault) {
+      request.tenant->breaker.on_failure(now_s());
+    } else {
+      request.tenant->breaker.on_success();
+    }
+    request.tenant->latency.record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      request.admitted)
+            .count());
     request.promise.set_value(std::move(*outcome));
+  }
+
+  /// Watchdog: polls completion progress; pending work without progress
+  /// for >= stall_s marks the engine stalled (new admissions degrade),
+  /// resumed progress recovers through kDegraded back to kHealthy.
+  void watchdog_loop() {
+    const WatchdogPolicy& policy = options.watchdog;
+    std::uint64_t last_done = completed.load(std::memory_order_acquire);
+    double stalled_for = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(wait_mutex);
+        watchdog_cv.wait_for(
+            lock, std::chrono::duration<double>(policy.poll_interval_s),
+            [&] { return stopping.load(std::memory_order_acquire); });
+      }
+      if (stopping.load(std::memory_order_acquire)) return;
+      const std::uint64_t done = completed.load(std::memory_order_acquire);
+      const bool pending = enqueued.load(std::memory_order_acquire) > done ||
+                           !queue.empty_approx();
+      if (done != last_done || !pending) {
+        last_done = done;
+        stalled_for = 0;
+        if (!pending) {
+          health_state.store(static_cast<int>(HealthState::kHealthy),
+                             std::memory_order_relaxed);
+        } else if (health_state.load(std::memory_order_relaxed) ==
+                   static_cast<int>(HealthState::kStalled)) {
+          health_state.store(static_cast<int>(HealthState::kDegraded),
+                             std::memory_order_relaxed);
+        }
+      } else {
+        stalled_for += policy.poll_interval_s;
+        if (stalled_for >= policy.stall_s &&
+            health_state.load(std::memory_order_relaxed) !=
+                static_cast<int>(HealthState::kStalled)) {
+          health_state.store(static_cast<int>(HealthState::kStalled),
+                             std::memory_order_relaxed);
+          stall_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
   }
 
   void pump_loop() {
@@ -282,7 +450,9 @@ StreamEngine::~StreamEngine() {
   }
   impl_->pump_cv.notify_all();
   impl_->space_cv.notify_all();
+  impl_->watchdog_cv.notify_all();
   impl_->pump.join();
+  if (impl_->watchdog.joinable()) impl_->watchdog.join();
 }
 
 std::future<SolveOutcome> StreamEngine::submit(JobSet jobs,
@@ -348,9 +518,67 @@ std::vector<std::pair<std::string, TenantStats>> StreamEngine::tenant_stats()
     s.rejected_quota = tenant->rejected_quota.load(std::memory_order_relaxed);
     s.shed = tenant->shed.load(std::memory_order_relaxed);
     s.degraded = tenant->degraded.load(std::memory_order_relaxed);
+    s.rejected_rate = tenant->rejected_rate.load(std::memory_order_relaxed);
+    s.rejected_breaker =
+        tenant->rejected_breaker.load(std::memory_order_relaxed);
+    s.breaker_trips = tenant->breaker.trips();
+    s.breaker_state = tenant->breaker.state(impl_->now_s());
+    s.latency = tenant->latency.snapshot();
     stats.emplace_back(name, s);
   }
   return stats;
+}
+
+HealthState StreamEngine::health() const {
+  return static_cast<HealthState>(
+      impl_->health_state.load(std::memory_order_relaxed));
+}
+
+std::uint64_t StreamEngine::watchdog_stalls() const {
+  return impl_->stall_count.load(std::memory_order_relaxed);
+}
+
+std::string StreamEngine::stats_json() const {
+  std::string out = "{\"health\":\"";
+  out += to_string(health());
+  out += "\",\"watchdog_stalls\":";
+  out += std::to_string(watchdog_stalls());
+  out += ",\"tenants\":{";
+  bool first_tenant = true;
+  for (const auto& [name, s] : tenant_stats()) {
+    if (!first_tenant) out += ',';
+    first_tenant = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":{\"submitted\":" + std::to_string(s.submitted);
+    out += ",\"completed\":" + std::to_string(s.completed);
+    out += ",\"failed\":" + std::to_string(s.failed);
+    out += ",\"rejected_quota\":" + std::to_string(s.rejected_quota);
+    out += ",\"shed\":" + std::to_string(s.shed);
+    out += ",\"degraded\":" + std::to_string(s.degraded);
+    out += ",\"rejected_rate\":" + std::to_string(s.rejected_rate);
+    out += ",\"rejected_breaker\":" + std::to_string(s.rejected_breaker);
+    out += ",\"breaker_trips\":" + std::to_string(s.breaker_trips);
+    out += ",\"breaker_state\":\"";
+    out += to_string(s.breaker_state);
+    out += "\",\"latency\":{\"count\":" + std::to_string(s.latency.count);
+    out += ",\"p50_ms\":" + json_double(s.latency.p50_ms);
+    out += ",\"p95_ms\":" + json_double(s.latency.p95_ms);
+    out += ",\"p99_ms\":" + json_double(s.latency.p99_ms);
+    out += ",\"buckets\":[";
+    // Trailing zero buckets trimmed; bucket i covers [2^i, 2^(i+1)) µs.
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < s.latency.buckets.size(); ++i) {
+      if (s.latency.buckets[i] != 0) last = i + 1;
+    }
+    for (std::size_t i = 0; i < last; ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(s.latency.buckets[i]);
+    }
+    out += "]}}";
+  }
+  out += "}}";
+  return out;
 }
 
 std::size_t StreamEngine::queue_depth() const {

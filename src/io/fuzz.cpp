@@ -1,0 +1,38 @@
+#include "pobp/io/fuzz.hpp"
+
+#include <iterator>
+
+namespace pobp::io {
+
+std::string fuzz_mutate_line(std::string text, Rng& rng) {
+  static const char* const kTokens[] = {
+      "nan",  "inf",  "-inf", "1e999", "-1e999", "9223372036854775807",
+      "-9223372036854775808", "99999999999999999999", ",", ",,", "\n",
+      "-",    ".",    "#",    "e",     "\"",      "{",  "[",  "1.5",
+  };
+  const int edits = 1 + static_cast<int>(rng.uniform_int(0, 7));
+  for (int e = 0; e < edits && !text.empty(); ++e) {
+    const std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // flip one byte to a random printable character
+        text[pos] = static_cast<char>(' ' + rng.uniform_int(0, 94));
+        break;
+      case 1:  // delete one byte
+        text.erase(pos, 1);
+        break;
+      case 2:  // insert a random byte
+        text.insert(pos, 1, static_cast<char>(' ' + rng.uniform_int(0, 94)));
+        break;
+      default:  // splice in a hostile numeric/structural token
+        text.insert(
+            pos,
+            kTokens[rng.uniform_int(
+                0, static_cast<std::int64_t>(std::size(kTokens)) - 1)]);
+        break;
+    }
+  }
+  return text;
+}
+
+}  // namespace pobp::io

@@ -1,0 +1,24 @@
+// Shared input mutator for the IO robustness fuzz suites and the
+// `pobp chaos` harness: random byte edits plus hostile numeric /
+// structural token splices, driven by the deterministic pobp::Rng so
+// every fuzz failure replays from its seed.
+//
+// The mutations are format-agnostic on purpose — the same operator set
+// exercises the CSV loaders, the JSONL instance loader and the serve wire
+// protocol, and a mutated line that happens to stay well-formed is just
+// as valuable (the parser must *accept* it and the downstream checks must
+// still hold).
+#pragma once
+
+#include <string>
+
+#include "pobp/util/rng.hpp"
+
+namespace pobp::io {
+
+/// Returns `text` with 1–8 random edits: byte flips, deletions,
+/// insertions, and splices of hostile tokens (nan/inf/overflowing
+/// integers/structural punctuation).  Deterministic in (text, rng state).
+[[nodiscard]] std::string fuzz_mutate_line(std::string text, Rng& rng);
+
+}  // namespace pobp::io

@@ -50,11 +50,27 @@ struct ServeRequest {
   bool want_schedule = false;           ///< echo the schedule CSV
 };
 
+/// Default ceiling on one request line (1 MiB).  Oversized lines are
+/// rejected with POBP-IO-001 *before* parsing, so a hostile stream cannot
+/// make the server buffer or scan unbounded frames.
+inline constexpr std::size_t kDefaultMaxLineBytes = std::size_t{1} << 20;
+
+/// Sanity ceilings on the per-request overrides.  A corrupted frame
+/// asking for 2^60 machines would otherwise make the solver allocate a
+/// machine array of that size; past these caps the request is rejected
+/// in-band with POBP-IO-002.  Both are far beyond any meaningful value
+/// (the paper's regime is k, m = O(log n)).
+inline constexpr std::size_t kMaxWireK = std::size_t{1} << 20;
+inline constexpr std::size_t kMaxWireMachines = 4096;
+
 /// Parses one JSONL request line (1-based `line_no` for error reports and
-/// the fallback id).  Malformed lines come back as POBP-IO-001/-002/-003
-/// reports — one bad request never kills the stream.
+/// the fallback id).  Malformed, truncated, too-deeply-nested or (beyond
+/// `max_line_bytes`; 0 = unlimited) oversized lines come back as
+/// POBP-IO-001/-002/-003 reports — one bad request never kills the
+/// stream, and nothing on this path throws past the boundary.
 [[nodiscard]] Expected<ServeRequest, diag::Report> try_parse_serve_request(
-    const std::string& line, std::size_t line_no);
+    const std::string& line, std::size_t line_no,
+    std::size_t max_line_bytes = kDefaultMaxLineBytes);
 
 /// The ScheduleResult fields a success frame carries (kept primitive so io
 /// stays below core in the layer map).

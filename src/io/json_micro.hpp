@@ -90,6 +90,16 @@ class JsonReader {
   }
 
   JsonValue value() {
+    // Containers recurse; a hostile line of 100k '[' would otherwise
+    // overflow the stack.  64 levels is far beyond any legitimate frame.
+    if (depth_ >= kMaxDepth) fail("JSON nested deeper than 64 levels");
+    ++depth_;
+    JsonValue v = value_inner();
+    --depth_;
+    return v;
+  }
+
+  JsonValue value_inner() {
     skip_ws();
     JsonValue v;
     switch (peek()) {
@@ -193,9 +203,12 @@ class JsonReader {
     return v;
   }
 
+  static constexpr std::size_t kMaxDepth = 64;
+
   const std::string& text_;
   std::size_t line_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 // ParseError refinements so the fault-contained loaders can classify a

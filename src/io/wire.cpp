@@ -92,11 +92,20 @@ ServeRequest parse_serve_request(const std::string& line,
     request.jobs.add(job_from_json(j, line_no));
   }
   if (const JsonValue* k = v.find("k")) {
-    request.k = static_cast<std::size_t>(to_count(*k, "k", line_no));
+    const std::uint64_t count = to_count(*k, "k", line_no);
+    if (count > kMaxWireK) {
+      throw NumericError(line_no, "k exceeds the wire cap of " +
+                                      std::to_string(kMaxWireK));
+    }
+    request.k = static_cast<std::size_t>(count);
   }
   if (const JsonValue* machines = v.find("machines")) {
-    request.machines =
-        static_cast<std::size_t>(to_count(*machines, "machines", line_no));
+    const std::uint64_t count = to_count(*machines, "machines", line_no);
+    if (count > kMaxWireMachines) {
+      throw NumericError(line_no, "machines exceeds the wire cap of " +
+                                      std::to_string(kMaxWireMachines));
+    }
+    request.machines = static_cast<std::size_t>(count);
   }
   if (const JsonValue* deadline = v.find("deadline_ms")) {
     if (deadline->kind != JsonValue::Kind::kNumber ||
@@ -132,7 +141,18 @@ diag::Report report_one(std::string_view rule, const ParseError& e) {
 }  // namespace
 
 Expected<ServeRequest, diag::Report> try_parse_serve_request(
-    const std::string& line, std::size_t line_no) {
+    const std::string& line, std::size_t line_no,
+    std::size_t max_line_bytes) {
+  if (max_line_bytes > 0 && line.size() > max_line_bytes) {
+    diag::Report report;
+    report
+        .add(std::string(diag::rules::kIoParse),
+             "request line exceeds " + std::to_string(max_line_bytes) +
+                 " bytes")
+        .with("line", line_no)
+        .with("bytes", line.size());
+    return Unexpected{std::move(report)};
+  }
   try {
     return parse_serve_request(line, line_no);
   } catch (const NumericError& e) {

@@ -19,6 +19,9 @@
 //                 boundaries
 //   POBP-SRC-007  blocking syscalls/primitives in the lock-free MPSC
 //                 submission hot path (engine/submit)
+//   POBP-SRC-008  sleep-backoff loops in src/engine/ without a visible
+//                 bound (BudgetGuard poll/charge or an attempt cap) — an
+//                 unbounded retry spins forever on a persistent fault
 //
 // Every rule is suppressible at a site with `// POBP-SRC-nnn: reason` on
 // the finding's line or the line above.

@@ -371,6 +371,92 @@ void check_blocking_submit(const SourceFile& file, diag::Report& report) {
   }
 }
 
+// --- SRC-008: unbounded sleep-retry loops in the engine ---------------------
+
+// A retry loop that sleeps between attempts must carry a visible bound:
+// either the budget layer (BudgetGuard poll()/charge() raises past the
+// deadline) or an attempt cap.  Without one, a persistent fault turns the
+// loop into an infinite backoff spin that drain() can never finish.
+constexpr std::string_view kEngineScope = "src/engine/";
+
+// Sleeping when *called*: identifier followed by `(`.  Condition-variable
+// waits are exempt — they park on a predicate, not a blind clock.
+constexpr std::string_view kSleepCalls[] = {
+    "nanosleep", "sleep", "sleep_for", "sleep_until", "usleep",
+};
+
+/// True when an identifier inside the loop span evidences a bound: a
+/// BudgetGuard poll/charge or anything attempt/retry-shaped (`attempt`,
+/// `attempts`, `max_attempts`, `max_retries`, `retries_left`, ...).
+bool is_retry_bound_marker(std::string_view name) {
+  if (name == "poll" || name == "charge") return true;
+  return name.find("attempt") != std::string_view::npos ||
+         name.find("retries") != std::string_view::npos;
+}
+
+/// Token index one past the matching close of the bracket at `open`
+/// (`(`/`)` or `{`/`}`), or toks.size() when unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open,
+                          char open_c, char close_c) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open_c)) ++depth;
+    if (is_punct(toks[i], close_c) && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+void check_unbounded_retry(const SourceFile& file, diag::Report& report) {
+  if (!starts_with(file.path, kEngineScope)) return;
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const bool is_for = is_ident(toks[i], "for");
+    const bool is_while = is_ident(toks[i], "while");
+    if (!is_for && !is_while) continue;
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], '(')) continue;
+    // (`} while (...)` of a do-loop degenerates to an empty span here and
+    // is skipped — the sleeping body was already scanned as plain tokens.)
+    // Header `( ... )`, then either a `{ ... }` body or one statement.
+    std::size_t body = skip_balanced(toks, i + 1, '(', ')');
+    std::size_t end;
+    if (body < toks.size() && is_punct(toks[body], '{')) {
+      end = skip_balanced(toks, body, '{', '}');
+    } else {
+      end = body;
+      while (end < toks.size() && !is_punct(toks[end], ';')) ++end;
+    }
+    // Does the loop body sleep?
+    std::size_t sleep_at = 0;
+    for (std::size_t j = body; j < end && j + 1 < toks.size(); ++j) {
+      if (toks[j].kind == TokenKind::kIdentifier &&
+          is_punct(toks[j + 1], '(') &&
+          std::find(std::begin(kSleepCalls), std::end(kSleepCalls),
+                    toks[j].text) != std::end(kSleepCalls)) {
+        sleep_at = j;
+        break;
+      }
+    }
+    if (sleep_at == 0) continue;
+    // Bounded?  A marker anywhere in the loop span (header included — the
+    // induction variable of `for (attempt = 1; ...)` counts).
+    bool bounded = false;
+    for (std::size_t j = i; j < end && j < toks.size(); ++j) {
+      if (toks[j].kind == TokenKind::kIdentifier &&
+          is_retry_bound_marker(toks[j].text)) {
+        bounded = true;
+        break;
+      }
+    }
+    if (bounded) continue;
+    emit(file, report, rules::kSrcUnboundedRetry, toks[sleep_at].line,
+         toks[sleep_at].column,
+         "`" + toks[sleep_at].text +
+             "()` retry loop with no visible bound — add a BudgetGuard "
+             "poll()/charge() or an attempt cap so a persistent fault "
+             "cannot spin forever (docs/ROBUSTNESS.md)");
+  }
+}
+
 }  // namespace
 
 void lint_source(const SourceFile& file, const LintOptions& options,
@@ -391,6 +477,7 @@ void lint_source(const SourceFile& file, const LintOptions& options,
     check_containment_throw(file, report);
   }
   if (enabled(rules::kSrcBlockingSubmit)) check_blocking_submit(file, report);
+  if (enabled(rules::kSrcUnboundedRetry)) check_unbounded_retry(file, report);
 }
 
 void lint_file(const std::string& fs_path, std::string rel_path,

@@ -20,6 +20,7 @@ std::atomic_bool g_armed{false};
 
 thread_local std::size_t t_instance = kAnyInstance;
 thread_local std::uint64_t t_counts[kSiteCount] = {};
+thread_local std::size_t t_suppress_depth = 0;
 
 Site parse_site(const std::string& token) {
   for (std::size_t s = 0; s < kSiteCount; ++s) {
@@ -124,8 +125,13 @@ InstanceScope::~InstanceScope() {
   }
 }
 
+SuppressScope::SuppressScope() { ++t_suppress_depth; }
+
+SuppressScope::~SuppressScope() { --t_suppress_depth; }
+
 void hit(Site site) {
   if (!g_armed.load(std::memory_order_acquire)) return;
+  if (t_suppress_depth > 0) return;
   const std::uint64_t count = ++t_counts[static_cast<std::size_t>(site)];
   for (const Trigger& trigger : g_triggers) {
     if (trigger.site != site) continue;

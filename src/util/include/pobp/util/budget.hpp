@@ -22,6 +22,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 
 namespace pobp {
@@ -122,6 +123,16 @@ class BudgetGuard {
 
   [[nodiscard]] std::uint64_t ops() const {
     return ops_.load(std::memory_order_relaxed);
+  }
+
+  /// Seconds until the wall-clock deadline (negative once past it,
+  /// +infinity when the budget has none).  The retry backoff clamps its
+  /// sleeps to this so a retrying solve never dozes past the deadline.
+  [[nodiscard]] double remaining_deadline_s() const {
+    if (deadline_ == Clock::time_point::max()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
   }
   [[nodiscard]] bool expired() const {
     return expired_.load(std::memory_order_relaxed);

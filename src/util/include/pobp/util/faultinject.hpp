@@ -107,6 +107,19 @@ class InstanceScope {
   std::uint64_t previous_counts_[kSiteCount];
 };
 
+/// RAII: suppresses fault points on the calling thread while alive.
+/// For harness/checker code — e.g. the `pobp chaos` differential checks
+/// re-validating answers — that shares fault-instrumented routines with
+/// the system under test but must not trip triggers aimed at it.
+/// Nestable; covers only the calling thread.
+class SuppressScope {
+ public:
+  SuppressScope();
+  ~SuppressScope();
+  SuppressScope(const SuppressScope&) = delete;
+  SuppressScope& operator=(const SuppressScope&) = delete;
+};
+
 /// Records one execution of `site` on this thread and throws if an armed
 /// trigger matches.  Called via POBP_FAULT_POINT; cheap no-trigger path
 /// (one branch on a process-wide flag).  Reads the trigger set lock-free

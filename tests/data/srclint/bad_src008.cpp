@@ -1,0 +1,24 @@
+// srclint fixture: POBP-SRC-008 — sleep-backoff retry loops in the engine
+// with no visible bound.  Linted with --as-path src/engine/backoff.cpp
+// --rule POBP-SRC-008; must yield exit 1 with findings.
+#include <chrono>
+#include <thread>
+
+bool transient_call();
+
+// An unbounded retry: on a persistent fault this spins (and sleeps)
+// forever, so drain() never completes and shutdown hangs.
+void wait_until_it_works() {
+  while (!transient_call()) {                                     // finding
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// Same defect in for-loop clothing — the loop has no induction bound and
+// no BudgetGuard poll to raise past the deadline.
+void retry_forever() {
+  for (;;) {
+    if (transient_call()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));    // finding
+  }
+}

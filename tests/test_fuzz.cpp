@@ -2,13 +2,16 @@
 // two independent implementations together, hammered with random inputs.
 #include <gtest/gtest.h>
 
-#include <iterator>
 #include <string>
 #include <tuple>
+#include <utility>
 
 #include "pobp/pobp.hpp"
 #include "pobp/bas/tm.hpp"
+#include "pobp/diag/registry.hpp"
+#include "pobp/io/fuzz.hpp"
 #include "pobp/io/manifest.hpp"
+#include "pobp/io/wire.hpp"
 #include "pobp/flow/migrative.hpp"
 #include "pobp/io/forest_csv.hpp"
 #include "pobp/reduction/rebuild.hpp"
@@ -194,40 +197,13 @@ TEST_P(ValidatorMutation, RandomMutationsOfFeasibleSchedulesAreCaught) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorMutation,
                          ::testing::Values(351, 352, 353));
 
-// IO robustness fuzz: the loaders are fed randomly mutated inputs.  The
-// throwing API may only ever raise io::ParseError; the try_ API never
+// IO robustness fuzz: the loaders are fed randomly mutated inputs via the
+// shared io::fuzz_mutate_line operator set (also used by `pobp chaos`).
+// The throwing API may only ever raise io::ParseError; the try_ API never
 // throws at all (rule-tagged report instead); neither may abort.  The two
 // APIs must also agree on accept/reject.
 std::string mutate(std::string text, Rng& rng) {
-  static const char* const kTokens[] = {
-      "nan",  "inf",  "-inf", "1e999", "-1e999", "9223372036854775807",
-      "-9223372036854775808", "99999999999999999999", ",", ",,", "\n",
-      "-",    ".",    "#",    "e",     "\"",      "{",  "[",  "1.5",
-  };
-  const int edits = 1 + static_cast<int>(rng.uniform_int(0, 7));
-  for (int e = 0; e < edits && !text.empty(); ++e) {
-    const std::size_t pos = static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
-    switch (rng.uniform_int(0, 3)) {
-      case 0:  // flip one byte to a random printable character
-        text[pos] = static_cast<char>(' ' + rng.uniform_int(0, 94));
-        break;
-      case 1:  // delete one byte
-        text.erase(pos, 1);
-        break;
-      case 2:  // insert a random byte
-        text.insert(pos, 1,
-                    static_cast<char>(' ' + rng.uniform_int(0, 94)));
-        break;
-      default:  // splice in a hostile numeric/structural token
-        text.insert(
-            pos,
-            kTokens[rng.uniform_int(
-                0, static_cast<std::int64_t>(std::size(kTokens)) - 1)]);
-        break;
-    }
-  }
-  return text;
+  return io::fuzz_mutate_line(std::move(text), rng);
 }
 
 class IoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
@@ -289,6 +265,66 @@ TEST_P(IoFuzz, MutatedJsonlNeverAbortsAndApisAgree) {
       threw = true;
     }
     EXPECT_EQ(all_ok, !threw) << "APIs disagree on:\n" << jsonl;
+  }
+}
+
+TEST_P(IoFuzz, MutatedWireFramesNeverThrowAndRejectWithRules) {
+  Rng rng(GetParam() + 3000);
+  const std::string good =
+      "{\"id\": \"req-1\", \"tenant\": \"acme\", \"k\": 1, \"machines\": 2,"
+      " \"deadline_ms\": 50, \"jobs\": [[0,10,4,5.0],[2,7,3,2.5]],"
+      " \"schedule\": true}";
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string line = trial == 0 ? good : mutate(good, rng);
+    // The wire boundary must never throw, whatever the bytes: a rejection
+    // is an in-band rule-tagged report that the CLI turns into an error
+    // frame.
+    const auto outcome = io::try_parse_serve_request(line, 7);
+    if (!outcome.has_value()) {
+      EXPECT_FALSE(outcome.error().ok());
+      EXPECT_FALSE(outcome.error().rule_ids().empty());
+    } else if (trial == 0) {
+      EXPECT_EQ(outcome->id, "req-1");
+      EXPECT_EQ(outcome->jobs.size(), 2u);
+    }
+  }
+}
+
+TEST(WireHardening, OversizedLineIsRejectedBeforeParsing) {
+  // A line past the ceiling must come back POBP-IO-001 without being
+  // scanned — even when its contents would otherwise parse.
+  const std::string big =
+      "{\"jobs\": [[0,10,4,5.0]], \"id\": \"" + std::string(256, 'x') + "\"}";
+  const auto rejected = io::try_parse_serve_request(big, 1, 64);
+  ASSERT_FALSE(rejected.has_value());
+  EXPECT_EQ(rejected.error().count(diag::rules::kIoParse), 1u);
+
+  // 0 = unlimited, and the default ceiling admits normal requests.
+  EXPECT_TRUE(io::try_parse_serve_request(big, 1, 0).has_value());
+  EXPECT_TRUE(io::try_parse_serve_request(big, 1).has_value());
+}
+
+TEST(WireHardening, DeeplyNestedJsonIsRejectedNotOverflowed) {
+  // 4096 nested arrays would previously recurse 4096 frames deep in the
+  // JSON reader; the depth guard turns that into an in-band rejection.
+  std::string line = "{\"jobs\": ";
+  for (int i = 0; i < 4096; ++i) line += '[';
+  for (int i = 0; i < 4096; ++i) line += ']';
+  line += '}';
+  const auto outcome = io::try_parse_serve_request(line, 1, 0);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().count(diag::rules::kIoParse), 1u);
+}
+
+TEST(WireHardening, TruncatedFramesAreRejectedNotCrashed) {
+  const std::string good =
+      "{\"id\": \"req-1\", \"jobs\": [[0,10,4,5.0],[2,7,3,2.5]]}";
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    const auto outcome =
+        io::try_parse_serve_request(good.substr(0, cut), cut + 1);
+    ASSERT_FALSE(outcome.has_value()) << "prefix length " << cut;
+    EXPECT_FALSE(outcome.error().rule_ids().empty());
   }
 }
 

@@ -183,6 +183,53 @@ TEST(Rules, BlockingSubmitScopedToTheQueueFiles) {
                   .ok());
 }
 
+TEST(Rules, UnboundedRetryFlagsSleepLoopsWithoutABound) {
+  // A sleep in a loop with no attempt cap and no budget poll is the
+  // defect; the same loop bounded either way is clean, and the rule is
+  // scoped to src/engine/.
+  const std::string unbounded =
+      "void spin() {\n"
+      "  while (!probe()) {\n"
+      "    std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint("src/engine/x.cpp", unbounded),
+                       diag::rules::kSrcUnboundedRetry),
+            1u);
+  EXPECT_TRUE(lint("src/core/x.cpp", unbounded).ok());  // out of scope
+
+  // Attempt-capped loop: the induction variable is the visible bound.
+  EXPECT_TRUE(lint("src/engine/x.cpp",
+                   "void spin() {\n"
+                   "  for (int attempt = 0; attempt < 5; ++attempt) {\n"
+                   "    std::this_thread::sleep_for(backoff(attempt));\n"
+                   "  }\n"
+                   "}\n")
+                  .ok());
+  // Budget-bounded loop: guard.poll() raises past the deadline.
+  EXPECT_TRUE(lint("src/engine/x.cpp",
+                   "void spin(BudgetGuard& guard) {\n"
+                   "  while (!probe()) {\n"
+                   "    guard.poll();\n"
+                   "    std::this_thread::sleep_for(delay());\n"
+                   "  }\n"
+                   "}\n")
+                  .ok());
+  // A sleep outside any loop is not a retry loop.
+  EXPECT_TRUE(lint("src/engine/x.cpp",
+                   "void pause_once() {\n"
+                   "  std::this_thread::sleep_for(delay());\n"
+                   "}\n")
+                  .ok());
+  // Condition-variable waits are exempt (predicate-parked, not a blind
+  // clock).
+  EXPECT_TRUE(lint("src/engine/x.cpp",
+                   "void park(CV& cv, L& lk) {\n"
+                   "  while (!done()) { cv.wait_for(lk, delay()); }\n"
+                   "}\n")
+                  .ok());
+}
+
 TEST(Rules, InlineSuppressionSilencesOneRuleAtOneSite) {
   const diag::Report report =
       lint("src/core/x.cpp",
@@ -206,7 +253,7 @@ TEST(Registry, SrcRulesAreCatalogued) {
        {diag::rules::kSrcNakedAlloc, diag::rules::kSrcHotPathAlloc,
         diag::rules::kSrcImplicitMemoryOrder, diag::rules::kSrcNondeterminism,
         diag::rules::kSrcLayering, diag::rules::kSrcThrowInContainment,
-        diag::rules::kSrcBlockingSubmit}) {
+        diag::rules::kSrcBlockingSubmit, diag::rules::kSrcUnboundedRetry}) {
     EXPECT_NE(diag::find_rule(id), nullptr) << id;
   }
 }

@@ -4,7 +4,8 @@
 # (when installed), and a pobp_lint smoke run on the known-bad fixtures.
 #
 #   tools/ci_check.sh [--skip-tsan] [--skip-tidy] [--skip-perf]
-#                     [--skip-format] [--lenient-scaling]
+#                     [--skip-format] [--skip-soak] [--soak-seconds N]
+#                     [--lenient-scaling]
 #
 # Presets come from CMakePresets.json; build trees land in
 # build-<preset>/.  The script is self-gating: sanitizers, clang-format or
@@ -26,17 +27,31 @@ SKIP_TSAN=0
 SKIP_TIDY=0
 SKIP_PERF=0
 SKIP_FORMAT=0
+SKIP_SOAK=0
+SOAK_SECONDS=0
 LENIENT_SCALING=0
+expect_soak_seconds=0
 for arg in "$@"; do
+  if [ "$expect_soak_seconds" -eq 1 ]; then
+    SOAK_SECONDS="$arg"
+    expect_soak_seconds=0
+    continue
+  fi
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-tidy) SKIP_TIDY=1 ;;
     --skip-perf) SKIP_PERF=1 ;;
     --skip-format) SKIP_FORMAT=1 ;;
+    --skip-soak) SKIP_SOAK=1 ;;
+    --soak-seconds) expect_soak_seconds=1 ;;
+    --soak-seconds=*) SOAK_SECONDS="${arg#--soak-seconds=}" ;;
     --lenient-scaling) LENIENT_SCALING=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+if [ "$expect_soak_seconds" -eq 1 ]; then
+  echo "--soak-seconds needs a value" >&2; exit 2
+fi
 if [ "$(nproc)" -lt 8 ] && [ "$LENIENT_SCALING" -eq 0 ]; then
   echo "ci_check: runner has $(nproc) cores (< 8): w8 scaling floor demoted" \
        "to a warning; bench_compare will SKIP scaling rows and demote" \
@@ -238,5 +253,50 @@ say "serve smoke (golden replay, workers 1 vs 2)"
         > "$ENGINE_TMP/serve_w2.jsonl"
 diff -u tests/data/serve/golden_responses.jsonl "$ENGINE_TMP/serve_w1.jsonl"
 diff -u "$ENGINE_TMP/serve_w1.jsonl" "$ENGINE_TMP/serve_w2.jsonl"
+
+# 9b. Resilient replay: the same fixture with every resilience knob armed
+#     (retry + breaker + watchdog + a generous rate limit) must stay
+#     byte-identical to the plain golden frames — the determinism contract
+#     of docs/ROBUSTNESS.md — across worker counts.
+say "serve smoke (resilient replay, workers 1 vs 8)"
+RESILIENT_FLAGS=(--retry 3 --retry-backoff-ms 0.1 --retry-degrade
+                 --tenant-rate 1000000 --tenant-burst 1000000
+                 --breaker 5 --breaker-cooldown-ms 10 --watchdog-ms 20)
+"$POBP" serve --workers 1 --quiet "${RESILIENT_FLAGS[@]}" \
+        < tests/data/serve/requests.jsonl > "$ENGINE_TMP/serve_r1.jsonl"
+"$POBP" serve --workers 8 --quiet "${RESILIENT_FLAGS[@]}" \
+        < tests/data/serve/requests.jsonl > "$ENGINE_TMP/serve_r8.jsonl"
+diff -u tests/data/serve/golden_responses.jsonl "$ENGINE_TMP/serve_r1.jsonl"
+diff -u "$ENGINE_TMP/serve_r1.jsonl" "$ENGINE_TMP/serve_r8.jsonl"
+
+# 10. Differential chaos soak (docs/ROBUSTNESS.md): a long-running serve
+#     loop under fault injection on all five pipeline sites plus
+#     IoFuzz-mutated wire frames, with every answer checked against the
+#     validators / price bounds and a brute-force k-BAS oracle on small
+#     instances.  Prefers the asan-ubsan tree — it compiles the fault
+#     sites in (POBP_FAULT_INJECTION=ON) *and* memory-checks the soak —
+#     and falls back to the release binary (faults compiled out, the
+#     differential checks still gate) when sanitizers are unavailable.
+#     Default is a 10k-request smoke; --soak-seconds N trades requests
+#     for wall-clock (the nightly knob), --skip-soak drops the stage.
+#     On a mismatch `pobp chaos` exits 1 and writes a minimized repro
+#     under the --repro-dir printed in the failure line.
+if [ "$SKIP_SOAK" -eq 0 ]; then
+  CHAOS_POBP="$POBP"
+  if [ -x build-asan-ubsan/tools/pobp ]; then
+    CHAOS_POBP=build-asan-ubsan/tools/pobp
+  fi
+  if [ "$SOAK_SECONDS" -gt 0 ]; then
+    say "chaos soak ($CHAOS_POBP, ${SOAK_SECONDS}s)"
+    SOAK_FLAGS=(--seconds "$SOAK_SECONDS")
+  else
+    say "chaos soak ($CHAOS_POBP, 10000 requests)"
+    SOAK_FLAGS=(--requests 10000)
+  fi
+  "$CHAOS_POBP" chaos "${SOAK_FLAGS[@]}" --seed 20260808 \
+      --repro-dir "$ENGINE_TMP/chaos_repro"
+else
+  say "chaos soak: skipped"
+fi
 
 say "all checks passed"

@@ -18,14 +18,17 @@
 //   4  malformed input data (CSV / manifest / JSONL parse failure)
 //   5  solve options rejected (POBP-OPT-*)
 //   6  contained solve fault (POBP-RUN-*: pipeline fault, deadline, budget)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -35,11 +38,14 @@
 #include "pobp/srclint/driver.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/io/forest_csv.hpp"
+#include "pobp/io/fuzz.hpp"
 #include "pobp/io/manifest.hpp"
 #include "pobp/io/wire.hpp"
+#include "pobp/solvers/solvers.hpp"
 #include "pobp/pobp.hpp"
 #include "pobp/sim/policies.hpp"
 #include "pobp/sim/sim.hpp"
+#include "pobp/util/faultinject.hpp"
 #include "pobp/util/rng.hpp"
 
 namespace {
@@ -99,7 +105,19 @@ commands:
              [--queue N] [--max-batch N]          (pump shape)
              [--deadline-ms MS] [--max-ops N] [--degrade]  (defaults)
              [--shed] [--tenant-quota N] [--overload-degrade]
-             [--metrics-json FILE] [--tenant-stats] [--quiet]
+             resilience (docs/ROBUSTNESS.md):
+             [--retry N] [--retry-backoff-ms MS] [--retry-degrade]
+             [--tenant-rate R] [--tenant-burst B]
+             [--breaker N] [--breaker-cooldown-ms MS] [--watchdog-ms MS]
+             [--max-line-bytes N]   (0 = unlimited; default 1 MiB)
+             [--metrics-json FILE] [--tenant-stats] [--stats FILE]
+             [--quiet]
+  chaos      differential chaos soak: fuzzed wire requests + fault
+             injection against a resilient serve stack; mismatches are
+             minimized into a repro fixture (docs/ROBUSTNESS.md)
+             [--seconds S] [--requests N] [--seed S] [--workers W]
+             [--mutate-rate P] [--oracle-n N] [--fault-inject SPEC|none]
+             [--repro-dir DIR] [--quiet]
   validate   check a schedule against a workload (Def. 2.1)
              --jobs FILE --schedule FILE [--k K]
   price      report the empirical price of bounded preemption
@@ -398,6 +416,23 @@ int cmd_serve(const Flags& flags) {
   if (flags.has("overload-degrade")) {
     stream.overload_degrade = DegradePolicy::kApproximate;
   }
+  // Resilience knobs (docs/ROBUSTNESS.md).  All off by default; with
+  // faults disarmed none of them changes an answer, so replayed streams
+  // stay byte-identical even when they are enabled.
+  stream.engine.retry.max_attempts =
+      static_cast<std::size_t>(flags.num("retry", 1));
+  stream.engine.retry.base_backoff_s =
+      flags.real("retry-backoff-ms", 0.5) / 1000.0;
+  stream.engine.retry.degrade_final_attempt = flags.has("retry-degrade");
+  stream.tenant_rate.tokens_per_s = flags.real("tenant-rate", 0.0);
+  stream.tenant_rate.burst = flags.real("tenant-burst", 1.0);
+  stream.breaker.failure_threshold =
+      static_cast<std::size_t>(flags.num("breaker", 0));
+  stream.breaker.cooldown_s = flags.real("breaker-cooldown-ms", 1000.0) / 1000.0;
+  stream.watchdog.poll_interval_s = flags.real("watchdog-ms", 0.0) / 1000.0;
+  const std::size_t max_line_bytes = static_cast<std::size_t>(
+      flags.num("max-line-bytes",
+                static_cast<std::int64_t>(io::kDefaultMaxLineBytes)));
   // Shedding and the overload tier are timing-dependent (queue occupancy);
   // the default blocking submit keeps replayed streams byte-identical.
   const bool shed = flags.has("shed");
@@ -460,7 +495,7 @@ int cmd_serve(const Flags& flags) {
     ++line_no;
     const std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
-    auto parsed = io::try_parse_serve_request(line, line_no);
+    auto parsed = io::try_parse_serve_request(line, line_no, max_line_bytes);
     if (!parsed) {
       ++errors;
       Pending p;
@@ -521,19 +556,320 @@ int cmd_serve(const Flags& flags) {
     for (const auto& [tenant, stats] : engine.tenant_stats()) {
       std::fprintf(stderr,
                    "tenant %-16s submitted %llu completed %llu failed %llu "
-                   "quota-rejected %llu shed %llu degraded %llu\n",
+                   "quota-rejected %llu shed %llu degraded %llu "
+                   "rate-rejected %llu breaker-rejected %llu (%s) "
+                   "p50 %.3fms p99 %.3fms\n",
                    tenant.c_str(),
                    static_cast<unsigned long long>(stats.submitted),
                    static_cast<unsigned long long>(stats.completed),
                    static_cast<unsigned long long>(stats.failed),
                    static_cast<unsigned long long>(stats.rejected_quota),
                    static_cast<unsigned long long>(stats.shed),
-                   static_cast<unsigned long long>(stats.degraded));
+                   static_cast<unsigned long long>(stats.degraded),
+                   static_cast<unsigned long long>(stats.rejected_rate),
+                   static_cast<unsigned long long>(stats.rejected_breaker),
+                   std::string(to_string(stats.breaker_state)).c_str(),
+                   stats.latency.p50_ms, stats.latency.p99_ms);
+    }
+  }
+  if (flags.has("stats")) {
+    // The health + per-tenant latency/resilience snapshot as one JSON
+    // document ('-' or empty = stdout; frames are already flushed).
+    std::string target = flags.str("stats", "-");
+    if (target.empty()) target = "-";
+    const std::string stats = engine.stats_json();
+    if (target == "-") {
+      std::printf("%s\n", stats.c_str());
+    } else {
+      std::ofstream out(target);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open %s\n", target.c_str());
+        return kExitFileOpen;
+      }
+      out << stats << '\n';
     }
   }
   if (!flags.has("quiet")) {
     std::fprintf(stderr, "serve: %zu response frame(s), %zu error frame(s)\n",
                  served, errors);
+  }
+  return kExitOk;
+}
+
+/// `pobp chaos` — the differential chaos-soak harness (docs/ROBUSTNESS.md).
+/// Generates adversarial workloads, renders them as wire frames, mutates a
+/// fraction of the frames with the shared io fuzzer, and pushes everything
+/// through a fully resilient StreamEngine (retry + breaker + watchdog +
+/// overload degrade) under fault injection on all five pipeline sites.
+/// Every answer is differentially checked: the Def. 2.1 validator, the
+/// price bounds (value <= unbounded <= total), and — for small unmutated
+/// instances — the exact k-slot oracle.  On a mismatch the instance is
+/// greedily minimized and written out as a repro fixture; exit 1 names it.
+/// Exit 0 = the soak ran clean.
+int cmd_chaos(const Flags& flags) {
+  Rng rng(static_cast<std::uint64_t>(flags.num("seed", 1)));
+  const double seconds = flags.real("seconds", 5.0);
+  const std::size_t min_requests =
+      static_cast<std::size_t>(flags.num("requests", 0));
+  const double mutate_rate = flags.real("mutate-rate", 0.25);
+  const std::size_t oracle_n =
+      static_cast<std::size_t>(flags.num("oracle-n", 7));
+  const std::string repro_dir = flags.str("repro-dir", "chaos_repro");
+  const bool quiet = flags.has("quiet");
+
+  StreamOptions stream;
+  stream.engine.workers = static_cast<std::size_t>(flags.num("workers", 0));
+  // The full resilience stack, tuned aggressive so every mechanism
+  // exercises: short backoffs, a touchy breaker, a fast watchdog.
+  stream.engine.retry.max_attempts =
+      static_cast<std::size_t>(flags.num("retry", 3));
+  stream.engine.retry.base_backoff_s = 0.0001;
+  stream.engine.retry.max_backoff_s = 0.002;
+  stream.engine.retry.degrade_final_attempt = true;
+  stream.breaker.failure_threshold = 8;
+  stream.breaker.cooldown_s = 0.02;
+  stream.breaker.half_open_probes = 2;
+  stream.watchdog.poll_interval_s = 0.05;
+  stream.watchdog.stall_s = 0.5;
+  stream.overload_degrade = DegradePolicy::kApproximate;
+  stream.queue_capacity = static_cast<std::size_t>(flags.num("queue", 256));
+  // Transient faults on every pipeline site (any-instance nth triggers:
+  // each fires once per request whose site call count reaches it, and the
+  // retry deterministically recovers).  No-ops when the build compiles
+  // fault injection out.
+  const std::string fault =
+      flags.str("fault-inject", "alloc:23,laminarize:7,tm_dp:11,left_merge:5,"
+                                "validate:3");
+  if (fault != "none") stream.engine.fault_injection = fault;
+
+  StreamEngine engine(stream);
+
+  // This thread is the checker, not the system under test: its own
+  // validate() / oracle / minimizer calls share fault-instrumented
+  // routines with the pipeline and must not trip the armed triggers.
+  // Suppression is thread-local — the engine's pump and worker threads
+  // still fault on schedule.
+  const fault::SuppressScope checker_shield;
+
+  struct Check {
+    std::future<SolveOutcome> outcome;
+    JobSet jobs;
+    std::size_t k = 1;
+    std::optional<Value> oracle;  ///< exact cap, small unmutated instances
+  };
+  std::deque<Check> window;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t error_frames = 0;
+  std::size_t degraded_answers = 0;
+  std::size_t wire_rejects = 0;
+  std::size_t mutated_lines = 0;
+  std::size_t mismatches = 0;
+  std::string first_reason;
+  JobSet bad_jobs;
+  std::size_t bad_k = 1;
+
+  // The differential predicate.  Empty string = the answer is consistent.
+  const auto inconsistent = [&](const JobSet& jobs, std::size_t k,
+                                const ScheduleResult& r,
+                                const std::optional<Value>& oracle)
+      -> std::string {
+    const ValidationResult v = validate(jobs, r.schedule, k);
+    if (!v) return "validator: " + v.error;
+    if (r.value > jobs.total_value() + 1e-6) {
+      return "value exceeds the instance total";
+    }
+    // Price >= 1 needs k >= 1: the bounded schedule then draws from the
+    // seed's job set.  The k = 0 §5 algorithm re-selects from *all* jobs
+    // and can legitimately beat a heuristic seed (test_combined.cpp).
+    if (!r.degraded && k >= 1 && r.value > r.unbounded_value + 1e-6) {
+      return "bounded value exceeds the unbounded value (price < 1)";
+    }
+    if (oracle && r.value > *oracle + 1e-6) {
+      return "value exceeds the exact k-slot oracle";
+    }
+    return "";
+  };
+
+  const auto check_front = [&] {
+    Check c = std::move(window.front());
+    window.pop_front();
+    const SolveOutcome outcome = c.outcome.get();
+    ++completed;
+    if (!outcome.has_value()) {
+      ++error_frames;
+      if (outcome.error().rule_ids().empty() && mismatches++ == 0) {
+        first_reason = "error outcome without a rule id";
+        bad_jobs = c.jobs;
+        bad_k = c.k;
+      }
+      return;
+    }
+    const ScheduleResult& r = *outcome;
+    if (r.degraded) ++degraded_answers;
+    const std::string why = inconsistent(c.jobs, c.k, r, c.oracle);
+    if (!why.empty() && mismatches++ == 0) {
+      first_reason = why;
+      bad_jobs = c.jobs;
+      bad_k = c.k;
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  char buf[64];
+  for (std::size_t i = 0;
+       (min_requests > 0 && submitted < min_requests) ||
+       (min_requests == 0 && elapsed() < seconds);
+       ++i) {
+    // Adversarial workload shapes: mostly mid-size streams, a steady diet
+    // of oracle-checkable small instances, occasional tight-laxity ones.
+    JobGenConfig config;
+    const bool small = rng.bernoulli(0.3);
+    config.n = small ? 3 + static_cast<std::size_t>(rng.uniform_int(
+                               0, static_cast<std::int64_t>(oracle_n) - 3))
+                     : static_cast<std::size_t>(rng.uniform_int(8, 24));
+    config.min_length = 1;
+    config.max_length = small ? 6 : 32;
+    config.min_laxity = 1.0;
+    config.max_laxity = rng.bernoulli(0.3) ? 1.5 : 5.0;
+    config.horizon = small ? 32 : 512;
+    config.value_mode = rng.bernoulli(0.5)
+                            ? JobGenConfig::ValueMode::kRandomDensity
+                            : JobGenConfig::ValueMode::kUniform;
+    const JobSet jobs = random_jobs(config, rng);
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(0, 2));
+
+    // Render the wire frame the way a client would.
+    std::string line = "{\"id\":\"c" + std::to_string(i) + "\",\"tenant\":\"t" +
+                       std::to_string(i % 4) + "\",\"k\":" + std::to_string(k) +
+                       ",\"jobs\":[";
+    bool comma = false;
+    for (const Job& j : jobs) {
+      if (comma) line += ',';
+      comma = true;
+      std::snprintf(buf, sizeof(buf), "[%lld,%lld,%lld,%.17g]",
+                    static_cast<long long>(j.release),
+                    static_cast<long long>(j.deadline),
+                    static_cast<long long>(j.length), j.value);
+      line += buf;
+    }
+    line += ']';
+    if (rng.bernoulli(0.15)) line += ",\"max_ops\":5000";
+    if (rng.bernoulli(0.1)) line += ",\"degrade\":true";
+    line += '}';
+
+    const bool mutated = rng.bernoulli(mutate_rate);
+    if (mutated) {
+      ++mutated_lines;
+      line = io::fuzz_mutate_line(std::move(line), rng);
+    }
+
+    // The wire boundary: parse failures are in-band rejections, never
+    // crashes — and for mutated lines that still parse, the checks below
+    // run on exactly what was parsed.
+    auto parsed = io::try_parse_serve_request(line, i + 1);
+    if (!parsed.has_value()) {
+      ++wire_rejects;
+      if (parsed.error().rule_ids().empty() && mismatches++ == 0) {
+        first_reason = "wire rejection without a rule id";
+        bad_jobs = jobs;
+        bad_k = k;
+      }
+      continue;
+    }
+    io::ServeRequest request = std::move(*parsed);
+    ScheduleOptions schedule;
+    schedule.k = request.k.value_or(1);
+    if (request.machines) schedule.machine_count = *request.machines;
+    SubmitOptions submit;
+    submit.tenant = std::move(request.tenant);
+    if (request.max_ops > 0) {
+      SolveBudget budget;
+      budget.max_ops = request.max_ops;
+      submit.budget = budget;
+    }
+    if (request.degrade) {
+      submit.degrade = *request.degrade ? DegradePolicy::kApproximate
+                                        : DegradePolicy::kNone;
+    }
+
+    Check check;
+    check.jobs = request.jobs;  // what the engine will actually solve
+    check.k = schedule.k;
+    if (!mutated && check.jobs.size() <= oracle_n && check.jobs.size() > 0 &&
+        check.k <= 2) {
+      check.oracle =
+          opt_k_slots(check.jobs, check.k, std::size_t{1} << 24);
+    }
+    check.outcome = engine.try_submit(std::move(request.jobs), schedule,
+                                      std::move(submit));
+    ++submitted;
+    window.push_back(std::move(check));
+    while (window.size() > 128) check_front();
+  }
+  while (!window.empty()) check_front();
+  engine.drain();
+
+  if (mismatches > 0) {
+    // Greedy minimization: re-derive the mismatch on the plain synchronous
+    // pipeline (no faults, no admission) and drop jobs while it persists;
+    // if only the chaos stack reproduces it, the full instance ships.
+    const auto plain_reason = [&](const JobSet& jobs) -> std::string {
+      ScheduleOptions options;
+      options.k = bad_k;
+      const auto result = try_schedule_bounded(jobs, options);
+      if (!result.has_value()) return "";  // a contained report is an answer
+      std::optional<Value> oracle;
+      if (jobs.size() <= oracle_n) {
+        oracle = opt_k_slots(jobs, bad_k, std::size_t{1} << 24);
+      }
+      return inconsistent(jobs, bad_k, *result, oracle);
+    };
+    bool shrunk = true;
+    while (shrunk && !plain_reason(bad_jobs).empty() && bad_jobs.size() > 1) {
+      shrunk = false;
+      for (std::size_t drop = 0; drop < bad_jobs.size(); ++drop) {
+        JobSet smaller;
+        for (std::size_t j = 0; j < bad_jobs.size(); ++j) {
+          if (j != drop) smaller.add(bad_jobs.jobs()[j]);
+        }
+        if (!plain_reason(smaller).empty()) {
+          bad_jobs = std::move(smaller);
+          shrunk = true;
+          break;
+        }
+      }
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(repro_dir, ec);
+    const std::string jobs_path = repro_dir + "/jobs.csv";
+    io::save_jobs(jobs_path, bad_jobs);
+    std::ofstream note(repro_dir + "/repro.txt");
+    note << "reason: " << first_reason << "\n"
+         << "replay: pobp solve --jobs jobs.csv --k " << bad_k << "\n"
+         << "chaos seed: " << flags.num("seed", 1) << "\n";
+    std::fprintf(stderr,
+                 "chaos: MISMATCH after %zu request(s): %s\n"
+                 "chaos: repro written to %s (%zu job(s), k=%zu)\n",
+                 submitted, first_reason.c_str(), repro_dir.c_str(),
+                 bad_jobs.size(), bad_k);
+    return kExitInfeasible;
+  }
+  if (!quiet) {
+    std::fprintf(
+        stderr,
+        "chaos: clean soak — %zu submitted (%zu mutated, %zu wire-rejected), "
+        "%zu completed, %zu error frame(s), %zu degraded, %.1fs\n",
+        submitted, mutated_lines, wire_rejects, completed, error_frames,
+        degraded_answers, elapsed());
+    std::fputs(engine.stats_json().c_str(), stderr);
+    std::fputc('\n', stderr);
   }
   return kExitOk;
 }
@@ -715,6 +1051,7 @@ int main(int argc, char** argv) {
     if (command == "solve") return cmd_solve(flags);
     if (command == "batch") return cmd_batch(flags);
     if (command == "serve") return cmd_serve(flags);
+    if (command == "chaos") return cmd_chaos(flags);
     if (command == "validate") return cmd_validate(flags);
     if (command == "price") return cmd_price(flags);
     if (command == "info") return cmd_info(flags);
