@@ -8,7 +8,8 @@
 //   json.metric("solve_batch_w1").ns_per_op(...).allocs_per_op(...);
 //   json.write("BENCH_engine.json");
 //
-// Format: {"bench": ..., "peak_rss_kb": ..., "peak_rss_delta_kb": ...,
+// Format: {"bench": ..., "cores": ..., "peak_rss_kb": ...,
+// "peak_rss_delta_kb": ...,
 // "metrics": [{"name": ..., "ns_per_op": ..., "allocs_per_op": ...,
 // "ops_per_s": ..., "value": ...}, ...]}.  allocs_per_op is only emitted
 // when the binary links pobp::allocspy and counting is live
@@ -23,6 +24,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pobp/util/table.hpp"
@@ -110,6 +112,7 @@ class JsonWriter {
     const std::uint64_t rss_delta =
         rss_after > rss_before_kb_ ? rss_after - rss_before_kb_ : 0;
     out << "{\n  \"bench\": \"" << bench_ << "\",\n"
+        << "  \"cores\": " << std::thread::hardware_concurrency() << ",\n"
         << "  \"peak_rss_kb\": " << rss_after << ",\n"
         << "  \"peak_rss_delta_kb\": " << rss_delta << ",\n"
         << "  \"metrics\": [\n";

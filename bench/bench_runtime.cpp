@@ -6,6 +6,10 @@
 // growth rate.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <functional>
+#include <utility>
+
 #include "pobp/bas/contraction.hpp"
 #include "pobp/bas/tm.hpp"
 #include "pobp/pobp.hpp"
@@ -19,8 +23,11 @@
 #include "pobp/gen/forest_gen.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/gen/schedule_gen.hpp"
+#include "pobp/schedule/columns.hpp"
+#include "pobp/schedule/validate.hpp"
 #include "pobp/util/alloccount.hpp"
 #include "pobp/util/budget.hpp"
+#include "pobp/util/checked.hpp"
 #include "pobp/util/rng.hpp"
 
 namespace pobp {
@@ -249,6 +256,345 @@ void BM_BudgetPollInstalled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BudgetPollInstalled);
+
+// --- SoA/SIMD kernel rows (docs/PERF.md "Kernel microbenchmarks") -----------
+//
+// Each vectorized kernel is paired with a *ScalarRef row: a bench-local
+// copy of the pre-SoA scalar implementation, run on the same input.  One
+// run of this binary therefore measures the speedup directly (tools/
+// bench_compare prints the X / XScalarRef ratio), and each pair asserts
+// result equality at setup so the rows can never drift apart silently.
+
+Forest make_wide_forest(std::size_t n) {
+  Rng rng(47);
+  ForestGenConfig config;
+  config.nodes = n;
+  config.max_degree = 64;  // wide parents: the child merge dominates
+  return random_forest(config, rng);
+}
+
+/// Pre-SoA TM DP, complete: per-node CSR child walks over id-indexed t/m
+/// arrays with a comparator-based top-k selection, then the top-down
+/// decision pass — the full algorithm the slot-indexed kernel replaced.
+struct ScalarTmRef {
+  std::vector<Value> t, m;
+  std::vector<char> keep;
+  std::vector<NodeId> topk;
+  std::vector<std::pair<NodeId, char>> stack;
+};
+
+Value scalar_ref_tm(const Forest& forest, std::size_t k, ScalarTmRef& s) {
+  enum : char { kRetain = 0, kPruneUp = 1 };
+  const std::size_t n = forest.size();
+  auto& t = s.t;
+  auto& m = s.m;
+  t.assign(n, 0);
+  m.assign(n, 0);
+  s.keep.assign(n, 0);
+  const auto top_k_children = [&](NodeId u) -> std::span<const NodeId> {
+    const std::span<const NodeId> kids = forest.children(u);
+    if (kids.size() <= k) return kids;
+    s.topk.assign(kids.begin(), kids.end());
+    std::nth_element(s.topk.begin(),
+                     s.topk.begin() + static_cast<std::ptrdiff_t>(k),
+                     s.topk.end(), [&](NodeId a, NodeId b) {
+                       if (t[a] != t[b]) return t[a] > t[b];
+                       return a < b;
+                     });
+    return {s.topk.data(), k};
+  };
+  for (std::size_t i = n; i-- > 0;) {
+    BudgetGuard::poll();
+    const NodeId u = static_cast<NodeId>(i);
+    Value t_u = forest.value(u);
+    for (const NodeId c : top_k_children(u)) t_u += t[c];
+    Value m_u = 0;
+    for (const NodeId c : forest.children(u)) m_u += std::max(t[c], m[c]);
+    t[u] = t_u;
+    m[u] = m_u;
+  }
+  auto& stack = s.stack;
+  stack.clear();
+  for (const NodeId r : forest.roots()) {
+    stack.emplace_back(r, t[r] >= m[r] ? kRetain : kPruneUp);
+  }
+  while (!stack.empty()) {
+    const auto [u, decision] = stack.back();
+    stack.pop_back();
+    if (decision == kRetain) {
+      s.keep[u] = 1;
+      for (const NodeId c : top_k_children(u)) stack.emplace_back(c, kRetain);
+    } else {
+      for (const NodeId c : forest.children(u)) {
+        stack.emplace_back(c, t[c] >= m[c] ? kRetain : kPruneUp);
+      }
+    }
+  }
+  Value total = 0;
+  for (const NodeId r : forest.roots()) total += std::max(t[r], m[r]);
+  return total;
+}
+
+void BM_TmChildMerge(benchmark::State& state) {
+  const Forest f = make_wide_forest(static_cast<std::size_t>(state.range(0)));
+  TmScratch scratch;
+  TmResult result;
+  tm_optimal_bas(f, 2, scratch, result);  // warm the scratch + result
+  AllocMeter meter(state);
+  for (auto _ : state) {
+    tm_optimal_bas(f, 2, scratch, result);
+    benchmark::DoNotOptimize(result.value);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TmChildMerge)->Range(1 << 12, 1 << 16)->Complexity(benchmark::oN);
+
+void BM_TmChildMergeScalarRef(benchmark::State& state) {
+  const Forest f = make_wide_forest(static_cast<std::size_t>(state.range(0)));
+  ScalarTmRef ref;
+  {  // the pair must agree before it is worth timing
+    TmScratch scratch;
+    TmResult result;
+    tm_optimal_bas(f, 2, scratch, result);
+    POBP_CHECK(scalar_ref_tm(f, 2, ref) == result.value);
+    POBP_CHECK(ref.keep == result.selection.keep);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scalar_ref_tm(f, 2, ref));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TmChildMergeScalarRef)
+    ->Range(1 << 12, 1 << 16)
+    ->Complexity(benchmark::oN);
+
+/// Pre-SoA EDF feasibility probe: comparator release sort over the Job AoS
+/// plus a scalar admission scan inside the event loop.
+bool scalar_ref_edf(const JobSet& jobs, std::span<const JobId> subset,
+                    EdfScratch& s) {
+  auto& by_release = s.by_release;
+  by_release.assign(subset.begin(), subset.end());
+  std::sort(by_release.begin(), by_release.end(), [&](JobId a, JobId b) {
+    if (jobs[a].release != jobs[b].release) {
+      return jobs[a].release < jobs[b].release;
+    }
+    return a < b;
+  });
+  if (s.remaining.size() < jobs.size()) s.remaining.resize(jobs.size(), 0);
+  for (const JobId id : by_release) s.remaining[id] = jobs[id].length;
+  auto& ready = s.ready;
+  ready.clear();
+  const bool feasible = [&] {
+    std::size_t next_release = 0;
+    Time now = 0;
+    if (!by_release.empty()) now = jobs[by_release.front()].release;
+    while (next_release < by_release.size() || !ready.empty()) {
+      while (next_release < by_release.size() &&
+             jobs[by_release[next_release]].release <= now) {
+        const JobId id = by_release[next_release++];
+        ready.emplace_back(jobs[id].deadline, id);
+        std::push_heap(ready.begin(), ready.end(), std::greater<>{});
+      }
+      if (ready.empty()) {
+        now = jobs[by_release[next_release]].release;
+        continue;
+      }
+      const JobId top = ready.front().second;
+      Time until = now + s.remaining[top];
+      if (next_release < by_release.size()) {
+        until = std::min(until, jobs[by_release[next_release]].release);
+      }
+      s.remaining[top] -= until - now;
+      now = until;
+      if (s.remaining[top] == 0) {
+        if (now > jobs[top].deadline) return false;
+        std::pop_heap(ready.begin(), ready.end(), std::greater<>{});
+        ready.pop_back();
+      } else if (now > jobs[top].deadline) {
+        return false;
+      }
+    }
+    return true;
+  }();
+  for (const JobId id : by_release) s.remaining[id] = 0;
+  return feasible;
+}
+
+void BM_EdfSweep(benchmark::State& state) {
+  const LaminarInstance inst =
+      make_laminar(static_cast<std::size_t>(state.range(0)));
+  const std::vector<JobId> ids = all_ids(inst.jobs);
+  EdfScratch scratch;
+  scratch.columns.build(inst.jobs);  // the solve-level scratch owns the SoA
+  const JobSetView view = scratch.columns.view();
+  (void)edf_feasible(view, ids, scratch);  // warm the scratch
+  AllocMeter meter(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edf_feasible(view, ids, scratch));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EdfSweep)->Range(1 << 12, 1 << 16)->Complexity(benchmark::oNLogN);
+
+void BM_EdfSweepScalarRef(benchmark::State& state) {
+  const LaminarInstance inst =
+      make_laminar(static_cast<std::size_t>(state.range(0)));
+  const std::vector<JobId> ids = all_ids(inst.jobs);
+  EdfScratch scratch;
+  scratch.columns.build(inst.jobs);
+  POBP_CHECK(scalar_ref_edf(inst.jobs, ids, scratch) ==
+             edf_feasible(scratch.columns.view(), ids, scratch));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scalar_ref_edf(inst.jobs, ids, scratch));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EdfSweepScalarRef)
+    ->Range(1 << 12, 1 << 16)
+    ->Complexity(benchmark::oNLogN);
+
+/// Pre-SoA LSA_CS classification: per-job ilogb / floor_log class and a
+/// stable_sort of (class, id) pairs.
+void scalar_ref_classify(const JobSet& jobs, std::span<const JobId> ids,
+                         std::size_t base,
+                         std::vector<std::pair<std::size_t, JobId>>& classes) {
+  classes.clear();
+  classes.reserve(ids.size());
+  for (const JobId id : ids) {
+    classes.emplace_back(
+        floor_log(static_cast<std::int64_t>(base), jobs[id].length), id);
+  }
+  std::stable_sort(
+      classes.begin(), classes.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+void BM_LsaClassify(benchmark::State& state) {
+  const JobSet jobs = make_lax_jobs(static_cast<std::size_t>(state.range(0)));
+  const std::vector<JobId> ids = all_ids(jobs);
+  LsaScratch scratch;
+  scratch.columns.build(jobs);
+  const JobSetView view = scratch.columns.view();
+  (void)lsa_classify(view, ids, 2, ClassifyBy::kLength, scratch);
+  AllocMeter meter(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lsa_classify(view, ids, 2, ClassifyBy::kLength, scratch));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LsaClassify)->Range(1 << 12, 1 << 16)->Complexity();
+
+void BM_LsaClassifyScalarRef(benchmark::State& state) {
+  const JobSet jobs = make_lax_jobs(static_cast<std::size_t>(state.range(0)));
+  const std::vector<JobId> ids = all_ids(jobs);
+  std::vector<std::pair<std::size_t, JobId>> classes;
+  {  // grouped output must match the SIMD + counting-sort path exactly
+    LsaScratch scratch;
+    scratch.columns.build(jobs);
+    (void)lsa_classify(scratch.columns.view(), ids, 2, ClassifyBy::kLength,
+                       scratch);
+    scalar_ref_classify(jobs, ids, 3, classes);
+    POBP_CHECK(classes == scratch.classes);
+  }
+  for (auto _ : state) {
+    scalar_ref_classify(jobs, ids, 3, classes);
+    benchmark::DoNotOptimize(classes.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LsaClassifyScalarRef)->Range(1 << 12, 1 << 16)->Complexity();
+
+/// Pre-SoA validate_machine_fast: scalar per-segment predicate loop plus a
+/// comparator-sorted TaggedSegment timeline for machine exclusivity.
+bool scalar_ref_validate(const JobSet& jobs, const MachineSchedule& ms,
+                         ValidateScratch& s) {
+  for (const Assignment& a : ms.assignments()) {
+    if (a.job >= jobs.size()) return false;
+    const Job& job = jobs[a.job];
+    if (a.segments.empty()) return false;
+    Duration scheduled = 0;
+    std::size_t prev = a.segments.size();
+    for (std::size_t i = 0; i < a.segments.size(); ++i) {
+      const Segment& seg = a.segments[i];
+      if (seg.empty()) return false;
+      if (seg.begin < job.release || seg.end > job.deadline) return false;
+      if (prev != a.segments.size() && a.segments[prev].end > seg.begin) {
+        return false;
+      }
+      prev = i;
+      scheduled += seg.length();
+    }
+    if (scheduled != job.length) return false;
+  }
+  ms.timeline_into(s.timeline);
+  for (std::size_t i = 1; i < s.timeline.size(); ++i) {
+    if (s.timeline[i - 1].segment.end > s.timeline[i].segment.begin) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A preemption-heavy feasible instance: n/64 jobs × 64 unit segments each,
+/// round-robin interleaved.  Wide segment lists drive the validator's 4-lane
+/// predicate loop, and the exclusivity sweep sees all n segments — the two
+/// halves of the kernel this row measures.
+struct RoundRobinInstance {
+  JobSet jobs;
+  Schedule schedule{1};
+};
+
+RoundRobinInstance make_round_robin(std::size_t total_segments) {
+  constexpr std::size_t kSegsPerJob = 64;
+  const std::size_t jobs_n = std::max<std::size_t>(1, total_segments / kSegsPerJob);
+  RoundRobinInstance inst;
+  const Time horizon = static_cast<Time>(jobs_n * kSegsPerJob);
+  for (std::size_t j = 0; j < jobs_n; ++j) {
+    inst.jobs.add(Job{0, horizon, kSegsPerJob, 1.0});
+  }
+  std::vector<Segment> segs(kSegsPerJob);
+  for (std::size_t j = 0; j < jobs_n; ++j) {
+    for (std::size_t s = 0; s < kSegsPerJob; ++s) {
+      const Time b = static_cast<Time>(s * jobs_n + j);
+      segs[s] = {b, b + 1};
+    }
+    inst.schedule.machine(0).append_sorted(static_cast<JobId>(j), segs);
+  }
+  return inst;
+}
+
+void BM_ValidateFast(benchmark::State& state) {
+  const RoundRobinInstance inst =
+      make_round_robin(static_cast<std::size_t>(state.range(0)));
+  ValidateScratch scratch;
+  POBP_CHECK(
+      validate_fast(inst.jobs, inst.schedule, kUnboundedPreemptions, scratch));
+  AllocMeter meter(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate_fast(inst.jobs, inst.schedule,
+                                           kUnboundedPreemptions, scratch));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ValidateFast)
+    ->Range(1 << 12, 1 << 16)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_ValidateFastScalarRef(benchmark::State& state) {
+  const RoundRobinInstance inst =
+      make_round_robin(static_cast<std::size_t>(state.range(0)));
+  ValidateScratch scratch;
+  POBP_CHECK(scalar_ref_validate(inst.jobs, inst.schedule.machine(0), scratch));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scalar_ref_validate(inst.jobs, inst.schedule.machine(0), scratch));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ValidateFastScalarRef)
+    ->Range(1 << 12, 1 << 16)
+    ->Complexity(benchmark::oNLogN);
 
 void BM_MigrativeFeasibility(benchmark::State& state) {
   Rng rng(46);

@@ -38,15 +38,26 @@ struct TmResult {
 /// root task, recycled across solves).
 struct TmForkTask {
   std::vector<NodeId> nodes;  ///< root subtree, parents-first
-  std::vector<NodeId> topk;   ///< per-task top-k staging
+  std::vector<NodeId> topk;   ///< per-task top-k staging (arena slots)
   std::vector<std::pair<NodeId, char>> stack;  ///< per-task decision stack
 };
 
 /// Reusable buffers for the DP passes.
+///
+/// The DP tables come in two layouts: the node-indexed t/m arrays live in
+/// TmResult (they are outputs), and slot-indexed mirrors live here, keyed
+/// by the forest's flat CSR child arena (Forest::child_slot).  A parent's
+/// children occupy one contiguous slot range, so the bottom-up merge reads
+/// two sequential streams (slot_t, slot_m) instead of two gathers per
+/// child — the SoA form of the R1 child-merge.  slot_m[s] caches
+/// max(t(c), m(c)) at the moment child c finishes, so the parent's m-sum
+/// is a single streaming pass.
 struct TmScratch {
-  std::vector<NodeId> topk;  ///< top-k selection staging (≥ k+1 children)
+  std::vector<NodeId> topk;  ///< top-k selection staging (arena slots)
   std::vector<std::pair<NodeId, char>> stack;  ///< top-down decision stack
   std::vector<TmForkTask> fork_tasks;  ///< per-root tasks (forked entry)
+  std::vector<Value> slot_t;  ///< t(c) by arena slot of c
+  std::vector<Value> slot_m;  ///< max(t(c), m(c)) by arena slot of c
 };
 
 /// Computes the optimal (max-value) k-BAS of `forest` for degree bound k.

@@ -12,20 +12,29 @@
 namespace pobp {
 namespace {
 
-/// The ids of the (up to) k children of u with the highest t values.
-/// Deterministic: ties broken toward smaller node id.  When u has at most k
-/// children the CSR child view is returned directly; otherwise the
+// The DP tables are kept in two layouts (see TmScratch): node-indexed
+// t/m in the TmResult (outputs, and what the root decisions read), and
+// slot-indexed slot_t/slot_m keyed by the forest's flat CSR child arena.
+// Within one parent's slot range, ascending slot order equals ascending
+// child-id order, and slot_t[s] == t(child_at(s)) bit-for-bit, so every
+// selection and every double summation below performs *exactly* the
+// operations of the node-indexed formulation, in the same order — the
+// layout change alters no result byte.
+
+/// The arena slots of the (up to) k children of u with the highest t
+/// values.  Deterministic: ties broken toward smaller slot (= smaller
+/// child id).  When u has at most k children the whole contiguous range
+/// [first, last) is the answer and `topk` is untouched; otherwise the
 /// selection happens in `topk` (no per-node allocation once it has grown).
-std::span<const NodeId> top_k_children(const Forest& forest,
-                                       const std::vector<Value>& t, NodeId u,
-                                       std::size_t k,
-                                       std::vector<NodeId>& topk) {
-  const std::span<const NodeId> kids = forest.children(u);
-  if (kids.size() <= k) return kids;
-  topk.assign(kids.begin(), kids.end());
+std::span<const NodeId> top_k_slots(NodeId first, NodeId last,
+                                    const std::vector<Value>& slot_t,
+                                    std::size_t k,
+                                    std::vector<NodeId>& topk) {
+  topk.resize(last - first);
+  for (NodeId s = first; s < last; ++s) topk[s - first] = s;
   std::nth_element(topk.begin(), topk.begin() + static_cast<std::ptrdiff_t>(k),
                    topk.end(), [&](NodeId a, NodeId b) {
-                     if (t[a] != t[b]) return t[a] > t[b];
+                     if (slot_t[a] != slot_t[b]) return slot_t[a] > slot_t[b];
                      return a < b;
                    });
   return {topk.data(), k};
@@ -33,31 +42,71 @@ std::span<const NodeId> top_k_children(const Forest& forest,
 
 enum : char { kRetain = 0, kPruneUp = 1 };
 
+/// Bottom-up step for one node: t(u) over the top-k child slots, m(u) as
+/// one streaming pass over the cached child maxima, and the slot mirror
+/// write that makes u visible to its own parent's stream.
+template <typename BoundFn>
+void tm_visit(const Forest& forest, BoundFn&& k_of, NodeId u,
+              std::vector<NodeId>& topk, TmScratch& scratch,
+              TmResult& result) {
+  const auto [first, last] = forest.child_range(u);
+  const std::size_t k = k_of(u);
+  Value t_u = forest.value(u);
+  if (last - first <= k) {
+    for (NodeId s = first; s < last; ++s) t_u += scratch.slot_t[s];
+  } else {
+    for (const NodeId s : top_k_slots(first, last, scratch.slot_t, k, topk)) {
+      t_u += scratch.slot_t[s];
+    }
+  }
+  Value m_u = 0;
+  for (NodeId s = first; s < last; ++s) m_u += scratch.slot_m[s];
+  result.t[u] = t_u;
+  result.m[u] = m_u;
+  const NodeId slot = forest.child_slot(u);
+  if (slot != kNoNode) {
+    scratch.slot_t[slot] = t_u;
+    scratch.slot_m[slot] = std::max(t_u, m_u);
+  }
+}
+
+/// Pushes u's retained-children onto the decision stack: the top-k child
+/// slots, mapped back to ids through the arena.
+template <typename BoundFn>
+void push_retained(const Forest& forest, BoundFn&& k_of, NodeId u,
+                   std::vector<NodeId>& topk, TmScratch& scratch,
+                   std::vector<std::pair<NodeId, char>>& stack) {
+  const auto [first, last] = forest.child_range(u);
+  const std::size_t k = k_of(u);
+  if (last - first <= k) {
+    for (NodeId s = first; s < last; ++s) {
+      stack.emplace_back(forest.child_at(s), kRetain);
+    }
+  } else {
+    for (const NodeId s : top_k_slots(first, last, scratch.slot_t, k, topk)) {
+      stack.emplace_back(forest.child_at(s), kRetain);
+    }
+  }
+}
+
 template <typename BoundFn>
 void tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of,
                          TmScratch& scratch, TmResult& result) {
   POBP_FAULT_POINT(kTmDp);
   const std::size_t n = forest.size();
+  forest.finalize();
   result.value = 0;
   result.t.assign(n, 0);
   result.m.assign(n, 0);
   result.selection.keep.assign(n, 0);
+  scratch.slot_t.assign(forest.child_slot_count(), 0);
+  scratch.slot_m.assign(forest.child_slot_count(), 0);
 
   // Bottom-up pass (ids are parents-first, so descending id order works).
   for (std::size_t i = n; i-- > 0;) {
     BudgetGuard::poll();  // one operation per DP node
-    const NodeId u = static_cast<NodeId>(i);
-    Value t_u = forest.value(u);
-    for (const NodeId c :
-         top_k_children(forest, result.t, u, k_of(u), scratch.topk)) {
-      t_u += result.t[c];
-    }
-    Value m_u = 0;
-    for (const NodeId c : forest.children(u)) {
-      m_u += std::max(result.t[c], result.m[c]);
-    }
-    result.t[u] = t_u;
-    result.m[u] = m_u;
+    tm_visit(forest, k_of, static_cast<NodeId>(i), scratch.topk, scratch,
+             result);
   }
 
   // Top-down decision pass.  State per node: RETAIN, PRUNE_UP or discard
@@ -78,10 +127,7 @@ void tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of,
       // Top-k children stay retained; the rest are pruned-down (discarded
       // with all their descendants) — Obs. 3.8(a): a retained node cannot
       // have pruned-up descendants.
-      for (const NodeId c :
-           top_k_children(forest, result.t, u, k_of(u), scratch.topk)) {
-        stack.emplace_back(c, kRetain);
-      }
+      push_retained(forest, k_of, u, scratch.topk, scratch, stack);
     } else {
       for (const NodeId c : forest.children(u)) choose(c);
     }
@@ -101,23 +147,15 @@ void tm_optimal_bas_impl(const Forest& forest, BoundFn&& k_of,
 /// One root's share of the DP: bottom-up over the root's subtree (reverse
 /// parents-first order = children before parents), then the top-down
 /// decision pass from that root.  Writes only to this subtree's entries of
-/// t/m/keep — disjoint from every other root task by construction.
+/// t/m/keep — and, because a node's arena slot lies in its parent's range,
+/// only to this subtree's slot_t/slot_m slots — disjoint from every other
+/// root task by construction.
 void tm_root_task(const Forest& forest, std::size_t k, NodeId root,
-                  TmForkTask& task, TmResult& result) {
+                  TmForkTask& task, TmScratch& scratch, TmResult& result) {
+  const auto k_of = [k](NodeId) { return k; };
   forest.subtree(root, task.nodes);
   for (std::size_t i = task.nodes.size(); i-- > 0;) {
-    const NodeId u = task.nodes[i];
-    Value t_u = forest.value(u);
-    for (const NodeId c :
-         top_k_children(forest, result.t, u, k, task.topk)) {
-      t_u += result.t[c];
-    }
-    Value m_u = 0;
-    for (const NodeId c : forest.children(u)) {
-      m_u += std::max(result.t[c], result.m[c]);
-    }
-    result.t[u] = t_u;
-    result.m[u] = m_u;
+    tm_visit(forest, k_of, task.nodes[i], task.topk, scratch, result);
   }
 
   auto& stack = task.stack;
@@ -129,10 +167,7 @@ void tm_root_task(const Forest& forest, std::size_t k, NodeId root,
     stack.pop_back();
     if (decision == kRetain) {
       result.selection.keep[u] = 1;
-      for (const NodeId c :
-           top_k_children(forest, result.t, u, k, task.topk)) {
-        stack.emplace_back(c, kRetain);
-      }
+      push_retained(forest, k_of, u, task.topk, scratch, stack);
     } else {
       for (const NodeId c : forest.children(u)) {
         stack.emplace_back(c, result.t[c] >= result.m[c] ? kRetain
@@ -161,6 +196,8 @@ void tm_optimal_bas_forked(const Forest& forest, std::size_t k,
   out.t.assign(n, 0);
   out.m.assign(n, 0);
   out.selection.keep.assign(n, 0);
+  scratch.slot_t.assign(forest.child_slot_count(), 0);
+  scratch.slot_m.assign(forest.child_slot_count(), 0);
 
   auto& tasks = scratch.fork_tasks;
   if (tasks.size() < roots.size()) tasks.resize(roots.size());
@@ -170,7 +207,7 @@ void tm_optimal_bas_forked(const Forest& forest, std::size_t k,
   std::vector<std::exception_ptr> errors(roots.size());
   parallel_for(0, roots.size(), [&](std::size_t i) {
     try {
-      tm_root_task(forest, k, roots[i], tasks[i], out);
+      tm_root_task(forest, k, roots[i], tasks[i], scratch, out);
     } catch (...) {
       errors[i] = std::current_exception();
     }

@@ -27,8 +27,11 @@ void seed_unbounded_schedule_into(const JobSet& jobs,
                                   std::span<const JobId> ids,
                                   SolveScratch& scratch, Schedule& out) {
   if (options.seed == ScheduleOptions::Seed::kGreedyDensity) {
-    greedy_infinity_multi_into(jobs, ids, options.machine_count,
-                               scratch.greedy, out);
+    // Build the SoA mirror once in the solve-level scratch; the greedy and
+    // EDF inner loops then run entirely on contiguous columns.
+    scratch.columns.build(jobs);
+    greedy_infinity_multi_into(scratch.columns.view(), ids,
+                               options.machine_count, scratch.greedy, out);
     return;
   }
   // Exact B&B seed — a cold path (n ≤ kExactSeedJobLimit): the output is
@@ -137,7 +140,9 @@ CombinedMultiValues k_preemption_combined_multi_into(
   // Lax branch: iterative multi-machine LSA_CS on all lax jobs.
   sw.lap();
   Schedule& lax_schedule = s.lax_sched;
-  lsa_cs_multi_into(jobs, lax_ids, options.k, machines, s.lsa, lax_schedule);
+  s.columns.build(jobs);  // SoA mirror for the LSA_CS class-selection loops
+  lsa_cs_multi_into(s.columns.view(), lax_ids, options.k, machines, s.lsa,
+                    lax_schedule);
   if (timings) timings->lsa_s += sw.lap();
   values.lax_value = lax_schedule.total_value(jobs);
 

@@ -18,6 +18,7 @@
 
 #include "pobp/lsa/lsa.hpp"
 #include "pobp/reduction/rebuild.hpp"
+#include "pobp/schedule/columns.hpp"
 #include "pobp/schedule/job.hpp"
 #include "pobp/schedule/validate.hpp"
 #include "pobp/solvers/solvers.hpp"
@@ -28,6 +29,7 @@ struct SolveScratch {
   GreedyScratch greedy;        ///< seed stage
   ReductionScratch reduction;  ///< laminarize/forest/TM/left-merge stages
   LsaScratch lsa;              ///< lax branch and k = 0 path
+  JobColumns columns;  ///< SoA job mirror, built once per pipeline entry
 
   std::vector<JobId> ids;        ///< all-ids staging
   std::vector<JobId> remaining;  ///< k = 0 residual staging

@@ -41,6 +41,7 @@ using rules::kSrcNakedAlloc;
 using rules::kSrcBlockingSubmit;
 using rules::kSrcNondeterminism;
 using rules::kSrcThrowInContainment;
+using rules::kSrcRawIntrinsics;
 using rules::kSrcUnboundedRetry;
 
 // Ordered by id; find_rule binary-searches this table.
@@ -245,6 +246,15 @@ constexpr RuleInfo kCatalogue[] = {
      "An unbounded sleep-retry can stall a pool worker forever and blow "
      "through every request deadline.  Suppress with "
      "`// POBP-SRC-008: reason`."},
+    {kSrcRawIntrinsics, Severity::kError,
+     "raw ISA intrinsic outside the portable SIMD wrapper",
+     "docs/PERF.md (portable SIMD)",
+     "Vector kernels must go through pobp/util/simd.hpp, whose "
+     "vector-extension helpers compile on every GCC/Clang target and "
+     "degrade to a scalar fallback elsewhere.  A raw x86 `_mm*`/"
+     "`__m128`-family or NEON `vld1`-style intrinsic pins the file to "
+     "one ISA, breaks the scalar build, and bypasses the wrapper's "
+     "bit-identity contract.  Suppress with `// POBP-SRC-009: reason`."},
 };
 
 constexpr bool catalogue_sorted() {

@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "pobp/schedule/columns.hpp"
 #include "pobp/schedule/schedule.hpp"
 #include "pobp/schedule/timeline.hpp"
 
@@ -57,6 +59,11 @@ struct LsaScratch {
   IdleTimeline timeline;             ///< pooled busy-run timeline
   LsaResult attempt;                 ///< per-class staging (lsa_cs_into)
   LsaResult cs_best;                 ///< winning-class staging (multi form)
+  std::vector<std::uint32_t> class_of;      ///< per candidate, classify stage
+  std::vector<std::uint32_t> class_counts;  ///< counting-sort histogram
+  std::vector<std::int64_t> class_bounds;   ///< base^c length boundaries
+  std::vector<std::int64_t> class_vals;     ///< gathered per-candidate keys
+  JobColumns columns;  ///< SoA mirror for the JobSet-taking entry points
 };
 
 /// Plain LSA over `candidates` on one (initially empty) machine.
@@ -113,6 +120,32 @@ void lsa_cs_into(const JobSet& jobs, std::span<const JobId> candidates,
 void lsa_cs_multi_into(const JobSet& jobs, std::span<const JobId> candidates,
                        std::size_t k, std::size_t machine_count,
                        LsaScratch& scratch, Schedule& out);
+
+/// Columnar forms (identical results): the solve pipeline builds the
+/// JobColumns once per solve (SolveScratch) and passes the view, skipping
+/// the per-call SoA rebuild the JobSet overloads perform.
+void lsa_into(const JobSetView& jobs, std::span<const JobId> candidates,
+              std::size_t k, LsaOrder order, LsaScratch& scratch,
+              LsaResult& out);
+void lsa_cs_into(const JobSetView& jobs, std::span<const JobId> candidates,
+                 std::size_t k, ClassifyBy by, LsaOrder order,
+                 LsaScratch& scratch, LsaResult& out);
+void lsa_cs_multi_into(const JobSetView& jobs,
+                       std::span<const JobId> candidates, std::size_t k,
+                       std::size_t machine_count, LsaScratch& scratch,
+                       Schedule& out);
+
+/// The LSA_CS classification kernel, exposed for the kernel bench and the
+/// SoA/AoS equivalence tests: computes every candidate's class (length /
+/// value / density per `by`) and groups `scratch.classes` by ascending
+/// class with members in candidates order — exactly the (class, id) pairs
+/// a stable sort by class would produce, but via a 4-lane classify pass
+/// (exponent-bit classes, power-of-base boundary table) and a counting
+/// sort over the bounded class range.  Returns the number of distinct
+/// classes.
+std::size_t lsa_classify(const JobSetView& jobs,
+                         std::span<const JobId> candidates, std::size_t k,
+                         ClassifyBy by, LsaScratch& scratch);
 
 /// The length-class index of a job for class base `base` (≥ 2): the unique
 /// c ≥ 0 with base^c ≤ p_j < base^(c+1).

@@ -5,60 +5,131 @@
 #include <vector>
 
 #include "pobp/util/assert.hpp"
+#include "pobp/util/radix.hpp"
+#include "pobp/util/simd.hpp"
 
 namespace pobp {
 namespace {
 
-/// Core EDF loop.  Record=false skips all segment bookkeeping (the greedy
-/// feasibility probe); Record=true leaves the merged run log in
-/// scratch.runs.  Every scratch.remaining entry touched is zeroed again
-/// before returning, so the job-indexed arrays stay sparsely clean even on
-/// early (infeasible) exits.
+/// Core EDF loop over the columnar view.  Record=false skips all segment
+/// bookkeeping (the greedy feasibility probe); Record=true leaves the
+/// merged run log in scratch.runs.  Every scratch.remaining entry touched
+/// is zeroed again before returning, so the job-indexed arrays stay
+/// sparsely clean even on early (infeasible) exits.
+///
+/// The release-order sort runs on packed 64-bit keys (release in the high
+/// word, id in the low word) whenever every release fits in [0, 2^32):
+/// unsigned key order is then exactly the (release asc, id asc) comparator
+/// order, and the sort touches one contiguous u64 array instead of
+/// gathering two Job fields per comparison.  Out-of-range releases fall
+/// back to the comparator sort — same order, by definition.  Either way
+/// the sweep reads releases from the contiguous rel_sorted column.
 template <bool Record>
-bool edf_simulate(const JobSet& jobs, std::span<const JobId> subset,
+bool edf_simulate(const JobSetView& jobs, std::span<const JobId> subset,
                   EdfScratch& s) {
   auto& by_release = s.by_release;
-  by_release.assign(subset.begin(), subset.end());
-  std::sort(by_release.begin(), by_release.end(), [&](JobId a, JobId b) {
-    if (jobs[a].release != jobs[b].release) {
-      return jobs[a].release < jobs[b].release;
+  auto& rel = s.rel_sorted;
+  const std::size_t count = subset.size();
+  rel.resize(count);
+  bool packable = true;
+  std::uint64_t max_rel = 0;
+  std::uint64_t max_id = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Time r = jobs.release[subset[i]];
+    rel[i] = r;
+    packable &= static_cast<std::uint64_t>(r) < (std::uint64_t{1} << 32);
+    max_rel = std::max(max_rel, static_cast<std::uint64_t>(r));
+    max_id = std::max(max_id, static_cast<std::uint64_t>(subset[i]));
+  }
+  if (packable) {
+    auto& keys = s.keys;
+    keys.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      keys[i] = (static_cast<std::uint64_t>(rel[i]) << 32) | subset[i];
     }
-    return a < b;
-  });
+    // Stable byte passes low-to-high — id half first, release half second
+    // — give the full lexicographic (release, id) order; each half only
+    // pays for the bytes its maximum value reaches.  Wide value ranges
+    // make the pass count exceed what O(n log n) on a flat u64 array
+    // costs, so the radix path is gated on the measured crossover.
+    const auto bytes_of = [](std::uint64_t v) {
+      unsigned b = 0;
+      for (; v != 0; v >>= 8) ++b;
+      return b;
+    };
+    if (bytes_of(max_id) + bytes_of(max_rel) <= 4) {
+      radix_sort_u64_bytes(keys, s.keys_tmp, 0, max_id);
+      radix_sort_u64_bytes(keys, s.keys_tmp, 32, max_rel);
+    } else {
+      std::sort(keys.begin(), keys.end());
+    }
+    by_release.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      by_release[i] = static_cast<JobId>(keys[i]);
+      rel[i] = static_cast<Time>(keys[i] >> 32);
+    }
+  } else {
+    by_release.assign(subset.begin(), subset.end());
+    std::sort(by_release.begin(), by_release.end(), [&](JobId a, JobId b) {
+      if (jobs.release[a] != jobs.release[b]) {
+        return jobs.release[a] < jobs.release[b];
+      }
+      return a < b;
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      rel[i] = jobs.release[by_release[i]];
+    }
+  }
 
   if (s.remaining.size() < jobs.size()) s.remaining.resize(jobs.size(), 0);
   for (const JobId id : by_release) {
     POBP_ASSERT_MSG(s.remaining[id] == 0, "duplicate job id in EDF subset");
-    s.remaining[id] = jobs[id].length;
+    s.remaining[id] = jobs.length[id];
   }
 
   auto& ready = s.ready;  // min-heap on (deadline, id): strict total order
   ready.clear();
   if (Record) s.runs.clear();
 
+  // First index in rel[from..) with a release strictly after `now` — the
+  // admission frontier.  rel is contiguous, so the scan is a 4-lane
+  // compare against broadcast `now` with a scalar tail.
+  const auto released_until = [&](std::size_t from, Time now) {
+    std::size_t i = from;
+    const simd::i64x4 vnow = simd::broadcast_i64(now);
+    while (i + simd::kLanes <= count) {
+      if (simd::any_true(simd::cmp_gt(simd::load_i64(rel.data() + i), vnow))) {
+        break;
+      }
+      i += simd::kLanes;
+    }
+    while (i < count && rel[i] <= now) ++i;
+    return i;
+  };
+
   const bool feasible = [&] {
     std::size_t next_release = 0;
     Time now = 0;
-    if (!by_release.empty()) now = jobs[by_release.front()].release;
+    if (count > 0) now = rel.front();
 
-    while (next_release < by_release.size() || !ready.empty()) {
+    while (next_release < count || !ready.empty()) {
       // Admit everything released by `now`.
-      while (next_release < by_release.size() &&
-             jobs[by_release[next_release]].release <= now) {
+      const std::size_t admit_end = released_until(next_release, now);
+      while (next_release < admit_end) {
         const JobId id = by_release[next_release++];
-        ready.emplace_back(jobs[id].deadline, id);
+        ready.emplace_back(jobs.deadline[id], id);
         std::push_heap(ready.begin(), ready.end(), std::greater<>{});
       }
       if (ready.empty()) {
-        now = jobs[by_release[next_release]].release;
+        now = rel[next_release];
         continue;
       }
       const JobId top = ready.front().second;
       // Run the earliest-deadline job until it completes or the next
       // release.
       Time until = now + s.remaining[top];
-      if (next_release < by_release.size()) {
-        until = std::min(until, jobs[by_release[next_release]].release);
+      if (next_release < count) {
+        until = std::min(until, rel[next_release]);
       }
       POBP_DASSERT(now < until);
       if (Record) {
@@ -72,10 +143,10 @@ bool edf_simulate(const JobSet& jobs, std::span<const JobId> subset,
       s.remaining[top] -= until - now;
       now = until;
       if (s.remaining[top] == 0) {
-        if (now > jobs[top].deadline) return false;
+        if (now > jobs.deadline[top]) return false;
         std::pop_heap(ready.begin(), ready.end(), std::greater<>{});
         ready.pop_back();
-      } else if (now > jobs[top].deadline) {
+      } else if (now > jobs.deadline[top]) {
         return false;  // already late; bail out early
       }
     }
@@ -88,12 +159,18 @@ bool edf_simulate(const JobSet& jobs, std::span<const JobId> subset,
 
 }  // namespace
 
-bool edf_feasible(const JobSet& jobs, std::span<const JobId> subset,
+bool edf_feasible(const JobSetView& jobs, std::span<const JobId> subset,
                   EdfScratch& scratch) {
   return edf_simulate</*Record=*/false>(jobs, subset, scratch);
 }
 
-bool edf_schedule_into(const JobSet& jobs, std::span<const JobId> subset,
+bool edf_feasible(const JobSet& jobs, std::span<const JobId> subset,
+                  EdfScratch& scratch) {
+  scratch.columns.build(jobs);
+  return edf_feasible(scratch.columns.view(), subset, scratch);
+}
+
+bool edf_schedule_into(const JobSetView& jobs, std::span<const JobId> subset,
                        EdfScratch& s, MachineSchedule& out) {
   out.clear();
   if (!edf_simulate</*Record=*/true>(jobs, subset, s)) return false;
@@ -130,6 +207,12 @@ bool edf_schedule_into(const JobSet& jobs, std::span<const JobId> subset,
     s.seg_count[id] = 0;  // restore sparse cleanliness
   }
   return true;
+}
+
+bool edf_schedule_into(const JobSet& jobs, std::span<const JobId> subset,
+                       EdfScratch& scratch, MachineSchedule& out) {
+  scratch.columns.build(jobs);
+  return edf_schedule_into(scratch.columns.view(), subset, scratch, out);
 }
 
 std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,

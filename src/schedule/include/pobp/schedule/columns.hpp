@@ -1,0 +1,75 @@
+// Columnar (struct-of-arrays) mirror of a JobSet (docs/PERF.md).
+//
+// The public data model stays AoS — `Job` is the IO/API type — but the
+// solve kernels stream job attributes, and a 32-byte record per attribute
+// read wastes 3/4 of every cache line.  JobColumns scatters one JobSet into
+// four contiguous columns (release, deadline, length, value) exactly once
+// per solve; JobSetView is the borrowed, pointer-sized view the kernels
+// take.  The columns live in scratch (SolveScratch / per-stage scratches),
+// so a warmed build() performs zero heap allocations.
+//
+// The values are bit-for-bit copies of the Job fields: any kernel reading
+// `view.release[id]` instead of `jobs[id].release` computes byte-identical
+// results by construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pobp/schedule/job.hpp"
+#include "pobp/util/assert.hpp"
+
+namespace pobp {
+
+/// Borrowed columnar view of a JobSet.  Valid as long as the owning
+/// JobColumns (or other column storage) outlives it and is not rebuilt.
+struct JobSetView {
+  const Time* release = nullptr;
+  const Time* deadline = nullptr;
+  const Duration* length = nullptr;
+  const Value* value = nullptr;
+  std::size_t n = 0;
+
+  std::size_t size() const { return n; }
+
+  /// Density σ_j = val(j) / p_j — same expression as Job::density().
+  double density(JobId id) const {
+    POBP_DASSERT(id < n);
+    return value[id] / static_cast<double>(length[id]);
+  }
+};
+
+/// Owning column storage, rebuilt from a JobSet in one pass.  All four
+/// vectors keep their capacity across build() calls (scratch semantics).
+struct JobColumns {
+  std::vector<Time> release;
+  std::vector<Time> deadline;
+  std::vector<Duration> length;
+  std::vector<Value> value;
+
+  std::size_t size() const { return release.size(); }
+
+  /// Scatters `jobs` into the columns.  O(n) sequential copies; performs no
+  /// allocation once the columns have grown to the largest instance seen.
+  void build(const JobSet& jobs) {
+    const std::size_t n = jobs.size();
+    release.resize(n);
+    deadline.resize(n);
+    length.resize(n);
+    value.resize(n);
+    const Job* src = jobs.jobs().data();
+    for (std::size_t i = 0; i < n; ++i) {
+      release[i] = src[i].release;
+      deadline[i] = src[i].deadline;
+      length[i] = src[i].length;
+      value[i] = src[i].value;
+    }
+  }
+
+  JobSetView view() const {
+    return {release.data(), deadline.data(), length.data(), value.data(),
+            release.size()};
+  }
+};
+
+}  // namespace pobp

@@ -22,6 +22,7 @@
 #include <optional>
 #include <span>
 
+#include "pobp/schedule/columns.hpp"
 #include "pobp/schedule/schedule.hpp"
 
 namespace pobp {
@@ -47,12 +48,23 @@ struct EdfScratch {
   std::vector<Segment> seg_buf;               ///< run-bucketing staging
   std::vector<std::uint32_t> seg_cursor;      ///< per subset slot
   std::vector<std::uint32_t> slot;            ///< per job id, sparse
+  std::vector<std::uint64_t> keys;            ///< packed (release, id) keys
+  std::vector<std::uint64_t> keys_tmp;        ///< radix-sort scatter buffer
+  std::vector<Time> rel_sorted;   ///< releases aligned with by_release
+  JobColumns columns;  ///< SoA mirror for the JobSet-taking entry points
 };
 
 /// True iff EDF completes every job of `subset` by its deadline, i.e. the
 /// subset is ∞-preemptive-feasible.  Records no schedule — this is the
 /// cheap form for greedy trial acceptance.
 bool edf_feasible(const JobSet& jobs, std::span<const JobId> subset,
+                  EdfScratch& scratch);
+
+/// Columnar form (identical result): callers that probe many subsets of
+/// one JobSet (greedy trial acceptance) build the columns once and pass
+/// the view, instead of paying the per-call SoA rebuild of the JobSet
+/// overload above.
+bool edf_feasible(const JobSetView& jobs, std::span<const JobId> subset,
                   EdfScratch& scratch);
 
 /// Simulates preemptive EDF of `subset` on one machine.
@@ -74,6 +86,10 @@ std::optional<MachineSchedule> edf_schedule(const JobSet& jobs,
 /// recycled — zero heap allocations once both scratch and `out` are warmed).
 /// Returns false, leaving `out` empty, when the subset is infeasible.
 bool edf_schedule_into(const JobSet& jobs, std::span<const JobId> subset,
+                       EdfScratch& scratch, MachineSchedule& out);
+
+/// Columnar form of edf_schedule_into (identical result).
+bool edf_schedule_into(const JobSetView& jobs, std::span<const JobId> subset,
                        EdfScratch& scratch, MachineSchedule& out);
 
 }  // namespace pobp

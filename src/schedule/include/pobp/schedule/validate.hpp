@@ -98,6 +98,9 @@ struct ValidateScratch {
   std::vector<MachineSchedule::TaggedSegment> timeline;  ///< exclusivity sweep
   std::vector<std::uint8_t> seen;  ///< per job id: already placed on a machine
   std::vector<JobId> touched;      ///< seen[] entries to restore
+  std::vector<std::uint64_t> sweep_keys;  ///< packed (begin, index) keys
+  std::vector<std::uint64_t> sweep_tmp;   ///< radix-sort scatter buffer
+  std::vector<Time> sweep_end;            ///< segment ends by index
 };
 
 /// Verdict-only validator: true iff validate(jobs, schedule, k) would find

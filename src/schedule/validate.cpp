@@ -1,12 +1,16 @@
 #include "pobp/schedule/validate.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "pobp/diag/registry.hpp"
 #include "pobp/util/faultinject.hpp"
+#include "pobp/util/radix.hpp"
+#include "pobp/util/simd.hpp"
 
 namespace pobp {
 namespace {
@@ -229,6 +233,71 @@ void diagnose_raw_schedule(const JobSet& jobs,
 
 namespace {
 
+/// Segment lists shorter than this stay on the scalar path: the 4-lane
+/// loop needs a one-segment scalar prologue and a ≤3-segment tail either
+/// way, so tiny lists (the common k+1-segment pipeline output) would pay
+/// vector setup for nothing.
+constexpr std::size_t kSimdSegmentThreshold = 8;
+
+static_assert(sizeof(Segment) == 2 * sizeof(Time),
+              "Segment must be a bare (begin, end) pair for the lane loads");
+
+/// Per-segment checks of one assignment (POBP-SCHED-003/004/005) plus the
+/// scheduled-length sum, verdict only.  The vector loop checks four
+/// segments per step: begins/ends deinterleave from the contiguous
+/// Segment pairs, and the previous-end stream is the same data re-read at
+/// a one-int64 offset.  The length sum is int64 and therefore free to
+/// reassociate across lanes — verdicts and all outputs are identical to
+/// the scalar loop.
+bool segments_fast(const std::vector<Segment>& segs, Time release,
+                   Time deadline, Duration expected_length) {
+  const std::size_t n = segs.size();
+  std::size_t i = 0;
+  Duration scheduled = 0;
+  Time prev_end = 0;
+  bool have_prev = false;
+  if (n >= kSimdSegmentThreshold) {
+    // Scalar prologue: segment 0 has no predecessor to compare against.
+    const Segment& first = segs[0];
+    if (first.empty()) return false;              // POBP-SCHED-003
+    if (first.begin < release || first.end > deadline) {
+      return false;                               // POBP-SCHED-005
+    }
+    scheduled = first.length();
+    const auto* flat = reinterpret_cast<const std::int64_t*>(segs.data());
+    const simd::i64x4 vrel = simd::broadcast_i64(release);
+    const simd::i64x4 vdl = simd::broadcast_i64(deadline);
+    simd::i64x4 acc = simd::broadcast_i64(0);
+    for (i = 1; i + simd::kLanes <= n; i += simd::kLanes) {
+      simd::i64x4 begins, ends, prev_ends, next_begins;
+      simd::load_pairs_i64(flat + 2 * i, begins, ends);
+      simd::load_pairs_i64(flat + 2 * i - 1, prev_ends, next_begins);
+      const simd::i64x4 bad = simd::or_i64(
+          simd::or_i64(simd::cmp_le(ends, begins),       // POBP-SCHED-003
+                       simd::cmp_lt(begins, vrel)),      // POBP-SCHED-005
+          simd::or_i64(simd::cmp_gt(ends, vdl),          // POBP-SCHED-005
+                       simd::cmp_gt(prev_ends, begins)));  // POBP-SCHED-004
+      if (simd::any_true(bad)) return false;
+      acc = simd::add_i64(acc, simd::sub_i64(ends, begins));
+    }
+    scheduled += simd::reduce_add_i64(acc);
+    prev_end = segs[i - 1].end;
+    have_prev = true;
+  }
+  for (; i < n; ++i) {
+    const Segment& seg = segs[i];
+    if (seg.empty()) return false;                // POBP-SCHED-003
+    if (seg.begin < release || seg.end > deadline) {
+      return false;                               // POBP-SCHED-005
+    }
+    if (have_prev && prev_end > seg.begin) return false;  // POBP-SCHED-004
+    prev_end = seg.end;
+    have_prev = true;
+    scheduled += seg.length();
+  }
+  return scheduled == expected_length;            // POBP-SCHED-006
+}
+
 /// One machine's share of validate_fast: the same predicates
 /// diagnose_machine checks, first failure wins.  Schedules reaching this
 /// path are MachineSchedule-built (normalized), but nothing here assumes
@@ -239,31 +308,49 @@ bool validate_machine_fast(const JobSet& jobs, const MachineSchedule& ms,
     if (a.job >= jobs.size()) return false;       // POBP-SCHED-001
     const Job& job = jobs[a.job];
     if (a.segments.empty()) return false;         // POBP-SCHED-002
-    Duration scheduled = 0;
-    std::size_t real_segments = 0;
-    std::size_t prev = a.segments.size();
-    for (std::size_t i = 0; i < a.segments.size(); ++i) {
-      const Segment& seg = a.segments[i];
-      if (seg.empty()) return false;              // POBP-SCHED-003
-      if (seg.begin < job.release || seg.end > job.deadline) {
-        return false;                             // POBP-SCHED-005
-      }
-      if (prev != a.segments.size() && a.segments[prev].end > seg.begin) {
-        return false;                             // POBP-SCHED-004
-      }
-      prev = i;
-      scheduled += seg.length();
-      ++real_segments;
+    if (!segments_fast(a.segments, job.release, job.deadline, job.length)) {
+      return false;                               // POBP-SCHED-003..006
     }
-    if (scheduled != job.length) return false;    // POBP-SCHED-006
-    const std::size_t preemptions =
-        real_segments == 0 ? 0 : real_segments - 1;
+    // All segments are non-empty past segments_fast.
+    const std::size_t preemptions = a.segments.size() - 1;
     if (k != kUnboundedPreemptions && preemptions > k) {
       return false;                               // POBP-SCHED-007
     }
   }
   // Machine exclusivity (POBP-SCHED-008): with the timeline sorted by
-  // begin, adjacent disjointness implies pairwise disjointness.
+  // begin, adjacent disjointness implies pairwise disjointness — and the
+  // verdict is independent of the tie order among equal begins (two
+  // non-empty segments with the same begin always overlap).  Fast path:
+  // pack (begin, segment index) into one u64 per segment and sort the flat
+  // key array instead of comparator-sorting 24-byte tagged records; begins
+  // outside [0, 2^32) fall back to the tagged-timeline sweep.
+  auto& keys = s.sweep_keys;
+  auto& ends = s.sweep_end;
+  keys.clear();
+  ends.clear();
+  bool packable = true;
+  std::uint64_t max_begin = 0;
+  for (const Assignment& a : ms.assignments()) {
+    for (const Segment& seg : a.segments) {
+      const auto begin = static_cast<std::uint64_t>(seg.begin);
+      packable &= begin < (std::uint64_t{1} << 32);
+      max_begin = std::max(max_begin, begin);
+      keys.push_back((begin << 32) |
+                     static_cast<std::uint32_t>(ends.size()));
+      ends.push_back(seg.end);
+    }
+  }
+  if (packable && ends.size() < (std::uint64_t{1} << 32)) {
+    // Sort by the begin half only: the verdict does not depend on the tie
+    // order among equal begins, so the index bits never need a pass.
+    radix_sort_u64_bytes(keys, s.sweep_tmp, 32, max_begin);
+    Time prev_end = std::numeric_limits<Time>::min();
+    for (const std::uint64_t key : keys) {
+      if (prev_end > static_cast<Time>(key >> 32)) return false;
+      prev_end = ends[static_cast<std::uint32_t>(key)];
+    }
+    return true;
+  }
   ms.timeline_into(s.timeline);
   for (std::size_t i = 1; i < s.timeline.size(); ++i) {
     if (s.timeline[i - 1].segment.end > s.timeline[i].segment.begin) {

@@ -8,13 +8,19 @@
 
 namespace pobp {
 
-void greedy_infinity_into(const JobSet& jobs, std::span<const JobId> candidates,
-                          GreedyScratch& scratch, MachineSchedule& out) {
+namespace {
+
+/// Columnar core: the caller owns the view's column storage, so the O(n)
+/// SoA build is paid once per JobSet even though the trial-acceptance loop
+/// probes O(n) candidate subsets.
+void greedy_infinity_view_into(const JobSetView& jobs,
+                               std::span<const JobId> candidates,
+                               GreedyScratch& scratch, MachineSchedule& out) {
   auto& order = scratch.order;
   order.assign(candidates.begin(), candidates.end());
   std::sort(order.begin(), order.end(), [&](JobId a, JobId b) {
-    const double lhs = jobs[a].value * static_cast<double>(jobs[b].length);
-    const double rhs = jobs[b].value * static_cast<double>(jobs[a].length);
+    const double lhs = jobs.value[a] * static_cast<double>(jobs.length[b]);
+    const double rhs = jobs.value[b] * static_cast<double>(jobs.length[a]);
     if (lhs != rhs) return lhs > rhs;
     return a < b;
   });
@@ -37,6 +43,15 @@ void greedy_infinity_into(const JobSet& jobs, std::span<const JobId> candidates,
                  "greedy accepted set must be EDF-feasible");
 }
 
+}  // namespace
+
+void greedy_infinity_into(const JobSet& jobs, std::span<const JobId> candidates,
+                          GreedyScratch& scratch, MachineSchedule& out) {
+  scratch.edf.columns.build(jobs);
+  greedy_infinity_view_into(scratch.edf.columns.view(), candidates, scratch,
+                            out);
+}
+
 MachineSchedule greedy_infinity(const JobSet& jobs,
                                 std::span<const JobId> candidates,
                                 GreedyScratch& scratch) {
@@ -51,7 +66,7 @@ MachineSchedule greedy_infinity(const JobSet& jobs,
   return greedy_infinity(jobs, candidates, scratch);
 }
 
-void greedy_infinity_multi_into(const JobSet& jobs,
+void greedy_infinity_multi_into(const JobSetView& jobs,
                                 std::span<const JobId> candidates,
                                 std::size_t machine_count,
                                 GreedyScratch& scratch, Schedule& out) {
@@ -60,10 +75,19 @@ void greedy_infinity_multi_into(const JobSet& jobs,
   auto& remaining = scratch.residual;
   remaining.assign(candidates.begin(), candidates.end());
   for (std::size_t m = 0; m < machine_count && !remaining.empty(); ++m) {
-    greedy_infinity_into(jobs, remaining, scratch, out.machine(m));
+    greedy_infinity_view_into(jobs, remaining, scratch, out.machine(m));
     std::erase_if(remaining,
                   [&](JobId id) { return out.machine(m).contains(id); });
   }
+}
+
+void greedy_infinity_multi_into(const JobSet& jobs,
+                                std::span<const JobId> candidates,
+                                std::size_t machine_count,
+                                GreedyScratch& scratch, Schedule& out) {
+  scratch.edf.columns.build(jobs);  // once for all machines' residual passes
+  greedy_infinity_multi_into(scratch.edf.columns.view(), candidates,
+                             machine_count, scratch, out);
 }
 
 Schedule greedy_infinity_multi(const JobSet& jobs,

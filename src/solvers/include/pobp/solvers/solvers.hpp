@@ -91,4 +91,12 @@ void greedy_infinity_multi_into(const JobSet& jobs,
                                 std::size_t machine_count,
                                 GreedyScratch& scratch, Schedule& out);
 
+/// Columnar form (identical result): the caller owns the view's column
+/// storage (SolveScratch builds it once per solve), so the O(n) SoA
+/// rebuild the JobSet overload performs per call is skipped.
+void greedy_infinity_multi_into(const JobSetView& jobs,
+                                std::span<const JobId> candidates,
+                                std::size_t machine_count,
+                                GreedyScratch& scratch, Schedule& out);
+
 }  // namespace pobp

@@ -457,6 +457,46 @@ void check_unbounded_retry(const SourceFile& file, diag::Report& report) {
   }
 }
 
+// --- SRC-009: raw ISA intrinsics outside the portable SIMD wrapper ----------
+
+// The SIMD kernels' portability contract (docs/PERF.md): every explicit
+// vector operation goes through pobp/util/simd.hpp, whose GCC/Clang
+// vector-extension helpers compile on any target and fall back to scalar
+// code elsewhere.  A raw ISA intrinsic anywhere else pins that file to one
+// architecture and sidesteps the wrapper's bit-identity guarantees.
+constexpr std::string_view kSimdWrapper =
+    "src/util/include/pobp/util/simd.hpp";
+
+/// True for identifiers shaped like raw ISA intrinsics: x86 `_mm*` calls,
+/// `__m128`-family vector types, `__builtin_ia32_*` builtins, and NEON
+/// `vld1q_s64`-style load/store names (v + ld/st + lane digit).
+bool is_raw_intrinsic(std::string_view name) {
+  if (starts_with(name, "_mm") || starts_with(name, "__builtin_ia32_")) {
+    return true;
+  }
+  if (name.size() >= 4 && starts_with(name, "__m") &&
+      name[3] >= '0' && name[3] <= '9') {
+    return true;  // __m128i, __m256d, __m512 ...
+  }
+  return name.size() >= 4 &&
+         (starts_with(name, "vld") || starts_with(name, "vst")) &&
+         name[3] >= '0' && name[3] <= '9';
+}
+
+void check_raw_intrinsics(const SourceFile& file, diag::Report& report) {
+  if (file.path == kSimdWrapper) return;  // the one place they may live
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokenKind::kIdentifier || !is_raw_intrinsic(t.text)) {
+      continue;
+    }
+    emit(file, report, rules::kSrcRawIntrinsics, t.line, t.column,
+         "raw ISA intrinsic `" + t.text +
+             "` — kernels must use the portable helpers in "
+             "pobp/util/simd.hpp so every target keeps the scalar "
+             "fallback and bit-identical results (docs/PERF.md)");
+  }
+}
+
 }  // namespace
 
 void lint_source(const SourceFile& file, const LintOptions& options,
@@ -478,6 +518,7 @@ void lint_source(const SourceFile& file, const LintOptions& options,
   }
   if (enabled(rules::kSrcBlockingSubmit)) check_blocking_submit(file, report);
   if (enabled(rules::kSrcUnboundedRetry)) check_unbounded_retry(file, report);
+  if (enabled(rules::kSrcRawIntrinsics)) check_raw_intrinsics(file, report);
 }
 
 void lint_file(const std::string& fs_path, std::string rel_path,

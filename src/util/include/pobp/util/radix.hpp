@@ -1,0 +1,54 @@
+// Byte-wise LSD radix sorting for packed u64 sort keys.
+//
+// The hot sorts in the solve path (EDF release order, the validator's
+// exclusivity sweep) sort keys of the form (field << 32) | index whose
+// fields span a small, known range.  A stable least-significant-byte radix
+// pass costs O(n) per *populated* byte — the helpers here take the maximum
+// significant value and stop as soon as its bytes are exhausted, so a
+// 16-bit field costs two linear passes where a comparator sort pays
+// O(n log n) with data-dependent branches.
+//
+// Stability is the contract that makes composition work: sorting byte
+// ranges from least to most significant (e.g. the index half first, the
+// field half second) yields the full lexicographic (field, index) order.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace pobp {
+
+/// Stable LSD radix passes over `keys`, starting at bit `first_shift` and
+/// covering exactly the bytes needed to represent `significant` (the
+/// maximum value any key holds in the sorted bit range, pre-shift).  Keys
+/// must agree on every byte above the covered range for the result to be a
+/// total sort of that range; `tmp` is the scatter buffer (resized here,
+/// capacity retained by the caller's scratch).  Requires n < 2^32.
+inline void radix_sort_u64_bytes(std::vector<std::uint64_t>& keys,
+                                 std::vector<std::uint64_t>& tmp,
+                                 unsigned first_shift,
+                                 std::uint64_t significant) {
+  const std::size_t n = keys.size();
+  tmp.resize(n);
+  std::uint32_t counts[256];
+  for (unsigned shift = first_shift; significant != 0;
+       shift += 8, significant >>= 8) {
+    std::fill(std::begin(counts), std::end(counts), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[(keys[i] >> shift) & 0xff];
+    }
+    std::uint32_t sum = 0;
+    for (std::uint32_t& c : counts) {
+      const std::uint32_t here = c;
+      c = sum;
+      sum += here;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[counts[(keys[i] >> shift) & 0xff]++] = keys[i];
+    }
+    keys.swap(tmp);
+  }
+}
+
+}  // namespace pobp

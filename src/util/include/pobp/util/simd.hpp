@@ -1,0 +1,225 @@
+// Portable explicit-width SIMD wrapper (docs/PERF.md).
+//
+// The solve kernels (TM child-merge, EDF sweep, LSA_CS classification,
+// validate_fast) express their inner loops against these 4-lane types so
+// the vector shape is explicit in the kernel source, while the
+// implementation stays portable: under GCC/Clang the types are compiler
+// vector extensions (the release preset's POBP_NATIVE flag lets the
+// backend pick AVX2/NEON/… for them), everywhere else they fall back to a
+// plain 4-element struct that optimizers autovectorize freely.
+//
+// Contract:
+//   * No ISA intrinsics — not here, not in kernels.  `_mm*`/`vld*` et al.
+//     are banned repo-wide by srclint rule POBP-SRC-009; this header is the
+//     single allowed abstraction point and deliberately never needs them.
+//   * Bit-identical semantics.  Every op is lane-wise two's-complement
+//     int64 or IEEE-754 double arithmetic, identical to the scalar
+//     expression per lane.  Kernels may reorder *integer* reductions
+//     (associative); double summation order is part of the result contract
+//     and must never be reassociated (see docs/PERF.md).
+//   * Unaligned loads/stores only — callers never over-align scratch.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace pobp::simd {
+
+inline constexpr std::size_t kLanes = 4;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define POBP_SIMD_VECTOR_EXT 1
+
+using i64x4 = std::int64_t __attribute__((vector_size(32)));
+using f64x4 = double __attribute__((vector_size(32)));
+
+inline i64x4 load_i64(const std::int64_t* p) {
+  i64x4 v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline void store_i64(std::int64_t* p, i64x4 v) { std::memcpy(p, &v, sizeof v); }
+
+inline i64x4 broadcast_i64(std::int64_t x) { return i64x4{x, x, x, x}; }
+
+inline f64x4 load_f64(const double* p) {
+  f64x4 v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline i64x4 bitcast_i64(f64x4 v) {
+  i64x4 out;
+  std::memcpy(&out, &v, sizeof out);
+  return out;
+}
+
+/// Lane-wise compare; lanes are all-ones (-1) where true, 0 where false.
+inline i64x4 cmp_lt(i64x4 a, i64x4 b) { return a < b; }
+inline i64x4 cmp_le(i64x4 a, i64x4 b) { return a <= b; }
+inline i64x4 cmp_gt(i64x4 a, i64x4 b) { return a > b; }
+
+inline i64x4 max_i64(i64x4 a, i64x4 b) { return a > b ? a : b; }
+
+/// Deinterleaves 4 consecutive {lo, hi} int64 pairs starting at p:
+/// lo = {p[0], p[2], p[4], p[6]}, hi = {p[1], p[3], p[5], p[7]}.
+/// This is the Segment-array access pattern (begin/end pairs).
+inline void load_pairs_i64(const std::int64_t* p, i64x4& lo, i64x4& hi) {
+  const i64x4 a = load_i64(p);
+  const i64x4 b = load_i64(p + 4);
+  lo = __builtin_shufflevector(a, b, 0, 2, 4, 6);
+  hi = __builtin_shufflevector(a, b, 1, 3, 5, 7);
+}
+
+inline bool any_true(i64x4 mask) {
+  return (mask[0] | mask[1] | mask[2] | mask[3]) != 0;
+}
+
+/// Horizontal add.  Integer only: reassociating doubles is forbidden.
+inline std::int64_t reduce_add_i64(i64x4 v) {
+  return v[0] + v[1] + v[2] + v[3];
+}
+
+inline std::int64_t lane(i64x4 v, std::size_t i) { return v[i]; }
+
+#else  // portable scalar fallback (autovector-friendly fixed-trip loops)
+
+struct i64x4 {
+  std::int64_t lane[kLanes];
+};
+struct f64x4 {
+  double lane[kLanes];
+};
+
+inline i64x4 load_i64(const std::int64_t* p) {
+  i64x4 v;
+  for (std::size_t i = 0; i < kLanes; ++i) v.lane[i] = p[i];
+  return v;
+}
+
+inline void store_i64(std::int64_t* p, i64x4 v) {
+  for (std::size_t i = 0; i < kLanes; ++i) p[i] = v.lane[i];
+}
+
+inline i64x4 broadcast_i64(std::int64_t x) { return {{x, x, x, x}}; }
+
+inline f64x4 load_f64(const double* p) {
+  f64x4 v;
+  for (std::size_t i = 0; i < kLanes; ++i) v.lane[i] = p[i];
+  return v;
+}
+
+inline i64x4 bitcast_i64(f64x4 v) {
+  i64x4 out;
+  std::memcpy(out.lane, v.lane, sizeof out.lane);
+  return out;
+}
+
+inline i64x4 cmp_lt(i64x4 a, i64x4 b) {
+  i64x4 v;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    v.lane[i] = a.lane[i] < b.lane[i] ? -1 : 0;
+  }
+  return v;
+}
+
+inline i64x4 cmp_le(i64x4 a, i64x4 b) {
+  i64x4 v;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    v.lane[i] = a.lane[i] <= b.lane[i] ? -1 : 0;
+  }
+  return v;
+}
+
+inline i64x4 cmp_gt(i64x4 a, i64x4 b) {
+  i64x4 v;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    v.lane[i] = a.lane[i] > b.lane[i] ? -1 : 0;
+  }
+  return v;
+}
+
+inline i64x4 max_i64(i64x4 a, i64x4 b) {
+  i64x4 v;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    v.lane[i] = a.lane[i] > b.lane[i] ? a.lane[i] : b.lane[i];
+  }
+  return v;
+}
+
+inline void load_pairs_i64(const std::int64_t* p, i64x4& lo, i64x4& hi) {
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    lo.lane[i] = p[2 * i];
+    hi.lane[i] = p[2 * i + 1];
+  }
+}
+
+inline bool any_true(i64x4 mask) {
+  return (mask.lane[0] | mask.lane[1] | mask.lane[2] | mask.lane[3]) != 0;
+}
+
+inline std::int64_t reduce_add_i64(i64x4 v) {
+  return v.lane[0] + v.lane[1] + v.lane[2] + v.lane[3];
+}
+
+inline std::int64_t lane(i64x4 v, std::size_t i) { return v.lane[i]; }
+
+#endif
+
+/// Lane-wise a + b for i64x4 in both representations.
+inline i64x4 add_i64(i64x4 a, i64x4 b) {
+#ifdef POBP_SIMD_VECTOR_EXT
+  return a + b;
+#else
+  i64x4 v;
+  for (std::size_t i = 0; i < kLanes; ++i) v.lane[i] = a.lane[i] + b.lane[i];
+  return v;
+#endif
+}
+
+/// Lane-wise a - b.
+inline i64x4 sub_i64(i64x4 a, i64x4 b) {
+#ifdef POBP_SIMD_VECTOR_EXT
+  return a - b;
+#else
+  i64x4 v;
+  for (std::size_t i = 0; i < kLanes; ++i) v.lane[i] = a.lane[i] - b.lane[i];
+  return v;
+#endif
+}
+
+/// Lane-wise mask or.
+inline i64x4 or_i64(i64x4 a, i64x4 b) {
+#ifdef POBP_SIMD_VECTOR_EXT
+  return a | b;
+#else
+  i64x4 v;
+  for (std::size_t i = 0; i < kLanes; ++i) v.lane[i] = a.lane[i] | b.lane[i];
+  return v;
+#endif
+}
+
+/// Lane-wise arithmetic shift right by a compile-time-ish amount.
+inline i64x4 shr_i64(i64x4 a, int bits) {
+#ifdef POBP_SIMD_VECTOR_EXT
+  return a >> bits;
+#else
+  i64x4 v;
+  for (std::size_t i = 0; i < kLanes; ++i) v.lane[i] = a.lane[i] >> bits;
+  return v;
+#endif
+}
+
+/// Lane-wise and with a broadcast constant.
+inline i64x4 and_i64(i64x4 a, std::int64_t mask) {
+#ifdef POBP_SIMD_VECTOR_EXT
+  return a & broadcast_i64(mask);
+#else
+  i64x4 v;
+  for (std::size_t i = 0; i < kLanes; ++i) v.lane[i] = a.lane[i] & mask;
+  return v;
+#endif
+}
+
+}  // namespace pobp::simd

@@ -30,6 +30,11 @@ std::vector<int> hashed(const std::unordered_map<int, int>& unused) {
   return out;
 }
 
+long lane0(const long* p) {
+  // POBP-SRC-009: fixture — the wrapper itself is the only real home
+  return _mm_cvtsi128_si64(_mm_loadu_si128((const __m128i*)p));
+}
+
 bool try_flag(const char* text) {
   if (text == nullptr) {
     throw std::invalid_argument("null");  // POBP-SRC-006: fixture

@@ -13,14 +13,19 @@
 //      with counting enabled, skipped otherwise).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pobp/pobp.hpp"
 #include "pobp/bas/tm.hpp"
 #include "pobp/core/scratch.hpp"
+#include "pobp/lsa/lsa.hpp"
+#include "pobp/schedule/columns.hpp"
+#include "pobp/util/faultinject.hpp"
 #include "pobp/gen/forest_gen.hpp"
 #include "pobp/gen/random_jobs.hpp"
 #include "pobp/gen/schedule_gen.hpp"
@@ -220,6 +225,112 @@ TEST(EngineScratch, WarmSessionsMatchColdSessions) {
     for (std::size_t i = 0; i < cold.size(); ++i) {
       EXPECT_EQ(fingerprint(warm[i]), fingerprint(cold[i]))
           << "k=" << k << " instance " << i;
+    }
+  }
+}
+
+// ------------------------------------------- SoA/AoS equivalence ----------
+
+// The columnar JobSetView is a byte-faithful mirror of the Job AoS: every
+// column holds exactly the field values of the source jobs, in id order.
+TEST(SoaEquivalence, ColumnsMirrorTheJobArrayExactly) {
+  for (const JobSet& jobs : mixed_corpus(6, 910)) {
+    JobColumns columns;
+    columns.build(jobs);
+    const JobSetView view = columns.view();
+    ASSERT_EQ(view.size(), jobs.size());
+    for (JobId id = 0; id < jobs.size(); ++id) {
+      const Job& job = jobs[id];
+      ASSERT_EQ(view.release[id], job.release) << "job " << id;
+      ASSERT_EQ(view.deadline[id], job.deadline) << "job " << id;
+      ASSERT_EQ(view.length[id], job.length) << "job " << id;
+      ASSERT_EQ(view.value[id], job.value) << "job " << id;
+    }
+  }
+}
+
+// The vectorized classify kernel (exponent-bit classes, boundary table,
+// counting sort) against the scalar definition: length_class() per job,
+// stable-sorted by class.  Randomized over the mixed corpus.
+TEST(SoaEquivalence, LsaClassifyMatchesScalarReference) {
+  LsaScratch scratch;
+  for (const JobSet& jobs : mixed_corpus(10, 412)) {
+    std::vector<JobId> ids(jobs.size());
+    std::iota(ids.begin(), ids.end(), JobId{0});
+    scratch.columns.build(jobs);
+    for (std::size_t k : {0u, 1u, 2u, 5u}) {
+      const std::size_t base = std::max<std::size_t>(k + 1, 2);
+      std::vector<std::pair<std::size_t, JobId>> expected;
+      for (const JobId id : ids) {
+        expected.emplace_back(length_class(jobs[id].length, base), id);
+      }
+      std::stable_sort(expected.begin(), expected.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      std::size_t distinct = 0;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (i == 0 || expected[i].first != expected[i - 1].first) ++distinct;
+      }
+
+      const std::size_t got = lsa_classify(scratch.columns.view(), ids, k,
+                                           ClassifyBy::kLength, scratch);
+      EXPECT_EQ(got, distinct) << "k=" << k;
+      ASSERT_EQ(scratch.classes, expected) << "k=" << k;
+    }
+  }
+}
+
+// The columnar solve pipeline at every worker count, and with each of the
+// five fault-injection sites fired mid-batch (then disarmed): the SoA
+// kernels share scratch buffers with the fault-unwind path, so a single
+// stale column after an unwind would show up here as a changed byte.
+TEST(SoaEquivalence, WorkersAndFaultSitesStayBitIdentical) {
+  const std::vector<JobSet> instances = mixed_corpus(10, 333);
+  const ScheduleOptions schedule{.k = 1, .machine_count = 2};
+
+  std::vector<std::string> expected;
+  for (const JobSet& jobs : instances) {
+    expected.push_back(
+        fingerprint(try_schedule_bounded(jobs, schedule).value()));
+  }
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    Engine engine({.schedule = schedule, .workers = workers});
+    const std::vector<ScheduleResult> results =
+        engine.solve_batch(instances, {});
+    ASSERT_EQ(results.size(), instances.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(fingerprint(results[i]), expected[i])
+          << "workers=" << workers << " instance " << i;
+    }
+  }
+
+  if (!fault::compiled_in()) return;  // sites below need the fault build
+  const char* sites[] = {"alloc", "laminarize", "tm_dp", "left_merge",
+                         "validate"};
+  for (const char* site : sites) {
+    Engine engine({.schedule = schedule,
+                   .workers = 2,
+                   .fault_injection = std::string(site) + "@4:1"});
+    const std::vector<SolveOutcome> faulted =
+        engine.try_solve_batch(instances, {});
+    fault::disarm();
+    ASSERT_EQ(faulted.size(), instances.size());
+    ASSERT_FALSE(faulted[4].has_value()) << site << " never fired";
+    for (std::size_t i = 0; i < faulted.size(); ++i) {
+      if (i == 4) continue;
+      ASSERT_TRUE(faulted[i].has_value()) << site << " instance " << i;
+      EXPECT_EQ(fingerprint(*faulted[i]), expected[i])
+          << site << " instance " << i;
+    }
+    // Same engine, disarmed: the unwound scratch must rebuild cleanly.
+    const std::vector<SolveOutcome> recovered =
+        engine.try_solve_batch(instances, {});
+    for (std::size_t i = 0; i < recovered.size(); ++i) {
+      ASSERT_TRUE(recovered[i].has_value()) << site << " instance " << i;
+      EXPECT_EQ(fingerprint(*recovered[i]), expected[i])
+          << site << " post-disarm instance " << i;
     }
   }
 }

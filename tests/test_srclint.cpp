@@ -230,6 +230,31 @@ TEST(Rules, UnboundedRetryFlagsSleepLoopsWithoutABound) {
                   .ok());
 }
 
+TEST(Rules, RawIntrinsicsBannedOutsideTheSimdWrapper) {
+  const std::string source =
+      "long f(const long* p) {\n"
+      "  __m128i v = _mm_loadu_si128((const __m128i*)p);\n"
+      "  return _mm_cvtsi128_si64(v);\n"
+      "}\n";
+  // Four findings: the two __m128i type uses and the two _mm_* calls.
+  EXPECT_EQ(count_rule(lint("src/schedule/kernels.cpp", source),
+                       diag::rules::kSrcRawIntrinsics),
+            4u);
+  // The wrapper itself is the one sanctioned home.
+  EXPECT_TRUE(lint("src/util/include/pobp/util/simd.hpp", source).ok());
+  // NEON spellings count too (vld/vst + lane digit).
+  EXPECT_EQ(count_rule(lint("src/bas/tm.cpp",
+                            "long g(const long* p) {\n"
+                            "  return vgetq_lane_s64(vld1q_s64(p), 0);\n"
+                            "}\n"),
+                       diag::rules::kSrcRawIntrinsics),
+            1u);
+  // Ordinary identifiers that merely start with v or _ stay quiet.
+  EXPECT_TRUE(lint("src/bas/tm.cpp",
+                   "int h(int vstep, int _max) { return vstep + _max; }\n")
+                  .ok());
+}
+
 TEST(Rules, InlineSuppressionSilencesOneRuleAtOneSite) {
   const diag::Report report =
       lint("src/core/x.cpp",
@@ -253,7 +278,8 @@ TEST(Registry, SrcRulesAreCatalogued) {
        {diag::rules::kSrcNakedAlloc, diag::rules::kSrcHotPathAlloc,
         diag::rules::kSrcImplicitMemoryOrder, diag::rules::kSrcNondeterminism,
         diag::rules::kSrcLayering, diag::rules::kSrcThrowInContainment,
-        diag::rules::kSrcBlockingSubmit, diag::rules::kSrcUnboundedRetry}) {
+        diag::rules::kSrcBlockingSubmit, diag::rules::kSrcUnboundedRetry,
+        diag::rules::kSrcRawIntrinsics}) {
     EXPECT_NE(diag::find_rule(id), nullptr) << id;
   }
 }

@@ -29,6 +29,13 @@
 // gate (a silently dropped metric is a dropped guarantee); metrics only in
 // the current run are reported as new and pass.
 //
+// The header line reports the core count the baseline was recorded on
+// (bench_common's top-level "cores", or google-benchmark's
+// context.num_cpus) next to the runner's own, so a stale or mismatched
+// baseline is visible in every log.  Rows named XScalarRef are paired with
+// row X and the current run's ns/op ratio is printed as the measured
+// kernel speedup (informational).
+//
 // --require-cores N declares the core count the baseline's scaling metrics
 // were measured at.  On a runner with fewer cores, every metric whose name
 // contains "scaling" is excluded with an explicit SKIP line — including the
@@ -236,7 +243,13 @@ bool is_aggregate(const JValue& entry, const std::string& name) {
          name.find("_cv") != std::string::npos;
 }
 
-std::optional<std::map<std::string, Sample>> load(const std::string& path) {
+struct LoadResult {
+  std::map<std::string, Sample> samples;
+  int recorded_cores = -1;  ///< core count the file was produced on; -1 if
+                            ///< the producing binary predates the field
+};
+
+std::optional<LoadResult> load(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "bench_compare: cannot read " << path << "\n";
@@ -250,7 +263,17 @@ std::optional<std::map<std::string, Sample>> load(const std::string& path) {
     return std::nullopt;
   }
 
-  std::map<std::string, Sample> out;
+  LoadResult result;
+  // bench_common JsonWriter records "cores" at the top level;
+  // google-benchmark records context.num_cpus.
+  if (const JValue* cores = root->find("cores")) {
+    result.recorded_cores = static_cast<int>(cores->number);
+  } else if (const JValue* ctx = root->find("context")) {
+    if (const JValue* cpus = ctx->find("num_cpus")) {
+      result.recorded_cores = static_cast<int>(cpus->number);
+    }
+  }
+  std::map<std::string, Sample>& out = result.samples;
   if (const JValue* metrics = root->find("metrics")) {
     // bench_common.hpp JsonWriter format.
     for (const JValue& m : metrics->array) {
@@ -265,7 +288,7 @@ std::optional<std::map<std::string, Sample>> load(const std::string& path) {
       if (const JValue* v = m.find("value")) s.value = v->number;
       out[name->string] = s;
     }
-    return out;
+    return result;
   }
   if (const JValue* benchmarks = root->find("benchmarks")) {
     // google-benchmark --benchmark_out format.
@@ -280,7 +303,7 @@ std::optional<std::map<std::string, Sample>> load(const std::string& path) {
       if (const JValue* v = b.find("allocs_op")) s.allocs_per_op = v->number;
       out[name->string] = s;
     }
-    return out;
+    return result;
   }
   std::cerr << "bench_compare: " << path
             << ": neither \"metrics\" nor \"benchmarks\" found\n";
@@ -319,9 +342,23 @@ int main(int argc, char** argv) {
     return name.find("scaling") != std::string::npos;
   };
 
-  const auto baseline = load(paths[0]);
-  const auto current = load(paths[1]);
-  if (!baseline || !current) return 2;
+  const auto baseline_file = load(paths[0]);
+  const auto current_file = load(paths[1]);
+  if (!baseline_file || !current_file) return 2;
+  const std::map<std::string, Sample>* baseline = &baseline_file->samples;
+  const std::map<std::string, Sample>* current = &current_file->samples;
+
+  // A wall-clock baseline is only as meaningful as the machine it was
+  // recorded on — lead with the recorded core count so a mismatch with the
+  // runner is visible in every CI log (docs/PERF.md baseline-refresh
+  // procedure).
+  std::cout << "bench_compare: baseline " << paths[0] << " recorded on ";
+  if (baseline_file->recorded_cores > 0) {
+    std::cout << baseline_file->recorded_cores << " core(s)";
+  } else {
+    std::cout << "an unrecorded core count";
+  }
+  std::cout << "; runner has " << cores << "\n";
 
   int regressions = 0;
   for (const auto& [name, base] : *baseline) {
@@ -380,6 +417,22 @@ int main(int argc, char** argv) {
     if (baseline->find(name) == baseline->end()) {
       std::cout << "new  " << name << " (no baseline, not gated)\n";
     }
+  }
+
+  // Kernel speedup report: a row named XScalarRef/... is a bench-local
+  // copy of the pre-vectorization implementation of X/... on the same
+  // input, so the ratio of the *current* run's pair is the measured
+  // speedup on this runner (informational — the ns/op gates above own
+  // pass/fail).
+  for (const auto& [name, cur] : *current) {
+    const std::size_t tag = name.find("ScalarRef");
+    if (tag == std::string::npos || cur.ns_per_op <= 0) continue;
+    const std::string partner = name.substr(0, tag) + name.substr(tag + 9);
+    const auto it = current->find(partner);
+    if (it == current->end() || it->second.ns_per_op <= 0) continue;
+    std::cout << "info " << partner << ": " << cur.ns_per_op / it->second.ns_per_op
+              << "x vs scalar reference (" << it->second.ns_per_op << " vs "
+              << cur.ns_per_op << " ns/op)\n";
   }
 
   if (regressions > 0) {

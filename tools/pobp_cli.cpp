@@ -18,6 +18,8 @@
 //   4  malformed input data (CSV / manifest / JSONL parse failure)
 //   5  solve options rejected (POBP-OPT-*)
 //   6  contained solve fault (POBP-RUN-*: pipeline fault, deadline, budget)
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -124,6 +126,10 @@ commands:
              --jobs FILE --k K [--machines M] [--exact]
   info       print instance metrics (n, P, rho, sigma, lambda_max)
              --jobs FILE
+  bench      run the microbenchmark suite (launches the bench_runtime
+             binary built next to this executable)
+             [--kernels]   (SoA/SIMD kernel rows + scalar-reference twins)
+             [--filter REGEX] [--min-time SECONDS] [--out FILE]  (json)
   bas        optimal k-BAS of a value forest (Procedure TM, §3.2)
              --forest FILE --k K [--heuristic]   (LevelledContraction too)
   sim        run an online policy with context-switch costs
@@ -927,6 +933,53 @@ int cmd_info(const Flags& flags) {
   return 0;
 }
 
+/// Thin launcher over the google-benchmark binary built next to this
+/// executable (bench/bench_runtime in the same build tree).  `--kernels`
+/// narrows to the SoA/SIMD kernel rows and their scalar-reference twins —
+/// the pairs docs/PERF.md ("Kernel microbenchmarks") reads speedups from.
+int cmd_bench(const Flags& flags) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path self = fs::read_symlink("/proc/self/exe", ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot locate own executable (%s)\n",
+                 ec.message().c_str());
+    return kExitFileOpen;
+  }
+  const fs::path bin =
+      self.parent_path().parent_path() / "bench" / "bench_runtime";
+  if (!fs::exists(bin)) {
+    std::fprintf(stderr,
+                 "error: cannot open %s — build the bench_runtime target "
+                 "in this tree first\n",
+                 bin.c_str());
+    return kExitFileOpen;
+  }
+  std::vector<std::string> args{bin.string()};
+  if (flags.has("kernels")) {
+    args.push_back(
+        "--benchmark_filter=^(BM_TmChildMerge|BM_EdfSweep|BM_LsaClassify|"
+        "BM_ValidateFast)(ScalarRef)?/");
+  }
+  if (flags.has("filter")) {
+    args.push_back("--benchmark_filter=" + flags.str("filter"));
+  }
+  if (flags.has("min-time")) {
+    args.push_back("--benchmark_min_time=" + flags.str("min-time"));
+  }
+  if (flags.has("out")) {
+    args.push_back("--benchmark_out=" + flags.str("out"));
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  execv(argv[0], argv.data());  // only returns on failure
+  std::fprintf(stderr, "error: cannot exec %s\n", bin.c_str());
+  return kExitFileOpen;
+}
+
 int cmd_bas(const Flags& flags) {
   const Forest forest = io::load_forest(flags.str("forest"));
   const std::size_t k = static_cast<std::size_t>(flags.num("k", 1));
@@ -1055,6 +1108,7 @@ int main(int argc, char** argv) {
     if (command == "validate") return cmd_validate(flags);
     if (command == "price") return cmd_price(flags);
     if (command == "info") return cmd_info(flags);
+    if (command == "bench") return cmd_bench(flags);
     if (command == "bas") return cmd_bas(flags);
     if (command == "sim") return cmd_sim(flags);
   } catch (const io::ParseError& e) {
