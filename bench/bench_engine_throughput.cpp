@@ -8,12 +8,22 @@
 // their results).
 //
 //   bench_engine_throughput [--smoke] [--instances N] [--repeats R]
-//                           [--json PATH] [--gate-allocs N]
+//                           [--dup-rate R] [--json PATH] [--gate-allocs N]
 //                           [--gate-scaling X] [--lenient-scaling]
+//                           [--gate-cache-speedup X] [--gate-hit-allocs N]
 //
 // --smoke shrinks the corpus for CI (tools/ci_check.sh).  The speedup
 // column is reported, not asserted by default: single-core runners
 // legitimately show ~1x for every worker count.
+//
+// --dup-rate R adds the solve-cache experiment (docs/CACHE.md): a stream
+// where each request is, with probability R, an exact duplicate of an
+// earlier one, solved cache-off vs cold-cache vs warm-cache on one warmed
+// single-worker engine.  Emits cache_off_dup_stream / cache_dup_stream /
+// cache_warm_hit ns/op, the realized hit rate, and the warm-hit allocs/op
+// (the O(1) copy-out contract).  --gate-cache-speedup X fails when the
+// warm-cache pass is not at least X times faster than cache-off;
+// --gate-hit-allocs N bounds warm-hit allocs/op (ci_check pins it to 0).
 //
 // Gates (tools/ci_check.sh perf stage):
 //   --gate-allocs N    fail when steady-state allocs/solve exceeds N
@@ -34,6 +44,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,9 +85,175 @@ struct Gates {
   double max_allocs = -1;    ///< < 0 = no allocation gate
   double min_scaling = -1;   ///< < 0 = no scaling gate (w8 ≥ X · w1)
   bool lenient_scaling = false;
+  double min_cache_speedup = -1;  ///< < 0 = no dup-stream speedup gate
+  double max_hit_allocs = -1;     ///< < 0 = no warm-hit allocation gate
 };
 
-int run(std::size_t instance_count, std::size_t repeats,
+/// A request stream over `distinct` where each slot is, with probability
+/// `dup_rate`, an exact duplicate of an earlier slot — the serving-loop
+/// shape the solve cache targets (docs/CACHE.md).  Deterministic: the
+/// stream depends only on (corpus, dup_rate).
+std::vector<JobSet> dup_stream(const std::vector<JobSet>& distinct,
+                               double dup_rate, std::size_t length) {
+  Rng rng(424242);
+  std::vector<JobSet> stream;
+  stream.reserve(length);
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    if (fresh > 0 && rng.bernoulli(dup_rate)) {
+      stream.push_back(distinct[static_cast<std::size_t>(rng.uniform_int(
+                           0, static_cast<std::int64_t>(fresh) - 1)) %
+                                distinct.size()]);
+    } else {
+      stream.push_back(distinct[fresh % distinct.size()]);
+      ++fresh;
+    }
+  }
+  return stream;
+}
+
+/// The solve-cache experiment: a duplicate-heavy stream through one warmed
+/// single-worker engine, cache off vs cold cache vs warm cache.  Reports
+/// ns/op for each, the realized hit rate, and the warm-hit allocation
+/// count (the O(1) copy-out contract: 0 allocs/op).  Returns the gate
+/// failure count.
+int run_cache(const std::vector<JobSet>& distinct, double dup_rate,
+              bench::JsonWriter& json, const Gates& gates, bool counting) {
+  const ScheduleOptions schedule{.k = 1, .machine_count = 2};
+  // Sized so the expected count of first occurrences equals the distinct
+  // corpus: longer streams would wrap and push the realized duplicate
+  // fraction above dup_rate.
+  const std::size_t stream_len =
+      dup_rate < 1.0
+          ? static_cast<std::size_t>(
+                static_cast<double>(distinct.size()) / (1.0 - dup_rate))
+          : distinct.size() * 4;
+  const std::vector<JobSet> stream = dup_stream(distinct, dup_rate,
+                                                stream_len);
+  std::vector<ScheduleResult> results;
+
+  // Cache off: the baseline every duplicate pays full price for.
+  double off_ns = 0;
+  std::string expected;
+  {
+    Engine engine({.schedule = schedule, .workers = 1});
+    engine.solve_batch_into(stream, {}, results);  // grow scratch + arena
+    const Stopwatch timer;
+    engine.solve_batch_into(stream, {}, results);
+    off_ns = timer.seconds() * 1e9 / static_cast<double>(stream.size());
+    expected = fingerprint(results);
+  }
+  json.metric("cache_off_dup_stream").ns(off_ns);
+
+  // Cold cache over the same stream: first occurrences miss (and publish),
+  // duplicates hit.  The engine is warmed first and the cache then
+  // cleared, so the measured pass isolates cache behaviour from arena
+  // growth.
+  auto cache = std::make_shared<SolveCache>();
+  Engine engine({.schedule = schedule,
+                 .workers = 1,
+                 .cache = cache,
+                 .cache_mode = CacheMode::kReadWrite});
+  engine.solve_batch_into(stream, {}, results);  // grow scratch + arena
+  cache->clear();
+  const EngineMetrics before = engine.metrics();
+  double cold_ns = 0;
+  {
+    const Stopwatch timer;
+    engine.solve_batch_into(stream, {}, results);
+    cold_ns = timer.seconds() * 1e9 / static_cast<double>(stream.size());
+  }
+  if (fingerprint(results) != expected) {
+    std::cerr << "FAIL: cached results differ from the cache-off baseline\n";
+    return 1;
+  }
+  const EngineMetrics after = engine.metrics();
+  const double hits = static_cast<double>(after.cache_hits -
+                                          before.cache_hits);
+  const double misses = static_cast<double>(after.cache_misses -
+                                            before.cache_misses);
+  const double hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0;
+  json.metric("cache_dup_stream").ns(cold_ns);
+  json.metric("cache_hit_rate").val(hit_rate);
+
+  // Warm cache: every request hits — the O(1) copy-out path.
+  double hit_ns = 0;
+  double hit_allocs = -1;
+  {
+    bench::Metric& m = json.metric("cache_warm_hit");
+    const Stopwatch timer;
+    if (counting) {
+      const alloccount::Scope scope;
+      engine.solve_batch_into(stream, {}, results);
+      hit_allocs = static_cast<double>(scope.allocations()) /
+                   static_cast<double>(stream.size());
+    } else {
+      engine.solve_batch_into(stream, {}, results);
+    }
+    hit_ns = timer.seconds() * 1e9 / static_cast<double>(stream.size());
+    m.ns(hit_ns);
+    if (hit_allocs >= 0) m.allocs(hit_allocs);
+  }
+  if (fingerprint(results) != expected) {
+    std::cerr << "FAIL: warm-hit results differ from the cache-off "
+                 "baseline\n";
+    return 1;
+  }
+
+  const double dup_speedup = cold_ns > 0 ? off_ns / cold_ns : 0;
+  const double hit_speedup = hit_ns > 0 ? off_ns / hit_ns : 0;
+  json.metric("cache_dup_speedup").val(dup_speedup);
+  json.metric("cache_warm_speedup").val(hit_speedup);
+
+  Table table("solve cache, " + Table::fmt(dup_rate * 100, 0) +
+                  "% duplicate stream",
+              {"mode", "ns/op", "speedup", "hit rate"});
+  table.add_row({"cache off", Table::fmt(off_ns, 0), "1.00", "-"});
+  table.add_row({"cold cache", Table::fmt(cold_ns, 0),
+                 Table::fmt(dup_speedup, 2), Table::fmt(hit_rate, 3)});
+  table.add_row({"warm cache", Table::fmt(hit_ns, 0),
+                 Table::fmt(hit_speedup, 2), "1.000"});
+  bench::emit(table);
+  std::cout << "cache determinism: cached, warm-hit and uncached streams "
+               "bit-identical over "
+            << stream.size() << " requests\n";
+  if (hit_allocs >= 0) {
+    std::cout << "warm-hit allocs/op: " << hit_allocs << "\n";
+  }
+
+  int failures = 0;
+  if (gates.min_cache_speedup >= 0) {
+    // Gated on the warm-cache pass: the cold pass is structurally bounded
+    // by 1 / miss-rate (every first occurrence still pays a full solve),
+    // while the warm pass isolates the hit path the cache exists for.
+    if (hit_speedup + 1e-9 < gates.min_cache_speedup) {
+      std::cerr << "GATE cache speedup: warm-cache " << hit_speedup
+                << "x below the floor of " << gates.min_cache_speedup
+                << "x on the " << dup_rate * 100 << "% duplicate stream\n";
+      ++failures;
+    } else {
+      std::cout << "gate cache speedup: ok (warm-cache " << hit_speedup
+                << "x >= " << gates.min_cache_speedup << "x)\n";
+    }
+  }
+  if (gates.max_hit_allocs >= 0) {
+    if (hit_allocs < 0) {
+      std::cerr << "GATE hit allocs: counting disarmed, cannot enforce\n";
+      ++failures;
+    } else if (hit_allocs > gates.max_hit_allocs) {
+      std::cerr << "GATE hit allocs: " << hit_allocs
+                << " allocs/op on the warm-hit path exceeds the limit of "
+                << gates.max_hit_allocs << "\n";
+      ++failures;
+    } else {
+      std::cout << "gate hit allocs: ok (" << hit_allocs << " <= "
+                << gates.max_hit_allocs << ")\n";
+    }
+  }
+  return failures;
+}
+
+int run(std::size_t instance_count, std::size_t repeats, double dup_rate,
         const std::string& json_path, const Gates& gates) {
   const std::vector<JobSet> instances = make_corpus(instance_count);
   const ScheduleOptions schedule{.k = 1, .machine_count = 2};
@@ -155,9 +332,13 @@ int run(std::size_t instance_count, std::size_t repeats,
     }
   }
 
+  int failures = 0;
+  if (dup_rate >= 0) {
+    failures += run_cache(instances, dup_rate, json, gates, counting);
+  }
+
   if (!json_path.empty() && !json.write(json_path)) return 1;
 
-  int failures = 0;
   if (gates.max_allocs >= 0) {
     if (steady_allocs < 0) {
       std::cerr << "GATE allocs: counting disarmed, cannot enforce\n";
@@ -197,6 +378,7 @@ int run(std::size_t instance_count, std::size_t repeats,
 int main(int argc, char** argv) {
   std::size_t instances = 64;
   std::size_t repeats = 3;
+  double dup_rate = -1;
   std::string json_path;
   pobp::Gates gates;
   for (int i = 1; i < argc; ++i) {
@@ -208,6 +390,8 @@ int main(int argc, char** argv) {
       instances = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--repeats" && i + 1 < argc) {
       repeats = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--dup-rate" && i + 1 < argc) {
+      dup_rate = std::strtod(argv[++i], nullptr);
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg == "--gate-allocs" && i + 1 < argc) {
@@ -216,13 +400,18 @@ int main(int argc, char** argv) {
       gates.min_scaling = std::strtod(argv[++i], nullptr);
     } else if (arg == "--lenient-scaling") {
       gates.lenient_scaling = true;
+    } else if (arg == "--gate-cache-speedup" && i + 1 < argc) {
+      gates.min_cache_speedup = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--gate-hit-allocs" && i + 1 < argc) {
+      gates.max_hit_allocs = std::strtod(argv[++i], nullptr);
     } else {
       std::cerr << "usage: bench_engine_throughput [--smoke] "
-                   "[--instances N] [--repeats R] [--json PATH] "
-                   "[--gate-allocs N] [--gate-scaling X] "
-                   "[--lenient-scaling]\n";
+                   "[--instances N] [--repeats R] [--dup-rate R] "
+                   "[--json PATH] [--gate-allocs N] [--gate-scaling X] "
+                   "[--lenient-scaling] [--gate-cache-speedup X] "
+                   "[--gate-hit-allocs N]\n";
       return 2;
     }
   }
-  return pobp::run(instances, repeats, json_path, gates);
+  return pobp::run(instances, repeats, dup_rate, json_path, gates);
 }

@@ -89,14 +89,49 @@ diag::Report check_schedule_options(const JobSet& jobs,
   return report;
 }
 
+namespace {
+
+/// True when machine `m` of the current seed is stage-for-stage identical
+/// to the delta neighbor's: same assignments (job ids, segment lists, in
+/// order) and no job on it with changed attributes.  Under that condition
+/// every per-machine reduction stage sees byte-identical inputs, so the
+/// neighbor's branch output for the machine can be reused verbatim.
+bool delta_machine_reusable(const MachineSchedule& cur,
+                            const MachineSchedule& prev,
+                            const std::uint8_t* changed) {
+  if (cur.job_count() != prev.job_count()) return false;
+  const std::span<const Assignment> ca = cur.assignments();
+  const std::span<const Assignment> pa = prev.assignments();
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    if (ca[i].job != pa[i].job) return false;
+    if (changed[ca[i].job] != 0) return false;
+    if (ca[i].segments != pa[i].segments) return false;
+  }
+  return true;
+}
+
+/// Validates hint shape once per solve: a malformed hint (machine-count
+/// mismatch) disables reuse rather than corrupting the solve.
+bool delta_usable(const SolveDeltaHint* delta, std::size_t machines) {
+  return delta != nullptr && delta->seed != nullptr &&
+         delta->strict_sched != nullptr && delta->full_sched != nullptr &&
+         delta->job_changed != nullptr &&
+         delta->seed->machine_count() == machines &&
+         delta->strict_sched->machine_count() == machines &&
+         delta->full_sched->machine_count() == machines;
+}
+
+}  // namespace
+
 CombinedMultiValues k_preemption_combined_multi_into(
     const JobSet& jobs, const Schedule& unbounded,
     const CombinedOptions& options, PipelineTimings* timings,
-    SolveScratch& s, Schedule& out) {
+    SolveScratch& s, Schedule& out, const SolveDeltaHint* delta) {
   CombinedMultiValues values;
   const std::size_t machines = unbounded.machine_count();
   const Rational threshold(static_cast<std::int64_t>(options.k) + 1);
   ReductionScratch& rs = s.reduction;
+  if (!delta_usable(delta, machines)) delta = nullptr;
 
   // Strict branch: reduce each machine's restriction separately.  The
   // restriction itself is never materialized — the laminar rearrangement is
@@ -115,6 +150,12 @@ CombinedMultiValues k_preemption_combined_multi_into(
           .push_back(a.job);
     }
     if (strict_ids.empty()) continue;
+    if (delta != nullptr &&
+        delta_machine_reusable(unbounded.machine(m), delta->seed->machine(m),
+                               delta->job_changed)) {
+      strict_schedule.machine(m).assign_from(delta->strict_sched->machine(m));
+      continue;
+    }
     sw.lap();
     laminarize_subset_into(jobs, strict_ids, rs.laminar, s.laminar_stage);
     if (timings) timings->laminarize_s += sw.lap();
@@ -154,6 +195,12 @@ CombinedMultiValues k_preemption_combined_multi_into(
   for (std::size_t m = 0; m < machines; ++m) {
     const MachineSchedule& input = unbounded.machine(m);
     if (input.empty()) continue;
+    if (delta != nullptr &&
+        delta_machine_reusable(input, delta->seed->machine(m),
+                               delta->job_changed)) {
+      full_schedule.machine(m).assign_from(delta->full_sched->machine(m));
+      continue;
+    }
     sw.lap();
     laminarize_into(jobs, input, rs.laminar, s.laminar_stage);
     if (timings) timings->laminarize_s += sw.lap();

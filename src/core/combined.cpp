@@ -14,6 +14,7 @@ namespace pobp {
 
 MachineSchedule restrict_schedule(const MachineSchedule& ms,
                                   std::span<const JobId> keep) {
+  // POBP-SRC-010: membership test only; output order follows assignments()
   std::unordered_set<JobId> wanted(keep.begin(), keep.end());
   MachineSchedule out;
   for (const Assignment& a : ms.assignments()) {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 #include "pobp/core/combined.hpp"
@@ -144,15 +145,37 @@ struct CombinedMultiValues {
   Value lax_value = 0;     ///< lax (LSA_CS) branch value
 };
 
+/// Neighbor-reuse hint for an incremental (delta) re-solve, produced by
+/// the engine's content-addressed solve cache (docs/CACHE.md).  All
+/// pointers describe one previously solved instance that differs from the
+/// current one only in jobs with `job_changed[id] != 0` (same n, same
+/// options).  The per-machine reduction stages are pure functions of
+/// (that machine's seed assignments, the attributes of the jobs on it),
+/// so any machine whose seed assignments match the neighbor's and hosts
+/// no changed job can reuse the neighbor's branch schedule verbatim —
+/// skipping laminarize → forest → TM DP → left-merge for that root forest
+/// — with a bit-identical outcome.  Machines that fail the check (a
+/// changed job landed there, or the greedy seed rearranged it, which is
+/// the "patch invalidates laminarity" case) fall back to the full stages.
+struct SolveDeltaHint {
+  const Schedule* seed = nullptr;          ///< neighbor's ∞-preemptive seed
+  const Schedule* strict_sched = nullptr;  ///< neighbor's strict branch
+  const Schedule* full_sched = nullptr;    ///< neighbor's full-reduction branch
+  const std::uint8_t* job_changed = nullptr;  ///< size n, 1 = attrs differ
+};
+
 /// Pooled form of k_preemption_combined_multi: all three branch schedules
 /// are materialized in the scratch's result arena and the winner is
 /// deep-copied (pooled, capacity-retaining) into `out`.  Allocation-free
 /// once scratch and `out` are warmed; results bit-identical to the
 /// allocating form.  `out` must not alias a schedule owned by `scratch`
-/// and `unbounded` may be `scratch.seed` (it is only read).
+/// and `unbounded` may be `scratch.seed` (it is only read).  A non-null
+/// `delta` enables per-machine neighbor reuse (see SolveDeltaHint); the
+/// result is bit-identical with or without it.
 CombinedMultiValues k_preemption_combined_multi_into(
     const JobSet& jobs, const Schedule& unbounded,
     const CombinedOptions& options, PipelineTimings* timings,
-    SolveScratch& scratch, Schedule& out);
+    SolveScratch& scratch, Schedule& out,
+    const SolveDeltaHint* delta = nullptr);
 
 }  // namespace pobp

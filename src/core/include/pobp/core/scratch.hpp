@@ -14,6 +14,7 @@
 // left-merge path beyond materializing its result schedules.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "pobp/lsa/lsa.hpp"
@@ -32,6 +33,7 @@ struct SolveScratch {
   JobColumns columns;  ///< SoA job mirror, built once per pipeline entry
 
   std::vector<JobId> ids;        ///< all-ids staging
+  std::vector<std::uint64_t> subhashes;  ///< solve-cache per-job sub-hashes
   std::vector<JobId> remaining;  ///< k = 0 residual staging
   std::vector<JobId> strict_ids; ///< per-machine strict partition
   std::vector<JobId> lax_ids;    ///< accumulated lax partition

@@ -72,6 +72,7 @@ inline constexpr std::string_view kRunAdmission = "POBP-RUN-004";
 inline constexpr std::string_view kRunTenantQuota = "POBP-RUN-005";
 inline constexpr std::string_view kRunRateLimited = "POBP-RUN-006";
 inline constexpr std::string_view kRunBreakerOpen = "POBP-RUN-007";
+inline constexpr std::string_view kRunCachePressure = "POBP-RUN-008";
 
 // Hall-type interval feasibility (§4.1).
 inline constexpr std::string_view kIntervalOverload = "POBP-INT-001";
@@ -95,6 +96,7 @@ inline constexpr std::string_view kSrcThrowInContainment = "POBP-SRC-006";
 inline constexpr std::string_view kSrcBlockingSubmit = "POBP-SRC-007";
 inline constexpr std::string_view kSrcUnboundedRetry = "POBP-SRC-008";
 inline constexpr std::string_view kSrcRawIntrinsics = "POBP-SRC-009";
+inline constexpr std::string_view kSrcDefaultHash = "POBP-SRC-010";
 
 }  // namespace rules
 

@@ -21,6 +21,7 @@ using rules::kOptMachineCount;
 using rules::kRunAdmission;
 using rules::kRunBreakerOpen;
 using rules::kRunBudget;
+using rules::kRunCachePressure;
 using rules::kRunDeadline;
 using rules::kRunPipelineFault;
 using rules::kRunRateLimited;
@@ -34,6 +35,7 @@ using rules::kSchedPreemptionBudget;
 using rules::kSchedUnknownJob;
 using rules::kSchedUnsortedSegments;
 using rules::kSchedWindowEscape;
+using rules::kSrcDefaultHash;
 using rules::kSrcHotPathAlloc;
 using rules::kSrcImplicitMemoryOrder;
 using rules::kSrcLayering;
@@ -149,6 +151,14 @@ constexpr RuleInfo kCatalogue[] = {
      "pipeline faults (POBP-RUN-001) and is shedding submissions while "
      "open; after the cooldown a limited number of half-open probe "
      "admissions either close it again or re-open it."},
+    {kRunCachePressure, Severity::kWarning, "solve cache under pressure",
+     "§4.3 (overload behaviour)",
+     "The content-addressed solve cache (docs/CACHE.md) is thrashing: "
+     "CLOCK evictions are keeping pace with insertions, so entries are "
+     "reclaimed before their first hit and the duplicate-stream fast path "
+     "stays cold.  Raise the cache byte budget or reduce the keyed "
+     "diversity of the stream; results are unaffected (the cache is "
+     "bit-transparent), only latency is."},
     {kSchedUnknownJob, Severity::kError, "unknown job id", "Def. 2.1",
      "An assignment references a job id outside the instance."},
     {kSchedEmptyAssignment, Severity::kError, "empty segment list",
@@ -255,6 +265,17 @@ constexpr RuleInfo kCatalogue[] = {
      "`__m128`-family or NEON `vld1`-style intrinsic pins the file to "
      "one ISA, breaks the scalar build, and bypasses the wrapper's "
      "bit-identity contract.  Suppress with `// POBP-SRC-009: reason`."},
+    {kSrcDefaultHash, Severity::kError,
+     "implementation-defined hashing on a result path",
+     "docs/CACHE.md (keying)",
+     "std::hash and the std::unordered_* containers hash with an "
+     "implementation-defined function: the same bytes key different "
+     "buckets across standard libraries and builds, which breaks "
+     "cross-build determinism wherever hashing can reach results or "
+     "cache keys.  Result-path modules use the flat open-addressing "
+     "indexes (MachineSchedule) or the specified mixers in "
+     "engine/cache.cpp instead.  Suppress with "
+     "`// POBP-SRC-010: reason` where only membership is observed."},
 };
 
 constexpr bool catalogue_sorted() {

@@ -105,21 +105,81 @@ void Session::solve_into(const JobSet& jobs, const ScheduleOptions& options,
     BudgetGuard guard(options_.budget);
     try {
       const BudgetGuard::Scope budget_scope(&guard);
-      solve_pipeline_into(jobs, options, out);
+      solve_pipeline_into(jobs, options, options_.cache_mode, out);
       return;
     } catch (const BudgetError&) {
       if (options_.degrade != DegradePolicy::kApproximate) throw;
     }
-    solve_degraded_into(jobs, options, out);  // guard uninstalled
+    // guard uninstalled
+    solve_degraded_into(jobs, options, options_.cache_mode, out);
     return;
   }
-  solve_pipeline_into(jobs, options, out);
+  solve_pipeline_into(jobs, options, options_.cache_mode, out);
+}
+
+CacheKey Session::cache_key_into_scratch(const JobSet& jobs,
+                                         const ScheduleOptions& options,
+                                         bool approximate,
+                                         std::uint64_t& params_sig) {
+  // Canonicalization happens here: the SoA mirror *is* the canonical form
+  // (job-id order, one contiguous column per attribute), so keying reuses
+  // the same staging the pipeline solves from.  All buffers are pooled —
+  // a warm probe allocates nothing.
+  SolveScratch& s = *scratch_;
+  s.columns.build(jobs);
+  params_sig = SolveCache::params_signature(options, approximate);
+  s.subhashes.resize(jobs.size());
+  SolveCache::job_subhashes(s.columns.view(), s.subhashes.data());
+  return SolveCache::instance_key(s.columns.view(), s.subhashes.data(),
+                                  params_sig);
+}
+
+bool Session::try_solve_cached(const JobSet& jobs,
+                               const ScheduleOptions& options,
+                               ScheduleResult& out) {
+  SolveCache* cache = options_.cache.get();
+  if (cache == nullptr || jobs.empty()) return false;
+  std::uint64_t params_sig = 0;
+  const CacheKey key =
+      cache_key_into_scratch(jobs, options, /*approximate=*/false, params_sig);
+  if (!cache->try_get(key, scratch_->columns.view(), params_sig, out)) {
+    return false;
+  }
+  last_cache_hit_ = true;
+  if (options_.collect_metrics) {
+    ++metrics_.cache_hits;
+    metrics_.record(jobs, out, PipelineTimings{}, 0.0, true);
+  }
+  return true;
 }
 
 void Session::solve_pipeline_into(const JobSet& jobs,
                                   const ScheduleOptions& options,
-                                  ScheduleResult& out) {
+                                  CacheMode cache_mode, ScheduleResult& out) {
   POBP_CHECK(options.machine_count >= 1);
+  // Cache probe before anything can fault or spend budget: an exact hit is
+  // the memoized output of this very pipeline (pure in (jobs, options)), so
+  // serving it is bit-identical to re-solving.  Empty instances are not
+  // cached — the empty fast path below is already O(1).
+  SolveCache* cache = options_.cache.get();
+  const bool cacheable = cache != nullptr && !jobs.empty() &&
+                         cache_mode != CacheMode::kOff;
+  last_cache_hit_ = false;
+  CacheKey key{};
+  std::uint64_t params_sig = 0;
+  if (cacheable) {
+    key = cache_key_into_scratch(jobs, options, /*approximate=*/false,
+                                 params_sig);
+    if (cache->try_get(key, scratch_->columns.view(), params_sig, out)) {
+      last_cache_hit_ = true;
+      if (options_.collect_metrics) {
+        ++metrics_.cache_hits;
+        metrics_.record(jobs, out, PipelineTimings{}, 0.0, true);
+      }
+      return;
+    }
+    if (options_.collect_metrics) ++metrics_.cache_misses;
+  }
   POBP_FAULT_POINT(kAlloc);
   Stopwatch total;
   PipelineTimings timings;
@@ -163,8 +223,25 @@ void Session::solve_pipeline_into(const JobSet& jobs,
     combined.k = options.k;
     combined.use_tm = options.use_tm;
     combined.tm_fork_min_nodes = options.tm_fork_min_nodes;
+    // Delta re-solve: a cached near-duplicate (≤ delta_max_jobs mutated
+    // jobs, same params) lets machines whose seed assignments the mutation
+    // left untouched reuse the neighbor's branch schedules verbatim — the
+    // per-machine stages are pure, so the result stays bit-identical
+    // (SolveDeltaHint in pobp/core/pobp.hpp).
+    SolveDeltaHint hint;
+    const SolveDeltaHint* delta = nullptr;
+    if (cacheable && cache->delta_enabled() &&
+        cache->copy_delta_neighbor(s.columns.view(), s.subhashes.data(),
+                                   params_sig, delta_)) {
+      hint.seed = &delta_.seed;
+      hint.strict_sched = &delta_.strict_sched;
+      hint.full_sched = &delta_.full_sched;
+      hint.job_changed = delta_.changed.data();
+      delta = &hint;
+      if (options_.collect_metrics) ++metrics_.cache_delta_patches;
+    }
     k_preemption_combined_multi_into(jobs, s.seed, combined, &timings, s,
-                                     out.schedule);
+                                     out.schedule, delta);
   }
   out.value = out.schedule.total_value(jobs);
 
@@ -181,12 +258,52 @@ void Session::solve_pipeline_into(const JobSet& jobs,
   if (options_.collect_metrics) {
     metrics_.record(jobs, out, timings, total.seconds(), valid);
   }
+  // Publish only after the pipeline returned cleanly AND the validator
+  // passed: any fault above propagates out before this point, so a
+  // mid-solve fault can never leave a partial entry behind.  The stage
+  // schedules (seed + both reduction branches) make the entry a delta
+  // neighbor for future near-duplicates; the k = 0 path has no reduction
+  // branches, so its entry is result-only.
+  if (cacheable && valid && cache_mode == CacheMode::kReadWrite) {
+    const bool delta_capable = options.k != 0;
+    const std::size_t evicted = cache->insert(
+        key, s.columns.view(), s.subhashes.data(), params_sig, out,
+        delta_capable ? &s.seed : nullptr,
+        delta_capable ? &s.strict_sched : nullptr,
+        delta_capable ? &s.full_sched : nullptr);
+    if (options_.collect_metrics) {
+      ++metrics_.cache_insertions;
+      metrics_.cache_evictions += evicted;
+    }
+  }
 }
 
 void Session::solve_degraded_into(const JobSet& jobs,
                                   const ScheduleOptions& options,
-                                  ScheduleResult& out) {
+                                  CacheMode cache_mode, ScheduleResult& out) {
   POBP_CHECK(options.machine_count >= 1);
+  // Degraded results are cached too — under the *approximate* parameter
+  // signature, so the sampled tier can never alias an exact answer (and
+  // vice versa).  No stage schedules: degraded entries are result-only.
+  SolveCache* cache = options_.cache.get();
+  const bool cacheable = cache != nullptr && !jobs.empty() &&
+                         cache_mode != CacheMode::kOff;
+  last_cache_hit_ = false;
+  CacheKey key{};
+  std::uint64_t params_sig = 0;
+  if (cacheable) {
+    key = cache_key_into_scratch(jobs, options, /*approximate=*/true,
+                                 params_sig);
+    if (cache->try_get(key, scratch_->columns.view(), params_sig, out)) {
+      last_cache_hit_ = true;
+      if (options_.collect_metrics) {
+        ++metrics_.cache_hits;
+        metrics_.record(jobs, out, PipelineTimings{}, 0.0, true);
+      }
+      return;
+    }
+    if (options_.collect_metrics) ++metrics_.cache_misses;
+  }
   Stopwatch total;
   PipelineTimings timings;
 
@@ -222,18 +339,27 @@ void Session::solve_degraded_into(const JobSet& jobs,
   if (options_.collect_metrics) {
     metrics_.record(jobs, out, timings, total.seconds(), valid);
   }
+  if (cacheable && valid && cache_mode == CacheMode::kReadWrite) {
+    const std::size_t evicted =
+        cache->insert(key, scratch_->columns.view(), scratch_->subhashes.data(),
+                      params_sig, out, nullptr, nullptr, nullptr);
+    if (options_.collect_metrics) {
+      ++metrics_.cache_insertions;
+      metrics_.cache_evictions += evicted;
+    }
+  }
 }
 
 SolveOutcome Session::try_solve(const JobSet& jobs, std::size_t instance) {
   return try_solve_impl(jobs, options_.schedule, options_.budget,
-                        options_.degrade, instance);
+                        options_.degrade, options_.cache_mode, instance);
 }
 
 SolveOutcome Session::try_solve(const JobSet& jobs,
                                 const ScheduleOptions& options,
                                 std::size_t instance) {
   return try_solve_impl(jobs, options, options_.budget, options_.degrade,
-                        instance);
+                        options_.cache_mode, instance);
 }
 
 SolveOutcome Session::try_solve(const JobSet& jobs,
@@ -247,7 +373,8 @@ SolveOutcome Session::try_solve(const JobSet& jobs,
     budget.deadline_s = submit.deadline_s;
   }
   return try_solve_impl(jobs, options, budget,
-                        submit.degrade.value_or(options_.degrade), instance);
+                        submit.degrade.value_or(options_.degrade),
+                        submit.cache.value_or(options_.cache_mode), instance);
 }
 
 std::optional<diag::Report> Session::try_solve_into(
@@ -260,7 +387,7 @@ std::optional<diag::Report> Session::try_solve_into(
   }
   std::optional<diag::Report> failed = try_solve_into_impl(
       jobs, options, budget, submit.degrade.value_or(options_.degrade),
-      instance, out);
+      submit.cache.value_or(options_.cache_mode), instance, out);
   // A failed solve may have left a partially written result behind; reset
   // the slot so callers never observe it (costs storage only on failure).
   if (failed) out = ScheduleResult{};
@@ -275,7 +402,7 @@ SolveOutcome Session::try_solve_degraded(const JobSet& jobs,
   const fault::InstanceScope fault_scope(instance);
   try {
     ScheduleResult result;
-    solve_degraded_into(jobs, options, result);
+    solve_degraded_into(jobs, options, options_.cache_mode, result);
     return result;
   } catch (const std::exception& e) {
     if (options_.collect_metrics) ++metrics_.pipeline_faults;
@@ -292,18 +419,19 @@ SolveOutcome Session::try_solve_impl(const JobSet& jobs,
                                      const ScheduleOptions& options,
                                      const SolveBudget& budget,
                                      DegradePolicy degrade,
+                                     CacheMode cache_mode,
                                      std::size_t instance) {
   ScheduleResult result;
-  std::optional<diag::Report> failed =
-      try_solve_into_impl(jobs, options, budget, degrade, instance, result);
+  std::optional<diag::Report> failed = try_solve_into_impl(
+      jobs, options, budget, degrade, cache_mode, instance, result);
   if (failed) return Unexpected{std::move(*failed)};
   return result;
 }
 
 std::optional<diag::Report> Session::try_solve_into_impl(
     const JobSet& jobs, const ScheduleOptions& options,
-    const SolveBudget& budget, DegradePolicy degrade, std::size_t instance,
-    ScheduleResult& out) {
+    const SolveBudget& budget, DegradePolicy degrade, CacheMode cache_mode,
+    std::size_t instance, ScheduleResult& out) {
   diag::Report rejected = check_schedule_options(jobs, options);
   if (!rejected.ok()) return rejected;
 
@@ -326,17 +454,17 @@ std::optional<diag::Report> Session::try_solve_into_impl(
   for (std::size_t attempt = 1;; ++attempt) {
     try {
       if (!budgeted) {
-        solve_pipeline_into(jobs, options, out);
+        solve_pipeline_into(jobs, options, cache_mode, out);
         return std::nullopt;
       }
       const BudgetGuard::Scope budget_scope(&*guard);
-      solve_pipeline_into(jobs, options, out);
+      solve_pipeline_into(jobs, options, cache_mode, out);
       return std::nullopt;
     } catch (const DeadlineExceeded& e) {
-      return budget_fallback_into(jobs, options, degrade, instance,
+      return budget_fallback_into(jobs, options, degrade, cache_mode, instance,
                                   /*deadline=*/true, e.what(), out);
     } catch (const BudgetExhausted& e) {
-      return budget_fallback_into(jobs, options, degrade, instance,
+      return budget_fallback_into(jobs, options, degrade, cache_mode, instance,
                                   /*deadline=*/false, e.what(), out);
     } catch (const std::exception& e) {
       if (attempt < attempts) {
@@ -350,7 +478,7 @@ std::optional<diag::Report> Session::try_solve_into_impl(
       // reporting the instance failed (result tagged degraded).
       if (retry.degrade_final_attempt) {
         try {
-          solve_degraded_into(jobs, options, out);
+          solve_degraded_into(jobs, options, cache_mode, out);
           return std::nullopt;
         } catch (const std::exception& degraded_error) {
           if (options_.collect_metrics) ++metrics_.pipeline_faults;
@@ -370,11 +498,11 @@ std::optional<diag::Report> Session::try_solve_into_impl(
 
 std::optional<diag::Report> Session::budget_fallback_into(
     const JobSet& jobs, const ScheduleOptions& options, DegradePolicy degrade,
-    std::size_t instance, bool deadline, const char* what,
-    ScheduleResult& out) {
+    CacheMode cache_mode, std::size_t instance, bool deadline,
+    const char* what, ScheduleResult& out) {
   if (degrade == DegradePolicy::kApproximate) {
     try {
-      solve_degraded_into(jobs, options, out);
+      solve_degraded_into(jobs, options, cache_mode, out);
       return std::nullopt;
     } catch (const std::exception& e) {
       if (options_.collect_metrics) ++metrics_.pipeline_faults;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "pobp/core/pobp.hpp"
+#include "pobp/engine/cache.hpp"
 #include "pobp/engine/metrics.hpp"
 #include "pobp/engine/resilience.hpp"
 #include "pobp/engine/submit.hpp"
@@ -87,6 +88,15 @@ struct EngineOptions {
   /// POBP_FAULT_INJECT environment variable if set.  Only live in
   /// POBP_FAULT_INJECTION builds (the asan-ubsan preset).
   std::string fault_injection = {};
+
+  /// Content-addressed solve cache shared by every session of this engine
+  /// (docs/CACHE.md).  nullptr disables caching entirely.  The cache is
+  /// thread-safe and may be shared across engines.
+  std::shared_ptr<SolveCache> cache = nullptr;
+
+  /// Default cache discipline when `cache` is set; SubmitOptions::cache
+  /// overrides it per request.
+  CacheMode cache_mode = CacheMode::kReadWrite;
 };
 
 /// Per-instance outcome of the fault-contained solve paths: a result, or
@@ -161,27 +171,49 @@ class Session {
       const JobSet& jobs, const ScheduleOptions& options,
       std::size_t instance = kNoInstance);
 
+  /// Read-only cache probe: true iff the engine's solve cache already holds
+  /// the exact answer for (jobs, options), copied into `out` (pooled).
+  /// Never solves, never publishes, never throws on the lookup path.  The
+  /// streaming engine's admission control uses this so queue-pressure
+  /// degradation is bypassed for instances the cache can answer exactly
+  /// (docs/SERVING.md).
+  [[nodiscard]] bool try_solve_cached(const JobSet& jobs,
+                                      const ScheduleOptions& options,
+                                      ScheduleResult& out);
+
+  /// True when the most recent successful solve on this session was served
+  /// from the cache (exact hit) rather than computed.
+  bool last_solve_was_cache_hit() const { return last_cache_hit_; }
+
   const EngineOptions& options() const { return options_; }
   const EngineMetrics& metrics() const { return metrics_; }
   void reset_metrics() { metrics_ = EngineMetrics(); }
 
  private:
   void solve_pipeline_into(const JobSet& jobs, const ScheduleOptions& options,
-                           ScheduleResult& out);
+                           CacheMode cache_mode, ScheduleResult& out);
   void solve_degraded_into(const JobSet& jobs, const ScheduleOptions& options,
-                           ScheduleResult& out);
+                           CacheMode cache_mode, ScheduleResult& out);
+  /// Computes the cache key for (jobs, options) into the scratch staging
+  /// buffers (columns + per-job sub-hashes) and returns it.  `approximate`
+  /// selects the degraded-tier parameter signature, which never aliases
+  /// the exact one.
+  CacheKey cache_key_into_scratch(const JobSet& jobs,
+                                  const ScheduleOptions& options,
+                                  bool approximate,
+                                  std::uint64_t& params_sig);
   SolveOutcome try_solve_impl(const JobSet& jobs,
                               const ScheduleOptions& options,
                               const SolveBudget& budget, DegradePolicy degrade,
-                              std::size_t instance);
+                              CacheMode cache_mode, std::size_t instance);
   std::optional<diag::Report> try_solve_into_impl(
       const JobSet& jobs, const ScheduleOptions& options,
-      const SolveBudget& budget, DegradePolicy degrade, std::size_t instance,
-      ScheduleResult& out);
+      const SolveBudget& budget, DegradePolicy degrade, CacheMode cache_mode,
+      std::size_t instance, ScheduleResult& out);
   std::optional<diag::Report> budget_fallback_into(
       const JobSet& jobs, const ScheduleOptions& options,
-      DegradePolicy degrade, std::size_t instance, bool deadline,
-      const char* what, ScheduleResult& out);
+      DegradePolicy degrade, CacheMode cache_mode, std::size_t instance,
+      bool deadline, const char* what, ScheduleResult& out);
 
   EngineOptions options_;
   /// Private metrics shard, cache-line aligned so two sessions' hot
@@ -193,6 +225,10 @@ class Session {
   // this header stays light.  Grows to the largest instance seen, then the
   // pipeline hot path performs no steady-state allocations.
   std::unique_ptr<SolveScratch> scratch_;
+  /// Pooled staging for a delta-solve neighbor copied out of the cache
+  /// (session-owned so nothing borrows cache memory past the shard lock).
+  SolveCache::DeltaNeighbor delta_;
+  bool last_cache_hit_ = false;
 };
 
 /// Thread-safe batch-solve runtime: a fixed option set, a lazily created

@@ -71,6 +71,17 @@ struct EngineMetrics {
   std::size_t deadline_exceeded = 0;    ///< POBP-RUN-002 reports
   std::size_t budget_exhausted = 0;     ///< POBP-RUN-003 reports
   std::size_t retries = 0;              ///< pipeline re-attempts (max_retries)
+
+  // Solve-cache counters (docs/CACHE.md).  Hits/misses are counted at the
+  // session, not the cache, so a shared SolveCache still yields per-engine
+  // numbers; delta_patches counts solves that reused a near-duplicate
+  // neighbor's stage schedules.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_insertions = 0;
+  std::size_t cache_evictions = 0;
+  std::size_t cache_delta_patches = 0;
+
   Value value_bounded = 0;              ///< Σ val(schedule)
   Value value_unbounded = 0;            ///< Σ val(seed schedule)
   double batch_seconds = 0;             ///< wall time of solve_batch calls

@@ -88,6 +88,7 @@ struct TenantStats {
   std::uint64_t rejected_quota = 0;  ///< POBP-RUN-005 at admission
   std::uint64_t shed = 0;            ///< POBP-RUN-004 at admission
   std::uint64_t degraded = 0;        ///< solved on the degraded tier
+  std::uint64_t cache_hits = 0;      ///< answered from the solve cache
   std::uint64_t rejected_rate = 0;   ///< POBP-RUN-006 at admission
   std::uint64_t rejected_breaker = 0;  ///< POBP-RUN-007 at admission
   std::uint64_t breaker_trips = 0;     ///< closed → open transitions

@@ -33,6 +33,15 @@ enum class DegradePolicy {
   kApproximate,  ///< retry on the greedy + LSA_CS path, tag as degraded
 };
 
+/// Per-request interaction with the engine's content-addressed SolveCache
+/// (engine/cache.hpp, docs/CACHE.md).  Only meaningful when the engine was
+/// constructed with a cache; results are bit-identical for every mode.
+enum class CacheMode {
+  kOff,        ///< neither read nor publish — always solve from scratch
+  kRead,       ///< serve hits / delta-patch, but never publish new entries
+  kReadWrite,  ///< serve hits and publish successful solves
+};
+
 /// Per-request solve options, shared by Engine::solve_batch /
 /// solve_batch_into / try_solve_batch and the StreamEngine submission path
 /// (docs/SERVING.md).  Every field defaults to "inherit the engine's
@@ -58,6 +67,10 @@ struct SubmitOptions {
   /// only): the tenant's first submission carrying one configures that
   /// tenant's token bucket in place of StreamOptions::tenant_rate.
   std::optional<RateLimit> rate_limit = {};
+
+  /// Per-request solve-cache mode override (nullopt =
+  /// EngineOptions::cache_mode).  Ignored when the engine has no cache.
+  std::optional<CacheMode> cache = {};
 
   /// Invoked (serialized, in instance order at the end of the batch) for
   /// every instance that produced a diag::Report instead of a result.

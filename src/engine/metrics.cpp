@@ -155,6 +155,11 @@ void EngineMetrics::merge(const EngineMetrics& other) {
   deadline_exceeded += other.deadline_exceeded;
   budget_exhausted += other.budget_exhausted;
   retries += other.retries;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_insertions += other.cache_insertions;
+  cache_evictions += other.cache_evictions;
+  cache_delta_patches += other.cache_delta_patches;
   value_bounded += other.value_bounded;
   value_unbounded += other.value_unbounded;
   batch_seconds += other.batch_seconds;
@@ -193,6 +198,12 @@ std::string EngineMetrics::to_table() const {
        Table::fmt(pipeline_faults) + " / " + Table::fmt(deadline_exceeded) +
            " / " + Table::fmt(budget_exhausted)});
   summary.add_row({"retries", Table::fmt(retries)});
+  summary.add_row({"cache hits / misses",
+                   Table::fmt(cache_hits) + " / " + Table::fmt(cache_misses)});
+  summary.add_row({"cache delta patches", Table::fmt(cache_delta_patches)});
+  summary.add_row({"cache insertions / evictions",
+                   Table::fmt(cache_insertions) + " / " +
+                       Table::fmt(cache_evictions)});
   summary.add_row({"batch wall time [s]", Table::fmt(batch_seconds, 4)});
   summary.add_row({"instances / second",
                    batch_seconds > 0 ? Table::fmt(instances_per_second(), 2)
@@ -244,6 +255,10 @@ std::string EngineMetrics::to_json() const {
      << ",\"deadline\":" << deadline_exceeded
      << ",\"budget\":" << budget_exhausted << ",\"retries\":" << retries
      << '}'
+     << ",\"cache\":{\"hits\":" << cache_hits << ",\"misses\":" << cache_misses
+     << ",\"insertions\":" << cache_insertions
+     << ",\"evictions\":" << cache_evictions
+     << ",\"delta_patches\":" << cache_delta_patches << '}'
      << ",\"batch_seconds\":" << fmt_double(batch_seconds)
      << ",\"instances_per_second\":" << fmt_double(instances_per_second())
      << ',';

@@ -73,6 +73,7 @@ struct StreamEngine::Impl {
     std::atomic<std::uint64_t> rejected_quota{0};
     std::atomic<std::uint64_t> shed{0};
     std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> cache_hits{0};
     std::atomic<std::uint64_t> in_flight{0};
     std::atomic<std::uint64_t> rejected_rate{0};     ///< POBP-RUN-006
     std::atomic<std::uint64_t> rejected_breaker{0};  ///< POBP-RUN-007
@@ -311,11 +312,23 @@ struct StreamEngine::Impl {
           .with("instance", static_cast<std::size_t>(request.id));
       outcome.emplace(Unexpected{std::move(report)});
     } else if (request.degraded_tier) {
-      outcome.emplace(session.try_solve_degraded(
-          request.jobs, request.schedule, request.id));
+      // Queue-pressure tier, cache first: an exact solve-cache hit answers
+      // at full fidelity for free, so only instances that would actually
+      // cost a pipeline run get degraded (docs/CACHE.md).
+      ScheduleResult cached;
+      if (session.try_solve_cached(request.jobs, request.schedule, cached)) {
+        outcome.emplace(std::move(cached));
+      } else {
+        outcome.emplace(session.try_solve_degraded(
+            request.jobs, request.schedule, request.id));
+      }
     } else {
       outcome.emplace(session.try_solve(request.jobs, request.schedule,
                                         submit, request.id));
+    }
+    if (!expired && outcome->has_value() &&
+        session.last_solve_was_cache_hit()) {
+      request.tenant->cache_hits.fetch_add(1, std::memory_order_relaxed);
     }
     if (outcome->has_value()) {
       // Counts every degraded answer: the overload tier, the watchdog
@@ -518,6 +531,7 @@ std::vector<std::pair<std::string, TenantStats>> StreamEngine::tenant_stats()
     s.rejected_quota = tenant->rejected_quota.load(std::memory_order_relaxed);
     s.shed = tenant->shed.load(std::memory_order_relaxed);
     s.degraded = tenant->degraded.load(std::memory_order_relaxed);
+    s.cache_hits = tenant->cache_hits.load(std::memory_order_relaxed);
     s.rejected_rate = tenant->rejected_rate.load(std::memory_order_relaxed);
     s.rejected_breaker =
         tenant->rejected_breaker.load(std::memory_order_relaxed);
@@ -543,6 +557,15 @@ std::string StreamEngine::stats_json() const {
   out += to_string(health());
   out += "\",\"watchdog_stalls\":";
   out += std::to_string(watchdog_stalls());
+  {
+    const EngineMetrics m = metrics();
+    out += ",\"cache\":{\"hits\":" + std::to_string(m.cache_hits);
+    out += ",\"misses\":" + std::to_string(m.cache_misses);
+    out += ",\"insertions\":" + std::to_string(m.cache_insertions);
+    out += ",\"evictions\":" + std::to_string(m.cache_evictions);
+    out += ",\"delta_patches\":" + std::to_string(m.cache_delta_patches);
+    out += '}';
+  }
   out += ",\"tenants\":{";
   bool first_tenant = true;
   for (const auto& [name, s] : tenant_stats()) {
@@ -556,6 +579,7 @@ std::string StreamEngine::stats_json() const {
     out += ",\"rejected_quota\":" + std::to_string(s.rejected_quota);
     out += ",\"shed\":" + std::to_string(s.shed);
     out += ",\"degraded\":" + std::to_string(s.degraded);
+    out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
     out += ",\"rejected_rate\":" + std::to_string(s.rejected_rate);
     out += ",\"rejected_breaker\":" + std::to_string(s.rejected_breaker);
     out += ",\"breaker_trips\":" + std::to_string(s.breaker_trips);

@@ -6,6 +6,7 @@
 //    "k": 1, "machines": 2,                 // optional pipeline overrides
 //    "deadline_ms": 50, "max_ops": 1000000, // optional per-request budget
 //    "tenant": "acme", "degrade": true,     // optional admission fields
+//    "cache": "read_write",                 // optional solve-cache mode
 //    "schedule": true}                      // echo the solved schedule
 //
 // Responses are one frame per request, in request order:
@@ -47,6 +48,10 @@ struct ServeRequest {
   double deadline_ms = 0;               ///< end-to-end deadline (0 = none)
   std::uint64_t max_ops = 0;            ///< op budget (0 = engine default)
   std::optional<bool> degrade;          ///< per-request degrade override
+  /// Per-request solve-cache mode: "" (engine default), "off", "read" or
+  /// "read_write" (kept a string so io stays below engine in the layer
+  /// map; the CLI maps it onto SubmitOptions::cache).
+  std::string cache;
   bool want_schedule = false;           ///< echo the schedule CSV
 };
 

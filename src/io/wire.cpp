@@ -123,6 +123,15 @@ ServeRequest parse_serve_request(const std::string& line,
     }
     request.degrade = degrade->boolean;
   }
+  if (const JsonValue* cache = v.find("cache")) {
+    if (cache->kind != JsonValue::Kind::kString ||
+        (cache->string != "off" && cache->string != "read" &&
+         cache->string != "read_write")) {
+      throw ParseError(line_no,
+                       "cache must be \"off\", \"read\" or \"read_write\"");
+    }
+    request.cache = cache->string;
+  }
   if (const JsonValue* schedule = v.find("schedule")) {
     if (schedule->kind != JsonValue::Kind::kBool) {
       throw ParseError(line_no, "schedule must be a boolean");

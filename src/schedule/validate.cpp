@@ -205,6 +205,9 @@ class MigrationTracker {
 
  private:
   diag::Report* report_;
+  // Findings anchor on the deterministic scan order of the schedule,
+  // never on bucket order.
+  // POBP-SRC-010: membership/lookup only; iteration order never observed
   std::unordered_map<JobId, std::size_t> first_machine_;
 };
 

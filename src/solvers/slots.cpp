@@ -21,6 +21,9 @@ struct SlotDp {
   Time horizon;
   std::vector<unsigned> rem_bits;   // bits to encode remaining per job
   std::vector<unsigned> seg_bits;   // bits to encode segments-used per job
+  // B&B memo keyed by packed state; value lookup only, so bucket order
+  // cannot reach results.
+  // POBP-SRC-010: memo value lookup only; iteration order never observed
   std::unordered_map<std::uint64_t, Value> memo;
 
   std::uint64_t pack(Time t, std::size_t last,

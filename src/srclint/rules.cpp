@@ -497,6 +497,65 @@ void check_raw_intrinsics(const SourceFile& file, diag::Report& report) {
   }
 }
 
+// --- SRC-010: implementation-defined hashing on result paths ----------------
+
+// std::hash (and hence the std::unordered_* containers' default hashing)
+// is implementation-defined: the same key bytes land in different buckets
+// across standard libraries and even library versions.  On the modules
+// that produce or key results — the solve pipeline and the engine,
+// including the content-addressed solve cache (docs/CACHE.md) — that is a
+// cross-build determinism hazard, so default hashing is banned outright;
+// the sanctioned alternatives are the flat open-addressing indexes
+// (MachineSchedule's job index) and the fully specified mixers in
+// engine/cache.cpp.  Pure membership tests whose iteration order is never
+// observed may suppress per site.
+constexpr std::string_view kResultPathScopes[] = {
+    "src/bas/",    "src/core/",      "src/engine/", "src/forest/",
+    "src/lsa/",    "src/reduction/", "src/schedule/",
+    "src/solvers/",
+};
+
+constexpr std::string_view kUnorderedContainers[] = {
+    "unordered_map", "unordered_multimap", "unordered_multiset",
+    "unordered_set",
+};
+
+void check_default_hash(const SourceFile& file, diag::Report& report) {
+  if (std::none_of(std::begin(kResultPathScopes),
+                   std::end(kResultPathScopes),
+                   [&](std::string_view scope) {
+                     return starts_with(file.path, scope);
+                   })) {
+    return;
+  }
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (std::find(std::begin(kUnorderedContainers),
+                  std::end(kUnorderedContainers),
+                  t.text) != std::end(kUnorderedContainers)) {
+      emit(file, report, rules::kSrcDefaultHash, t.line, t.column,
+           "`std::" + t.text +
+               "` default hashing on a result path is "
+               "implementation-defined — use a flat open-addressing index "
+               "or the specified mixers in engine/cache.cpp "
+               "(docs/CACHE.md)");
+      continue;
+    }
+    // `std::hash` specifically: `hash` preceded by `std ::` and followed
+    // by `<` (bare member functions or locals named `hash` are fine).
+    if (t.text == "hash" && i >= 3 && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], '<') && is_punct(toks[i - 1], ':') &&
+        is_punct(toks[i - 2], ':') && is_ident(toks[i - 3], "std")) {
+      emit(file, report, rules::kSrcDefaultHash, t.line, t.column,
+           "`std::hash` on a result path is implementation-defined and "
+           "breaks cross-build determinism — use the specified mixers in "
+           "engine/cache.cpp (docs/CACHE.md)");
+    }
+  }
+}
+
 }  // namespace
 
 void lint_source(const SourceFile& file, const LintOptions& options,
@@ -519,6 +578,7 @@ void lint_source(const SourceFile& file, const LintOptions& options,
   if (enabled(rules::kSrcBlockingSubmit)) check_blocking_submit(file, report);
   if (enabled(rules::kSrcUnboundedRetry)) check_unbounded_retry(file, report);
   if (enabled(rules::kSrcRawIntrinsics)) check_raw_intrinsics(file, report);
+  if (enabled(rules::kSrcDefaultHash)) check_default_hash(file, report);
 }
 
 void lint_file(const std::string& fs_path, std::string rel_path,

@@ -1,0 +1,22 @@
+// srclint fixture: POBP-SRC-010 — implementation-defined hashing
+// (std::hash / std::unordered_*) on a solver/engine result path.  Linted
+// with --as-path src/engine/keying.cpp --rule POBP-SRC-010; must yield
+// exit 1 with findings.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+// A result-keyed memo table whose bucket order (and therefore any
+// iteration-derived output) depends on the standard library's hash
+// implementation — the exact defect the solve cache's 128-bit mixers
+// exist to avoid.
+struct ResultIndex {
+  std::unordered_map<std::uint64_t, double> by_key;       // finding
+  std::unordered_set<std::string> seen;                   // finding
+};
+
+std::size_t key_of(const std::string& name) {
+  return std::hash<std::string>{}(name);                  // finding
+}

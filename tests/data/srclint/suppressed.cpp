@@ -20,8 +20,9 @@ int observe(std::atomic<int>& counter) {
   return counter.load();  // POBP-SRC-003: fixture
 }
 
+// POBP-SRC-010: fixture — suppression on the line above also applies
 std::vector<int> hashed(const std::unordered_map<int, int>& unused) {
-  std::unordered_map<int, int> weight;
+  std::unordered_map<int, int> weight;  // POBP-SRC-010: fixture
   weight[1] = rand();  // POBP-SRC-004: fixture
   std::vector<int> out;
   // POBP-SRC-004: fixture — suppression on the line above also applies

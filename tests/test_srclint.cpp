@@ -135,9 +135,39 @@ TEST(Rules, NondeterminismFlagsBansAndUnorderedIteration) {
       "}\n";
   const diag::Report report = lint("src/core/x.cpp", source);
   EXPECT_EQ(count_rule(report, diag::rules::kSrcNondeterminism), 2u);
-  // Lookup-only use of an unordered container is fine.
-  EXPECT_TRUE(lint("src/core/x.cpp",
-                   "int get(std::unordered_map<int,int>& m) { return m[3]; }\n")
+  // Lookup-only use of an unordered container is fine *for this rule*;
+  // the default-hash ban (POBP-SRC-010) owns that site on result paths.
+  const diag::Report lookup =
+      lint("src/core/x.cpp",
+           "int get(std::unordered_map<int,int>& m) { return m[3]; }\n");
+  EXPECT_EQ(count_rule(lookup, diag::rules::kSrcNondeterminism), 0u);
+  EXPECT_EQ(count_rule(lookup, diag::rules::kSrcDefaultHash), 1u);
+}
+
+TEST(Rules, DefaultHashBannedOnResultPaths) {
+  const std::string source =
+      "std::unordered_map<std::uint64_t, double> memo;\n"
+      "std::size_t key(const std::string& s) {\n"
+      "  return std::hash<std::string>{}(s);\n"
+      "}\n";
+  // Two findings: the unordered container and the std::hash instantiation.
+  EXPECT_EQ(count_rule(lint("src/engine/x.cpp", source),
+                       diag::rules::kSrcDefaultHash),
+            2u);
+  EXPECT_EQ(count_rule(lint("src/solvers/x.cpp", source),
+                       diag::rules::kSrcDefaultHash),
+            2u);
+  // Out of scope: IO / tools never key results.
+  EXPECT_TRUE(lint("src/io/x.cpp", source).ok());
+  EXPECT_TRUE(lint("tools/pobp_cli.cpp", source).ok());
+  // A qualified non-std `hash` identifier stays quiet.
+  EXPECT_TRUE(lint("src/engine/x.cpp",
+                   "int f() { return my::hash<int>{}(3); }\n")
+                  .ok());
+  // Site suppression works like every other POBP-SRC rule.
+  EXPECT_TRUE(lint("src/engine/x.cpp",
+                   "// POBP-SRC-010: lookup only; order never observed\n"
+                   "std::unordered_map<int, int> memo;\n")
                   .ok());
 }
 
@@ -279,7 +309,7 @@ TEST(Registry, SrcRulesAreCatalogued) {
         diag::rules::kSrcImplicitMemoryOrder, diag::rules::kSrcNondeterminism,
         diag::rules::kSrcLayering, diag::rules::kSrcThrowInContainment,
         diag::rules::kSrcBlockingSubmit, diag::rules::kSrcUnboundedRetry,
-        diag::rules::kSrcRawIntrinsics}) {
+        diag::rules::kSrcRawIntrinsics, diag::rules::kSrcDefaultHash}) {
     EXPECT_NE(diag::find_rule(id), nullptr) << id;
   }
 }

@@ -32,7 +32,9 @@
 // The header line reports the core count the baseline was recorded on
 // (bench_common's top-level "cores", or google-benchmark's
 // context.num_cpus) next to the runner's own, so a stale or mismatched
-// baseline is visible in every log.  Rows named XScalarRef are paired with
+// baseline is visible in every log; when the two differ a dedicated
+// "CORES MISMATCH" line calls it out explicitly (non-fatal — the
+// tolerance / --warn-time policy still owns pass/fail).  Rows named XScalarRef are paired with
 // row X and the current run's ns/op ratio is printed as the measured
 // kernel speedup (informational).
 //
@@ -359,6 +361,17 @@ int main(int argc, char** argv) {
     std::cout << "an unrecorded core count";
   }
   std::cout << "; runner has " << cores << "\n";
+  if (baseline_file->recorded_cores > 0 &&
+      static_cast<std::size_t>(baseline_file->recorded_cores) != cores) {
+    // Loud but non-fatal: wall-clock numbers recorded on different
+    // hardware still gate (with the tolerance / --warn-time policy), but
+    // every log must say the comparison crosses machines
+    // (docs/PERF.md baseline-refresh procedure).
+    std::cout << "CORES MISMATCH: baseline recorded on "
+              << baseline_file->recorded_cores << " core(s), runner has "
+              << cores << " — wall-clock comparisons cross machines; "
+              << "consider refreshing the baseline (docs/PERF.md)\n";
+  }
 
   int regressions = 0;
   for (const auto& [name, base] : *baseline) {

@@ -93,11 +93,13 @@ run_preset release
 #     checked-in baselines with bench_compare.  Time regresses at > 15%
 #     (bench_compare's default tolerance); allocs/op regress strictly —
 #     that is the zero-allocation hot-path contract.  The throughput bench
-#     additionally enforces two absolute floors of the work-stealing
-#     engine: ≤ 8 steady-state allocs/solve (strict everywhere) and
-#     w8 ≥ 3× w1 throughput (a warning under lenient scaling — see the
-#     flag docs above).  Refresh baselines with
-#     tools/refresh_bench_baselines.sh after an intentional change.
+#     additionally enforces absolute floors of the work-stealing engine:
+#     ≤ 8 steady-state allocs/solve (strict everywhere), w8 ≥ 3× w1
+#     throughput (a warning under lenient scaling — see the flag docs
+#     above), and the solve-cache floors (warm-cache ≥ 5× cache-off on a
+#     50%-duplicate stream, 0 allocs/op on the hit path — docs/CACHE.md).
+#     Refresh baselines with tools/refresh_bench_baselines.sh after an
+#     intentional change.
 if [ "$SKIP_PERF" -eq 0 ]; then
   say "perf smoke (bench_compare vs bench/baselines)"
   SCALING_FLAGS=()
@@ -120,9 +122,16 @@ if [ "$SKIP_PERF" -eq 0 ]; then
   if [ "$LENIENT_SCALING" -eq 1 ]; then
     COMPARE_FLAGS+=(--warn-time)
   fi
+  # --dup-rate adds the solve-cache experiment (docs/CACHE.md) and its two
+  # absolute floors: the warm-cache pass of a 50%-duplicate stream must be
+  # >= 5x faster than cache-off, and the warm-hit path must stay at 0
+  # allocs/op (the O(1) copy-out contract).  Both are machine-independent
+  # enough to gate everywhere: the speedup is a ratio measured on one
+  # runner, the allocation count is deterministic.
   build-release/bench/bench_engine_throughput --instances 32 --repeats 2 \
       --json build-release/BENCH_engine.json \
-      --gate-allocs 8 --gate-scaling 3 "${SCALING_FLAGS[@]}"
+      --gate-allocs 8 --gate-scaling 3 "${SCALING_FLAGS[@]}" \
+      --dup-rate 0.5 --gate-cache-speedup 5 --gate-hit-allocs 0
   build-release/bench/bench_runtime \
       --benchmark_filter="$(cat bench/baselines/runtime_filter.txt)" \
       --benchmark_out=build-release/BENCH_runtime.json \

@@ -28,6 +28,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <system_error>
@@ -95,6 +96,9 @@ commands:
              (--manifest FILE | --jsonl FILE) [--k K] [--machines M]
              [--workers W] [--exact] [--out-dir DIR] [--quiet]
              [--metrics-json FILE]  (FILE '-' = stdout)
+             solve cache (docs/CACHE.md):
+             [--cache off|read|read_write] [--cache-bytes N]
+             [--delta-max-jobs N]
              fault containment:
              [--deadline-ms MS] [--max-ops N] [--degrade] [--max-retries R]
              [--on-error skip|report|fail]   (default: report)
@@ -107,6 +111,9 @@ commands:
              [--queue N] [--max-batch N]          (pump shape)
              [--deadline-ms MS] [--max-ops N] [--degrade]  (defaults)
              [--shed] [--tenant-quota N] [--overload-degrade]
+             solve cache (docs/CACHE.md):
+             [--cache off|read|read_write] [--cache-bytes N]
+             [--delta-max-jobs N]
              resilience (docs/ROBUSTNESS.md):
              [--retry N] [--retry-backoff-ms MS] [--retry-degrade]
              [--tenant-rate R] [--tenant-burst B]
@@ -251,6 +258,42 @@ int cmd_solve(const Flags& flags) {
   return 0;
 }
 
+/// --cache read|read_write arms an engine-wide content-addressed solve
+/// cache (docs/CACHE.md); --cache-bytes and --delta-max-jobs tune its byte
+/// budget and the near-duplicate patch distance.  "off" (or omitting the
+/// flag) leaves the engine uncached.  Returns the cache so the caller can
+/// surface POBP-RUN-008 pressure at the end of the run.
+std::shared_ptr<SolveCache> configure_cache(const Flags& flags,
+                                            EngineOptions& engine) {
+  if (!flags.has("cache")) return nullptr;
+  const std::string mode = flags.str("cache");
+  if (mode == "off") return nullptr;
+  if (mode != "read" && mode != "read_write") {
+    usage("--cache wants off, read or read_write");
+  }
+  SolveCacheOptions options;
+  options.max_bytes = static_cast<std::size_t>(flags.num(
+      "cache-bytes", static_cast<std::int64_t>(options.max_bytes)));
+  options.delta_max_jobs = static_cast<std::size_t>(flags.num(
+      "delta-max-jobs", static_cast<std::int64_t>(options.delta_max_jobs)));
+  auto cache = std::make_shared<SolveCache>(options);
+  engine.cache = cache;
+  engine.cache_mode =
+      mode == "read" ? CacheMode::kRead : CacheMode::kReadWrite;
+  return cache;
+}
+
+/// Surfaces the POBP-RUN-008 cache-pressure finding (if any) on stderr —
+/// a thrashing cache means --cache-bytes is too small for the stream's
+/// working set (docs/CACHE.md, "Eviction tuning").
+void report_cache_pressure(const SolveCache* cache) {
+  if (cache == nullptr) return;
+  const diag::Report report = cache->check_pressure();
+  if (!report.diagnostics().empty()) {
+    std::fputs(diag::to_text(report).c_str(), stderr);
+  }
+}
+
 int cmd_batch(const Flags& flags) {
   const std::string on_error = flags.str("on-error", "report");
   if (on_error != "skip" && on_error != "report" && on_error != "fail") {
@@ -313,6 +356,7 @@ int cmd_batch(const Flags& flags) {
   if (flags.has("fault-inject")) {
     options.fault_injection = flags.str("fault-inject");
   }
+  const std::shared_ptr<SolveCache> cache = configure_cache(flags, options);
   Engine engine(options);
 
   // Batch indices (and fault-injection `@instance` triggers) refer to
@@ -376,6 +420,7 @@ int cmd_batch(const Flags& flags) {
       out << metrics.to_json() << '\n';
     }
   }
+  report_cache_pressure(cache.get());
 
   if (load_failures + solve_failures > 0) {
     std::fprintf(stderr,
@@ -415,6 +460,8 @@ int cmd_serve(const Flags& flags) {
   if (flags.has("fault-inject")) {
     stream.engine.fault_injection = flags.str("fault-inject");
   }
+  const std::shared_ptr<SolveCache> cache =
+      configure_cache(flags, stream.engine);
   stream.queue_capacity = static_cast<std::size_t>(flags.num("queue", 1024));
   stream.max_batch = static_cast<std::size_t>(flags.num("max-batch", 64));
   stream.tenant_max_in_flight =
@@ -527,6 +574,11 @@ int cmd_serve(const Flags& flags) {
         submit.degrade = *request.degrade ? DegradePolicy::kApproximate
                                           : DegradePolicy::kNone;
       }
+      if (!request.cache.empty()) {
+        submit.cache = request.cache == "off"  ? CacheMode::kOff
+                       : request.cache == "read" ? CacheMode::kRead
+                                                 : CacheMode::kReadWrite;
+      }
       Pending p;
       p.id = std::move(request.id);
       p.want_schedule = request.want_schedule;
@@ -563,6 +615,7 @@ int cmd_serve(const Flags& flags) {
       std::fprintf(stderr,
                    "tenant %-16s submitted %llu completed %llu failed %llu "
                    "quota-rejected %llu shed %llu degraded %llu "
+                   "cache-hits %llu "
                    "rate-rejected %llu breaker-rejected %llu (%s) "
                    "p50 %.3fms p99 %.3fms\n",
                    tenant.c_str(),
@@ -572,6 +625,7 @@ int cmd_serve(const Flags& flags) {
                    static_cast<unsigned long long>(stats.rejected_quota),
                    static_cast<unsigned long long>(stats.shed),
                    static_cast<unsigned long long>(stats.degraded),
+                   static_cast<unsigned long long>(stats.cache_hits),
                    static_cast<unsigned long long>(stats.rejected_rate),
                    static_cast<unsigned long long>(stats.rejected_breaker),
                    std::string(to_string(stats.breaker_state)).c_str(),
@@ -595,6 +649,7 @@ int cmd_serve(const Flags& flags) {
       out << stats << '\n';
     }
   }
+  report_cache_pressure(cache.get());
   if (!flags.has("quiet")) {
     std::fprintf(stderr, "serve: %zu response frame(s), %zu error frame(s)\n",
                  served, errors);

@@ -13,7 +13,7 @@ cmake --build --preset release -j "$(nproc)" \
   --target bench_engine_throughput bench_runtime bench_compare
 
 build-release/bench/bench_engine_throughput --instances 32 --repeats 2 \
-  --json bench/baselines/BENCH_engine.json
+  --dup-rate 0.5 --json bench/baselines/BENCH_engine.json
 
 build-release/bench/bench_runtime \
   --benchmark_filter="$(cat bench/baselines/runtime_filter.txt)" \
